@@ -1,0 +1,52 @@
+//! Criterion: kernel-side inference latency across the model zoo
+//! (integer decision tree, integer SVM, quantized MLP) — the quantity
+//! the verifier's latency-class budgets stand in for.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rkd_ml::dataset::{Dataset, Sample};
+use rkd_ml::fixed::Fix;
+use rkd_ml::mlp::{Mlp, MlpConfig};
+use rkd_ml::quant::QuantMlp;
+use rkd_ml::svm::{LinearSvm, SvmConfig};
+use rkd_ml::tree::{DecisionTree, TreeConfig};
+
+fn dataset(n: usize, dim: usize, rng: &mut StdRng) -> Dataset {
+    let mut samples = Vec::new();
+    for _ in 0..n {
+        let x: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>() * 10.0).collect();
+        let label = (x.iter().sum::<f64>() > 5.0 * dim as f64) as usize;
+        samples.push(Sample::from_f64(&x, label));
+    }
+    Dataset::from_samples(samples).unwrap()
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let ds = dataset(2_000, 15, &mut rng);
+    let tree = DecisionTree::train(&ds, &TreeConfig::default()).unwrap();
+    let svm = LinearSvm::train(&ds, &SvmConfig::default(), &mut rng)
+        .unwrap()
+        .quantize();
+    let mlp = Mlp::train(
+        &ds,
+        &MlpConfig {
+            hidden: vec![16, 16],
+            epochs: 10,
+            ..MlpConfig::default()
+        },
+        &mut rng,
+    )
+    .unwrap();
+    let qmlp = QuantMlp::quantize(&mlp, 8).unwrap();
+    let x: Vec<Fix> = (0..15).map(Fix::from_int).collect();
+    let mut group = c.benchmark_group("inference");
+    group.bench_function("tree", |b| b.iter(|| tree.predict(&x).unwrap()));
+    group.bench_function("svm", |b| b.iter(|| svm.predict(&x).unwrap()));
+    group.bench_function("qmlp_16x16", |b| b.iter(|| qmlp.predict(&x).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

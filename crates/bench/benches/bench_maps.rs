@@ -1,0 +1,64 @@
+//! Criterion: in-kernel map operation latency (the monitoring fast
+//! path — §3.1's "constant-time in a system-wide manner").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rkd_core::maps::{MapDef, MapInstance, MapKind};
+
+fn map_of(kind: MapKind, capacity: usize) -> MapInstance {
+    MapInstance::new(&MapDef {
+        name: "m".into(),
+        kind,
+        capacity,
+        shared: false,
+    })
+    .unwrap()
+}
+
+fn bench_maps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maps");
+    group.bench_function("hash_update_lookup", |b| {
+        let mut m = map_of(MapKind::Hash, 1024);
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 1000;
+            m.update(k, k as i64).unwrap();
+            m.lookup(k)
+        });
+    });
+    group.bench_function("lru_update_lookup", |b| {
+        let mut m = map_of(MapKind::LruHash, 256);
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 1000;
+            m.update(k, k as i64).unwrap();
+            m.lookup(k)
+        });
+    });
+    group.bench_function("ring_push", |b| {
+        let mut m = map_of(MapKind::RingBuf, 16);
+        let mut v = 0i64;
+        b.iter(|| {
+            v += 1;
+            m.update(0, v)
+        });
+    });
+    group.bench_function("ring_snapshot_16", |b| {
+        let mut m = map_of(MapKind::RingBuf, 16);
+        for v in 0..16 {
+            m.update(0, v).unwrap();
+        }
+        b.iter(|| m.ring_snapshot());
+    });
+    group.bench_function("hist_update", |b| {
+        let mut m = map_of(MapKind::Histogram, 64);
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 7) % 64;
+            m.update(k, 1)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_maps);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion: per-access decision cost of the three Table 1
+//! prefetchers — the datapath-overhead side of the accuracy trade.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rkd_bench::table1_video_params;
+use rkd_sim::mem::ml::{MlPrefetchConfig, MlPrefetcher};
+use rkd_sim::mem::prefetcher::{Leap, Prefetcher, Readahead};
+use rkd_workloads::mem::video_resize;
+
+fn bench_prefetchers(c: &mut Criterion) {
+    let trace = video_resize(&table1_video_params());
+    let mut group = c.benchmark_group("prefetch_decision");
+    group.bench_function("readahead", |b| {
+        let mut p = Readahead::default();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % trace.accesses.len();
+            p.on_access(trace.accesses[i])
+        });
+    });
+    group.bench_function("leap", |b| {
+        let mut p = Leap::default();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % trace.accesses.len();
+            p.on_access(trace.accesses[i])
+        });
+    });
+    group.bench_function("rmt_ml", |b| {
+        let mut p = MlPrefetcher::new(MlPrefetchConfig::default());
+        // Warm up past the first training window so the datapath takes
+        // the full model path.
+        for &a in trace.accesses.iter().take(600) {
+            p.on_access(a);
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % trace.accesses.len();
+            p.on_access(trace.accesses[i])
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prefetchers);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion: scheduler simulation throughput and per-decision policy
+//! cost (CFS heuristic vs RMT/ML policy).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rkd_core::machine::ExecMode;
+use rkd_ml::dataset::{Dataset, Sample};
+use rkd_ml::mlp::{Mlp, MlpConfig};
+use rkd_ml::quant::QuantMlp;
+use rkd_sim::sched::features::MigrationFeatures;
+use rkd_sim::sched::policy::{CfsPolicy, MigrationPolicy, MlPolicy};
+use rkd_sim::sched::sim::{run, SchedSimConfig};
+use rkd_workloads::sched::blackscholes;
+
+fn features() -> MigrationFeatures {
+    MigrationFeatures {
+        imbalance_pct: 40,
+        time_since_ran_ms: 3,
+        cache_footprint_mb: 4,
+        dst_nr_running: 2,
+        src_nr_running: 4,
+        remaining_ms: 900,
+        ..MigrationFeatures::default()
+    }
+}
+
+fn tiny_mlp() -> QuantMlp {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut samples = Vec::new();
+    for i in 0..200 {
+        let v = (i % 100) as f64 / 100.0;
+        samples.push(Sample::from_f64(&[v; 15], (v > 0.5) as usize));
+    }
+    let ds = Dataset::from_samples(samples).unwrap();
+    let mlp = Mlp::train(
+        &ds,
+        &MlpConfig {
+            hidden: vec![16, 16],
+            epochs: 5,
+            ..MlpConfig::default()
+        },
+        &mut rng,
+    )
+    .unwrap();
+    QuantMlp::quantize(&mlp, 8).unwrap()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("can_migrate_task");
+    group.bench_function("cfs_heuristic", |b| {
+        let mut p = CfsPolicy::default();
+        let f = features();
+        b.iter(|| p.can_migrate(&f));
+    });
+    group.bench_function("rmt_ml_policy", |b| {
+        let mut p = MlPolicy::new(tiny_mlp(), (0..15).collect(), ExecMode::Jit);
+        let f = features();
+        b.iter(|| p.can_migrate(&f));
+    });
+    group.finish();
+}
+
+fn bench_sim(c: &mut Criterion) {
+    c.bench_function("sched_sim_100ms_slice_work", |b| {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut w = blackscholes(8, &mut rng);
+        for t in &mut w.tasks {
+            t.total_work_us = 100_000;
+        }
+        b.iter(|| run(&w, &mut CfsPolicy::default(), &SchedSimConfig::default()));
+    });
+}
+
+criterion_group!(benches, bench_policies, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion: verifier admission cost vs program size — admission is a
+//! control-plane operation, but §3.3 makes it the safety linchpin, so
+//! its scaling matters for frequent reconfiguration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rkd_core::bytecode::{Action, AluOp, Insn, Reg};
+use rkd_core::prog::{ProgramBuilder, RmtProgram};
+use rkd_core::table::MatchKind;
+use rkd_core::verifier::verify;
+
+fn program_with(n_insns: usize, n_tables: usize) -> RmtProgram {
+    let mut b = ProgramBuilder::new("big");
+    let pid = b.field_readonly("pid");
+    let mut code = vec![Insn::LdImm {
+        dst: Reg(0),
+        imm: 0,
+    }];
+    for i in 0..n_insns {
+        code.push(Insn::AluImm {
+            op: AluOp::Add,
+            dst: Reg(0),
+            imm: i as i64,
+        });
+    }
+    code.push(Insn::Exit);
+    let act = b.action(Action::new("a", code));
+    for t in 0..n_tables {
+        b.table(
+            &format!("t{t}"),
+            "hook",
+            &[pid],
+            MatchKind::Exact,
+            Some(act),
+            16,
+        );
+    }
+    b.build()
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verifier");
+    for size in [16usize, 128, 1024, 4000] {
+        group.bench_with_input(BenchmarkId::new("insns", size), &size, |b, &size| {
+            let prog = program_with(size, 2);
+            b.iter(|| verify(prog.clone()).unwrap());
+        });
+    }
+    for tables in [1usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("tables", tables), &tables, |b, &tables| {
+            let prog = program_with(64, tables);
+            b.iter(|| verify(prog.clone()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verify);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Criterion: interpreter vs JIT dispatch on the Figure 1 datapath,
+//! plus raw action-execution microbenchmarks.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rkd_core::bytecode::{Action, AluOp, CmpOp, Insn, Reg};
+use rkd_core::ctxt::Ctxt;
+use rkd_core::machine::{ExecMode, RmtMachine};
+use rkd_core::verifier::verify;
+
+/// A compute-heavy action: bounded loop of ALU work.
+fn hot_action() -> Action {
+    Action::with_loop_bound(
+        "hot",
+        vec![
+            Insn::LdImm {
+                dst: Reg(0),
+                imm: 0,
+            },
+            Insn::LdImm {
+                dst: Reg(1),
+                imm: 0,
+            },
+            Insn::AluImm {
+                op: AluOp::Add,
+                dst: Reg(0),
+                imm: 3,
+            },
+            Insn::AluImm {
+                op: AluOp::Xor,
+                dst: Reg(0),
+                imm: 0x5A5A,
+            },
+            Insn::AluImm {
+                op: AluOp::Add,
+                dst: Reg(1),
+                imm: 1,
+            },
+            Insn::JmpIfImm {
+                cmp: CmpOp::Lt,
+                lhs: Reg(1),
+                imm: 64,
+                target: 2,
+            },
+            Insn::Exit,
+        ],
+        64,
+    )
+}
+
+fn machine_with(mode: ExecMode) -> RmtMachine {
+    let mut b = rkd_core::prog::ProgramBuilder::new("bench");
+    let pid = b.field_readonly("pid");
+    let act = b.action(hot_action());
+    b.table(
+        "t",
+        "hook",
+        &[pid],
+        rkd_core::table::MatchKind::Exact,
+        Some(act),
+        8,
+    );
+    let verified = verify(b.build()).unwrap();
+    let mut vm = RmtMachine::new();
+    vm.install(verified, mode).unwrap();
+    vm
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vm_dispatch");
+    for (name, mode) in [("interp", ExecMode::Interp), ("jit", ExecMode::Jit)] {
+        group.bench_function(name, |b| {
+            let mut vm = machine_with(mode);
+            b.iter_batched(
+                || Ctxt::from_values(vec![1]),
+                |mut ctxt| vm.fire("hook", &mut ctxt),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_figure1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure1_datapath");
+    for (name, mode) in [("interp", ExecMode::Interp), ("jit", ExecMode::Jit)] {
+        group.bench_function(name, |b| {
+            let compiled = rkd_lang::compile(rkd_lang::FIGURE1_PREFETCH).unwrap();
+            let verified = verify(compiled.program).unwrap();
+            let mut vm = RmtMachine::new();
+            vm.install(verified, mode).unwrap();
+            let mut page = 0i64;
+            b.iter(|| {
+                page += 3;
+                let mut ctxt = Ctxt::from_values(vec![1, page]);
+                vm.fire("lookup_swap_cache", &mut ctxt);
+                vm.fire("swap_cluster_readahead", &mut ctxt)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch, bench_figure1);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Regenerates **Table 2: Case study: Linux Scheduler**.
+//!
+//! Paper (HotOS '21, §4, Table 2):
+//!
+//! ```text
+//!                Full-Featured MLP    Leaner-Featured MLP   Linux
+//! Benchmark      Acc (%)  JCT (s)     Acc (%)  JCT (s)      JCT (s)
+//! Blackscholes   99.08    19.010      94.0     18.770       18.679
+//! Streamcluster  99.38    58.136      94.3     57.387       57.362
+//! Fib            99.81    19.567      99.7     19.533       19.543
+//! MatMul         99.7     16.520      99.6     16.514       16.337
+//! ```
+//!
+//! Reproduction target: the full-featured MLP mimics the CFS decision
+//! at ~99%, the top-2-feature model stays in the 90s, and all three
+//! JCT columns are within a few percent of each other (the point of
+//! Table 2 is parity, not speedup). Run with `--release`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rkd_bench::{f1, f2, render_table};
+use rkd_sim::sched::experiment::{run_case_study, CaseStudyConfig};
+use rkd_workloads::sched::table2_suite;
+
+fn main() {
+    println!("== Table 2: Case study: Linux Scheduler ==\n");
+    let mut rng = StdRng::seed_from_u64(2021);
+    let suite = table2_suite(4, &mut rng);
+    let cfg = CaseStudyConfig::default();
+    let paper = [
+        ("Blackscholes", 99.08, 19.010, 94.0, 18.770, 18.679),
+        ("Streamcluster", 99.38, 58.136, 94.3, 57.387, 57.362),
+        ("Fib Calculation", 99.81, 19.567, 99.7, 19.533, 19.543),
+        ("Matrix Multiply", 99.7, 16.520, 99.6, 16.514, 16.337),
+    ];
+    let mut rows = Vec::new();
+    let mut all_ok = true;
+    for w in &suite {
+        eprintln!(
+            "running case study: {} ({} tasks)...",
+            w.name,
+            w.tasks.len()
+        );
+        let row = match run_case_study(w, &cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("  {}: skipped ({e})", w.name);
+                continue;
+            }
+        };
+        let p = paper
+            .iter()
+            .find(|(n, ..)| *n == row.benchmark)
+            .copied()
+            .unwrap_or(("", 0.0, 0.0, 0.0, 0.0, 0.0));
+        rows.push(vec![
+            row.benchmark.clone(),
+            format!("{} ({})", f1(row.full_acc_pct), p.1),
+            format!("{} ({})", f2(row.full_jct_s), p.2),
+            format!("{} ({})", f1(row.lean_acc_pct), p.3),
+            format!("{} ({})", f2(row.lean_jct_s), p.4),
+            format!("{} ({})", f2(row.linux_jct_s), p.5),
+            row.lean_features.join("+"),
+        ]);
+        let parity = |jct: f64| (jct / row.linux_jct_s - 1.0).abs() < 0.15;
+        let ok = row.full_acc_pct > 90.0
+            && row.lean_acc_pct > 85.0
+            && parity(row.full_jct_s)
+            && parity(row.lean_jct_s);
+        if !ok {
+            all_ok = false;
+            eprintln!("  shape deviation on {}", row.benchmark);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Benchmark",
+                "Full Acc (%)",
+                "Full JCT (s)",
+                "Lean Acc (%)",
+                "Lean JCT (s)",
+                "Linux JCT (s)",
+                "Lean features",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "(measured (paper)) — shape target: full ~99% acc, lean 90s, JCT parity across columns."
+    );
+    println!("\nshape check: {}", if all_ok { "PASS" } else { "FAIL" });
+}

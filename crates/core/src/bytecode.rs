@@ -1,0 +1,526 @@
+//! The RMT bytecode instruction set.
+//!
+//! §3.1–3.2: table matches and actions "are compiled into RMT bytecode
+//! instructions, such as memory accesses (e.g., `RMT_LD_CTXT`) and
+//! compute instructions (e.g., `RMT_MATCH_CTXT`). An action may modify
+//! the execution context … using instructions like `RMT_ST_CTXT`, or it
+//! may call into an ML model using CALL instructions," and actions use
+//! "a dedicated ML instruction set (e.g., `RMT_VECTOR_LD`,
+//! `RMT_MAT_MUL`, `RMT_SCALAR_VAL`), which is patterned after hardware
+//! ISA for neural processors."
+//!
+//! The machine model: 16 scalar registers (`r0..r15`, `i64`), 4 vector
+//! registers (`v0..v3`, variable-length `Fix` vectors), the execution
+//! context ([`crate::ctxt::Ctxt`]), program maps, a weight-tensor pool,
+//! and the ML model zoo. Table matching itself (`RMT_MATCH_CTXT`) is
+//! performed by the pipeline dispatcher, not inside action bodies.
+//!
+//! Calling conventions:
+//! - entry argument (`Entry::arg`) arrives in `r9`;
+//! - helper calls read arguments from `r2..r4` and return in `r0`;
+//! - `CallMl` reads features from a vector register and returns the
+//!   predicted class in `r0` and a Q16.16 confidence in `r1`.
+
+use crate::ctxt::FieldId;
+use crate::maps::MapId;
+use crate::table::TableId;
+use serde::{Deserialize, Serialize};
+
+/// Number of scalar registers.
+pub const NUM_REGS: u8 = 16;
+/// Number of vector registers.
+pub const NUM_VREGS: u8 = 4;
+/// Register receiving the matched entry's argument.
+pub const ARG_REG: Reg = Reg(9);
+/// Register receiving scalar results (`r0`).
+pub const RET_REG: Reg = Reg(0);
+/// Register receiving ML confidence (`r1`).
+pub const CONF_REG: Reg = Reg(1);
+/// Maximum vector length a program may build (bounds `RMT_VECTOR_LD`).
+pub const MAX_VECTOR_LEN: usize = 256;
+
+/// A scalar register index (`0..NUM_REGS`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u8);
+
+/// A vector register index (`0..NUM_VREGS`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VReg(pub u8);
+
+/// Identifies a weight tensor in the program's tensor pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorSlot(pub u16);
+
+/// Identifies an ML model in the program's model zoo.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModelSlot(pub u16);
+
+/// Scalar ALU operations. Division and modulo by zero are defined to
+/// produce 0 (like eBPF), never a fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Division (0 if divisor is 0).
+    Div,
+    /// Modulo (0 if divisor is 0).
+    Mod,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift (by `rhs & 63`).
+    Shl,
+    /// Arithmetic right shift (by `rhs & 63`).
+    Shr,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl AluOp {
+    /// Evaluates the operation on two scalars.
+    pub fn eval(self, lhs: i64, rhs: i64) -> i64 {
+        match self {
+            AluOp::Add => lhs.wrapping_add(rhs),
+            AluOp::Sub => lhs.wrapping_sub(rhs),
+            AluOp::Mul => lhs.wrapping_mul(rhs),
+            AluOp::Div => {
+                if rhs == 0 {
+                    0
+                } else {
+                    lhs.wrapping_div(rhs)
+                }
+            }
+            AluOp::Mod => {
+                if rhs == 0 {
+                    0
+                } else {
+                    lhs.wrapping_rem(rhs)
+                }
+            }
+            AluOp::And => lhs & rhs,
+            AluOp::Or => lhs | rhs,
+            AluOp::Xor => lhs ^ rhs,
+            AluOp::Shl => lhs.wrapping_shl(rhs as u32 & 63),
+            AluOp::Shr => lhs.wrapping_shr(rhs as u32 & 63),
+            AluOp::Min => lhs.min(rhs),
+            AluOp::Max => lhs.max(rhs),
+        }
+    }
+}
+
+/// Comparison operators for conditional jumps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less than.
+    Lt,
+    /// Signed less or equal.
+    Le,
+    /// Signed greater than.
+    Gt,
+    /// Signed greater or equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates the comparison.
+    pub fn eval(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+/// Unary elementwise vector operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VecUnary {
+    /// Elementwise ReLU.
+    Relu,
+    /// Elementwise logistic sigmoid.
+    Sigmoid,
+}
+
+/// Constrained helper functions available to actions.
+///
+/// §3.1: "an RMT program has access to a constrained set of kernel
+/// functions that are dedicated to learning and inference." Helpers take
+/// arguments in `r2..r4` and return in `r0`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Helper {
+    /// Returns the machine's monotonic tick in `r0`.
+    GetTick,
+    /// Returns a deterministic pseudo-random `i64` in `r0` (xorshift;
+    /// used for exploration policies).
+    Rand,
+    /// Emits a prefetch request for `r3` pages starting at page `r2`.
+    /// Subject to rate-limit guards.
+    EmitPrefetch,
+    /// Emits a task-migration decision (`r2 != 0` = migrate).
+    EmitMigrate,
+    /// Emits a generic resource hint (`kind = r2, a = r3, b = r4`);
+    /// subject to rate-limit guards.
+    EmitHint,
+}
+
+impl Helper {
+    /// Stable helper name used in verifier diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Helper::GetTick => "get_tick",
+            Helper::Rand => "rand",
+            Helper::EmitPrefetch => "emit_prefetch",
+            Helper::EmitMigrate => "emit_migrate",
+            Helper::EmitHint => "emit_hint",
+        }
+    }
+
+    /// Whether the helper emits a resource-consuming effect (the class
+    /// the verifier's interference pass rate-limits).
+    pub fn emits_resource(self) -> bool {
+        matches!(self, Helper::EmitPrefetch | Helper::EmitHint)
+    }
+}
+
+/// One RMT bytecode instruction.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Insn {
+    /// `dst = imm`.
+    LdImm {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// `dst = src`.
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `RMT_LD_CTXT`: `dst = ctxt[field]`.
+    LdCtxt {
+        /// Destination register.
+        dst: Reg,
+        /// Context field to read.
+        field: FieldId,
+    },
+    /// `RMT_ST_CTXT`: `ctxt[field] = src` (field must be writable).
+    StCtxt {
+        /// Context field to write.
+        field: FieldId,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst = op(dst, src)`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination (and left operand).
+        dst: Reg,
+        /// Right operand.
+        src: Reg,
+    },
+    /// `dst = op(dst, imm)`.
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination (and left operand).
+        dst: Reg,
+        /// Immediate right operand.
+        imm: i64,
+    },
+    /// Unconditional jump to instruction index `target`.
+    Jmp {
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Conditional jump: if `cmp(lhs, rhs)` then go to `target`.
+    JmpIf {
+        /// Comparison.
+        cmp: CmpOp,
+        /// Left operand register.
+        lhs: Reg,
+        /// Right operand register.
+        rhs: Reg,
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Conditional jump against an immediate.
+    JmpIfImm {
+        /// Comparison.
+        cmp: CmpOp,
+        /// Left operand register.
+        lhs: Reg,
+        /// Immediate right operand.
+        imm: i64,
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Map lookup: `dst = map[key]`, or `default` when absent.
+    MapLookup {
+        /// Destination register.
+        dst: Reg,
+        /// Map to query.
+        map: MapId,
+        /// Register holding the key.
+        key: Reg,
+        /// Value used when the key is absent.
+        default: i64,
+    },
+    /// Map update: `map[key] = value` (kind-specific semantics; see
+    /// [`crate::maps::MapInstance::update`]). Full-map errors are
+    /// reported in `r0` (0 = ok, 1 = failed) rather than faulting.
+    MapUpdate {
+        /// Map to update.
+        map: MapId,
+        /// Register holding the key.
+        key: Reg,
+        /// Register holding the value.
+        value: Reg,
+    },
+    /// Map delete; `r0 = 1` if something was removed else 0.
+    MapDelete {
+        /// Map to delete from.
+        map: MapId,
+        /// Register holding the key.
+        key: Reg,
+    },
+    /// `RMT_VECTOR_LD` (ring form): loads a ring-buffer map's window
+    /// into a vector register as fixed-point integers, oldest first.
+    VectorLdMap {
+        /// Destination vector register.
+        dst: VReg,
+        /// Ring-buffer map to snapshot.
+        map: MapId,
+    },
+    /// `RMT_VECTOR_LD` (context form): loads `len` consecutive context
+    /// fields starting at `base` into a vector register.
+    VectorLdCtxt {
+        /// Destination vector register.
+        dst: VReg,
+        /// First context field.
+        base: FieldId,
+        /// Number of fields.
+        len: u16,
+    },
+    /// Appends `src` (as an integer, converted to fixed point) to a
+    /// vector register; bounded by [`MAX_VECTOR_LEN`].
+    VectorPush {
+        /// Vector register to extend.
+        dst: VReg,
+        /// Scalar register appended.
+        src: Reg,
+    },
+    /// Clears a vector register to length 0.
+    VectorClear {
+        /// Vector register to clear.
+        dst: VReg,
+    },
+    /// `RMT_MAT_MUL`: `dst = tensors[tensor] * src` (matrix-vector).
+    MatMul {
+        /// Destination vector register.
+        dst: VReg,
+        /// Weight tensor in the program pool.
+        tensor: TensorSlot,
+        /// Input vector register.
+        src: VReg,
+    },
+    /// Elementwise unary vector operation in place.
+    VecMap {
+        /// Operation.
+        op: VecUnary,
+        /// Vector register operated on.
+        dst: VReg,
+    },
+    /// `RMT_SCALAR_VAL`: `dst = round(src[idx])` as an integer; 0 when
+    /// `idx` is out of range.
+    ScalarVal {
+        /// Destination scalar register.
+        dst: Reg,
+        /// Source vector register.
+        src: VReg,
+        /// Element index.
+        idx: u16,
+    },
+    /// `CALL` into an ML model: features from `src`, class to `r0`,
+    /// confidence (Q16.16 raw) to `r1`.
+    CallMl {
+        /// Model slot to consult.
+        model: ModelSlot,
+        /// Feature vector register.
+        src: VReg,
+    },
+    /// `CALL` into a constrained helper.
+    Call {
+        /// Helper invoked.
+        helper: Helper,
+    },
+    /// Differentially private aggregate read of a map's sum; charges
+    /// the program's privacy budget. `dst` receives the noised sum.
+    DpAggregate {
+        /// Destination register.
+        dst: Reg,
+        /// Map whose values are summed.
+        map: MapId,
+    },
+    /// `EXIT`: leave the RMT action and "enter regular kernel
+    /// execution"; the pipeline proceeds to the next table. `r0` is the
+    /// action's verdict.
+    Exit,
+    /// `TAIL_CALL`: cascade into another table's lookup/action with the
+    /// current context; the pipeline ends after the chain completes.
+    TailCall {
+        /// Table to cascade into.
+        table: TableId,
+    },
+}
+
+impl Insn {
+    /// Returns `true` for instructions that terminate the action.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Insn::Exit | Insn::TailCall { .. })
+    }
+
+    /// Branch targets, if this is a jump.
+    pub fn jump_target(&self) -> Option<usize> {
+        match self {
+            Insn::Jmp { target } => Some(*target),
+            Insn::JmpIf { target, .. } => Some(*target),
+            Insn::JmpIfImm { target, .. } => Some(*target),
+            _ => None,
+        }
+    }
+}
+
+/// A named action: a straight bytecode body.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Action {
+    /// Action name (diagnostics and control plane).
+    pub name: String,
+    /// The instruction body.
+    pub code: Vec<Insn>,
+    /// If the body contains backward jumps, the declared maximum total
+    /// loop iterations; `None` means loops are forbidden and any back
+    /// edge is rejected by the verifier.
+    pub loop_bound: Option<u32>,
+}
+
+impl Action {
+    /// Creates a loop-free action.
+    pub fn new(name: &str, code: Vec<Insn>) -> Action {
+        Action {
+            name: name.to_string(),
+            code,
+            loop_bound: None,
+        }
+    }
+
+    /// Creates an action whose loops iterate at most `bound` times in
+    /// total.
+    pub fn with_loop_bound(name: &str, code: Vec<Insn>, bound: u32) -> Action {
+        Action {
+            name: name.to_string(),
+            code,
+            loop_bound: Some(bound),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_eval_matrix() {
+        assert_eq!(AluOp::Add.eval(2, 3), 5);
+        assert_eq!(AluOp::Sub.eval(2, 3), -1);
+        assert_eq!(AluOp::Mul.eval(-4, 3), -12);
+        assert_eq!(AluOp::Div.eval(7, 2), 3);
+        assert_eq!(AluOp::Div.eval(7, 0), 0);
+        assert_eq!(AluOp::Mod.eval(7, 4), 3);
+        assert_eq!(AluOp::Mod.eval(7, 0), 0);
+        assert_eq!(AluOp::And.eval(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.eval(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.eval(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Shl.eval(1, 4), 16);
+        assert_eq!(AluOp::Shr.eval(-16, 2), -4);
+        assert_eq!(AluOp::Min.eval(3, -5), -5);
+        assert_eq!(AluOp::Max.eval(3, -5), 3);
+    }
+
+    #[test]
+    fn alu_wrapping_behavior() {
+        assert_eq!(AluOp::Add.eval(i64::MAX, 1), i64::MIN);
+        assert_eq!(AluOp::Shl.eval(1, 64), 1); // Shift masked to 0.
+        assert_eq!(AluOp::Div.eval(i64::MIN, -1), i64::MIN); // Wrapping div.
+    }
+
+    #[test]
+    fn cmp_eval_matrix() {
+        assert!(CmpOp::Eq.eval(1, 1));
+        assert!(CmpOp::Ne.eval(1, 2));
+        assert!(CmpOp::Lt.eval(-1, 0));
+        assert!(CmpOp::Le.eval(0, 0));
+        assert!(CmpOp::Gt.eval(5, 4));
+        assert!(CmpOp::Ge.eval(5, 5));
+        assert!(!CmpOp::Lt.eval(0, -1));
+    }
+
+    #[test]
+    fn helper_metadata() {
+        assert_eq!(Helper::EmitPrefetch.name(), "emit_prefetch");
+        assert!(Helper::EmitPrefetch.emits_resource());
+        assert!(Helper::EmitHint.emits_resource());
+        assert!(!Helper::GetTick.emits_resource());
+        assert!(!Helper::EmitMigrate.emits_resource());
+    }
+
+    #[test]
+    fn insn_classification() {
+        assert!(Insn::Exit.is_terminator());
+        assert!(Insn::TailCall { table: TableId(0) }.is_terminator());
+        assert!(!Insn::LdImm {
+            dst: Reg(0),
+            imm: 0
+        }
+        .is_terminator());
+        assert_eq!(Insn::Jmp { target: 7 }.jump_target(), Some(7));
+        assert_eq!(
+            Insn::JmpIfImm {
+                cmp: CmpOp::Eq,
+                lhs: Reg(0),
+                imm: 0,
+                target: 3
+            }
+            .jump_target(),
+            Some(3)
+        );
+        assert_eq!(Insn::Exit.jump_target(), None);
+    }
+
+    #[test]
+    fn action_constructors() {
+        let a = Action::new("a", vec![Insn::Exit]);
+        assert_eq!(a.loop_bound, None);
+        let b = Action::with_loop_bound("b", vec![Insn::Exit], 10);
+        assert_eq!(b.loop_bound, Some(10));
+    }
+}

@@ -1,0 +1,337 @@
+//! The control-plane API (`syscall_rmt()`).
+//!
+//! §3.1: "their policies are reconfigured via the control plane API.
+//! This API supports adding, removing, modifying match/action entries
+//! and ML models. For instance, the ML training component may
+//! periodically update table entries to reflect the latest monitoring
+//! data … Alternatively, the control plane relies on past prediction
+//! accuracy to detect workload changes and adjust the table entries."
+//!
+//! [`CtrlRequest`] is the single serializable entry point userland uses
+//! (the analogue of the `bpf(2)` multiplexer syscall); every request
+//! maps onto one [`crate::machine::RmtMachine`] operation. The machine
+//! methods remain directly callable for in-process embedding.
+
+use crate::bytecode::ModelSlot;
+use crate::error::VmError;
+use crate::machine::{ExecMode, ProgId, ProgStats, RmtMachine};
+use crate::maps::MapId;
+use crate::prog::ModelSpec;
+use crate::table::{Entry, MatchKey, TableId, TableStats};
+use crate::verifier::{verify_with, VerifierConfig};
+use serde::{Deserialize, Serialize};
+
+/// A control-plane request.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum CtrlRequest {
+    /// Verify and install a program (`rmt_verify()` then
+    /// `syscall_rmt()` in Figure 1).
+    Install {
+        /// The unverified program.
+        prog: Box<crate::prog::RmtProgram>,
+        /// Interpret or JIT.
+        mode: ExecMode,
+        /// RNG seed for reproducibility.
+        seed: u64,
+    },
+    /// Remove an installed program.
+    Remove {
+        /// Target program.
+        prog: ProgId,
+    },
+    /// Insert or replace a match/action entry.
+    InsertEntry {
+        /// Target program.
+        prog: ProgId,
+        /// Target table.
+        table: TableId,
+        /// The new entry.
+        entry: Entry,
+    },
+    /// Remove an entry by key.
+    RemoveEntry {
+        /// Target program.
+        prog: ProgId,
+        /// Target table.
+        table: TableId,
+        /// Key of the entry to remove.
+        key: MatchKey,
+    },
+    /// Hot-swap an ML model (the "periodically quantized and pushed to
+    /// the kernel" update path).
+    UpdateModel {
+        /// Target program.
+        prog: ProgId,
+        /// Model slot to replace.
+        slot: ModelSlot,
+        /// Replacement model.
+        spec: Box<ModelSpec>,
+    },
+    /// Write a map value (seed monitoring state).
+    MapUpdate {
+        /// Target program.
+        prog: ProgId,
+        /// Target map.
+        map: MapId,
+        /// Key.
+        key: u64,
+        /// Value.
+        value: i64,
+    },
+    /// Read a map value (DP-noised for shared maps).
+    MapLookup {
+        /// Target program.
+        prog: ProgId,
+        /// Target map.
+        map: MapId,
+        /// Key.
+        key: u64,
+    },
+    /// Read program statistics.
+    QueryStats {
+        /// Target program.
+        prog: ProgId,
+    },
+    /// Read table hit/miss statistics.
+    QueryTableStats {
+        /// Target program.
+        prog: ProgId,
+        /// Target table.
+        table: TableId,
+    },
+    /// Read the remaining privacy budget.
+    QueryPrivacyBudget {
+        /// Target program.
+        prog: ProgId,
+    },
+}
+
+/// A control-plane response.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum CtrlResponse {
+    /// Program installed under this id.
+    Installed(ProgId),
+    /// Operation completed with no payload.
+    Ok,
+    /// Whether a removal found its target.
+    Removed(bool),
+    /// A map read result.
+    Value(Option<i64>),
+    /// Program statistics.
+    Stats(ProgStats),
+    /// Table statistics.
+    TableStats(TableStats),
+    /// Remaining privacy budget in milli-epsilon.
+    PrivacyBudget(u64),
+}
+
+/// Dispatches one control-plane request against a machine, using the
+/// default verifier configuration for installs.
+pub fn syscall_rmt(machine: &mut RmtMachine, req: CtrlRequest) -> Result<CtrlResponse, VmError> {
+    syscall_rmt_with(machine, req, &VerifierConfig::default())
+}
+
+/// Dispatches one request with an explicit verifier configuration.
+pub fn syscall_rmt_with(
+    machine: &mut RmtMachine,
+    req: CtrlRequest,
+    vcfg: &VerifierConfig,
+) -> Result<CtrlResponse, VmError> {
+    match req {
+        CtrlRequest::Install { prog, mode, seed } => {
+            let vp = verify_with(*prog, vcfg)?;
+            let id = machine.install_seeded(vp, mode, seed)?;
+            Ok(CtrlResponse::Installed(id))
+        }
+        CtrlRequest::Remove { prog } => {
+            machine.remove(prog)?;
+            Ok(CtrlResponse::Ok)
+        }
+        CtrlRequest::InsertEntry { prog, table, entry } => {
+            machine.insert_entry(prog, table, entry)?;
+            Ok(CtrlResponse::Ok)
+        }
+        CtrlRequest::RemoveEntry { prog, table, key } => {
+            let removed = machine.remove_entry(prog, table, &key)?;
+            Ok(CtrlResponse::Removed(removed))
+        }
+        CtrlRequest::UpdateModel { prog, slot, spec } => {
+            machine.update_model(prog, slot, *spec)?;
+            Ok(CtrlResponse::Ok)
+        }
+        CtrlRequest::MapUpdate {
+            prog,
+            map,
+            key,
+            value,
+        } => {
+            machine.map_update(prog, map, key, value)?;
+            Ok(CtrlResponse::Ok)
+        }
+        CtrlRequest::MapLookup { prog, map, key } => {
+            let v = machine.map_lookup(prog, map, key)?;
+            Ok(CtrlResponse::Value(v))
+        }
+        CtrlRequest::QueryStats { prog } => Ok(CtrlResponse::Stats(machine.stats(prog)?)),
+        CtrlRequest::QueryTableStats { prog, table } => {
+            Ok(CtrlResponse::TableStats(machine.table_stats(prog, table)?))
+        }
+        CtrlRequest::QueryPrivacyBudget { prog } => Ok(CtrlResponse::PrivacyBudget(
+            machine.privacy_remaining(prog)?,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::{Action, Insn, Reg};
+    use crate::prog::ProgramBuilder;
+    use crate::table::{ActionId, MatchKind};
+
+    fn prog() -> crate::prog::RmtProgram {
+        let mut b = ProgramBuilder::new("ctl");
+        let pid = b.field_readonly("pid");
+        let a = b.action(Action::new(
+            "ret9",
+            vec![
+                Insn::LdImm {
+                    dst: Reg(0),
+                    imm: 9,
+                },
+                Insn::Exit,
+            ],
+        ));
+        b.table("t", "h", &[pid], MatchKind::Exact, Some(a), 8);
+        b.map("m", crate::maps::MapKind::Hash, 8);
+        b.build()
+    }
+
+    #[test]
+    fn full_lifecycle_via_syscall() {
+        let mut m = RmtMachine::new();
+        let id = match syscall_rmt(
+            &mut m,
+            CtrlRequest::Install {
+                prog: Box::new(prog()),
+                mode: ExecMode::Jit,
+                seed: 1,
+            },
+        )
+        .unwrap()
+        {
+            CtrlResponse::Installed(id) => id,
+            other => panic!("unexpected {other:?}"),
+        };
+        // Entry management.
+        syscall_rmt(
+            &mut m,
+            CtrlRequest::InsertEntry {
+                prog: id,
+                table: TableId(0),
+                entry: Entry {
+                    key: MatchKey::Exact(vec![1]),
+                    priority: 0,
+                    action: ActionId(0),
+                    arg: 0,
+                },
+            },
+        )
+        .unwrap();
+        let removed = syscall_rmt(
+            &mut m,
+            CtrlRequest::RemoveEntry {
+                prog: id,
+                table: TableId(0),
+                key: MatchKey::Exact(vec![1]),
+            },
+        )
+        .unwrap();
+        assert_eq!(removed, CtrlResponse::Removed(true));
+        // Maps.
+        syscall_rmt(
+            &mut m,
+            CtrlRequest::MapUpdate {
+                prog: id,
+                map: MapId(0),
+                key: 4,
+                value: 44,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            syscall_rmt(
+                &mut m,
+                CtrlRequest::MapLookup {
+                    prog: id,
+                    map: MapId(0),
+                    key: 4
+                }
+            )
+            .unwrap(),
+            CtrlResponse::Value(Some(44))
+        );
+        // Stats.
+        let mut ctxt = crate::ctxt::Ctxt::from_values(vec![5]);
+        m.fire("h", &mut ctxt);
+        match syscall_rmt(&mut m, CtrlRequest::QueryStats { prog: id }).unwrap() {
+            CtrlResponse::Stats(s) => assert_eq!(s.invocations, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        match syscall_rmt(
+            &mut m,
+            CtrlRequest::QueryTableStats {
+                prog: id,
+                table: TableId(0),
+            },
+        )
+        .unwrap()
+        {
+            CtrlResponse::TableStats(ts) => assert_eq!(ts.misses, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        match syscall_rmt(&mut m, CtrlRequest::QueryPrivacyBudget { prog: id }).unwrap() {
+            CtrlResponse::PrivacyBudget(b) => assert!(b > 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Removal.
+        assert_eq!(
+            syscall_rmt(&mut m, CtrlRequest::Remove { prog: id }).unwrap(),
+            CtrlResponse::Ok
+        );
+        assert!(syscall_rmt(&mut m, CtrlRequest::Remove { prog: id }).is_err());
+    }
+
+    #[test]
+    fn install_runs_the_verifier() {
+        let mut m = RmtMachine::new();
+        let mut bad = prog();
+        // Corrupt: action that falls off the end.
+        bad.actions[0].code.pop();
+        bad.actions[0].code.pop();
+        bad.actions[0].code.push(Insn::LdImm {
+            dst: Reg(0),
+            imm: 1,
+        });
+        let err = syscall_rmt(
+            &mut m,
+            CtrlRequest::Install {
+                prog: Box::new(bad),
+                mode: ExecMode::Interp,
+                seed: 0,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, VmError::Verify(_)));
+        assert_eq!(m.program_count(), 0);
+    }
+
+    #[test]
+    fn requests_are_debuggable_and_cloneable() {
+        let req = CtrlRequest::QueryStats { prog: ProgId(3) };
+        let req2 = req.clone();
+        assert!(format!("{req2:?}").contains("QueryStats"));
+        let resp = CtrlResponse::PrivacyBudget(7);
+        assert_eq!(resp, resp.clone());
+    }
+}

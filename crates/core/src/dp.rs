@@ -1,0 +1,190 @@
+//! Differential privacy for cross-application queries.
+//!
+//! §3.3: "if an RMT query returns some aggregate statistics, we can
+//! leverage differential privacy (DP) to noise the outputs. … The
+//! kernel can maintain a 'privacy budget', in DP terms, and subtract
+//! from this overall budget for each table match."
+//!
+//! Noise is drawn from the **two-sided geometric (discrete Laplace)
+//! mechanism**, the integer analogue of Laplace noise — appropriate
+//! here because the kernel-side datapath is integer-only. For an
+//! epsilon-DP query of sensitivity `s`, noise is `X - Y` where `X, Y`
+//! are geometric with parameter `p = 1 - exp(-eps/s)`.
+
+use crate::error::VmError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A privacy-budget ledger, in milli-epsilon units.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrivacyLedger {
+    budget_milli_eps: u64,
+    spent_milli_eps: u64,
+}
+
+impl PrivacyLedger {
+    /// Creates a ledger with the given total budget.
+    pub fn new(budget_milli_eps: u64) -> PrivacyLedger {
+        PrivacyLedger {
+            budget_milli_eps,
+            spent_milli_eps: 0,
+        }
+    }
+
+    /// Remaining budget.
+    pub fn remaining_milli_eps(&self) -> u64 {
+        self.budget_milli_eps.saturating_sub(self.spent_milli_eps)
+    }
+
+    /// Total spent so far.
+    pub fn spent_milli_eps(&self) -> u64 {
+        self.spent_milli_eps
+    }
+
+    /// Charges one query; fails closed when the budget is exhausted.
+    pub fn charge(&mut self, milli_eps: u64) -> Result<(), VmError> {
+        if milli_eps == 0 {
+            return Err(VmError::BadRequest("zero-epsilon charge".into()));
+        }
+        if self.remaining_milli_eps() < milli_eps {
+            return Err(VmError::PrivacyBudgetExhausted);
+        }
+        self.spent_milli_eps += milli_eps;
+        Ok(())
+    }
+}
+
+/// Draws two-sided geometric noise calibrated for `milli_eps`-DP at the
+/// given sensitivity.
+///
+/// The success probability is `p = 1 - exp(-eps / sensitivity)`; each
+/// side of the noise is the number of Bernoulli failures before the
+/// first success, capped at a generous bound to keep the datapath
+/// wait-free.
+pub fn geometric_noise(rng: &mut impl Rng, milli_eps: u64, sensitivity: u64) -> i64 {
+    let eps = (milli_eps.max(1)) as f64 / 1000.0;
+    let s = sensitivity.max(1) as f64;
+    let p = 1.0 - (-eps / s).exp();
+    let pos = sample_geometric(rng, p);
+    let neg = sample_geometric(rng, p);
+    pos - neg
+}
+
+fn sample_geometric(rng: &mut impl Rng, p: f64) -> i64 {
+    // Inverse-CDF sampling: floor(ln(U) / ln(1-p)), capped.
+    if p >= 1.0 {
+        return 0;
+    }
+    if p <= 0.0 {
+        return 1 << 20;
+    }
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let v = (u.ln() / (1.0 - p).ln()).floor();
+    (v as i64).min(1 << 20)
+}
+
+/// Answers an aggregate query under DP: charges the ledger and returns
+/// the noised value, or fails closed without revealing anything.
+pub fn noised_query(
+    true_value: i64,
+    ledger: &mut PrivacyLedger,
+    milli_eps: u64,
+    sensitivity: u64,
+    rng: &mut impl Rng,
+) -> Result<i64, VmError> {
+    ledger.charge(milli_eps)?;
+    Ok(true_value.saturating_add(geometric_noise(rng, milli_eps, sensitivity)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ledger_charges_and_exhausts() {
+        let mut l = PrivacyLedger::new(250);
+        assert_eq!(l.remaining_milli_eps(), 250);
+        l.charge(100).unwrap();
+        l.charge(100).unwrap();
+        assert_eq!(l.spent_milli_eps(), 200);
+        assert!(matches!(
+            l.charge(100),
+            Err(VmError::PrivacyBudgetExhausted)
+        ));
+        // Failed charge spends nothing.
+        assert_eq!(l.remaining_milli_eps(), 50);
+        l.charge(50).unwrap();
+        assert_eq!(l.remaining_milli_eps(), 0);
+    }
+
+    #[test]
+    fn zero_charge_rejected() {
+        let mut l = PrivacyLedger::new(10);
+        assert!(matches!(l.charge(0), Err(VmError::BadRequest(_))));
+    }
+
+    #[test]
+    fn noise_is_zero_mean_ish() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let n = 20_000;
+        let sum: i64 = (0..n).map(|_| geometric_noise(&mut rng, 1000, 1)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!(mean.abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn smaller_epsilon_means_more_noise() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let spread = |milli_eps: u64, rng: &mut StdRng| -> f64 {
+            let n = 5_000;
+            let var: f64 = (0..n)
+                .map(|_| {
+                    let x = geometric_noise(rng, milli_eps, 1) as f64;
+                    x * x
+                })
+                .sum::<f64>()
+                / n as f64;
+            var
+        };
+        let tight = spread(2000, &mut rng); // eps = 2.
+        let loose = spread(100, &mut rng); // eps = 0.1.
+        assert!(
+            loose > tight * 4.0,
+            "low-eps variance {loose} should dwarf high-eps {tight}"
+        );
+    }
+
+    #[test]
+    fn noised_query_fails_closed() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let mut l = PrivacyLedger::new(100);
+        let v = noised_query(1000, &mut l, 100, 1, &mut rng).unwrap();
+        // eps = 0.1, sensitivity 1: noise can be large but the value is
+        // still centered near 1000.
+        assert!((v - 1000).abs() < 500, "noised {v}");
+        assert!(matches!(
+            noised_query(1000, &mut l, 100, 1, &mut rng),
+            Err(VmError::PrivacyBudgetExhausted)
+        ));
+    }
+
+    #[test]
+    fn higher_sensitivity_scales_noise() {
+        let mut rng = StdRng::seed_from_u64(54);
+        let n = 5_000;
+        let var = |sens: u64, rng: &mut StdRng| -> f64 {
+            (0..n)
+                .map(|_| {
+                    let x = geometric_noise(rng, 1000, sens) as f64;
+                    x * x
+                })
+                .sum::<f64>()
+                / n as f64
+        };
+        let low = var(1, &mut rng);
+        let high = var(10, &mut rng);
+        assert!(high > low * 2.0, "sens-10 var {high} vs sens-1 {low}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Model-safety guardrails (§3.3).
+//!
+//! "The line of work in adversarial machine learning has repeatedly
+//! shown that the blackbox nature of ML models can sometimes be
+//! exploited … the RMT verifier directly benefits from recent work that
+//! aims to … add guardrails to blackbox inference to prevent worst-case
+//! behaviors."
+//!
+//! A [`ModelGuard`] wraps a model slot with the two guardrails that make
+//! sense for kernel decisions:
+//!
+//! - **class clamp** — predictions outside `[0, max_class]` are replaced
+//!   by `fallback_class`, so a corrupted or adversarially perturbed
+//!   model cannot steer the datapath into undefined decisions;
+//! - **confidence floor** — predictions whose confidence is below
+//!   `min_confidence` fall back too, turning "uncertain model" into
+//!   "conservative default" instead of a coin flip.
+//!
+//! Guards are declared per model slot, checked by the verifier for
+//! internal consistency, and enforced on every `CALL` into the model —
+//! inside the machine, not in the model, so a hot-swapped model inherits
+//! the guard.
+
+use rkd_ml::fixed::Fix;
+use serde::{Deserialize, Serialize};
+
+/// Guardrail configuration for one model slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelGuard {
+    /// Largest class the datapath may act on.
+    pub max_class: usize,
+    /// The safe decision used whenever a guardrail trips.
+    pub fallback_class: usize,
+    /// Predictions below this confidence fall back (Q16.16 in `[0, 1]`;
+    /// `Fix::ZERO` disables the floor).
+    pub min_confidence: Fix,
+}
+
+impl ModelGuard {
+    /// A clamp-only guard (no confidence floor).
+    pub fn clamp(max_class: usize, fallback_class: usize) -> ModelGuard {
+        ModelGuard {
+            max_class,
+            fallback_class,
+            min_confidence: Fix::ZERO,
+        }
+    }
+
+    /// Whether the guard's own parameters are coherent (fallback within
+    /// the clamp, confidence in `[0, 1]`).
+    pub fn well_formed(&self) -> bool {
+        self.fallback_class <= self.max_class
+            && self.min_confidence >= Fix::ZERO
+            && self.min_confidence <= Fix::ONE
+    }
+
+    /// Applies the guardrails to a raw prediction, returning the class
+    /// the datapath may act on and whether a rail tripped.
+    pub fn apply(&self, class: usize, confidence: Fix) -> (usize, bool) {
+        if class > self.max_class {
+            return (self.fallback_class, true);
+        }
+        if confidence < self.min_confidence {
+            return (self.fallback_class, true);
+        }
+        (class, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_replaces_wild_classes() {
+        let g = ModelGuard::clamp(3, 0);
+        assert_eq!(g.apply(2, Fix::ONE), (2, false));
+        assert_eq!(g.apply(3, Fix::ONE), (3, false));
+        assert_eq!(g.apply(4, Fix::ONE), (0, true));
+        assert_eq!(g.apply(usize::MAX, Fix::ONE), (0, true));
+    }
+
+    #[test]
+    fn confidence_floor_falls_back() {
+        let g = ModelGuard {
+            max_class: 5,
+            fallback_class: 1,
+            min_confidence: Fix::HALF,
+        };
+        assert_eq!(g.apply(4, Fix::ONE), (4, false));
+        assert_eq!(g.apply(4, Fix::HALF), (4, false), "boundary passes");
+        assert_eq!(
+            g.apply(4, Fix::from_f64(0.49)),
+            (1, true),
+            "below the floor falls back"
+        );
+    }
+
+    #[test]
+    fn well_formedness() {
+        assert!(ModelGuard::clamp(3, 0).well_formed());
+        assert!(ModelGuard::clamp(3, 3).well_formed());
+        assert!(!ModelGuard::clamp(3, 4).well_formed());
+        assert!(!ModelGuard {
+            max_class: 1,
+            fallback_class: 0,
+            min_confidence: Fix::from_int(2),
+        }
+        .well_formed());
+        assert!(!ModelGuard {
+            max_class: 1,
+            fallback_class: 0,
+            min_confidence: Fix::from_int(-1),
+        }
+        .well_formed());
+    }
+
+    #[test]
+    fn clamp_rail_takes_priority_over_confidence() {
+        let g = ModelGuard {
+            max_class: 2,
+            fallback_class: 0,
+            min_confidence: Fix::HALF,
+        };
+        // Wild class with high confidence still clamps.
+        assert_eq!(g.apply(9, Fix::ONE), (0, true));
+    }
+}

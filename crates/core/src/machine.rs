@@ -1,0 +1,902 @@
+//! The in-kernel RMT virtual machine.
+//!
+//! [`RmtMachine`] owns installed programs and dispatches kernel hook
+//! events through their table pipelines (Figure 1's runtime): a hook
+//! fires with a populated [`Ctxt`]; each table installed at that hook
+//! extracts its match key (`RMT_MATCH_CTXT`), looks up the best entry,
+//! and runs the bound action in interpreted or JIT mode; `TAIL_CALL`s
+//! cascade across tables (bounded); resource effects pass through the
+//! program's token-bucket rate limiter before reaching the kernel.
+//!
+//! A faulting or privacy-exhausted action is absorbed as a no-op — a
+//! learned optimization may fail closed, but it must never take the
+//! (simulated) kernel down with it.
+
+use crate::ctxt::Ctxt;
+use crate::dp::PrivacyLedger;
+use crate::error::VmError;
+use crate::interp::{run_action, ActionOutcome, Effect, ExecEnv};
+use crate::jit::CompiledAction;
+use crate::maps::{MapId, MapInstance};
+use crate::prog::{ModelSpec, RmtProgram};
+use crate::table::{Entry, Table, TableId, TableStats};
+use crate::verifier::VerifiedProgram;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rkd_ml::cost::CostBudget;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// Identifies an installed program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProgId(pub u32);
+
+/// Execution mode for a program's actions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// Interpret bytecode (`rmt_interp`).
+    Interp,
+    /// Run pre-compiled threaded code (`rmt_jit`).
+    Jit,
+}
+
+/// Maximum dynamic tail-call chain length per hook firing (matches the
+/// verifier's static bound as defense in depth).
+pub const MAX_TAIL_CHAIN: usize = 8;
+
+/// Per-program runtime statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgStats {
+    /// Hook firings routed to this program.
+    pub invocations: u64,
+    /// Actions executed.
+    pub actions_run: u64,
+    /// Dynamic instructions executed.
+    pub insns_executed: u64,
+    /// Effects delivered to the kernel.
+    pub effects_emitted: u64,
+    /// Resource effects dropped by the rate limiter.
+    pub effects_rate_limited: u64,
+    /// Actions absorbed after a fault or privacy exhaustion.
+    pub actions_aborted: u64,
+    /// Tail-call cascades followed.
+    pub tail_calls: u64,
+    /// Model-guard rails tripped (§3.3 model safety).
+    pub guard_trips: u64,
+}
+
+/// The result of firing one hook.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HookResult {
+    /// Verdicts of the actions that ran, in execution order, tagged by
+    /// the table that produced them.
+    pub verdicts: Vec<(TableId, i64)>,
+    /// Effects that survived rate limiting, in order.
+    pub effects: Vec<Effect>,
+}
+
+impl HookResult {
+    /// The last verdict, if any action ran (the common single-table
+    /// query pattern).
+    pub fn verdict(&self) -> Option<i64> {
+        self.verdicts.last().map(|(_, v)| *v)
+    }
+}
+
+/// Token bucket guarding resource-emitting actions.
+#[derive(Clone, Debug)]
+struct TokenBucket {
+    capacity: u64,
+    tokens: u64,
+    refill_per_tick: u64,
+    last_tick: u64,
+}
+
+impl TokenBucket {
+    fn new(capacity: u64, refill_per_tick: u64) -> TokenBucket {
+        TokenBucket {
+            capacity,
+            tokens: capacity,
+            refill_per_tick,
+            last_tick: 0,
+        }
+    }
+
+    fn try_take(&mut self, n: u64, now: u64) -> bool {
+        if now > self.last_tick {
+            let refill = (now - self.last_tick).saturating_mul(self.refill_per_tick);
+            self.tokens = (self.tokens + refill).min(self.capacity);
+            self.last_tick = now;
+        }
+        if self.tokens >= n {
+            self.tokens -= n;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// One installed program with its runtime state.
+struct Installed {
+    prog: RmtProgram,
+    worst_case: Vec<u64>,
+    mode: ExecMode,
+    tables: Vec<Table>,
+    maps: Vec<MapInstance>,
+    compiled: Vec<CompiledAction>,
+    rng: StdRng,
+    ledger: PrivacyLedger,
+    bucket: Option<TokenBucket>,
+    stats: ProgStats,
+}
+
+/// The RMT virtual machine.
+pub struct RmtMachine {
+    tick: u64,
+    next_id: u32,
+    programs: BTreeMap<u32, Installed>,
+    /// hook name -> (program, first table of the program at this hook),
+    /// in installation order.
+    hook_index: HashMap<String, Vec<(u32, TableId)>>,
+}
+
+impl Default for RmtMachine {
+    fn default() -> RmtMachine {
+        RmtMachine::new()
+    }
+}
+
+impl RmtMachine {
+    /// Creates an empty machine at tick 0.
+    pub fn new() -> RmtMachine {
+        RmtMachine {
+            tick: 0,
+            next_id: 1,
+            programs: BTreeMap::new(),
+            hook_index: HashMap::new(),
+        }
+    }
+
+    /// Current monotonic tick.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Advances the clock (the embedding kernel drives this).
+    pub fn advance_tick(&mut self, by: u64) {
+        self.tick = self.tick.saturating_add(by);
+    }
+
+    /// Installs a verified program (`syscall_rmt()` in Figure 1),
+    /// returning its id. JIT mode compiles every action up front
+    /// (`rmt_jit()`).
+    pub fn install(&mut self, vp: VerifiedProgram, mode: ExecMode) -> Result<ProgId, VmError> {
+        self.install_seeded(vp, mode, 0x5EED)
+    }
+
+    /// Installs with an explicit RNG seed (reproducible DP noise and
+    /// `rand` helper streams).
+    pub fn install_seeded(
+        &mut self,
+        vp: VerifiedProgram,
+        mode: ExecMode,
+        seed: u64,
+    ) -> Result<ProgId, VmError> {
+        let (prog, worst_case) = vp.into_parts();
+        let mut tables: Vec<Table> = prog.tables.iter().cloned().map(Table::new).collect();
+        for (tid, entry) in &prog.initial_entries {
+            tables[tid.0 as usize].insert(entry.clone())?;
+        }
+        let mut maps = Vec::with_capacity(prog.maps.len());
+        for def in &prog.maps {
+            maps.push(MapInstance::new(def)?);
+        }
+        let compiled = match mode {
+            ExecMode::Jit => prog
+                .actions
+                .iter()
+                .map(CompiledAction::compile)
+                .collect::<Result<Vec<_>, _>>()?,
+            ExecMode::Interp => Vec::new(),
+        };
+        let bucket = prog
+            .rate_limit
+            .map(|rl| TokenBucket::new(rl.capacity, rl.refill_per_tick));
+        let ledger = PrivacyLedger::new(prog.privacy.budget_milli_eps);
+        let id = self.next_id;
+        self.next_id += 1;
+        // Index this program's tables by hook, preserving table order.
+        let mut seen_hooks: Vec<&str> = Vec::new();
+        for t in &prog.tables {
+            if !seen_hooks.contains(&t.hook.as_str()) {
+                seen_hooks.push(&t.hook);
+            }
+        }
+        for hook in seen_hooks {
+            let first = prog
+                .tables
+                .iter()
+                .position(|t| t.hook == hook)
+                .expect("hook came from tables");
+            self.hook_index
+                .entry(hook.to_string())
+                .or_default()
+                .push((id, TableId(first as u16)));
+        }
+        self.programs.insert(
+            id,
+            Installed {
+                prog,
+                worst_case,
+                mode,
+                tables,
+                maps,
+                compiled,
+                rng: StdRng::seed_from_u64(seed),
+                ledger,
+                bucket,
+                stats: ProgStats::default(),
+            },
+        );
+        Ok(ProgId(id))
+    }
+
+    /// Removes a program and unhooks its tables.
+    pub fn remove(&mut self, id: ProgId) -> Result<(), VmError> {
+        if self.programs.remove(&id.0).is_none() {
+            return Err(VmError::NoSuchProgram(id.0));
+        }
+        for list in self.hook_index.values_mut() {
+            list.retain(|(p, _)| *p != id.0);
+        }
+        Ok(())
+    }
+
+    /// Whether any program listens on a hook (lets the embedding kernel
+    /// skip context assembly on cold hooks — "lean monitoring").
+    pub fn hook_armed(&self, hook: &str) -> bool {
+        self.hook_index.get(hook).is_some_and(|v| !v.is_empty())
+    }
+
+    /// Fires a kernel hook: every program with tables at `hook` runs its
+    /// pipeline over `ctxt`. Faulting actions are absorbed (counted in
+    /// [`ProgStats::actions_aborted`]).
+    pub fn fire(&mut self, hook: &str, ctxt: &mut Ctxt) -> HookResult {
+        let mut result = HookResult::default();
+        let Some(listeners) = self.hook_index.get(hook).cloned() else {
+            return result;
+        };
+        let tick = self.tick;
+        for (pid, _first_table) in listeners {
+            let Some(inst) = self.programs.get_mut(&pid) else {
+                continue;
+            };
+            inst.stats.invocations += 1;
+            // Pipeline: all of this program's tables registered at this
+            // hook, in declaration order; a tail call redirects and then
+            // ends the pipeline.
+            let hook_tables: Vec<usize> = inst
+                .prog
+                .tables
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.hook == hook)
+                .map(|(i, _)| i)
+                .collect();
+            let mut queue: Vec<usize> = hook_tables;
+            let mut chain = 0usize;
+            let mut qi = 0usize;
+            while qi < queue.len() {
+                let ti = queue[qi];
+                qi += 1;
+                // Match phase.
+                let key = {
+                    let def = inst.tables[ti].def();
+                    ctxt.key(&def.key_fields)
+                };
+                let (action_id, arg) = {
+                    match inst.tables[ti].lookup(&key) {
+                        Some(e) => (Some(e.action), e.arg),
+                        None => (inst.tables[ti].def().default_action, 0),
+                    }
+                };
+                let Some(action_id) = action_id else {
+                    continue; // Miss with no default: next table.
+                };
+                let fuel = inst
+                    .worst_case
+                    .get(action_id.0 as usize)
+                    .copied()
+                    .unwrap_or(1);
+                let outcome = {
+                    let mut env = ExecEnv {
+                        ctxt,
+                        maps: &mut inst.maps,
+                        tensors: &inst.prog.tensors,
+                        models: &inst.prog.models,
+                        tick,
+                        rng: &mut inst.rng,
+                        ledger: &mut inst.ledger,
+                        privacy: inst.prog.privacy,
+                    };
+                    match inst.mode {
+                        ExecMode::Interp => run_action(
+                            &inst.prog.actions[action_id.0 as usize],
+                            fuel,
+                            arg,
+                            &mut env,
+                        ),
+                        ExecMode::Jit => {
+                            inst.compiled[action_id.0 as usize].run(fuel, arg, &mut env)
+                        }
+                    }
+                };
+                match outcome {
+                    Ok(ActionOutcome {
+                        verdict,
+                        effects,
+                        tail_call,
+                        insns_executed,
+                        guard_trips,
+                    }) => {
+                        inst.stats.actions_run += 1;
+                        inst.stats.insns_executed += insns_executed;
+                        inst.stats.guard_trips += guard_trips;
+                        result.verdicts.push((TableId(ti as u16), verdict));
+                        for e in effects {
+                            if e.is_resource() {
+                                if let Some(bucket) = &mut inst.bucket {
+                                    let cost = match e {
+                                        Effect::Prefetch { count, .. } => count.max(1),
+                                        _ => 1,
+                                    };
+                                    if !bucket.try_take(cost, tick) {
+                                        inst.stats.effects_rate_limited += 1;
+                                        continue;
+                                    }
+                                }
+                            }
+                            inst.stats.effects_emitted += 1;
+                            result.effects.push(e);
+                        }
+                        if let Some(target) = tail_call {
+                            chain += 1;
+                            if chain > MAX_TAIL_CHAIN || target.0 as usize >= inst.tables.len() {
+                                inst.stats.actions_aborted += 1;
+                            } else {
+                                inst.stats.tail_calls += 1;
+                                // Redirect: the chain replaces the rest
+                                // of the pipeline.
+                                queue.truncate(qi);
+                                queue.push(target.0 as usize);
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        inst.stats.actions_aborted += 1;
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// Inserts or replaces a runtime entry (control-plane API).
+    pub fn insert_entry(
+        &mut self,
+        prog: ProgId,
+        table: TableId,
+        entry: Entry,
+    ) -> Result<(), VmError> {
+        let inst = self
+            .programs
+            .get_mut(&prog.0)
+            .ok_or(VmError::NoSuchProgram(prog.0))?;
+        if entry.action.0 as usize >= inst.prog.actions.len() {
+            return Err(VmError::BadEntry(format!(
+                "action {} does not exist",
+                entry.action.0
+            )));
+        }
+        let t = inst
+            .tables
+            .get_mut(table.0 as usize)
+            .ok_or(VmError::NoSuchTable(table.0))?;
+        t.insert(entry)
+    }
+
+    /// Removes a runtime entry by key.
+    pub fn remove_entry(
+        &mut self,
+        prog: ProgId,
+        table: TableId,
+        key: &crate::table::MatchKey,
+    ) -> Result<bool, VmError> {
+        let inst = self
+            .programs
+            .get_mut(&prog.0)
+            .ok_or(VmError::NoSuchProgram(prog.0))?;
+        let t = inst
+            .tables
+            .get_mut(table.0 as usize)
+            .ok_or(VmError::NoSuchTable(table.0))?;
+        Ok(t.remove(key))
+    }
+
+    /// Replaces an ML model at runtime (the periodic "quantize and push
+    /// to the kernel" update). The replacement is re-verified: same
+    /// feature arity and within the slot's latency-class budget.
+    pub fn update_model(
+        &mut self,
+        prog: ProgId,
+        slot: crate::bytecode::ModelSlot,
+        spec: ModelSpec,
+    ) -> Result<(), VmError> {
+        let inst = self
+            .programs
+            .get_mut(&prog.0)
+            .ok_or(VmError::NoSuchProgram(prog.0))?;
+        let def = inst
+            .prog
+            .models
+            .get_mut(slot.0 as usize)
+            .ok_or(VmError::NoSuchModel(slot.0))?;
+        if spec.n_features() != def.spec.n_features() {
+            return Err(VmError::BadEntry(format!(
+                "model arity {} != {}",
+                spec.n_features(),
+                def.spec.n_features()
+            )));
+        }
+        CostBudget::for_class(def.latency_class)
+            .admit(&spec.cost())
+            .map_err(|source| {
+                VmError::Verify(crate::error::VerifyError::ModelOverBudget {
+                    model: slot.0,
+                    source,
+                })
+            })?;
+        def.spec = spec;
+        Ok(())
+    }
+
+    /// Reads a program's statistics.
+    pub fn stats(&self, prog: ProgId) -> Result<ProgStats, VmError> {
+        self.programs
+            .get(&prog.0)
+            .map(|i| i.stats)
+            .ok_or(VmError::NoSuchProgram(prog.0))
+    }
+
+    /// Reads a table's hit/miss statistics.
+    pub fn table_stats(&self, prog: ProgId, table: TableId) -> Result<TableStats, VmError> {
+        let inst = self
+            .programs
+            .get(&prog.0)
+            .ok_or(VmError::NoSuchProgram(prog.0))?;
+        inst.tables
+            .get(table.0 as usize)
+            .map(|t| t.stats())
+            .ok_or(VmError::NoSuchTable(table.0))
+    }
+
+    /// Remaining privacy budget in milli-epsilon.
+    pub fn privacy_remaining(&self, prog: ProgId) -> Result<u64, VmError> {
+        self.programs
+            .get(&prog.0)
+            .map(|i| i.ledger.remaining_milli_eps())
+            .ok_or(VmError::NoSuchProgram(prog.0))
+    }
+
+    /// Control-plane map write (e.g. seeding monitoring state).
+    pub fn map_update(
+        &mut self,
+        prog: ProgId,
+        map: MapId,
+        key: u64,
+        value: i64,
+    ) -> Result<(), VmError> {
+        let inst = self
+            .programs
+            .get_mut(&prog.0)
+            .ok_or(VmError::NoSuchProgram(prog.0))?;
+        inst.maps
+            .get_mut(map.0 as usize)
+            .ok_or(VmError::MapError("no such map"))?
+            .update(key, value)
+    }
+
+    /// Control-plane map read. Reads of shared maps go through DP and
+    /// charge the program ledger, enforcing §3.3 on the control path
+    /// too.
+    pub fn map_lookup(
+        &mut self,
+        prog: ProgId,
+        map: MapId,
+        key: u64,
+    ) -> Result<Option<i64>, VmError> {
+        let inst = self
+            .programs
+            .get_mut(&prog.0)
+            .ok_or(VmError::NoSuchProgram(prog.0))?;
+        let shared = inst
+            .prog
+            .maps
+            .get(map.0 as usize)
+            .ok_or(VmError::MapError("no such map"))?
+            .shared;
+        let m = inst
+            .maps
+            .get_mut(map.0 as usize)
+            .ok_or(VmError::MapError("no such map"))?;
+        if shared {
+            let sum = m.aggregate_sum();
+            let noised = crate::dp::noised_query(
+                sum,
+                &mut inst.ledger,
+                inst.prog.privacy.per_query_milli_eps,
+                inst.prog.privacy.sensitivity,
+                &mut inst.rng,
+            )?;
+            Ok(Some(noised))
+        } else {
+            Ok(m.lookup(key))
+        }
+    }
+
+    /// Number of installed programs.
+    pub fn program_count(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Installed program ids.
+    pub fn program_ids(&self) -> Vec<ProgId> {
+        self.programs.keys().map(|&k| ProgId(k)).collect()
+    }
+
+    /// Execution mode of a program.
+    pub fn mode(&self, prog: ProgId) -> Result<ExecMode, VmError> {
+        self.programs
+            .get(&prog.0)
+            .map(|i| i.mode)
+            .ok_or(VmError::NoSuchProgram(prog.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::{Action, AluOp, Helper, Insn, Reg};
+    use crate::prog::ProgramBuilder;
+    use crate::table::{ActionId, MatchKey, MatchKind};
+    use crate::verifier::verify;
+
+    /// Program: one exact-match table on field "pid"; matched entries
+    /// double the entry arg into the verdict; default action returns -1.
+    fn doubling_program() -> VerifiedProgram {
+        let mut b = ProgramBuilder::new("double");
+        let pid = b.field_readonly("pid");
+        let double = b.action(Action::new(
+            "double",
+            vec![
+                Insn::Mov {
+                    dst: Reg(0),
+                    src: crate::bytecode::ARG_REG,
+                },
+                Insn::AluImm {
+                    op: AluOp::Mul,
+                    dst: Reg(0),
+                    imm: 2,
+                },
+                Insn::Exit,
+            ],
+        ));
+        let fallback = b.action(Action::new(
+            "fallback",
+            vec![
+                Insn::LdImm {
+                    dst: Reg(0),
+                    imm: -1,
+                },
+                Insn::Exit,
+            ],
+        ));
+        let t = b.table(
+            "t",
+            "test_hook",
+            &[pid],
+            MatchKind::Exact,
+            Some(fallback),
+            16,
+        );
+        b.entry(
+            t,
+            Entry {
+                key: MatchKey::Exact(vec![7]),
+                priority: 0,
+                action: double,
+                arg: 21,
+            },
+        );
+        verify(b.build()).unwrap()
+    }
+
+    fn ctxt_with_pid(pid: i64) -> Ctxt {
+        Ctxt::from_values(vec![pid])
+    }
+
+    #[test]
+    fn install_fire_and_verdicts() {
+        for mode in [ExecMode::Interp, ExecMode::Jit] {
+            let mut m = RmtMachine::new();
+            let id = m.install(doubling_program(), mode).unwrap();
+            assert_eq!(m.mode(id).unwrap(), mode);
+            let mut ctxt = ctxt_with_pid(7);
+            let r = m.fire("test_hook", &mut ctxt);
+            assert_eq!(r.verdict(), Some(42));
+            let mut miss = ctxt_with_pid(8);
+            let r = m.fire("test_hook", &mut miss);
+            assert_eq!(r.verdict(), Some(-1), "default action on miss");
+            let stats = m.stats(id).unwrap();
+            assert_eq!(stats.invocations, 2);
+            assert_eq!(stats.actions_run, 2);
+            assert!(stats.insns_executed >= 5);
+        }
+    }
+
+    #[test]
+    fn unarmed_hook_is_a_noop() {
+        let mut m = RmtMachine::new();
+        assert!(!m.hook_armed("test_hook"));
+        let mut ctxt = ctxt_with_pid(1);
+        let r = m.fire("test_hook", &mut ctxt);
+        assert!(r.verdicts.is_empty());
+        m.install(doubling_program(), ExecMode::Interp).unwrap();
+        assert!(m.hook_armed("test_hook"));
+        assert!(!m.hook_armed("other_hook"));
+    }
+
+    #[test]
+    fn remove_unhooks() {
+        let mut m = RmtMachine::new();
+        let id = m.install(doubling_program(), ExecMode::Interp).unwrap();
+        assert_eq!(m.program_count(), 1);
+        m.remove(id).unwrap();
+        assert_eq!(m.program_count(), 0);
+        assert!(!m.hook_armed("test_hook"));
+        assert!(matches!(m.remove(id), Err(VmError::NoSuchProgram(_))));
+    }
+
+    #[test]
+    fn runtime_entry_management() {
+        let mut m = RmtMachine::new();
+        let id = m.install(doubling_program(), ExecMode::Interp).unwrap();
+        m.insert_entry(
+            id,
+            TableId(0),
+            Entry {
+                key: MatchKey::Exact(vec![100]),
+                priority: 0,
+                action: ActionId(0),
+                arg: 50,
+            },
+        )
+        .unwrap();
+        let mut ctxt = ctxt_with_pid(100);
+        assert_eq!(m.fire("test_hook", &mut ctxt).verdict(), Some(100));
+        assert!(m
+            .remove_entry(id, TableId(0), &MatchKey::Exact(vec![100]))
+            .unwrap());
+        let mut ctxt = ctxt_with_pid(100);
+        assert_eq!(m.fire("test_hook", &mut ctxt).verdict(), Some(-1));
+        // Invalid action id rejected.
+        assert!(m
+            .insert_entry(
+                id,
+                TableId(0),
+                Entry {
+                    key: MatchKey::Exact(vec![1]),
+                    priority: 0,
+                    action: ActionId(99),
+                    arg: 0,
+                },
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn rate_limiter_drops_excess_prefetches() {
+        let mut b = ProgramBuilder::new("p");
+        let pid = b.field_readonly("pid");
+        let emit = b.action(Action::new(
+            "emit",
+            vec![
+                Insn::LdImm {
+                    dst: Reg(2),
+                    imm: 0,
+                },
+                Insn::LdImm {
+                    dst: Reg(3),
+                    imm: 8,
+                },
+                Insn::Call {
+                    helper: Helper::EmitPrefetch,
+                },
+                Insn::LdImm {
+                    dst: Reg(0),
+                    imm: 0,
+                },
+                Insn::Exit,
+            ],
+        ));
+        b.table("t", "h", &[pid], MatchKind::Exact, Some(emit), 4);
+        b.rate_limit(crate::prog::RateLimitCfg {
+            capacity: 16,
+            refill_per_tick: 8,
+        });
+        let vp = verify(b.build()).unwrap();
+        let mut m = RmtMachine::new();
+        let id = m.install(vp, ExecMode::Interp).unwrap();
+        // Bucket = 16 tokens; each firing asks for 8 pages.
+        let mut ctxt = ctxt_with_pid(0);
+        assert_eq!(m.fire("h", &mut ctxt).effects.len(), 1);
+        assert_eq!(m.fire("h", &mut ctxt).effects.len(), 1);
+        assert_eq!(m.fire("h", &mut ctxt).effects.len(), 0, "bucket empty");
+        let stats = m.stats(id).unwrap();
+        assert_eq!(stats.effects_emitted, 2);
+        assert_eq!(stats.effects_rate_limited, 1);
+        // Refill after a tick.
+        m.advance_tick(1);
+        assert_eq!(m.fire("h", &mut ctxt).effects.len(), 1);
+    }
+
+    #[test]
+    fn tail_call_cascades_and_is_bounded() {
+        let mut b = ProgramBuilder::new("p");
+        let pid = b.field_readonly("pid");
+        // Action 0: tail-call table 1. Action 1: verdict 99.
+        let a0 = b.action(Action::new(
+            "tc",
+            vec![
+                Insn::LdImm {
+                    dst: Reg(0),
+                    imm: 1,
+                },
+                Insn::TailCall { table: TableId(1) },
+            ],
+        ));
+        let a1 = b.action(Action::new(
+            "leaf",
+            vec![
+                Insn::LdImm {
+                    dst: Reg(0),
+                    imm: 99,
+                },
+                Insn::Exit,
+            ],
+        ));
+        b.table("t0", "h", &[pid], MatchKind::Exact, Some(a0), 4);
+        b.table("t1", "other_hook", &[pid], MatchKind::Exact, Some(a1), 4);
+        let vp = verify(b.build()).unwrap();
+        let mut m = RmtMachine::new();
+        let id = m.install(vp, ExecMode::Jit).unwrap();
+        let mut ctxt = ctxt_with_pid(5);
+        let r = m.fire("h", &mut ctxt);
+        assert_eq!(r.verdicts.len(), 2);
+        assert_eq!(r.verdict(), Some(99));
+        assert_eq!(m.stats(id).unwrap().tail_calls, 1);
+    }
+
+    #[test]
+    fn model_hot_swap_validates() {
+        use rkd_ml::cost::LatencyClass;
+        use rkd_ml::dataset::{Dataset, Sample};
+        use rkd_ml::fixed::Fix;
+        use rkd_ml::svm::IntSvm;
+        use rkd_ml::tree::{DecisionTree, TreeConfig};
+        let ds = Dataset::from_samples(vec![
+            Sample::from_f64(&[0.0], 0),
+            Sample::from_f64(&[1.0], 0),
+            Sample::from_f64(&[8.0], 1),
+            Sample::from_f64(&[9.0], 1),
+        ])
+        .unwrap();
+        let tree = DecisionTree::train(&ds, &TreeConfig::default()).unwrap();
+        let mut b = ProgramBuilder::new("p");
+        let f = b.field_readonly("x");
+        let slot = b.model("m", ModelSpec::Tree(tree), LatencyClass::Scheduler);
+        let act = b.action(Action::new(
+            "ml",
+            vec![
+                Insn::VectorLdCtxt {
+                    dst: crate::bytecode::VReg(0),
+                    base: f,
+                    len: 1,
+                },
+                Insn::CallMl {
+                    model: slot,
+                    src: crate::bytecode::VReg(0),
+                },
+                Insn::Exit,
+            ],
+        ));
+        b.table("t", "h", &[f], MatchKind::Exact, Some(act), 4);
+        let vp = verify(b.build()).unwrap();
+        let mut m = RmtMachine::new();
+        let id = m.install(vp, ExecMode::Interp).unwrap();
+        let mut ctxt = Ctxt::from_values(vec![9]);
+        assert_eq!(m.fire("h", &mut ctxt).verdict(), Some(1));
+        // Swap in an SVM that always predicts 0 for x >= 0 w = -1.
+        let svm = IntSvm {
+            weights: vec![Fix::NEG_ONE],
+            bias: Fix::ZERO,
+        };
+        m.update_model(id, slot, ModelSpec::Svm(svm)).unwrap();
+        let mut ctxt = Ctxt::from_values(vec![9]);
+        assert_eq!(m.fire("h", &mut ctxt).verdict(), Some(0));
+        // Wrong arity rejected.
+        let bad = IntSvm {
+            weights: vec![Fix::ONE, Fix::ONE],
+            bias: Fix::ZERO,
+        };
+        assert!(m.update_model(id, slot, ModelSpec::Svm(bad)).is_err());
+        // Over-budget model rejected (scheduler class).
+        let huge = IntSvm {
+            weights: vec![Fix::ONE; 1],
+            bias: Fix::ZERO,
+        };
+        // 1 weight is fine; build a huge tree instead via many weights.
+        let too_big = IntSvm {
+            weights: vec![Fix::ONE; 4096],
+            bias: Fix::ZERO,
+        };
+        assert!(m.update_model(id, slot, ModelSpec::Svm(huge)).is_ok());
+        assert!(matches!(
+            m.update_model(id, slot, ModelSpec::Svm(too_big)),
+            Err(VmError::BadEntry(_)) | Err(VmError::Verify(_))
+        ));
+    }
+
+    #[test]
+    fn control_plane_map_access_and_privacy() {
+        use crate::maps::MapKind;
+        let mut b = ProgramBuilder::new("p");
+        let m_priv = b.map("local", MapKind::Hash, 8);
+        let m_shared = b.shared_map("agg", MapKind::Histogram, 4);
+        b.action(Action::new(
+            "noop",
+            vec![
+                Insn::LdImm {
+                    dst: Reg(0),
+                    imm: 0,
+                },
+                Insn::Exit,
+            ],
+        ));
+        let vp = verify(b.build()).unwrap();
+        let mut m = RmtMachine::new();
+        let id = m.install(vp, ExecMode::Interp).unwrap();
+        m.map_update(id, m_priv, 5, 123).unwrap();
+        assert_eq!(m.map_lookup(id, m_priv, 5).unwrap(), Some(123));
+        assert_eq!(m.map_lookup(id, m_priv, 6).unwrap(), None);
+        // Shared map reads are noised and charge the ledger.
+        m.map_update(id, m_shared, 0, 1000).unwrap();
+        let before = m.privacy_remaining(id).unwrap();
+        let v = m.map_lookup(id, m_shared, 0).unwrap().unwrap();
+        assert!((v - 1000).abs() < 500, "noised {v}");
+        assert!(m.privacy_remaining(id).unwrap() < before);
+    }
+
+    #[test]
+    fn two_programs_share_a_hook() {
+        let mut m = RmtMachine::new();
+        m.install(doubling_program(), ExecMode::Interp).unwrap();
+        m.install(doubling_program(), ExecMode::Jit).unwrap();
+        let mut ctxt = ctxt_with_pid(7);
+        let r = m.fire("test_hook", &mut ctxt);
+        assert_eq!(r.verdicts.len(), 2);
+        assert!(r.verdicts.iter().all(|(_, v)| *v == 42));
+        assert_eq!(m.program_ids().len(), 2);
+    }
+}

@@ -1,0 +1,407 @@
+//! In-kernel map data structures.
+//!
+//! §3.1: "The virtual machine also provides an additional set of data
+//! structures for in-kernel ML. This includes data structures for
+//! monitoring purposes (e.g., akin to different types of eBPF maps), as
+//! well as ones for training and inference."
+//!
+//! Five kinds are provided, mirroring the eBPF map families the paper
+//! gestures at: hash, array, LRU hash, ring buffer (access-history
+//! windows for online training), and histogram (latency/measurement
+//! aggregation that the DP layer can noise before export).
+
+use crate::error::VmError;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// Identifies a map within a program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MapId(pub u16);
+
+/// The kind of a declared map.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MapKind {
+    /// Unordered key/value hash with capacity cap.
+    Hash,
+    /// Fixed-size array indexed by key (key < capacity).
+    Array,
+    /// Hash that evicts the least-recently-used entry at capacity.
+    LruHash,
+    /// Bounded FIFO ring; `push` overwrites the oldest when full.
+    RingBuf,
+    /// Fixed-bucket histogram; `update` adds to the bucket of
+    /// `key.min(buckets - 1)`.
+    Histogram,
+}
+
+/// Static declaration of a map.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MapDef {
+    /// Map name (control-plane visible).
+    pub name: String,
+    /// Kind of map.
+    pub kind: MapKind,
+    /// Capacity (entries / slots / ring length / buckets).
+    pub capacity: usize,
+    /// Whether the map aggregates cross-application data. Shared maps
+    /// may only be read through the differentially private
+    /// `DpAggregate` instruction (§3.3 privacy); the verifier rejects
+    /// raw reads.
+    pub shared: bool,
+}
+
+/// A runtime map instance.
+#[derive(Clone, Debug)]
+pub enum MapInstance {
+    /// See [`MapKind::Hash`].
+    Hash {
+        /// Declared capacity.
+        capacity: usize,
+        /// Key/value storage.
+        data: HashMap<u64, i64>,
+    },
+    /// See [`MapKind::Array`].
+    Array {
+        /// Slot storage, length = capacity.
+        data: Vec<i64>,
+    },
+    /// See [`MapKind::LruHash`].
+    LruHash {
+        /// Declared capacity.
+        capacity: usize,
+        /// Key/value storage.
+        data: HashMap<u64, i64>,
+        /// Recency order: front = least recently used.
+        order: VecDeque<u64>,
+    },
+    /// See [`MapKind::RingBuf`].
+    RingBuf {
+        /// Declared capacity.
+        capacity: usize,
+        /// FIFO storage: front = oldest.
+        data: VecDeque<i64>,
+    },
+    /// See [`MapKind::Histogram`].
+    Histogram {
+        /// Bucket counters.
+        buckets: Vec<i64>,
+    },
+}
+
+impl MapInstance {
+    /// Instantiates a map from its definition.
+    ///
+    /// Returns [`VmError::MapError`] for a zero capacity.
+    pub fn new(def: &MapDef) -> Result<MapInstance, VmError> {
+        if def.capacity == 0 {
+            return Err(VmError::MapError("zero capacity"));
+        }
+        Ok(match def.kind {
+            MapKind::Hash => MapInstance::Hash {
+                capacity: def.capacity,
+                data: HashMap::new(),
+            },
+            MapKind::Array => MapInstance::Array {
+                data: vec![0; def.capacity],
+            },
+            MapKind::LruHash => MapInstance::LruHash {
+                capacity: def.capacity,
+                data: HashMap::new(),
+                order: VecDeque::new(),
+            },
+            MapKind::RingBuf => MapInstance::RingBuf {
+                capacity: def.capacity,
+                data: VecDeque::with_capacity(def.capacity),
+            },
+            MapKind::Histogram => MapInstance::Histogram {
+                buckets: vec![0; def.capacity],
+            },
+        })
+    }
+
+    /// Looks up `key`. For ring buffers, `key` indexes from the oldest
+    /// element; for histograms it reads a bucket. Missing keys return
+    /// `None` (the bytecode helper maps this to 0 with a flag).
+    pub fn lookup(&mut self, key: u64) -> Option<i64> {
+        match self {
+            MapInstance::Hash { data, .. } => data.get(&key).copied(),
+            MapInstance::Array { data } => data.get(key as usize).copied(),
+            MapInstance::LruHash { data, order, .. } => {
+                let v = data.get(&key).copied();
+                if v.is_some() {
+                    // Refresh recency.
+                    if let Some(pos) = order.iter().position(|&k| k == key) {
+                        order.remove(pos);
+                    }
+                    order.push_back(key);
+                }
+                v
+            }
+            MapInstance::RingBuf { data, .. } => data.get(key as usize).copied(),
+            MapInstance::Histogram { buckets } => buckets.get(key as usize).copied(),
+        }
+    }
+
+    /// Updates `key -> value` with kind-specific semantics:
+    /// hash/LRU insert-or-replace (LRU evicting the coldest at
+    /// capacity), array writes a slot, ring buffer pushes `value`
+    /// (ignoring `key`), histogram adds `value` to the clamped bucket.
+    pub fn update(&mut self, key: u64, value: i64) -> Result<(), VmError> {
+        match self {
+            MapInstance::Hash { capacity, data } => {
+                if !data.contains_key(&key) && data.len() >= *capacity {
+                    return Err(VmError::MapError("hash map full"));
+                }
+                data.insert(key, value);
+                Ok(())
+            }
+            MapInstance::Array { data } => match data.get_mut(key as usize) {
+                Some(slot) => {
+                    *slot = value;
+                    Ok(())
+                }
+                None => Err(VmError::MapError("array index out of range")),
+            },
+            MapInstance::LruHash {
+                capacity,
+                data,
+                order,
+            } => {
+                if let std::collections::hash_map::Entry::Occupied(mut e) = data.entry(key) {
+                    e.insert(value);
+                    if let Some(pos) = order.iter().position(|&k| k == key) {
+                        order.remove(pos);
+                    }
+                    order.push_back(key);
+                    return Ok(());
+                }
+                if data.len() >= *capacity {
+                    if let Some(cold) = order.pop_front() {
+                        data.remove(&cold);
+                    }
+                }
+                data.insert(key, value);
+                order.push_back(key);
+                Ok(())
+            }
+            MapInstance::RingBuf { capacity, data } => {
+                if data.len() >= *capacity {
+                    data.pop_front();
+                }
+                data.push_back(value);
+                Ok(())
+            }
+            MapInstance::Histogram { buckets } => {
+                let idx = (key as usize).min(buckets.len() - 1);
+                buckets[idx] = buckets[idx].saturating_add(value);
+                Ok(())
+            }
+        }
+    }
+
+    /// Deletes `key`; returns whether something was removed. Array,
+    /// ring-buffer, and histogram deletion zero/pop instead.
+    pub fn delete(&mut self, key: u64) -> bool {
+        match self {
+            MapInstance::Hash { data, .. } => data.remove(&key).is_some(),
+            MapInstance::Array { data } => match data.get_mut(key as usize) {
+                Some(slot) => {
+                    *slot = 0;
+                    true
+                }
+                None => false,
+            },
+            MapInstance::LruHash { data, order, .. } => {
+                let removed = data.remove(&key).is_some();
+                if removed {
+                    if let Some(pos) = order.iter().position(|&k| k == key) {
+                        order.remove(pos);
+                    }
+                }
+                removed
+            }
+            MapInstance::RingBuf { data, .. } => data.pop_front().is_some(),
+            MapInstance::Histogram { buckets } => match buckets.get_mut(key as usize) {
+                Some(b) => {
+                    *b = 0;
+                    true
+                }
+                None => false,
+            },
+        }
+    }
+
+    /// Number of live elements.
+    pub fn len(&self) -> usize {
+        match self {
+            MapInstance::Hash { data, .. } => data.len(),
+            MapInstance::Array { data } => data.len(),
+            MapInstance::LruHash { data, .. } => data.len(),
+            MapInstance::RingBuf { data, .. } => data.len(),
+            MapInstance::Histogram { buckets } => buckets.len(),
+        }
+    }
+
+    /// Returns `true` if the map holds no elements.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            MapInstance::Hash { data, .. } => data.is_empty(),
+            MapInstance::LruHash { data, .. } => data.is_empty(),
+            MapInstance::RingBuf { data, .. } => data.is_empty(),
+            // Arrays and histograms are always fully allocated.
+            MapInstance::Array { .. } | MapInstance::Histogram { .. } => false,
+        }
+    }
+
+    /// Sum of all values — the aggregate-statistics read that the
+    /// privacy layer (§3.3) noises before export.
+    pub fn aggregate_sum(&self) -> i64 {
+        match self {
+            MapInstance::Hash { data, .. } => data.values().fold(0i64, |a, &v| a.saturating_add(v)),
+            MapInstance::Array { data } => data.iter().fold(0i64, |a, &v| a.saturating_add(v)),
+            MapInstance::LruHash { data, .. } => {
+                data.values().fold(0i64, |a, &v| a.saturating_add(v))
+            }
+            MapInstance::RingBuf { data, .. } => {
+                data.iter().fold(0i64, |a, &v| a.saturating_add(v))
+            }
+            MapInstance::Histogram { buckets } => {
+                buckets.iter().fold(0i64, |a, &v| a.saturating_add(v))
+            }
+        }
+    }
+
+    /// Snapshot of the ring buffer contents (oldest first); empty for
+    /// other kinds. Used to assemble feature windows for `RMT_VECTOR_LD`.
+    pub fn ring_snapshot(&self) -> Vec<i64> {
+        match self {
+            MapInstance::RingBuf { data, .. } => data.iter().copied().collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(kind: MapKind, capacity: usize) -> MapInstance {
+        MapInstance::new(&MapDef {
+            name: "m".into(),
+            kind,
+            capacity,
+            shared: false,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        assert!(MapInstance::new(&MapDef {
+            name: "m".into(),
+            kind: MapKind::Hash,
+            capacity: 0,
+            shared: false,
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn hash_semantics() {
+        let mut m = mk(MapKind::Hash, 2);
+        assert!(m.is_empty());
+        m.update(1, 10).unwrap();
+        m.update(2, 20).unwrap();
+        assert_eq!(m.lookup(1), Some(10));
+        assert_eq!(m.lookup(3), None);
+        assert!(matches!(m.update(3, 30), Err(VmError::MapError(_))));
+        m.update(1, 11).unwrap(); // Replace at capacity is fine.
+        assert_eq!(m.lookup(1), Some(11));
+        assert!(m.delete(1));
+        assert!(!m.delete(1));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn array_semantics() {
+        let mut m = mk(MapKind::Array, 3);
+        m.update(0, 5).unwrap();
+        m.update(2, 7).unwrap();
+        assert!(m.update(3, 1).is_err());
+        assert_eq!(m.lookup(2), Some(7));
+        assert_eq!(m.lookup(3), None);
+        assert!(m.delete(2));
+        assert_eq!(m.lookup(2), Some(0));
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn lru_evicts_coldest() {
+        let mut m = mk(MapKind::LruHash, 2);
+        m.update(1, 10).unwrap();
+        m.update(2, 20).unwrap();
+        // Touch key 1 so key 2 is coldest.
+        assert_eq!(m.lookup(1), Some(10));
+        m.update(3, 30).unwrap();
+        assert_eq!(m.lookup(2), None, "coldest key should be evicted");
+        assert_eq!(m.lookup(1), Some(10));
+        assert_eq!(m.lookup(3), Some(30));
+        // Updating an existing key refreshes without eviction.
+        m.update(1, 11).unwrap();
+        assert_eq!(m.len(), 2);
+        assert!(m.delete(3));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn ring_buffer_overwrites_oldest() {
+        let mut m = mk(MapKind::RingBuf, 3);
+        for v in 1..=5 {
+            m.update(0, v).unwrap();
+        }
+        assert_eq!(m.ring_snapshot(), vec![3, 4, 5]);
+        assert_eq!(m.lookup(0), Some(3));
+        assert_eq!(m.lookup(2), Some(5));
+        assert_eq!(m.lookup(3), None);
+        assert!(m.delete(0)); // Pops the oldest.
+        assert_eq!(m.ring_snapshot(), vec![4, 5]);
+    }
+
+    #[test]
+    fn histogram_accumulates_and_clamps() {
+        let mut m = mk(MapKind::Histogram, 4);
+        m.update(0, 1).unwrap();
+        m.update(0, 2).unwrap();
+        m.update(99, 5).unwrap(); // Clamped into the last bucket.
+        assert_eq!(m.lookup(0), Some(3));
+        assert_eq!(m.lookup(3), Some(5));
+        assert_eq!(m.aggregate_sum(), 8);
+        assert!(m.delete(3));
+        assert_eq!(m.lookup(3), Some(0));
+    }
+
+    #[test]
+    fn aggregate_sum_all_kinds() {
+        let mut h = mk(MapKind::Hash, 4);
+        h.update(1, 5).unwrap();
+        h.update(2, -2).unwrap();
+        assert_eq!(h.aggregate_sum(), 3);
+        let mut a = mk(MapKind::Array, 2);
+        a.update(0, 7).unwrap();
+        assert_eq!(a.aggregate_sum(), 7);
+        let mut r = mk(MapKind::RingBuf, 2);
+        r.update(0, 1).unwrap();
+        r.update(0, 2).unwrap();
+        assert_eq!(r.aggregate_sum(), 3);
+        let mut l = mk(MapKind::LruHash, 2);
+        l.update(9, 9).unwrap();
+        assert_eq!(l.aggregate_sum(), 9);
+    }
+
+    #[test]
+    fn ring_snapshot_empty_for_other_kinds() {
+        let m = mk(MapKind::Hash, 2);
+        assert!(m.ring_snapshot().is_empty());
+    }
+}

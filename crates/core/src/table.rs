@@ -1,0 +1,512 @@
+//! Reconfigurable match/action tables.
+//!
+//! §3.1: "The key building block of an RMT program is a pipeline of
+//! match/action tables. Each table represents a kernel hooking point …
+//! Each table contains a set of match/action entries, which can be
+//! statically encoded in the RMT program or dynamically inserted or
+//! removed via an API at runtime."
+//!
+//! Tables support the match kinds RMT switch pipelines support: exact,
+//! longest-prefix, range, and ternary (value/mask with priority).
+
+use crate::ctxt::FieldId;
+use crate::error::VmError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifies a table within a program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TableId(pub u16);
+
+/// Identifies an action within a program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ActionId(pub u16);
+
+/// How a table matches its key fields.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MatchKind {
+    /// All key components must equal the entry's values.
+    Exact,
+    /// Single-component key matched by longest prefix (like routing
+    /// tables; used for page-range and cgroup-subtree aggregates).
+    Lpm,
+    /// Each key component must fall within the entry's inclusive range.
+    Range,
+    /// Value/mask match with explicit priority (highest wins).
+    Ternary,
+}
+
+/// An entry's match key, of the kind its table declares.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MatchKey {
+    /// Exact values, one per key field.
+    Exact(Vec<u64>),
+    /// A prefix `value` of length `prefix_len` bits (MSB-first) over a
+    /// single 64-bit key component.
+    Lpm {
+        /// Prefix value (only the top `prefix_len` bits are relevant).
+        value: u64,
+        /// Prefix length in bits, `0..=64`.
+        prefix_len: u8,
+    },
+    /// Inclusive `(lo, hi)` per key component.
+    Range(Vec<(u64, u64)>),
+    /// Per-component `(value, mask)`; a component matches when
+    /// `key & mask == value & mask`.
+    Ternary(Vec<(u64, u64)>),
+}
+
+impl MatchKey {
+    /// Number of key components this key covers.
+    pub fn arity(&self) -> usize {
+        match self {
+            MatchKey::Exact(v) => v.len(),
+            MatchKey::Lpm { .. } => 1,
+            MatchKey::Range(v) => v.len(),
+            MatchKey::Ternary(v) => v.len(),
+        }
+    }
+
+    /// Whether this key's kind matches a table's [`MatchKind`].
+    pub fn kind_matches(&self, kind: MatchKind) -> bool {
+        matches!(
+            (self, kind),
+            (MatchKey::Exact(_), MatchKind::Exact)
+                | (MatchKey::Lpm { .. }, MatchKind::Lpm)
+                | (MatchKey::Range(_), MatchKind::Range)
+                | (MatchKey::Ternary(_), MatchKind::Ternary)
+        )
+    }
+
+    /// Tests the key against concrete key-field values.
+    pub fn matches(&self, key: &[u64]) -> bool {
+        match self {
+            MatchKey::Exact(vals) => key == vals.as_slice(),
+            MatchKey::Lpm { value, prefix_len } => {
+                if key.len() != 1 {
+                    return false;
+                }
+                if *prefix_len == 0 {
+                    return true;
+                }
+                if *prefix_len > 64 {
+                    return false;
+                }
+                let shift = 64 - *prefix_len as u32;
+                (key[0] >> shift) == (*value >> shift)
+            }
+            MatchKey::Range(ranges) => {
+                key.len() == ranges.len()
+                    && key
+                        .iter()
+                        .zip(ranges.iter())
+                        .all(|(k, (lo, hi))| k >= lo && k <= hi)
+            }
+            MatchKey::Ternary(parts) => {
+                key.len() == parts.len()
+                    && key
+                        .iter()
+                        .zip(parts.iter())
+                        .all(|(k, (v, m))| k & m == v & m)
+            }
+        }
+    }
+}
+
+/// One match/action entry.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Entry {
+    /// The match key.
+    pub key: MatchKey,
+    /// Priority for ternary/range tables (higher wins; ignored for
+    /// exact, where keys are unique; for LPM longer prefixes win first
+    /// and priority breaks ties).
+    pub priority: u32,
+    /// Action invoked on match.
+    pub action: ActionId,
+    /// Opaque argument passed to the action in register `r9` (e.g. a
+    /// per-entry model slot or aggressiveness level).
+    pub arg: i64,
+}
+
+/// Static declaration of a table (shape only; entries are runtime
+/// state owned by [`Table`]).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableDef {
+    /// Table name (e.g. `"page_prefetch_tab"`).
+    pub name: String,
+    /// The kernel hook point this table is installed at (e.g.
+    /// `"swap_cluster_readahead"`). Matched by name against the hook
+    /// registry of the embedding kernel.
+    pub hook: String,
+    /// Context fields forming the match key, in order.
+    pub key_fields: Vec<FieldId>,
+    /// The match kind.
+    pub kind: MatchKind,
+    /// Action to run when no entry matches (`None` = pipeline
+    /// continues / no-op).
+    pub default_action: Option<ActionId>,
+    /// Capacity limit for runtime entries.
+    pub max_entries: usize,
+}
+
+/// Hit/miss counters for one table.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableStats {
+    /// Lookups that matched an entry.
+    pub hits: u64,
+    /// Lookups that fell through to the default action.
+    pub misses: u64,
+}
+
+/// A table instance: definition plus runtime entries.
+#[derive(Clone, Debug)]
+pub struct Table {
+    def: TableDef,
+    /// Exact-match fast path: key -> entry index.
+    exact_index: HashMap<Vec<u64>, usize>,
+    entries: Vec<Entry>,
+    stats: TableStats,
+}
+
+impl Table {
+    /// Creates an empty table from a definition.
+    pub fn new(def: TableDef) -> Table {
+        Table {
+            def,
+            exact_index: HashMap::new(),
+            entries: Vec::new(),
+            stats: TableStats::default(),
+        }
+    }
+
+    /// The table definition.
+    pub fn def(&self) -> &TableDef {
+        &self.def
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookup statistics.
+    pub fn stats(&self) -> TableStats {
+        self.stats
+    }
+
+    /// Inserts an entry, validating kind, arity, and capacity.
+    ///
+    /// For exact tables an existing entry with the same key is
+    /// replaced (the control plane's "modify" operation).
+    pub fn insert(&mut self, entry: Entry) -> Result<(), VmError> {
+        if !entry.key.kind_matches(self.def.kind) {
+            return Err(VmError::BadEntry(format!(
+                "table {}: key kind does not match {:?}",
+                self.def.name, self.def.kind
+            )));
+        }
+        if entry.key.arity() != self.def.key_fields.len() {
+            return Err(VmError::BadEntry(format!(
+                "table {}: key arity {} != {}",
+                self.def.name,
+                entry.key.arity(),
+                self.def.key_fields.len()
+            )));
+        }
+        if let MatchKey::Lpm { prefix_len, .. } = entry.key {
+            if prefix_len > 64 {
+                return Err(VmError::BadEntry(format!(
+                    "table {}: prefix_len {prefix_len} > 64",
+                    self.def.name
+                )));
+            }
+        }
+        if let MatchKey::Exact(k) = &entry.key {
+            if let Some(&i) = self.exact_index.get(k) {
+                self.entries[i] = entry;
+                return Ok(());
+            }
+        }
+        if self.entries.len() >= self.def.max_entries {
+            return Err(VmError::TableFull(0));
+        }
+        if let MatchKey::Exact(k) = &entry.key {
+            self.exact_index.insert(k.clone(), self.entries.len());
+        }
+        self.entries.push(entry);
+        Ok(())
+    }
+
+    /// Removes the first entry whose key equals `key`; returns whether
+    /// anything was removed.
+    pub fn remove(&mut self, key: &MatchKey) -> bool {
+        if let Some(pos) = self.entries.iter().position(|e| &e.key == key) {
+            self.entries.remove(pos);
+            self.rebuild_exact_index();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.exact_index.clear();
+    }
+
+    /// Looks up the best-matching entry for concrete key values,
+    /// updating hit/miss statistics.
+    ///
+    /// Selection: exact uses the hash index; LPM prefers the longest
+    /// prefix; range/ternary prefer the highest priority (ties broken
+    /// by insertion order).
+    pub fn lookup(&mut self, key: &[u64]) -> Option<&Entry> {
+        let idx = self.lookup_index(key);
+        match idx {
+            Some(i) => {
+                self.stats.hits += 1;
+                Some(&self.entries[i])
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Side-effect-free lookup (no stats update); used by the JIT's
+    /// pre-resolved dispatch and by tests.
+    pub fn peek(&self, key: &[u64]) -> Option<&Entry> {
+        self.lookup_index(key).map(|i| &self.entries[i])
+    }
+
+    fn lookup_index(&self, key: &[u64]) -> Option<usize> {
+        match self.def.kind {
+            MatchKind::Exact => self.exact_index.get(key).copied(),
+            MatchKind::Lpm => {
+                let mut best: Option<(u8, u32, usize)> = None;
+                for (i, e) in self.entries.iter().enumerate() {
+                    if let MatchKey::Lpm { prefix_len, .. } = e.key {
+                        if e.key.matches(key) {
+                            let cand = (prefix_len, e.priority, i);
+                            best = match best {
+                                Some(b) if (b.0, b.1) >= (cand.0, cand.1) => Some(b),
+                                _ => Some(cand),
+                            };
+                        }
+                    }
+                }
+                best.map(|(_, _, i)| i)
+            }
+            MatchKind::Range | MatchKind::Ternary => {
+                let mut best: Option<(u32, usize)> = None;
+                for (i, e) in self.entries.iter().enumerate() {
+                    if e.key.matches(key) {
+                        best = match best {
+                            Some(b) if b.0 >= e.priority => Some(b),
+                            _ => Some((e.priority, i)),
+                        };
+                    }
+                }
+                best.map(|(_, i)| i)
+            }
+        }
+    }
+
+    /// All entries (read-only; for control-plane dumps).
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    fn rebuild_exact_index(&mut self) {
+        self.exact_index.clear();
+        for (i, e) in self.entries.iter().enumerate() {
+            if let MatchKey::Exact(k) = &e.key {
+                self.exact_index.insert(k.clone(), i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn def(kind: MatchKind, arity: usize) -> TableDef {
+        TableDef {
+            name: "t".into(),
+            hook: "h".into(),
+            key_fields: (0..arity as u16).map(FieldId).collect(),
+            kind,
+            default_action: None,
+            max_entries: 8,
+        }
+    }
+
+    fn entry(key: MatchKey, priority: u32, action: u16) -> Entry {
+        Entry {
+            key,
+            priority,
+            action: ActionId(action),
+            arg: 0,
+        }
+    }
+
+    #[test]
+    fn exact_match_and_replace() {
+        let mut t = Table::new(def(MatchKind::Exact, 2));
+        t.insert(entry(MatchKey::Exact(vec![1, 2]), 0, 1)).unwrap();
+        assert_eq!(t.lookup(&[1, 2]).unwrap().action, ActionId(1));
+        assert!(t.lookup(&[1, 3]).is_none());
+        // Same key replaces, not duplicates.
+        t.insert(entry(MatchKey::Exact(vec![1, 2]), 0, 7)).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(&[1, 2]).unwrap().action, ActionId(7));
+        assert_eq!(t.stats().hits, 2);
+        assert_eq!(t.stats().misses, 1);
+    }
+
+    #[test]
+    fn kind_and_arity_validation() {
+        let mut t = Table::new(def(MatchKind::Exact, 2));
+        assert!(matches!(
+            t.insert(entry(MatchKey::Exact(vec![1]), 0, 0)),
+            Err(VmError::BadEntry(_))
+        ));
+        assert!(matches!(
+            t.insert(entry(MatchKey::Range(vec![(0, 1), (0, 1)]), 0, 0)),
+            Err(VmError::BadEntry(_))
+        ));
+        let mut l = Table::new(def(MatchKind::Lpm, 1));
+        assert!(l
+            .insert(entry(
+                MatchKey::Lpm {
+                    value: 0,
+                    prefix_len: 65
+                },
+                0,
+                0
+            ))
+            .is_err());
+    }
+
+    #[test]
+    fn capacity_limit() {
+        let mut t = Table::new(def(MatchKind::Exact, 1));
+        for i in 0..8 {
+            t.insert(entry(MatchKey::Exact(vec![i]), 0, 0)).unwrap();
+        }
+        assert!(matches!(
+            t.insert(entry(MatchKey::Exact(vec![99]), 0, 0)),
+            Err(VmError::TableFull(_))
+        ));
+        // Replacement still allowed at capacity.
+        t.insert(entry(MatchKey::Exact(vec![3]), 0, 5)).unwrap();
+    }
+
+    #[test]
+    fn lpm_longest_prefix_wins() {
+        let mut t = Table::new(def(MatchKind::Lpm, 1));
+        let key = 0xAB00_0000_0000_0000u64;
+        t.insert(entry(
+            MatchKey::Lpm {
+                value: 0xA000_0000_0000_0000,
+                prefix_len: 4,
+            },
+            0,
+            1,
+        ))
+        .unwrap();
+        t.insert(entry(
+            MatchKey::Lpm {
+                value: 0xAB00_0000_0000_0000,
+                prefix_len: 8,
+            },
+            0,
+            2,
+        ))
+        .unwrap();
+        assert_eq!(t.lookup(&[key]).unwrap().action, ActionId(2));
+        // Zero-length prefix matches everything.
+        t.insert(entry(
+            MatchKey::Lpm {
+                value: 0,
+                prefix_len: 0,
+            },
+            0,
+            3,
+        ))
+        .unwrap();
+        assert_eq!(t.lookup(&[0x1234]).unwrap().action, ActionId(3));
+    }
+
+    #[test]
+    fn range_match_priority() {
+        let mut t = Table::new(def(MatchKind::Range, 1));
+        t.insert(entry(MatchKey::Range(vec![(0, 100)]), 1, 1))
+            .unwrap();
+        t.insert(entry(MatchKey::Range(vec![(50, 60)]), 5, 2))
+            .unwrap();
+        assert_eq!(t.lookup(&[55]).unwrap().action, ActionId(2));
+        assert_eq!(t.lookup(&[10]).unwrap().action, ActionId(1));
+        assert!(t.lookup(&[101]).is_none());
+    }
+
+    #[test]
+    fn ternary_mask_match() {
+        let mut t = Table::new(def(MatchKind::Ternary, 1));
+        // Match any key whose low nibble is 0b0001.
+        t.insert(entry(MatchKey::Ternary(vec![(0x1, 0xF)]), 1, 1))
+            .unwrap();
+        assert!(t.lookup(&[0x31]).is_some());
+        assert!(t.lookup(&[0x32]).is_none());
+        // Wildcard-all entry with lower priority.
+        t.insert(entry(MatchKey::Ternary(vec![(0, 0)]), 0, 2))
+            .unwrap();
+        assert_eq!(t.lookup(&[0x32]).unwrap().action, ActionId(2));
+        assert_eq!(t.lookup(&[0x31]).unwrap().action, ActionId(1));
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut t = Table::new(def(MatchKind::Exact, 1));
+        t.insert(entry(MatchKey::Exact(vec![1]), 0, 1)).unwrap();
+        t.insert(entry(MatchKey::Exact(vec![2]), 0, 2)).unwrap();
+        assert!(t.remove(&MatchKey::Exact(vec![1])));
+        assert!(!t.remove(&MatchKey::Exact(vec![1])));
+        assert!(t.lookup(&[1]).is_none());
+        assert_eq!(t.lookup(&[2]).unwrap().action, ActionId(2));
+        t.clear();
+        assert!(t.is_empty());
+        assert!(t.lookup(&[2]).is_none());
+    }
+
+    #[test]
+    fn match_key_helpers() {
+        assert_eq!(MatchKey::Exact(vec![1, 2]).arity(), 2);
+        assert_eq!(
+            MatchKey::Lpm {
+                value: 0,
+                prefix_len: 8
+            }
+            .arity(),
+            1
+        );
+        assert!(MatchKey::Exact(vec![]).kind_matches(MatchKind::Exact));
+        assert!(!MatchKey::Exact(vec![]).kind_matches(MatchKind::Range));
+        // Mismatched arity never matches.
+        assert!(!MatchKey::Range(vec![(0, 9)]).matches(&[1, 2]));
+        assert!(!MatchKey::Lpm {
+            value: 0,
+            prefix_len: 1
+        }
+        .matches(&[1, 2]));
+    }
+}

@@ -1,0 +1,388 @@
+//! Abstract syntax tree for the RMT DSL.
+
+use crate::token::Pos;
+
+/// A complete `program "name" { ... }` unit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    /// Program name.
+    pub name: String,
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+/// A top-level declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Item {
+    /// `ctxt name: ro;` / `ctxt name: rw;` — a context field.
+    Ctxt {
+        /// Field name.
+        name: String,
+        /// Whether actions may write it.
+        writable: bool,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `map name: kind[cap] shared?;`
+    Map {
+        /// Map name.
+        name: String,
+        /// Kind keyword (`hash`, `array`, `lru`, `ring`, `hist`).
+        kind: String,
+        /// Capacity.
+        capacity: i64,
+        /// Cross-application (DP-gated) map.
+        shared: bool,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `model name: mtype(arity) @ class [guard(max, fallback[, conf_millis])];`
+    Model {
+        /// Model name.
+        name: String,
+        /// Model type keyword (`tree`, `svm`, `mlp`).
+        mtype: String,
+        /// Feature arity.
+        arity: i64,
+        /// Latency class keyword (`sched`, `mm`, `bg`).
+        class: String,
+        /// Optional guardrails: (max class, fallback class, minimum
+        /// confidence in 1/1000ths).
+        guard: Option<(i64, i64, i64)>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `action name bound N? { stmts }`
+    Action {
+        /// Action name.
+        name: String,
+        /// Declared loop bound, if the body loops.
+        bound: Option<u32>,
+        /// Statement body.
+        body: Vec<Stmt>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `table name { hook h; match f1, f2; kind exact; default a; size N; }`
+    Table {
+        /// Table name.
+        name: String,
+        /// Hook point name.
+        hook: String,
+        /// Match field names.
+        match_fields: Vec<String>,
+        /// Match kind keyword.
+        kind: String,
+        /// Default action name, if any.
+        default: Option<String>,
+        /// Capacity.
+        size: i64,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `entry table key (1, 2) action a arg 0 priority 0;`
+    Entry {
+        /// Target table name.
+        table: String,
+        /// Exact key values.
+        key: Vec<i64>,
+        /// Action name.
+        action: String,
+        /// Entry argument.
+        arg: i64,
+        /// Priority.
+        priority: i64,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `rate_limit capacity refill;`
+    RateLimit {
+        /// Bucket capacity.
+        capacity: i64,
+        /// Refill per tick.
+        refill: i64,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `privacy budget per_query sensitivity;` (milli-epsilon units).
+    Privacy {
+        /// Total budget.
+        budget: i64,
+        /// Per-query charge.
+        per_query: i64,
+        /// Sensitivity.
+        sensitivity: i64,
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+/// A statement inside an action body.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `let x = expr;`
+    Let {
+        /// Variable name.
+        name: String,
+        /// Initializer.
+        value: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `let v = window(map);` — load a ring window into a vector var.
+    LetWindow {
+        /// Vector variable name.
+        name: String,
+        /// Ring-buffer map name.
+        map: String,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `let c = predict(model, v);` — ML inference.
+    LetPredict {
+        /// Scalar variable receiving the class.
+        name: String,
+        /// Model name.
+        model: String,
+        /// Vector variable holding features.
+        vector: String,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `let x = dp_sum(map);` — DP aggregate read.
+    LetDpSum {
+        /// Variable receiving the noised sum.
+        name: String,
+        /// Map name.
+        map: String,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `x = expr;`
+    Assign {
+        /// Existing variable name.
+        name: String,
+        /// New value.
+        value: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `ctxt.f = expr;`
+    CtxtStore {
+        /// Field name.
+        field: String,
+        /// Value.
+        value: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `if (cond) { .. } else { .. }`
+    If {
+        /// Condition.
+        cond: Cond,
+        /// Then branch.
+        then: Vec<Stmt>,
+        /// Else branch.
+        otherwise: Vec<Stmt>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `repeat (n) { .. }` — a bounded loop.
+    Repeat {
+        /// Constant iteration count.
+        count: i64,
+        /// Body.
+        body: Vec<Stmt>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `return expr;`
+    Return {
+        /// Verdict value.
+        value: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `tailcall table;`
+    TailCall {
+        /// Target table name.
+        table: String,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `update(map, key, value);`
+    Update {
+        /// Map name.
+        map: String,
+        /// Key expression.
+        key: Expr,
+        /// Value expression.
+        value: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `delete(map, key);`
+    Delete {
+        /// Map name.
+        map: String,
+        /// Key expression.
+        key: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `push(map, value);` — ring-buffer append.
+    Push {
+        /// Map name.
+        map: String,
+        /// Value expression.
+        value: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `prefetch(base, count);`
+    Prefetch {
+        /// Base page expression.
+        base: Expr,
+        /// Page count expression.
+        count: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `migrate(flag);`
+    Migrate {
+        /// Nonzero = migrate.
+        flag: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `hint(kind, a, b);`
+    Hint {
+        /// Hint kind.
+        kind: Expr,
+        /// First payload.
+        a: Expr,
+        /// Second payload.
+        b: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+/// A comparison condition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cond {
+    /// Left operand.
+    pub lhs: Expr,
+    /// Comparison operator keyword (`==`, `!=`, `<`, `<=`, `>`, `>=`).
+    pub op: CmpKind,
+    /// Right operand.
+    pub rhs: Expr,
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpKind {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Binary arithmetic operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinKind {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, Pos),
+    /// A scalar variable reference.
+    Var(String, Pos),
+    /// `ctxt.field` read.
+    Ctxt(String, Pos),
+    /// The matched entry's argument (`arg`).
+    Arg(Pos),
+    /// `lookup(map, key, default)`.
+    Lookup {
+        /// Map name.
+        map: String,
+        /// Key expression.
+        key: Box<Expr>,
+        /// Default when absent.
+        default: i64,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `vget(v, idx)` — scalar extraction from a vector variable.
+    VGet {
+        /// Vector variable.
+        vector: String,
+        /// Constant element index.
+        index: i64,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `tick()` helper.
+    Tick(Pos),
+    /// `rand()` helper.
+    Rand(Pos),
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinKind,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// Unary negation.
+    Neg(Box<Expr>, Pos),
+}
+
+impl Expr {
+    /// The expression's source position.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Int(_, p)
+            | Expr::Var(_, p)
+            | Expr::Ctxt(_, p)
+            | Expr::Arg(p)
+            | Expr::Tick(p)
+            | Expr::Rand(p)
+            | Expr::Neg(_, p) => *p,
+            Expr::Lookup { pos, .. } | Expr::VGet { pos, .. } | Expr::Bin { pos, .. } => *pos,
+        }
+    }
+}

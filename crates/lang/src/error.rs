@@ -1,0 +1,96 @@
+//! Diagnostics for the RMT DSL compiler.
+
+use crate::token::Pos;
+use core::fmt;
+
+/// Which compiler stage produced the diagnostic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Tokenization.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Name resolution / type checking / lowering.
+    Lower,
+}
+
+/// A compile error with source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LangError {
+    /// The stage that failed.
+    pub stage: Stage,
+    /// Source position of the error.
+    pub pos: Pos,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl LangError {
+    /// Creates a lexer error.
+    pub fn lex(pos: Pos, message: &str) -> LangError {
+        LangError {
+            stage: Stage::Lex,
+            pos,
+            message: message.to_string(),
+        }
+    }
+
+    /// Creates a parser error.
+    pub fn parse(pos: Pos, message: &str) -> LangError {
+        LangError {
+            stage: Stage::Parse,
+            pos,
+            message: message.to_string(),
+        }
+    }
+
+    /// Creates a lowering error.
+    pub fn lower(pos: Pos, message: &str) -> LangError {
+        LangError {
+            stage: Stage::Lower,
+            pos,
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stage = match self.stage {
+            Stage::Lex => "lex",
+            Stage::Parse => "parse",
+            Stage::Lower => "compile",
+        };
+        write!(
+            f,
+            "{}:{}: {} error: {}",
+            self.pos.line, self.pos.col, stage, self.message
+        )
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position_and_stage() {
+        let e = LangError::parse(
+            Pos {
+                offset: 10,
+                line: 3,
+                col: 7,
+            },
+            "expected ';'",
+        );
+        assert_eq!(e.to_string(), "3:7: parse error: expected ';'");
+        assert!(LangError::lex(Pos::start(), "x")
+            .to_string()
+            .contains("lex"));
+        assert!(LangError::lower(Pos::start(), "x")
+            .to_string()
+            .contains("compile"));
+    }
+}

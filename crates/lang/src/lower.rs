@@ -1,0 +1,957 @@
+//! Lowering: DSL AST to a verified-ready [`RmtProgram`].
+//!
+//! Name resolution, register allocation, and bytecode emission. The
+//! register convention layered on top of the VM's ABI:
+//!
+//! - `r0`/`r1` — return / ML confidence (clobbered by calls);
+//! - `r2..r4` — helper argument registers, reserved for `prefetch`,
+//!   `migrate`, and `hint` statements;
+//! - `r5..r8`, `r10..r15` — the variable/temporary pool;
+//! - `r9` — the matched entry's argument (`arg`).
+//!
+//! Model declarations lower to zero-weight placeholders of the declared
+//! shape; the control plane hot-swaps trained models into the named
+//! slots after installation (the paper's quantize-and-push flow).
+
+use crate::ast::{BinKind, CmpKind, Cond, Expr, Item, Program, Stmt};
+use crate::error::LangError;
+use crate::token::Pos;
+use rkd_core::bytecode::{Action, AluOp, CmpOp, Helper, Insn, ModelSlot, Reg, VReg};
+use rkd_core::ctxt::FieldId;
+use rkd_core::maps::{MapId, MapKind};
+use rkd_core::prog::{ModelSpec, PrivacyPolicy, ProgramBuilder, RateLimitCfg, RmtProgram};
+use rkd_core::table::{ActionId, Entry, MatchKey, MatchKind, TableId};
+use rkd_ml::cost::LatencyClass;
+use rkd_ml::dataset::{Dataset, Sample};
+use rkd_ml::fixed::Fix;
+use rkd_ml::quant::QuantMlp;
+use rkd_ml::svm::IntSvm;
+use rkd_ml::tree::{DecisionTree, TreeConfig};
+use std::collections::HashMap;
+
+/// A compiled DSL program plus its name tables, so the control plane
+/// can address tables, actions, maps, and model slots symbolically.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    /// The lowered program (not yet verified).
+    pub program: RmtProgram,
+    /// Table name -> id.
+    pub tables: HashMap<String, TableId>,
+    /// Action name -> id.
+    pub actions: HashMap<String, ActionId>,
+    /// Map name -> id.
+    pub maps: HashMap<String, MapId>,
+    /// Model name -> slot.
+    pub models: HashMap<String, ModelSlot>,
+    /// Context field name -> id.
+    pub fields: HashMap<String, FieldId>,
+}
+
+/// Lowers a parsed program.
+pub fn lower(ast: &Program) -> Result<Compiled, LangError> {
+    let mut b = ProgramBuilder::new(&ast.name);
+    let mut fields = HashMap::new();
+    let mut maps = HashMap::new();
+    let mut models = HashMap::new();
+    // Pre-assign table and action ids in declaration order so bodies
+    // can reference them regardless of ordering.
+    let mut tables = HashMap::new();
+    let mut actions = HashMap::new();
+    {
+        let mut next_table = 0u16;
+        let mut next_action = 0u16;
+        for item in &ast.items {
+            match item {
+                Item::Table { name, pos, .. } => {
+                    if tables.insert(name.clone(), TableId(next_table)).is_some() {
+                        return Err(LangError::lower(*pos, &format!("duplicate table '{name}'")));
+                    }
+                    next_table += 1;
+                }
+                Item::Action { name, pos, .. } => {
+                    if actions
+                        .insert(name.clone(), ActionId(next_action))
+                        .is_some()
+                    {
+                        return Err(LangError::lower(
+                            *pos,
+                            &format!("duplicate action '{name}'"),
+                        ));
+                    }
+                    next_action += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    // Pass 1a: context fields.
+    for item in &ast.items {
+        if let Item::Ctxt {
+            name,
+            writable,
+            pos,
+        } = item
+        {
+            if fields.contains_key(name) {
+                return Err(LangError::lower(*pos, &format!("duplicate field '{name}'")));
+            }
+            let id = if *writable {
+                b.field_scratch(name)
+            } else {
+                b.field_readonly(name)
+            };
+            fields.insert(name.clone(), id);
+        }
+    }
+    for item in &ast.items {
+        match item {
+            Item::Map {
+                name,
+                kind,
+                capacity,
+                shared,
+                pos,
+            } => {
+                if maps.contains_key(name) {
+                    return Err(LangError::lower(*pos, &format!("duplicate map '{name}'")));
+                }
+                let k = match kind.as_str() {
+                    "hash" => MapKind::Hash,
+                    "array" => MapKind::Array,
+                    "lru" => MapKind::LruHash,
+                    "ring" => MapKind::RingBuf,
+                    "hist" => MapKind::Histogram,
+                    other => {
+                        return Err(LangError::lower(
+                            *pos,
+                            &format!("unknown map kind '{other}'"),
+                        ))
+                    }
+                };
+                if *capacity <= 0 {
+                    return Err(LangError::lower(*pos, "map capacity must be positive"));
+                }
+                let id = if *shared {
+                    b.shared_map(name, k, *capacity as usize)
+                } else {
+                    b.map(name, k, *capacity as usize)
+                };
+                maps.insert(name.clone(), id);
+            }
+            Item::Model {
+                name,
+                mtype,
+                arity,
+                class,
+                guard,
+                pos,
+            } => {
+                if models.contains_key(name) {
+                    return Err(LangError::lower(*pos, &format!("duplicate model '{name}'")));
+                }
+                if *arity <= 0 || *arity > 256 {
+                    return Err(LangError::lower(*pos, "model arity must be in 1..=256"));
+                }
+                let latency = match class.as_str() {
+                    "sched" => LatencyClass::Scheduler,
+                    "mm" => LatencyClass::MemoryManagement,
+                    "bg" => LatencyClass::Background,
+                    other => {
+                        return Err(LangError::lower(
+                            *pos,
+                            &format!("unknown latency class '{other}' (sched|mm|bg)"),
+                        ))
+                    }
+                };
+                let spec = placeholder_model(mtype, *arity as usize).ok_or_else(|| {
+                    LangError::lower(*pos, &format!("unknown model type '{mtype}'"))
+                })?;
+                let slot = match guard {
+                    Some((max, fallback, conf_millis)) => {
+                        if *max < 0 || *fallback < 0 || *conf_millis < 0 || *conf_millis > 1000 {
+                            return Err(LangError::lower(*pos, "invalid guard parameters"));
+                        }
+                        b.model_guarded(
+                            name,
+                            spec,
+                            latency,
+                            rkd_core::guard::ModelGuard {
+                                max_class: *max as usize,
+                                fallback_class: *fallback as usize,
+                                min_confidence: Fix::from_f64(*conf_millis as f64 / 1000.0),
+                            },
+                        )
+                    }
+                    None => b.model(name, spec, latency),
+                };
+                models.insert(name.clone(), slot);
+            }
+            _ => {}
+        }
+    }
+    // Pass 2: actions (bodies can reference everything).
+    let names = Names {
+        fields: &fields,
+        maps: &maps,
+        models: &models,
+        tables: &tables,
+    };
+    for item in &ast.items {
+        if let Item::Action {
+            name,
+            bound,
+            body,
+            pos,
+        } = item
+        {
+            let mut gen = CodeGen::new(&names);
+            gen.block(body)?;
+            gen.finish();
+            let auto_bound = gen.loop_iters;
+            let final_bound = match (*bound, auto_bound) {
+                (Some(b), a) => Some(b.max(a)),
+                (None, 0) => None,
+                (None, a) => Some(a),
+            };
+            let action = Action {
+                name: name.clone(),
+                code: gen.code,
+                loop_bound: final_bound,
+            };
+            let id = b.action(action);
+            debug_assert_eq!(Some(&id), actions.get(name), "pre-assigned id mismatch");
+            let _ = pos;
+        }
+    }
+    // Pass 3: tables and entries.
+    for item in &ast.items {
+        if let Item::Table {
+            name,
+            hook,
+            match_fields,
+            kind,
+            default,
+            size,
+            pos,
+        } = item
+        {
+            let key_fields: Vec<FieldId> = match_fields
+                .iter()
+                .map(|f| {
+                    fields
+                        .get(f)
+                        .copied()
+                        .ok_or_else(|| LangError::lower(*pos, &format!("unknown field '{f}'")))
+                })
+                .collect::<Result<_, _>>()?;
+            let k = match kind.as_str() {
+                "exact" => MatchKind::Exact,
+                "lpm" => MatchKind::Lpm,
+                "range" => MatchKind::Range,
+                "ternary" => MatchKind::Ternary,
+                other => {
+                    return Err(LangError::lower(
+                        *pos,
+                        &format!("unknown match kind '{other}'"),
+                    ))
+                }
+            };
+            let default_action = match default {
+                Some(a) => Some(
+                    *actions
+                        .get(a)
+                        .ok_or_else(|| LangError::lower(*pos, &format!("unknown action '{a}'")))?,
+                ),
+                None => None,
+            };
+            if *size <= 0 {
+                return Err(LangError::lower(*pos, "table size must be positive"));
+            }
+            let id = b.table(name, hook, &key_fields, k, default_action, *size as usize);
+            debug_assert_eq!(Some(&id), tables.get(name));
+        }
+    }
+    for item in &ast.items {
+        match item {
+            Item::Entry {
+                table,
+                key,
+                action,
+                arg,
+                priority,
+                pos,
+            } => {
+                let tid = *tables
+                    .get(table)
+                    .ok_or_else(|| LangError::lower(*pos, &format!("unknown table '{table}'")))?;
+                let aid = *actions
+                    .get(action)
+                    .ok_or_else(|| LangError::lower(*pos, &format!("unknown action '{action}'")))?;
+                b.entry(
+                    tid,
+                    Entry {
+                        key: MatchKey::Exact(key.iter().map(|&v| v as u64).collect()),
+                        priority: *priority as u32,
+                        action: aid,
+                        arg: *arg,
+                    },
+                );
+            }
+            Item::RateLimit {
+                capacity,
+                refill,
+                pos,
+            } => {
+                if *capacity <= 0 || *refill < 0 {
+                    return Err(LangError::lower(*pos, "invalid rate limit"));
+                }
+                b.rate_limit(RateLimitCfg {
+                    capacity: *capacity as u64,
+                    refill_per_tick: *refill as u64,
+                });
+            }
+            Item::Privacy {
+                budget,
+                per_query,
+                sensitivity,
+                pos,
+            } => {
+                if *budget <= 0 || *per_query <= 0 || *sensitivity <= 0 {
+                    return Err(LangError::lower(
+                        *pos,
+                        "privacy parameters must be positive",
+                    ));
+                }
+                b.privacy(PrivacyPolicy {
+                    budget_milli_eps: *budget as u64,
+                    per_query_milli_eps: *per_query as u64,
+                    sensitivity: *sensitivity as u64,
+                });
+            }
+            _ => {}
+        }
+    }
+    Ok(Compiled {
+        program: b.build(),
+        tables,
+        actions,
+        maps,
+        models,
+        fields,
+    })
+}
+
+fn placeholder_model(mtype: &str, arity: usize) -> Option<ModelSpec> {
+    match mtype {
+        "tree" => {
+            let ds = Dataset::from_samples(vec![Sample {
+                features: vec![Fix::ZERO; arity],
+                label: 0,
+            }])
+            .expect("placeholder dataset");
+            let tree = DecisionTree::train(&ds, &TreeConfig::default()).expect("placeholder tree");
+            Some(ModelSpec::Tree(tree))
+        }
+        "svm" => Some(ModelSpec::Svm(IntSvm {
+            weights: vec![Fix::ZERO; arity],
+            bias: Fix::ZERO,
+        })),
+        "mlp" => Some(ModelSpec::Qmlp(QuantMlp::placeholder(arity, 2))),
+        _ => None,
+    }
+}
+
+struct Names<'a> {
+    fields: &'a HashMap<String, FieldId>,
+    maps: &'a HashMap<String, MapId>,
+    models: &'a HashMap<String, ModelSlot>,
+    tables: &'a HashMap<String, TableId>,
+}
+
+/// Per-action code generator.
+struct CodeGen<'a> {
+    names: &'a Names<'a>,
+    code: Vec<Insn>,
+    vars: HashMap<String, Reg>,
+    vecs: HashMap<String, VReg>,
+    free_regs: Vec<Reg>,
+    free_vregs: Vec<VReg>,
+    /// Conservative total loop iterations (for the verifier bound).
+    loop_iters: u32,
+    /// Multiplier from enclosing repeats.
+    nest_mult: u32,
+}
+
+impl<'a> CodeGen<'a> {
+    fn new(names: &'a Names<'a>) -> CodeGen<'a> {
+        CodeGen {
+            names,
+            code: Vec::new(),
+            vars: HashMap::new(),
+            vecs: HashMap::new(),
+            // Pool, preferred order: r5..r8 then r10..r15.
+            free_regs: vec![
+                Reg(15),
+                Reg(14),
+                Reg(13),
+                Reg(12),
+                Reg(11),
+                Reg(10),
+                Reg(8),
+                Reg(7),
+                Reg(6),
+                Reg(5),
+            ],
+            free_vregs: vec![VReg(3), VReg(2), VReg(1), VReg(0)],
+            loop_iters: 0,
+            nest_mult: 1,
+        }
+    }
+
+    fn alloc(&mut self, pos: Pos) -> Result<Reg, LangError> {
+        self.free_regs
+            .pop()
+            .ok_or_else(|| LangError::lower(pos, "expression too deep / too many variables"))
+    }
+
+    fn free(&mut self, r: Reg) {
+        self.free_regs.push(r);
+    }
+
+    fn var(&self, name: &str, pos: Pos) -> Result<Reg, LangError> {
+        self.vars
+            .get(name)
+            .copied()
+            .ok_or_else(|| LangError::lower(pos, &format!("unknown variable '{name}'")))
+    }
+
+    fn vec_var(&self, name: &str, pos: Pos) -> Result<VReg, LangError> {
+        self.vecs
+            .get(name)
+            .copied()
+            .ok_or_else(|| LangError::lower(pos, &format!("unknown vector variable '{name}'")))
+    }
+
+    fn field(&self, name: &str, pos: Pos) -> Result<FieldId, LangError> {
+        self.names
+            .fields
+            .get(name)
+            .copied()
+            .ok_or_else(|| LangError::lower(pos, &format!("unknown context field '{name}'")))
+    }
+
+    fn map(&self, name: &str, pos: Pos) -> Result<MapId, LangError> {
+        self.names
+            .maps
+            .get(name)
+            .copied()
+            .ok_or_else(|| LangError::lower(pos, &format!("unknown map '{name}'")))
+    }
+
+    /// Evaluates `expr` into `dst` (which may be outside the pool).
+    fn eval_into(&mut self, expr: &Expr, dst: Reg) -> Result<(), LangError> {
+        match expr {
+            Expr::Int(v, _) => self.code.push(Insn::LdImm { dst, imm: *v }),
+            Expr::Var(name, pos) => {
+                let src = self.var(name, *pos)?;
+                self.code.push(Insn::Mov { dst, src });
+            }
+            Expr::Ctxt(name, pos) => {
+                let field = self.field(name, *pos)?;
+                self.code.push(Insn::LdCtxt { dst, field });
+            }
+            Expr::Arg(_) => self.code.push(Insn::Mov {
+                dst,
+                src: rkd_core::bytecode::ARG_REG,
+            }),
+            Expr::Tick(_) => {
+                self.code.push(Insn::Call {
+                    helper: Helper::GetTick,
+                });
+                self.code.push(Insn::Mov { dst, src: Reg(0) });
+            }
+            Expr::Rand(_) => {
+                self.code.push(Insn::Call {
+                    helper: Helper::Rand,
+                });
+                self.code.push(Insn::Mov { dst, src: Reg(0) });
+            }
+            Expr::Lookup {
+                map,
+                key,
+                default,
+                pos,
+            } => {
+                let m = self.map(map, *pos)?;
+                let keyr = self.alloc(*pos)?;
+                self.eval_into(key, keyr)?;
+                self.code.push(Insn::MapLookup {
+                    dst,
+                    map: m,
+                    key: keyr,
+                    default: *default,
+                });
+                self.free(keyr);
+            }
+            Expr::VGet { vector, index, pos } => {
+                let v = self.vec_var(vector, *pos)?;
+                if *index < 0 || *index > u16::MAX as i64 {
+                    return Err(LangError::lower(*pos, "vget index out of range"));
+                }
+                self.code.push(Insn::ScalarVal {
+                    dst,
+                    src: v,
+                    idx: *index as u16,
+                });
+            }
+            Expr::Neg(inner, _) => {
+                self.eval_into(inner, dst)?;
+                // dst = 0 - dst, via dst = dst * -1.
+                self.code.push(Insn::AluImm {
+                    op: AluOp::Mul,
+                    dst,
+                    imm: -1,
+                });
+            }
+            Expr::Bin { op, lhs, rhs, pos } => {
+                self.eval_into(lhs, dst)?;
+                let alu = match op {
+                    BinKind::Add => AluOp::Add,
+                    BinKind::Sub => AluOp::Sub,
+                    BinKind::Mul => AluOp::Mul,
+                    BinKind::Div => AluOp::Div,
+                    BinKind::Mod => AluOp::Mod,
+                    BinKind::And => AluOp::And,
+                    BinKind::Or => AluOp::Or,
+                    BinKind::Xor => AluOp::Xor,
+                    BinKind::Shl => AluOp::Shl,
+                    BinKind::Shr => AluOp::Shr,
+                };
+                if let Expr::Int(v, _) = **rhs {
+                    self.code.push(Insn::AluImm {
+                        op: alu,
+                        dst,
+                        imm: v,
+                    });
+                } else {
+                    let tmp = self.alloc(*pos)?;
+                    self.eval_into(rhs, tmp)?;
+                    self.code.push(Insn::Alu {
+                        op: alu,
+                        dst,
+                        src: tmp,
+                    });
+                    self.free(tmp);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn block(&mut self, stmts: &[Stmt]) -> Result<(), LangError> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), LangError> {
+        match s {
+            Stmt::Let { name, value, pos } => {
+                if self.vars.contains_key(name) || self.vecs.contains_key(name) {
+                    return Err(LangError::lower(*pos, &format!("'{name}' already bound")));
+                }
+                let r = self.alloc(*pos)?;
+                self.eval_into(value, r)?;
+                self.vars.insert(name.clone(), r);
+            }
+            Stmt::LetWindow { name, map, pos } => {
+                if self.vars.contains_key(name) || self.vecs.contains_key(name) {
+                    return Err(LangError::lower(*pos, &format!("'{name}' already bound")));
+                }
+                let m = self.map(map, *pos)?;
+                let v = self
+                    .free_vregs
+                    .pop()
+                    .ok_or_else(|| LangError::lower(*pos, "too many vector variables"))?;
+                self.code.push(Insn::VectorLdMap { dst: v, map: m });
+                self.vecs.insert(name.clone(), v);
+            }
+            Stmt::LetPredict {
+                name,
+                model,
+                vector,
+                pos,
+            } => {
+                if self.vars.contains_key(name) {
+                    return Err(LangError::lower(*pos, &format!("'{name}' already bound")));
+                }
+                let slot =
+                    *self.names.models.get(model).ok_or_else(|| {
+                        LangError::lower(*pos, &format!("unknown model '{model}'"))
+                    })?;
+                let v = self.vec_var(vector, *pos)?;
+                self.code.push(Insn::CallMl {
+                    model: slot,
+                    src: v,
+                });
+                let r = self.alloc(*pos)?;
+                self.code.push(Insn::Mov {
+                    dst: r,
+                    src: Reg(0),
+                });
+                self.vars.insert(name.clone(), r);
+            }
+            Stmt::LetDpSum { name, map, pos } => {
+                if self.vars.contains_key(name) {
+                    return Err(LangError::lower(*pos, &format!("'{name}' already bound")));
+                }
+                let m = self.map(map, *pos)?;
+                let r = self.alloc(*pos)?;
+                self.code.push(Insn::DpAggregate { dst: r, map: m });
+                self.vars.insert(name.clone(), r);
+            }
+            Stmt::Assign { name, value, pos } => {
+                let r = self.var(name, *pos)?;
+                self.eval_into(value, r)?;
+            }
+            Stmt::CtxtStore { field, value, pos } => {
+                let f = self.field(field, *pos)?;
+                let tmp = self.alloc(*pos)?;
+                self.eval_into(value, tmp)?;
+                self.code.push(Insn::StCtxt { field: f, src: tmp });
+                self.free(tmp);
+            }
+            Stmt::If {
+                cond,
+                then,
+                otherwise,
+                pos,
+            } => {
+                let else_jump = self.emit_cond_branch(cond, *pos)?;
+                self.block(then)?;
+                if otherwise.is_empty() {
+                    let end = self.code.len();
+                    self.patch_target(else_jump, end);
+                } else {
+                    let skip_else = self.code.len();
+                    self.code.push(Insn::Jmp { target: usize::MAX });
+                    let else_start = self.code.len();
+                    self.patch_target(else_jump, else_start);
+                    self.block(otherwise)?;
+                    let end = self.code.len();
+                    self.patch_target(skip_else, end);
+                }
+            }
+            Stmt::Repeat { count, body, pos } => {
+                if *count <= 0 || *count > 1_000_000 {
+                    return Err(LangError::lower(
+                        *pos,
+                        "repeat count must be in 1..=1000000",
+                    ));
+                }
+                let iters = *count as u32;
+                self.loop_iters = self
+                    .loop_iters
+                    .saturating_add(iters.saturating_mul(self.nest_mult));
+                let counter = self.alloc(*pos)?;
+                self.code.push(Insn::LdImm {
+                    dst: counter,
+                    imm: 0,
+                });
+                let loop_start = self.code.len();
+                let saved_mult = self.nest_mult;
+                self.nest_mult = self.nest_mult.saturating_mul(iters);
+                self.block(body)?;
+                self.nest_mult = saved_mult;
+                self.code.push(Insn::AluImm {
+                    op: AluOp::Add,
+                    dst: counter,
+                    imm: 1,
+                });
+                self.code.push(Insn::JmpIfImm {
+                    cmp: CmpOp::Lt,
+                    lhs: counter,
+                    imm: *count,
+                    target: loop_start,
+                });
+                self.free(counter);
+            }
+            Stmt::Return { value, .. } => {
+                self.eval_into(value, Reg(0))?;
+                self.code.push(Insn::Exit);
+            }
+            Stmt::TailCall { table, pos } => {
+                let t =
+                    *self.names.tables.get(table).ok_or_else(|| {
+                        LangError::lower(*pos, &format!("unknown table '{table}'"))
+                    })?;
+                self.code.push(Insn::TailCall { table: t });
+            }
+            Stmt::Update {
+                map,
+                key,
+                value,
+                pos,
+            } => {
+                let m = self.map(map, *pos)?;
+                let kr = self.alloc(*pos)?;
+                self.eval_into(key, kr)?;
+                let vr = self.alloc(*pos)?;
+                self.eval_into(value, vr)?;
+                self.code.push(Insn::MapUpdate {
+                    map: m,
+                    key: kr,
+                    value: vr,
+                });
+                self.free(vr);
+                self.free(kr);
+            }
+            Stmt::Delete { map, key, pos } => {
+                let m = self.map(map, *pos)?;
+                let kr = self.alloc(*pos)?;
+                self.eval_into(key, kr)?;
+                self.code.push(Insn::MapDelete { map: m, key: kr });
+                self.free(kr);
+            }
+            Stmt::Push { map, value, pos } => {
+                let m = self.map(map, *pos)?;
+                let kr = self.alloc(*pos)?;
+                // Ring pushes ignore the key; reuse the value register.
+                self.eval_into(value, kr)?;
+                self.code.push(Insn::MapUpdate {
+                    map: m,
+                    key: kr,
+                    value: kr,
+                });
+                self.free(kr);
+            }
+            Stmt::Prefetch { base, count, .. } => {
+                self.eval_into(base, Reg(2))?;
+                self.eval_into(count, Reg(3))?;
+                self.code.push(Insn::Call {
+                    helper: Helper::EmitPrefetch,
+                });
+            }
+            Stmt::Migrate { flag, .. } => {
+                self.eval_into(flag, Reg(2))?;
+                self.code.push(Insn::Call {
+                    helper: Helper::EmitMigrate,
+                });
+            }
+            Stmt::Hint { kind, a, b, .. } => {
+                self.eval_into(kind, Reg(2))?;
+                self.eval_into(a, Reg(3))?;
+                self.eval_into(b, Reg(4))?;
+                self.code.push(Insn::Call {
+                    helper: Helper::EmitHint,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Emits a branch that jumps when `cond` is FALSE; returns the
+    /// instruction index to patch with the else/end target.
+    fn emit_cond_branch(&mut self, cond: &Cond, pos: Pos) -> Result<usize, LangError> {
+        let negated = match cond.op {
+            CmpKind::Eq => CmpOp::Ne,
+            CmpKind::Ne => CmpOp::Eq,
+            CmpKind::Lt => CmpOp::Ge,
+            CmpKind::Le => CmpOp::Gt,
+            CmpKind::Gt => CmpOp::Le,
+            CmpKind::Ge => CmpOp::Lt,
+        };
+        let lhs = self.alloc(pos)?;
+        self.eval_into(&cond.lhs, lhs)?;
+        let at = if let Expr::Int(v, _) = cond.rhs {
+            self.code.push(Insn::JmpIfImm {
+                cmp: negated,
+                lhs,
+                imm: v,
+                target: usize::MAX,
+            });
+            self.code.len() - 1
+        } else {
+            let rhs = self.alloc(pos)?;
+            self.eval_into(&cond.rhs, rhs)?;
+            self.code.push(Insn::JmpIf {
+                cmp: negated,
+                lhs,
+                rhs,
+                target: usize::MAX,
+            });
+            self.free(rhs);
+            self.code.len() - 1
+        };
+        self.free(lhs);
+        Ok(at)
+    }
+
+    fn patch_target(&mut self, at: usize, target: usize) {
+        match &mut self.code[at] {
+            Insn::Jmp { target: t }
+            | Insn::JmpIf { target: t, .. }
+            | Insn::JmpIfImm { target: t, .. } => *t = target,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    /// Ensures the body ends in a terminator (implicit `return 0`).
+    fn finish(&mut self) {
+        let needs_exit = !matches!(self.code.last(), Some(i) if i.is_terminator());
+        if needs_exit {
+            self.code.push(Insn::LdImm {
+                dst: Reg(0),
+                imm: 0,
+            });
+            self.code.push(Insn::Exit);
+        } else {
+            // Branches may still target one-past-the-end (if with no
+            // else at the end of the body). Give them a landing pad.
+            let end = self.code.len();
+            let has_end_target = self.code.iter().any(|i| i.jump_target() == Some(end));
+            if has_end_target {
+                self.code.push(Insn::LdImm {
+                    dst: Reg(0),
+                    imm: 0,
+                });
+                self.code.push(Insn::Exit);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse;
+
+    fn compile(src: &str) -> Result<super::Compiled, crate::LangError> {
+        super::lower(&parse(src)?)
+    }
+
+    #[test]
+    fn register_pool_exhaustion_is_reported() {
+        // 11 live variables exceed the 10-register pool.
+        let mut body = String::new();
+        for i in 0..11 {
+            body.push_str(&format!("let v{i} = {i};\n"));
+        }
+        let src = format!("program \"p\" {{ action a {{ {body} return 0; }} }}");
+        let err = compile(&src).unwrap_err();
+        assert!(err.to_string().contains("too many variables"), "{err}");
+        // 10 variables fit exactly.
+        let mut body = String::new();
+        for i in 0..10 {
+            body.push_str(&format!("let v{i} = {i};\n"));
+        }
+        let src = format!("program \"p\" {{ action a {{ {body} return v9; }} }}");
+        assert!(compile(&src).is_ok());
+    }
+
+    #[test]
+    fn vector_pool_exhaustion_is_reported() {
+        let src = r#"
+            program "p" {
+                map r: ring[2];
+                action a {
+                    let a = window(r);
+                    let b = window(r);
+                    let c = window(r);
+                    let d = window(r);
+                    let e = window(r);
+                    return 0;
+                }
+            }
+        "#;
+        let err = compile(src).unwrap_err();
+        assert!(err.to_string().contains("too many vector"), "{err}");
+    }
+
+    #[test]
+    fn nested_repeat_bounds_multiply() {
+        let src = r#"
+            program "p" {
+                action a {
+                    let acc = 0;
+                    repeat (4) {
+                        repeat (5) {
+                            acc = acc + 1;
+                        }
+                    }
+                    return acc;
+                }
+            }
+        "#;
+        let compiled = compile(src).unwrap();
+        // Outer contributes 4, inner contributes 4*5 = 20; bound >= 24.
+        let bound = compiled.program.actions[0].loop_bound.unwrap();
+        assert!(bound >= 24, "bound {bound}");
+        // And the program verifies + computes 20.
+        use rkd_core::ctxt::Ctxt;
+        use rkd_core::machine::{ExecMode, RmtMachine};
+        let mut b2 = compiled.program.clone();
+        // Attach a table so the action is reachable at a hook.
+        b2.schema.add_readonly("k");
+        b2.tables.push(rkd_core::table::TableDef {
+            name: "t".into(),
+            hook: "h".into(),
+            key_fields: vec![rkd_core::ctxt::FieldId(0)],
+            kind: rkd_core::table::MatchKind::Exact,
+            default_action: Some(rkd_core::table::ActionId(0)),
+            max_entries: 4,
+        });
+        let verified = rkd_core::verifier::verify(b2).unwrap();
+        let mut vm = RmtMachine::new();
+        vm.install(verified, ExecMode::Jit).unwrap();
+        let mut ctxt = Ctxt::from_values(vec![0]);
+        assert_eq!(vm.fire("h", &mut ctxt).verdict(), Some(20));
+    }
+
+    #[test]
+    fn explicit_bound_takes_max_with_auto() {
+        let src = r#"
+            program "p" {
+                action a bound 100 {
+                    let acc = 0;
+                    repeat (3) { acc = acc + 1; }
+                    return acc;
+                }
+            }
+        "#;
+        let compiled = compile(src).unwrap();
+        assert_eq!(compiled.program.actions[0].loop_bound, Some(100));
+    }
+
+    #[test]
+    fn expression_temporaries_are_recycled() {
+        // A long expression chain must not leak temporaries: evaluating
+        // left-to-right reuses the same scratch registers.
+        let src = r#"
+            program "p" {
+                action a {
+                    let a = 1; let b = 2; let c = 3; let d = 4;
+                    let e = (a + b) * (c + d) - (a * d) + (b * c) / (a + 1);
+                    return e;
+                }
+            }
+        "#;
+        assert!(compile(src).is_ok());
+    }
+
+    #[test]
+    fn if_with_else_at_end_of_body_gets_landing_pad() {
+        // Branch targets one-past-the-end need the implicit epilogue.
+        let src = r#"
+            program "p" {
+                ctxt x: ro;
+                action a {
+                    if (ctxt.x > 0) { return 1; } else { return 2; }
+                }
+                table t { hook h; match x; default a; }
+            }
+        "#;
+        let compiled = compile(src).unwrap();
+        assert!(rkd_core::verifier::verify(compiled.program).is_ok());
+    }
+}

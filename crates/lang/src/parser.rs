@@ -1,0 +1,841 @@
+//! Recursive-descent parser for the RMT DSL.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! program    := "program" STR "{" item* "}"
+//! item       := "ctxt" IDENT ":" ("ro"|"rw") ";"
+//!             | "map" IDENT ":" KIND "[" INT "]" "shared"? ";"
+//!             | "model" IDENT ":" MTYPE "(" INT ")" "@" CLASS ";"
+//!             | "action" IDENT ("bound" INT)? block
+//!             | "table" IDENT "{" table_field* "}"
+//!             | "entry" IDENT "key" "(" INT,* ")" "action" IDENT
+//!               ("arg" INT)? ("priority" INT)? ";"
+//!             | "rate_limit" INT INT ";"
+//!             | "privacy" INT INT INT ";"
+//! stmt       := "let" IDENT "=" rhs ";" | IDENT "=" expr ";"
+//!             | "ctxt" "." IDENT "=" expr ";"
+//!             | "if" "(" cond ")" block ("else" block)?
+//!             | "repeat" "(" INT ")" block
+//!             | "return" expr ";" | "tailcall" IDENT ";"
+//!             | CALL_STMT ";"
+//! ```
+
+use crate::ast::{BinKind, CmpKind, Cond, Expr, Item, Program, Stmt};
+use crate::error::LangError;
+use crate::token::{lex, Pos, Tok, Token};
+
+/// Parses DSL source into an AST.
+pub fn parse(src: &str) -> Result<Program, LangError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, i: 0 };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.i.min(self.tokens.len() - 1)]
+    }
+
+    fn pos(&self) -> Pos {
+        self.peek().pos
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.i.min(self.tokens.len() - 1)].clone();
+        if self.i < self.tokens.len() - 1 {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<Pos, LangError> {
+        let t = self.bump();
+        if &t.tok == tok {
+            Ok(t.pos)
+        } else {
+            Err(LangError::parse(
+                t.pos,
+                &format!("expected {what}, found {:?}", t.tok),
+            ))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Pos), LangError> {
+        let t = self.bump();
+        match t.tok {
+            Tok::Ident(s) => Ok((s, t.pos)),
+            other => Err(LangError::parse(
+                t.pos,
+                &format!("expected {what}, found {other:?}"),
+            )),
+        }
+    }
+
+    fn int(&mut self, what: &str) -> Result<i64, LangError> {
+        let neg = matches!(self.peek().tok, Tok::Minus);
+        if neg {
+            self.bump();
+        }
+        let t = self.bump();
+        match t.tok {
+            Tok::Int(v) => Ok(if neg { -v } else { v }),
+            other => Err(LangError::parse(
+                t.pos,
+                &format!("expected {what}, found {other:?}"),
+            )),
+        }
+    }
+
+    fn eat_ident(&mut self, kw: &str) -> bool {
+        if let Tok::Ident(s) = &self.peek().tok {
+            if s == kw {
+                self.bump();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn program(&mut self) -> Result<Program, LangError> {
+        let (kw, pos) = self.ident("'program'")?;
+        if kw != "program" {
+            return Err(LangError::parse(pos, "expected 'program'"));
+        }
+        let t = self.bump();
+        let name = match t.tok {
+            Tok::Str(s) => s,
+            other => {
+                return Err(LangError::parse(
+                    t.pos,
+                    &format!("expected program name string, found {other:?}"),
+                ))
+            }
+        };
+        self.expect(&Tok::LBrace, "'{'")?;
+        let mut items = Vec::new();
+        while self.peek().tok != Tok::RBrace {
+            if self.peek().tok == Tok::Eof {
+                return Err(LangError::parse(self.pos(), "unexpected end of input"));
+            }
+            items.push(self.item()?);
+        }
+        self.expect(&Tok::RBrace, "'}'")?;
+        if self.peek().tok != Tok::Eof {
+            return Err(LangError::parse(self.pos(), "trailing input after program"));
+        }
+        Ok(Program { name, items })
+    }
+
+    fn item(&mut self) -> Result<Item, LangError> {
+        let (kw, pos) = self.ident("a declaration")?;
+        match kw.as_str() {
+            "ctxt" => {
+                let (name, _) = self.ident("field name")?;
+                self.expect(&Tok::Colon, "':'")?;
+                let (mode, mpos) = self.ident("'ro' or 'rw'")?;
+                let writable = match mode.as_str() {
+                    "ro" => false,
+                    "rw" => true,
+                    _ => return Err(LangError::parse(mpos, "expected 'ro' or 'rw'")),
+                };
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Item::Ctxt {
+                    name,
+                    writable,
+                    pos,
+                })
+            }
+            "map" => {
+                let (name, _) = self.ident("map name")?;
+                self.expect(&Tok::Colon, "':'")?;
+                let (kind, _) = self.ident("map kind")?;
+                self.expect(&Tok::LBracket, "'['")?;
+                let capacity = self.int("capacity")?;
+                self.expect(&Tok::RBracket, "']'")?;
+                let shared = self.eat_ident("shared");
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Item::Map {
+                    name,
+                    kind,
+                    capacity,
+                    shared,
+                    pos,
+                })
+            }
+            "model" => {
+                let (name, _) = self.ident("model name")?;
+                self.expect(&Tok::Colon, "':'")?;
+                let (mtype, _) = self.ident("model type")?;
+                self.expect(&Tok::LParen, "'('")?;
+                let arity = self.int("arity")?;
+                self.expect(&Tok::RParen, "')'")?;
+                self.expect(&Tok::At, "'@'")?;
+                let (class, _) = self.ident("latency class")?;
+                let guard = if self.eat_ident("guard") {
+                    self.expect(&Tok::LParen, "'('")?;
+                    let max = self.int("max class")?;
+                    self.expect(&Tok::Comma, "','")?;
+                    let fallback = self.int("fallback class")?;
+                    let conf = if self.peek().tok == Tok::Comma {
+                        self.bump();
+                        self.int("confidence (millis)")?
+                    } else {
+                        0
+                    };
+                    self.expect(&Tok::RParen, "')'")?;
+                    Some((max, fallback, conf))
+                } else {
+                    None
+                };
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Item::Model {
+                    name,
+                    mtype,
+                    arity,
+                    class,
+                    guard,
+                    pos,
+                })
+            }
+            "action" => {
+                let (name, _) = self.ident("action name")?;
+                let bound = if self.eat_ident("bound") {
+                    Some(self.int("loop bound")? as u32)
+                } else {
+                    None
+                };
+                let body = self.block()?;
+                Ok(Item::Action {
+                    name,
+                    bound,
+                    body,
+                    pos,
+                })
+            }
+            "table" => self.table(pos),
+            "entry" => {
+                let (table, _) = self.ident("table name")?;
+                let (kw, kpos) = self.ident("'key'")?;
+                if kw != "key" {
+                    return Err(LangError::parse(kpos, "expected 'key'"));
+                }
+                self.expect(&Tok::LParen, "'('")?;
+                let mut key = vec![self.int("key value")?];
+                while self.peek().tok == Tok::Comma {
+                    self.bump();
+                    key.push(self.int("key value")?);
+                }
+                self.expect(&Tok::RParen, "')'")?;
+                let (kw, kpos) = self.ident("'action'")?;
+                if kw != "action" {
+                    return Err(LangError::parse(kpos, "expected 'action'"));
+                }
+                let (action, _) = self.ident("action name")?;
+                let arg = if self.eat_ident("arg") {
+                    self.int("arg")?
+                } else {
+                    0
+                };
+                let priority = if self.eat_ident("priority") {
+                    self.int("priority")?
+                } else {
+                    0
+                };
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Item::Entry {
+                    table,
+                    key,
+                    action,
+                    arg,
+                    priority,
+                    pos,
+                })
+            }
+            "rate_limit" => {
+                let capacity = self.int("capacity")?;
+                let refill = self.int("refill")?;
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Item::RateLimit {
+                    capacity,
+                    refill,
+                    pos,
+                })
+            }
+            "privacy" => {
+                let budget = self.int("budget")?;
+                let per_query = self.int("per-query charge")?;
+                let sensitivity = self.int("sensitivity")?;
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Item::Privacy {
+                    budget,
+                    per_query,
+                    sensitivity,
+                    pos,
+                })
+            }
+            other => Err(LangError::parse(
+                pos,
+                &format!("unknown declaration '{other}'"),
+            )),
+        }
+    }
+
+    fn table(&mut self, pos: Pos) -> Result<Item, LangError> {
+        let (name, _) = self.ident("table name")?;
+        self.expect(&Tok::LBrace, "'{'")?;
+        let mut hook = None;
+        let mut match_fields = Vec::new();
+        let mut kind = "exact".to_string();
+        let mut default = None;
+        let mut size = 64i64;
+        while self.peek().tok != Tok::RBrace {
+            let (field, fpos) = self.ident("table property")?;
+            match field.as_str() {
+                "hook" => {
+                    let (h, _) = self.ident("hook name")?;
+                    hook = Some(h);
+                }
+                "match" => {
+                    let (f, _) = self.ident("field name")?;
+                    match_fields.push(f);
+                    while self.peek().tok == Tok::Comma {
+                        self.bump();
+                        let (f, _) = self.ident("field name")?;
+                        match_fields.push(f);
+                    }
+                }
+                "kind" => {
+                    let (k, _) = self.ident("match kind")?;
+                    kind = k;
+                }
+                "default" => {
+                    let (d, _) = self.ident("action name")?;
+                    default = Some(d);
+                }
+                "size" => {
+                    size = self.int("size")?;
+                }
+                other => {
+                    return Err(LangError::parse(
+                        fpos,
+                        &format!("unknown table property '{other}'"),
+                    ))
+                }
+            }
+            self.expect(&Tok::Semi, "';'")?;
+        }
+        self.expect(&Tok::RBrace, "'}'")?;
+        let hook = hook.ok_or_else(|| LangError::parse(pos, "table missing 'hook'"))?;
+        if match_fields.is_empty() {
+            return Err(LangError::parse(pos, "table missing 'match'"));
+        }
+        Ok(Item::Table {
+            name,
+            hook,
+            match_fields,
+            kind,
+            default,
+            size,
+            pos,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, LangError> {
+        self.expect(&Tok::LBrace, "'{'")?;
+        let mut out = Vec::new();
+        while self.peek().tok != Tok::RBrace {
+            if self.peek().tok == Tok::Eof {
+                return Err(LangError::parse(self.pos(), "unexpected end of input"));
+            }
+            out.push(self.stmt()?);
+        }
+        self.expect(&Tok::RBrace, "'}'")?;
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        let (kw, pos) = self.ident("a statement")?;
+        match kw.as_str() {
+            "let" => {
+                let (name, _) = self.ident("variable name")?;
+                self.expect(&Tok::Assign, "'='")?;
+                // Special right-hand sides.
+                if let Tok::Ident(rhs_kw) = &self.peek().tok {
+                    match rhs_kw.as_str() {
+                        "window" => {
+                            self.bump();
+                            self.expect(&Tok::LParen, "'('")?;
+                            let (map, _) = self.ident("map name")?;
+                            self.expect(&Tok::RParen, "')'")?;
+                            self.expect(&Tok::Semi, "';'")?;
+                            return Ok(Stmt::LetWindow { name, map, pos });
+                        }
+                        "predict" => {
+                            self.bump();
+                            self.expect(&Tok::LParen, "'('")?;
+                            let (model, _) = self.ident("model name")?;
+                            self.expect(&Tok::Comma, "','")?;
+                            let (vector, _) = self.ident("vector variable")?;
+                            self.expect(&Tok::RParen, "')'")?;
+                            self.expect(&Tok::Semi, "';'")?;
+                            return Ok(Stmt::LetPredict {
+                                name,
+                                model,
+                                vector,
+                                pos,
+                            });
+                        }
+                        "dp_sum" => {
+                            self.bump();
+                            self.expect(&Tok::LParen, "'('")?;
+                            let (map, _) = self.ident("map name")?;
+                            self.expect(&Tok::RParen, "')'")?;
+                            self.expect(&Tok::Semi, "';'")?;
+                            return Ok(Stmt::LetDpSum { name, map, pos });
+                        }
+                        _ => {}
+                    }
+                }
+                let value = self.expr()?;
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Stmt::Let { name, value, pos })
+            }
+            "ctxt" => {
+                self.expect(&Tok::Dot, "'.'")?;
+                let (field, _) = self.ident("field name")?;
+                self.expect(&Tok::Assign, "'='")?;
+                let value = self.expr()?;
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Stmt::CtxtStore { field, value, pos })
+            }
+            "if" => {
+                self.expect(&Tok::LParen, "'('")?;
+                let cond = self.cond()?;
+                self.expect(&Tok::RParen, "')'")?;
+                let then = self.block()?;
+                let otherwise = if self.eat_ident("else") {
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then,
+                    otherwise,
+                    pos,
+                })
+            }
+            "repeat" => {
+                self.expect(&Tok::LParen, "'('")?;
+                let count = self.int("iteration count")?;
+                self.expect(&Tok::RParen, "')'")?;
+                let body = self.block()?;
+                Ok(Stmt::Repeat { count, body, pos })
+            }
+            "return" => {
+                let value = self.expr()?;
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Stmt::Return { value, pos })
+            }
+            "tailcall" => {
+                let (table, _) = self.ident("table name")?;
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Stmt::TailCall { table, pos })
+            }
+            "update" => {
+                self.expect(&Tok::LParen, "'('")?;
+                let (map, _) = self.ident("map name")?;
+                self.expect(&Tok::Comma, "','")?;
+                let key = self.expr()?;
+                self.expect(&Tok::Comma, "','")?;
+                let value = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Stmt::Update {
+                    map,
+                    key,
+                    value,
+                    pos,
+                })
+            }
+            "delete" => {
+                self.expect(&Tok::LParen, "'('")?;
+                let (map, _) = self.ident("map name")?;
+                self.expect(&Tok::Comma, "','")?;
+                let key = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Stmt::Delete { map, key, pos })
+            }
+            "push" => {
+                self.expect(&Tok::LParen, "'('")?;
+                let (map, _) = self.ident("map name")?;
+                self.expect(&Tok::Comma, "','")?;
+                let value = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Stmt::Push { map, value, pos })
+            }
+            "prefetch" => {
+                self.expect(&Tok::LParen, "'('")?;
+                let base = self.expr()?;
+                self.expect(&Tok::Comma, "','")?;
+                let count = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Stmt::Prefetch { base, count, pos })
+            }
+            "migrate" => {
+                self.expect(&Tok::LParen, "'('")?;
+                let flag = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Stmt::Migrate { flag, pos })
+            }
+            "hint" => {
+                self.expect(&Tok::LParen, "'('")?;
+                let kind = self.expr()?;
+                self.expect(&Tok::Comma, "','")?;
+                let a = self.expr()?;
+                self.expect(&Tok::Comma, "','")?;
+                let b = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Stmt::Hint { kind, a, b, pos })
+            }
+            // Plain assignment: `x = expr;`
+            _ => {
+                self.expect(&Tok::Assign, "'='")?;
+                let value = self.expr()?;
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Stmt::Assign {
+                    name: kw,
+                    value,
+                    pos,
+                })
+            }
+        }
+    }
+
+    fn cond(&mut self) -> Result<Cond, LangError> {
+        let lhs = self.expr()?;
+        let t = self.bump();
+        let op = match t.tok {
+            Tok::Eq => CmpKind::Eq,
+            Tok::Ne => CmpKind::Ne,
+            Tok::Lt => CmpKind::Lt,
+            Tok::Le => CmpKind::Le,
+            Tok::Gt => CmpKind::Gt,
+            Tok::Ge => CmpKind::Ge,
+            other => {
+                return Err(LangError::parse(
+                    t.pos,
+                    &format!("expected comparison operator, found {other:?}"),
+                ))
+            }
+        };
+        let rhs = self.expr()?;
+        Ok(Cond { lhs, op, rhs })
+    }
+
+    /// Additive / bitwise-or level.
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek().tok {
+                Tok::Plus => BinKind::Add,
+                Tok::Minus => BinKind::Sub,
+                Tok::Pipe => BinKind::Or,
+                Tok::Caret => BinKind::Xor,
+                _ => break,
+            };
+            let pos = self.bump().pos;
+            let rhs = self.term()?;
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
+        }
+        Ok(lhs)
+    }
+
+    /// Multiplicative / shifts / bitwise-and level.
+    fn term(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek().tok {
+                Tok::Star => BinKind::Mul,
+                Tok::Slash => BinKind::Div,
+                Tok::Percent => BinKind::Mod,
+                Tok::Amp => BinKind::And,
+                Tok::Shl => BinKind::Shl,
+                Tok::Shr => BinKind::Shr,
+                _ => break,
+            };
+            let pos = self.bump().pos;
+            let rhs = self.unary()?;
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, LangError> {
+        if self.peek().tok == Tok::Minus {
+            let pos = self.bump().pos;
+            let inner = self.unary()?;
+            return Ok(Expr::Neg(Box::new(inner), pos));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Expr, LangError> {
+        let t = self.bump();
+        match t.tok {
+            Tok::Int(v) => Ok(Expr::Int(v, t.pos)),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => match name.as_str() {
+                "ctxt" => {
+                    self.expect(&Tok::Dot, "'.'")?;
+                    let (field, _) = self.ident("field name")?;
+                    Ok(Expr::Ctxt(field, t.pos))
+                }
+                "arg" => Ok(Expr::Arg(t.pos)),
+                "tick" => {
+                    self.expect(&Tok::LParen, "'('")?;
+                    self.expect(&Tok::RParen, "')'")?;
+                    Ok(Expr::Tick(t.pos))
+                }
+                "rand" => {
+                    self.expect(&Tok::LParen, "'('")?;
+                    self.expect(&Tok::RParen, "')'")?;
+                    Ok(Expr::Rand(t.pos))
+                }
+                "lookup" => {
+                    self.expect(&Tok::LParen, "'('")?;
+                    let (map, _) = self.ident("map name")?;
+                    self.expect(&Tok::Comma, "','")?;
+                    let key = self.expr()?;
+                    let default = if self.peek().tok == Tok::Comma {
+                        self.bump();
+                        self.int("default value")?
+                    } else {
+                        0
+                    };
+                    self.expect(&Tok::RParen, "')'")?;
+                    Ok(Expr::Lookup {
+                        map,
+                        key: Box::new(key),
+                        default,
+                        pos: t.pos,
+                    })
+                }
+                "vget" => {
+                    self.expect(&Tok::LParen, "'('")?;
+                    let (vector, _) = self.ident("vector variable")?;
+                    self.expect(&Tok::Comma, "','")?;
+                    let index = self.int("element index")?;
+                    self.expect(&Tok::RParen, "')'")?;
+                    Ok(Expr::VGet {
+                        vector,
+                        index,
+                        pos: t.pos,
+                    })
+                }
+                _ => Ok(Expr::Var(name, t.pos)),
+            },
+            other => Err(LangError::parse(
+                t.pos,
+                &format!("expected an expression, found {other:?}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_program() {
+        let p = parse(
+            r#"program "mini" {
+                ctxt pid: ro;
+                action noop { return 0; }
+                table t { hook h; match pid; default noop; }
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(p.name, "mini");
+        assert_eq!(p.items.len(), 3);
+        match &p.items[2] {
+            Item::Table {
+                name,
+                hook,
+                match_fields,
+                kind,
+                default,
+                size,
+                ..
+            } => {
+                assert_eq!(name, "t");
+                assert_eq!(hook, "h");
+                assert_eq!(match_fields, &["pid"]);
+                assert_eq!(kind, "exact");
+                assert_eq!(default.as_deref(), Some("noop"));
+                assert_eq!(*size, 64);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_expressions_with_precedence() {
+        let p = parse(
+            r#"program "e" {
+                action a { let x = 1 + 2 * 3; return x; }
+            }"#,
+        )
+        .unwrap();
+        let Item::Action { body, .. } = &p.items[0] else {
+            panic!()
+        };
+        let Stmt::Let { value, .. } = &body[0] else {
+            panic!()
+        };
+        // 1 + (2 * 3): root is Add.
+        let Expr::Bin { op, rhs, .. } = value else {
+            panic!()
+        };
+        assert_eq!(*op, BinKind::Add);
+        assert!(matches!(
+            **rhs,
+            Expr::Bin {
+                op: BinKind::Mul,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_control_flow_and_builtins() {
+        let p = parse(
+            r#"program "cf" {
+                ctxt page: ro;
+                action a bound 8 {
+                    let last = lookup(m, ctxt.page, -1);
+                    if (last == -1) { return 0; } else { ctxt.page = 1; }
+                    repeat (4) { push(ring, last); }
+                    let v = window(ring);
+                    let c = predict(dt, v);
+                    let s = vget(v, 2);
+                    let d = dp_sum(agg);
+                    prefetch(ctxt.page + 1, 2);
+                    migrate(1);
+                    hint(1, 2, 3);
+                    update(m, 1, 2);
+                    delete(m, 1);
+                    tailcall t2;
+                }
+            }"#,
+        )
+        .unwrap();
+        let Item::Action { body, bound, .. } = &p.items[1] else {
+            panic!()
+        };
+        assert_eq!(*bound, Some(8));
+        assert_eq!(body.len(), 13);
+        assert!(matches!(body[1], Stmt::If { .. }));
+        assert!(matches!(body[2], Stmt::Repeat { .. }));
+        assert!(matches!(body[12], Stmt::TailCall { .. }));
+    }
+
+    #[test]
+    fn parses_models_maps_entries_policies() {
+        let p = parse(
+            r#"program "decl" {
+                ctxt pid: ro;
+                map ring: ring[12];
+                map agg: hist[8] shared;
+                model dt_1: tree(12) @ mm;
+                action a { return 0; }
+                table t { hook h; match pid; default a; size 32; }
+                entry t key (56) action a arg 7 priority 2;
+                rate_limit 64 8;
+                privacy 10000 100 1;
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(p.items.len(), 9);
+        assert!(matches!(p.items[2], Item::Map { shared: true, .. }));
+        match &p.items[6] {
+            Item::Entry {
+                key, arg, priority, ..
+            } => {
+                assert_eq!(key, &[56]);
+                assert_eq!(*arg, 7);
+                assert_eq!(*priority, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_numbers_and_unary_minus() {
+        let p = parse(
+            r#"program "n" {
+                action a { let x = -5 + - 3; return x; }
+                entry t key (-1) action a arg -9;
+            }"#,
+        )
+        .unwrap();
+        let Item::Entry { key, arg, .. } = &p.items[1] else {
+            panic!()
+        };
+        assert_eq!(key, &[-1]);
+        assert_eq!(*arg, -9);
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        let err = parse("program \"x\" { table t { } }").unwrap_err();
+        assert!(err.to_string().contains("hook"));
+        let err = parse("program \"x\" { bogus y; }").unwrap_err();
+        assert!(err.to_string().contains("unknown declaration"));
+        let err = parse("program \"x\" { action a { return 0 } }").unwrap_err();
+        assert!(err.to_string().contains("';'"));
+        let err = parse("notprogram").unwrap_err();
+        assert!(err.to_string().contains("program"));
+        let err = parse("program \"x\" {").unwrap_err();
+        assert!(err.to_string().contains("end of input"));
+        let err = parse("program \"x\" {} trailing").unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn condition_operators() {
+        for op in ["==", "!=", "<", "<=", ">", ">="] {
+            let src = format!(
+                "program \"c\" {{ action a {{ if (1 {op} 2) {{ return 1; }} return 0; }} }}"
+            );
+            assert!(parse(&src).is_ok(), "op {op}");
+        }
+        assert!(parse("program \"c\" { action a { if (1 + 2) { } } }").is_err());
+    }
+}

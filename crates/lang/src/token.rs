@@ -1,0 +1,367 @@
+//! Lexer for the RMT DSL.
+//!
+//! §3.1: "An RMT program can be written in constrained C or a
+//! domain-specific language and compiled into machine-independent
+//! bytecode." This module tokenizes that DSL; the grammar lives in
+//! [`crate::parser`].
+
+use crate::error::LangError;
+
+/// A source position (byte offset, 1-based line, 1-based column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pos {
+    /// Byte offset into the source.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Pos {
+    /// The start-of-file position.
+    pub fn start() -> Pos {
+        Pos {
+            offset: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// An integer literal (decimal or 0x hex, optional leading `-`
+    /// handled by the parser as unary minus).
+    Int(i64),
+    /// A string literal (program names).
+    Str(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `@`
+    At,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind/payload.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// Tokenizes DSL source. `//` line comments and `/* */` block comments
+/// are skipped.
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut pos = Pos::start();
+    let mut i = 0usize;
+    let advance = |pos: &mut Pos, c: u8| {
+        pos.offset += 1;
+        if c == b'\n' {
+            pos.line += 1;
+            pos.col = 1;
+        } else {
+            pos.col += 1;
+        }
+    };
+    while i < bytes.len() {
+        let c = bytes[i];
+        let start = pos;
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                advance(&mut pos, c);
+                i += 1;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    advance(&mut pos, bytes[i]);
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                advance(&mut pos, bytes[i]);
+                advance(&mut pos, bytes[i + 1]);
+                i += 2;
+                let mut closed = false;
+                while i + 1 < bytes.len() {
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        advance(&mut pos, bytes[i]);
+                        advance(&mut pos, bytes[i + 1]);
+                        i += 2;
+                        closed = true;
+                        break;
+                    }
+                    advance(&mut pos, bytes[i]);
+                    i += 1;
+                }
+                if !closed {
+                    return Err(LangError::lex(start, "unterminated block comment"));
+                }
+            }
+            b'"' => {
+                advance(&mut pos, c);
+                i += 1;
+                let begin = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    if bytes[i] == b'\n' {
+                        return Err(LangError::lex(start, "unterminated string"));
+                    }
+                    advance(&mut pos, bytes[i]);
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(LangError::lex(start, "unterminated string"));
+                }
+                let s = std::str::from_utf8(&bytes[begin..i])
+                    .map_err(|_| LangError::lex(start, "invalid utf-8 in string"))?
+                    .to_string();
+                advance(&mut pos, bytes[i]);
+                i += 1;
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    pos: start,
+                });
+            }
+            b'0'..=b'9' => {
+                let begin = i;
+                let hex = c == b'0' && i + 1 < bytes.len() && (bytes[i + 1] | 32) == b'x';
+                if hex {
+                    advance(&mut pos, bytes[i]);
+                    advance(&mut pos, bytes[i + 1]);
+                    i += 2;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        advance(&mut pos, bytes[i]);
+                        i += 1;
+                    }
+                    let text = &src[begin + 2..i];
+                    let v = i64::from_str_radix(text, 16)
+                        .map_err(|_| LangError::lex(start, "integer literal out of range"))?;
+                    out.push(Token {
+                        tok: Tok::Int(v),
+                        pos: start,
+                    });
+                } else {
+                    while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                        advance(&mut pos, bytes[i]);
+                        i += 1;
+                    }
+                    let text: String = src[begin..i].chars().filter(|&c| c != '_').collect();
+                    let v = text
+                        .parse::<i64>()
+                        .map_err(|_| LangError::lex(start, "integer literal out of range"))?;
+                    out.push(Token {
+                        tok: Tok::Int(v),
+                        pos: start,
+                    });
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let begin = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    advance(&mut pos, bytes[i]);
+                    i += 1;
+                }
+                out.push(Token {
+                    tok: Tok::Ident(src[begin..i].to_string()),
+                    pos: start,
+                });
+            }
+            _ => {
+                let two = |a: u8, b: u8| i + 1 < bytes.len() && c == a && bytes[i + 1] == b;
+                let (tok, len) = if two(b'=', b'=') {
+                    (Tok::Eq, 2)
+                } else if two(b'!', b'=') {
+                    (Tok::Ne, 2)
+                } else if two(b'<', b'=') {
+                    (Tok::Le, 2)
+                } else if two(b'>', b'=') {
+                    (Tok::Ge, 2)
+                } else if two(b'<', b'<') {
+                    (Tok::Shl, 2)
+                } else if two(b'>', b'>') {
+                    (Tok::Shr, 2)
+                } else {
+                    let t = match c {
+                        b'{' => Tok::LBrace,
+                        b'}' => Tok::RBrace,
+                        b'(' => Tok::LParen,
+                        b')' => Tok::RParen,
+                        b'[' => Tok::LBracket,
+                        b']' => Tok::RBracket,
+                        b';' => Tok::Semi,
+                        b',' => Tok::Comma,
+                        b'.' => Tok::Dot,
+                        b':' => Tok::Colon,
+                        b'@' => Tok::At,
+                        b'=' => Tok::Assign,
+                        b'<' => Tok::Lt,
+                        b'>' => Tok::Gt,
+                        b'+' => Tok::Plus,
+                        b'-' => Tok::Minus,
+                        b'*' => Tok::Star,
+                        b'/' => Tok::Slash,
+                        b'%' => Tok::Percent,
+                        b'&' => Tok::Amp,
+                        b'|' => Tok::Pipe,
+                        b'^' => Tok::Caret,
+                        _ => {
+                            return Err(LangError::lex(
+                                start,
+                                &format!("unexpected character {:?}", c as char),
+                            ))
+                        }
+                    };
+                    (t, 1)
+                };
+                for _ in 0..len {
+                    advance(&mut pos, bytes[i]);
+                    i += 1;
+                }
+                out.push(Token { tok, pos: start });
+            }
+        }
+    }
+    out.push(Token { tok: Tok::Eof, pos });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("foo = 42;"),
+            vec![
+                Tok::Ident("foo".into()),
+                Tok::Assign,
+                Tok::Int(42),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_compounds() {
+        assert_eq!(
+            kinds("== != <= >= << >> < > + - * / % & | ^"),
+            vec![
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Shl,
+                Tok::Shr,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Plus,
+                Tok::Minus,
+                Tok::Star,
+                Tok::Slash,
+                Tok::Percent,
+                Tok::Amp,
+                Tok::Pipe,
+                Tok::Caret,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_hex_and_underscores() {
+        assert_eq!(
+            kinds("0xFF 1_000_000 0"),
+            vec![Tok::Int(255), Tok::Int(1_000_000), Tok::Int(0), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn strings_and_comments() {
+        assert_eq!(
+            kinds("\"hello\" // comment\n/* block\n comment */ x"),
+            vec![Tok::Str("hello".into()), Tok::Ident("x".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].pos.line, 1);
+        assert_eq!(toks[1].pos.line, 2);
+        assert_eq!(toks[1].pos.col, 3);
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("$").is_err());
+        assert!(lex("99999999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! Knowledge distillation: large teacher models into small students.
+//!
+//! §3.2: "A well-established line of work relies on knowledge
+//! distillation to convert large 'teacher' models to drastically smaller
+//! 'students' without sacrificing much in accuracy (e.g., simpler NNs or
+//! even decision trees). Distillation to interpretable models like
+//! decision trees will also elucidate which features are key to decision
+//! making, facilitating the goal of 'lean monitoring'."
+//!
+//! The teacher here is a float [`Mlp`]; the student is an integer
+//! [`DecisionTree`] trained on the teacher's predictions over the
+//! training inputs plus jittered copies (soft-label information enters
+//! through the sampling density near the decision boundary).
+
+use crate::dataset::{Dataset, Sample};
+use crate::error::MlError;
+use crate::mlp::Mlp;
+use crate::tree::{DecisionTree, TreeConfig};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for teacher-to-tree distillation.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DistillConfig {
+    /// Jittered copies generated per training input (0 = use inputs only).
+    pub augment_per_sample: usize,
+    /// Relative jitter magnitude applied to each feature.
+    pub jitter: f64,
+    /// Student tree hyperparameters.
+    pub tree: TreeConfig,
+}
+
+impl Default for DistillConfig {
+    fn default() -> DistillConfig {
+        DistillConfig {
+            augment_per_sample: 3,
+            jitter: 0.05,
+            tree: TreeConfig::default(),
+        }
+    }
+}
+
+/// Result of a distillation run.
+#[derive(Clone, Debug)]
+pub struct Distilled {
+    /// The student decision tree (kernel-admissible).
+    pub student: DecisionTree,
+    /// Fraction of (augmented) inputs where the student agrees with the
+    /// teacher — the fidelity of the distillation.
+    pub fidelity: f64,
+}
+
+/// Distills `teacher` into a decision tree using `data`'s inputs as the
+/// transfer set.
+///
+/// Returns [`MlError::EmptyDataset`] on empty input.
+pub fn distill_to_tree(
+    teacher: &Mlp,
+    data: &Dataset,
+    cfg: &DistillConfig,
+    rng: &mut impl Rng,
+) -> Result<Distilled, MlError> {
+    if data.is_empty() {
+        return Err(MlError::EmptyDataset);
+    }
+    if data.n_features() != teacher.n_features() {
+        return Err(MlError::ShapeMismatch {
+            expected: teacher.n_features(),
+            got: data.n_features(),
+        });
+    }
+    let mut transfer = Dataset::new();
+    for s in data.samples() {
+        let x: Vec<f64> = s.features.iter().map(|f| f.to_f64()).collect();
+        let y = teacher.predict(&x)?;
+        transfer.push(Sample::from_f64(&x, y))?;
+        for _ in 0..cfg.augment_per_sample {
+            let xj: Vec<f64> = x
+                .iter()
+                .map(|&v| v + (rng.gen::<f64>() * 2.0 - 1.0) * cfg.jitter * (v.abs() + 1.0))
+                .collect();
+            let yj = teacher.predict(&xj)?;
+            transfer.push(Sample::from_f64(&xj, yj))?;
+        }
+    }
+    let student = DecisionTree::train(&transfer, &cfg.tree)?;
+    let mut agree = 0usize;
+    for s in transfer.samples() {
+        if student.predict(&s.features)? == s.label {
+            agree += 1;
+        }
+    }
+    Ok(Distilled {
+        student,
+        fidelity: agree as f64 / transfer.len() as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::MlpConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn teacher_and_data() -> (Mlp, Dataset) {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut samples = Vec::new();
+        for _ in 0..300 {
+            let x0: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+            let x1: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+            samples.push(Sample::from_f64(&[x0, x1], (x0 > 0.2) as usize));
+        }
+        let ds = Dataset::from_samples(samples).unwrap();
+        let cfg = MlpConfig {
+            hidden: vec![8],
+            epochs: 50,
+            ..MlpConfig::default()
+        };
+        let mlp = Mlp::train(&ds, &cfg, &mut rng).unwrap();
+        (mlp, ds)
+    }
+
+    #[test]
+    fn student_has_high_fidelity() {
+        let (teacher, ds) = teacher_and_data();
+        let mut rng = StdRng::seed_from_u64(32);
+        let d = distill_to_tree(&teacher, &ds, &DistillConfig::default(), &mut rng).unwrap();
+        assert!(d.fidelity > 0.9, "fidelity {}", d.fidelity);
+        // Student tracks the teacher's task accuracy too.
+        assert!(d.student.evaluate(&ds).unwrap() > 0.85);
+    }
+
+    #[test]
+    fn student_is_small() {
+        let (teacher, ds) = teacher_and_data();
+        let mut rng = StdRng::seed_from_u64(33);
+        let cfg = DistillConfig {
+            tree: TreeConfig {
+                max_depth: 3,
+                ..TreeConfig::default()
+            },
+            ..DistillConfig::default()
+        };
+        let d = distill_to_tree(&teacher, &ds, &cfg, &mut rng).unwrap();
+        assert!(d.student.depth() <= 3);
+        assert!(d.student.node_count() <= 15);
+    }
+
+    #[test]
+    fn student_exposes_key_features() {
+        // The teacher depends only on feature 0; distillation should
+        // surface that through the student's Gini importance (the "lean
+        // monitoring" pathway).
+        let (teacher, ds) = teacher_and_data();
+        let mut rng = StdRng::seed_from_u64(34);
+        let d = distill_to_tree(&teacher, &ds, &DistillConfig::default(), &mut rng).unwrap();
+        let imp = d.student.gini_importance();
+        assert!(imp[0] > imp[1], "importance {imp:?}");
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let (teacher, _) = teacher_and_data();
+        let mut rng = StdRng::seed_from_u64(35);
+        assert!(distill_to_tree(
+            &teacher,
+            &Dataset::new(),
+            &DistillConfig::default(),
+            &mut rng
+        )
+        .is_err());
+        let wrong = Dataset::from_samples(vec![Sample::from_f64(&[1.0], 0)]).unwrap();
+        assert!(matches!(
+            distill_to_tree(&teacher, &wrong, &DistillConfig::default(), &mut rng),
+            Err(MlError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_augmentation_uses_inputs_only() {
+        let (teacher, ds) = teacher_and_data();
+        let mut rng = StdRng::seed_from_u64(36);
+        let cfg = DistillConfig {
+            augment_per_sample: 0,
+            ..DistillConfig::default()
+        };
+        let d = distill_to_tree(&teacher, &ds, &cfg, &mut rng).unwrap();
+        assert!(d.fidelity > 0.9);
+    }
+}

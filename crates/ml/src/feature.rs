@@ -1,0 +1,245 @@
+//! Feature-importance ranking and selection ("lean monitoring").
+//!
+//! §2.1 benefit #1: "a feature selection process using feature
+//! importance ranking may allow the kernel to forego the monitoring of
+//! events that contribute little useful information." §4 case study #2
+//! uses exactly this: ranking the 15 load-balancing features and keeping
+//! the top 2 while retaining 94+% accuracy.
+//!
+//! This module implements model-agnostic **permutation importance**:
+//! shuffle one feature column at a time and measure the accuracy drop.
+//! It works for any predictor expressible as a closure, so it ranks
+//! MLPs, SVMs, and trees uniformly.
+
+use crate::dataset::Dataset;
+use crate::error::MlError;
+use crate::fixed::Fix;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Importance score for one feature.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FeatureImportance {
+    /// Feature column index.
+    pub feature: usize,
+    /// Mean accuracy drop when this feature is permuted (may be
+    /// slightly negative for useless features due to sampling noise).
+    pub importance: f64,
+}
+
+/// Configuration for permutation-importance estimation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PermutationConfig {
+    /// Independent permutation repeats averaged per feature.
+    pub repeats: usize,
+}
+
+impl Default for PermutationConfig {
+    fn default() -> PermutationConfig {
+        PermutationConfig { repeats: 3 }
+    }
+}
+
+/// Computes permutation importance of every feature for an arbitrary
+/// predictor, returning scores sorted descending by importance.
+///
+/// `predict` receives a fixed-point feature vector and returns a class
+/// label (or `None` if it declines to predict; declined rows count as
+/// incorrect, which penalizes fragile models consistently).
+///
+/// Returns [`MlError::EmptyDataset`] on an empty dataset and
+/// [`MlError::InvalidHyperparameter`] when `repeats == 0`.
+pub fn permutation_importance<F>(
+    data: &Dataset,
+    predict: F,
+    cfg: &PermutationConfig,
+    rng: &mut impl Rng,
+) -> Result<Vec<FeatureImportance>, MlError>
+where
+    F: Fn(&[Fix]) -> Option<usize>,
+{
+    if data.is_empty() {
+        return Err(MlError::EmptyDataset);
+    }
+    if cfg.repeats == 0 {
+        return Err(MlError::InvalidHyperparameter("repeats"));
+    }
+    let baseline = score(data, &predict, None, &[]);
+    let n = data.len();
+    let mut out = Vec::with_capacity(data.n_features());
+    for f in 0..data.n_features() {
+        let mut drop_sum = 0.0;
+        for _ in 0..cfg.repeats {
+            let mut perm: Vec<usize> = (0..n).collect();
+            perm.shuffle(rng);
+            let permuted = score(data, &predict, Some(f), &perm);
+            drop_sum += baseline - permuted;
+        }
+        out.push(FeatureImportance {
+            feature: f,
+            importance: drop_sum / cfg.repeats as f64,
+        });
+    }
+    out.sort_by(|a, b| {
+        b.importance
+            .partial_cmp(&a.importance)
+            .unwrap_or(core::cmp::Ordering::Equal)
+    });
+    Ok(out)
+}
+
+/// Scores accuracy, optionally reading feature `permute_col` from the
+/// row given by `perm` instead of the sample's own row.
+fn score<F>(data: &Dataset, predict: &F, permute_col: Option<usize>, perm: &[usize]) -> f64
+where
+    F: Fn(&[Fix]) -> Option<usize>,
+{
+    let mut correct = 0usize;
+    for (i, s) in data.samples().iter().enumerate() {
+        let pred = match permute_col {
+            None => predict(&s.features),
+            Some(col) => {
+                let mut x = s.features.clone();
+                x[col] = data.samples()[perm[i]].features[col];
+                predict(&x)
+            }
+        };
+        if pred == Some(s.label) {
+            correct += 1;
+        }
+    }
+    correct as f64 / data.len() as f64
+}
+
+/// Returns the `k` most important feature indices (in original column
+/// order) from a ranked importance list — the selection the kernel uses
+/// to drop monitors.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k` exceeds the number of ranked features.
+pub fn select_top_k(ranked: &[FeatureImportance], k: usize) -> Vec<usize> {
+    assert!(
+        k > 0 && k <= ranked.len(),
+        "k must be in 1..={}",
+        ranked.len()
+    );
+    let mut idx: Vec<usize> = ranked[..k].iter().map(|fi| fi.feature).collect();
+    idx.sort_unstable();
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Sample;
+    use crate::tree::{DecisionTree, TreeConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Feature 0 decides the label; features 1, 2 are noise.
+    fn dataset(rng: &mut impl Rng) -> Dataset {
+        let mut samples = Vec::new();
+        for _ in 0..200 {
+            let x0: f64 = rng.gen::<f64>() * 10.0;
+            let noise1: f64 = rng.gen::<f64>();
+            let noise2: f64 = rng.gen::<f64>();
+            samples.push(Sample::from_f64(&[x0, noise1, noise2], (x0 > 5.0) as usize));
+        }
+        Dataset::from_samples(samples).unwrap()
+    }
+
+    #[test]
+    fn ranks_informative_feature_first() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let ds = dataset(&mut rng);
+        let tree = DecisionTree::train(&ds, &TreeConfig::default()).unwrap();
+        let ranked = permutation_importance(
+            &ds,
+            |x| tree.predict(x).ok(),
+            &PermutationConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(ranked[0].feature, 0);
+        assert!(ranked[0].importance > 0.3);
+        assert!(ranked[1].importance < 0.1);
+    }
+
+    #[test]
+    fn select_top_k_returns_sorted_indices() {
+        let ranked = vec![
+            FeatureImportance {
+                feature: 7,
+                importance: 0.9,
+            },
+            FeatureImportance {
+                feature: 2,
+                importance: 0.5,
+            },
+            FeatureImportance {
+                feature: 0,
+                importance: 0.1,
+            },
+        ];
+        assert_eq!(select_top_k(&ranked, 2), vec![2, 7]);
+        assert_eq!(select_top_k(&ranked, 3), vec![0, 2, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn select_top_k_validates() {
+        let _ = select_top_k(&[], 1);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let empty = Dataset::new();
+        assert!(permutation_importance(
+            &empty,
+            |_| Some(0),
+            &PermutationConfig::default(),
+            &mut rng
+        )
+        .is_err());
+        let ds = dataset(&mut rng);
+        assert!(permutation_importance(
+            &ds,
+            |_| Some(0),
+            &PermutationConfig { repeats: 0 },
+            &mut rng
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn declining_predictor_scores_zero_importance_everywhere() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let ds = dataset(&mut rng);
+        let ranked =
+            permutation_importance(&ds, |_| None, &PermutationConfig::default(), &mut rng).unwrap();
+        assert!(ranked.iter().all(|fi| fi.importance.abs() < 1e-12));
+    }
+
+    #[test]
+    fn lean_retraining_keeps_accuracy() {
+        // End-to-end lean-monitoring flow: rank, select top-1, retrain
+        // on the projected dataset, accuracy stays high.
+        let mut rng = StdRng::seed_from_u64(44);
+        let ds = dataset(&mut rng);
+        let tree = DecisionTree::train(&ds, &TreeConfig::default()).unwrap();
+        let ranked = permutation_importance(
+            &ds,
+            |x| tree.predict(x).ok(),
+            &PermutationConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let keep = select_top_k(&ranked, 1);
+        let lean = ds.select_features(&keep).unwrap();
+        let lean_tree = DecisionTree::train(&lean, &TreeConfig::default()).unwrap();
+        assert!(lean_tree.evaluate(&lean).unwrap() > 0.95);
+    }
+}

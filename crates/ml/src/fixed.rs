@@ -1,0 +1,536 @@
+//! Q16.16 signed fixed-point arithmetic.
+//!
+//! The paper observes (§3.2) that enabling the FPU inside the kernel is
+//! expensive, so in-kernel learning and inference must use integer-only
+//! arithmetic. Every "kernel side" model in this workspace computes in
+//! [`Fix`], a Q16.16 fixed-point scalar: 32-bit signed storage with 16
+//! fractional bits, and 64-bit intermediates for products.
+//!
+//! All operations saturate instead of wrapping: an optimization datapath
+//! must never panic inside a (simulated) kernel, and silently wrapping
+//! values would corrupt learned policies in hard-to-debug ways.
+//!
+//! # Examples
+//!
+//! ```
+//! use rkd_ml::fixed::Fix;
+//!
+//! let a = Fix::from_f64(1.5);
+//! let b = Fix::from_f64(2.25);
+//! assert_eq!((a * b).to_f64(), 3.375);
+//! assert_eq!(Fix::ONE + Fix::ONE, Fix::from_int(2));
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Number of fractional bits in the Q16.16 representation.
+pub const FRAC_BITS: u32 = 16;
+
+/// Scale factor (`2^FRAC_BITS`) between the integer representation and
+/// the represented real value.
+pub const SCALE: i64 = 1 << FRAC_BITS;
+
+/// A saturating signed Q16.16 fixed-point number.
+///
+/// The represented value is `raw / 65536`. The representable range is
+/// approximately `[-32768.0, 32767.99998]`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Fix(i32);
+
+impl Fix {
+    /// The additive identity.
+    pub const ZERO: Fix = Fix(0);
+    /// The multiplicative identity.
+    pub const ONE: Fix = Fix(1 << FRAC_BITS);
+    /// Negative one.
+    pub const NEG_ONE: Fix = Fix(-(1 << FRAC_BITS));
+    /// One half.
+    pub const HALF: Fix = Fix(1 << (FRAC_BITS - 1));
+    /// The largest representable value.
+    pub const MAX: Fix = Fix(i32::MAX);
+    /// The smallest representable value.
+    pub const MIN: Fix = Fix(i32::MIN);
+    /// The smallest positive increment (2^-16).
+    pub const EPSILON: Fix = Fix(1);
+
+    /// Creates a value from its raw Q16.16 bit pattern.
+    #[inline]
+    pub const fn from_raw(raw: i32) -> Fix {
+        Fix(raw)
+    }
+
+    /// Returns the raw Q16.16 bit pattern.
+    #[inline]
+    pub const fn raw(self) -> i32 {
+        self.0
+    }
+
+    /// Creates a fixed-point value from an integer, saturating on overflow.
+    #[inline]
+    pub fn from_int(v: i64) -> Fix {
+        Fix(saturate(v << FRAC_BITS))
+    }
+
+    /// Creates a fixed-point value from an `f64`, saturating on overflow.
+    ///
+    /// Used only on the "userspace" side of the system (training,
+    /// quantization); kernel-side code never constructs values from
+    /// floats.
+    #[inline]
+    pub fn from_f64(v: f64) -> Fix {
+        let scaled = v * SCALE as f64;
+        if scaled >= i32::MAX as f64 {
+            Fix::MAX
+        } else if scaled <= i32::MIN as f64 {
+            Fix::MIN
+        } else {
+            Fix(scaled.round() as i32)
+        }
+    }
+
+    /// Converts to `f64` (exact: every Q16.16 value fits in an `f64`).
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / SCALE as f64
+    }
+
+    /// Truncates toward negative infinity to an integer.
+    #[inline]
+    pub fn floor_int(self) -> i32 {
+        self.0 >> FRAC_BITS
+    }
+
+    /// Rounds to the nearest integer (ties away from zero).
+    #[inline]
+    pub fn round_int(self) -> i32 {
+        let half = 1 << (FRAC_BITS - 1);
+        if self.0 >= 0 {
+            (self.0.saturating_add(half)) >> FRAC_BITS
+        } else {
+            -((-(self.0 as i64) + half as i64) >> FRAC_BITS) as i32
+        }
+    }
+
+    /// Returns the absolute value, saturating (`|MIN|` becomes `MAX`).
+    #[inline]
+    pub fn abs(self) -> Fix {
+        if self.0 == i32::MIN {
+            Fix::MAX
+        } else {
+            Fix(self.0.abs())
+        }
+    }
+
+    /// Returns `true` if the value is negative.
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// Returns the smaller of two values.
+    #[inline]
+    pub fn min(self, other: Fix) -> Fix {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the larger of two values.
+    #[inline]
+    pub fn max(self, other: Fix) -> Fix {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Clamps the value into `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[inline]
+    pub fn clamp(self, lo: Fix, hi: Fix) -> Fix {
+        assert!(lo <= hi, "Fix::clamp requires lo <= hi");
+        self.max(lo).min(hi)
+    }
+
+    /// Saturating multiplication with full 64-bit intermediate.
+    #[inline]
+    pub fn saturating_mul(self, rhs: Fix) -> Fix {
+        let wide = (self.0 as i64 * rhs.0 as i64) >> FRAC_BITS;
+        Fix(saturate(wide))
+    }
+
+    /// Saturating division; division by zero saturates to `MAX`/`MIN`
+    /// by the dividend's sign (zero dividend yields zero).
+    #[inline]
+    pub fn saturating_div(self, rhs: Fix) -> Fix {
+        if rhs.0 == 0 {
+            return match self.0.signum() {
+                1 => Fix::MAX,
+                -1 => Fix::MIN,
+                _ => Fix::ZERO,
+            };
+        }
+        let wide = ((self.0 as i64) << FRAC_BITS) / rhs.0 as i64;
+        Fix(saturate(wide))
+    }
+
+    /// Integer-only square root via Newton iteration on the raw value.
+    ///
+    /// Returns `ZERO` for negative inputs (the datapath treats negative
+    /// variance-like quantities as degenerate rather than faulting).
+    pub fn sqrt(self) -> Fix {
+        if self.0 <= 0 {
+            return Fix::ZERO;
+        }
+        // sqrt(raw / 2^16) = sqrt(raw * 2^16) / 2^16, so take the integer
+        // square root of `raw << 16`.
+        let target = (self.0 as u64) << FRAC_BITS;
+        let mut x = target;
+        let mut y = x.div_ceil(2);
+        while y < x {
+            x = y;
+            y = (x + target / x) / 2;
+        }
+        Fix(saturate(x as i64))
+    }
+
+    /// Integer-only base-2 exponential `2^self`, via bit-shift for the
+    /// integer part and a cubic minimax polynomial for the fraction.
+    ///
+    /// Accurate to about 3e-4 relative error across the representable
+    /// output range; saturates for exponents >= 15.
+    pub fn exp2(self) -> Fix {
+        let int_part = self.0 >> FRAC_BITS; // floor
+        let frac = (self.0 & (SCALE as i32 - 1)) as i64; // in [0, 2^16)
+        if int_part >= 15 {
+            return Fix::MAX;
+        }
+        if int_part < -(FRAC_BITS as i32) - 2 {
+            return Fix::ZERO;
+        }
+        // 2^f for f in [0,1): cubic fit 1 + 0.695505*f + 0.226170*f^2
+        // + 0.078024*f^3 (coefficients scaled to Q16.16).
+        const C1: i64 = 45_584; // 0.695505 * 65536
+        const C2: i64 = 14_823; // 0.226170 * 65536
+        const C3: i64 = 5_114; // 0.078024 * 65536
+        let f = frac; // Q16
+        let f2 = (f * f) >> FRAC_BITS;
+        let f3 = (f2 * f) >> FRAC_BITS;
+        let poly = SCALE + ((C1 * f + C2 * f2 + C3 * f3) >> FRAC_BITS);
+        let shifted = if int_part >= 0 {
+            poly << int_part
+        } else {
+            poly >> (-int_part) as u32
+        };
+        Fix(saturate(shifted))
+    }
+
+    /// Integer-only natural exponential `e^self` via `exp2(self * log2 e)`.
+    pub fn exp(self) -> Fix {
+        const LOG2_E: i64 = 94_548; // 1.442695 * 65536
+        let scaled = (self.0 as i64 * LOG2_E) >> FRAC_BITS;
+        Fix(saturate(scaled)).exp2()
+    }
+
+    /// Integer-only logistic sigmoid `1 / (1 + e^-x)`.
+    ///
+    /// Kernel-side MLPs use this for output probabilities; it is exact
+    /// at 0 (`HALF`) and saturates to 0/1 beyond about +/-11.
+    pub fn sigmoid(self) -> Fix {
+        if self.0 >= 11 * SCALE as i32 {
+            return Fix::ONE;
+        }
+        if self.0 <= -11 * SCALE as i32 {
+            return Fix::ZERO;
+        }
+        let e = (-self).exp();
+        Fix::ONE.saturating_div(Fix::ONE + e)
+    }
+
+    /// Rectified linear unit: `max(self, 0)`.
+    #[inline]
+    pub fn relu(self) -> Fix {
+        self.max(Fix::ZERO)
+    }
+
+    /// Hyperbolic tangent via `2*sigmoid(2x) - 1`.
+    pub fn tanh(self) -> Fix {
+        let two_x = Fix(saturate(self.0 as i64 * 2));
+        let s = two_x.sigmoid();
+        (s + s) - Fix::ONE
+    }
+
+    /// Integer-only base-2 logarithm; returns `MIN` for non-positive
+    /// inputs.
+    ///
+    /// Uses the classic iterative fractional-bit extraction; accurate to
+    /// the last couple of ulps of Q16.16.
+    pub fn log2(self) -> Fix {
+        if self.0 <= 0 {
+            return Fix::MIN;
+        }
+        let mut x = self.0 as u64; // Q16
+        let mut result: i64 = 0;
+        // Normalize x into [1, 2) in Q16 (i.e. [65536, 131072)).
+        while x < SCALE as u64 {
+            x <<= 1;
+            result -= SCALE;
+        }
+        while x >= 2 * SCALE as u64 {
+            x >>= 1;
+            result += SCALE;
+        }
+        // Extract fractional bits.
+        for i in 1..=FRAC_BITS {
+            x = (x * x) >> FRAC_BITS;
+            if x >= 2 * SCALE as u64 {
+                x >>= 1;
+                result += SCALE >> i;
+            }
+        }
+        Fix(saturate(result))
+    }
+
+    /// Natural logarithm via `log2(x) / log2(e)`.
+    pub fn ln(self) -> Fix {
+        const INV_LOG2_E: i64 = 45_426; // ln(2) * 65536
+        let l2 = self.log2();
+        if l2 == Fix::MIN {
+            return Fix::MIN;
+        }
+        Fix(saturate((l2.0 as i64 * INV_LOG2_E) >> FRAC_BITS))
+    }
+}
+
+#[inline]
+fn saturate(wide: i64) -> i32 {
+    if wide > i32::MAX as i64 {
+        i32::MAX
+    } else if wide < i32::MIN as i64 {
+        i32::MIN
+    } else {
+        wide as i32
+    }
+}
+
+impl core::ops::Add for Fix {
+    type Output = Fix;
+    #[inline]
+    fn add(self, rhs: Fix) -> Fix {
+        Fix(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl core::ops::Sub for Fix {
+    type Output = Fix;
+    #[inline]
+    fn sub(self, rhs: Fix) -> Fix {
+        Fix(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl core::ops::Mul for Fix {
+    type Output = Fix;
+    #[inline]
+    fn mul(self, rhs: Fix) -> Fix {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl core::ops::Div for Fix {
+    type Output = Fix;
+    #[inline]
+    fn div(self, rhs: Fix) -> Fix {
+        self.saturating_div(rhs)
+    }
+}
+
+impl core::ops::Neg for Fix {
+    type Output = Fix;
+    #[inline]
+    fn neg(self) -> Fix {
+        Fix(self.0.checked_neg().unwrap_or(i32::MAX))
+    }
+}
+
+impl core::ops::AddAssign for Fix {
+    #[inline]
+    fn add_assign(&mut self, rhs: Fix) {
+        *self = *self + rhs;
+    }
+}
+
+impl core::ops::SubAssign for Fix {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Fix) {
+        *self = *self - rhs;
+    }
+}
+
+impl core::ops::MulAssign for Fix {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Fix) {
+        *self = *self * rhs;
+    }
+}
+
+impl core::fmt::Debug for Fix {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Fix({})", self.to_f64())
+    }
+}
+
+impl core::fmt::Display for Fix {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.5}", self.to_f64())
+    }
+}
+
+impl From<i32> for Fix {
+    fn from(v: i32) -> Fix {
+        Fix::from_int(v as i64)
+    }
+}
+
+impl core::iter::Sum for Fix {
+    fn sum<I: Iterator<Item = Fix>>(iter: I) -> Fix {
+        iter.fold(Fix::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Fix, b: f64, tol: f64) {
+        assert!(
+            (a.to_f64() - b).abs() <= tol,
+            "{} vs {} (tol {})",
+            a.to_f64(),
+            b,
+            tol
+        );
+    }
+
+    #[test]
+    fn constructors_round_trip() {
+        assert_eq!(Fix::from_int(5).to_f64(), 5.0);
+        assert_eq!(Fix::from_f64(-2.5).to_f64(), -2.5);
+        assert_eq!(Fix::from_raw(SCALE as i32), Fix::ONE);
+        assert_eq!(Fix::ONE.raw(), SCALE as i32);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Fix::from_f64(1.5);
+        let b = Fix::from_f64(0.25);
+        assert_eq!((a + b).to_f64(), 1.75);
+        assert_eq!((a - b).to_f64(), 1.25);
+        assert_eq!((a * b).to_f64(), 0.375);
+        assert_eq!((a / b).to_f64(), 6.0);
+        assert_eq!((-a).to_f64(), -1.5);
+    }
+
+    #[test]
+    fn saturation_on_overflow() {
+        let big = Fix::from_int(30_000);
+        assert_eq!(big + big, Fix::MAX);
+        assert_eq!(big * big, Fix::MAX);
+        assert_eq!(-big - big, Fix::MIN);
+        assert_eq!(Fix::MIN.abs(), Fix::MAX);
+    }
+
+    #[test]
+    fn division_by_zero_saturates() {
+        assert_eq!(Fix::ONE / Fix::ZERO, Fix::MAX);
+        assert_eq!(Fix::NEG_ONE / Fix::ZERO, Fix::MIN);
+        assert_eq!(Fix::ZERO / Fix::ZERO, Fix::ZERO);
+    }
+
+    #[test]
+    fn rounding_and_floor() {
+        assert_eq!(Fix::from_f64(2.5).round_int(), 3);
+        assert_eq!(Fix::from_f64(-2.5).round_int(), -3);
+        assert_eq!(Fix::from_f64(2.49).round_int(), 2);
+        assert_eq!(Fix::from_f64(2.99).floor_int(), 2);
+        assert_eq!(Fix::from_f64(-0.01).floor_int(), -1);
+    }
+
+    #[test]
+    fn sqrt_accuracy() {
+        for &v in &[0.25, 1.0, 2.0, 9.0, 100.0, 12345.678] {
+            close(Fix::from_f64(v).sqrt(), v.sqrt(), 1e-3);
+        }
+        assert_eq!(Fix::from_f64(-4.0).sqrt(), Fix::ZERO);
+        assert_eq!(Fix::ZERO.sqrt(), Fix::ZERO);
+    }
+
+    #[test]
+    fn exp2_accuracy() {
+        for &v in &[-8.0, -1.0, -0.5, 0.0, 0.3, 1.0, 2.7, 10.0] {
+            let expect = 2f64.powf(v);
+            close(Fix::from_f64(v).exp2(), expect, expect.abs() * 1e-3 + 1e-3);
+        }
+        assert_eq!(Fix::from_int(20).exp2(), Fix::MAX);
+        assert_eq!(Fix::from_int(-30).exp2(), Fix::ZERO);
+    }
+
+    #[test]
+    fn exp_and_ln_accuracy() {
+        for &v in &[-5.0f64, -1.0, 0.0, 0.5, 1.0, 3.0] {
+            let expect = v.exp();
+            close(Fix::from_f64(v).exp(), expect, expect * 2e-3 + 2e-3);
+        }
+        for &v in &[0.1, 0.5, 1.0, 2.718, 100.0, 30000.0] {
+            close(Fix::from_f64(v).ln(), v.ln(), 2e-3);
+        }
+        assert_eq!(Fix::ZERO.ln(), Fix::MIN);
+        assert_eq!(Fix::from_f64(-1.0).log2(), Fix::MIN);
+    }
+
+    #[test]
+    fn sigmoid_properties() {
+        assert_eq!(Fix::ZERO.sigmoid(), Fix::HALF);
+        assert_eq!(Fix::from_int(20).sigmoid(), Fix::ONE);
+        assert_eq!(Fix::from_int(-20).sigmoid(), Fix::ZERO);
+        for &v in &[-4.0, -1.0, 0.5, 2.0] {
+            let expect = 1.0 / (1.0 + f64::exp(-v));
+            close(Fix::from_f64(v).sigmoid(), expect, 5e-3);
+        }
+    }
+
+    #[test]
+    fn tanh_and_relu() {
+        close(Fix::from_f64(1.0).tanh(), 1f64.tanh(), 1e-2);
+        assert_eq!(Fix::from_f64(-3.0).relu(), Fix::ZERO);
+        assert_eq!(Fix::from_f64(3.0).relu(), Fix::from_f64(3.0));
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        let a = Fix::from_int(1);
+        let b = Fix::from_int(2);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(Fix::from_int(5).clamp(a, b), b);
+        assert_eq!(Fix::from_int(-5).clamp(a, b), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn clamp_bad_bounds_panics() {
+        let _ = Fix::ONE.clamp(Fix::ONE, Fix::ZERO);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Fix = (1..=4).map(Fix::from_int).sum();
+        assert_eq!(total, Fix::from_int(10));
+    }
+}

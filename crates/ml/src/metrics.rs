@@ -1,0 +1,252 @@
+//! Classification and prefetching quality metrics.
+//!
+//! The paper's Table 1 reports **accuracy** and **coverage** for
+//! prefetchers and Table 2 reports decision **accuracy** for the
+//! scheduler MLP; this module defines those metrics precisely so every
+//! harness computes them the same way.
+//!
+//! For prefetching (following Leap's definitions):
+//! - *accuracy*  = useful prefetches / total prefetches issued;
+//! - *coverage*  = faults avoided by prefetch / faults without prefetch.
+
+use serde::{Deserialize, Serialize};
+
+/// A confusion matrix over `n` classes.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    n: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an `n x n` zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> ConfusionMatrix {
+        assert!(n > 0, "confusion matrix needs at least one class");
+        ConfusionMatrix {
+            n,
+            counts: vec![0; n * n],
+        }
+    }
+
+    /// Records one observation of `(actual, predicted)`.
+    ///
+    /// Out-of-range labels are clamped into the last class rather than
+    /// panicking: metric accounting must never abort a run.
+    pub fn record(&mut self, actual: usize, predicted: usize) {
+        let a = actual.min(self.n - 1);
+        let p = predicted.min(self.n - 1);
+        self.counts[a * self.n + p] += 1;
+    }
+
+    /// Count at `(actual, predicted)`.
+    pub fn get(&self, actual: usize, predicted: usize) -> u64 {
+        self.counts[actual.min(self.n - 1) * self.n + predicted.min(self.n - 1)]
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (diagonal mass / total); 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.n).map(|i| self.counts[i * self.n + i]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Precision for class `c` (true positives / predicted positives);
+    /// 0 when the class was never predicted.
+    pub fn precision(&self, c: usize) -> f64 {
+        let c = c.min(self.n - 1);
+        let tp = self.counts[c * self.n + c];
+        let predicted: u64 = (0..self.n).map(|a| self.counts[a * self.n + c]).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            tp as f64 / predicted as f64
+        }
+    }
+
+    /// Recall for class `c` (true positives / actual positives); 0 when
+    /// the class never occurred.
+    pub fn recall(&self, c: usize) -> f64 {
+        let c = c.min(self.n - 1);
+        let tp = self.counts[c * self.n + c];
+        let actual: u64 = (0..self.n).map(|p| self.counts[c * self.n + p]).sum();
+        if actual == 0 {
+            0.0
+        } else {
+            tp as f64 / actual as f64
+        }
+    }
+
+    /// F1 score for class `c`.
+    pub fn f1(&self, c: usize) -> f64 {
+        let p = self.precision(c);
+        let r = self.recall(c);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Accuracy of a predicted label sequence against ground truth.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn accuracy(actual: &[usize], predicted: &[usize]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "label sequences must align");
+    if actual.is_empty() {
+        return 0.0;
+    }
+    let correct = actual
+        .iter()
+        .zip(predicted.iter())
+        .filter(|(a, p)| a == p)
+        .count();
+    correct as f64 / actual.len() as f64
+}
+
+/// Running prefetch-quality accounting for Table 1.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefetchStats {
+    /// Pages prefetched that were subsequently accessed before eviction.
+    pub useful_prefetches: u64,
+    /// Pages prefetched that were evicted unused.
+    pub wasted_prefetches: u64,
+    /// Demand faults that missed (page absent, no prefetch covered it).
+    pub demand_faults: u64,
+    /// Accesses that hit a prefetched page (a fault avoided).
+    pub prefetch_hits: u64,
+}
+
+impl PrefetchStats {
+    /// Total prefetches issued.
+    pub fn total_prefetches(&self) -> u64 {
+        self.useful_prefetches + self.wasted_prefetches
+    }
+
+    /// Prefetch accuracy in percent: useful / issued.
+    pub fn accuracy_pct(&self) -> f64 {
+        let total = self.total_prefetches();
+        if total == 0 {
+            return 0.0;
+        }
+        100.0 * self.useful_prefetches as f64 / total as f64
+    }
+
+    /// Prefetch coverage in percent: hits / (hits + remaining faults).
+    pub fn coverage_pct(&self) -> f64 {
+        let would_fault = self.prefetch_hits + self.demand_faults;
+        if would_fault == 0 {
+            return 0.0;
+        }
+        100.0 * self.prefetch_hits as f64 / would_fault as f64
+    }
+
+    /// Merges another accounting window into this one.
+    pub fn merge(&mut self, other: &PrefetchStats) {
+        self.useful_prefetches += other.useful_prefetches;
+        self.wasted_prefetches += other.wasted_prefetches;
+        self.demand_faults += other.demand_faults;
+        self.prefetch_hits += other.prefetch_hits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_accuracy() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(0, 0);
+        cm.record(0, 0);
+        cm.record(1, 1);
+        cm.record(1, 0);
+        assert_eq!(cm.total(), 4);
+        assert!((cm.accuracy() - 0.75).abs() < 1e-12);
+        assert_eq!(cm.get(1, 0), 1);
+    }
+
+    #[test]
+    fn confusion_precision_recall_f1() {
+        let mut cm = ConfusionMatrix::new(2);
+        // Class 1: tp=2, fp=1, fn=1.
+        cm.record(1, 1);
+        cm.record(1, 1);
+        cm.record(0, 1);
+        cm.record(1, 0);
+        cm.record(0, 0);
+        assert!((cm.precision(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.recall(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.f1(1) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_degenerate_cases() {
+        let cm = ConfusionMatrix::new(3);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.precision(0), 0.0);
+        assert_eq!(cm.recall(2), 0.0);
+        assert_eq!(cm.f1(1), 0.0);
+    }
+
+    #[test]
+    fn confusion_clamps_out_of_range() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(9, 9);
+        assert_eq!(cm.get(1, 1), 1);
+    }
+
+    #[test]
+    fn accuracy_fn() {
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert!((accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn accuracy_length_mismatch_panics() {
+        let _ = accuracy(&[0], &[0, 1]);
+    }
+
+    #[test]
+    fn prefetch_stats_percentages() {
+        let s = PrefetchStats {
+            useful_prefetches: 80,
+            wasted_prefetches: 20,
+            demand_faults: 30,
+            prefetch_hits: 70,
+        };
+        assert!((s.accuracy_pct() - 80.0).abs() < 1e-12);
+        assert!((s.coverage_pct() - 70.0).abs() < 1e-12);
+        assert_eq!(s.total_prefetches(), 100);
+    }
+
+    #[test]
+    fn prefetch_stats_empty_and_merge() {
+        let mut a = PrefetchStats::default();
+        assert_eq!(a.accuracy_pct(), 0.0);
+        assert_eq!(a.coverage_pct(), 0.0);
+        let b = PrefetchStats {
+            useful_prefetches: 1,
+            wasted_prefetches: 2,
+            demand_faults: 3,
+            prefetch_hits: 4,
+        };
+        a.merge(&b);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,455 @@
+//! Userspace multilayer perceptron (float training side).
+//!
+//! Case study #2 of the paper trains an MLP to mimic the Linux CFS
+//! `can_migrate_task` decision, following Chen et al. (APSys '20). Training
+//! happens in *userspace* with floating point ("ML training could be
+//! performed in real-time in userspace using floating point operations,
+//! with models periodically quantized and pushed to the kernel" — §3.2).
+//! This module is that userspace side: a small fully-connected network
+//! with ReLU hidden layers and a softmax output, trained by mini-batch
+//! SGD. [`crate::quant`] converts the result into the integer model the
+//! kernel-side VM executes.
+
+use crate::dataset::Dataset;
+use crate::error::MlError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters for MLP training.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MlpConfig {
+    /// Sizes of the hidden layers (e.g. `[16, 16]`).
+    pub hidden: Vec<usize>,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// L2 weight decay.
+    pub weight_decay: f64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> MlpConfig {
+        MlpConfig {
+            hidden: vec![16, 16],
+            learning_rate: 0.05,
+            epochs: 60,
+            batch_size: 16,
+            weight_decay: 1e-5,
+        }
+    }
+}
+
+/// One dense layer: `out = W x + b` with row-major `W`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DenseLayer {
+    /// Weights, `out_dim x in_dim`, row-major.
+    pub weights: Vec<f64>,
+    /// Biases, length `out_dim`.
+    pub biases: Vec<f64>,
+    /// Input dimensionality.
+    pub in_dim: usize,
+    /// Output dimensionality.
+    pub out_dim: usize,
+}
+
+impl DenseLayer {
+    fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> DenseLayer {
+        // He initialization for ReLU networks.
+        let std = (2.0 / in_dim as f64).sqrt();
+        let weights = (0..in_dim * out_dim)
+            .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * std)
+            .collect();
+        DenseLayer {
+            weights,
+            biases: vec![0.0; out_dim],
+            in_dim,
+            out_dim,
+        }
+    }
+
+    fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = self.biases.clone();
+        for (o, out_v) in out.iter_mut().enumerate() {
+            let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+            *out_v += row.iter().zip(x.iter()).map(|(w, v)| w * v).sum::<f64>();
+        }
+        out
+    }
+}
+
+/// A trained floating-point MLP classifier.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    /// Layers in forward order; ReLU between all but the last.
+    pub layers: Vec<DenseLayer>,
+    n_features: usize,
+    n_classes: usize,
+}
+
+impl Mlp {
+    /// Trains an MLP on `data` (features are converted from fixed point
+    /// to `f64` on the way in).
+    ///
+    /// Returns [`MlError::EmptyDataset`] / [`MlError::InvalidHyperparameter`]
+    /// on unusable inputs.
+    pub fn train(data: &Dataset, cfg: &MlpConfig, rng: &mut impl Rng) -> Result<Mlp, MlError> {
+        if data.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        if cfg.learning_rate <= 0.0 || cfg.epochs == 0 || cfg.batch_size == 0 {
+            return Err(MlError::InvalidHyperparameter("mlp config"));
+        }
+        let n_features = data.n_features();
+        let n_classes = data.n_classes().max(2);
+        let mut dims = vec![n_features];
+        dims.extend_from_slice(&cfg.hidden);
+        dims.push(n_classes);
+        let mut layers = Vec::new();
+        for w in dims.windows(2) {
+            layers.push(DenseLayer::new(w[0], w[1], rng));
+        }
+        let mut mlp = Mlp {
+            layers,
+            n_features,
+            n_classes,
+        };
+        let xs: Vec<Vec<f64>> = data
+            .samples()
+            .iter()
+            .map(|s| s.features.iter().map(|f| f.to_f64()).collect())
+            .collect();
+        let ys: Vec<usize> = data.samples().iter().map(|s| s.label).collect();
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        for _ in 0..cfg.epochs {
+            // Fisher-Yates shuffle with the provided RNG.
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for batch in order.chunks(cfg.batch_size) {
+                mlp.sgd_step(&xs, &ys, batch, cfg);
+            }
+        }
+        Ok(mlp)
+    }
+
+    /// Forward pass returning softmax class probabilities.
+    ///
+    /// Returns [`MlError::ShapeMismatch`] on dimensionality mismatch.
+    pub fn predict_proba(&self, features: &[f64]) -> Result<Vec<f64>, MlError> {
+        if features.len() != self.n_features {
+            return Err(MlError::ShapeMismatch {
+                expected: self.n_features,
+                got: features.len(),
+            });
+        }
+        let (acts, _) = self.forward(features);
+        Ok(softmax(acts.last().expect("network has layers")))
+    }
+
+    /// Predicts the most likely class.
+    pub fn predict(&self, features: &[f64]) -> Result<usize, MlError> {
+        let p = self.predict_proba(features)?;
+        Ok(argmax(&p))
+    }
+
+    /// Accuracy over a dataset.
+    pub fn evaluate(&self, data: &Dataset) -> Result<f64, MlError> {
+        if data.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        let mut correct = 0;
+        for s in data.samples() {
+            let x: Vec<f64> = s.features.iter().map(|f| f.to_f64()).collect();
+            if self.predict(&x)? == s.label {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / data.len() as f64)
+    }
+
+    /// Feature dimensionality.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Folds per-feature min/max normalization into the first layer, so
+    /// the resulting network accepts *raw* features while behaving as if
+    /// inputs were scaled to `[0, 1]`.
+    ///
+    /// For normalized input `x' = (x - min) / (max - min)`, the first
+    /// layer `W x' + b` equals `(W / range) x + (b - W (min / range))`;
+    /// this rewrites `W` and `b` accordingly. Used before quantization
+    /// so the kernel-side datapath needs no normalization instructions.
+    ///
+    /// Returns [`MlError::ShapeMismatch`] if `ranges` does not match the
+    /// input dimensionality.
+    #[allow(clippy::needless_range_loop)] // Parallel-array indexing is clearer here.
+    pub fn fold_input_normalization(&self, ranges: &[(f64, f64)]) -> Result<Mlp, MlError> {
+        if ranges.len() != self.n_features {
+            return Err(MlError::ShapeMismatch {
+                expected: self.n_features,
+                got: ranges.len(),
+            });
+        }
+        let mut out = self.clone();
+        let first = &mut out.layers[0];
+        for o in 0..first.out_dim {
+            let mut bias_shift = 0.0;
+            for j in 0..first.in_dim {
+                let (lo, hi) = ranges[j];
+                let range = hi - lo;
+                let w = first.weights[o * first.in_dim + j];
+                if range <= 1e-9 {
+                    // Degenerate (constant) column: normalization mapped
+                    // it to 0 during training, so its contribution was
+                    // always zero — drop the weight entirely.
+                    first.weights[o * first.in_dim + j] = 0.0;
+                } else {
+                    first.weights[o * first.in_dim + j] = w / range;
+                    bias_shift += w * lo / range;
+                }
+            }
+            first.biases[o] -= bias_shift;
+        }
+        Ok(out)
+    }
+
+    /// Forward pass collecting post-activation outputs per layer; the
+    /// last entry is the pre-softmax logits.
+    fn forward(&self, x: &[f64]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut acts = Vec::with_capacity(self.layers.len());
+        let mut pre = Vec::with_capacity(self.layers.len());
+        let mut cur = x.to_vec();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let z = layer.forward(&cur);
+            pre.push(z.clone());
+            cur = if i + 1 == self.layers.len() {
+                z
+            } else {
+                z.iter().map(|&v| v.max(0.0)).collect()
+            };
+            acts.push(cur.clone());
+        }
+        (acts, pre)
+    }
+
+    /// One SGD step over a mini-batch (cross-entropy loss, backprop).
+    #[allow(clippy::needless_range_loop)] // Gradient index math mirrors the formulas.
+    fn sgd_step(&mut self, xs: &[Vec<f64>], ys: &[usize], batch: &[usize], cfg: &MlpConfig) {
+        let lr = cfg.learning_rate / batch.len() as f64;
+        // Accumulate gradients over the batch.
+        let mut grads_w: Vec<Vec<f64>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.weights.len()])
+            .collect();
+        let mut grads_b: Vec<Vec<f64>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.biases.len()])
+            .collect();
+        for &i in batch {
+            let x = &xs[i];
+            let y = ys[i];
+            let (acts, pre) = self.forward(x);
+            let probs = softmax(acts.last().expect("layers"));
+            // dL/dlogits for cross-entropy with softmax.
+            let mut delta: Vec<f64> = probs;
+            delta[y.min(self.n_classes - 1)] -= 1.0;
+            for l in (0..self.layers.len()).rev() {
+                let input: &[f64] = if l == 0 { x } else { &acts[l - 1] };
+                let layer = &self.layers[l];
+                for o in 0..layer.out_dim {
+                    grads_b[l][o] += delta[o];
+                    for j in 0..layer.in_dim {
+                        grads_w[l][o * layer.in_dim + j] += delta[o] * input[j];
+                    }
+                }
+                if l > 0 {
+                    // Propagate through weights and the ReLU derivative.
+                    let mut next = vec![0.0; layer.in_dim];
+                    for o in 0..layer.out_dim {
+                        for (j, nj) in next.iter_mut().enumerate() {
+                            *nj += layer.weights[o * layer.in_dim + j] * delta[o];
+                        }
+                    }
+                    for (j, nj) in next.iter_mut().enumerate() {
+                        if pre[l - 1][j] <= 0.0 {
+                            *nj = 0.0;
+                        }
+                    }
+                    delta = next;
+                }
+            }
+        }
+        for (l, layer) in self.layers.iter_mut().enumerate() {
+            for (w, g) in layer.weights.iter_mut().zip(grads_w[l].iter()) {
+                *w -= lr * (g + cfg.weight_decay * *w);
+            }
+            for (b, g) in layer.biases.iter_mut().zip(grads_b[l].iter()) {
+                *b -= lr * g;
+            }
+        }
+    }
+}
+
+fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+fn argmax(v: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in v.iter().enumerate() {
+        if x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Sample;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn linear_dataset(n: usize) -> Dataset {
+        // Label = (2*x0 - x1 > 0).
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut samples = Vec::new();
+        for _ in 0..n {
+            let x0: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+            let x1: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+            samples.push(Sample::from_f64(&[x0, x1], (2.0 * x0 - x1 > 0.0) as usize));
+        }
+        Dataset::from_samples(samples).unwrap()
+    }
+
+    #[test]
+    fn learns_linear_boundary() {
+        let ds = linear_dataset(400);
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = MlpConfig {
+            hidden: vec![8],
+            epochs: 40,
+            ..MlpConfig::default()
+        };
+        let mlp = Mlp::train(&ds, &cfg, &mut rng).unwrap();
+        assert!(mlp.evaluate(&ds).unwrap() > 0.95);
+    }
+
+    #[test]
+    fn learns_xor_with_hidden_layer() {
+        let mut samples = Vec::new();
+        for &(a, b) in &[(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+            for _ in 0..25 {
+                samples.push(Sample::from_f64(
+                    &[a, b],
+                    ((a as i32) ^ (b as i32)) as usize,
+                ));
+            }
+        }
+        let ds = Dataset::from_samples(samples).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = MlpConfig {
+            hidden: vec![8],
+            epochs: 300,
+            learning_rate: 0.2,
+            ..MlpConfig::default()
+        };
+        let mlp = Mlp::train(&ds, &cfg, &mut rng).unwrap();
+        assert!(mlp.evaluate(&ds).unwrap() > 0.95);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let ds = linear_dataset(50);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mlp = Mlp::train(&ds, &MlpConfig::default(), &mut rng).unwrap();
+        let p = mlp.predict_proba(&[0.3, -0.2]).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let ds = linear_dataset(10);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(Mlp::train(&Dataset::new(), &MlpConfig::default(), &mut rng).is_err());
+        let bad = MlpConfig {
+            epochs: 0,
+            ..MlpConfig::default()
+        };
+        assert!(Mlp::train(&ds, &bad, &mut rng).is_err());
+        let mlp = Mlp::train(&ds, &MlpConfig::default(), &mut rng).unwrap();
+        assert!(mlp.predict(&[0.0]).is_err());
+        assert!(mlp.evaluate(&Dataset::new()).is_err());
+    }
+
+    #[test]
+    fn fold_normalization_matches_normalized_network() {
+        // Train on normalized data, fold the transform, and check the
+        // folded network reproduces predictions on raw inputs.
+        let mut rng = StdRng::seed_from_u64(7);
+        let raw: Vec<(Vec<f64>, usize)> = (0..200)
+            .map(|_| {
+                let x0: f64 = rng.gen::<f64>() * 1000.0;
+                let x1: f64 = rng.gen::<f64>() * 5.0;
+                let label = (x0 / 1000.0 + x1 / 5.0 > 1.0) as usize;
+                (vec![x0, x1], label)
+            })
+            .collect();
+        let ranges = [(0.0, 1000.0), (0.0, 5.0)];
+        let norm_ds = Dataset::from_samples(
+            raw.iter()
+                .map(|(x, y)| Sample::from_f64(&[x[0] / 1000.0, x[1] / 5.0], *y))
+                .collect(),
+        )
+        .unwrap();
+        let cfg = MlpConfig {
+            hidden: vec![8],
+            epochs: 40,
+            ..MlpConfig::default()
+        };
+        let mlp = Mlp::train(&norm_ds, &cfg, &mut rng).unwrap();
+        let folded = mlp.fold_input_normalization(&ranges).unwrap();
+        let mut agree = 0;
+        for (x, _) in &raw {
+            let p_norm = mlp.predict(&[x[0] / 1000.0, x[1] / 5.0]).unwrap();
+            let p_fold = folded.predict(x).unwrap();
+            if p_norm == p_fold {
+                agree += 1;
+            }
+        }
+        assert!(agree as f64 / raw.len() as f64 > 0.99, "agree {agree}/200");
+        // Shape validation.
+        assert!(mlp.fold_input_normalization(&[(0.0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn no_hidden_layers_is_logistic_regression() {
+        let ds = linear_dataset(300);
+        let mut rng = StdRng::seed_from_u64(6);
+        let cfg = MlpConfig {
+            hidden: vec![],
+            epochs: 60,
+            ..MlpConfig::default()
+        };
+        let mlp = Mlp::train(&ds, &cfg, &mut rng).unwrap();
+        assert_eq!(mlp.layers.len(), 1);
+        assert!(mlp.evaluate(&ds).unwrap() > 0.9);
+    }
+}

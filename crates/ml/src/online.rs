@@ -1,0 +1,290 @@
+//! Online (windowed) learning for in-kernel models.
+//!
+//! §4 case study #1: "Our RMT pipeline collects page access traces for
+//! each process for online training and inference. It trains a new
+//! decision tree periodically in the background for each time window,
+//! while discarding the old ones." This module is that loop: an
+//! [`OnlineTreeLearner`] accumulates labeled samples into a bounded
+//! window, retrains when the window fills, replaces the previous model,
+//! and tracks a rolling prediction accuracy that the control plane uses
+//! for drift detection ("if the prefetching accuracy falls below a
+//! threshold, the control plane will recompute ML decisions to be more
+//! conservative" — §3.1).
+
+use crate::dataset::{Dataset, Sample};
+use crate::error::MlError;
+use crate::fixed::Fix;
+use crate::tree::{DecisionTree, TreeConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Configuration for windowed online tree learning.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OnlineConfig {
+    /// Samples per training window.
+    pub window: usize,
+    /// Tree hyperparameters used for each retrain.
+    pub tree: TreeConfig,
+    /// Size of the rolling accuracy window used for drift detection.
+    pub accuracy_window: usize,
+    /// Rolling accuracy below which [`OnlineTreeLearner::drifted`]
+    /// reports `true` (in `[0, 1]`).
+    pub drift_threshold: f64,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> OnlineConfig {
+        OnlineConfig {
+            window: 256,
+            tree: TreeConfig::default(),
+            accuracy_window: 128,
+            drift_threshold: 0.5,
+        }
+    }
+}
+
+/// A windowed online learner wrapping [`DecisionTree`].
+#[derive(Clone, Debug)]
+pub struct OnlineTreeLearner {
+    cfg: OnlineConfig,
+    buffer: Vec<Sample>,
+    model: Option<DecisionTree>,
+    recent: VecDeque<bool>,
+    retrain_count: u64,
+    observed: u64,
+}
+
+impl OnlineTreeLearner {
+    /// Creates a learner; no model exists until the first window fills.
+    ///
+    /// Returns [`MlError::InvalidHyperparameter`] for a zero window.
+    pub fn new(cfg: OnlineConfig) -> Result<OnlineTreeLearner, MlError> {
+        if cfg.window == 0 || cfg.accuracy_window == 0 {
+            return Err(MlError::InvalidHyperparameter("window"));
+        }
+        Ok(OnlineTreeLearner {
+            cfg,
+            buffer: Vec::with_capacity(cfg.window),
+            model: None,
+            recent: VecDeque::with_capacity(cfg.accuracy_window),
+            retrain_count: 0,
+            observed: 0,
+        })
+    }
+
+    /// Feeds one labeled observation.
+    ///
+    /// If a model exists, the observation is first scored against it to
+    /// update the rolling accuracy (test-then-train, the standard
+    /// prequential evaluation for online learners); it is then added to
+    /// the window, and a retrain fires when the window fills. Returns
+    /// `true` if this call triggered a retrain.
+    pub fn observe(&mut self, features: &[Fix], label: usize) -> Result<bool, MlError> {
+        self.observed += 1;
+        if let Some(model) = &self.model {
+            if features.len() == model.n_features() {
+                let correct = model.predict(features)? == label;
+                if self.recent.len() == self.cfg.accuracy_window {
+                    self.recent.pop_front();
+                }
+                self.recent.push_back(correct);
+            }
+        }
+        self.buffer.push(Sample {
+            features: features.to_vec(),
+            label,
+        });
+        if self.buffer.len() >= self.cfg.window {
+            self.retrain()?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Trains a fresh tree on the current window and discards the old
+    /// model and window, per the paper's per-window retraining scheme.
+    pub fn retrain(&mut self) -> Result<(), MlError> {
+        if self.buffer.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        let data = Dataset::from_samples(std::mem::take(&mut self.buffer))?;
+        self.model = Some(DecisionTree::train(&data, &self.cfg.tree)?);
+        self.retrain_count += 1;
+        Ok(())
+    }
+
+    /// Predicts with the current model; `None` before the first window
+    /// completes (callers fall back to the non-ML heuristic, which is
+    /// how the paper's prototype bootstraps).
+    pub fn predict(&self, features: &[Fix]) -> Option<usize> {
+        let model = self.model.as_ref()?;
+        if features.len() != model.n_features() {
+            return None;
+        }
+        model.predict(features).ok()
+    }
+
+    /// Predicts with confidence, if a model exists and shapes match.
+    pub fn predict_with_confidence(&self, features: &[Fix]) -> Option<(usize, Fix)> {
+        let model = self.model.as_ref()?;
+        if features.len() != model.n_features() {
+            return None;
+        }
+        model.predict_with_confidence(features).ok()
+    }
+
+    /// Rolling prequential accuracy over the recent window; `None` until
+    /// any scored observation exists.
+    pub fn rolling_accuracy(&self) -> Option<f64> {
+        if self.recent.is_empty() {
+            return None;
+        }
+        let correct = self.recent.iter().filter(|&&c| c).count();
+        Some(correct as f64 / self.recent.len() as f64)
+    }
+
+    /// Returns `true` when the rolling accuracy has dropped below the
+    /// drift threshold — the control plane's signal to reconfigure
+    /// toward a more conservative policy.
+    pub fn drifted(&self) -> bool {
+        match self.rolling_accuracy() {
+            Some(acc) if self.recent.len() >= self.cfg.accuracy_window / 2 => {
+                acc < self.cfg.drift_threshold
+            }
+            _ => false,
+        }
+    }
+
+    /// The current model, if one has been trained.
+    pub fn model(&self) -> Option<&DecisionTree> {
+        self.model.as_ref()
+    }
+
+    /// Number of retrains performed so far.
+    pub fn retrain_count(&self) -> u64 {
+        self.retrain_count
+    }
+
+    /// Total observations fed.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Samples currently buffered toward the next window.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(window: usize) -> OnlineConfig {
+        OnlineConfig {
+            window,
+            accuracy_window: 16,
+            drift_threshold: 0.6,
+            tree: TreeConfig {
+                max_depth: 4,
+                min_samples_split: 2,
+                max_thresholds: 16,
+            },
+        }
+    }
+
+    /// Feature = x, label = x > 5 — trivially learnable.
+    fn feed_phase_a(l: &mut OnlineTreeLearner, n: usize) {
+        for i in 0..n {
+            let x = (i % 10) as i64;
+            l.observe(&[Fix::from_int(x)], (x > 5) as usize).unwrap();
+        }
+    }
+
+    /// Inverted concept: label = x <= 5.
+    fn feed_phase_b(l: &mut OnlineTreeLearner, n: usize) {
+        for i in 0..n {
+            let x = (i % 10) as i64;
+            l.observe(&[Fix::from_int(x)], (x <= 5) as usize).unwrap();
+        }
+    }
+
+    #[test]
+    fn no_model_until_first_window() {
+        let mut l = OnlineTreeLearner::new(cfg(20)).unwrap();
+        assert!(l.predict(&[Fix::ZERO]).is_none());
+        feed_phase_a(&mut l, 19);
+        assert!(l.model().is_none());
+        assert_eq!(l.buffered(), 19);
+        feed_phase_a(&mut l, 1);
+        assert!(l.model().is_some());
+        assert_eq!(l.retrain_count(), 1);
+        assert_eq!(l.buffered(), 0);
+    }
+
+    #[test]
+    fn learns_and_predicts() {
+        let mut l = OnlineTreeLearner::new(cfg(40)).unwrap();
+        feed_phase_a(&mut l, 40);
+        assert_eq!(l.predict(&[Fix::from_int(9)]), Some(1));
+        assert_eq!(l.predict(&[Fix::from_int(1)]), Some(0));
+        // Wrong arity -> None, never a panic on the datapath.
+        assert!(l.predict(&[Fix::ZERO, Fix::ZERO]).is_none());
+    }
+
+    #[test]
+    fn rolling_accuracy_tracks_concept_drift() {
+        let mut l = OnlineTreeLearner::new(cfg(40)).unwrap();
+        feed_phase_a(&mut l, 40); // Model trained on concept A.
+        feed_phase_a(&mut l, 16); // Scored correctly.
+        assert!(l.rolling_accuracy().unwrap() > 0.9);
+        assert!(!l.drifted());
+        feed_phase_b(&mut l, 16); // Concept flips; scores collapse.
+        assert!(l.rolling_accuracy().unwrap() < 0.5);
+        assert!(l.drifted());
+    }
+
+    #[test]
+    fn retraining_recovers_from_drift() {
+        let mut l = OnlineTreeLearner::new(cfg(40)).unwrap();
+        feed_phase_a(&mut l, 40);
+        feed_phase_b(&mut l, 80); // Two full windows of the new concept.
+        assert!(l.retrain_count() >= 2);
+        assert_eq!(l.predict(&[Fix::from_int(9)]), Some(0));
+        assert_eq!(l.predict(&[Fix::from_int(1)]), Some(1));
+    }
+
+    #[test]
+    fn manual_retrain_on_partial_window() {
+        let mut l = OnlineTreeLearner::new(cfg(100)).unwrap();
+        feed_phase_a(&mut l, 30);
+        l.retrain().unwrap();
+        assert!(l.model().is_some());
+        assert_eq!(l.buffered(), 0);
+        assert!(l.retrain().is_err()); // Nothing buffered now.
+    }
+
+    #[test]
+    fn validates_config() {
+        assert!(OnlineTreeLearner::new(OnlineConfig {
+            window: 0,
+            ..cfg(1)
+        })
+        .is_err());
+        assert!(OnlineTreeLearner::new(OnlineConfig {
+            accuracy_window: 0,
+            ..cfg(1)
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn confidence_available_after_training() {
+        let mut l = OnlineTreeLearner::new(cfg(40)).unwrap();
+        assert!(l.predict_with_confidence(&[Fix::ZERO]).is_none());
+        feed_phase_a(&mut l, 40);
+        let (label, conf) = l.predict_with_confidence(&[Fix::from_int(9)]).unwrap();
+        assert_eq!(label, 1);
+        assert!(conf > Fix::HALF);
+    }
+}

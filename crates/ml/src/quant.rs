@@ -1,0 +1,329 @@
+//! Model quantization: userspace floats to kernel-side integers.
+//!
+//! §3.2: "ML training could be performed in real-time in userspace using
+//! floating point operations, with models periodically quantized and
+//! pushed to the kernel for inference." This module performs that
+//! quantization. An [`Mlp`] trained in `f64` becomes a [`QuantMlp`]
+//! whose weights are `b`-bit symmetric integers with a per-layer Q16.16
+//! scale; inference is entirely integer ([`Fix`]) arithmetic and is what
+//! the RMT VM's `CALL_ML` executes for "Quantized DNN" models.
+//!
+//! The bit-width is configurable (4..=16) so the `ablation_quant` bench
+//! can sweep accuracy-vs-width, reproducing the design discussion.
+
+use crate::dataset::Dataset;
+use crate::error::MlError;
+use crate::fixed::Fix;
+use crate::mlp::Mlp;
+use serde::{Deserialize, Serialize};
+
+/// A dense layer with `b`-bit integer weights and per-input-column
+/// (channel-wise) dequantization scales.
+///
+/// Per-column scales matter because normalization folding
+/// ([`crate::mlp::Mlp::fold_input_normalization`]) leaves first-layer
+/// columns with magnitudes spanning several orders of magnitude; a
+/// single per-layer scale would quantize the small columns to zero.
+/// Scales are stored in Q32.32 so even very small folded weights keep
+/// relative precision, while all arithmetic stays integer.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantLayer {
+    /// Quantized weights, `out_dim x in_dim`, row-major, in
+    /// `[-(2^(b-1)-1), 2^(b-1)-1]`.
+    pub weights: Vec<i32>,
+    /// Quantized biases (Q16.16, the activation scale).
+    pub biases: Vec<Fix>,
+    /// Per-input-column dequantization scales in Q32.32:
+    /// real weight = `weights[o][j] * col_scales_q32[j] / 2^32`.
+    pub col_scales_q32: Vec<i64>,
+    /// Input dimensionality.
+    pub in_dim: usize,
+    /// Output dimensionality.
+    pub out_dim: usize,
+}
+
+impl QuantLayer {
+    /// Integer forward pass:
+    /// `out[o] = sum_j w[o][j] * s[j] * x[j] + b[o]`.
+    ///
+    /// Each term is `int * Q32.32 * Q16.16 >> 32 = Q16.16`, accumulated
+    /// in `i128` so no intermediate saturation occurs.
+    pub fn forward(&self, x: &[Fix]) -> Vec<Fix> {
+        let mut out = Vec::with_capacity(self.out_dim);
+        for o in 0..self.out_dim {
+            let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc: i128 = 0;
+            for ((w, v), s) in row.iter().zip(x.iter()).zip(self.col_scales_q32.iter()) {
+                acc += (*w as i128 * v.raw() as i128 * *s as i128) >> 32;
+            }
+            let clamped = if acc > i32::MAX as i128 {
+                Fix::MAX
+            } else if acc < i32::MIN as i128 {
+                Fix::MIN
+            } else {
+                Fix::from_raw(acc as i32)
+            };
+            out.push(clamped + self.biases[o]);
+        }
+        out
+    }
+}
+
+/// A fully quantized MLP for kernel-side inference.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantMlp {
+    /// Layers in forward order; ReLU between all but the last.
+    pub layers: Vec<QuantLayer>,
+    /// The bit-width weights were quantized to.
+    pub bits: u32,
+    n_features: usize,
+    n_classes: usize,
+}
+
+impl QuantMlp {
+    /// Quantizes a trained float MLP to `bits`-bit weights.
+    ///
+    /// Returns [`MlError::InvalidHyperparameter`] unless `2 <= bits <= 16`.
+    #[allow(clippy::needless_range_loop)] // Parallel-array indexing is clearer here.
+    pub fn quantize(mlp: &Mlp, bits: u32) -> Result<QuantMlp, MlError> {
+        if !(2..=16).contains(&bits) {
+            return Err(MlError::InvalidHyperparameter("bits"));
+        }
+        let qmax = (1i64 << (bits - 1)) - 1;
+        let mut layers = Vec::with_capacity(mlp.layers.len());
+        for l in &mlp.layers {
+            // Channel-wise: one scale per input column.
+            let mut col_scales = vec![0.0f64; l.in_dim];
+            for o in 0..l.out_dim {
+                for j in 0..l.in_dim {
+                    col_scales[j] = col_scales[j].max(l.weights[o * l.in_dim + j].abs());
+                }
+            }
+            for s in &mut col_scales {
+                *s = (*s / qmax as f64).max(1e-15);
+            }
+            let mut weights = Vec::with_capacity(l.weights.len());
+            for o in 0..l.out_dim {
+                for j in 0..l.in_dim {
+                    let w = l.weights[o * l.in_dim + j];
+                    weights.push(((w / col_scales[j]).round() as i64).clamp(-qmax, qmax) as i32);
+                }
+            }
+            let col_scales_q32 = col_scales
+                .iter()
+                .map(|&s| (s * (1u64 << 32) as f64).round() as i64)
+                .collect();
+            let biases = l.biases.iter().map(|&b| Fix::from_f64(b)).collect();
+            layers.push(QuantLayer {
+                weights,
+                biases,
+                col_scales_q32,
+                in_dim: l.in_dim,
+                out_dim: l.out_dim,
+            });
+        }
+        Ok(QuantMlp {
+            layers,
+            bits,
+            n_features: mlp.n_features(),
+            n_classes: mlp.n_classes(),
+        })
+    }
+
+    /// Creates a zero-weight placeholder with the given shape
+    /// (always predicts class 0).
+    ///
+    /// Program loaders use this to declare a model slot whose real
+    /// weights arrive later via the control plane's model hot-swap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn placeholder(n_features: usize, n_classes: usize) -> QuantMlp {
+        assert!(n_features > 0 && n_classes > 0, "placeholder shape");
+        QuantMlp {
+            layers: vec![QuantLayer {
+                weights: vec![0; n_features * n_classes],
+                biases: vec![Fix::ZERO; n_classes],
+                col_scales_q32: vec![0; n_features],
+                in_dim: n_features,
+                out_dim: n_classes,
+            }],
+            bits: 8,
+            n_features,
+            n_classes,
+        }
+    }
+
+    /// Integer-only forward pass returning pre-softmax logits.
+    ///
+    /// Returns [`MlError::ShapeMismatch`] on dimensionality mismatch.
+    pub fn logits(&self, features: &[Fix]) -> Result<Vec<Fix>, MlError> {
+        if features.len() != self.n_features {
+            return Err(MlError::ShapeMismatch {
+                expected: self.n_features,
+                got: features.len(),
+            });
+        }
+        let mut cur = features.to_vec();
+        for (i, layer) in self.layers.iter().enumerate() {
+            cur = layer.forward(&cur);
+            if i + 1 != self.layers.len() {
+                for v in &mut cur {
+                    *v = v.relu();
+                }
+            }
+        }
+        Ok(cur)
+    }
+
+    /// Predicts the argmax class using integer arithmetic only.
+    pub fn predict(&self, features: &[Fix]) -> Result<usize, MlError> {
+        let logits = self.logits(features)?;
+        let mut best = 0;
+        for (i, v) in logits.iter().enumerate() {
+            if *v > logits[best] {
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Accuracy over a fixed-point dataset.
+    pub fn evaluate(&self, data: &Dataset) -> Result<f64, MlError> {
+        if data.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        let mut correct = 0;
+        for s in data.samples() {
+            if self.predict(&s.features)? == s.label {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / data.len() as f64)
+    }
+
+    /// Feature dimensionality.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Total multiply-accumulate operations per inference (the quantity
+    /// the RMT verifier budgets, following the FLOP-counting rule the
+    /// paper cites for conv layers).
+    pub fn macs(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| (l.in_dim * l.out_dim) as u64)
+            .sum()
+    }
+
+    /// Model memory footprint in bytes (weights + biases + scales).
+    pub fn memory_bytes(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| (l.weights.len() * 4 + l.biases.len() * 4 + l.col_scales_q32.len() * 8) as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Sample;
+    use crate::mlp::MlpConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn trained_pair() -> (Mlp, Dataset) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut samples = Vec::new();
+        for _ in 0..300 {
+            let x0: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+            let x1: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+            samples.push(Sample::from_f64(&[x0, x1], (x0 + x1 > 0.0) as usize));
+        }
+        let ds = Dataset::from_samples(samples).unwrap();
+        let cfg = MlpConfig {
+            hidden: vec![8],
+            epochs: 40,
+            ..MlpConfig::default()
+        };
+        let mlp = Mlp::train(&ds, &cfg, &mut rng).unwrap();
+        (mlp, ds)
+    }
+
+    #[test]
+    fn quantized_model_tracks_float_accuracy() {
+        let (mlp, ds) = trained_pair();
+        let float_acc = mlp.evaluate(&ds).unwrap();
+        let q = QuantMlp::quantize(&mlp, 8).unwrap();
+        let q_acc = q.evaluate(&ds).unwrap();
+        assert!(float_acc > 0.9);
+        assert!(
+            q_acc >= float_acc - 0.05,
+            "quantized {q_acc} vs float {float_acc}"
+        );
+    }
+
+    #[test]
+    fn wider_bits_never_much_worse() {
+        let (mlp, ds) = trained_pair();
+        let acc4 = QuantMlp::quantize(&mlp, 4).unwrap().evaluate(&ds).unwrap();
+        let acc12 = QuantMlp::quantize(&mlp, 12).unwrap().evaluate(&ds).unwrap();
+        assert!(acc12 >= acc4 - 0.02, "12-bit {acc12} vs 4-bit {acc4}");
+    }
+
+    #[test]
+    fn rejects_bad_bit_widths() {
+        let (mlp, _) = trained_pair();
+        assert!(QuantMlp::quantize(&mlp, 1).is_err());
+        assert!(QuantMlp::quantize(&mlp, 17).is_err());
+        assert!(QuantMlp::quantize(&mlp, 2).is_ok());
+    }
+
+    #[test]
+    fn weights_respect_bit_range() {
+        let (mlp, _) = trained_pair();
+        for bits in [2u32, 4, 8] {
+            let q = QuantMlp::quantize(&mlp, bits).unwrap();
+            let qmax = (1i32 << (bits - 1)) - 1;
+            for l in &q.layers {
+                assert!(l.weights.iter().all(|&w| w.abs() <= qmax));
+            }
+        }
+    }
+
+    #[test]
+    fn cost_accounting() {
+        let (mlp, _) = trained_pair();
+        let q = QuantMlp::quantize(&mlp, 8).unwrap();
+        // 2 -> 8 -> 2: 16 + 16 = 32 MACs.
+        assert_eq!(q.macs(), 32);
+        assert!(q.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let (mlp, _) = trained_pair();
+        let q = QuantMlp::quantize(&mlp, 8).unwrap();
+        assert!(q.predict(&[Fix::ZERO]).is_err());
+        assert!(q.evaluate(&Dataset::new()).is_err());
+    }
+
+    #[test]
+    fn logits_match_float_ordering_on_easy_points() {
+        let (mlp, _) = trained_pair();
+        let q = QuantMlp::quantize(&mlp, 10).unwrap();
+        for &(x0, x1) in &[(0.8, 0.8), (-0.8, -0.8)] {
+            let fp = mlp.predict(&[x0, x1]).unwrap();
+            let qp = q.predict(&[Fix::from_f64(x0), Fix::from_f64(x1)]).unwrap();
+            assert_eq!(fp, qp);
+        }
+    }
+}

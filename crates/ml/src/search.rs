@@ -1,0 +1,336 @@
+//! Latency-aware model search (§3.2 "Customized ML").
+//!
+//! The paper prescribes random-search hyper-parameter optimization
+//! (citing Bergstra & Bengio) and hardware-aware architecture search
+//! (citing HALO / HW-NAS-Bench) for fitting models to each kernel
+//! subsystem: "we should tune and co-design the ML algorithms based on
+//! the underlying platform."
+//!
+//! Here the "platform cost model" is the verifier's admission budget:
+//! [`search_mlp`] samples architectures and hyper-parameters at random,
+//! trains each candidate in userspace floats, quantizes it, and scores
+//! only candidates that the target [`LatencyClass`] would admit —
+//! returning the most accurate *deployable* model rather than the most
+//! accurate model. [`search_tree`] does the same for decision trees.
+
+use crate::cost::{CostBudget, Costed, LatencyClass};
+use crate::dataset::Dataset;
+use crate::error::MlError;
+use crate::mlp::{Mlp, MlpConfig};
+use crate::quant::QuantMlp;
+use crate::tree::{DecisionTree, TreeConfig};
+use rand::Rng;
+
+/// Search budget and sampling ranges for MLP candidates.
+#[derive(Clone, Debug)]
+pub struct MlpSearchSpace {
+    /// Candidate architectures to sample.
+    pub trials: usize,
+    /// Hidden layer count range (inclusive), 0 = logistic regression.
+    pub layers: (usize, usize),
+    /// Hidden width choices.
+    pub widths: Vec<usize>,
+    /// Learning-rate choices.
+    pub learning_rates: Vec<f64>,
+    /// Epochs per candidate (kept fixed so trials are comparable).
+    pub epochs: usize,
+    /// Quantization bit-width for deployment scoring.
+    pub bits: u32,
+    /// Fraction of data used for training (rest validates).
+    pub train_frac: f64,
+}
+
+impl Default for MlpSearchSpace {
+    fn default() -> MlpSearchSpace {
+        MlpSearchSpace {
+            trials: 12,
+            layers: (0, 2),
+            widths: vec![4, 8, 16, 32],
+            learning_rates: vec![0.02, 0.05, 0.1],
+            epochs: 30,
+            bits: 8,
+            train_frac: 0.8,
+        }
+    }
+}
+
+/// A search outcome: the winning deployable model and its scorecard.
+#[derive(Clone, Debug)]
+pub struct MlpSearchResult {
+    /// The quantized, admissible winner.
+    pub model: QuantMlp,
+    /// The configuration that produced it.
+    pub config: MlpConfig,
+    /// Validation accuracy of the winner.
+    pub val_accuracy: f64,
+    /// Candidates sampled.
+    pub sampled: usize,
+    /// Candidates rejected by the latency-class budget.
+    pub rejected_by_budget: usize,
+}
+
+/// Randomly searches MLP architectures, returning the best candidate
+/// admissible at `class`.
+///
+/// Returns [`MlError::EmptyDataset`] if no candidate is both trainable
+/// and admissible (e.g. the budget excludes every sampled shape).
+pub fn search_mlp(
+    data: &Dataset,
+    class: LatencyClass,
+    space: &MlpSearchSpace,
+    rng: &mut impl Rng,
+) -> Result<MlpSearchResult, MlError> {
+    if space.trials == 0 {
+        return Err(MlError::InvalidHyperparameter("trials"));
+    }
+    let (train, val) = data.split(space.train_frac, rng)?;
+    let (train_norm, ranges) = train.normalize()?;
+    let f64_ranges: Vec<(f64, f64)> = ranges
+        .iter()
+        .map(|(lo, hi)| (lo.to_f64(), hi.to_f64()))
+        .collect();
+    let budget = CostBudget::for_class(class);
+    let mut best: Option<MlpSearchResult> = None;
+    let mut rejected = 0usize;
+    for _ in 0..space.trials {
+        let n_layers = rng.gen_range(space.layers.0..=space.layers.1);
+        let hidden: Vec<usize> = (0..n_layers)
+            .map(|_| space.widths[rng.gen_range(0..space.widths.len())])
+            .collect();
+        let lr = space.learning_rates[rng.gen_range(0..space.learning_rates.len())];
+        let cfg = MlpConfig {
+            hidden,
+            learning_rate: lr,
+            epochs: space.epochs,
+            batch_size: 32,
+            weight_decay: 1e-5,
+        };
+        let Ok(mlp) = Mlp::train(&train_norm, &cfg, rng) else {
+            continue;
+        };
+        let Ok(folded) = mlp.fold_input_normalization(&f64_ranges) else {
+            continue;
+        };
+        let Ok(quantized) = QuantMlp::quantize(&folded, space.bits) else {
+            continue;
+        };
+        // Hardware/latency-aware gate: deployability first.
+        if budget.admit(&quantized.cost()).is_err() {
+            rejected += 1;
+            continue;
+        }
+        let acc = quantized.evaluate(&val)?;
+        let better = match &best {
+            Some(b) => acc > b.val_accuracy,
+            None => true,
+        };
+        if better {
+            best = Some(MlpSearchResult {
+                model: quantized,
+                config: cfg,
+                val_accuracy: acc,
+                sampled: space.trials,
+                rejected_by_budget: 0, // Filled below.
+            });
+        }
+    }
+    match best {
+        Some(mut b) => {
+            b.rejected_by_budget = rejected;
+            Ok(b)
+        }
+        None => Err(MlError::EmptyDataset),
+    }
+}
+
+/// Search space for decision-tree hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct TreeSearchSpace {
+    /// Candidates to sample.
+    pub trials: usize,
+    /// Depth range (inclusive).
+    pub depths: (usize, usize),
+    /// Min-samples-split choices.
+    pub min_splits: Vec<usize>,
+    /// Fraction of data used for training.
+    pub train_frac: f64,
+}
+
+impl Default for TreeSearchSpace {
+    fn default() -> TreeSearchSpace {
+        TreeSearchSpace {
+            trials: 10,
+            depths: (2, 12),
+            min_splits: vec![2, 4, 8, 16],
+            train_frac: 0.8,
+        }
+    }
+}
+
+/// A tree-search outcome.
+#[derive(Clone, Debug)]
+pub struct TreeSearchResult {
+    /// The winning tree.
+    pub model: DecisionTree,
+    /// Its configuration.
+    pub config: TreeConfig,
+    /// Validation accuracy.
+    pub val_accuracy: f64,
+    /// Candidates rejected by the latency-class budget.
+    pub rejected_by_budget: usize,
+}
+
+/// Randomly searches tree hyper-parameters under a latency-class budget.
+pub fn search_tree(
+    data: &Dataset,
+    class: LatencyClass,
+    space: &TreeSearchSpace,
+    rng: &mut impl Rng,
+) -> Result<TreeSearchResult, MlError> {
+    if space.trials == 0 {
+        return Err(MlError::InvalidHyperparameter("trials"));
+    }
+    let (train, val) = data.split(space.train_frac, rng)?;
+    let budget = CostBudget::for_class(class);
+    let mut best: Option<TreeSearchResult> = None;
+    let mut rejected = 0usize;
+    for _ in 0..space.trials {
+        let cfg = TreeConfig {
+            max_depth: rng.gen_range(space.depths.0..=space.depths.1),
+            min_samples_split: space.min_splits[rng.gen_range(0..space.min_splits.len())],
+            max_thresholds: 32,
+        };
+        let Ok(tree) = DecisionTree::train(&train, &cfg) else {
+            continue;
+        };
+        if budget.admit(&tree.cost()).is_err() {
+            rejected += 1;
+            continue;
+        }
+        let acc = tree.evaluate(&val)?;
+        let better = match &best {
+            Some(b) => acc > b.val_accuracy,
+            None => true,
+        };
+        if better {
+            best = Some(TreeSearchResult {
+                model: tree,
+                config: cfg,
+                val_accuracy: acc,
+                rejected_by_budget: 0,
+            });
+        }
+    }
+    match best {
+        Some(mut b) => {
+            b.rejected_by_budget = rejected;
+            Ok(b)
+        }
+        None => Err(MlError::EmptyDataset),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Sample;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset(n: usize, rng: &mut StdRng) -> Dataset {
+        let mut samples = Vec::new();
+        for _ in 0..n {
+            let x0: f64 = rng.gen::<f64>() * 10.0;
+            let x1: f64 = rng.gen::<f64>() * 10.0;
+            samples.push(Sample::from_f64(&[x0, x1], (x0 + x1 > 10.0) as usize));
+        }
+        Dataset::from_samples(samples).unwrap()
+    }
+
+    #[test]
+    fn mlp_search_finds_an_accurate_deployable_model() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let ds = dataset(600, &mut rng);
+        let space = MlpSearchSpace {
+            trials: 6,
+            epochs: 25,
+            ..MlpSearchSpace::default()
+        };
+        let r = search_mlp(&ds, LatencyClass::Scheduler, &space, &mut rng).unwrap();
+        assert!(r.val_accuracy > 0.9, "val acc {}", r.val_accuracy);
+        // The winner must actually fit the class it was searched for.
+        assert!(CostBudget::for_class(LatencyClass::Scheduler)
+            .admit(&r.model.cost())
+            .is_ok());
+        assert_eq!(r.sampled, 6);
+    }
+
+    #[test]
+    fn mlp_search_respects_tight_budgets() {
+        // A budget so tight that only tiny nets fit: every admitted
+        // candidate must respect it, and big shapes get rejected.
+        let mut rng = StdRng::seed_from_u64(62);
+        let ds = dataset(300, &mut rng);
+        let space = MlpSearchSpace {
+            trials: 8,
+            layers: (2, 2),
+            widths: vec![64], // 2x64 hidden: way over the scheduler budget.
+            epochs: 5,
+            ..MlpSearchSpace::default()
+        };
+        let r = search_mlp(&ds, LatencyClass::Scheduler, &space, &mut rng);
+        match r {
+            Err(MlError::EmptyDataset) => {} // All rejected: acceptable.
+            Ok(res) => {
+                panic!("64x64 nets cannot fit the scheduler budget: {res:?}")
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
+        // The same space against the background class succeeds.
+        let r = search_mlp(&ds, LatencyClass::Background, &space, &mut rng).unwrap();
+        assert!(r.val_accuracy > 0.8);
+    }
+
+    #[test]
+    fn tree_search_finds_depth_that_generalizes() {
+        let mut rng = StdRng::seed_from_u64(63);
+        let ds = dataset(600, &mut rng);
+        let r = search_tree(
+            &ds,
+            LatencyClass::Scheduler,
+            &TreeSearchSpace::default(),
+            &mut rng,
+        )
+        .unwrap();
+        // The diagonal boundary is only piecewise-approximable by an
+        // axis-aligned tree; high-80s validation accuracy is expected.
+        assert!(r.val_accuracy >= 0.85, "val acc {}", r.val_accuracy);
+        assert!(r.model.depth() <= r.config.max_depth);
+    }
+
+    #[test]
+    fn zero_trials_rejected() {
+        let mut rng = StdRng::seed_from_u64(64);
+        let ds = dataset(50, &mut rng);
+        assert!(search_mlp(
+            &ds,
+            LatencyClass::Background,
+            &MlpSearchSpace {
+                trials: 0,
+                ..MlpSearchSpace::default()
+            },
+            &mut rng
+        )
+        .is_err());
+        assert!(search_tree(
+            &ds,
+            LatencyClass::Background,
+            &TreeSearchSpace {
+                trials: 0,
+                ..TreeSearchSpace::default()
+            },
+            &mut rng
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,265 @@
+//! Integer linear SVM ("Integer SVM" in the paper's Figure 1 model zoo).
+//!
+//! A linear support-vector classifier trained with the Pegasos
+//! stochastic sub-gradient method. Training keeps weights in `f64`
+//! (userspace side); [`LinearSvm::quantize`] freezes them into Q16.16 for
+//! kernel-side inference, which is then a single fixed-point dot
+//! product — the cheapest model in the zoo and the one the verifier
+//! admits into the tightest latency classes.
+
+use crate::dataset::Dataset;
+use crate::error::MlError;
+use crate::fixed::Fix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters for Pegasos SVM training.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SvmConfig {
+    /// Regularization strength (lambda in Pegasos).
+    pub lambda: f64,
+    /// Number of stochastic iterations.
+    pub iterations: usize,
+}
+
+impl Default for SvmConfig {
+    fn default() -> SvmConfig {
+        SvmConfig {
+            lambda: 1e-3,
+            iterations: 20_000,
+        }
+    }
+}
+
+/// A binary linear SVM with float weights (userspace form).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinearSvm {
+    /// Weight vector.
+    pub weights: Vec<f64>,
+    /// Bias term.
+    pub bias: f64,
+}
+
+impl LinearSvm {
+    /// Trains a binary SVM (labels must be 0/1).
+    ///
+    /// Returns [`MlError::EmptyDataset`] on empty input and
+    /// [`MlError::InvalidLabel`] if any label exceeds 1.
+    pub fn train(
+        data: &Dataset,
+        cfg: &SvmConfig,
+        rng: &mut impl Rng,
+    ) -> Result<LinearSvm, MlError> {
+        if data.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        if cfg.lambda <= 0.0 || cfg.iterations == 0 {
+            return Err(MlError::InvalidHyperparameter("svm config"));
+        }
+        for s in data.samples() {
+            if s.label > 1 {
+                return Err(MlError::InvalidLabel {
+                    label: s.label,
+                    classes: 2,
+                });
+            }
+        }
+        let n = data.len();
+        let d = data.n_features();
+        let mut w = vec![0.0f64; d];
+        let mut b = 0.0f64;
+        for t in 1..=cfg.iterations {
+            let i = rng.gen_range(0..n);
+            let s = &data.samples()[i];
+            let y = if s.label == 1 { 1.0 } else { -1.0 };
+            let x: Vec<f64> = s.features.iter().map(|f| f.to_f64()).collect();
+            let eta = 1.0 / (cfg.lambda * t as f64);
+            let margin = y * (dot(&w, &x) + b);
+            for wi in w.iter_mut() {
+                *wi *= 1.0 - eta * cfg.lambda;
+            }
+            if margin < 1.0 {
+                for (wi, xi) in w.iter_mut().zip(x.iter()) {
+                    *wi += eta * y * xi;
+                }
+                b += eta * y;
+            }
+        }
+        Ok(LinearSvm {
+            weights: w,
+            bias: b,
+        })
+    }
+
+    /// Predicts 0/1 for a float feature vector.
+    pub fn predict(&self, x: &[f64]) -> Result<usize, MlError> {
+        if x.len() != self.weights.len() {
+            return Err(MlError::ShapeMismatch {
+                expected: self.weights.len(),
+                got: x.len(),
+            });
+        }
+        Ok((dot(&self.weights, x) + self.bias > 0.0) as usize)
+    }
+
+    /// Accuracy over a dataset.
+    pub fn evaluate(&self, data: &Dataset) -> Result<f64, MlError> {
+        if data.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        let mut correct = 0;
+        for s in data.samples() {
+            let x: Vec<f64> = s.features.iter().map(|f| f.to_f64()).collect();
+            if self.predict(&x)? == s.label {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / data.len() as f64)
+    }
+
+    /// Freezes the model into integer form for kernel-side inference.
+    pub fn quantize(&self) -> IntSvm {
+        IntSvm {
+            weights: self.weights.iter().map(|&w| Fix::from_f64(w)).collect(),
+            bias: Fix::from_f64(self.bias),
+        }
+    }
+}
+
+/// A fixed-point linear SVM (kernel-side form).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntSvm {
+    /// Q16.16 weight vector.
+    pub weights: Vec<Fix>,
+    /// Q16.16 bias.
+    pub bias: Fix,
+}
+
+impl IntSvm {
+    /// Predicts 0/1 with integer arithmetic only.
+    pub fn predict(&self, x: &[Fix]) -> Result<usize, MlError> {
+        Ok((self.decision(x)? > Fix::ZERO) as usize)
+    }
+
+    /// Raw decision value `w . x + b` (integer arithmetic).
+    pub fn decision(&self, x: &[Fix]) -> Result<Fix, MlError> {
+        if x.len() != self.weights.len() {
+            return Err(MlError::ShapeMismatch {
+                expected: self.weights.len(),
+                got: x.len(),
+            });
+        }
+        let mut acc: i64 = 0;
+        for (w, v) in self.weights.iter().zip(x.iter()) {
+            acc += (w.raw() as i64 * v.raw() as i64) >> crate::fixed::FRAC_BITS;
+        }
+        acc += self.bias.raw() as i64;
+        Ok(if acc > i32::MAX as i64 {
+            Fix::MAX
+        } else if acc < i32::MIN as i64 {
+            Fix::MIN
+        } else {
+            Fix::from_raw(acc as i32)
+        })
+    }
+
+    /// Accuracy over a fixed-point dataset.
+    pub fn evaluate(&self, data: &Dataset) -> Result<f64, MlError> {
+        if data.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        let mut correct = 0;
+        for s in data.samples() {
+            if self.predict(&s.features)? == s.label {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / data.len() as f64)
+    }
+
+    /// MACs per inference (one per weight).
+    pub fn macs(&self) -> u64 {
+        self.weights.len() as u64
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Sample;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn separable(n: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut samples = Vec::new();
+        for _ in 0..n {
+            let x0: f64 = rng.gen::<f64>() * 4.0 - 2.0;
+            let x1: f64 = rng.gen::<f64>() * 4.0 - 2.0;
+            // Margin of 0.4 around the boundary x0 - x1 = 0.
+            let v = x0 - x1;
+            if v.abs() < 0.4 {
+                continue;
+            }
+            samples.push(Sample::from_f64(&[x0, x1], (v > 0.0) as usize));
+        }
+        Dataset::from_samples(samples).unwrap()
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let ds = separable(500);
+        let mut rng = StdRng::seed_from_u64(22);
+        let svm = LinearSvm::train(&ds, &SvmConfig::default(), &mut rng).unwrap();
+        assert!(svm.evaluate(&ds).unwrap() > 0.97);
+    }
+
+    #[test]
+    fn quantized_matches_float() {
+        let ds = separable(500);
+        let mut rng = StdRng::seed_from_u64(23);
+        let svm = LinearSvm::train(&ds, &SvmConfig::default(), &mut rng).unwrap();
+        let q = svm.quantize();
+        let float_acc = svm.evaluate(&ds).unwrap();
+        let int_acc = q.evaluate(&ds).unwrap();
+        assert!(int_acc >= float_acc - 0.02, "{int_acc} vs {float_acc}");
+        assert_eq!(q.macs(), 2);
+    }
+
+    #[test]
+    fn rejects_multiclass_and_bad_config() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let ds = Dataset::from_samples(vec![Sample::from_f64(&[1.0], 2)]).unwrap();
+        assert!(matches!(
+            LinearSvm::train(&ds, &SvmConfig::default(), &mut rng),
+            Err(MlError::InvalidLabel {
+                label: 2,
+                classes: 2
+            })
+        ));
+        let ok = separable(50);
+        let bad = SvmConfig {
+            iterations: 0,
+            ..SvmConfig::default()
+        };
+        assert!(LinearSvm::train(&ok, &bad, &mut rng).is_err());
+        assert!(LinearSvm::train(&Dataset::new(), &SvmConfig::default(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn shape_checks() {
+        let svm = LinearSvm {
+            weights: vec![1.0, -1.0],
+            bias: 0.0,
+        };
+        assert!(svm.predict(&[1.0]).is_err());
+        let q = svm.quantize();
+        assert!(q.predict(&[Fix::ONE]).is_err());
+        assert_eq!(q.predict(&[Fix::ONE, Fix::ZERO]).unwrap(), 1);
+        assert_eq!(q.predict(&[Fix::ZERO, Fix::ONE]).unwrap(), 0);
+    }
+}

@@ -1,0 +1,535 @@
+//! Integer decision trees with Gini-index splits.
+//!
+//! Case study #1 of the paper replaces the Linux readahead heuristic
+//! with "an in-kernel integer decision tree that can capture more
+//! complex access patterns" (§4), trained online and queried at the
+//! `swap_cluster_readahead` hook. This module implements that model:
+//! CART training with Gini impurity over fixed-point features, and a
+//! branch-free-friendly inference path that uses only integer compares.
+//!
+//! Training is exact (no floating point is needed even for Gini: we
+//! compare impurities via cross-multiplied integer arithmetic), so the
+//! same code can run "in kernel" for online learning.
+
+use crate::dataset::Dataset;
+use crate::error::MlError;
+use crate::fixed::Fix;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters for decision-tree training.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0). Bounded so the verifier can
+    /// compute a worst-case inference cost.
+    pub max_depth: usize,
+    /// Minimum number of samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Maximum number of candidate thresholds evaluated per feature
+    /// (quantile subsampling keeps online training cheap).
+    pub max_thresholds: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> TreeConfig {
+        TreeConfig {
+            max_depth: 8,
+            min_samples_split: 4,
+            max_thresholds: 32,
+        }
+    }
+}
+
+/// A node of the trained tree.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Node {
+    /// A leaf predicting `label`; `counts` records the training-class
+    /// histogram that reached this leaf (used for confidence and
+    /// distillation).
+    Leaf {
+        /// Majority class at this leaf.
+        label: usize,
+        /// Per-class sample counts that reached the leaf.
+        counts: Vec<u64>,
+    },
+    /// An internal node testing `features[feature] <= threshold`.
+    Split {
+        /// Feature index tested.
+        feature: usize,
+        /// Fixed-point split threshold (go left if `<=`).
+        threshold: Fix,
+        /// Subtree for `<= threshold`.
+        left: Box<Node>,
+        /// Subtree for `> threshold`.
+        right: Box<Node>,
+    },
+}
+
+/// A trained integer decision tree.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    root: Node,
+    n_features: usize,
+    n_classes: usize,
+}
+
+impl DecisionTree {
+    /// Trains a tree on `data` with the given configuration.
+    ///
+    /// Returns [`MlError::EmptyDataset`] for empty data and
+    /// [`MlError::InvalidHyperparameter`] for a zero depth/threshold
+    /// budget.
+    pub fn train(data: &Dataset, cfg: &TreeConfig) -> Result<DecisionTree, MlError> {
+        if data.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        if cfg.max_thresholds == 0 {
+            return Err(MlError::InvalidHyperparameter("max_thresholds"));
+        }
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let root = build(data, &idx, cfg, 0);
+        Ok(DecisionTree {
+            root,
+            n_features: data.n_features(),
+            n_classes: data.n_classes(),
+        })
+    }
+
+    /// Predicts the class for a feature vector.
+    ///
+    /// Returns [`MlError::ShapeMismatch`] on dimensionality mismatch.
+    pub fn predict(&self, features: &[Fix]) -> Result<usize, MlError> {
+        if features.len() != self.n_features {
+            return Err(MlError::ShapeMismatch {
+                expected: self.n_features,
+                got: features.len(),
+            });
+        }
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { label, .. } => return Ok(*label),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if features[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Predicts and also returns a Q16.16 confidence (leaf purity).
+    pub fn predict_with_confidence(&self, features: &[Fix]) -> Result<(usize, Fix), MlError> {
+        if features.len() != self.n_features {
+            return Err(MlError::ShapeMismatch {
+                expected: self.n_features,
+                got: features.len(),
+            });
+        }
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { label, counts } => {
+                    let total: u64 = counts.iter().sum();
+                    let conf = if total == 0 {
+                        Fix::ZERO
+                    } else {
+                        Fix::from_int(counts[*label] as i64) / Fix::from_int(total as i64)
+                    };
+                    return Ok((*label, conf));
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if features[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Accuracy over a labeled dataset (userspace-side evaluation).
+    pub fn evaluate(&self, data: &Dataset) -> Result<f64, MlError> {
+        if data.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        let mut correct = 0usize;
+        for s in data.samples() {
+            if self.predict(&s.features)? == s.label {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / data.len() as f64)
+    }
+
+    /// Root node (read-only; used by distillation and feature ranking).
+    pub fn root(&self) -> &Node {
+        &self.root
+    }
+
+    /// Feature dimensionality the tree was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of classes the tree can predict.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Total node count (split + leaf).
+    pub fn node_count(&self) -> usize {
+        fn walk(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => 1 + walk(left) + walk(right),
+            }
+        }
+        walk(&self.root)
+    }
+
+    /// Maximum depth (root = 0).
+    pub fn depth(&self) -> usize {
+        fn walk(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(left).max(walk(right)),
+            }
+        }
+        walk(&self.root)
+    }
+
+    /// Gini-based feature importance: total impurity decrease attributed
+    /// to each feature, normalized to sum to 1 (as Q16.16 is too coarse
+    /// for this, the result is `f64`; ranking is a userspace activity).
+    pub fn gini_importance(&self) -> Vec<f64> {
+        let mut imp = vec![0.0f64; self.n_features];
+        fn node_total(n: &Node) -> u64 {
+            match n {
+                Node::Leaf { counts, .. } => counts.iter().sum(),
+                Node::Split { left, right, .. } => node_total(left) + node_total(right),
+            }
+        }
+        fn node_gini(n: &Node) -> f64 {
+            // Aggregate class histogram under this node.
+            fn hist(n: &Node, acc: &mut Vec<u64>) {
+                match n {
+                    Node::Leaf { counts, .. } => {
+                        if acc.len() < counts.len() {
+                            acc.resize(counts.len(), 0);
+                        }
+                        for (a, c) in acc.iter_mut().zip(counts.iter()) {
+                            *a += c;
+                        }
+                    }
+                    Node::Split { left, right, .. } => {
+                        hist(left, acc);
+                        hist(right, acc);
+                    }
+                }
+            }
+            let mut h = Vec::new();
+            hist(n, &mut h);
+            let total: u64 = h.iter().sum();
+            if total == 0 {
+                return 0.0;
+            }
+            1.0 - h
+                .iter()
+                .map(|&c| {
+                    let p = c as f64 / total as f64;
+                    p * p
+                })
+                .sum::<f64>()
+        }
+        fn walk(n: &Node, imp: &mut [f64]) {
+            if let Node::Split {
+                feature,
+                left,
+                right,
+                ..
+            } = n
+            {
+                let nl = node_total(left) as f64;
+                let nr = node_total(right) as f64;
+                let nt = nl + nr;
+                if nt > 0.0 {
+                    let decrease =
+                        node_gini(n) - (nl / nt) * node_gini(left) - (nr / nt) * node_gini(right);
+                    imp[*feature] += decrease.max(0.0) * nt;
+                }
+                walk(left, imp);
+                walk(right, imp);
+            }
+        }
+        walk(&self.root, &mut imp);
+        let total: f64 = imp.iter().sum();
+        if total > 0.0 {
+            for v in &mut imp {
+                *v /= total;
+            }
+        }
+        imp
+    }
+}
+
+/// Builds a subtree over the sample indices `idx`.
+fn build(data: &Dataset, idx: &[usize], cfg: &TreeConfig, depth: usize) -> Node {
+    let counts = class_counts(data, idx);
+    let majority = argmax_u64(&counts);
+    let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
+    if pure || depth >= cfg.max_depth || idx.len() < cfg.min_samples_split {
+        return Node::Leaf {
+            label: majority,
+            counts,
+        };
+    }
+    match best_split(data, idx, cfg) {
+        Some((feature, threshold)) => {
+            let (li, ri): (Vec<usize>, Vec<usize>) = idx
+                .iter()
+                .partition(|&&i| data.samples()[i].features[feature] <= threshold);
+            if li.is_empty() || ri.is_empty() {
+                return Node::Leaf {
+                    label: majority,
+                    counts,
+                };
+            }
+            Node::Split {
+                feature,
+                threshold,
+                left: Box::new(build(data, &li, cfg, depth + 1)),
+                right: Box::new(build(data, &ri, cfg, depth + 1)),
+            }
+        }
+        None => Node::Leaf {
+            label: majority,
+            counts,
+        },
+    }
+}
+
+fn class_counts(data: &Dataset, idx: &[usize]) -> Vec<u64> {
+    let mut counts = vec![0u64; data.n_classes().max(1)];
+    for &i in idx {
+        counts[data.samples()[i].label] += 1;
+    }
+    counts
+}
+
+fn argmax_u64(counts: &[u64]) -> usize {
+    let mut best = 0;
+    for (i, &c) in counts.iter().enumerate() {
+        if c > counts[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Weighted Gini impurity numerator, scaled so comparisons can be done
+/// in integers: for a partition into sides with class counts `c[s][k]`
+/// and sizes `n[s]`, minimizing weighted Gini is equivalent to
+/// maximizing `sum_s (sum_k c[s][k]^2) / n[s]`. We compare candidate
+/// splits by that score in u128 cross-multiplication.
+struct SplitScore {
+    /// `sum_k left[k]^2 * n_right + sum_k right[k]^2 * n_left`, the
+    /// cross-multiplied score with common denominator `n_left*n_right`.
+    num: u128,
+    den: u128,
+}
+
+impl SplitScore {
+    fn better_than(&self, other: &SplitScore) -> bool {
+        // Compare num/den > other.num/other.den without division.
+        self.num * other.den > other.num * self.den
+    }
+}
+
+fn best_split(data: &Dataset, idx: &[usize], cfg: &TreeConfig) -> Option<(usize, Fix)> {
+    let n_classes = data.n_classes().max(1);
+    let mut best: Option<(usize, Fix, SplitScore)> = None;
+    for f in 0..data.n_features() {
+        // Gather sorted (value, label) pairs for this feature.
+        let mut vals: Vec<(Fix, usize)> = idx
+            .iter()
+            .map(|&i| (data.samples()[i].features[f], data.samples()[i].label))
+            .collect();
+        vals.sort_by_key(|&(v, _)| v);
+        // Candidate thresholds: boundaries between distinct values,
+        // subsampled down to max_thresholds.
+        let mut boundaries: Vec<usize> = Vec::new();
+        for w in 1..vals.len() {
+            if vals[w].0 != vals[w - 1].0 {
+                boundaries.push(w);
+            }
+        }
+        if boundaries.is_empty() {
+            continue;
+        }
+        let step = (boundaries.len() / cfg.max_thresholds).max(1);
+        // Prefix class counts let each candidate be scored in O(classes).
+        let mut prefix = vec![0u64; n_classes];
+        let mut prefixes: Vec<Vec<u64>> = Vec::with_capacity(vals.len() + 1);
+        prefixes.push(prefix.clone());
+        for &(_, label) in &vals {
+            prefix[label] += 1;
+            prefixes.push(prefix.clone());
+        }
+        let total = &prefixes[vals.len()];
+        for bi in (0..boundaries.len()).step_by(step) {
+            let cut = boundaries[bi];
+            let left = &prefixes[cut];
+            let n_left = cut as u128;
+            let n_right = (vals.len() - cut) as u128;
+            let mut left_sq: u128 = 0;
+            let mut right_sq: u128 = 0;
+            for k in 0..n_classes {
+                let l = left[k] as u128;
+                let r = (total[k] - left[k]) as u128;
+                left_sq += l * l;
+                right_sq += r * r;
+            }
+            let score = SplitScore {
+                num: left_sq * n_right + right_sq * n_left,
+                den: n_left * n_right,
+            };
+            let threshold = vals[cut - 1].0;
+            match &best {
+                Some((_, _, b)) if !score.better_than(b) => {}
+                _ => best = Some((f, threshold, score)),
+            }
+        }
+    }
+    best.map(|(f, t, _)| (f, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Sample;
+
+    fn xor_dataset() -> Dataset {
+        // XOR is not linearly separable; a depth-2 tree handles it.
+        let mut samples = Vec::new();
+        for &(a, b) in &[(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+            let label = ((a as i32) ^ (b as i32)) as usize;
+            for _ in 0..5 {
+                samples.push(Sample::from_f64(&[a, b], label));
+            }
+        }
+        Dataset::from_samples(samples).unwrap()
+    }
+
+    #[test]
+    fn learns_xor_exactly() {
+        let ds = xor_dataset();
+        let tree = DecisionTree::train(&ds, &TreeConfig::default()).unwrap();
+        assert_eq!(tree.evaluate(&ds).unwrap(), 1.0);
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let ds = xor_dataset();
+        let cfg = TreeConfig {
+            max_depth: 0,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::train(&ds, &cfg).unwrap();
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.node_count(), 1);
+    }
+
+    #[test]
+    fn rejects_empty_and_bad_config() {
+        let empty = Dataset::new();
+        assert!(DecisionTree::train(&empty, &TreeConfig::default()).is_err());
+        let ds = xor_dataset();
+        let cfg = TreeConfig {
+            max_thresholds: 0,
+            ..TreeConfig::default()
+        };
+        assert!(matches!(
+            DecisionTree::train(&ds, &cfg),
+            Err(MlError::InvalidHyperparameter("max_thresholds"))
+        ));
+    }
+
+    #[test]
+    fn predict_shape_checked() {
+        let ds = xor_dataset();
+        let tree = DecisionTree::train(&ds, &TreeConfig::default()).unwrap();
+        assert!(tree.predict(&[Fix::ZERO]).is_err());
+        assert!(tree.predict_with_confidence(&[Fix::ZERO]).is_err());
+    }
+
+    #[test]
+    fn confidence_is_purity() {
+        let ds = xor_dataset();
+        let tree = DecisionTree::train(&ds, &TreeConfig::default()).unwrap();
+        let (label, conf) = tree
+            .predict_with_confidence(&[Fix::ZERO, Fix::ZERO])
+            .unwrap();
+        assert_eq!(label, 0);
+        assert_eq!(conf, Fix::ONE); // Pure leaves on a noiseless dataset.
+    }
+
+    #[test]
+    fn single_class_dataset_is_a_leaf() {
+        let ds = Dataset::from_samples(vec![
+            Sample::from_f64(&[1.0], 0),
+            Sample::from_f64(&[2.0], 0),
+        ])
+        .unwrap();
+        let tree = DecisionTree::train(&ds, &TreeConfig::default()).unwrap();
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(&[Fix::from_int(99)]).unwrap(), 0);
+    }
+
+    #[test]
+    fn gini_importance_identifies_informative_feature() {
+        // Feature 0 decides the label; feature 1 is constant noise.
+        let mut samples = Vec::new();
+        for i in 0..40 {
+            let x = i as f64;
+            samples.push(Sample::from_f64(&[x, 1.0], (x >= 20.0) as usize));
+        }
+        let ds = Dataset::from_samples(samples).unwrap();
+        let tree = DecisionTree::train(&ds, &TreeConfig::default()).unwrap();
+        let imp = tree.gini_importance();
+        assert!(imp[0] > 0.99, "importance {imp:?}");
+        assert!(imp[1] < 0.01);
+    }
+
+    #[test]
+    fn deeper_trees_never_increase_training_error() {
+        let ds = xor_dataset();
+        let mut prev = 0.0;
+        for d in 0..4 {
+            let cfg = TreeConfig {
+                max_depth: d,
+                min_samples_split: 2,
+                max_thresholds: 16,
+            };
+            let acc = DecisionTree::train(&ds, &cfg)
+                .unwrap()
+                .evaluate(&ds)
+                .unwrap();
+            assert!(acc >= prev - 1e-12, "depth {d}: {acc} < {prev}");
+            prev = acc;
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! # rkd-sim — the simulated kernel substrate
+//!
+//! Discrete-event stand-ins for the kernel subsystems the paper's two
+//! case studies patch: a demand-paging memory subsystem with swap
+//! ([`mem`]) and a CFS-like multicore scheduler with load balancing
+//! ([`sched`]). RMT hooks are attached at the same named points as in
+//! the paper (`lookup_swap_cache`, `swap_cluster_readahead`,
+//! `can_migrate_task`); see DESIGN.md substitution #1.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod mem;
+pub mod sched;

@@ -1,0 +1,212 @@
+//! The simulated page cache (swap cache).
+//!
+//! An LRU-managed set of resident pages with prefetch tagging: pages
+//! brought in by a prefetcher are marked until first touch, so the
+//! simulator can account *useful* vs *wasted* prefetches exactly as
+//! Table 1's accuracy metric requires (a prefetched page evicted
+//! untouched is wasted; a first touch converts it to useful).
+
+use std::collections::HashMap;
+
+/// Why a page became resident.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Residency {
+    /// Faulted in on demand.
+    Demand,
+    /// Brought in by a prefetcher and not yet touched.
+    PrefetchedUntouched,
+    /// Brought in by a prefetcher and touched at least once.
+    PrefetchedUsed,
+}
+
+/// Outcome of an access against the cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Page was resident from a demand fault or already-used prefetch.
+    Hit,
+    /// Page was resident thanks to an untouched prefetch — a fault
+    /// avoided (counts toward coverage).
+    PrefetchHit,
+    /// Page was absent: demand fault.
+    Miss,
+}
+
+/// An LRU page cache with prefetch accounting.
+#[derive(Clone, Debug)]
+pub struct PageCache {
+    capacity: usize,
+    /// page -> (residency, lru_stamp).
+    pages: HashMap<u64, (Residency, u64)>,
+    clock: u64,
+    /// Prefetched pages evicted without ever being touched.
+    wasted_evictions: u64,
+}
+
+impl PageCache {
+    /// Creates a cache holding at most `capacity` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> PageCache {
+        assert!(capacity > 0, "page cache capacity must be nonzero");
+        PageCache {
+            capacity,
+            pages: HashMap::new(),
+            clock: 0,
+            wasted_evictions: 0,
+        }
+    }
+
+    /// Number of resident pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Returns `true` when no pages are resident.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Whether a page is currently resident.
+    pub fn resident(&self, page: u64) -> bool {
+        self.pages.contains_key(&page)
+    }
+
+    /// Accesses a page: classifies the access, faults it in if absent,
+    /// refreshes LRU, and converts untouched prefetches to used.
+    pub fn access(&mut self, page: u64) -> AccessKind {
+        self.clock += 1;
+        let kind = match self.pages.get_mut(&page) {
+            Some((residency, stamp)) => {
+                *stamp = self.clock;
+                match *residency {
+                    Residency::PrefetchedUntouched => {
+                        *residency = Residency::PrefetchedUsed;
+                        AccessKind::PrefetchHit
+                    }
+                    _ => AccessKind::Hit,
+                }
+            }
+            None => {
+                self.insert(page, Residency::Demand);
+                AccessKind::Miss
+            }
+        };
+        kind
+    }
+
+    /// Prefetches a page; returns `true` if it was actually brought in
+    /// (already-resident pages are a no-op and not counted as issued).
+    pub fn prefetch(&mut self, page: u64) -> bool {
+        if self.pages.contains_key(&page) {
+            return false;
+        }
+        self.clock += 1;
+        self.insert(page, Residency::PrefetchedUntouched);
+        true
+    }
+
+    /// Prefetched pages evicted without being touched, so far.
+    pub fn wasted_evictions(&self) -> u64 {
+        self.wasted_evictions
+    }
+
+    /// Counts currently resident untouched prefetches (wasted if the
+    /// run ended now) — the simulator folds these into the final
+    /// accounting.
+    pub fn untouched_resident(&self) -> u64 {
+        self.pages
+            .values()
+            .filter(|(r, _)| *r == Residency::PrefetchedUntouched)
+            .count() as u64
+    }
+
+    fn insert(&mut self, page: u64, residency: Residency) {
+        if self.pages.len() >= self.capacity {
+            // Evict the LRU page.
+            if let Some((&victim, _)) = self.pages.iter().min_by_key(|(_, (_, stamp))| *stamp) {
+                if let Some((r, _)) = self.pages.remove(&victim) {
+                    if r == Residency::PrefetchedUntouched {
+                        self.wasted_evictions += 1;
+                    }
+                }
+            }
+        }
+        self.pages.insert(page, (residency, self.clock));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_fault_then_hit() {
+        let mut c = PageCache::new(4);
+        assert_eq!(c.access(10), AccessKind::Miss);
+        assert_eq!(c.access(10), AccessKind::Hit);
+        assert!(c.resident(10));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn prefetch_hit_counted_once() {
+        let mut c = PageCache::new(4);
+        assert!(c.prefetch(5));
+        assert_eq!(c.access(5), AccessKind::PrefetchHit);
+        // Second touch is a plain hit.
+        assert_eq!(c.access(5), AccessKind::Hit);
+    }
+
+    #[test]
+    fn prefetch_of_resident_page_is_noop() {
+        let mut c = PageCache::new(4);
+        c.access(1);
+        assert!(!c.prefetch(1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = PageCache::new(2);
+        c.access(1);
+        c.access(2);
+        c.access(1); // Refresh 1; 2 is now LRU.
+        c.access(3); // Evicts 2.
+        assert!(c.resident(1));
+        assert!(!c.resident(2));
+        assert!(c.resident(3));
+    }
+
+    #[test]
+    fn wasted_prefetch_on_eviction() {
+        let mut c = PageCache::new(2);
+        c.prefetch(1);
+        c.access(2);
+        c.access(3); // Evicts the untouched prefetch of 1.
+        assert_eq!(c.wasted_evictions(), 1);
+        // A used prefetch is not wasted on eviction.
+        let mut c = PageCache::new(2);
+        c.prefetch(1);
+        c.access(1); // Touch it.
+        c.access(2);
+        c.access(3);
+        assert_eq!(c.wasted_evictions(), 0);
+    }
+
+    #[test]
+    fn untouched_resident_accounting() {
+        let mut c = PageCache::new(8);
+        c.prefetch(1);
+        c.prefetch(2);
+        c.access(1);
+        assert_eq!(c.untouched_resident(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_panics() {
+        let _ = PageCache::new(0);
+    }
+}

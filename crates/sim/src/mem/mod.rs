@@ -1,0 +1,7 @@
+//! The simulated memory subsystem: page cache, swap cost model, and the
+//! three prefetchers of Table 1 (Linux readahead, Leap, RMT-ML).
+
+pub mod cache;
+pub mod ml;
+pub mod prefetcher;
+pub mod sim;

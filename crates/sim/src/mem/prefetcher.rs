@@ -1,0 +1,306 @@
+//! Baseline prefetchers: Linux readahead and Leap.
+//!
+//! §4: "The default readahead prefetcher detects sequential page
+//! accesses and prefetches the next set of pages. Recent work, Leap,
+//! has extended this to detect striding patterns."
+//!
+//! [`Readahead`] models Linux's sequential window-doubling readahead;
+//! [`Leap`] models Leap's Boyer-Moore majority-stride trend detection
+//! (Al Maruf & Chowdhury, ATC '20). Both implement [`Prefetcher`], the
+//! interface the memory simulator drives; the learned prefetcher
+//! (`rkd-sim::mem::ml`) implements the same trait through the RMT VM.
+
+/// A prefetch policy driven once per page access.
+pub trait Prefetcher {
+    /// Policy name for reporting.
+    fn name(&self) -> &'static str;
+
+    /// Observes an access to `page` (after the cache classified it) and
+    /// returns the pages to prefetch now.
+    fn on_access(&mut self, page: u64) -> Vec<u64>;
+
+    /// Fixed per-decision overhead in nanoseconds charged by the cost
+    /// model (heuristics are cheap; ML inference costs more).
+    fn decision_overhead_ns(&self) -> u64 {
+        50
+    }
+}
+
+/// The null policy (no prefetching): the lower bound for coverage.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoPrefetch;
+
+impl Prefetcher for NoPrefetch {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn on_access(&mut self, _page: u64) -> Vec<u64> {
+        Vec::new()
+    }
+
+    fn decision_overhead_ns(&self) -> u64 {
+        0
+    }
+}
+
+/// Linux-style sequential readahead with window doubling.
+///
+/// Detection: an access at `last + 1` extends a sequential run. Once a
+/// run of at least 2 is observed, the prefetcher issues a window of
+/// upcoming pages, doubling the window on each further sequential
+/// access up to `max_window`; any non-sequential access resets.
+#[derive(Clone, Debug)]
+pub struct Readahead {
+    last_page: Option<u64>,
+    run_len: u32,
+    window: u32,
+    /// Initial window size once sequentiality is detected.
+    pub min_window: u32,
+    /// Maximum window size (Linux defaults to 32 pages / 128 KiB).
+    pub max_window: u32,
+    /// Highest page already requested, to avoid re-issuing.
+    issued_until: Option<u64>,
+}
+
+impl Default for Readahead {
+    fn default() -> Readahead {
+        Readahead {
+            last_page: None,
+            run_len: 0,
+            window: 4,
+            min_window: 4,
+            max_window: 32,
+            issued_until: None,
+        }
+    }
+}
+
+impl Prefetcher for Readahead {
+    fn name(&self) -> &'static str {
+        "linux_readahead"
+    }
+
+    fn on_access(&mut self, page: u64) -> Vec<u64> {
+        let sequential = self.last_page == Some(page.wrapping_sub(1));
+        self.last_page = Some(page);
+        if !sequential {
+            self.run_len = 1;
+            self.window = self.min_window;
+            self.issued_until = None;
+            return Vec::new();
+        }
+        self.run_len += 1;
+        if self.run_len < 2 {
+            return Vec::new();
+        }
+        // Issue [next_unissued, page + window].
+        let start = match self.issued_until {
+            Some(u) if u > page => u + 1,
+            _ => page + 1,
+        };
+        let end = page + self.window as u64;
+        let out: Vec<u64> = (start..=end).collect();
+        if end >= start {
+            self.issued_until = Some(end);
+        }
+        self.window = (self.window * 2).min(self.max_window);
+        out
+    }
+}
+
+/// Leap-style majority-stride prefetching.
+///
+/// Keeps a window of recent deltas, finds the Boyer-Moore majority
+/// candidate, and — if the candidate explains at least a quarter of the
+/// window (Leap's relaxed "approximate trend") — prefetches `depth`
+/// pages along that stride.
+#[derive(Clone, Debug)]
+pub struct Leap {
+    history: Vec<i64>,
+    last_page: Option<u64>,
+    /// Delta-history window size.
+    pub window: usize,
+    /// Pages prefetched along the detected stride.
+    pub depth: usize,
+    /// Minimum fraction (as numerator over the window) the majority
+    /// candidate must reach; Leap uses a relaxed threshold.
+    pub min_count_quarter: bool,
+}
+
+impl Default for Leap {
+    fn default() -> Leap {
+        Leap {
+            history: Vec::new(),
+            last_page: None,
+            window: 8,
+            depth: 4,
+            min_count_quarter: true,
+        }
+    }
+}
+
+impl Leap {
+    /// Boyer-Moore majority vote over the current window, plus the
+    /// candidate's actual count.
+    fn majority(&self) -> Option<(i64, usize)> {
+        let mut candidate: Option<i64> = None;
+        let mut count = 0i64;
+        for &d in &self.history {
+            match candidate {
+                Some(c) if c == d => count += 1,
+                Some(_) if count > 0 => count -= 1,
+                _ => {
+                    candidate = Some(d);
+                    count = 1;
+                }
+            }
+        }
+        let c = candidate?;
+        let actual = self.history.iter().filter(|&&d| d == c).count();
+        Some((c, actual))
+    }
+}
+
+impl Prefetcher for Leap {
+    fn name(&self) -> &'static str {
+        "leap"
+    }
+
+    fn on_access(&mut self, page: u64) -> Vec<u64> {
+        if let Some(last) = self.last_page {
+            let delta = page as i64 - last as i64;
+            self.history.push(delta);
+            if self.history.len() > self.window {
+                self.history.remove(0);
+            }
+        }
+        self.last_page = Some(page);
+        if self.history.len() < self.window / 2 {
+            return Vec::new();
+        }
+        let Some((stride, count)) = self.majority() else {
+            return Vec::new();
+        };
+        let threshold = if self.min_count_quarter {
+            self.window / 4
+        } else {
+            self.window / 2 + 1
+        };
+        if count < threshold.max(1) || stride == 0 {
+            return Vec::new();
+        }
+        (1..=self.depth as i64)
+            .map(|i| (page as i64 + stride * i) as u64)
+            .collect()
+    }
+
+    fn decision_overhead_ns(&self) -> u64 {
+        120
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_prefetch_is_silent() {
+        let mut p = NoPrefetch;
+        assert!(p.on_access(1).is_empty());
+        assert_eq!(p.decision_overhead_ns(), 0);
+        assert_eq!(p.name(), "none");
+    }
+
+    #[test]
+    fn readahead_triggers_on_sequential_run() {
+        let mut r = Readahead::default();
+        assert!(r.on_access(10).is_empty(), "first access: no run yet");
+        let w1 = r.on_access(11);
+        assert_eq!(w1, vec![12, 13, 14, 15], "min window after run of 2");
+        let w2 = r.on_access(12);
+        // Window doubled to 8; already issued through 15.
+        assert_eq!(w2, vec![16, 17, 18, 19, 20]);
+    }
+
+    #[test]
+    fn readahead_resets_on_jump() {
+        let mut r = Readahead::default();
+        r.on_access(10);
+        r.on_access(11);
+        assert!(r.on_access(100).is_empty(), "jump: no prefetch");
+        // Run must be re-established.
+        assert!(
+            r.on_access(101).len() == 4,
+            "new run re-triggers min window"
+        );
+    }
+
+    #[test]
+    fn readahead_window_caps_at_max() {
+        let mut r = Readahead::default();
+        for page in 0..20u64 {
+            r.on_access(page);
+        }
+        assert_eq!(r.window, r.max_window);
+    }
+
+    #[test]
+    fn leap_detects_constant_stride() {
+        let mut l = Leap::default();
+        let mut out = Vec::new();
+        for i in 0..10 {
+            out = l.on_access(100 + i * 7);
+        }
+        // Stride 7, depth 4 from the last page (163).
+        assert_eq!(out, vec![170, 177, 184, 191]);
+    }
+
+    #[test]
+    fn leap_silent_without_trend() {
+        let mut l = Leap::default();
+        // Deltas all distinct: candidate count is 1 < window/4 = 2.
+        for &p in &[0u64, 100, 7, 950, 13, 4000, 22, 9000, 31] {
+            assert!(l.on_access(p).is_empty(), "no trend for scattered pages");
+        }
+    }
+
+    #[test]
+    fn leap_handles_alternating_strides_partially() {
+        // Alternating +4 / +8: Boyer-Moore yields one candidate with
+        // count = window/2 >= window/4, so Leap prefetches along ONE of
+        // the strides — the partial capture the video workload exposes.
+        let mut l = Leap::default();
+        let mut page = 0u64;
+        let mut out = Vec::new();
+        for i in 0..16 {
+            out = l.on_access(page);
+            page += if i % 2 == 0 { 4 } else { 8 };
+        }
+        assert!(!out.is_empty(), "relaxed threshold fires");
+        let stride = out[0] as i64 - (page as i64 - 8);
+        assert!(stride == 4 || stride == 8);
+    }
+
+    #[test]
+    fn leap_ignores_zero_stride() {
+        let mut l = Leap::default();
+        for _ in 0..10 {
+            assert!(l.on_access(42).is_empty());
+        }
+    }
+
+    #[test]
+    fn leap_strict_threshold_mode() {
+        let mut l = Leap {
+            min_count_quarter: false,
+            ..Leap::default()
+        };
+        // Alternating strides: no strict majority, so silence.
+        let mut page = 0u64;
+        for i in 0..16 {
+            assert!(l.on_access(page).is_empty() || i < 4);
+            page += if i % 2 == 0 { 4 } else { 8 };
+        }
+    }
+}

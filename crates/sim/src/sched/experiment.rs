@@ -1,0 +1,273 @@
+//! The Table 2 experiment pipeline.
+//!
+//! For one workload, reproduces the paper's case study #2 end to end:
+//!
+//! 1. run the simulator under native CFS, recording every
+//!    `can_migrate_task` decision (the label source);
+//! 2. train a **full-featured MLP** (all 15 features) in userspace
+//!    floats, fold input normalization into the first layer, quantize,
+//!    and install it as an RMT program; rerun with the ML policy while
+//!    shadow-scoring agreement against CFS — Table 2's accuracy;
+//! 3. rank features by permutation importance and keep the top `k`
+//!    (k = 2 in the paper), retrain the **leaner-featured MLP**, and
+//!    rerun the same way.
+//!
+//! Returns the full row: accuracy and JCT for both models plus the
+//! native CFS JCT.
+
+use crate::sched::features::{FEATURE_NAMES, N_FEATURES};
+use crate::sched::policy::{CfsPolicy, MlPolicy, RecordingPolicy, ShadowPolicy};
+use crate::sched::sim::{run, SchedSimConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rkd_core::machine::ExecMode;
+use rkd_ml::dataset::{Dataset, Sample};
+use rkd_ml::feature::{select_top_k, FeatureImportance};
+use rkd_ml::fixed::Fix;
+use rkd_ml::mlp::{Mlp, MlpConfig};
+use rkd_ml::quant::QuantMlp;
+use rkd_ml::tree::{DecisionTree, TreeConfig};
+use rkd_ml::MlError;
+use rkd_workloads::sched::SchedWorkload;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the case-study pipeline.
+#[derive(Clone, Debug)]
+pub struct CaseStudyConfig {
+    /// Simulator configuration.
+    pub sim: SchedSimConfig,
+    /// MLP hyperparameters (both models).
+    pub mlp: MlpConfig,
+    /// Quantization bit-width for the kernel-side model.
+    pub bits: u32,
+    /// Features kept for the lean model.
+    pub lean_k: usize,
+    /// Training-set cap (decision logs can be large).
+    pub max_train_samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Execution mode for the installed policy programs.
+    pub mode: ExecMode,
+}
+
+impl Default for CaseStudyConfig {
+    fn default() -> CaseStudyConfig {
+        CaseStudyConfig {
+            sim: SchedSimConfig::default(),
+            mlp: MlpConfig {
+                hidden: vec![16, 16],
+                learning_rate: 0.08,
+                epochs: 60,
+                batch_size: 32,
+                weight_decay: 1e-5,
+            },
+            bits: 8,
+            lean_k: 2,
+            max_train_samples: 6_000,
+            seed: 42,
+            mode: ExecMode::Jit,
+        }
+    }
+}
+
+/// One row of Table 2.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Full-featured MLP agreement with CFS, in percent.
+    pub full_acc_pct: f64,
+    /// Full-featured MLP job completion time, seconds.
+    pub full_jct_s: f64,
+    /// Leaner-featured MLP agreement with CFS, in percent.
+    pub lean_acc_pct: f64,
+    /// Leaner-featured MLP job completion time, seconds.
+    pub lean_jct_s: f64,
+    /// Native CFS job completion time, seconds.
+    pub linux_jct_s: f64,
+    /// Names of the features the lean model kept.
+    pub lean_features: Vec<String>,
+}
+
+/// Runs the full case-study pipeline for one workload.
+///
+/// Returns an error only if the decision log is degenerate (e.g. a
+/// workload that never triggers balancing).
+pub fn run_case_study(
+    workload: &SchedWorkload,
+    cfg: &CaseStudyConfig,
+) -> Result<Table2Row, MlError> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Phase 1: native CFS with decision recording.
+    let mut recorder = RecordingPolicy::new(CfsPolicy::default());
+    let linux = run(workload, &mut recorder, &cfg.sim);
+    let log = recorder.log;
+    if log.len() < 50 {
+        return Err(MlError::EmptyDataset);
+    }
+    // Phase 2: full-featured model.
+    let full_ds = dataset_from_log(&log, &(0..N_FEATURES).collect::<Vec<_>>(), cfg, &mut rng)?;
+    let full_model = train_quantized(&full_ds, cfg, &mut rng)?;
+    let full_policy = MlPolicy::new(full_model, (0..N_FEATURES).collect(), cfg.mode);
+    let mut full_shadow = ShadowPolicy::new(full_policy, CfsPolicy::default());
+    let full = run(workload, &mut full_shadow, &cfg.sim);
+    // Phase 3: feature ranking -> lean model. An interpretable tree
+    // fitted to the decision log exposes the truly load-bearing
+    // features via Gini importance (the paper's distillation-for-lean-
+    // monitoring argument); model-agnostic permutation importance on an
+    // MLP can surface spuriously correlated, feedback-coupled features.
+    let ranking_tree = DecisionTree::train(
+        &full_ds,
+        &TreeConfig {
+            max_depth: 8,
+            min_samples_split: 8,
+            max_thresholds: 32,
+        },
+    )?;
+    let gini = ranking_tree.gini_importance();
+    let mut ranked: Vec<FeatureImportance> = gini
+        .iter()
+        .enumerate()
+        .map(|(feature, &importance)| FeatureImportance {
+            feature,
+            importance,
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.importance
+            .partial_cmp(&a.importance)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let keep = select_top_k(&ranked, cfg.lean_k.min(N_FEATURES));
+    let lean_ds = dataset_from_log(&log, &keep, cfg, &mut rng)?;
+    let lean_model = train_quantized(&lean_ds, cfg, &mut rng)?;
+    let lean_policy = MlPolicy::new(lean_model, keep.clone(), cfg.mode);
+    let mut lean_shadow = ShadowPolicy::new(lean_policy, CfsPolicy::default());
+    let lean = run(workload, &mut lean_shadow, &cfg.sim);
+    Ok(Table2Row {
+        benchmark: workload.name.clone(),
+        full_acc_pct: full_shadow.agreement_pct(),
+        full_jct_s: full.jct_s(),
+        lean_acc_pct: lean_shadow.agreement_pct(),
+        lean_jct_s: lean.jct_s(),
+        linux_jct_s: linux.jct_s(),
+        lean_features: keep.iter().map(|&i| FEATURE_NAMES[i].to_string()).collect(),
+    })
+}
+
+/// Builds a training dataset from the decision log, projected onto the
+/// selected feature columns and capped/shuffled.
+fn dataset_from_log(
+    log: &[(crate::sched::features::MigrationFeatures, bool)],
+    selected: &[usize],
+    cfg: &CaseStudyConfig,
+    rng: &mut StdRng,
+) -> Result<Dataset, MlError> {
+    let mut idx: Vec<usize> = (0..log.len()).collect();
+    idx.shuffle(rng);
+    idx.truncate(cfg.max_train_samples);
+    let mut ds = Dataset::new();
+    for &i in &idx {
+        let (f, d) = &log[i];
+        let features: Vec<Fix> = f.project(selected).into_iter().map(Fix::from_int).collect();
+        ds.push(Sample {
+            features,
+            label: *d as usize,
+        })?;
+    }
+    Ok(ds)
+}
+
+/// Trains the float MLP on normalized features, then folds the
+/// normalization back so the model accepts raw features.
+fn train_float(ds: &Dataset, cfg: &CaseStudyConfig, rng: &mut StdRng) -> Result<Mlp, MlError> {
+    let (norm, ranges) = ds.normalize()?;
+    let mlp = Mlp::train(&norm, &cfg.mlp, rng)?;
+    let f64_ranges: Vec<(f64, f64)> = ranges
+        .iter()
+        .map(|(lo, hi)| (lo.to_f64(), hi.to_f64()))
+        .collect();
+    mlp.fold_input_normalization(&f64_ranges)
+}
+
+/// Full userspace-to-kernel model path: train, fold, quantize.
+fn train_quantized(
+    ds: &Dataset,
+    cfg: &CaseStudyConfig,
+    rng: &mut StdRng,
+) -> Result<QuantMlp, MlError> {
+    let folded = train_float(ds, cfg, rng)?;
+    QuantMlp::quantize(&folded, cfg.bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rkd_workloads::sched::{fib, TaskSpec};
+
+    /// A scaled-down workload so the pipeline runs fast in tests.
+    fn mini_workload(rng: &mut StdRng) -> SchedWorkload {
+        let mut w = fib(10, rng);
+        for t in &mut w.tasks {
+            t.total_work_us = (t.total_work_us / 20).max(50_000);
+            t.arrival_us /= 4;
+            // Mix footprints so the cache-hot rule matters.
+            t.cache_footprint_kb = if rng.gen_bool(0.5) { 16 } else { 8_192 };
+        }
+        w
+    }
+
+    fn fast_cfg() -> CaseStudyConfig {
+        CaseStudyConfig {
+            mlp: MlpConfig {
+                hidden: vec![16, 16],
+                epochs: 25,
+                learning_rate: 0.08,
+                batch_size: 32,
+                weight_decay: 1e-5,
+            },
+            max_train_samples: 3_000,
+            ..CaseStudyConfig::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_reproduces_table2_shape() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = mini_workload(&mut rng);
+        let row = run_case_study(&w, &fast_cfg()).unwrap();
+        // Paper: full-featured ~99%, lean 94+%.
+        assert!(row.full_acc_pct > 90.0, "full acc {}", row.full_acc_pct);
+        assert!(row.lean_acc_pct > 80.0, "lean acc {}", row.lean_acc_pct);
+        assert_eq!(row.lean_features.len(), 2);
+        // JCT parity: ML within 25% of native CFS.
+        for (name, jct) in [("full", row.full_jct_s), ("lean", row.lean_jct_s)] {
+            let ratio = jct / row.linux_jct_s;
+            assert!(
+                (0.75..1.25).contains(&ratio),
+                "{name} jct ratio {ratio} (ml {jct} vs linux {})",
+                row.linux_jct_s
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_workload_rejected() {
+        // One task: never any balancing decisions.
+        let w = SchedWorkload {
+            name: "solo".into(),
+            tasks: vec![TaskSpec {
+                name: "t".into(),
+                total_work_us: 10_000,
+                burst_us: 1_000,
+                io_wait_us: 0,
+                nice: 0,
+                cache_footprint_kb: 64,
+                arrival_us: 0,
+            }],
+        };
+        assert!(run_case_study(&w, &fast_cfg()).is_err());
+    }
+}

@@ -1,0 +1,9 @@
+//! The simulated CFS scheduler: per-CPU runqueues, vruntime fairness,
+//! periodic load balancing with a pluggable `can_migrate_task` policy,
+//! and the Table 2 experiment pipeline.
+
+pub mod experiment;
+pub mod features;
+pub mod policy;
+pub mod sim;
+pub mod task;

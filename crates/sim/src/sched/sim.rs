@@ -1,0 +1,482 @@
+//! The CFS-like multicore scheduler simulator.
+//!
+//! A time-stepped simulation of per-CPU runqueues with CFS vruntime
+//! fairness and periodic load balancing. The load balancer consults a
+//! [`MigrationPolicy`] for every candidate task — the simulator's
+//! `can_migrate_task` hook — so the native heuristic, a recording
+//! wrapper, or the RMT/ML policy can be swapped in without touching the
+//! scheduler core. Per-decision policy overhead is charged to the
+//! makespan, which is how the lean model's cheaper inference becomes
+//! visible in job completion time.
+
+use crate::sched::features::MigrationFeatures;
+use crate::sched::policy::MigrationPolicy;
+use crate::sched::task::{Task, TaskState};
+use rkd_workloads::sched::SchedWorkload;
+use serde::{Deserialize, Serialize};
+
+/// Simulator configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedSimConfig {
+    /// Number of CPUs.
+    pub cpus: usize,
+    /// Scheduling quantum in microseconds.
+    pub slice_us: u64,
+    /// Load-balancing period in microseconds.
+    pub balance_interval_us: u64,
+    /// Migration cache-refill penalty per MiB of footprint, in
+    /// microseconds added to the migrated task's remaining work.
+    pub migration_cost_us_per_mb: u64,
+    /// Candidates examined per balancing pass.
+    pub max_candidates: usize,
+    /// Tasks migrated within this window are not reconsidered
+    /// (anti-ping-pong hysteresis, like CFS's locality damping).
+    pub migration_hysteresis_us: u64,
+    /// Hard stop (simulated microseconds).
+    pub max_sim_us: u64,
+}
+
+impl Default for SchedSimConfig {
+    fn default() -> SchedSimConfig {
+        SchedSimConfig {
+            cpus: 4,
+            slice_us: 500,
+            balance_interval_us: 4_000,
+            migration_cost_us_per_mb: 50,
+            max_candidates: 2,
+            migration_hysteresis_us: 20_000,
+            max_sim_us: 600_000_000, // 10 simulated minutes.
+        }
+    }
+}
+
+/// Result of one scheduling run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SchedResult {
+    /// Makespan (last completion) in microseconds, including the
+    /// amortized policy overhead.
+    pub jct_us: u64,
+    /// Per-task completion times.
+    pub per_task_us: Vec<(String, u64)>,
+    /// Migrations performed.
+    pub migrations: u64,
+    /// Policy decisions made.
+    pub decisions: u64,
+    /// Total policy overhead in nanoseconds.
+    pub policy_overhead_ns: u64,
+    /// Busy time per CPU.
+    pub cpu_busy_us: Vec<u64>,
+    /// Whether every task completed before the hard stop.
+    pub completed: bool,
+}
+
+impl SchedResult {
+    /// Job completion time in seconds.
+    pub fn jct_s(&self) -> f64 {
+        self.jct_us as f64 / 1e6
+    }
+
+    /// CPU utilization balance: stddev of per-CPU busy time divided by
+    /// the mean (lower = better balanced).
+    pub fn busy_cv(&self) -> f64 {
+        let n = self.cpu_busy_us.len() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let mean = self.cpu_busy_us.iter().sum::<u64>() as f64 / n;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .cpu_busy_us
+            .iter()
+            .map(|&b| (b as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        var.sqrt() / mean
+    }
+}
+
+/// Runs `workload` on the simulated machine under `policy`.
+#[allow(clippy::needless_range_loop)] // Per-CPU loop indexes the busy array.
+pub fn run(
+    workload: &SchedWorkload,
+    policy: &mut dyn MigrationPolicy,
+    cfg: &SchedSimConfig,
+) -> SchedResult {
+    assert!(cfg.cpus > 0 && cfg.slice_us > 0, "bad scheduler config");
+    let mut tasks: Vec<Task> = workload.tasks.iter().cloned().map(Task::new).collect();
+    let mut now: u64 = 0;
+    let mut busy = vec![0u64; cfg.cpus];
+    let mut migrations = 0u64;
+    let mut decisions = 0u64;
+    let mut overhead_ns = 0u64;
+    let mut next_balance = cfg.balance_interval_us;
+    loop {
+        // Arrivals: place on the CPU with the fewest runnable tasks.
+        for i in 0..tasks.len() {
+            if tasks[i].state == TaskState::NotArrived && tasks[i].spec.arrival_us <= now {
+                let target = least_loaded(&tasks, cfg.cpus);
+                tasks[i].cpu = target;
+                tasks[i].state = TaskState::Runnable;
+            }
+        }
+        // Wakeups.
+        for t in tasks.iter_mut() {
+            if let TaskState::Sleeping { until_us } = t.state {
+                if until_us <= now {
+                    t.state = TaskState::Runnable;
+                }
+            }
+        }
+        // Run one quantum per CPU: pick min-vruntime runnable task.
+        for cpu in 0..cfg.cpus {
+            let pick = tasks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.runnable() && t.cpu == cpu)
+                .min_by_key(|(i, t)| (t.vruntime, *i))
+                .map(|(i, _)| i);
+            let Some(i) = pick else { continue };
+            let t = &mut tasks[i];
+            let ran = cfg.slice_us.min(t.burst_left_us).min(t.remaining_us).max(1);
+            t.remaining_us -= ran;
+            t.burst_left_us = t.burst_left_us.saturating_sub(ran);
+            t.charge(ran);
+            t.last_ran_us = now + ran;
+            busy[cpu] += ran;
+            if t.remaining_us == 0 {
+                t.state = TaskState::Done;
+                t.completed_at_us = Some(now + ran);
+            } else if t.burst_left_us == 0 {
+                t.burst_left_us = t.spec.burst_us.max(1);
+                if t.spec.io_wait_us > 0 {
+                    t.state = TaskState::Sleeping {
+                        until_us: now + ran + t.spec.io_wait_us,
+                    };
+                }
+            }
+        }
+        now += cfg.slice_us;
+        // Periodic load balancing.
+        if now >= next_balance {
+            next_balance = now + cfg.balance_interval_us;
+            balance(
+                &mut tasks,
+                cfg,
+                now,
+                policy,
+                &mut migrations,
+                &mut decisions,
+                &mut overhead_ns,
+            );
+        }
+        let all_done = tasks.iter().all(|t| t.state == TaskState::Done);
+        if all_done || now >= cfg.max_sim_us {
+            let completed = all_done;
+            let makespan = tasks
+                .iter()
+                .map(|t| t.completed_at_us.unwrap_or(cfg.max_sim_us))
+                .max()
+                .unwrap_or(0);
+            // Amortize policy overhead across CPUs into the makespan.
+            let jct_us = makespan + overhead_ns / 1000 / cfg.cpus as u64;
+            return SchedResult {
+                jct_us,
+                per_task_us: tasks
+                    .iter()
+                    .map(|t| {
+                        (
+                            t.spec.name.clone(),
+                            t.completed_at_us.unwrap_or(cfg.max_sim_us),
+                        )
+                    })
+                    .collect(),
+                migrations,
+                decisions,
+                policy_overhead_ns: overhead_ns,
+                cpu_busy_us: busy,
+                completed,
+            };
+        }
+    }
+}
+
+fn least_loaded(tasks: &[Task], cpus: usize) -> usize {
+    let mut counts = vec![0usize; cpus];
+    for t in tasks {
+        if t.runnable() || matches!(t.state, TaskState::Sleeping { .. }) {
+            counts[t.cpu] += 1;
+        }
+    }
+    counts
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, &c)| c)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// One load-balancing pass: pull candidates from the busiest CPU to the
+/// idlest, consulting the policy per candidate (`can_migrate_task`).
+#[allow(clippy::too_many_arguments)]
+fn balance(
+    tasks: &mut [Task],
+    cfg: &SchedSimConfig,
+    now: u64,
+    policy: &mut dyn MigrationPolicy,
+    migrations: &mut u64,
+    decisions: &mut u64,
+    overhead_ns: &mut u64,
+) {
+    let loads: Vec<u64> = (0..cfg.cpus)
+        .map(|cpu| {
+            tasks
+                .iter()
+                .filter(|t| t.runnable() && t.cpu == cpu)
+                .map(|t| t.weight)
+                .sum()
+        })
+        .collect();
+    let (busiest, &src_load) = match loads.iter().enumerate().max_by_key(|(_, &l)| l) {
+        Some(x) => x,
+        None => return,
+    };
+    let (idlest, &dst_load) = match loads.iter().enumerate().min_by_key(|(_, &l)| l) {
+        Some(x) => x,
+        None => return,
+    };
+    if busiest == idlest || src_load == 0 {
+        return;
+    }
+    let nr: Vec<i64> = (0..cfg.cpus)
+        .map(|cpu| {
+            tasks
+                .iter()
+                .filter(|t| t.runnable() && t.cpu == cpu)
+                .count() as i64
+        })
+        .collect();
+    let dst_min_vruntime = tasks
+        .iter()
+        .filter(|t| t.runnable() && t.cpu == idlest)
+        .map(|t| t.vruntime)
+        .min()
+        .unwrap_or(0);
+    // Candidates: highest-vruntime (least cache-invested) first, the
+    // direction CFS scans the runqueue from.
+    let mut candidates: Vec<usize> = tasks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| {
+            t.runnable()
+                && t.cpu == busiest
+                && t.last_migrated_us
+                    .is_none_or(|at| now.saturating_sub(at) >= cfg.migration_hysteresis_us)
+        })
+        .map(|(i, _)| i)
+        .collect();
+    candidates.sort_by_key(|&i| std::cmp::Reverse(tasks[i].vruntime));
+    let mut cur_src_load = src_load;
+    let mut cur_dst_load = dst_load;
+    for &i in candidates.iter().take(cfg.max_candidates) {
+        if cur_src_load <= cur_dst_load {
+            break;
+        }
+        let t = &tasks[i];
+        let imbalance_pct = (cur_src_load - cur_dst_load)
+            .checked_mul(100)
+            .and_then(|v| v.checked_div(cur_src_load))
+            .unwrap_or(0) as i64;
+        let f = MigrationFeatures {
+            src_nr_running: nr[busiest],
+            dst_nr_running: nr[idlest],
+            src_load: (cur_src_load / 64) as i64,
+            dst_load: (cur_dst_load / 64) as i64,
+            imbalance_pct,
+            task_weight: (t.weight / 64) as i64,
+            task_util_pct: t.util_pct() as i64,
+            time_since_ran_ms: ((now.saturating_sub(t.last_ran_us)) / 1000).min(10_000) as i64,
+            cache_footprint_mb: (t.spec.cache_footprint_kb / 1024) as i64,
+            nice: t.spec.nice as i64,
+            age_ms: ((now.saturating_sub(t.spec.arrival_us)) / 1000).min(30_000) as i64,
+            remaining_ms: (t.remaining_us / 1000).min(30_000) as i64,
+            vruntime_delta_ms: ((t.vruntime as i64 - dst_min_vruntime as i64) / 1000)
+                .clamp(-30_000, 30_000),
+            is_io_bound: (t.spec.io_wait_us > 0) as i64,
+            burst_ms: (t.spec.burst_us / 1000).min(30) as i64,
+        };
+        *decisions += 1;
+        *overhead_ns += policy.overhead_ns();
+        if policy.can_migrate(&f) {
+            let weight = tasks[i].weight;
+            let t = &mut tasks[i];
+            t.prev_cpu = Some(t.cpu);
+            t.cpu = idlest;
+            t.migrations += 1;
+            t.last_migrated_us = Some(now);
+            // Cache-refill penalty proportional to footprint.
+            let penalty = (t.spec.cache_footprint_kb / 1024) * cfg.migration_cost_us_per_mb;
+            t.remaining_us += penalty;
+            // Normalize vruntime into the destination queue.
+            t.vruntime = t.vruntime.max(dst_min_vruntime);
+            cur_src_load -= weight;
+            cur_dst_load += weight;
+            *migrations += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::policy::{CfsPolicy, MigrationPolicy, RecordingPolicy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rkd_workloads::sched::{fib, streamcluster, TaskSpec};
+
+    fn small_workload(n: usize, work_us: u64) -> SchedWorkload {
+        SchedWorkload {
+            name: "small".into(),
+            tasks: (0..n)
+                .map(|i| TaskSpec {
+                    name: format!("t{i}"),
+                    total_work_us: work_us,
+                    burst_us: 2_000,
+                    io_wait_us: 0,
+                    nice: 0,
+                    cache_footprint_kb: 64,
+                    arrival_us: 0,
+                })
+                .collect(),
+        }
+    }
+
+    fn cfg() -> SchedSimConfig {
+        SchedSimConfig {
+            cpus: 4,
+            max_sim_us: 120_000_000,
+            ..SchedSimConfig::default()
+        }
+    }
+
+    #[test]
+    fn completes_all_tasks() {
+        let w = small_workload(8, 100_000);
+        let r = run(&w, &mut CfsPolicy::default(), &cfg());
+        assert!(r.completed);
+        assert_eq!(r.per_task_us.len(), 8);
+        // 8 tasks x 100ms over 4 CPUs: makespan close to 200ms.
+        assert!(r.jct_s() >= 0.19 && r.jct_s() < 0.35, "jct {}", r.jct_s());
+    }
+
+    #[test]
+    fn work_conservation() {
+        // Total busy time equals total work plus migration penalties.
+        let w = small_workload(6, 50_000);
+        let r = run(&w, &mut CfsPolicy::default(), &cfg());
+        let busy: u64 = r.cpu_busy_us.iter().sum();
+        let work: u64 = w.tasks.iter().map(|t| t.total_work_us).sum();
+        assert!(busy >= work, "busy {busy} < work {work}");
+        assert!(busy <= work + r.migrations * 1_000, "penalty bound");
+    }
+
+    #[test]
+    fn balancing_reduces_skew() {
+        // All tasks arrive at once; without balancing they would pile
+        // onto the least-loaded-at-arrival CPUs and stay.
+        let mut rng = StdRng::seed_from_u64(101);
+        let w = fib(12, &mut rng);
+        let r = run(&w, &mut CfsPolicy::default(), &cfg());
+        assert!(r.completed);
+        assert!(r.migrations > 0, "skewed arrivals should trigger pulls");
+        assert!(r.busy_cv() < 0.5, "cv {}", r.busy_cv());
+    }
+
+    #[test]
+    fn never_migrate_policy_hurts_or_ties_jct() {
+        struct Never;
+        impl MigrationPolicy for Never {
+            fn name(&self) -> &'static str {
+                "never"
+            }
+            fn can_migrate(&mut self, _f: &MigrationFeatures) -> bool {
+                false
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(102);
+        let w = fib(12, &mut rng);
+        let with_lb = run(&w, &mut CfsPolicy::default(), &cfg());
+        let without = run(&w, &mut Never, &cfg());
+        assert_eq!(without.migrations, 0);
+        assert!(
+            without.jct_us >= with_lb.jct_us,
+            "no balancing {} should not beat CFS {}",
+            without.jct_us,
+            with_lb.jct_us
+        );
+    }
+
+    #[test]
+    fn recording_collects_decision_samples() {
+        let mut rng = StdRng::seed_from_u64(103);
+        // Streamcluster's big footprints exercise the cache-hot denial
+        // so both decision classes appear in the log.
+        let mut w = streamcluster(9, &mut rng);
+        for t in &mut w.tasks {
+            t.total_work_us /= 20;
+        }
+        let mut rec = RecordingPolicy::new(CfsPolicy::default());
+        let r = run(&w, &mut rec, &cfg());
+        assert!(r.completed);
+        assert_eq!(rec.log.len() as u64, r.decisions);
+        assert!(rec.log.len() > 100, "log {}", rec.log.len());
+        // Both classes should occur.
+        assert!(rec.log.iter().any(|(_, d)| *d));
+        assert!(rec.log.iter().any(|(_, d)| !*d));
+    }
+
+    #[test]
+    fn policy_overhead_increases_jct() {
+        struct Slow(CfsPolicy);
+        impl MigrationPolicy for Slow {
+            fn name(&self) -> &'static str {
+                "slow"
+            }
+            fn can_migrate(&mut self, f: &MigrationFeatures) -> bool {
+                self.0.can_migrate(f)
+            }
+            fn overhead_ns(&self) -> u64 {
+                1_000_000 // 1ms per decision: egregious.
+            }
+        }
+        // 9 tasks on 4 CPUs: permanent imbalance keeps the balancer
+        // busy, so decisions (and their overhead) accumulate.
+        let w = small_workload(9, 100_000);
+        let fast = run(&w, &mut CfsPolicy::default(), &cfg());
+        let slow = run(&w, &mut Slow(CfsPolicy::default()), &cfg());
+        assert!(slow.jct_us > fast.jct_us);
+        assert!(slow.policy_overhead_ns > 0);
+    }
+
+    #[test]
+    fn hard_stop_reports_incomplete() {
+        let w = small_workload(4, 10_000_000);
+        let tight = SchedSimConfig {
+            max_sim_us: 50_000,
+            ..cfg()
+        };
+        let r = run(&w, &mut CfsPolicy::default(), &tight);
+        assert!(!r.completed);
+        assert!(r.jct_us >= 50_000);
+    }
+
+    #[test]
+    fn staggered_arrivals_respected() {
+        let mut w = small_workload(2, 10_000);
+        w.tasks[1].arrival_us = 40_000;
+        let r = run(&w, &mut CfsPolicy::default(), &cfg());
+        let t1 = r.per_task_us.iter().find(|(n, _)| n == "t1").unwrap().1;
+        assert!(t1 >= 50_000, "t1 finished at {t1}");
+    }
+}

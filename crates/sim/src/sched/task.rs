@@ -1,0 +1,175 @@
+//! Task state for the CFS simulator.
+
+use rkd_workloads::sched::TaskSpec;
+use serde::{Deserialize, Serialize};
+
+/// Scheduling weight for a nice value, following the kernel's
+/// `sched_prio_to_weight` table shape: each nice step changes CPU share
+/// by ~25% around the nice-0 weight of 1024.
+pub fn nice_to_weight(nice: i32) -> u64 {
+    let nice = nice.clamp(-20, 19);
+    // 1024 * 1.25^(-nice), computed without floating point drift by a
+    // fixed table for the common range and a fallback multiply chain.
+    const TABLE: [u64; 7] = [1991, 1586, 1277, 1024, 820, 655, 526];
+    if (-3..=3).contains(&nice) {
+        TABLE[(nice + 3) as usize]
+    } else if nice < 0 {
+        let mut w = TABLE[0];
+        for _ in 0..(-nice - 3) {
+            w = w * 5 / 4;
+        }
+        w
+    } else {
+        let mut w = TABLE[6];
+        for _ in 0..(nice - 3) {
+            w = w * 4 / 5;
+        }
+        w.max(15)
+    }
+}
+
+/// Runtime state of a task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskState {
+    /// Not yet arrived.
+    NotArrived,
+    /// Runnable, waiting on a CPU runqueue.
+    Runnable,
+    /// Sleeping (I/O or synchronization) until the stored time.
+    Sleeping {
+        /// Absolute wake time in microseconds.
+        until_us: u64,
+    },
+    /// Finished all work.
+    Done,
+}
+
+/// A task instance inside the simulator.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Task {
+    /// The immutable specification.
+    pub spec: TaskSpec,
+    /// CPU work left, in microseconds.
+    pub remaining_us: u64,
+    /// Work left in the current burst before the next sleep.
+    pub burst_left_us: u64,
+    /// CFS virtual runtime (weighted nanos, here weighted micros).
+    pub vruntime: u64,
+    /// Current state.
+    pub state: TaskState,
+    /// CPU whose runqueue holds the task.
+    pub cpu: usize,
+    /// Last time the task actually ran (for cache hotness).
+    pub last_ran_us: u64,
+    /// Migrations performed so far.
+    pub migrations: u64,
+    /// Time of the last migration (for balancer hysteresis).
+    pub last_migrated_us: Option<u64>,
+    /// CPU the task ran on before its last migration.
+    pub prev_cpu: Option<usize>,
+    /// Completion time, once done.
+    pub completed_at_us: Option<u64>,
+    /// Scheduling weight (from nice).
+    pub weight: u64,
+}
+
+impl Task {
+    /// Creates a task from its spec, initially not arrived.
+    pub fn new(spec: TaskSpec) -> Task {
+        let weight = nice_to_weight(spec.nice);
+        Task {
+            remaining_us: spec.total_work_us,
+            burst_left_us: spec.burst_us.max(1),
+            vruntime: 0,
+            state: TaskState::NotArrived,
+            cpu: 0,
+            last_ran_us: 0,
+            migrations: 0,
+            last_migrated_us: None,
+            prev_cpu: None,
+            completed_at_us: None,
+            weight,
+            spec,
+        }
+    }
+
+    /// Whether the task can be picked to run now.
+    pub fn runnable(&self) -> bool {
+        self.state == TaskState::Runnable
+    }
+
+    /// Advances vruntime for `ran_us` of wall execution, weighted so
+    /// lower-priority tasks accumulate vruntime faster (CFS rule).
+    pub fn charge(&mut self, ran_us: u64) {
+        self.vruntime += ran_us * 1024 / self.weight.max(1);
+    }
+
+    /// Utilization proxy in percent: share of time the task wants the
+    /// CPU (burst / (burst + io_wait)).
+    pub fn util_pct(&self) -> u64 {
+        let b = self.spec.burst_us.max(1);
+        100 * b / (b + self.spec.io_wait_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(nice: i32) -> TaskSpec {
+        TaskSpec {
+            name: "t".into(),
+            total_work_us: 10_000,
+            burst_us: 1_000,
+            io_wait_us: 500,
+            nice,
+            cache_footprint_kb: 64,
+            arrival_us: 0,
+        }
+    }
+
+    #[test]
+    fn weight_table_matches_kernel_shape() {
+        assert_eq!(nice_to_weight(0), 1024);
+        assert_eq!(nice_to_weight(-1), 1277);
+        assert_eq!(nice_to_weight(1), 820);
+        // Each step is ~25%.
+        let ratio = nice_to_weight(-5) as f64 / nice_to_weight(-4) as f64;
+        assert!((ratio - 1.25).abs() < 0.05, "ratio {ratio}");
+        assert!(nice_to_weight(19) >= 15);
+        assert!(nice_to_weight(-20) > nice_to_weight(-19));
+        // Clamping.
+        assert_eq!(nice_to_weight(-99), nice_to_weight(-20));
+        assert_eq!(nice_to_weight(99), nice_to_weight(19));
+    }
+
+    #[test]
+    fn vruntime_charging_respects_weight() {
+        let mut hi = Task::new(spec(-5));
+        let mut lo = Task::new(spec(5));
+        hi.charge(1_000);
+        lo.charge(1_000);
+        assert!(
+            hi.vruntime < lo.vruntime,
+            "high priority accrues vruntime slower"
+        );
+    }
+
+    #[test]
+    fn util_pct() {
+        let t = Task::new(spec(0));
+        assert_eq!(t.util_pct(), 100 * 1000 / 1500);
+        let mut cpu_bound = spec(0);
+        cpu_bound.io_wait_us = 0;
+        assert_eq!(Task::new(cpu_bound).util_pct(), 100);
+    }
+
+    #[test]
+    fn initial_state() {
+        let t = Task::new(spec(0));
+        assert_eq!(t.state, TaskState::NotArrived);
+        assert!(!t.runnable());
+        assert_eq!(t.remaining_us, 10_000);
+        assert_eq!(t.completed_at_us, None);
+    }
+}

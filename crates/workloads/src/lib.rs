@@ -1,0 +1,16 @@
+//! # rkd-workloads — synthetic workload and trace generators
+//!
+//! Reproduces the *structure* of the paper's evaluation workloads
+//! without the unavailable originals (OpenCV, NumPy, PARSEC): page
+//! access traces for the Table 1 prefetching study ([`mem`], [`trace`])
+//! and scheduler task batches for the Table 2 CFS study ([`sched`]).
+//! Every substitution is documented in `DESIGN.md` §2.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod mem;
+pub mod sched;
+pub mod trace;
+
+pub use trace::PageTrace;

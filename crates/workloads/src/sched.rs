@@ -1,0 +1,225 @@
+//! Scheduler workload profiles for the Table 2 case study.
+//!
+//! Substitution (DESIGN.md #3): the paper drives its CFS experiment
+//! with PARSEC Blackscholes and Streamcluster plus hand-written
+//! Fibonacci and matrix-multiplication programs. We model each as a set
+//! of [`TaskSpec`]s whose burst/IO/footprint mix reproduces the
+//! behaviour class that matters for `can_migrate_task`:
+//!
+//! - **Blackscholes** — embarrassingly parallel, CPU-bound, uniform
+//!   chunks, small working set.
+//! - **Streamcluster** — memory-bound with barrier phases: long job,
+//!   periodic short synchronization waits, large cache footprint (so
+//!   migration is expensive — "cache hot" in CFS terms).
+//! - **Fib** — many small, skewed CPU tasks (recursive fan-out),
+//!   negligible footprint; load balancing matters most here.
+//! - **MatMul** — few long CPU-heavy tasks with large footprints.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One schedulable task, as consumed by the CFS simulator.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Task name (for reporting).
+    pub name: String,
+    /// Total CPU work to complete, in microseconds.
+    pub total_work_us: u64,
+    /// CPU burst length before the task blocks or yields, in
+    /// microseconds.
+    pub burst_us: u64,
+    /// I/O or synchronization wait after each burst, in microseconds
+    /// (0 = pure CPU).
+    pub io_wait_us: u64,
+    /// Nice value (-20..19; lower = higher priority).
+    pub nice: i32,
+    /// Cache footprint in KiB (drives migration cost / cache hotness).
+    pub cache_footprint_kb: u64,
+    /// Arrival time, in microseconds from simulation start.
+    pub arrival_us: u64,
+}
+
+/// A named batch of tasks forming one benchmark run.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedWorkload {
+    /// Benchmark name as reported in Table 2.
+    pub name: String,
+    /// The tasks.
+    pub tasks: Vec<TaskSpec>,
+}
+
+impl SchedWorkload {
+    /// Total CPU work across all tasks, in microseconds.
+    pub fn total_work_us(&self) -> u64 {
+        self.tasks.iter().map(|t| t.total_work_us).sum()
+    }
+}
+
+fn jitter(rng: &mut impl Rng, base: u64, pct: u64) -> u64 {
+    if base == 0 || pct == 0 {
+        return base;
+    }
+    let span = base * pct / 100;
+    base - span / 2 + rng.gen_range(0..=span.max(1))
+}
+
+/// Blackscholes-like workload: `threads` uniform CPU-bound workers.
+pub fn blackscholes(threads: usize, rng: &mut impl Rng) -> SchedWorkload {
+    let tasks = (0..threads)
+        .map(|i| TaskSpec {
+            name: format!("blackscholes-{i}"),
+            total_work_us: jitter(rng, 9_500_000, 6),
+            burst_us: jitter(rng, 4_000, 20),
+            io_wait_us: 0,
+            nice: 0,
+            // Alternating working sets: option chunks fit in L2, the
+            // shared price table does not — so cache hotness genuinely
+            // discriminates between candidate tasks.
+            cache_footprint_kb: if i % 2 == 0 { 512 } else { 3_072 },
+            arrival_us: 0,
+        })
+        .collect();
+    SchedWorkload {
+        name: "Blackscholes".into(),
+        tasks,
+    }
+}
+
+/// Streamcluster-like workload: memory-bound phase workers with barrier
+/// synchronization pauses and big footprints.
+pub fn streamcluster(threads: usize, rng: &mut impl Rng) -> SchedWorkload {
+    let tasks = (0..threads)
+        .map(|i| TaskSpec {
+            name: format!("streamcluster-{i}"),
+            total_work_us: jitter(rng, 27_000_000, 8),
+            burst_us: jitter(rng, 4_000, 30),
+            io_wait_us: 500,
+            nice: 0,
+            // Coordinator threads are light; workers drag the full
+            // point set around.
+            cache_footprint_kb: if i % 4 == 0 { 1_024 } else { 8_192 },
+            arrival_us: 0,
+        })
+        .collect();
+    SchedWorkload {
+        name: "Streamcluster".into(),
+        tasks,
+    }
+}
+
+/// Fibonacci-like workload: a skewed swarm of small CPU tasks arriving
+/// in waves (recursive fan-out).
+pub fn fib(tasks_n: usize, rng: &mut impl Rng) -> SchedWorkload {
+    let tasks = (0..tasks_n)
+        .map(|i| {
+            // Work skew ~ golden-ratio decay: a few big, many small.
+            let scale = 1.0 / (1.0 + i as f64 * 0.35);
+            TaskSpec {
+                name: format!("fib-{i}"),
+                total_work_us: jitter(rng, (10_500_000.0 * scale) as u64, 10).max(50_000),
+                burst_us: jitter(rng, 800, 40),
+                io_wait_us: 0,
+                nice: 0,
+                cache_footprint_kb: 16,
+                arrival_us: (i as u64) * 30_000,
+            }
+        })
+        .collect();
+    SchedWorkload {
+        name: "Fib Calculation".into(),
+        tasks,
+    }
+}
+
+/// Matrix-multiplication-like workload: few long CPU-heavy tasks.
+pub fn matmul(threads: usize, rng: &mut impl Rng) -> SchedWorkload {
+    let tasks = (0..threads)
+        .map(|i| TaskSpec {
+            name: format!("matmul-{i}"),
+            total_work_us: jitter(rng, 10_500_000, 5),
+            burst_us: jitter(rng, 12_000, 15),
+            io_wait_us: 0,
+            nice: 0,
+            cache_footprint_kb: if i % 2 == 0 { 1_024 } else { 6_144 },
+            arrival_us: 0,
+        })
+        .collect();
+    SchedWorkload {
+        name: "Matrix Multiply".into(),
+        tasks,
+    }
+}
+
+/// All four Table 2 workloads with the paper's shape, sized for
+/// `cpus`-way simulation.
+pub fn table2_suite(cpus: usize, rng: &mut impl Rng) -> Vec<SchedWorkload> {
+    vec![
+        blackscholes(cpus * 2, rng),
+        streamcluster(cpus * 2, rng),
+        fib(cpus * 3, rng),
+        matmul(cpus + 2, rng),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn profiles_have_expected_shape() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let bs = blackscholes(8, &mut rng);
+        assert_eq!(bs.tasks.len(), 8);
+        assert!(bs.tasks.iter().all(|t| t.io_wait_us == 0));
+        let sc = streamcluster(8, &mut rng);
+        assert!(sc.tasks.iter().all(|t| t.io_wait_us > 0));
+        assert!(
+            sc.tasks[0].cache_footprint_kb > bs.tasks[0].cache_footprint_kb,
+            "streamcluster is cache heavier"
+        );
+        let f = fib(12, &mut rng);
+        // Skewed: first task much larger than last.
+        assert!(f.tasks[0].total_work_us > f.tasks[11].total_work_us * 2);
+        // Staggered arrivals.
+        assert!(f.tasks[11].arrival_us > f.tasks[0].arrival_us);
+        let mm = matmul(4, &mut rng);
+        assert!(mm.tasks[0].burst_us > bs.tasks[0].burst_us);
+    }
+
+    #[test]
+    fn streamcluster_is_the_longest_job() {
+        // Paper Table 2: Streamcluster JCT (~58s) is ~3x the others.
+        let mut rng = StdRng::seed_from_u64(72);
+        let suite = table2_suite(4, &mut rng);
+        let per_cpu: Vec<(String, u64)> = suite
+            .iter()
+            .map(|w| (w.name.clone(), w.total_work_us() / 8))
+            .collect();
+        let sc = per_cpu.iter().find(|(n, _)| n == "Streamcluster").unwrap();
+        for (n, w) in &per_cpu {
+            if n != "Streamcluster" {
+                assert!(sc.1 > *w, "{n} ({w}) should be shorter than streamcluster");
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_stays_near_base() {
+        let mut rng = StdRng::seed_from_u64(73);
+        for _ in 0..100 {
+            let v = jitter(&mut rng, 1_000, 20);
+            assert!((900..=1_101).contains(&v), "jitter {v}");
+        }
+        assert_eq!(jitter(&mut rng, 0, 20), 0);
+        assert_eq!(jitter(&mut rng, 500, 0), 500);
+    }
+
+    #[test]
+    fn suite_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(table2_suite(2, &mut a), table2_suite(2, &mut b));
+    }
+}

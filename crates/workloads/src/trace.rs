@@ -1,0 +1,184 @@
+//! Page-access traces: the record/replay substrate for prefetch studies.
+//!
+//! The paper's prototype collects "page access traces for each process"
+//! (§4). Our simulator does the same; this module defines the trace
+//! container, basic structure statistics (used to sanity-check that
+//! generators produce the access structure they claim), and a compact
+//! binary encoding for storing traces on disk.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A sequence of page accesses by one process.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageTrace {
+    /// Trace name (workload identifier).
+    pub name: String,
+    /// Accessed page numbers, in order.
+    pub accesses: Vec<u64>,
+}
+
+impl PageTrace {
+    /// Creates a named trace.
+    pub fn new(name: &str, accesses: Vec<u64>) -> PageTrace {
+        PageTrace {
+            name: name.to_string(),
+            accesses,
+        }
+    }
+
+    /// Number of accesses.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Returns `true` for an empty trace.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Number of distinct pages touched.
+    pub fn unique_pages(&self) -> usize {
+        self.accesses.iter().collect::<HashSet<_>>().len()
+    }
+
+    /// Fraction of accesses whose delta from the previous access is
+    /// exactly +1 (what sequential readahead exploits).
+    pub fn sequential_fraction(&self) -> f64 {
+        if self.accesses.len() < 2 {
+            return 0.0;
+        }
+        let seq = self
+            .accesses
+            .windows(2)
+            .filter(|w| w[1] == w[0].wrapping_add(1))
+            .count();
+        seq as f64 / (self.accesses.len() - 1) as f64
+    }
+
+    /// Fraction of accesses explained by the single most common stride
+    /// (what Leap's majority-trend detection exploits).
+    pub fn dominant_stride_fraction(&self) -> f64 {
+        if self.accesses.len() < 2 {
+            return 0.0;
+        }
+        let mut counts: std::collections::HashMap<i64, usize> = std::collections::HashMap::new();
+        for w in self.accesses.windows(2) {
+            let d = w[1] as i64 - w[0] as i64;
+            *counts.entry(d).or_default() += 1;
+        }
+        let max = counts.values().copied().max().unwrap_or(0);
+        max as f64 / (self.accesses.len() - 1) as f64
+    }
+
+    /// The sequence of deltas between consecutive accesses.
+    pub fn deltas(&self) -> Vec<i64> {
+        self.accesses
+            .windows(2)
+            .map(|w| w[1] as i64 - w[0] as i64)
+            .collect()
+    }
+
+    /// Encodes the trace into a compact binary form (name length, name,
+    /// count, delta-encoded varint-free i64 pages).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16 + self.name.len() + self.accesses.len() * 8);
+        buf.put_u32(self.name.len() as u32);
+        buf.put_slice(self.name.as_bytes());
+        buf.put_u64(self.accesses.len() as u64);
+        let mut prev = 0u64;
+        for &a in &self.accesses {
+            buf.put_i64(a.wrapping_sub(prev) as i64);
+            prev = a;
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a trace produced by [`PageTrace::encode`].
+    ///
+    /// Returns `None` on malformed input.
+    pub fn decode(mut data: Bytes) -> Option<PageTrace> {
+        if data.remaining() < 4 {
+            return None;
+        }
+        let name_len = data.get_u32() as usize;
+        if data.remaining() < name_len {
+            return None;
+        }
+        let name = String::from_utf8(data.copy_to_bytes(name_len).to_vec()).ok()?;
+        if data.remaining() < 8 {
+            return None;
+        }
+        let count = data.get_u64() as usize;
+        if data.remaining() < count * 8 {
+            return None;
+        }
+        let mut accesses = Vec::with_capacity(count);
+        let mut prev = 0u64;
+        for _ in 0..count {
+            let delta = data.get_i64();
+            prev = prev.wrapping_add(delta as u64);
+            accesses.push(prev);
+        }
+        Some(PageTrace { name, accesses })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_statistics() {
+        let t = PageTrace::new("t", vec![0, 1, 2, 10, 11, 20]);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.unique_pages(), 6);
+        // Deltas: 1,1,8,1,9 -> 3/5 sequential.
+        assert!((t.sequential_fraction() - 0.6).abs() < 1e-12);
+        assert!((t.dominant_stride_fraction() - 0.6).abs() < 1e-12);
+        assert_eq!(t.deltas(), vec![1, 1, 8, 1, 9]);
+    }
+
+    #[test]
+    fn empty_and_singleton_traces() {
+        let e = PageTrace::new("e", vec![]);
+        assert!(e.is_empty());
+        assert_eq!(e.sequential_fraction(), 0.0);
+        assert_eq!(e.dominant_stride_fraction(), 0.0);
+        let s = PageTrace::new("s", vec![5]);
+        assert_eq!(s.sequential_fraction(), 0.0);
+        assert!(s.deltas().is_empty());
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let t = PageTrace::new("video", vec![100, 5, 0, u64::MAX, 7]);
+        let decoded = PageTrace::decode(t.encode()).unwrap();
+        assert_eq!(decoded, t);
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert!(PageTrace::decode(Bytes::from_static(&[1, 2])).is_none());
+        // Truncated body.
+        let t = PageTrace::new("x", vec![1, 2, 3]);
+        let enc = t.encode();
+        let cut = enc.slice(0..enc.len() - 4);
+        assert!(PageTrace::decode(cut).is_none());
+        // Bad UTF-8 name.
+        let mut buf = BytesMut::new();
+        buf.put_u32(2);
+        buf.put_slice(&[0xFF, 0xFE]);
+        buf.put_u64(0);
+        assert!(PageTrace::decode(buf.freeze()).is_none());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = PageTrace::new("j", vec![1, 2, 3]);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: PageTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

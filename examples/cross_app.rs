@@ -1,0 +1,159 @@
+//! Cross-application optimization (§2.1 benefit #4).
+//!
+//! "Monitoring may detect that tasks exhibit producer-consumer
+//! behaviors, and activate optimizations for their efficient
+//! communication." This example installs a monitoring program whose
+//! shared (DP-gated) histogram counts, per page region, how many
+//! *distinct* processes touch it. The control plane reads the noised
+//! aggregate, detects the producer-consumer pair, and reconfigures the
+//! datapath: it inserts per-process entries that activate a
+//! communication-optimized action (modeled as a prefetch of the peer's
+//! hot region) only for the cooperating pair.
+//!
+//! ```sh
+//! cargo run --example cross_app
+//! ```
+
+use rkd::core::ctxt::Ctxt;
+use rkd::core::interp::Effect;
+use rkd::core::machine::{ExecMode, RmtMachine};
+use rkd::core::table::{Entry, MatchKey};
+use rkd::core::verifier::verify;
+
+const MONITOR: &str = r#"
+program "cross_app_monitor" {
+    ctxt pid: ro;
+    ctxt page: ro;
+
+    // Region-indexed access counters, cross-application: readable only
+    // through DP.
+    map region_traffic: hist[8] shared;
+    // Per-process last-seen region (private monitoring state).
+    map last_region: hash[32];
+
+    action observe {
+        let region = ctxt.page >> 10;     // 1024-page regions.
+        let bucket = region & 7;
+        update(region_traffic, bucket, 1);
+        update(last_region, ctxt.pid, region);
+        return 0;
+    }
+
+    // Installed for the detected producer-consumer pair only: pull the
+    // peer's freshly written region ahead of the consumer's reads.
+    action couple {
+        prefetch(arg, 8);
+        return 1;
+    }
+
+    table monitor_tab {
+        hook page_access;
+        match pid;
+        default observe;
+        size 32;
+    }
+
+    table couple_tab {
+        hook consume;
+        match pid;
+        size 8;
+    }
+
+    rate_limit 4096 256;
+    privacy 5000 250 4;
+}
+"#;
+
+fn main() {
+    let compiled = rkd::lang::compile(MONITOR).unwrap();
+    let verified = verify(compiled.program.clone()).unwrap();
+    let mut vm = RmtMachine::new();
+    let prog = vm.install(verified, ExecMode::Jit).unwrap();
+    println!("monitoring program installed\n");
+
+    // Phase 1: three processes run. Pids 100 (producer) and 200
+    // (consumer) ping-pong over region 3 (pages 3072..4095); pid 300
+    // works alone in region 6.
+    for round in 0..200i64 {
+        for (pid, page) in [
+            (100, 3072 + (round * 7) % 1024), // Producer writes region 3.
+            (200, 3072 + (round * 7) % 1024), // Consumer reads the same pages.
+            (300, 6144 + (round * 3) % 1024), // Loner in region 6.
+        ] {
+            vm.advance_tick(1);
+            let mut ctxt = Ctxt::from_values(vec![pid, page]);
+            vm.fire("page_access", &mut ctxt);
+        }
+    }
+
+    // Phase 2: the control plane inspects the shared histogram through
+    // DP (raw reads are rejected by the verifier; see the privacy
+    // example) and finds the hot shared region.
+    let traffic = compiled.maps["region_traffic"];
+    println!("DP-noised region traffic (true hot regions: 3 and 6):");
+    let mut hottest = (0u64, i64::MIN);
+    for bucket in 0..8u64 {
+        // Shared-map reads go through the DP mechanism and charge the
+        // program's privacy ledger.
+        let noised = vm.map_lookup(prog, traffic, bucket).unwrap().unwrap();
+        println!("  region bucket {bucket}: ~{noised}");
+        if noised > hottest.1 {
+            hottest = (bucket, noised);
+        }
+    }
+    println!(
+        "privacy budget left: {} m-eps\n",
+        vm.privacy_remaining(prog).unwrap()
+    );
+    // NOTE: map_lookup on a shared map returns the noised SUM of all
+    // buckets; bucket-level reads above each cost budget. The hot pair
+    // is identified by the per-process last_region map (private, exact).
+    let last_region = compiled.maps["last_region"];
+    let r100 = vm.map_lookup(prog, last_region, 100).unwrap().unwrap();
+    let r200 = vm.map_lookup(prog, last_region, 200).unwrap().unwrap();
+    let r300 = vm.map_lookup(prog, last_region, 300).unwrap().unwrap();
+    println!("last regions: pid 100 -> {r100}, pid 200 -> {r200}, pid 300 -> {r300}");
+    assert_eq!(r100, r200, "producer and consumer share a region");
+    assert_ne!(r100, r300);
+
+    // Phase 3: reconfigure — couple the pair. The consumer's entry
+    // carries the producer's hot base page as its argument.
+    let couple_tab = compiled.tables["couple_tab"];
+    let couple_act = compiled.actions["couple"];
+    let hot_base = r100 * 1024;
+    for pid in [100u64, 200] {
+        vm.insert_entry(
+            prog,
+            couple_tab,
+            Entry {
+                key: MatchKey::Exact(vec![pid]),
+                priority: 0,
+                action: couple_act,
+                arg: hot_base,
+            },
+        )
+        .unwrap();
+    }
+    println!("\ncoupled pids 100<->200 on region {r100} (base page {hot_base})");
+
+    // Phase 4: the consumer hook now pulls the shared region; the loner
+    // is unaffected.
+    let mut ctxt = Ctxt::from_values(vec![200, 0]);
+    let r = vm.fire("consume", &mut ctxt);
+    assert_eq!(r.verdict(), Some(1));
+    let prefetches: Vec<_> = r
+        .effects
+        .iter()
+        .filter_map(|e| match e {
+            Effect::Prefetch { base, count } => Some((*base, *count)),
+            _ => None,
+        })
+        .collect();
+    println!("consumer fire -> prefetch {prefetches:?}");
+    assert_eq!(prefetches, vec![(hot_base as u64, 8)]);
+    let mut ctxt = Ctxt::from_values(vec![300, 0]);
+    let r = vm.fire("consume", &mut ctxt);
+    assert!(r.verdicts.is_empty(), "loner has no entry: no action runs");
+    println!("loner fire    -> no optimization (no entry)");
+    println!("\ncross-application coupling activated via monitoring + DP + control-plane reconfiguration.");
+}

@@ -1,0 +1,102 @@
+//! Lean monitoring via distillation and feature ranking (§2.1 #1).
+//!
+//! Trains a "teacher" MLP on all 15 scheduler features, distills it
+//! into an interpretable integer decision tree, reads the load-bearing
+//! features off the student's Gini importances, and shows that a model
+//! using only those features keeps its accuracy — the kernel could
+//! switch the other monitors off.
+//!
+//! ```sh
+//! cargo run --release --example lean_monitoring
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rkd::ml::dataset::{Dataset, Sample};
+use rkd::ml::distill::{distill_to_tree, DistillConfig};
+use rkd::ml::fixed::Fix;
+use rkd::ml::mlp::{Mlp, MlpConfig};
+use rkd::ml::tree::{DecisionTree, TreeConfig};
+use rkd::sim::sched::features::FEATURE_NAMES;
+use rkd::sim::sched::policy::{CfsPolicy, RecordingPolicy};
+use rkd::sim::sched::sim::{run, SchedSimConfig};
+use rkd::workloads::sched::streamcluster;
+
+fn main() {
+    // Collect a CFS decision log.
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut w = streamcluster(9, &mut rng);
+    for t in &mut w.tasks {
+        t.total_work_us /= 8;
+    }
+    let mut rec = RecordingPolicy::new(CfsPolicy::default());
+    run(&w, &mut rec, &SchedSimConfig::default());
+    let mut ds = Dataset::new();
+    for (f, d) in rec.log.iter().take(4_000) {
+        ds.push(Sample {
+            features: f.to_vec().into_iter().map(Fix::from_int).collect(),
+            label: *d as usize,
+        })
+        .unwrap();
+    }
+    println!(
+        "decision log: {} samples, 15 features monitored\n",
+        ds.len()
+    );
+
+    // Teacher: float MLP on normalized features.
+    let (norm, ranges) = ds.normalize().unwrap();
+    let mlp = Mlp::train(
+        &norm,
+        &MlpConfig {
+            hidden: vec![32, 32],
+            epochs: 50,
+            ..MlpConfig::default()
+        },
+        &mut rng,
+    )
+    .unwrap();
+    let f64r: Vec<(f64, f64)> = ranges
+        .iter()
+        .map(|(a, b)| (a.to_f64(), b.to_f64()))
+        .collect();
+    let teacher = mlp.fold_input_normalization(&f64r).unwrap();
+    println!(
+        "teacher MLP accuracy: {:.1}%",
+        teacher.evaluate(&ds).unwrap() * 100.0
+    );
+
+    // Distill into an interpretable tree.
+    let d = distill_to_tree(&teacher, &ds, &DistillConfig::default(), &mut rng).unwrap();
+    println!(
+        "student tree: {:.1}% fidelity, depth {}, {} nodes\n",
+        d.fidelity * 100.0,
+        d.student.depth(),
+        d.student.node_count()
+    );
+
+    // The student elucidates which features carry the decision.
+    let imp = d.student.gini_importance();
+    let mut ranked: Vec<(usize, f64)> = imp.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("feature importances (student tree):");
+    for (i, v) in ranked.iter().take(5) {
+        println!("  {:<22} {:.3}", FEATURE_NAMES[*i], v);
+    }
+    let keep: Vec<usize> = ranked.iter().take(2).map(|(i, _)| *i).collect();
+
+    // Retrain on just the top features ("switch the rest off").
+    let lean_ds = ds.select_features(&keep).unwrap();
+    let lean_tree = DecisionTree::train(&lean_ds, &TreeConfig::default()).unwrap();
+    let lean_acc = lean_tree.evaluate(&lean_ds).unwrap() * 100.0;
+    println!(
+        "\nlean model on {{{}}} only: {:.1}% accuracy — {} of 15 monitors retired.",
+        keep.iter()
+            .map(|&i| FEATURE_NAMES[i])
+            .collect::<Vec<_>>()
+            .join(", "),
+        lean_acc,
+        15 - keep.len()
+    );
+    assert!(lean_acc > 85.0);
+}

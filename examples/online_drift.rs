@@ -1,0 +1,70 @@
+//! Online learning under concept drift (§3.1, §3.2).
+//!
+//! "The control plane relies on past prediction accuracy to detect
+//! workload changes and adjust the table entries." This example feeds a
+//! windowed online tree learner a stream whose concept flips midway,
+//! and shows the rolling (prequential) accuracy collapsing, the drift
+//! detector firing, and the next retrain recovering.
+//!
+//! ```sh
+//! cargo run --example online_drift
+//! ```
+
+use rkd::ml::fixed::Fix;
+use rkd::ml::online::{OnlineConfig, OnlineTreeLearner};
+use rkd::ml::tree::TreeConfig;
+
+fn main() {
+    let mut learner = OnlineTreeLearner::new(OnlineConfig {
+        window: 200,
+        accuracy_window: 100,
+        drift_threshold: 0.6,
+        tree: TreeConfig {
+            max_depth: 6,
+            min_samples_split: 4,
+            max_thresholds: 16,
+        },
+    })
+    .unwrap();
+    println!(
+        "{:>6} {:>10} {:>10} {:>8} {:>8}",
+        "step", "concept", "roll acc", "drift?", "retrains"
+    );
+    let mut drift_seen_at = None;
+    for step in 0..2_000usize {
+        let x = (step % 17) as i64;
+        // Concept A: label = x > 8. Concept B (after step 1000): flipped.
+        let label = if step < 1_000 {
+            (x > 8) as usize
+        } else {
+            (x <= 8) as usize
+        };
+        learner.observe(&[Fix::from_int(x)], label).unwrap();
+        if step % 100 == 99 {
+            let acc = learner.rolling_accuracy().unwrap_or(0.0);
+            let drifted = learner.drifted();
+            if drifted && drift_seen_at.is_none() {
+                drift_seen_at = Some(step);
+            }
+            println!(
+                "{:>6} {:>10} {:>9.1}% {:>8} {:>8}",
+                step,
+                if step < 1_000 { "A" } else { "B (flipped)" },
+                acc * 100.0,
+                if drifted { "DRIFT" } else { "-" },
+                learner.retrain_count()
+            );
+        }
+    }
+    let at = drift_seen_at.expect("drift must be detected after the flip");
+    assert!(at >= 1_000, "no false positives before the flip");
+    assert!(
+        learner.rolling_accuracy().unwrap() > 0.9,
+        "recovered after retraining on concept B"
+    );
+    println!(
+        "\ndrift detected at step {at}; final rolling accuracy {:.1}% after {} retrains.",
+        learner.rolling_accuracy().unwrap() * 100.0,
+        learner.retrain_count()
+    );
+}

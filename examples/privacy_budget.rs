@@ -1,0 +1,90 @@
+//! Cross-application privacy: DP-gated aggregate queries (§3.3).
+//!
+//! A program whose map is declared `shared` may only be read through
+//! the differentially private `dp_sum` builtin; the verifier rejects
+//! raw reads, every answered query charges the program's epsilon
+//! ledger, and once the budget drains the datapath fails closed.
+//!
+//! ```sh
+//! cargo run --example privacy_budget
+//! ```
+
+use rkd::core::ctxt::Ctxt;
+use rkd::core::machine::{ExecMode, RmtMachine};
+use rkd::core::verifier::verify;
+use rkd::core::VerifyError;
+
+const LEAKY: &str = r#"
+program "leaky" {
+    ctxt pid: ro;
+    map agg: hist[8] shared;
+    action read {
+        let k = 0;
+        let s = lookup(agg, k, 0);  // Raw read of a shared map!
+        return s;
+    }
+    table t { hook query; match pid; default read; }
+}
+"#;
+
+const PRIVATE: &str = r#"
+program "private" {
+    ctxt pid: ro;
+    map agg: hist[8] shared;
+    action read {
+        let s = dp_sum(agg);
+        return s;
+    }
+    table t { hook query; match pid; default read; }
+    privacy 2000 250 1;   // budget eps=2.0, eps=0.25 per query.
+}
+"#;
+
+fn main() {
+    // The verifier rejects the raw read outright.
+    let leaky = rkd::lang::compile(LEAKY).unwrap();
+    match verify(leaky.program) {
+        Err(VerifyError::PrivacyViolation { reason, .. }) => {
+            println!("leaky program rejected by the verifier: {reason}\n");
+        }
+        other => panic!("expected privacy rejection, got {other:?}"),
+    }
+
+    // The DP version is admitted and runs until the ledger drains.
+    let private = rkd::lang::compile(PRIVATE).unwrap();
+    let verified = verify(private.program).unwrap();
+    let mut vm = RmtMachine::new();
+    let prog = vm.install(verified, ExecMode::Jit).unwrap();
+    let agg = private.maps["agg"];
+    vm.map_update(prog, agg, 0, 500).unwrap();
+    vm.map_update(prog, agg, 1, 500).unwrap(); // True sum: 1000.
+    println!("querying the shared aggregate (true sum = 1000):");
+    let mut answered = 0;
+    loop {
+        let budget_before = vm.privacy_remaining(prog).unwrap();
+        let mut ctxt = Ctxt::from_values(vec![7]);
+        match vm.fire("query", &mut ctxt).verdict() {
+            Some(noised) => {
+                answered += 1;
+                println!(
+                    "  query {answered}: noised sum = {noised:>5}  (budget left: {} m-eps)",
+                    vm.privacy_remaining(prog).unwrap()
+                );
+            }
+            None => {
+                println!(
+                    "  query {}: FAILED CLOSED — budget {} m-eps cannot cover the 250 m-eps charge",
+                    answered + 1,
+                    budget_before
+                );
+                break;
+            }
+        }
+    }
+    assert_eq!(answered, 8, "eps=2.0 at 0.25/query buys exactly 8 answers");
+    let stats = vm.stats(prog).unwrap();
+    println!(
+        "\n{} queries answered, {} aborted; the kernel never revealed an exact cross-application count.",
+        answered, stats.actions_aborted
+    );
+}

@@ -1,0 +1,249 @@
+//! Integration: the control plane reconfigures a live datapath — entry
+//! churn, model hot swaps mid-stream, multi-program coexistence, and
+//! DP-gated control-plane reads.
+
+use rkd::core::ctrl::{syscall_rmt, CtrlRequest, CtrlResponse};
+use rkd::core::ctxt::Ctxt;
+use rkd::core::machine::{ExecMode, RmtMachine};
+use rkd::core::prog::ModelSpec;
+use rkd::core::table::{ActionId, Entry, MatchKey, TableId};
+use rkd::core::verifier::verify;
+use rkd::lang::compile;
+use rkd::ml::fixed::Fix;
+use rkd::ml::svm::IntSvm;
+
+const POLICY: &str = r#"
+program "policy" {
+    ctxt pid: ro;
+    ctxt x: ro;
+    model gate: svm(1) @ sched;
+    action consult {
+        let v = window(feat);
+        return 0;
+    }
+    action ml_gate {
+        let f = window(feat);
+        let c = predict(gate, f);
+        return c;
+    }
+    action deny { return -1; }
+    map feat: ring[1];
+    table t { hook decide; match pid; default deny; size 16; }
+}
+"#;
+
+fn installed() -> (RmtMachine, rkd::core::machine::ProgId, rkd::lang::Compiled) {
+    let compiled = compile(POLICY).unwrap();
+    let verified = verify(compiled.program.clone()).unwrap();
+    let mut vm = RmtMachine::new();
+    let id = vm.install(verified, ExecMode::Jit).unwrap();
+    (vm, id, compiled)
+}
+
+#[test]
+fn entry_churn_reshapes_decisions_live() {
+    let (mut vm, id, compiled) = installed();
+    let table = compiled.tables["t"];
+    let gate_action = compiled.actions["ml_gate"];
+    // Seed the feature ring so the SVM sees one feature.
+    let feat = compiled.maps["feat"];
+    vm.map_update(id, feat, 0, 5).unwrap();
+    // Push a model that predicts 1 for positive features.
+    let slot = compiled.models["gate"];
+    vm.update_model(
+        id,
+        slot,
+        ModelSpec::Svm(IntSvm {
+            weights: vec![Fix::ONE],
+            bias: Fix::ZERO,
+        }),
+    )
+    .unwrap();
+    // Before the entry exists: default deny.
+    let mut ctxt = Ctxt::from_values(vec![42, 0]);
+    assert_eq!(vm.fire("decide", &mut ctxt).verdict(), Some(-1));
+    // Control plane arms pid 42 with the ML gate.
+    vm.insert_entry(
+        id,
+        table,
+        Entry {
+            key: MatchKey::Exact(vec![42]),
+            priority: 0,
+            action: gate_action,
+            arg: 0,
+        },
+    )
+    .unwrap();
+    let mut ctxt = Ctxt::from_values(vec![42, 0]);
+    assert_eq!(vm.fire("decide", &mut ctxt).verdict(), Some(1));
+    // Remove it: back to deny.
+    assert!(vm
+        .remove_entry(id, table, &MatchKey::Exact(vec![42]))
+        .unwrap());
+    let mut ctxt = Ctxt::from_values(vec![42, 0]);
+    assert_eq!(vm.fire("decide", &mut ctxt).verdict(), Some(-1));
+}
+
+#[test]
+fn model_hot_swap_flips_live_decisions() {
+    let (mut vm, id, compiled) = installed();
+    let table = compiled.tables["t"];
+    let gate_action = compiled.actions["ml_gate"];
+    let feat = compiled.maps["feat"];
+    let slot = compiled.models["gate"];
+    vm.map_update(id, feat, 0, 5).unwrap();
+    vm.insert_entry(
+        id,
+        table,
+        Entry {
+            key: MatchKey::Exact(vec![1]),
+            priority: 0,
+            action: gate_action,
+            arg: 0,
+        },
+    )
+    .unwrap();
+    // Positive-weight model: verdict 1.
+    vm.update_model(
+        id,
+        slot,
+        ModelSpec::Svm(IntSvm {
+            weights: vec![Fix::ONE],
+            bias: Fix::ZERO,
+        }),
+    )
+    .unwrap();
+    let mut ctxt = Ctxt::from_values(vec![1, 0]);
+    assert_eq!(vm.fire("decide", &mut ctxt).verdict(), Some(1));
+    // Swap to a negative-weight model mid-stream: verdict flips.
+    vm.update_model(
+        id,
+        slot,
+        ModelSpec::Svm(IntSvm {
+            weights: vec![Fix::NEG_ONE],
+            bias: Fix::ZERO,
+        }),
+    )
+    .unwrap();
+    let mut ctxt = Ctxt::from_values(vec![1, 0]);
+    assert_eq!(vm.fire("decide", &mut ctxt).verdict(), Some(0));
+}
+
+#[test]
+fn two_programs_coexist_and_remove_cleanly() {
+    let mut vm = RmtMachine::new();
+    let mk = |vm: &mut RmtMachine, verdict: i64| {
+        let src = format!(
+            r#"program "p{verdict}" {{
+                ctxt pid: ro;
+                action a {{ return {verdict}; }}
+                table t {{ hook shared_hook; match pid; default a; }}
+            }}"#
+        );
+        let compiled = compile(&src).unwrap();
+        let verified = verify(compiled.program).unwrap();
+        vm.install(verified, ExecMode::Interp).unwrap()
+    };
+    let p1 = mk(&mut vm, 100);
+    let p2 = mk(&mut vm, 200);
+    let mut ctxt = Ctxt::from_values(vec![1]);
+    let r = vm.fire("shared_hook", &mut ctxt);
+    let verdicts: Vec<i64> = r.verdicts.iter().map(|(_, v)| *v).collect();
+    assert_eq!(verdicts, vec![100, 200]);
+    vm.remove(p1).unwrap();
+    let mut ctxt = Ctxt::from_values(vec![1]);
+    assert_eq!(vm.fire("shared_hook", &mut ctxt).verdict(), Some(200));
+    vm.remove(p2).unwrap();
+    assert!(!vm.hook_armed("shared_hook"));
+}
+
+#[test]
+fn syscall_stats_and_privacy_queries() {
+    let src = r#"
+        program "obs" {
+            ctxt pid: ro;
+            map agg: hist[4] shared;
+            action a { let s = dp_sum(agg); return s; }
+            table t { hook h; match pid; default a; }
+            privacy 1000 100 1;
+        }
+    "#;
+    let compiled = compile(src).unwrap();
+    let mut vm = RmtMachine::new();
+    let id = match syscall_rmt(
+        &mut vm,
+        CtrlRequest::Install {
+            prog: Box::new(compiled.program),
+            mode: ExecMode::Jit,
+            seed: 9,
+        },
+    )
+    .unwrap()
+    {
+        CtrlResponse::Installed(id) => id,
+        other => panic!("{other:?}"),
+    };
+    let agg = compiled.maps["agg"];
+    syscall_rmt(
+        &mut vm,
+        CtrlRequest::MapUpdate {
+            prog: id,
+            map: agg,
+            key: 0,
+            value: 400,
+        },
+    )
+    .unwrap();
+    // Datapath queries drain the same ledger control-plane reads use.
+    let mut ctxt = Ctxt::from_values(vec![1]);
+    vm.fire("h", &mut ctxt);
+    let remaining =
+        match syscall_rmt(&mut vm, CtrlRequest::QueryPrivacyBudget { prog: id }).unwrap() {
+            CtrlResponse::PrivacyBudget(b) => b,
+            other => panic!("{other:?}"),
+        };
+    assert_eq!(remaining, 900);
+    // A control-plane read of the shared map is noised AND charged.
+    let v = match syscall_rmt(
+        &mut vm,
+        CtrlRequest::MapLookup {
+            prog: id,
+            map: agg,
+            key: 0,
+        },
+    )
+    .unwrap()
+    {
+        CtrlResponse::Value(Some(v)) => v,
+        other => panic!("{other:?}"),
+    };
+    assert!((v - 400).abs() < 300, "noised {v}");
+    let remaining2 =
+        match syscall_rmt(&mut vm, CtrlRequest::QueryPrivacyBudget { prog: id }).unwrap() {
+            CtrlResponse::PrivacyBudget(b) => b,
+            other => panic!("{other:?}"),
+        };
+    assert_eq!(remaining2, 800);
+    // Stats reflect the one firing.
+    match syscall_rmt(&mut vm, CtrlRequest::QueryStats { prog: id }).unwrap() {
+        CtrlResponse::Stats(s) => {
+            assert_eq!(s.invocations, 1);
+            assert_eq!(s.actions_run, 1);
+        }
+        other => panic!("{other:?}"),
+    }
+    // Table stats through the syscall too.
+    match syscall_rmt(
+        &mut vm,
+        CtrlRequest::QueryTableStats {
+            prog: id,
+            table: TableId(0),
+        },
+    )
+    .unwrap()
+    {
+        CtrlResponse::TableStats(ts) => assert_eq!(ts.hits + ts.misses, 1),
+        other => panic!("{other:?}"),
+    }
+    let _ = ActionId(0);
+}

@@ -1,0 +1,99 @@
+//! Program persistence: a compiled RMT program (including its trained
+//! models, tensors, and policies) serializes to JSON and round-trips to
+//! an identical-behaving installation — the artifact format a real
+//! deployment would ship from the training fleet to kernels.
+
+use rkd::core::ctxt::Ctxt;
+use rkd::core::machine::{ExecMode, RmtMachine};
+use rkd::core::prog::{ModelSpec, RmtProgram};
+use rkd::core::verifier::verify;
+use rkd::ml::dataset::{Dataset, Sample};
+use rkd::ml::tree::{DecisionTree, TreeConfig};
+
+fn trained_tree_arity(arity: usize) -> DecisionTree {
+    let mut samples = Vec::new();
+    for v in [0.0, 1.0, 8.0, 9.0] {
+        samples.push(Sample::from_f64(&vec![v; arity], (v > 4.0) as usize));
+    }
+    let ds = Dataset::from_samples(samples).unwrap();
+    DecisionTree::train(&ds, &TreeConfig::default()).unwrap()
+}
+
+fn trained_tree() -> DecisionTree {
+    trained_tree_arity(1)
+}
+
+fn build_program() -> RmtProgram {
+    let compiled = rkd::lang::compile(rkd::lang::FIGURE1_PREFETCH).unwrap();
+    let mut prog = compiled.program;
+    // Embed a trained model so the round trip covers real weights, not
+    // just the placeholder (dt_1 takes 12-wide windows).
+    prog.models[0].spec = ModelSpec::Tree(trained_tree_arity(12));
+    prog
+}
+
+#[test]
+fn program_round_trips_through_json() {
+    let prog = build_program();
+    let json = serde_json::to_string(&prog).expect("serializes");
+    assert!(json.len() > 1_000, "nontrivial artifact");
+    let back: RmtProgram = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back.name, prog.name);
+    assert_eq!(back.tables.len(), prog.tables.len());
+    assert_eq!(back.actions, prog.actions);
+    assert_eq!(back.maps, prog.maps);
+    assert_eq!(back.privacy, prog.privacy);
+}
+
+#[test]
+fn deserialized_program_behaves_identically() {
+    let prog = build_program();
+    let json = serde_json::to_string(&prog).unwrap();
+    let back: RmtProgram = serde_json::from_str(&json).unwrap();
+    // Install both and drive the same access stream.
+    let drive = |prog: RmtProgram| -> Vec<Option<i64>> {
+        let verified = verify(prog).unwrap();
+        let mut vm = RmtMachine::new();
+        vm.install_seeded(verified, ExecMode::Jit, 7).unwrap();
+        let mut out = Vec::new();
+        for i in 0..200i64 {
+            let page = 100 + i * 3;
+            let mut ctxt = Ctxt::from_values(vec![1, page]);
+            vm.fire("lookup_swap_cache", &mut ctxt);
+            out.push(vm.fire("swap_cluster_readahead", &mut ctxt).verdict());
+        }
+        out
+    };
+    assert_eq!(drive(prog), drive(back));
+}
+
+#[test]
+fn model_specs_round_trip_with_weights() {
+    use rkd::ml::fixed::Fix;
+    use rkd::ml::quant::QuantMlp;
+    use rkd::ml::svm::IntSvm;
+    // Tree.
+    let tree = ModelSpec::Tree(trained_tree());
+    let json = serde_json::to_string(&tree).unwrap();
+    let back: ModelSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(
+        back.predict(&[Fix::from_int(9)]).unwrap().0,
+        tree.predict(&[Fix::from_int(9)]).unwrap().0
+    );
+    // SVM.
+    let svm = ModelSpec::Svm(IntSvm {
+        weights: vec![Fix::from_f64(0.5), Fix::from_f64(-1.25)],
+        bias: Fix::from_f64(0.125),
+    });
+    let json = serde_json::to_string(&svm).unwrap();
+    let back: ModelSpec = serde_json::from_str(&json).unwrap();
+    let x = [Fix::from_int(3), Fix::from_int(1)];
+    assert_eq!(back.predict(&x).unwrap(), svm.predict(&x).unwrap());
+    // Quantized MLP (placeholder shape is enough to cover the layout).
+    let q = ModelSpec::Qmlp(QuantMlp::placeholder(4, 2));
+    let json = serde_json::to_string(&q).unwrap();
+    let back: ModelSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.n_features(), 4);
+    let x = [Fix::ONE; 4];
+    assert_eq!(back.predict(&x).unwrap(), q.predict(&x).unwrap());
+}
