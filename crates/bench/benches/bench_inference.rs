@@ -1,16 +1,16 @@
-//! Criterion: kernel-side inference latency across the model zoo
+//! Microbenchmark: kernel-side inference latency across the model zoo
 //! (integer decision tree, integer SVM, quantized MLP) — the quantity
 //! the verifier's latency-class budgets stand in for.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rkd_bench::harness::Harness;
 use rkd_ml::dataset::{Dataset, Sample};
 use rkd_ml::fixed::Fix;
 use rkd_ml::mlp::{Mlp, MlpConfig};
 use rkd_ml::quant::QuantMlp;
 use rkd_ml::svm::{LinearSvm, SvmConfig};
 use rkd_ml::tree::{DecisionTree, TreeConfig};
+use rkd_testkit::rng::StdRng;
+use rkd_testkit::rng::{Rng, SeedableRng};
 
 fn dataset(n: usize, dim: usize, rng: &mut StdRng) -> Dataset {
     let mut samples = Vec::new();
@@ -22,7 +22,7 @@ fn dataset(n: usize, dim: usize, rng: &mut StdRng) -> Dataset {
     Dataset::from_samples(samples).unwrap()
 }
 
-fn bench_models(c: &mut Criterion) {
+fn bench_models(c: &mut Harness) {
     let mut rng = StdRng::seed_from_u64(1);
     let ds = dataset(2_000, 15, &mut rng);
     let tree = DecisionTree::train(&ds, &TreeConfig::default()).unwrap();
@@ -48,5 +48,4 @@ fn bench_models(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_models);
-criterion_main!(benches);
+rkd_bench::bench_main!(bench_models);

@@ -1,7 +1,7 @@
-//! Criterion: in-kernel map operation latency (the monitoring fast
+//! Microbenchmark: in-kernel map operation latency (the monitoring fast
 //! path — §3.1's "constant-time in a system-wide manner").
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rkd_bench::harness::Harness;
 use rkd_core::maps::{MapDef, MapInstance, MapKind};
 
 fn map_of(kind: MapKind, capacity: usize) -> MapInstance {
@@ -14,7 +14,7 @@ fn map_of(kind: MapKind, capacity: usize) -> MapInstance {
     .unwrap()
 }
 
-fn bench_maps(c: &mut Criterion) {
+fn bench_maps(c: &mut Harness) {
     let mut group = c.benchmark_group("maps");
     group.bench_function("hash_update_lookup", |b| {
         let mut m = map_of(MapKind::Hash, 1024);
@@ -60,5 +60,4 @@ fn bench_maps(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_maps);
-criterion_main!(benches);
+rkd_bench::bench_main!(bench_maps);

@@ -1,13 +1,13 @@
-//! Criterion: per-access decision cost of the three Table 1
+//! Microbenchmark: per-access decision cost of the three Table 1
 //! prefetchers — the datapath-overhead side of the accuracy trade.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rkd_bench::harness::Harness;
 use rkd_bench::table1_video_params;
 use rkd_sim::mem::ml::{MlPrefetchConfig, MlPrefetcher};
 use rkd_sim::mem::prefetcher::{Leap, Prefetcher, Readahead};
 use rkd_workloads::mem::video_resize;
 
-fn bench_prefetchers(c: &mut Criterion) {
+fn bench_prefetchers(c: &mut Harness) {
     let trace = video_resize(&table1_video_params());
     let mut group = c.benchmark_group("prefetch_decision");
     group.bench_function("readahead", |b| {
@@ -42,5 +42,4 @@ fn bench_prefetchers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_prefetchers);
-criterion_main!(benches);
+rkd_bench::bench_main!(bench_prefetchers);

@@ -1,9 +1,7 @@
-//! Criterion: scheduler simulation throughput and per-decision policy
+//! Microbenchmark: scheduler simulation throughput and per-decision policy
 //! cost (CFS heuristic vs RMT/ML policy).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rkd_bench::harness::Harness;
 use rkd_core::machine::ExecMode;
 use rkd_ml::dataset::{Dataset, Sample};
 use rkd_ml::mlp::{Mlp, MlpConfig};
@@ -11,6 +9,8 @@ use rkd_ml::quant::QuantMlp;
 use rkd_sim::sched::features::MigrationFeatures;
 use rkd_sim::sched::policy::{CfsPolicy, MigrationPolicy, MlPolicy};
 use rkd_sim::sched::sim::{run, SchedSimConfig};
+use rkd_testkit::rng::SeedableRng;
+use rkd_testkit::rng::StdRng;
 use rkd_workloads::sched::blackscholes;
 
 fn features() -> MigrationFeatures {
@@ -46,7 +46,7 @@ fn tiny_mlp() -> QuantMlp {
     QuantMlp::quantize(&mlp, 8).unwrap()
 }
 
-fn bench_policies(c: &mut Criterion) {
+fn bench_policies(c: &mut Harness) {
     let mut group = c.benchmark_group("can_migrate_task");
     group.bench_function("cfs_heuristic", |b| {
         let mut p = CfsPolicy::default();
@@ -61,7 +61,7 @@ fn bench_policies(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_sim(c: &mut Criterion) {
+fn bench_sim(c: &mut Harness) {
     c.bench_function("sched_sim_100ms_slice_work", |b| {
         let mut rng = StdRng::seed_from_u64(6);
         let mut w = blackscholes(8, &mut rng);
@@ -72,5 +72,4 @@ fn bench_sim(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_policies, bench_sim);
-criterion_main!(benches);
+rkd_bench::bench_main!(bench_policies, bench_sim);

@@ -1,8 +1,8 @@
-//! Criterion: verifier admission cost vs program size — admission is a
+//! Microbenchmark: verifier admission cost vs program size — admission is a
 //! control-plane operation, but §3.3 makes it the safety linchpin, so
 //! its scaling matters for frequent reconfiguration.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rkd_bench::harness::Harness;
 use rkd_core::bytecode::{Action, AluOp, Insn, Reg};
 use rkd_core::prog::{ProgramBuilder, RmtProgram};
 use rkd_core::table::MatchKind;
@@ -37,16 +37,16 @@ fn program_with(n_insns: usize, n_tables: usize) -> RmtProgram {
     b.build()
 }
 
-fn bench_verify(c: &mut Criterion) {
+fn bench_verify(c: &mut Harness) {
     let mut group = c.benchmark_group("verifier");
     for size in [16usize, 128, 1024, 4000] {
-        group.bench_with_input(BenchmarkId::new("insns", size), &size, |b, &size| {
+        group.bench_function(&format!("insns/{size}"), |b| {
             let prog = program_with(size, 2);
             b.iter(|| verify(prog.clone()).unwrap());
         });
     }
     for tables in [1usize, 8, 32] {
-        group.bench_with_input(BenchmarkId::new("tables", tables), &tables, |b, &tables| {
+        group.bench_function(&format!("tables/{tables}"), |b| {
             let prog = program_with(64, tables);
             b.iter(|| verify(prog.clone()).unwrap());
         });
@@ -54,5 +54,4 @@ fn bench_verify(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_verify);
-criterion_main!(benches);
+rkd_bench::bench_main!(bench_verify);

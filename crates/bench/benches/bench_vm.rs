@@ -1,7 +1,7 @@
-//! Criterion: interpreter vs JIT dispatch on the Figure 1 datapath,
+//! Microbenchmark: interpreter vs JIT dispatch on the Figure 1 datapath,
 //! plus raw action-execution microbenchmarks.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rkd_bench::harness::{BatchSize, Harness};
 use rkd_core::bytecode::{Action, AluOp, CmpOp, Insn, Reg};
 use rkd_core::ctxt::Ctxt;
 use rkd_core::machine::{ExecMode, RmtMachine};
@@ -65,7 +65,7 @@ fn machine_with(mode: ExecMode) -> RmtMachine {
     vm
 }
 
-fn bench_dispatch(c: &mut Criterion) {
+fn bench_dispatch(c: &mut Harness) {
     let mut group = c.benchmark_group("vm_dispatch");
     for (name, mode) in [("interp", ExecMode::Interp), ("jit", ExecMode::Jit)] {
         group.bench_function(name, |b| {
@@ -80,7 +80,7 @@ fn bench_dispatch(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_figure1(c: &mut Criterion) {
+fn bench_figure1(c: &mut Harness) {
     let mut group = c.benchmark_group("figure1_datapath");
     for (name, mode) in [("interp", ExecMode::Interp), ("jit", ExecMode::Jit)] {
         group.bench_function(name, |b| {
@@ -100,5 +100,4 @@ fn bench_figure1(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dispatch, bench_figure1);
-criterion_main!(benches);
+rkd_bench::bench_main!(bench_dispatch, bench_figure1);

@@ -8,8 +8,6 @@
 //! integer decision tree and compares accuracy, verifier-relevant cost,
 //! and measured inference latency. Run with `--release`.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rkd_bench::{f1, render_table};
 use rkd_ml::cost::{CostBudget, Costed, LatencyClass};
 use rkd_ml::dataset::{Dataset, Sample};
@@ -20,6 +18,8 @@ use rkd_ml::quant::QuantMlp;
 use rkd_ml::tree::TreeConfig;
 use rkd_sim::sched::policy::{CfsPolicy, RecordingPolicy};
 use rkd_sim::sched::sim::{run, SchedSimConfig};
+use rkd_testkit::rng::SeedableRng;
+use rkd_testkit::rng::StdRng;
 use rkd_workloads::sched::streamcluster;
 use std::time::Instant;
 

@@ -7,9 +7,6 @@
 //! version of "forego the monitoring of events that contribute little
 //! useful information". Run with `--release`.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use rkd_bench::{f1, render_table};
 use rkd_ml::cost::Costed;
 use rkd_ml::dataset::{Dataset, Sample};
@@ -22,6 +19,9 @@ use rkd_ml::tree::{DecisionTree, TreeConfig};
 use rkd_sim::sched::features::FEATURE_NAMES;
 use rkd_sim::sched::policy::{CfsPolicy, RecordingPolicy};
 use rkd_sim::sched::sim::{run, SchedSimConfig};
+use rkd_testkit::rng::SeedableRng;
+use rkd_testkit::rng::SliceRandom;
+use rkd_testkit::rng::StdRng;
 use rkd_workloads::sched::streamcluster;
 
 fn main() {

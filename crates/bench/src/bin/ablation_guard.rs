@@ -7,14 +7,14 @@
 //! without the guard, and measures how the token bucket caps the
 //! damage. Run with `--release`.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rkd_bench::{f1, f2, render_table};
 use rkd_core::ctxt::Ctxt;
 use rkd_core::interp::Effect;
 use rkd_core::machine::{ExecMode, RmtMachine};
 use rkd_core::verifier::{verify_with, VerifierConfig};
 use rkd_sim::mem::cache::PageCache;
+use rkd_testkit::rng::SeedableRng;
+use rkd_testkit::rng::StdRng;
 use rkd_workloads::mem::uniform_random;
 
 const BLAST: &str = r#"

@@ -7,8 +7,6 @@
 //! (unconstrained), showing how the budget reshapes the winning
 //! architecture. Run with `--release`.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rkd_bench::{f1, render_table};
 use rkd_ml::cost::{Costed, LatencyClass};
 use rkd_ml::dataset::{Dataset, Sample};
@@ -16,6 +14,8 @@ use rkd_ml::fixed::Fix;
 use rkd_ml::search::{search_mlp, search_tree, MlpSearchSpace, TreeSearchSpace};
 use rkd_sim::sched::policy::{CfsPolicy, RecordingPolicy};
 use rkd_sim::sched::sim::{run, SchedSimConfig};
+use rkd_testkit::rng::SeedableRng;
+use rkd_testkit::rng::StdRng;
 use rkd_workloads::sched::streamcluster;
 
 fn main() {

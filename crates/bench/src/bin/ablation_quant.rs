@@ -5,8 +5,6 @@
 //! kernel datapath. This sweep measures how many weight bits the CFS
 //! migration mimic actually needs. Run with `--release`.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rkd_bench::{f1, render_table};
 use rkd_ml::dataset::{Dataset, Sample};
 use rkd_ml::fixed::Fix;
@@ -14,6 +12,8 @@ use rkd_ml::mlp::{Mlp, MlpConfig};
 use rkd_ml::quant::QuantMlp;
 use rkd_sim::sched::policy::{CfsPolicy, RecordingPolicy};
 use rkd_sim::sched::sim::{run, SchedSimConfig};
+use rkd_testkit::rng::SeedableRng;
+use rkd_testkit::rng::StdRng;
 use rkd_workloads::sched::streamcluster;
 
 fn main() {

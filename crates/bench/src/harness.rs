@@ -1,0 +1,377 @@
+//! A minimal `std::time`-based microbenchmark harness.
+//!
+//! The workspace builds hermetically with zero external crates, so the
+//! `benches/` targets cannot use criterion. This module provides the
+//! small slice of its surface the benches need — groups, named bench
+//! functions, `iter`/`iter_batched` — measured with
+//! [`std::time::Instant`] and reported as ns/iter on stdout.
+//!
+//! Methodology per bench function:
+//!
+//! 1. **Warmup + calibration**: the routine runs repeatedly for the
+//!    warmup budget; the observed rate sizes the measurement batches.
+//! 2. **Sampling**: a fixed number of samples each time a batch of
+//!    iterations and record the per-iteration mean.
+//! 3. **Report**: median / mean / min / max across samples.
+//!
+//! Environment overrides: `RKD_BENCH_WARMUP_MS`, `RKD_BENCH_MEASURE_MS`
+//! and `RKD_BENCH_SAMPLES`. A substring filter may be passed as the
+//! first non-flag CLI argument (matching `cargo bench -- <filter>`).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Measurement budget for one bench function.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Time spent warming up and calibrating the batch size.
+    pub warmup: Duration,
+    /// Total time budget for the measured samples.
+    pub measure: Duration,
+    /// Number of timed samples to collect.
+    pub samples: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            warmup: Duration::from_millis(50),
+            measure: Duration::from_millis(200),
+            samples: 20,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// Default budget with `RKD_BENCH_*` environment overrides applied.
+    pub fn from_env() -> BenchConfig {
+        let mut cfg = BenchConfig::default();
+        if let Some(ms) = env_u64("RKD_BENCH_WARMUP_MS") {
+            cfg.warmup = Duration::from_millis(ms);
+        }
+        if let Some(ms) = env_u64("RKD_BENCH_MEASURE_MS") {
+            cfg.measure = Duration::from_millis(ms);
+        }
+        if let Some(n) = env_u64("RKD_BENCH_SAMPLES") {
+            cfg.samples = (n as usize).max(1);
+        }
+        cfg
+    }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+/// Hint for how expensive per-iteration inputs are; mirrors criterion's
+/// enum so `iter_batched` call sites read the same.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Inputs are cheap; batches are sized purely from the calibrated
+    /// iteration rate.
+    SmallInput,
+    /// Inputs are large; batches are capped to bound peak memory.
+    LargeInput,
+    /// One input per timed iteration.
+    PerIteration,
+}
+
+/// Collects timed samples for a single bench function.
+pub struct Bencher {
+    cfg: BenchConfig,
+    /// Per-iteration nanoseconds, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(cfg: BenchConfig) -> Bencher {
+        Bencher {
+            cfg,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `routine` back to back; the measured span contains nothing
+    /// but the routine.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let batch = self.calibrate(|| {
+            black_box(routine());
+        });
+        for _ in 0..self.cfg.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.record(start.elapsed(), batch);
+        }
+    }
+
+    /// Times `routine` on inputs produced by `setup`; setup cost is
+    /// excluded from the measured span.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        size: BatchSize,
+    ) {
+        // Calibration necessarily times setup too, which only inflates
+        // the per-iteration estimate and therefore shrinks the batch —
+        // a safe direction.
+        let mut batch = self.calibrate(|| {
+            black_box(routine(setup()));
+        });
+        batch = match size {
+            BatchSize::PerIteration => 1,
+            BatchSize::LargeInput => batch.min(64),
+            BatchSize::SmallInput => batch,
+        };
+        for _ in 0..self.cfg.samples {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.record(start.elapsed(), batch);
+        }
+    }
+
+    /// Runs `one` repeatedly for the warmup budget and returns a batch
+    /// size targeting `measure / samples` per sample.
+    fn calibrate(&self, mut one: impl FnMut()) -> u64 {
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        loop {
+            one();
+            iters += 1;
+            if start.elapsed() >= self.cfg.warmup {
+                break;
+            }
+        }
+        let per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+        let sample_ns = self.cfg.measure.as_nanos() as f64 / self.cfg.samples.max(1) as f64;
+        (sample_ns / per_iter.max(1.0)).ceil().max(1.0) as u64
+    }
+
+    fn record(&mut self, elapsed: Duration, batch: u64) {
+        self.samples
+            .push(elapsed.as_nanos() as f64 / batch.max(1) as f64);
+    }
+
+    fn report(&self) -> Option<Stats> {
+        Stats::of(&self.samples)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Stats {
+    median: f64,
+    mean: f64,
+    min: f64,
+    max: f64,
+    n: usize,
+}
+
+impl Stats {
+    fn of(samples: &[f64]) -> Option<Stats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let n = sorted.len();
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        Some(Stats {
+            median,
+            mean: sorted.iter().sum::<f64>() / n as f64,
+            min: sorted[0],
+            max: sorted[n - 1],
+            n,
+        })
+    }
+}
+
+/// Formats nanoseconds with an auto-scaled unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:8.3} s ", ns / 1_000_000_000.0)
+    }
+}
+
+/// Top-level harness: owns the measurement budget and the CLI filter,
+/// and prints one report line per bench function.
+pub struct Harness {
+    cfg: BenchConfig,
+    filter: Option<String>,
+    ran: usize,
+    skipped: usize,
+}
+
+impl Harness {
+    /// Builds a harness from `RKD_BENCH_*` variables and CLI args.
+    /// Flags (`--bench`, `--quiet`, ...) that cargo forwards are
+    /// ignored; the first bare argument is a substring filter.
+    pub fn from_env() -> Harness {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Harness {
+            cfg: BenchConfig::from_env(),
+            filter,
+            ran: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Opens a named group; bench ids are reported as `group/id`.
+    pub fn benchmark_group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs a standalone bench function (no group prefix).
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        self.run(id, f);
+    }
+
+    fn run(&mut self, full_id: &str, f: impl FnOnce(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !full_id.contains(filter.as_str()) {
+                self.skipped += 1;
+                return;
+            }
+        }
+        let mut bencher = Bencher::new(self.cfg);
+        f(&mut bencher);
+        match bencher.report() {
+            Some(s) => println!(
+                "{full_id:<40} {} /iter  (mean {}, min {}, max {}, {} samples)",
+                fmt_ns(s.median),
+                fmt_ns(s.mean).trim(),
+                fmt_ns(s.min).trim(),
+                fmt_ns(s.max).trim(),
+                s.n,
+            ),
+            None => println!("{full_id:<40} (no samples collected)"),
+        }
+        self.ran += 1;
+    }
+
+    /// Prints the closing summary line.
+    pub fn finish(&self) {
+        if self.skipped > 0 {
+            println!(
+                "ran {} benchmark(s), filtered out {}",
+                self.ran, self.skipped
+            );
+        }
+    }
+}
+
+/// A named group of related bench functions.
+pub struct Group<'a> {
+    harness: &'a mut Harness,
+    name: String,
+}
+
+impl Group<'_> {
+    /// Measures `f` and reports it as `group/id`.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        self.harness.run(&full, f);
+    }
+
+    /// Ends the group. Provided for criterion-shaped call sites; the
+    /// drop would do just as well.
+    pub fn finish(self) {}
+}
+
+/// Declares `fn main()` for a `harness = false` bench target: builds a
+/// [`Harness`] from the environment and runs each listed
+/// `fn(&mut Harness)` in order.
+#[macro_export]
+macro_rules! bench_main {
+    ($($group_fn:path),+ $(,)?) => {
+        fn main() {
+            let mut harness = $crate::harness::Harness::from_env();
+            $($group_fn(&mut harness);)+
+            harness.finish();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> BenchConfig {
+        BenchConfig {
+            warmup: Duration::from_micros(200),
+            measure: Duration::from_micros(500),
+            samples: 5,
+        }
+    }
+
+    #[test]
+    fn iter_collects_requested_samples() {
+        let mut b = Bencher::new(quick());
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        let stats = b.report().expect("samples collected");
+        assert_eq!(stats.n, 5);
+        assert!(stats.min <= stats.median && stats.median <= stats.max);
+        assert!(stats.min > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup_from_measurement() {
+        let slow_setup = || std::thread::sleep(Duration::from_micros(50));
+        let mut b = Bencher::new(quick());
+        b.iter_batched(
+            || {
+                slow_setup();
+                1u64
+            },
+            |x| x + 1,
+            BatchSize::PerIteration,
+        );
+        let stats = b.report().expect("samples collected");
+        // The routine is a single add; if setup leaked into the timed
+        // span every sample would be >= 50µs.
+        assert!(
+            stats.min < 40_000.0,
+            "setup time leaked into measurement: min {} ns",
+            stats.min
+        );
+    }
+
+    #[test]
+    fn stats_median_is_order_independent() {
+        let s = Stats::of(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        let even = Stats::of(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(even.median, 2.5);
+    }
+
+    #[test]
+    fn unit_formatting_scales() {
+        assert!(fmt_ns(512.0).contains("ns"));
+        assert!(fmt_ns(5_120.0).contains("µs"));
+        assert!(fmt_ns(5_120_000.0).contains("ms"));
+        assert!(fmt_ns(5_120_000_000.0).contains("s"));
+    }
+}

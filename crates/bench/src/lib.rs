@@ -9,10 +9,14 @@
 //!   (DSL → verify → install → JIT vs interpret);
 //! - `ablation_*` — design-choice sweeps called out in DESIGN.md.
 //!
-//! Criterion microbenchmarks live under `benches/`.
+//! Microbenchmarks live under `benches/`; they run on the in-repo
+//! [`harness`] module (plain `std::time::Instant` timing) so the
+//! build stays hermetic.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod harness;
 
 use rkd_sim::mem::sim::MemSimConfig;
 use rkd_workloads::mem::{MatrixConvParams, VideoResizeParams};

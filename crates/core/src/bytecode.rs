@@ -24,7 +24,6 @@
 use crate::ctxt::FieldId;
 use crate::maps::MapId;
 use crate::table::TableId;
-use serde::{Deserialize, Serialize};
 
 /// Number of scalar registers.
 pub const NUM_REGS: u8 = 16;
@@ -40,24 +39,24 @@ pub const CONF_REG: Reg = Reg(1);
 pub const MAX_VECTOR_LEN: usize = 256;
 
 /// A scalar register index (`0..NUM_REGS`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Reg(pub u8);
 
 /// A vector register index (`0..NUM_VREGS`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct VReg(pub u8);
 
 /// Identifies a weight tensor in the program's tensor pool.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct TensorSlot(pub u16);
 
 /// Identifies an ML model in the program's model zoo.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ModelSlot(pub u16);
 
 /// Scalar ALU operations. Division and modulo by zero are defined to
 /// produce 0 (like eBPF), never a fault.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum AluOp {
     /// Wrapping addition.
     Add,
@@ -118,7 +117,7 @@ impl AluOp {
 }
 
 /// Comparison operators for conditional jumps.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CmpOp {
     /// Equal.
     Eq,
@@ -149,7 +148,7 @@ impl CmpOp {
 }
 
 /// Unary elementwise vector operations.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum VecUnary {
     /// Elementwise ReLU.
     Relu,
@@ -162,7 +161,7 @@ pub enum VecUnary {
 /// §3.1: "an RMT program has access to a constrained set of kernel
 /// functions that are dedicated to learning and inference." Helpers take
 /// arguments in `r2..r4` and return in `r0`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Helper {
     /// Returns the machine's monotonic tick in `r0`.
     GetTick,
@@ -199,7 +198,7 @@ impl Helper {
 }
 
 /// One RMT bytecode instruction.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Insn {
     /// `dst = imm`.
     LdImm {
@@ -411,7 +410,7 @@ impl Insn {
 }
 
 /// A named action: a straight bytecode body.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Action {
     /// Action name (diagnostics and control plane).
     pub name: String,
@@ -524,3 +523,75 @@ mod tests {
         assert_eq!(b.loop_bound, Some(10));
     }
 }
+
+rkd_testkit::impl_json_newtype!(Reg(u8));
+rkd_testkit::impl_json_newtype!(VReg(u8));
+rkd_testkit::impl_json_newtype!(TensorSlot(u16));
+rkd_testkit::impl_json_newtype!(ModelSlot(u16));
+
+rkd_testkit::impl_json_unit_enum!(AluOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Min,
+    Max,
+});
+
+rkd_testkit::impl_json_unit_enum!(CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge
+});
+
+rkd_testkit::impl_json_unit_enum!(VecUnary { Relu, Sigmoid });
+
+rkd_testkit::impl_json_unit_enum!(Helper {
+    GetTick,
+    Rand,
+    EmitPrefetch,
+    EmitMigrate,
+    EmitHint,
+});
+
+rkd_testkit::impl_json_enum!(Insn {
+    LdImm { dst, imm },
+    Mov { dst, src },
+    LdCtxt { dst, field },
+    StCtxt { field, src },
+    Alu { op, dst, src },
+    AluImm { op, dst, imm },
+    Jmp { target },
+    JmpIf { cmp, lhs, rhs, target },
+    JmpIfImm { cmp, lhs, imm, target },
+    MapLookup { dst, map, key, default },
+    MapUpdate { map, key, value },
+    MapDelete { map, key },
+    VectorLdMap { dst, map },
+    VectorLdCtxt { dst, base, len },
+    VectorPush { dst, src },
+    VectorClear { dst },
+    MatMul { dst, tensor, src },
+    VecMap { op, dst },
+    ScalarVal { dst, src, idx },
+    CallMl { model, src },
+    Call { helper },
+    DpAggregate { dst, map },
+    Exit,
+    TailCall { table },
+});
+
+rkd_testkit::impl_json_struct!(Action {
+    name,
+    code,
+    loop_bound
+});

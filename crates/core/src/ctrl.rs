@@ -19,10 +19,9 @@ use crate::maps::MapId;
 use crate::prog::ModelSpec;
 use crate::table::{Entry, MatchKey, TableId, TableStats};
 use crate::verifier::{verify_with, VerifierConfig};
-use serde::{Deserialize, Serialize};
 
 /// A control-plane request.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub enum CtrlRequest {
     /// Verify and install a program (`rmt_verify()` then
     /// `syscall_rmt()` in Figure 1).
@@ -107,7 +106,7 @@ pub enum CtrlRequest {
 }
 
 /// A control-plane response.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum CtrlResponse {
     /// Program installed under this id.
     Installed(ProgId),
@@ -335,3 +334,31 @@ mod tests {
         assert_eq!(resp, resp.clone());
     }
 }
+
+rkd_testkit::impl_json_enum!(CtrlRequest {
+    Install { prog, mode, seed },
+    Remove { prog },
+    InsertEntry { prog, table, entry },
+    RemoveEntry { prog, table, key },
+    UpdateModel { prog, slot, spec },
+    MapUpdate {
+        prog,
+        map,
+        key,
+        value
+    },
+    MapLookup { prog, map, key },
+    QueryStats { prog },
+    QueryTableStats { prog, table },
+    QueryPrivacyBudget { prog },
+});
+
+rkd_testkit::impl_json_enum!(CtrlResponse {
+    Installed(prog),
+    Ok,
+    Removed(found),
+    Value(value),
+    Stats(stats),
+    TableStats(stats),
+    PrivacyBudget(remaining),
+});

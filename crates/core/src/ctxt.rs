@@ -12,14 +12,12 @@
 //! hook fills in before firing the RMT pipeline. Field reads and writes
 //! compile to `RMT_LD_CTXT` / `RMT_ST_CTXT`.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies a context field; indexes into the schema and value vector.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FieldId(pub u16);
 
 /// Declares one context field.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FieldDef {
     /// Human-readable name (e.g. `"pid"`, `"last_page"`).
     pub name: String,
@@ -29,7 +27,7 @@ pub struct FieldDef {
 }
 
 /// The declared set of context fields for a program.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CtxtSchema {
     fields: Vec<FieldDef>,
 }
@@ -101,7 +99,7 @@ impl CtxtSchema {
 
 /// A populated execution context: one `i64` per schema field, indexed in
 /// constant time by [`FieldId`].
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Ctxt {
     values: Vec<i64>,
 }
@@ -207,5 +205,47 @@ mod tests {
         s.add_readonly("y");
         let names: Vec<&str> = s.iter().map(|(_, d)| d.name.as_str()).collect();
         assert_eq!(names, vec!["x", "y"]);
+    }
+}
+
+rkd_testkit::impl_json_newtype!(FieldId(u16));
+
+rkd_testkit::impl_json_struct!(FieldDef { name, writable });
+
+impl rkd_testkit::json::ToJson for CtxtSchema {
+    fn to_json(&self) -> rkd_testkit::json::Json {
+        rkd_testkit::json::Json::Obj(vec![(
+            "fields".to_string(),
+            rkd_testkit::json::ToJson::to_json(&self.fields),
+        )])
+    }
+}
+
+impl rkd_testkit::json::FromJson for CtxtSchema {
+    fn from_json(
+        json: &rkd_testkit::json::Json,
+    ) -> Result<CtxtSchema, rkd_testkit::json::JsonError> {
+        Ok(CtxtSchema {
+            fields: Vec::<FieldDef>::from_json(json.field("fields")?)
+                .map_err(|e| e.context("fields"))?,
+        })
+    }
+}
+
+impl rkd_testkit::json::ToJson for Ctxt {
+    fn to_json(&self) -> rkd_testkit::json::Json {
+        rkd_testkit::json::Json::Obj(vec![(
+            "values".to_string(),
+            rkd_testkit::json::ToJson::to_json(&self.values),
+        )])
+    }
+}
+
+impl rkd_testkit::json::FromJson for Ctxt {
+    fn from_json(json: &rkd_testkit::json::Json) -> Result<Ctxt, rkd_testkit::json::JsonError> {
+        Ok(Ctxt {
+            values: Vec::<i64>::from_json(json.field("values")?)
+                .map_err(|e| e.context("values"))?,
+        })
     }
 }

@@ -12,11 +12,10 @@
 //! are geometric with parameter `p = 1 - exp(-eps/s)`.
 
 use crate::error::VmError;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use rkd_testkit::rng::Rng;
 
 /// A privacy-budget ledger, in milli-epsilon units.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PrivacyLedger {
     budget_milli_eps: u64,
     spent_milli_eps: u64,
@@ -99,8 +98,8 @@ pub fn noised_query(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rkd_testkit::rng::SeedableRng;
+    use rkd_testkit::rng::StdRng;
 
     #[test]
     fn ledger_charges_and_exhausts() {

@@ -22,10 +22,9 @@
 //! the guard.
 
 use rkd_ml::fixed::Fix;
-use serde::{Deserialize, Serialize};
 
 /// Guardrail configuration for one model slot.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ModelGuard {
     /// Largest class the datapath may act on.
     pub max_class: usize,
@@ -126,3 +125,9 @@ mod tests {
         assert_eq!(g.apply(9, Fix::ONE), (0, true));
     }
 }
+
+rkd_testkit::impl_json_struct!(ModelGuard {
+    max_class,
+    fallback_class,
+    min_confidence
+});

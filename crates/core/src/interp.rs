@@ -18,13 +18,12 @@ use crate::error::VmError;
 use crate::maps::MapInstance;
 use crate::prog::{ModelDef, PrivacyPolicy};
 use crate::table::TableId;
-use rand::rngs::StdRng;
 use rkd_ml::fixed::Fix;
 use rkd_ml::tensor::Tensor;
-use serde::{Deserialize, Serialize};
+use rkd_testkit::rng::StdRng;
 
 /// A side effect emitted by an action toward the surrounding kernel.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Effect {
     /// Prefetch `count` pages starting at `base`.
     Prefetch {
@@ -269,7 +268,7 @@ pub fn run_action(
             Insn::Call { helper } => match helper {
                 Helper::GetTick => regs[0] = env.tick as i64,
                 Helper::Rand => {
-                    use rand::Rng;
+                    use rkd_testkit::rng::Rng;
                     regs[0] = env.rng.gen::<i64>();
                 }
                 Helper::EmitPrefetch => {
@@ -349,10 +348,10 @@ mod tests {
     use crate::ctxt::CtxtSchema;
     use crate::maps::{MapDef, MapKind};
     use crate::prog::ModelSpec;
-    use rand::SeedableRng;
     use rkd_ml::cost::LatencyClass;
     use rkd_ml::dataset::{Dataset, Sample};
     use rkd_ml::tree::{DecisionTree, TreeConfig};
+    use rkd_testkit::rng::SeedableRng;
 
     struct Fixture {
         ctxt: Ctxt,
@@ -884,3 +883,9 @@ mod tests {
         assert_eq!(run(a, &mut fx).unwrap().verdict, 0);
     }
 }
+
+rkd_testkit::impl_json_enum!(Effect {
+    Prefetch { base, count },
+    Migrate { migrate },
+    Hint { kind, a, b },
+});

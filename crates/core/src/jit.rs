@@ -264,7 +264,7 @@ impl CompiledAction {
                 Op::Call(helper) => match helper {
                     Helper::GetTick => regs[0] = env.tick as i64,
                     Helper::Rand => {
-                        use rand::Rng;
+                        use rkd_testkit::rng::Rng;
                         regs[0] = env.rng.gen::<i64>();
                     }
                     Helper::EmitPrefetch => {
@@ -339,8 +339,8 @@ mod tests {
     use crate::interp::run_action;
     use crate::maps::{MapDef, MapInstance, MapKind};
     use crate::prog::PrivacyPolicy;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rkd_testkit::rng::SeedableRng;
+    use rkd_testkit::rng::StdRng;
 
     struct Fx {
         ctxt: crate::ctxt::Ctxt,

@@ -60,6 +60,7 @@ pub mod jit;
 pub mod machine;
 pub mod maps;
 pub mod prog;
+pub mod snapshot;
 pub mod table;
 pub mod verifier;
 

@@ -21,18 +21,17 @@ use crate::maps::{MapId, MapInstance};
 use crate::prog::{ModelSpec, RmtProgram};
 use crate::table::{Entry, Table, TableId, TableStats};
 use crate::verifier::VerifiedProgram;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rkd_ml::cost::CostBudget;
-use serde::{Deserialize, Serialize};
+use rkd_testkit::rng::SeedableRng;
+use rkd_testkit::rng::StdRng;
 use std::collections::{BTreeMap, HashMap};
 
 /// Identifies an installed program.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ProgId(pub u32);
 
 /// Execution mode for a program's actions.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ExecMode {
     /// Interpret bytecode (`rmt_interp`).
     Interp,
@@ -45,7 +44,7 @@ pub enum ExecMode {
 pub const MAX_TAIL_CHAIN: usize = 8;
 
 /// Per-program runtime statistics.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ProgStats {
     /// Hook firings routed to this program.
     pub invocations: u64,
@@ -120,6 +119,11 @@ impl TokenBucket {
 /// One installed program with its runtime state.
 struct Installed {
     prog: RmtProgram,
+    /// hook name -> this program's table indices at that hook, in
+    /// declaration order. Precomputed at install so `fire` does not
+    /// re-scan (and re-compare hook strings of) every table per
+    /// firing.
+    hook_tables: HashMap<String, Vec<usize>>,
     worst_case: Vec<u64>,
     mode: ExecMode,
     tables: Vec<Table>,
@@ -213,6 +217,10 @@ impl RmtMachine {
                 seen_hooks.push(&t.hook);
             }
         }
+        let mut hook_tables: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, t) in prog.tables.iter().enumerate() {
+            hook_tables.entry(t.hook.clone()).or_default().push(i);
+        }
         for hook in seen_hooks {
             let first = prog
                 .tables
@@ -228,6 +236,7 @@ impl RmtMachine {
             id,
             Installed {
                 prog,
+                hook_tables,
                 worst_case,
                 mode,
                 tables,
@@ -276,15 +285,10 @@ impl RmtMachine {
             // Pipeline: all of this program's tables registered at this
             // hook, in declaration order; a tail call redirects and then
             // ends the pipeline.
-            let hook_tables: Vec<usize> = inst
-                .prog
-                .tables
-                .iter()
-                .enumerate()
-                .filter(|(_, t)| t.hook == hook)
-                .map(|(i, _)| i)
-                .collect();
-            let mut queue: Vec<usize> = hook_tables;
+            let Some(hook_tables) = inst.hook_tables.get(hook) else {
+                continue;
+            };
+            let mut queue: Vec<usize> = hook_tables.clone();
             let mut chain = 0usize;
             let mut qi = 0usize;
             while qi < queue.len() {
@@ -900,3 +904,18 @@ mod tests {
         assert_eq!(m.program_ids().len(), 2);
     }
 }
+
+rkd_testkit::impl_json_newtype!(ProgId(u32));
+
+rkd_testkit::impl_json_unit_enum!(ExecMode { Interp, Jit });
+
+rkd_testkit::impl_json_struct!(ProgStats {
+    invocations,
+    actions_run,
+    insns_executed,
+    effects_emitted,
+    effects_rate_limited,
+    actions_aborted,
+    tail_calls,
+    guard_trips
+});

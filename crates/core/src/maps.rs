@@ -11,15 +11,14 @@
 //! aggregation that the DP layer can noise before export).
 
 use crate::error::VmError;
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 
 /// Identifies a map within a program.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct MapId(pub u16);
 
 /// The kind of a declared map.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum MapKind {
     /// Unordered key/value hash with capacity cap.
     Hash,
@@ -35,7 +34,7 @@ pub enum MapKind {
 }
 
 /// Static declaration of a map.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MapDef {
     /// Map name (control-plane visible).
     pub name: String,
@@ -405,3 +404,20 @@ mod tests {
         assert!(m.ring_snapshot().is_empty());
     }
 }
+
+rkd_testkit::impl_json_newtype!(MapId(u16));
+
+rkd_testkit::impl_json_unit_enum!(MapKind {
+    Hash,
+    Array,
+    LruHash,
+    RingBuf,
+    Histogram,
+});
+
+rkd_testkit::impl_json_struct!(MapDef {
+    name,
+    kind,
+    capacity,
+    shared
+});

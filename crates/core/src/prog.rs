@@ -19,10 +19,9 @@ use rkd_ml::svm::IntSvm;
 use rkd_ml::tensor::Tensor;
 use rkd_ml::tree::DecisionTree;
 use rkd_ml::MlError;
-use serde::{Deserialize, Serialize};
 
 /// A kernel-admissible ML model (the Figure 1 model zoo).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub enum ModelSpec {
     /// Integer decision tree.
     Tree(DecisionTree),
@@ -78,7 +77,7 @@ impl ModelSpec {
 }
 
 /// A named model plus the latency class of the hook it serves.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ModelDef {
     /// Model name.
     pub name: String,
@@ -93,7 +92,7 @@ pub struct ModelDef {
 
 /// Token-bucket rate limit applied to resource-emitting actions
 /// (§3.3 performance interference).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RateLimitCfg {
     /// Maximum tokens in the bucket (burst size).
     pub capacity: u64,
@@ -102,7 +101,7 @@ pub struct RateLimitCfg {
 }
 
 /// Privacy policy for cross-application programs (§3.3).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PrivacyPolicy {
     /// Total privacy budget in milli-epsilon.
     pub budget_milli_eps: u64,
@@ -124,7 +123,7 @@ impl Default for PrivacyPolicy {
 }
 
 /// A complete, not-yet-verified RMT program.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RmtProgram {
     /// Program name.
     pub name: String,
@@ -397,3 +396,40 @@ mod tests {
         assert!(p.sensitivity >= 1);
     }
 }
+
+rkd_testkit::impl_json_enum!(ModelSpec {
+    Tree(tree),
+    Svm(svm),
+    Qmlp(qmlp),
+});
+
+rkd_testkit::impl_json_struct!(ModelDef {
+    name,
+    spec,
+    latency_class,
+    guard
+});
+
+rkd_testkit::impl_json_struct!(RateLimitCfg {
+    capacity,
+    refill_per_tick
+});
+
+rkd_testkit::impl_json_struct!(PrivacyPolicy {
+    budget_milli_eps,
+    per_query_milli_eps,
+    sensitivity
+});
+
+rkd_testkit::impl_json_struct!(RmtProgram {
+    name,
+    schema,
+    tables,
+    initial_entries,
+    actions,
+    maps,
+    tensors,
+    models,
+    rate_limit,
+    privacy
+});

@@ -1,0 +1,97 @@
+//! Program and control-plane state snapshots as JSON.
+//!
+//! The control plane persists [`crate::prog::RmtProgram`] definitions
+//! (and model specs for hot-swap staging) across restarts. This module
+//! is the public entry point for that serialization: a hand-rolled,
+//! dependency-free JSON codec provided by `rkd-testkit`, with
+//! `ToJson`/`FromJson` implementations living next to each snapshotted
+//! type.
+//!
+//! Integers round-trip exactly — every value in a program snapshot is
+//! integral (fixed-point weights are stored as raw Q16.16 `i32`s), so a
+//! deserialized program is bit-identical to the original and drives the
+//! VM identically.
+//!
+//! # Examples
+//!
+//! ```
+//! use rkd_core::prog::ProgramBuilder;
+//! use rkd_core::snapshot;
+//!
+//! let prog = ProgramBuilder::new("demo").build();
+//! let json = snapshot::to_json_string(&prog);
+//! let back: rkd_core::prog::RmtProgram = snapshot::from_json_str(&json).unwrap();
+//! assert_eq!(back.name, prog.name);
+//! ```
+
+pub use rkd_testkit::json::{self, FromJson, Json, JsonError, ToJson};
+
+/// Serializes any snapshot-able value to a compact JSON string.
+pub fn to_json_string<T: ToJson + ?Sized>(value: &T) -> String {
+    json::to_string(value)
+}
+
+/// Parses and decodes a snapshot-able value from a JSON string.
+pub fn from_json_str<T: FromJson>(input: &str) -> Result<T, JsonError> {
+    json::from_str(input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::{Action, Insn, Reg};
+    use crate::ctrl::CtrlResponse;
+    use crate::machine::ProgId;
+    use crate::prog::ProgramBuilder;
+    use crate::table::{Entry, MatchKey, MatchKind};
+
+    #[test]
+    fn program_with_tables_round_trips() {
+        let mut b = ProgramBuilder::new("snap");
+        let pid = b.field_readonly("pid");
+        let act = b.action(Action::new(
+            "ret1",
+            vec![
+                Insn::LdImm {
+                    dst: Reg(0),
+                    imm: 1,
+                },
+                Insn::Exit,
+            ],
+        ));
+        let t = b.table("t", "my_hook", &[pid], MatchKind::Exact, Some(act), 16);
+        b.entry(
+            t,
+            Entry {
+                key: MatchKey::Exact(vec![42]),
+                priority: 0,
+                action: act,
+                arg: 7,
+            },
+        );
+        let prog = b.build();
+
+        let json = to_json_string(&prog);
+        let back: crate::prog::RmtProgram = from_json_str(&json).unwrap();
+        assert_eq!(to_json_string(&back), json);
+        assert_eq!(back.name, prog.name);
+        assert_eq!(back.actions, prog.actions);
+        assert_eq!(back.initial_entries, prog.initial_entries);
+    }
+
+    #[test]
+    fn ctrl_responses_round_trip() {
+        for resp in [
+            CtrlResponse::Installed(ProgId(3)),
+            CtrlResponse::Ok,
+            CtrlResponse::Removed(true),
+            CtrlResponse::Value(None),
+            CtrlResponse::Value(Some(-9)),
+            CtrlResponse::PrivacyBudget(10_000),
+        ] {
+            let json = to_json_string(&resp);
+            let back: CtrlResponse = from_json_str(&json).unwrap();
+            assert_eq!(back, resp, "via {json}");
+        }
+    }
+}

@@ -11,19 +11,18 @@
 
 use crate::ctxt::FieldId;
 use crate::error::VmError;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Identifies a table within a program.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TableId(pub u16);
 
 /// Identifies an action within a program.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ActionId(pub u16);
 
 /// How a table matches its key fields.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum MatchKind {
     /// All key components must equal the entry's values.
     Exact,
@@ -37,7 +36,7 @@ pub enum MatchKind {
 }
 
 /// An entry's match key, of the kind its table declares.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum MatchKey {
     /// Exact values, one per key field.
     Exact(Vec<u64>),
@@ -114,7 +113,7 @@ impl MatchKey {
 }
 
 /// One match/action entry.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Entry {
     /// The match key.
     pub key: MatchKey,
@@ -131,7 +130,7 @@ pub struct Entry {
 
 /// Static declaration of a table (shape only; entries are runtime
 /// state owned by [`Table`]).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TableDef {
     /// Table name (e.g. `"page_prefetch_tab"`).
     pub name: String,
@@ -151,7 +150,7 @@ pub struct TableDef {
 }
 
 /// Hit/miss counters for one table.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TableStats {
     /// Lookups that matched an entry.
     pub hits: u64,
@@ -510,3 +509,38 @@ mod tests {
         .matches(&[1, 2]));
     }
 }
+
+rkd_testkit::impl_json_newtype!(TableId(u16));
+rkd_testkit::impl_json_newtype!(ActionId(u16));
+
+rkd_testkit::impl_json_unit_enum!(MatchKind {
+    Exact,
+    Lpm,
+    Range,
+    Ternary
+});
+
+rkd_testkit::impl_json_enum!(MatchKey {
+    Exact(values),
+    Lpm { value, prefix_len },
+    Range(ranges),
+    Ternary(parts),
+});
+
+rkd_testkit::impl_json_struct!(Entry {
+    key,
+    priority,
+    action,
+    arg
+});
+
+rkd_testkit::impl_json_struct!(TableDef {
+    name,
+    hook,
+    key_fields,
+    kind,
+    default_action,
+    max_entries
+});
+
+rkd_testkit::impl_json_struct!(TableStats { hits, misses });

@@ -1374,8 +1374,10 @@ mod tests {
 
     #[test]
     fn size_limits_enforced() {
-        let mut cfg = VerifierConfig::default();
-        cfg.max_actions = 1;
+        let cfg = VerifierConfig {
+            max_actions: 1,
+            ..VerifierConfig::default()
+        };
         let mut b = ProgramBuilder::new("p");
         b.action(ok_action());
         b.action(ok_action());

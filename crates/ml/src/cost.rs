@@ -16,10 +16,9 @@ use crate::error::MlError;
 use crate::quant::QuantMlp;
 use crate::svm::IntSvm;
 use crate::tree::DecisionTree;
-use serde::{Deserialize, Serialize};
 
 /// Statically computed cost of one inference.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ModelCost {
     /// Multiply-accumulate operations (0 for pure-compare models).
     pub macs: u64,
@@ -40,7 +39,7 @@ impl ModelCost {
 }
 
 /// Latency class of the kernel hook a model is being admitted into.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum LatencyClass {
     /// Scheduler-grade hooks: microsecond budget (`can_migrate_task`).
     Scheduler,
@@ -51,7 +50,7 @@ pub enum LatencyClass {
 }
 
 /// Per-class admission budgets.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CostBudget {
     /// Maximum `total_ops` per inference.
     pub max_ops: u64,
@@ -282,3 +281,9 @@ mod tests {
         assert!(conv2d_macs(8, 8, 1, 1, 0, 1).is_err());
     }
 }
+
+rkd_testkit::impl_json_unit_enum!(LatencyClass {
+    Scheduler,
+    MemoryManagement,
+    Background,
+});

@@ -7,12 +7,11 @@
 
 use crate::error::MlError;
 use crate::fixed::Fix;
-use rand::seq::SliceRandom;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use rkd_testkit::rng::Rng;
+use rkd_testkit::rng::SliceRandom;
 
 /// One labeled training sample: a feature vector and a class label.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Sample {
     /// Fixed-point feature values.
     pub features: Vec<Fix>,
@@ -31,7 +30,7 @@ impl Sample {
 }
 
 /// A labeled dataset with consistent feature dimensionality.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Dataset {
     samples: Vec<Sample>,
     n_features: usize,
@@ -205,8 +204,8 @@ pub fn apply_norm(v: Fix, (lo, hi): (Fix, Fix)) -> Fix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rkd_testkit::rng::SeedableRng;
+    use rkd_testkit::rng::StdRng;
 
     fn toy() -> Dataset {
         Dataset::from_samples(vec![

@@ -16,11 +16,10 @@ use crate::dataset::{Dataset, Sample};
 use crate::error::MlError;
 use crate::mlp::Mlp;
 use crate::tree::{DecisionTree, TreeConfig};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use rkd_testkit::rng::Rng;
 
 /// Configuration for teacher-to-tree distillation.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DistillConfig {
     /// Jittered copies generated per training input (0 = use inputs only).
     pub augment_per_sample: usize,
@@ -100,8 +99,8 @@ pub fn distill_to_tree(
 mod tests {
     use super::*;
     use crate::mlp::MlpConfig;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rkd_testkit::rng::SeedableRng;
+    use rkd_testkit::rng::StdRng;
 
     fn teacher_and_data() -> (Mlp, Dataset) {
         let mut rng = StdRng::seed_from_u64(31);

@@ -14,12 +14,11 @@
 use crate::dataset::Dataset;
 use crate::error::MlError;
 use crate::fixed::Fix;
-use rand::seq::SliceRandom;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use rkd_testkit::rng::Rng;
+use rkd_testkit::rng::SliceRandom;
 
 /// Importance score for one feature.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FeatureImportance {
     /// Feature column index.
     pub feature: usize,
@@ -29,7 +28,7 @@ pub struct FeatureImportance {
 }
 
 /// Configuration for permutation-importance estimation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PermutationConfig {
     /// Independent permutation repeats averaged per feature.
     pub repeats: usize,
@@ -135,8 +134,8 @@ mod tests {
     use super::*;
     use crate::dataset::Sample;
     use crate::tree::{DecisionTree, TreeConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rkd_testkit::rng::SeedableRng;
+    use rkd_testkit::rng::StdRng;
 
     /// Feature 0 decides the label; features 1, 2 are noise.
     fn dataset(rng: &mut impl Rng) -> Dataset {

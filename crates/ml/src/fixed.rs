@@ -21,8 +21,6 @@
 //! assert_eq!(Fix::ONE + Fix::ONE, Fix::from_int(2));
 //! ```
 
-use serde::{Deserialize, Serialize};
-
 /// Number of fractional bits in the Q16.16 representation.
 pub const FRAC_BITS: u32 = 16;
 
@@ -34,7 +32,7 @@ pub const SCALE: i64 = 1 << FRAC_BITS;
 ///
 /// The represented value is `raw / 65536`. The representable range is
 /// approximately `[-32768.0, 32767.99998]`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Fix(i32);
 
 impl Fix {
@@ -404,6 +402,18 @@ impl core::iter::Sum for Fix {
     }
 }
 
+impl rkd_testkit::json::ToJson for Fix {
+    fn to_json(&self) -> rkd_testkit::json::Json {
+        rkd_testkit::json::Json::Int(self.raw() as i64)
+    }
+}
+
+impl rkd_testkit::json::FromJson for Fix {
+    fn from_json(json: &rkd_testkit::json::Json) -> Result<Fix, rkd_testkit::json::JsonError> {
+        <i32 as rkd_testkit::json::FromJson>::from_json(json).map(Fix::from_raw)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -487,7 +497,7 @@ mod tests {
             let expect = v.exp();
             close(Fix::from_f64(v).exp(), expect, expect * 2e-3 + 2e-3);
         }
-        for &v in &[0.1, 0.5, 1.0, 2.718, 100.0, 30000.0] {
+        for &v in &[0.1, 0.5, 1.0, std::f64::consts::E, 100.0, 30000.0] {
             close(Fix::from_f64(v).ln(), v.ln(), 2e-3);
         }
         assert_eq!(Fix::ZERO.ln(), Fix::MIN);

@@ -9,10 +9,8 @@
 //! - *accuracy*  = useful prefetches / total prefetches issued;
 //! - *coverage*  = faults avoided by prefetch / faults without prefetch.
 
-use serde::{Deserialize, Serialize};
-
 /// A confusion matrix over `n` classes.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ConfusionMatrix {
     n: usize,
     counts: Vec<u64>,
@@ -119,7 +117,7 @@ pub fn accuracy(actual: &[usize], predicted: &[usize]) -> f64 {
 }
 
 /// Running prefetch-quality accounting for Table 1.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PrefetchStats {
     /// Pages prefetched that were subsequently accessed before eviction.
     pub useful_prefetches: u64,

@@ -12,11 +12,10 @@
 
 use crate::dataset::Dataset;
 use crate::error::MlError;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use rkd_testkit::rng::Rng;
 
 /// Hyperparameters for MLP training.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MlpConfig {
     /// Sizes of the hidden layers (e.g. `[16, 16]`).
     pub hidden: Vec<usize>,
@@ -43,7 +42,7 @@ impl Default for MlpConfig {
 }
 
 /// One dense layer: `out = W x + b` with row-major `W`.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DenseLayer {
     /// Weights, `out_dim x in_dim`, row-major.
     pub weights: Vec<f64>,
@@ -81,7 +80,7 @@ impl DenseLayer {
 }
 
 /// A trained floating-point MLP classifier.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Mlp {
     /// Layers in forward order; ReLU between all but the last.
     pub layers: Vec<DenseLayer>,
@@ -323,8 +322,8 @@ fn argmax(v: &[f64]) -> usize {
 mod tests {
     use super::*;
     use crate::dataset::Sample;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rkd_testkit::rng::SeedableRng;
+    use rkd_testkit::rng::StdRng;
 
     fn linear_dataset(n: usize) -> Dataset {
         // Label = (2*x0 - x1 > 0).

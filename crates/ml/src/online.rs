@@ -15,11 +15,10 @@ use crate::dataset::{Dataset, Sample};
 use crate::error::MlError;
 use crate::fixed::Fix;
 use crate::tree::{DecisionTree, TreeConfig};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Configuration for windowed online tree learning.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct OnlineConfig {
     /// Samples per training window.
     pub window: usize,

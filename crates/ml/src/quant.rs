@@ -15,7 +15,6 @@ use crate::dataset::Dataset;
 use crate::error::MlError;
 use crate::fixed::Fix;
 use crate::mlp::Mlp;
-use serde::{Deserialize, Serialize};
 
 /// A dense layer with `b`-bit integer weights and per-input-column
 /// (channel-wise) dequantization scales.
@@ -26,7 +25,7 @@ use serde::{Deserialize, Serialize};
 /// single per-layer scale would quantize the small columns to zero.
 /// Scales are stored in Q32.32 so even very small folded weights keep
 /// relative precision, while all arithmetic stays integer.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct QuantLayer {
     /// Quantized weights, `out_dim x in_dim`, row-major, in
     /// `[-(2^(b-1)-1), 2^(b-1)-1]`.
@@ -70,7 +69,7 @@ impl QuantLayer {
 }
 
 /// A fully quantized MLP for kernel-side inference.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct QuantMlp {
     /// Layers in forward order; ReLU between all but the last.
     pub layers: Vec<QuantLayer>,
@@ -237,8 +236,8 @@ mod tests {
     use super::*;
     use crate::dataset::Sample;
     use crate::mlp::MlpConfig;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use rkd_testkit::rng::StdRng;
+    use rkd_testkit::rng::{Rng, SeedableRng};
 
     fn trained_pair() -> (Mlp, Dataset) {
         let mut rng = StdRng::seed_from_u64(11);
@@ -325,5 +324,50 @@ mod tests {
             let qp = q.predict(&[Fix::from_f64(x0), Fix::from_f64(x1)]).unwrap();
             assert_eq!(fp, qp);
         }
+    }
+}
+
+rkd_testkit::impl_json_struct!(QuantLayer {
+    weights,
+    biases,
+    col_scales_q32,
+    in_dim,
+    out_dim
+});
+
+impl rkd_testkit::json::ToJson for QuantMlp {
+    fn to_json(&self) -> rkd_testkit::json::Json {
+        rkd_testkit::json::Json::Obj(vec![
+            (
+                "layers".to_string(),
+                rkd_testkit::json::ToJson::to_json(&self.layers),
+            ),
+            (
+                "bits".to_string(),
+                rkd_testkit::json::ToJson::to_json(&self.bits),
+            ),
+            (
+                "n_features".to_string(),
+                rkd_testkit::json::ToJson::to_json(&self.n_features),
+            ),
+            (
+                "n_classes".to_string(),
+                rkd_testkit::json::ToJson::to_json(&self.n_classes),
+            ),
+        ])
+    }
+}
+
+impl rkd_testkit::json::FromJson for QuantMlp {
+    fn from_json(json: &rkd_testkit::json::Json) -> Result<QuantMlp, rkd_testkit::json::JsonError> {
+        Ok(QuantMlp {
+            layers: Vec::<QuantLayer>::from_json(json.field("layers")?)
+                .map_err(|e| e.context("layers"))?,
+            bits: u32::from_json(json.field("bits")?).map_err(|e| e.context("bits"))?,
+            n_features: usize::from_json(json.field("n_features")?)
+                .map_err(|e| e.context("n_features"))?,
+            n_classes: usize::from_json(json.field("n_classes")?)
+                .map_err(|e| e.context("n_classes"))?,
+        })
     }
 }

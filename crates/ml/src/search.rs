@@ -19,7 +19,7 @@ use crate::error::MlError;
 use crate::mlp::{Mlp, MlpConfig};
 use crate::quant::QuantMlp;
 use crate::tree::{DecisionTree, TreeConfig};
-use rand::Rng;
+use rkd_testkit::rng::Rng;
 
 /// Search budget and sampling ranges for MLP candidates.
 #[derive(Clone, Debug)]
@@ -234,8 +234,8 @@ pub fn search_tree(
 mod tests {
     use super::*;
     use crate::dataset::Sample;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rkd_testkit::rng::SeedableRng;
+    use rkd_testkit::rng::StdRng;
 
     fn dataset(n: usize, rng: &mut StdRng) -> Dataset {
         let mut samples = Vec::new();

@@ -10,11 +10,10 @@
 use crate::dataset::Dataset;
 use crate::error::MlError;
 use crate::fixed::Fix;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use rkd_testkit::rng::Rng;
 
 /// Hyperparameters for Pegasos SVM training.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SvmConfig {
     /// Regularization strength (lambda in Pegasos).
     pub lambda: f64,
@@ -32,7 +31,7 @@ impl Default for SvmConfig {
 }
 
 /// A binary linear SVM with float weights (userspace form).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LinearSvm {
     /// Weight vector.
     pub weights: Vec<f64>,
@@ -127,7 +126,7 @@ impl LinearSvm {
 }
 
 /// A fixed-point linear SVM (kernel-side form).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct IntSvm {
     /// Q16.16 weight vector.
     pub weights: Vec<Fix>,
@@ -191,8 +190,8 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
 mod tests {
     use super::*;
     use crate::dataset::Sample;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rkd_testkit::rng::SeedableRng;
+    use rkd_testkit::rng::StdRng;
 
     fn separable(n: usize) -> Dataset {
         let mut rng = StdRng::seed_from_u64(21);
@@ -263,3 +262,5 @@ mod tests {
         assert_eq!(q.predict(&[Fix::ZERO, Fix::ONE]).unwrap(), 0);
     }
 }
+
+rkd_testkit::impl_json_struct!(IntSvm { weights, bias });

@@ -12,7 +12,6 @@
 
 use crate::error::MlError;
 use crate::fixed::Fix;
-use serde::{Deserialize, Serialize};
 
 /// A dense, row-major fixed-point tensor of rank 1 or 2.
 ///
@@ -30,7 +29,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(out.get(0, 0).to_f64(), 3.0);
 /// assert_eq!(out.get(0, 1).to_f64(), 7.0);
 /// ```
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Tensor {
     rows: usize,
     cols: usize,
@@ -330,6 +329,36 @@ fn clamp_i64(acc: i64) -> Fix {
 impl core::fmt::Debug for Tensor {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(f, "Tensor({}x{})", self.rows, self.cols)
+    }
+}
+
+impl rkd_testkit::json::ToJson for Tensor {
+    fn to_json(&self) -> rkd_testkit::json::Json {
+        rkd_testkit::json::Json::Obj(vec![
+            (
+                "rows".to_string(),
+                rkd_testkit::json::ToJson::to_json(&self.rows),
+            ),
+            (
+                "cols".to_string(),
+                rkd_testkit::json::ToJson::to_json(&self.cols),
+            ),
+            (
+                "data".to_string(),
+                rkd_testkit::json::ToJson::to_json(&self.data),
+            ),
+        ])
+    }
+}
+
+impl rkd_testkit::json::FromJson for Tensor {
+    fn from_json(json: &rkd_testkit::json::Json) -> Result<Tensor, rkd_testkit::json::JsonError> {
+        use rkd_testkit::json::JsonError;
+        let rows = usize::from_json(json.field("rows")?).map_err(|e| e.context("rows"))?;
+        let cols = usize::from_json(json.field("cols")?).map_err(|e| e.context("cols"))?;
+        let data = Vec::<Fix>::from_json(json.field("data")?).map_err(|e| e.context("data"))?;
+        Tensor::from_fix(rows, cols, data)
+            .map_err(|_| JsonError::new("tensor data length does not match shape"))
     }
 }
 

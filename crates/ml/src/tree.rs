@@ -14,10 +14,9 @@
 use crate::dataset::Dataset;
 use crate::error::MlError;
 use crate::fixed::Fix;
-use serde::{Deserialize, Serialize};
 
 /// Hyperparameters for decision-tree training.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TreeConfig {
     /// Maximum tree depth (root = depth 0). Bounded so the verifier can
     /// compute a worst-case inference cost.
@@ -40,7 +39,7 @@ impl Default for TreeConfig {
 }
 
 /// A node of the trained tree.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Node {
     /// A leaf predicting `label`; `counts` records the training-class
     /// histogram that reached this leaf (used for confidence and
@@ -65,7 +64,7 @@ pub enum Node {
 }
 
 /// A trained integer decision tree.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DecisionTree {
     root: Node,
     n_features: usize,
@@ -531,5 +530,48 @@ mod tests {
             assert!(acc >= prev - 1e-12, "depth {d}: {acc} < {prev}");
             prev = acc;
         }
+    }
+}
+
+rkd_testkit::impl_json_enum!(Node {
+    Leaf { label, counts },
+    Split {
+        feature,
+        threshold,
+        left,
+        right
+    },
+});
+
+impl rkd_testkit::json::ToJson for DecisionTree {
+    fn to_json(&self) -> rkd_testkit::json::Json {
+        rkd_testkit::json::Json::Obj(vec![
+            (
+                "root".to_string(),
+                rkd_testkit::json::ToJson::to_json(&self.root),
+            ),
+            (
+                "n_features".to_string(),
+                rkd_testkit::json::ToJson::to_json(&self.n_features),
+            ),
+            (
+                "n_classes".to_string(),
+                rkd_testkit::json::ToJson::to_json(&self.n_classes),
+            ),
+        ])
+    }
+}
+
+impl rkd_testkit::json::FromJson for DecisionTree {
+    fn from_json(
+        json: &rkd_testkit::json::Json,
+    ) -> Result<DecisionTree, rkd_testkit::json::JsonError> {
+        Ok(DecisionTree {
+            root: Node::from_json(json.field("root")?).map_err(|e| e.context("root"))?,
+            n_features: usize::from_json(json.field("n_features")?)
+                .map_err(|e| e.context("n_features"))?,
+            n_classes: usize::from_json(json.field("n_classes")?)
+                .map_err(|e| e.context("n_classes"))?,
+        })
     }
 }

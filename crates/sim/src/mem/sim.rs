@@ -12,10 +12,9 @@ use crate::mem::cache::{AccessKind, PageCache};
 use crate::mem::prefetcher::Prefetcher;
 use rkd_ml::metrics::PrefetchStats;
 use rkd_workloads::PageTrace;
-use serde::{Deserialize, Serialize};
 
 /// Latency cost model and cache geometry.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MemSimConfig {
     /// Page cache capacity in pages.
     pub cache_pages: usize,
@@ -43,7 +42,7 @@ impl Default for MemSimConfig {
 }
 
 /// Result of one simulated run.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MemSimResult {
     /// Prefetch quality accounting.
     pub stats: PrefetchStats,
@@ -108,8 +107,8 @@ pub fn run(trace: &PageTrace, prefetcher: &mut dyn Prefetcher, cfg: &MemSimConfi
 mod tests {
     use super::*;
     use crate::mem::prefetcher::{Leap, NoPrefetch, Readahead};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rkd_testkit::rng::SeedableRng;
+    use rkd_testkit::rng::StdRng;
     use rkd_workloads::mem::{sequential, uniform_random};
 
     fn cfg() -> MemSimConfig {

@@ -7,8 +7,6 @@
 //! units (milliseconds, percents, scaled weights) so they fit the
 //! Q16.16 range of the kernel-side datapath without saturation.
 
-use serde::{Deserialize, Serialize};
-
 /// Number of features.
 pub const N_FEATURES: usize = 15;
 
@@ -32,7 +30,7 @@ pub const FEATURE_NAMES: [&str; N_FEATURES] = [
 ];
 
 /// The feature vector for one candidate migration.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MigrationFeatures {
     /// Runnable tasks on the source CPU.
     pub src_nr_running: i64,

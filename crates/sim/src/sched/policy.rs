@@ -309,10 +309,10 @@ impl<A: MigrationPolicy, R: MigrationPolicy> MigrationPolicy for ShadowPolicy<A,
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use rkd_ml::dataset::{Dataset, Sample};
     use rkd_ml::mlp::{Mlp, MlpConfig};
+    use rkd_testkit::rng::SeedableRng;
+    use rkd_testkit::rng::StdRng;
 
     fn features(imbalance: i64, since_ran: i64, footprint: i64) -> MigrationFeatures {
         MigrationFeatures {

@@ -13,10 +13,9 @@ use crate::sched::features::MigrationFeatures;
 use crate::sched::policy::MigrationPolicy;
 use crate::sched::task::{Task, TaskState};
 use rkd_workloads::sched::SchedWorkload;
-use serde::{Deserialize, Serialize};
 
 /// Simulator configuration.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SchedSimConfig {
     /// Number of CPUs.
     pub cpus: usize,
@@ -51,7 +50,7 @@ impl Default for SchedSimConfig {
 }
 
 /// Result of one scheduling run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SchedResult {
     /// Makespan (last completion) in microseconds, including the
     /// amortized policy overhead.
@@ -331,8 +330,8 @@ fn balance(
 mod tests {
     use super::*;
     use crate::sched::policy::{CfsPolicy, MigrationPolicy, RecordingPolicy};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rkd_testkit::rng::SeedableRng;
+    use rkd_testkit::rng::StdRng;
     use rkd_workloads::sched::{fib, streamcluster, TaskSpec};
 
     fn small_workload(n: usize, work_us: u64) -> SchedWorkload {

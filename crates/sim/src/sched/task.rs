@@ -1,7 +1,6 @@
 //! Task state for the CFS simulator.
 
 use rkd_workloads::sched::TaskSpec;
-use serde::{Deserialize, Serialize};
 
 /// Scheduling weight for a nice value, following the kernel's
 /// `sched_prio_to_weight` table shape: each nice step changes CPU share
@@ -29,7 +28,7 @@ pub fn nice_to_weight(nice: i32) -> u64 {
 }
 
 /// Runtime state of a task.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TaskState {
     /// Not yet arrived.
     NotArrived,
@@ -45,7 +44,7 @@ pub enum TaskState {
 }
 
 /// A task instance inside the simulator.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Task {
     /// The immutable specification.
     pub spec: TaskSpec,

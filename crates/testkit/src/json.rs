@@ -1,0 +1,978 @@
+//! Compact JSON value, parser, writer, and codec traits.
+//!
+//! This module replaces the `serde`/`serde_json` pair for the narrow
+//! slice the workspace needs: snapshotting control-plane state
+//! ([`crate::json::ToJson`]) and restoring it ([`crate::json::FromJson`]).
+//! Types opt in with the `impl_json_struct!` / `impl_json_newtype!` /
+//! `impl_json_unit_enum!` / `impl_json_enum!` macros, which mirror what
+//! `#[derive(Serialize, Deserialize)]` produced:
+//!
+//! - structs → objects with one member per field, in declaration order;
+//! - newtype wrappers → their inner value, transparently;
+//! - fieldless enums → the variant name as a string;
+//! - data enums → externally tagged, `{"Variant": payload}`.
+//!
+//! Integers round-trip exactly ([`Json::Int`]/[`Json::UInt`] hold the
+//! full 64-bit value); floats are written with Rust's shortest-exact
+//! `{:?}` formatting, and non-finite floats serialize as `null`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed JSON value.
+///
+/// Object members keep insertion order so serialization is stable and
+/// diffs of snapshots stay readable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number that fits in `i64`.
+    Int(i64),
+    /// A non-negative number above `i64::MAX`.
+    UInt(u64),
+    /// A number with a fractional part or exponent.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up an object member by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a required struct field, reporting the field name on
+    /// failure.
+    pub fn field(&self, key: &str) -> Result<&Json, JsonError> {
+        self.get(key)
+            .ok_or_else(|| JsonError::new(format!("missing field `{key}`")))
+    }
+
+    /// For an externally tagged enum value `{"Variant": payload}`,
+    /// returns the payload if the tag matches `name`.
+    pub fn variant_payload(&self, name: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) if members.len() == 1 && members[0].0 == name => Some(&members[0].1),
+            _ => None,
+        }
+    }
+
+    /// Serializes to a compact JSON string.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        write_value(self, &mut out);
+        out
+    }
+
+    /// Parses a JSON document (must consume all non-whitespace input).
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(JsonError::new(format!("trailing input at byte {}", p.pos)));
+        }
+        Ok(value)
+    }
+}
+
+/// An error from parsing or decoding JSON.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    msg: String,
+}
+
+impl JsonError {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> JsonError {
+        JsonError { msg: msg.into() }
+    }
+
+    /// The standard "expected X, got Y-shaped value" decode error.
+    pub fn expected(what: &str, got: &Json) -> JsonError {
+        let kind = match got {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Int(_) | Json::UInt(_) => "integer",
+            Json::Float(_) => "float",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        };
+        JsonError::new(format!("expected {what}, got {kind}"))
+    }
+
+    /// Wraps the error with surrounding context (e.g. a field name).
+    pub fn context(self, ctx: &str) -> JsonError {
+        JsonError::new(format!("{ctx}: {}", self.msg))
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(value: &Json, out: &mut String) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Int(n) => {
+            out.push_str(&n.to_string());
+        }
+        Json::UInt(n) => {
+            out.push_str(&n.to_string());
+        }
+        Json::Float(x) => {
+            if x.is_finite() {
+                out.push_str(&format!("{x:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Json::Str(s) => write_string(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(members) => {
+            out.push('{');
+            for (i, (key, val)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(key, out);
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(JsonError::new("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Json::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(JsonError::new(format!(
+                "unexpected byte `{}` at {}",
+                b as char, self.pos
+            ))),
+            None => Err(JsonError::new("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => {
+                    return Err(JsonError::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+        self.depth -= 1;
+        Ok(Json::Arr(items))
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        self.depth += 1;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => {
+                    return Err(JsonError::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+        self.depth -= 1;
+        Ok(Json::Obj(members))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| JsonError::new("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| JsonError::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pair handling: a high surrogate
+                            // must be followed by `\uXXXX` low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if !self.eat_keyword("\\u") {
+                                    return Err(JsonError::new("lone high surrogate"));
+                                }
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(JsonError::new("invalid low surrogate"));
+                                }
+                                let combined = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(c.ok_or_else(|| JsonError::new("invalid \\u escape"))?);
+                        }
+                        _ => {
+                            return Err(JsonError::new(format!(
+                                "invalid escape `\\{}`",
+                                esc as char
+                            )))
+                        }
+                    }
+                }
+                _ => return Err(JsonError::new("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(JsonError::new("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| JsonError::new("invalid \\u escape"))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| JsonError::new("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::new("invalid number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Json::Int(n));
+            }
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| JsonError::new(format!("invalid number `{text}`")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codec traits
+// ---------------------------------------------------------------------------
+
+/// Conversion into a [`Json`] value (the `Serialize` stand-in).
+pub trait ToJson {
+    /// Builds the JSON representation.
+    fn to_json(&self) -> Json;
+}
+
+/// Conversion from a [`Json`] value (the `Deserialize` stand-in).
+pub trait FromJson: Sized {
+    /// Reconstructs the value, or explains why the JSON doesn't fit.
+    fn from_json(json: &Json) -> Result<Self, JsonError>;
+}
+
+/// Serializes any [`ToJson`] value to a compact string.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().to_string_compact()
+}
+
+/// Parses and decodes any [`FromJson`] value from a string.
+pub fn from_str<T: FromJson>(input: &str) -> Result<T, JsonError> {
+    T::from_json(&Json::parse(input)?)
+}
+
+macro_rules! impl_json_int {
+    ($($t:ty),+) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i64)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(json: &Json) -> Result<$t, JsonError> {
+                let wide: i128 = match *json {
+                    Json::Int(n) => n as i128,
+                    Json::UInt(n) => n as i128,
+                    ref other => return Err(JsonError::expected(stringify!($t), other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| JsonError::new(format!(
+                        "{} out of range for {}", wide, stringify!($t)
+                    )))
+            }
+        }
+    )+};
+}
+
+impl_json_int!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        if *self <= i64::MAX as u64 {
+            Json::Int(*self as i64)
+        } else {
+            Json::UInt(*self)
+        }
+    }
+}
+
+impl FromJson for u64 {
+    fn from_json(json: &Json) -> Result<u64, JsonError> {
+        match *json {
+            Json::Int(n) if n >= 0 => Ok(n as u64),
+            Json::Int(n) => Err(JsonError::new(format!("{n} out of range for u64"))),
+            Json::UInt(n) => Ok(n),
+            ref other => Err(JsonError::expected("u64", other)),
+        }
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(json: &Json) -> Result<bool, JsonError> {
+        match json {
+            Json::Bool(b) => Ok(*b),
+            other => Err(JsonError::expected("bool", other)),
+        }
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(json: &Json) -> Result<f64, JsonError> {
+        match *json {
+            Json::Float(x) => Ok(x),
+            // Integral literals ("3") are valid doubles.
+            Json::Int(n) => Ok(n as f64),
+            Json::UInt(n) => Ok(n as f64),
+            Json::Null => Ok(f64::NAN),
+            ref other => Err(JsonError::expected("f64", other)),
+        }
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(json: &Json) -> Result<String, JsonError> {
+        match json {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(JsonError::expected("string", other)),
+        }
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(json: &Json) -> Result<Vec<T>, JsonError> {
+        match json {
+            Json::Arr(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| T::from_json(item).map_err(|e| e.context(&format!("[{i}]"))))
+                .collect(),
+            other => Err(JsonError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(json: &Json) -> Result<Option<T>, JsonError> {
+        match json {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for Box<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: FromJson> FromJson for Box<T> {
+    fn from_json(json: &Json) -> Result<Box<T>, JsonError> {
+        T::from_json(json).map(Box::new)
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(json: &Json) -> Result<(A, B), JsonError> {
+        match json {
+            Json::Arr(items) if items.len() == 2 => Ok((
+                A::from_json(&items[0]).map_err(|e| e.context("[0]"))?,
+                B::from_json(&items[1]).map_err(|e| e.context("[1]"))?,
+            )),
+            other => Err(JsonError::expected("2-element array", other)),
+        }
+    }
+}
+
+impl<V: ToJson> ToJson for HashMap<String, V> {
+    fn to_json(&self) -> Json {
+        // Sort keys so output is deterministic across runs.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        Json::Obj(
+            keys.into_iter()
+                .map(|k| (k.clone(), self[k].to_json()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: FromJson> FromJson for HashMap<String, V> {
+    fn from_json(json: &Json) -> Result<HashMap<String, V>, JsonError> {
+        match json {
+            Json::Obj(members) => members
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_json(v).map_err(|e| e.context(k))?)))
+                .collect(),
+            other => Err(JsonError::expected("object", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Derive-replacement macros
+// ---------------------------------------------------------------------------
+
+/// Implements `ToJson`/`FromJson` for a struct with named public
+/// fields, as an object with one member per field.
+#[macro_export]
+macro_rules! impl_json_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                $crate::json::Json::Obj(vec![
+                    $((stringify!($field).to_string(),
+                       $crate::json::ToJson::to_json(&self.$field)),)+
+                ])
+            }
+        }
+        impl $crate::json::FromJson for $ty {
+            fn from_json(
+                json: &$crate::json::Json,
+            ) -> Result<Self, $crate::json::JsonError> {
+                Ok(Self {
+                    $($field: $crate::json::FromJson::from_json(
+                        json.field(stringify!($field))?,
+                    )
+                    .map_err(|e| e.context(stringify!($field)))?,)+
+                })
+            }
+        }
+    };
+}
+
+/// Implements `ToJson`/`FromJson` for a tuple struct with one public
+/// field, transparently as the inner value.
+#[macro_export]
+macro_rules! impl_json_newtype {
+    ($ty:ident($inner:ty)) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                $crate::json::ToJson::to_json(&self.0)
+            }
+        }
+        impl $crate::json::FromJson for $ty {
+            fn from_json(json: &$crate::json::Json) -> Result<Self, $crate::json::JsonError> {
+                <$inner as $crate::json::FromJson>::from_json(json).map($ty)
+            }
+        }
+    };
+}
+
+/// Implements `ToJson`/`FromJson` for a fieldless enum, as the variant
+/// name string.
+#[macro_export]
+macro_rules! impl_json_unit_enum {
+    ($ty:ident { $($variant:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                let name = match self {
+                    $($ty::$variant => stringify!($variant),)+
+                };
+                $crate::json::Json::Str(name.to_string())
+            }
+        }
+        impl $crate::json::FromJson for $ty {
+            fn from_json(
+                json: &$crate::json::Json,
+            ) -> Result<Self, $crate::json::JsonError> {
+                match json {
+                    $crate::json::Json::Str(s) => match s.as_str() {
+                        $(stringify!($variant) => Ok($ty::$variant),)+
+                        other => Err($crate::json::JsonError::new(format!(
+                            "unknown {} variant `{}`",
+                            stringify!($ty),
+                            other
+                        ))),
+                    },
+                    other => Err($crate::json::JsonError::expected(
+                        stringify!($ty),
+                        other,
+                    )),
+                }
+            }
+        }
+    };
+}
+
+/// Builds the serialized form of one enum variant (helper for
+/// [`impl_json_enum!`]; not for direct use).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_enum_var_to {
+    ($self:ident, $ty:ident, $variant:ident) => {
+        if let $ty::$variant = $self {
+            return $crate::json::Json::Str(stringify!($variant).to_string());
+        }
+    };
+    ($self:ident, $ty:ident, $variant:ident($payload:ident)) => {
+        if let $ty::$variant($payload) = $self {
+            return $crate::json::Json::Obj(vec![(
+                stringify!($variant).to_string(),
+                $crate::json::ToJson::to_json($payload),
+            )]);
+        }
+    };
+    ($self:ident, $ty:ident, $variant:ident { $($field:ident),+ }) => {
+        if let $ty::$variant { $($field),+ } = $self {
+            return $crate::json::Json::Obj(vec![(
+                stringify!($variant).to_string(),
+                $crate::json::Json::Obj(vec![
+                    $((stringify!($field).to_string(),
+                       $crate::json::ToJson::to_json($field)),)+
+                ]),
+            )]);
+        }
+    };
+}
+
+/// Tries to decode one enum variant (helper for [`impl_json_enum!`];
+/// not for direct use).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_enum_var_from {
+    ($json:ident, $ty:ident, $variant:ident) => {
+        if let $crate::json::Json::Str(s) = $json {
+            if s == stringify!($variant) {
+                return Ok($ty::$variant);
+            }
+        }
+    };
+    ($json:ident, $ty:ident, $variant:ident($payload:ident)) => {
+        if let Some(payload) = $json.variant_payload(stringify!($variant)) {
+            return $crate::json::FromJson::from_json(payload)
+                .map($ty::$variant)
+                .map_err(|e| e.context(stringify!($variant)));
+        }
+    };
+    ($json:ident, $ty:ident, $variant:ident { $($field:ident),+ }) => {
+        if let Some(payload) = $json.variant_payload(stringify!($variant)) {
+            return Ok($ty::$variant {
+                $($field: $crate::json::FromJson::from_json(
+                    payload.field(stringify!($field))?,
+                )
+                .map_err(|e| {
+                    e.context(concat!(stringify!($variant), ".", stringify!($field)))
+                })?,)+
+            });
+        }
+    };
+}
+
+/// Implements `ToJson`/`FromJson` for an enum with data, externally
+/// tagged like serde's default: unit variants serialize as a string,
+/// single-payload tuple variants as `{"Variant": payload}`, and struct
+/// variants as `{"Variant": {"field": ...}}`.
+#[macro_export]
+macro_rules! impl_json_enum {
+    ($ty:ident { $($variant:ident $(($payload:ident))? $({ $($field:ident),+ $(,)? })?),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                $($crate::__json_enum_var_to!(
+                    self, $ty, $variant $(($payload))? $({ $($field),+ })?
+                );)+
+                unreachable!("all variants covered")
+            }
+        }
+        impl $crate::json::FromJson for $ty {
+            fn from_json(
+                json: &$crate::json::Json,
+            ) -> Result<Self, $crate::json::JsonError> {
+                $($crate::__json_enum_var_from!(
+                    json, $ty, $variant $(($payload))? $({ $($field),+ })?
+                );)+
+                Err($crate::json::JsonError::expected(stringify!($ty), json))
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Point {
+        x: i64,
+        y: i64,
+        label: String,
+    }
+    impl_json_struct!(Point { x, y, label });
+
+    #[derive(Debug, PartialEq)]
+    struct Id(u16);
+    impl_json_newtype!(Id(u16));
+
+    #[derive(Debug, PartialEq)]
+    enum Mode {
+        Fast,
+        Slow,
+    }
+    impl_json_unit_enum!(Mode { Fast, Slow });
+
+    #[derive(Debug, PartialEq)]
+    enum Shape {
+        Empty,
+        Circle(u32),
+        Rect { w: u32, h: u32 },
+    }
+    impl_json_enum!(Shape {
+        Empty,
+        Circle(r),
+        Rect { w, h },
+    });
+
+    fn roundtrip<T: ToJson + FromJson + PartialEq + std::fmt::Debug>(value: T) {
+        let s = to_string(&value);
+        let back: T = from_str(&s).unwrap();
+        assert_eq!(back, value, "roundtrip through {s}");
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(0i64);
+        roundtrip(i64::MIN);
+        roundtrip(i64::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(-123i32);
+        roundtrip(true);
+        roundtrip(String::from("hi \"there\" \\ \n \u{1F600} \u{7}"));
+        roundtrip(1.5f64);
+        roundtrip(0.1f64);
+        roundtrip(-2.5e300f64);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Option::<i64>::None);
+        roundtrip(Some(7i64));
+        roundtrip((3u32, String::from("x")));
+        roundtrip(vec![(1u16, -1i64), (2, -2)]);
+    }
+
+    #[test]
+    fn struct_newtype_enum_roundtrip() {
+        roundtrip(Point {
+            x: -3,
+            y: 9,
+            label: "p".into(),
+        });
+        roundtrip(Id(65535));
+        roundtrip(Mode::Fast);
+        roundtrip(Mode::Slow);
+        roundtrip(Shape::Empty);
+        roundtrip(Shape::Circle(10));
+        roundtrip(Shape::Rect { w: 2, h: 5 });
+    }
+
+    #[test]
+    fn field_order_is_declaration_order() {
+        let p = Point {
+            x: 1,
+            y: 2,
+            label: "a".into(),
+        };
+        assert_eq!(to_string(&p), r#"{"x":1,"y":2,"label":"a"}"#);
+    }
+
+    #[test]
+    fn missing_field_names_the_field() {
+        let err = from_str::<Point>(r#"{"x":1,"y":2}"#).unwrap_err();
+        assert!(err.to_string().contains("label"), "{err}");
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("nul").is_err());
+        assert!(Json::parse(r#"{"a" 1}"#).is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse(&("[".repeat(200) + &"]".repeat(200))).is_err());
+    }
+
+    #[test]
+    fn parser_accepts_standard_forms() {
+        assert_eq!(Json::parse(" null ").unwrap(), Json::Null);
+        assert_eq!(Json::parse("-0").unwrap(), Json::Int(0));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Float(1000.0));
+        assert_eq!(
+            Json::parse(r#""A😀""#).unwrap(),
+            Json::Str("A\u{1F600}".into())
+        );
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::UInt(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn float_from_int_and_null() {
+        assert_eq!(from_str::<f64>("3").unwrap(), 3.0);
+        assert!(from_str::<f64>("null").unwrap().is_nan());
+    }
+}

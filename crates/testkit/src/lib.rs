@@ -1,0 +1,28 @@
+//! Zero-dependency support kit for the `rkd` workspace.
+//!
+//! The tier-1 build must be hermetic: the in-kernel RMT VM cannot link
+//! userspace crates (PAPER §3), and the build environment is offline.
+//! This crate replaces the narrow slices of `rand`, `proptest`, and
+//! `serde_json` the workspace actually used with small, deterministic,
+//! in-repo equivalents:
+//!
+//! - [`rng`] — SplitMix64 and xoshiro256** PRNGs behind `rand`-shaped
+//!   [`rng::Rng`] / [`rng::SeedableRng`] / [`rng::SliceRandom`] traits,
+//!   so call sites only change their import path.
+//! - [`prop`] — a property-testing harness ([`prop::check`] and the
+//!   [`prop_check!`] macro) with per-case seed derivation, failure-seed
+//!   reporting, and shrinking-lite via seed replay at reduced size.
+//! - [`json`] — a compact JSON value, parser, and writer plus
+//!   [`json::ToJson`] / [`json::FromJson`] traits and `impl_json_*`
+//!   macros that stand in for the removed `serde` derives.
+//!
+//! Everything here is deterministic: the same seed always produces the
+//! same stream, which is what makes differential interp-vs-JIT testing
+//! and failure replay possible.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod json;
+pub mod prop;
+pub mod rng;

@@ -1,0 +1,338 @@
+//! Minimal property-based testing harness.
+//!
+//! The [`check`] driver (usually invoked through the [`prop_check!`]
+//! macro) runs a closure against many deterministically seeded
+//! [`Gen`] instances. On failure it:
+//!
+//! 1. reports the failing case index and its 64-bit seed;
+//! 2. replays that exact seed at reduced *size* scales
+//!    ("shrinking-lite"): scalar draws are unchanged but
+//!    [`Gen::scaled_len`] collections get shorter, which often turns a
+//!    100-element counterexample into a 5-element one;
+//! 3. panics with the smallest still-failing size and a one-line
+//!    `RKD_PROP_SEED=... cargo test ...` replay recipe.
+//!
+//! Environment overrides:
+//!
+//! - `RKD_PROP_SEED=<u64>` — replay exactly one case with this seed
+//!   (what the failure message tells you to do);
+//! - `RKD_PROP_CASES=<n>` — override the case count for every
+//!   property (e.g. a 10× soak in CI).
+
+use crate::rng::{splitmix64_mix, Rng, SeedableRng, StdRng};
+use std::panic::{self, AssertUnwindSafe};
+
+/// Per-property configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of random cases to run.
+    pub cases: usize,
+    /// Base seed; each case derives its own stream from this and the
+    /// case index, and the property name is mixed in so two properties
+    /// with the same config still see different data.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            cases: 256,
+            seed: 0x5EED_0000_0000_0001,
+        }
+    }
+}
+
+/// The per-case random source handed to a property closure.
+///
+/// `Gen` implements [`Rng`], so properties draw values with the same
+/// `gen` / `gen_range` / `gen_bool` calls used everywhere else. The
+/// extra [`scaled_len`](Gen::scaled_len) method is the shrink lever:
+/// collection lengths drawn through it contract when the harness
+/// replays a failure at reduced size.
+pub struct Gen {
+    rng: StdRng,
+    size: f64,
+    seed: u64,
+}
+
+impl Gen {
+    /// Creates a generator for one case.
+    pub fn new(seed: u64, size: f64) -> Gen {
+        Gen {
+            rng: StdRng::seed_from_u64(seed),
+            size,
+            seed,
+        }
+    }
+
+    /// The seed this case was built from (for logging).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Current size scale in `(0, 1]`; `1.0` for normal runs.
+    pub fn size(&self) -> f64 {
+        self.size
+    }
+
+    /// Draws a collection length in `[lo, hi]`, scaled down when the
+    /// harness is shrinking. Use this (not `gen_range`) for lengths so
+    /// counterexamples shrink.
+    pub fn scaled_len(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "scaled_len bounds inverted");
+        let scaled_hi = lo + (((hi - lo) as f64) * self.size).round() as usize;
+        self.rng.gen_range(lo..=scaled_hi)
+    }
+
+    /// Builds a `Vec` of `scaled_len(lo, hi)` elements.
+    pub fn vec_of<T>(&mut self, lo: usize, hi: usize, mut f: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let n = self.scaled_len(lo, hi);
+        (0..n).map(|_| f(self)).collect()
+    }
+}
+
+impl Rng for Gen {
+    fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn case_seed(base: u64, index: u64) -> u64 {
+    splitmix64_mix(base ^ splitmix64_mix(index))
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+/// Runs `property` against `config.cases` deterministically seeded
+/// cases, shrinking and reporting on failure. See the module docs for
+/// the failure workflow and environment overrides.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) if any case panics.
+pub fn check<F>(name: &str, config: Config, mut property: F)
+where
+    F: FnMut(&mut Gen),
+{
+    let base = splitmix64_mix(config.seed ^ fnv1a(name));
+
+    if let Some(seed) = env_u64("RKD_PROP_SEED") {
+        // Replay mode: run exactly one case, loudly, at full size.
+        eprintln!("prop `{name}`: replaying RKD_PROP_SEED={seed}");
+        property(&mut Gen::new(seed, 1.0));
+        return;
+    }
+
+    let cases = env_u64("RKD_PROP_CASES")
+        .map(|n| n as usize)
+        .unwrap_or(config.cases);
+
+    // Case bodies are expected to panic on failure; keep the default
+    // hook from spamming a backtrace per probe while we shrink.
+    let hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+
+    let mut failure: Option<(usize, u64, f64, String)> = None;
+    for index in 0..cases {
+        let seed = case_seed(base, index as u64);
+        if let Some(msg) = run_case(&mut property, seed, 1.0) {
+            let (size, msg) = shrink(&mut property, seed, msg);
+            failure = Some((index, seed, size, msg));
+            break;
+        }
+    }
+
+    panic::set_hook(hook);
+
+    if let Some((index, seed, size, msg)) = failure {
+        panic!(
+            "property `{name}` failed at case {index}/{cases} \
+             (seed {seed}, size {size:.2}): {msg}\n\
+             replay with: RKD_PROP_SEED={seed} cargo test {name}"
+        );
+    }
+}
+
+/// Runs one case; returns the panic message if it fails.
+fn run_case<F>(property: &mut F, seed: u64, size: f64) -> Option<String>
+where
+    F: FnMut(&mut Gen),
+{
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        property(&mut Gen::new(seed, size));
+    }));
+    match result {
+        Ok(()) => None,
+        Err(payload) => Some(panic_message(payload.as_ref())),
+    }
+}
+
+/// Replays the failing seed at progressively smaller sizes and keeps
+/// the smallest one that still fails.
+fn shrink<F>(property: &mut F, seed: u64, full_msg: String) -> (f64, String)
+where
+    F: FnMut(&mut Gen),
+{
+    let mut best = (1.0, full_msg);
+    for &size in &[0.5, 0.25, 0.1, 0.02] {
+        match run_case(property, seed, size) {
+            Some(msg) => best = (size, msg),
+            None => break,
+        }
+    }
+    best
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Declares a `#[test]` running a property under [`check`].
+///
+/// ```ignore
+/// prop_check!(addition_commutes, cases = 512, |g| {
+///     let a: i64 = g.gen_range(-1000..1000);
+///     let b: i64 = g.gen_range(-1000..1000);
+///     assert_eq!(a + b, b + a);
+/// });
+/// ```
+#[macro_export]
+macro_rules! prop_check {
+    ($name:ident, cases = $cases:expr, |$g:ident| $body:block) => {
+        #[test]
+        fn $name() {
+            $crate::prop::check(
+                stringify!($name),
+                $crate::prop::Config {
+                    cases: $cases,
+                    ..Default::default()
+                },
+                |$g: &mut $crate::prop::Gen| $body,
+            );
+        }
+    };
+    ($name:ident, |$g:ident| $body:block) => {
+        $crate::prop_check!($name, cases = 256, |$g| $body);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0;
+        check(
+            "always_true",
+            Config {
+                cases: 50,
+                ..Default::default()
+            },
+            |g| {
+                count += 1;
+                let v: u64 = g.gen_range(0..10);
+                assert!(v < 10);
+            },
+        );
+        assert_eq!(count, 50);
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_replays() {
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "finds_forty_two",
+                Config {
+                    cases: 500,
+                    ..Default::default()
+                },
+                |g| {
+                    let v: u64 = g.gen_range(0..50);
+                    assert_ne!(v, 42, "hit the magic number");
+                },
+            );
+        }));
+        let msg = panic_message(result.unwrap_err().as_ref());
+        assert!(msg.contains("finds_forty_two"), "{msg}");
+        assert!(msg.contains("RKD_PROP_SEED="), "{msg}");
+
+        // The reported seed must reproduce the failure directly.
+        let seed: u64 = msg
+            .split("seed ")
+            .nth(1)
+            .unwrap()
+            .split(|c: char| !c.is_ascii_digit())
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        let mut g = Gen::new(seed, 1.0);
+        let v: u64 = g.gen_range(0..50);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn shrinking_reduces_collection_sizes() {
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "long_vectors_fail",
+                Config {
+                    cases: 100,
+                    ..Default::default()
+                },
+                |g| {
+                    let v = g.vec_of(0, 100, |g| g.gen::<u8>());
+                    assert!(v.len() < 3, "len {}", v.len());
+                },
+            );
+        }));
+        let msg = panic_message(result.unwrap_err().as_ref());
+        // Any vector of >= 3 elements fails, so the 0.02 size scale
+        // (max len 2 would pass; len scales to ~3 at most) should have
+        // shrunk well below full size.
+        assert!(msg.contains("size 0."), "{msg}");
+        assert!(!msg.contains("size 1.00"), "{msg}");
+    }
+
+    #[test]
+    fn same_name_same_data() {
+        let mut first = Vec::new();
+        check(
+            "determinism_probe",
+            Config {
+                cases: 10,
+                ..Default::default()
+            },
+            |g| first.push(g.gen::<u64>()),
+        );
+        let mut second = Vec::new();
+        check(
+            "determinism_probe",
+            Config {
+                cases: 10,
+                ..Default::default()
+            },
+            |g| second.push(g.gen::<u64>()),
+        );
+        assert_eq!(first, second);
+    }
+}

@@ -23,11 +23,10 @@
 //! sanity tests and ablations.
 
 use crate::trace::PageTrace;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use rkd_testkit::rng::Rng;
 
 /// Parameters for the video-resize-like generator.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct VideoResizeParams {
     /// Number of frames processed.
     pub frames: usize,
@@ -83,7 +82,7 @@ pub fn video_resize(p: &VideoResizeParams) -> PageTrace {
 }
 
 /// Parameters for the matrix-convolution-like generator.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MatrixConvParams {
     /// Output rows per pass.
     pub rows: usize,
@@ -201,8 +200,8 @@ pub fn top_k_delta_coverage(trace: &PageTrace, k: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rkd_testkit::rng::SeedableRng;
+    use rkd_testkit::rng::StdRng;
 
     #[test]
     fn video_resize_defeats_baselines_but_is_learnable() {

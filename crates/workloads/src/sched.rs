@@ -15,11 +15,10 @@
 //!   negligible footprint; load balancing matters most here.
 //! - **MatMul** — few long CPU-heavy tasks with large footprints.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use rkd_testkit::rng::Rng;
 
 /// One schedulable task, as consumed by the CFS simulator.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TaskSpec {
     /// Task name (for reporting).
     pub name: String,
@@ -40,7 +39,7 @@ pub struct TaskSpec {
 }
 
 /// A named batch of tasks forming one benchmark run.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SchedWorkload {
     /// Benchmark name as reported in Table 2.
     pub name: String,
@@ -164,8 +163,8 @@ pub fn table2_suite(cpus: usize, rng: &mut impl Rng) -> Vec<SchedWorkload> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rkd_testkit::rng::SeedableRng;
+    use rkd_testkit::rng::StdRng;
 
     #[test]
     fn profiles_have_expected_shape() {

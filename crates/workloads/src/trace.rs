@@ -6,12 +6,10 @@
 //! generators produce the access structure they claim), and a compact
 //! binary encoding for storing traces on disk.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// A sequence of page accesses by one process.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PageTrace {
     /// Trace name (workload identifier).
     pub name: String,
@@ -81,49 +79,57 @@ impl PageTrace {
     }
 
     /// Encodes the trace into a compact binary form (name length, name,
-    /// count, delta-encoded varint-free i64 pages).
-    pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(16 + self.name.len() + self.accesses.len() * 8);
-        buf.put_u32(self.name.len() as u32);
-        buf.put_slice(self.name.as_bytes());
-        buf.put_u64(self.accesses.len() as u64);
+    /// count, delta-encoded varint-free i64 pages). All integers are
+    /// big-endian.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16 + self.name.len() + self.accesses.len() * 8);
+        buf.extend_from_slice(&(self.name.len() as u32).to_be_bytes());
+        buf.extend_from_slice(self.name.as_bytes());
+        buf.extend_from_slice(&(self.accesses.len() as u64).to_be_bytes());
         let mut prev = 0u64;
         for &a in &self.accesses {
-            buf.put_i64(a.wrapping_sub(prev) as i64);
+            buf.extend_from_slice(&(a.wrapping_sub(prev) as i64).to_be_bytes());
             prev = a;
         }
-        buf.freeze()
+        buf
     }
 
     /// Decodes a trace produced by [`PageTrace::encode`].
     ///
     /// Returns `None` on malformed input.
-    pub fn decode(mut data: Bytes) -> Option<PageTrace> {
-        if data.remaining() < 4 {
+    pub fn decode(data: &[u8]) -> Option<PageTrace> {
+        fn take<const N: usize>(data: &mut &[u8]) -> Option<[u8; N]> {
+            if data.len() < N {
+                return None;
+            }
+            let (head, rest) = data.split_at(N);
+            *data = rest;
+            Some(head.try_into().expect("split length"))
+        }
+        let mut data = data;
+        let name_len = u32::from_be_bytes(take::<4>(&mut data)?) as usize;
+        if data.len() < name_len {
             return None;
         }
-        let name_len = data.get_u32() as usize;
-        if data.remaining() < name_len {
-            return None;
-        }
-        let name = String::from_utf8(data.copy_to_bytes(name_len).to_vec()).ok()?;
-        if data.remaining() < 8 {
-            return None;
-        }
-        let count = data.get_u64() as usize;
-        if data.remaining() < count * 8 {
+        let (name_bytes, rest) = data.split_at(name_len);
+        data = rest;
+        let name = String::from_utf8(name_bytes.to_vec()).ok()?;
+        let count = u64::from_be_bytes(take::<8>(&mut data)?) as usize;
+        if data.len() < count.checked_mul(8)? {
             return None;
         }
         let mut accesses = Vec::with_capacity(count);
         let mut prev = 0u64;
         for _ in 0..count {
-            let delta = data.get_i64();
+            let delta = i64::from_be_bytes(take::<8>(&mut data).expect("length checked"));
             prev = prev.wrapping_add(delta as u64);
             accesses.push(prev);
         }
         Some(PageTrace { name, accesses })
     }
 }
+
+rkd_testkit::impl_json_struct!(PageTrace { name, accesses });
 
 #[cfg(test)]
 mod tests {
@@ -154,31 +160,30 @@ mod tests {
     #[test]
     fn encode_decode_round_trip() {
         let t = PageTrace::new("video", vec![100, 5, 0, u64::MAX, 7]);
-        let decoded = PageTrace::decode(t.encode()).unwrap();
+        let decoded = PageTrace::decode(&t.encode()).unwrap();
         assert_eq!(decoded, t);
     }
 
     #[test]
     fn decode_rejects_malformed() {
-        assert!(PageTrace::decode(Bytes::from_static(&[1, 2])).is_none());
+        assert!(PageTrace::decode(&[1, 2]).is_none());
         // Truncated body.
         let t = PageTrace::new("x", vec![1, 2, 3]);
         let enc = t.encode();
-        let cut = enc.slice(0..enc.len() - 4);
-        assert!(PageTrace::decode(cut).is_none());
+        assert!(PageTrace::decode(&enc[..enc.len() - 4]).is_none());
         // Bad UTF-8 name.
-        let mut buf = BytesMut::new();
-        buf.put_u32(2);
-        buf.put_slice(&[0xFF, 0xFE]);
-        buf.put_u64(0);
-        assert!(PageTrace::decode(buf.freeze()).is_none());
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&2u32.to_be_bytes());
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        buf.extend_from_slice(&0u64.to_be_bytes());
+        assert!(PageTrace::decode(&buf).is_none());
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let t = PageTrace::new("j", vec![1, 2, 3]);
-        let json = serde_json::to_string(&t).unwrap();
-        let back: PageTrace = serde_json::from_str(&json).unwrap();
+        let json = rkd_testkit::json::to_string(&t);
+        let back: PageTrace = rkd_testkit::json::from_str(&json).unwrap();
         assert_eq!(back, t);
     }
 }

@@ -9,10 +9,10 @@
 //! cargo run --release --example cfs_scheduler
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rkd::sim::sched::experiment::{run_case_study, CaseStudyConfig};
 use rkd::workloads::sched::streamcluster;
+use rkd_testkit::rng::StdRng;
+use rkd_testkit::rng::{Rng, SeedableRng};
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(7);

@@ -10,8 +10,6 @@
 //! cargo run --release --example lean_monitoring
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rkd::ml::dataset::{Dataset, Sample};
 use rkd::ml::distill::{distill_to_tree, DistillConfig};
 use rkd::ml::fixed::Fix;
@@ -21,6 +19,8 @@ use rkd::sim::sched::features::FEATURE_NAMES;
 use rkd::sim::sched::policy::{CfsPolicy, RecordingPolicy};
 use rkd::sim::sched::sim::{run, SchedSimConfig};
 use rkd::workloads::sched::streamcluster;
+use rkd_testkit::rng::SeedableRng;
+use rkd_testkit::rng::StdRng;
 
 fn main() {
     // Collect a CFS decision log.

@@ -1,0 +1,59 @@
+//! Program persistence: serialize an installed program to JSON, bring
+//! it back, and show both copies drive the VM identically.
+//!
+//! The control plane persists `RmtProgram` definitions across restarts
+//! via `rkd::core::snapshot` (a dependency-free JSON codec — see
+//! "Hermetic build" in README.md). Every value in a snapshot is
+//! integral, so the round trip is bit-exact.
+//!
+//! Run with: `cargo run --example snapshot_persistence`
+
+use rkd::core::ctxt::Ctxt;
+use rkd::core::machine::{ExecMode, RmtMachine};
+use rkd::core::prog::RmtProgram;
+use rkd::core::snapshot;
+use rkd::core::verifier::verify;
+use rkd::lang::{compile, FIGURE1_PREFETCH};
+
+fn drive(prog: RmtProgram) -> (Vec<i64>, u64) {
+    let verified = verify(prog).expect("program admits");
+    let mut vm = RmtMachine::new();
+    let id = vm.install(verified, ExecMode::Jit).expect("installs");
+    let mut verdicts = Vec::new();
+    for page in [3, 6, 9, 12, 15] {
+        let mut ctxt = Ctxt::from_values(vec![1, page]);
+        vm.fire("lookup_swap_cache", &mut ctxt);
+        vm.fire("swap_cluster_readahead", &mut ctxt);
+        verdicts.push(ctxt.values().to_vec());
+    }
+    let insns = vm.stats(id).expect("installed").insns_executed;
+    (verdicts.concat(), insns)
+}
+
+fn main() {
+    let compiled = compile(FIGURE1_PREFETCH).expect("figure 1 compiles");
+    let original = compiled.program;
+
+    let json = snapshot::to_json_string(&original);
+    println!(
+        "serialized '{}': {} bytes of JSON",
+        original.name,
+        json.len()
+    );
+
+    let restored: RmtProgram = snapshot::from_json_str(&json).expect("snapshot parses");
+    assert_eq!(
+        snapshot::to_json_string(&restored),
+        json,
+        "round trip is exact"
+    );
+
+    let (ctxt_a, insns_a) = drive(original);
+    let (ctxt_b, insns_b) = drive(restored);
+    assert_eq!(
+        ctxt_a, ctxt_b,
+        "restored program produces identical contexts"
+    );
+    assert_eq!(insns_a, insns_b, "and executes the same instruction count");
+    println!("original and restored programs agree over 5 firings ({insns_a} insns each)");
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Hermetic CI gate for the rkd workspace.
+#
+# The build is fully offline by policy: every dependency is a workspace
+# member and the dependency closure must stay that way (see README.md
+# "Hermetic build"). Each step below passes --offline so any accidental
+# registry dependency fails fast instead of silently resolving on a
+# networked machine.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline (workspace)"
+cargo test -q --offline --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --offline --workspace --all-targets -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> dependency closure must be workspace-only"
+external=$(cargo tree --offline --workspace --edges normal,build,dev \
+    | grep -oE '[a-z0-9_-]+ v[0-9][0-9.]*' | sort -u | grep -v '^rkd' || true)
+if [ -n "$external" ]; then
+    echo "ERROR: external crates crept into the dependency tree:" >&2
+    echo "$external" >&2
+    exit 1
+fi
+
+echo "CI OK"

@@ -16,6 +16,9 @@
 //!   subsystem and CFS scheduler, with the paper's two case studies.
 //! - [`workloads`] — synthetic workload generators reproducing the
 //!   paper's benchmark structure.
+//! - [`testkit`] — the zero-dependency support kit (deterministic
+//!   PRNGs, property-testing harness, JSON codec) that keeps the
+//!   build hermetic.
 //!
 //! See `README.md` for a tour and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
@@ -27,4 +30,5 @@ pub use rkd_core as core;
 pub use rkd_lang as lang;
 pub use rkd_ml as ml;
 pub use rkd_sim as sim;
+pub use rkd_testkit as testkit;
 pub use rkd_workloads as workloads;

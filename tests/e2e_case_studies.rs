@@ -2,14 +2,14 @@
 //! assertions encode the *shape* of Table 1 and Table 2 so a regression
 //! that flips a headline result fails CI.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rkd::sim::mem::ml::{MlPrefetchConfig, MlPrefetcher};
 use rkd::sim::mem::prefetcher::{Leap, Readahead};
 use rkd::sim::mem::sim::{run as mem_run, MemSimConfig};
 use rkd::sim::sched::experiment::{run_case_study, CaseStudyConfig};
 use rkd::workloads::mem::{matrix_conv, video_resize, MatrixConvParams, VideoResizeParams};
 use rkd::workloads::sched::streamcluster;
+use rkd_testkit::rng::StdRng;
+use rkd_testkit::rng::{Rng, SeedableRng};
 
 #[test]
 fn table1_shape_video_resize() {

@@ -3,111 +3,111 @@
 //! invariants, quantization consistency, and map semantics against a
 //! model implementation.
 
-use proptest::prelude::*;
 use rkd::core::maps::{MapDef, MapInstance, MapKind};
 use rkd::ml::dataset::{Dataset, Sample};
 use rkd::ml::fixed::Fix;
 use rkd::ml::tensor::Tensor;
 use rkd::ml::tree::{DecisionTree, TreeConfig};
+use rkd::testkit::prop::Gen;
+use rkd::testkit::prop_check;
+use rkd::testkit::rng::Rng;
 use std::collections::HashMap;
 
-fn fix_strategy() -> impl Strategy<Value = Fix> {
+fn gen_fix(g: &mut Gen) -> Fix {
     // Stay in a comfortably representable band so closed-form
     // comparisons against f64 are exact modulo quantization.
-    (-1_000_000i32..1_000_000).prop_map(Fix::from_raw)
+    Fix::from_raw(g.gen_range(-1_000_000i32..1_000_000))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn fix_addition_is_commutative_and_associative_in_band(
-        a in fix_strategy(), b in fix_strategy(), c in fix_strategy()
-    ) {
-        prop_assert_eq!(a + b, b + a);
+prop_check!(
+    fix_addition_is_commutative_and_associative_in_band,
+    cases = 512,
+    |g| {
+        let (a, b, c) = (gen_fix(g), gen_fix(g), gen_fix(g));
+        assert_eq!(a + b, b + a);
         // Associativity holds when no saturation occurs; the band keeps
         // sums within +/- 48 (raw +/- 3e6), far from the i32 edge.
-        prop_assert_eq!((a + b) + c, a + (b + c));
+        assert_eq!((a + b) + c, a + (b + c));
     }
+);
 
-    #[test]
-    fn fix_tracks_f64_within_quantization_error(
-        a in fix_strategy(), b in fix_strategy()
-    ) {
-        let (fa, fb) = (a.to_f64(), b.to_f64());
-        let eps = 1.0 / 65_536.0;
-        prop_assert!(((a + b).to_f64() - (fa + fb)).abs() <= eps);
-        prop_assert!(((a - b).to_f64() - (fa - fb)).abs() <= eps);
-        prop_assert!(((a * b).to_f64() - (fa * fb)).abs() <= fa.abs().max(fb.abs()) * eps + eps);
+prop_check!(fix_tracks_f64_within_quantization_error, cases = 512, |g| {
+    let (a, b) = (gen_fix(g), gen_fix(g));
+    let (fa, fb) = (a.to_f64(), b.to_f64());
+    let eps = 1.0 / 65_536.0;
+    assert!(((a + b).to_f64() - (fa + fb)).abs() <= eps);
+    assert!(((a - b).to_f64() - (fa - fb)).abs() <= eps);
+    assert!(((a * b).to_f64() - (fa * fb)).abs() <= fa.abs().max(fb.abs()) * eps + eps);
+});
+
+prop_check!(fix_saturates_instead_of_wrapping, cases = 512, |g| {
+    let v = Fix::from_raw(g.gen::<i32>());
+    // MAX + anything nonnegative stays MAX; MIN - anything
+    // nonnegative stays MIN.
+    let nonneg = v.abs();
+    assert_eq!(Fix::MAX + nonneg, Fix::MAX);
+    assert_eq!(Fix::MIN - nonneg, Fix::MIN);
+    // Round trip through f64 is the identity.
+    assert_eq!(Fix::from_f64(v.to_f64()), v);
+});
+
+prop_check!(fix_monotone_ops, cases = 512, |g| {
+    let (a, b, c) = (gen_fix(g), gen_fix(g), gen_fix(g));
+    if a <= b {
+        assert!(a + c <= b + c);
+        assert!(a.min(c) <= b.max(c));
     }
+    assert!(a.clamp(Fix::from_int(-10), Fix::from_int(10)) >= Fix::from_int(-10));
+    assert!(a.relu() >= Fix::ZERO);
+    let s = a.sigmoid();
+    assert!(s >= Fix::ZERO && s <= Fix::ONE);
+});
 
-    #[test]
-    fn fix_saturates_instead_of_wrapping(raw in any::<i32>()) {
-        let v = Fix::from_raw(raw);
-        // MAX + anything nonnegative stays MAX; MIN - anything
-        // nonnegative stays MIN.
-        let nonneg = v.abs();
-        prop_assert_eq!(Fix::MAX + nonneg, Fix::MAX);
-        prop_assert_eq!(Fix::MIN - nonneg, Fix::MIN);
-        // Round trip through f64 is the identity.
-        prop_assert_eq!(Fix::from_f64(v.to_f64()), v);
+prop_check!(matvec_is_linear, cases = 512, |g| {
+    let rows = g.gen_range(1usize..5);
+    let cols = g.gen_range(1usize..5);
+    let data: Vec<f64> = (0..rows * cols).map(|_| g.gen_range(-50.0..50.0)).collect();
+    let x: Vec<f64> = (0..cols).map(|_| g.gen_range(-10.0..10.0)).collect();
+    let y: Vec<f64> = (0..cols).map(|_| g.gen_range(-10.0..10.0)).collect();
+    let m = Tensor::from_f64(rows, cols, &data).unwrap();
+    let vx = Tensor::vector_f64(&x);
+    let vy = Tensor::vector_f64(&y);
+    let sum = vx.add(&vy).unwrap();
+    let lhs = m.matvec(&sum).unwrap();
+    let rhs = m.matvec(&vx).unwrap().add(&m.matvec(&vy).unwrap()).unwrap();
+    // M(x + y) == Mx + My within quantization slack per element.
+    for (a, b) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+        assert!((a.to_f64() - b.to_f64()).abs() < 0.01);
     }
+});
 
-    #[test]
-    fn fix_monotone_ops(a in fix_strategy(), b in fix_strategy(), c in fix_strategy()) {
-        if a <= b {
-            prop_assert!(a + c <= b + c);
-            prop_assert!(a.min(c) <= b.max(c));
-        }
-        prop_assert!(a.clamp(Fix::from_int(-10), Fix::from_int(10)) >= Fix::from_int(-10));
-        prop_assert!(a.relu() >= Fix::ZERO);
-        let s = a.sigmoid();
-        prop_assert!(s >= Fix::ZERO && s <= Fix::ONE);
-    }
-
-    #[test]
-    fn matvec_is_linear(
-        rows in 1usize..5, cols in 1usize..5,
-        data in proptest::collection::vec(-50.0f64..50.0, 25),
-        x in proptest::collection::vec(-10.0f64..10.0, 5),
-        y in proptest::collection::vec(-10.0f64..10.0, 5),
-    ) {
-        let m = Tensor::from_f64(rows, cols, &data[..rows * cols]).unwrap();
-        let vx = Tensor::vector_f64(&x[..cols]);
-        let vy = Tensor::vector_f64(&y[..cols]);
-        let sum = vx.add(&vy).unwrap();
-        let lhs = m.matvec(&sum).unwrap();
-        let rhs = m.matvec(&vx).unwrap().add(&m.matvec(&vy).unwrap()).unwrap();
-        // M(x + y) == Mx + My within quantization slack per element.
-        for (a, b) in lhs.as_slice().iter().zip(rhs.as_slice()) {
-            prop_assert!((a.to_f64() - b.to_f64()).abs() < 0.01);
-        }
-    }
-
-    #[test]
-    fn matmul_matches_f64_reference(
-        m in 1usize..4, k in 1usize..4, n in 1usize..4,
-        a in proptest::collection::vec(-20.0f64..20.0, 16),
-        b in proptest::collection::vec(-20.0f64..20.0, 16),
-    ) {
-        let ta = Tensor::from_f64(m, k, &a[..m * k]).unwrap();
-        let tb = Tensor::from_f64(k, n, &b[..k * n]).unwrap();
-        let tc = ta.matmul(&tb).unwrap();
-        for i in 0..m {
-            for j in 0..n {
-                let expect: f64 = (0..k)
-                    .map(|x| ta.get(i, x).to_f64() * tb.get(x, j).to_f64())
-                    .sum();
-                prop_assert!((tc.get(i, j).to_f64() - expect).abs() < 0.05);
-            }
+prop_check!(matmul_matches_f64_reference, cases = 512, |g| {
+    let m = g.gen_range(1usize..4);
+    let k = g.gen_range(1usize..4);
+    let n = g.gen_range(1usize..4);
+    let a: Vec<f64> = (0..m * k).map(|_| g.gen_range(-20.0..20.0)).collect();
+    let b: Vec<f64> = (0..k * n).map(|_| g.gen_range(-20.0..20.0)).collect();
+    let ta = Tensor::from_f64(m, k, &a).unwrap();
+    let tb = Tensor::from_f64(k, n, &b).unwrap();
+    let tc = ta.matmul(&tb).unwrap();
+    for i in 0..m {
+        for j in 0..n {
+            let expect: f64 = (0..k)
+                .map(|x| ta.get(i, x).to_f64() * tb.get(x, j).to_f64())
+                .sum();
+            assert!((tc.get(i, j).to_f64() - expect).abs() < 0.05);
         }
     }
+});
 
-    #[test]
-    fn tree_predictions_come_from_training_labels(
-        points in proptest::collection::vec((-100i64..100, 0usize..3), 4..40),
-        probe in proptest::collection::vec(-200i64..200, 1..8),
-    ) {
+prop_check!(
+    tree_predictions_come_from_training_labels,
+    cases = 512,
+    |g| {
+        let points = g.vec_of(4, 39, |g| {
+            (g.gen_range(-100i64..100), g.gen_range(0usize..3))
+        });
+        let probe = g.vec_of(1, 7, |g| g.gen_range(-200i64..200));
         let samples: Vec<Sample> = points
             .iter()
             .map(|&(x, label)| Sample {
@@ -115,94 +115,95 @@ proptest! {
                 label,
             })
             .collect();
-        let labels: std::collections::HashSet<usize> =
-            points.iter().map(|&(_, l)| l).collect();
+        let labels: std::collections::HashSet<usize> = points.iter().map(|&(_, l)| l).collect();
         let ds = Dataset::from_samples(samples).unwrap();
         let tree = DecisionTree::train(&ds, &TreeConfig::default()).unwrap();
         // Any input maps to a label that actually occurred in training.
         for x in probe {
             let p = tree.predict(&[Fix::from_int(x)]).unwrap();
-            prop_assert!(labels.contains(&p), "label {p} never trained");
+            assert!(labels.contains(&p), "label {p} never trained");
         }
         // Depth never exceeds the configured cap.
-        prop_assert!(tree.depth() <= TreeConfig::default().max_depth);
+        assert!(tree.depth() <= TreeConfig::default().max_depth);
     }
+);
 
-    #[test]
-    fn tree_fits_separable_data_perfectly(
-        threshold in -50i64..50,
-        xs in proptest::collection::vec(-100i64..100, 8..60),
-    ) {
-        // A single-threshold concept is exactly representable.
-        let samples: Vec<Sample> = xs
-            .iter()
-            .map(|&x| Sample {
-                features: vec![Fix::from_int(x)],
-                label: (x > threshold) as usize,
-            })
-            .collect();
-        let ds = Dataset::from_samples(samples).unwrap();
-        let tree = DecisionTree::train(
-            &ds,
-            &TreeConfig {
-                max_depth: 4,
-                min_samples_split: 2,
-                max_thresholds: 64,
-            },
-        )
-        .unwrap();
-        prop_assert_eq!(tree.evaluate(&ds).unwrap(), 1.0);
-    }
-
-    #[test]
-    fn hash_map_matches_model(ops in proptest::collection::vec(
-        (0u8..3, 0u64..16, -100i64..100), 0..60
-    )) {
-        let mut real = MapInstance::new(&MapDef {
-            name: "m".into(),
-            kind: MapKind::Hash,
-            capacity: 64, // Large enough that capacity never interferes.
-            shared: false,
+prop_check!(tree_fits_separable_data_perfectly, cases = 512, |g| {
+    let threshold = g.gen_range(-50i64..50);
+    let xs = g.vec_of(8, 59, |g| g.gen_range(-100i64..100));
+    // A single-threshold concept is exactly representable.
+    let samples: Vec<Sample> = xs
+        .iter()
+        .map(|&x| Sample {
+            features: vec![Fix::from_int(x)],
+            label: (x > threshold) as usize,
         })
-        .unwrap();
-        let mut model: HashMap<u64, i64> = HashMap::new();
-        for (op, key, value) in ops {
-            match op {
-                0 => {
-                    real.update(key, value).unwrap();
-                    model.insert(key, value);
-                }
-                1 => {
-                    prop_assert_eq!(real.lookup(key), model.get(&key).copied());
-                }
-                _ => {
-                    let removed = real.delete(key);
-                    prop_assert_eq!(removed, model.remove(&key).is_some());
-                }
+        .collect();
+    let ds = Dataset::from_samples(samples).unwrap();
+    let tree = DecisionTree::train(
+        &ds,
+        &TreeConfig {
+            max_depth: 4,
+            min_samples_split: 2,
+            max_thresholds: 64,
+        },
+    )
+    .unwrap();
+    assert_eq!(tree.evaluate(&ds).unwrap(), 1.0);
+});
+
+prop_check!(hash_map_matches_model, cases = 512, |g| {
+    let ops = g.vec_of(0, 59, |g| {
+        (
+            g.gen_range(0u8..3),
+            g.gen_range(0u64..16),
+            g.gen_range(-100i64..100),
+        )
+    });
+    let mut real = MapInstance::new(&MapDef {
+        name: "m".into(),
+        kind: MapKind::Hash,
+        capacity: 64, // Large enough that capacity never interferes.
+        shared: false,
+    })
+    .unwrap();
+    let mut model: HashMap<u64, i64> = HashMap::new();
+    for (op, key, value) in ops {
+        match op {
+            0 => {
+                real.update(key, value).unwrap();
+                model.insert(key, value);
+            }
+            1 => {
+                assert_eq!(real.lookup(key), model.get(&key).copied());
+            }
+            _ => {
+                let removed = real.delete(key);
+                assert_eq!(removed, model.remove(&key).is_some());
             }
         }
-        prop_assert_eq!(real.len(), model.len());
-        prop_assert_eq!(real.aggregate_sum(), model.values().sum::<i64>());
     }
+    assert_eq!(real.len(), model.len());
+    assert_eq!(real.aggregate_sum(), model.values().sum::<i64>());
+});
 
-    #[test]
-    fn ring_buffer_matches_model(values in proptest::collection::vec(-100i64..100, 0..40)) {
-        let cap = 8;
-        let mut real = MapInstance::new(&MapDef {
-            name: "r".into(),
-            kind: MapKind::RingBuf,
-            capacity: cap,
-            shared: false,
-        })
-        .unwrap();
-        for &v in &values {
-            real.update(0, v).unwrap();
-        }
-        let expect: Vec<i64> = values
-            .iter()
-            .copied()
-            .skip(values.len().saturating_sub(cap))
-            .collect();
-        prop_assert_eq!(real.ring_snapshot(), expect);
+prop_check!(ring_buffer_matches_model, cases = 512, |g| {
+    let values = g.vec_of(0, 39, |g| g.gen_range(-100i64..100));
+    let cap = 8;
+    let mut real = MapInstance::new(&MapDef {
+        name: "r".into(),
+        kind: MapKind::RingBuf,
+        capacity: cap,
+        shared: false,
+    })
+    .unwrap();
+    for &v in &values {
+        real.update(0, v).unwrap();
     }
-}
+    let expect: Vec<i64> = values
+        .iter()
+        .copied()
+        .skip(values.len().saturating_sub(cap))
+        .collect();
+    assert_eq!(real.ring_snapshot(), expect);
+});

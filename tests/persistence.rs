@@ -6,6 +6,7 @@
 use rkd::core::ctxt::Ctxt;
 use rkd::core::machine::{ExecMode, RmtMachine};
 use rkd::core::prog::{ModelSpec, RmtProgram};
+use rkd::core::snapshot;
 use rkd::core::verifier::verify;
 use rkd::ml::dataset::{Dataset, Sample};
 use rkd::ml::tree::{DecisionTree, TreeConfig};
@@ -35,9 +36,9 @@ fn build_program() -> RmtProgram {
 #[test]
 fn program_round_trips_through_json() {
     let prog = build_program();
-    let json = serde_json::to_string(&prog).expect("serializes");
+    let json = snapshot::to_json_string(&prog);
     assert!(json.len() > 1_000, "nontrivial artifact");
-    let back: RmtProgram = serde_json::from_str(&json).expect("deserializes");
+    let back: RmtProgram = snapshot::from_json_str(&json).expect("deserializes");
     assert_eq!(back.name, prog.name);
     assert_eq!(back.tables.len(), prog.tables.len());
     assert_eq!(back.actions, prog.actions);
@@ -48,8 +49,8 @@ fn program_round_trips_through_json() {
 #[test]
 fn deserialized_program_behaves_identically() {
     let prog = build_program();
-    let json = serde_json::to_string(&prog).unwrap();
-    let back: RmtProgram = serde_json::from_str(&json).unwrap();
+    let json = snapshot::to_json_string(&prog);
+    let back: RmtProgram = snapshot::from_json_str(&json).unwrap();
     // Install both and drive the same access stream.
     let drive = |prog: RmtProgram| -> Vec<Option<i64>> {
         let verified = verify(prog).unwrap();
@@ -74,8 +75,8 @@ fn model_specs_round_trip_with_weights() {
     use rkd::ml::svm::IntSvm;
     // Tree.
     let tree = ModelSpec::Tree(trained_tree());
-    let json = serde_json::to_string(&tree).unwrap();
-    let back: ModelSpec = serde_json::from_str(&json).unwrap();
+    let json = snapshot::to_json_string(&tree);
+    let back: ModelSpec = snapshot::from_json_str(&json).unwrap();
     assert_eq!(
         back.predict(&[Fix::from_int(9)]).unwrap().0,
         tree.predict(&[Fix::from_int(9)]).unwrap().0
@@ -85,14 +86,14 @@ fn model_specs_round_trip_with_weights() {
         weights: vec![Fix::from_f64(0.5), Fix::from_f64(-1.25)],
         bias: Fix::from_f64(0.125),
     });
-    let json = serde_json::to_string(&svm).unwrap();
-    let back: ModelSpec = serde_json::from_str(&json).unwrap();
+    let json = snapshot::to_json_string(&svm);
+    let back: ModelSpec = snapshot::from_json_str(&json).unwrap();
     let x = [Fix::from_int(3), Fix::from_int(1)];
     assert_eq!(back.predict(&x).unwrap(), svm.predict(&x).unwrap());
     // Quantized MLP (placeholder shape is enough to cover the layout).
     let q = ModelSpec::Qmlp(QuantMlp::placeholder(4, 2));
-    let json = serde_json::to_string(&q).unwrap();
-    let back: ModelSpec = serde_json::from_str(&json).unwrap();
+    let json = snapshot::to_json_string(&q);
+    let back: ModelSpec = snapshot::from_json_str(&json).unwrap();
     assert_eq!(back.n_features(), 4);
     let x = [Fix::ONE; 4];
     assert_eq!(back.predict(&x).unwrap(), q.predict(&x).unwrap());

@@ -6,214 +6,20 @@
 //! worst-case instruction count, and `rmt_jit()` never changes
 //! behaviour relative to interpretation.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use rkd::core::bytecode::{Action, AluOp, CmpOp, Insn, Reg, VReg};
-use rkd::core::ctxt::Ctxt;
-use rkd::core::dp::PrivacyLedger;
-use rkd::core::interp::{run_action, ExecEnv};
-use rkd::core::jit::CompiledAction;
-use rkd::core::maps::{MapDef, MapInstance, MapKind};
-use rkd::core::prog::{PrivacyPolicy, ProgramBuilder};
-use rkd::core::table::MatchKind;
-use rkd::core::verifier::verify;
+mod common;
 
-/// Strategy: one random instruction from a safe subset. Registers are
-/// restricted to r0..r7 plus r9 (always initialized by the harness's
-/// prologue), jump targets are patched afterwards to stay in range and
-/// forward-only.
-fn insn_strategy() -> impl Strategy<Value = Insn> {
-    let reg = || (0u8..8u8).prop_map(Reg);
-    let alu = prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Mul),
-        Just(AluOp::Div),
-        Just(AluOp::Mod),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Xor),
-        Just(AluOp::Shl),
-        Just(AluOp::Shr),
-        Just(AluOp::Min),
-        Just(AluOp::Max),
-    ];
-    let cmp = prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-    ];
-    prop_oneof![
-        (reg(), -1000i64..1000).prop_map(|(dst, imm)| Insn::LdImm { dst, imm }),
-        (reg(), reg()).prop_map(|(dst, src)| Insn::Mov { dst, src }),
-        (alu.clone(), reg(), reg()).prop_map(|(op, dst, src)| Insn::Alu { op, dst, src }),
-        (alu, reg(), -100i64..100).prop_map(|(op, dst, imm)| Insn::AluImm { op, dst, imm }),
-        (cmp.clone(), reg(), -50i64..50, 0usize..64).prop_map(|(cmp, lhs, imm, target)| {
-            Insn::JmpIfImm {
-                cmp,
-                lhs,
-                imm,
-                target,
-            }
-        }),
-        (reg(), 0u64..4, reg()).prop_map(|(key, map, value)| Insn::MapUpdate {
-            map: rkd::core::maps::MapId(map as u16 % 2),
-            key,
-            value,
-        }),
-        (reg(), 0u16..2, reg(), -5i64..5).prop_map(|(dst, map, key, default)| Insn::MapLookup {
-            dst,
-            map: rkd::core::maps::MapId(map),
-            key,
-            default,
-        }),
-        (reg(),).prop_map(|(src,)| Insn::VectorPush { dst: VReg(0), src }),
-        (reg(), 0u16..4).prop_map(|(dst, idx)| Insn::ScalarVal {
-            dst,
-            src: VReg(0),
-            idx,
-        }),
-    ]
-}
+use common::check_interp_jit_equivalence;
+use rkd::testkit::prop_check;
+use rkd::testkit::rng::Rng;
 
-/// Builds an action from random instructions: a prologue initializes
-/// r0..r7 and v0, jump targets are forced forward and in range, and an
-/// epilogue guarantees termination.
-fn make_action(raw: Vec<Insn>) -> Action {
-    let mut code: Vec<Insn> = (0..8u8)
-        .map(|r| Insn::LdImm {
-            dst: Reg(r),
-            imm: r as i64,
-        })
-        .collect();
-    code.push(Insn::VectorClear { dst: VReg(0) });
-    let body_start = code.len();
-    let body_len = raw.len();
-    for (i, mut insn) in raw.into_iter().enumerate() {
-        if let Insn::JmpIfImm { target, .. } = &mut insn {
-            // Forward-only, within [next insn, end-of-body].
-            let lo = i + 1;
-            let hi = body_len;
-            let span = (hi - lo).max(1);
-            *target = body_start + lo + (*target % span);
-        }
-        code.push(insn);
+// Any admitted program terminates within the verified bound, and the
+// JIT produces bit-identical outcomes and side effects.
+prop_check!(
+    verified_programs_terminate_and_jit_matches,
+    cases = 256,
+    |g| {
+        let raw = g.vec_of(0, 47, common::gen_insn);
+        let arg = g.gen_range(-1000i64..1000);
+        check_interp_jit_equivalence(raw, arg);
     }
-    code.push(Insn::LdImm {
-        dst: Reg(0),
-        imm: 0,
-    });
-    code.push(Insn::Exit);
-    Action::new("generated", code)
-}
-
-struct Fx {
-    ctxt: Ctxt,
-    maps: Vec<MapInstance>,
-    rng: StdRng,
-    ledger: PrivacyLedger,
-}
-
-impl Fx {
-    fn new() -> Fx {
-        let hash = MapInstance::new(&MapDef {
-            name: "h".into(),
-            kind: MapKind::Hash,
-            capacity: 32,
-            shared: false,
-        })
-        .unwrap();
-        let ring = MapInstance::new(&MapDef {
-            name: "r".into(),
-            kind: MapKind::RingBuf,
-            capacity: 8,
-            shared: false,
-        })
-        .unwrap();
-        Fx {
-            ctxt: Ctxt::from_values(vec![7]),
-            maps: vec![hash, ring],
-            rng: StdRng::seed_from_u64(99),
-            ledger: PrivacyLedger::new(10_000),
-        }
-    }
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Any admitted program terminates within the verified bound, and
-    /// the JIT produces bit-identical outcomes and side effects.
-    #[test]
-    fn verified_programs_terminate_and_jit_matches(
-        raw in proptest::collection::vec(insn_strategy(), 0..48),
-        arg in -1000i64..1000,
-    ) {
-        let action = make_action(raw);
-        // Route through the real verifier via a minimal program.
-        let mut b = ProgramBuilder::new("prop");
-        let pid = b.field_readonly("pid");
-        b.map("h", MapKind::Hash, 32);
-        b.map("r", MapKind::RingBuf, 8);
-        let act = b.action(action.clone());
-        b.table("t", "hook", &[pid], MatchKind::Exact, Some(act), 4);
-        let verified = match verify(b.build()) {
-            Ok(v) => v,
-            // Generated code can legitimately be rejected (e.g. a
-            // conditional path reads a register the meet killed); the
-            // property only covers admitted programs.
-            Err(_) => return Ok(()),
-        };
-        let fuel = verified.worst_case_insns()[0];
-
-        let mut fx_i = Fx::new();
-        let interp = {
-            let tensors = Vec::new();
-            let models = Vec::new();
-            let mut env = ExecEnv {
-                ctxt: &mut fx_i.ctxt,
-                maps: &mut fx_i.maps,
-                tensors: &tensors,
-                models: &models,
-                tick: 5,
-                rng: &mut fx_i.rng,
-                ledger: &mut fx_i.ledger,
-                privacy: PrivacyPolicy::default(),
-            };
-            run_action(&action, fuel, arg, &mut env)
-        };
-        let mut fx_j = Fx::new();
-        let jit = {
-            let compiled = CompiledAction::compile(&action).unwrap();
-            let tensors = Vec::new();
-            let models = Vec::new();
-            let mut env = ExecEnv {
-                ctxt: &mut fx_j.ctxt,
-                maps: &mut fx_j.maps,
-                tensors: &tensors,
-                models: &models,
-                tick: 5,
-                rng: &mut fx_j.rng,
-                ledger: &mut fx_j.ledger,
-                privacy: PrivacyPolicy::default(),
-            };
-            compiled.run(fuel, arg, &mut env)
-        };
-        // Soundness: an admitted program must not exhaust its verified
-        // fuel.
-        let interp = interp.expect("admitted program terminates within bound");
-        prop_assert!(interp.insns_executed <= fuel);
-        // Equivalence: identical outcome and identical side effects.
-        let jit = jit.expect("jit matches interp success");
-        prop_assert_eq!(interp, jit);
-        prop_assert_eq!(fx_i.ctxt, fx_j.ctxt);
-        for (a, b) in fx_i.maps.iter_mut().zip(fx_j.maps.iter_mut()) {
-            prop_assert_eq!(a.aggregate_sum(), b.aggregate_sum());
-            prop_assert_eq!(a.len(), b.len());
-        }
-    }
-}
+);
