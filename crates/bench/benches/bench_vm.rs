@@ -80,6 +80,40 @@ fn bench_dispatch(c: &mut Harness) {
     group.finish();
 }
 
+/// Deep pipeline: one hook with many tables, stressing the per-fire
+/// queue. `fire` reuses a per-machine scratch buffer here — this bench
+/// is the regression guard for the old per-invocation `Vec` allocation
+/// (and the listener-list clone that rode along with it).
+fn bench_pipeline(c: &mut Harness) {
+    let mut group = c.benchmark_group("vm_pipeline_8_tables");
+    for (name, mode) in [("interp", ExecMode::Interp), ("jit", ExecMode::Jit)] {
+        group.bench_function(name, |b| {
+            let mut bld = rkd_core::prog::ProgramBuilder::new("bench");
+            let pid = bld.field_readonly("pid");
+            let act = bld.action(hot_action());
+            for i in 0..8 {
+                bld.table(
+                    &format!("t{i}"),
+                    "hook",
+                    &[pid],
+                    rkd_core::table::MatchKind::Exact,
+                    Some(act),
+                    8,
+                );
+            }
+            let verified = verify(bld.build()).unwrap();
+            let mut vm = RmtMachine::new();
+            vm.install(verified, mode).unwrap();
+            b.iter_batched(
+                || Ctxt::from_values(vec![1]),
+                |mut ctxt| vm.fire("hook", &mut ctxt),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
 fn bench_figure1(c: &mut Harness) {
     let mut group = c.benchmark_group("figure1_datapath");
     for (name, mode) in [("interp", ExecMode::Interp), ("jit", ExecMode::Jit)] {
@@ -100,4 +134,4 @@ fn bench_figure1(c: &mut Harness) {
     group.finish();
 }
 
-rkd_bench::bench_main!(bench_dispatch, bench_figure1);
+rkd_bench::bench_main!(bench_dispatch, bench_pipeline, bench_figure1);

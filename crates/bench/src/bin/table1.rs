@@ -37,6 +37,18 @@ fn run_all(trace: &PageTrace) -> Vec<MemSimResult> {
         ml.retrains(),
         ml.prog_stats().actions_aborted
     );
+    // Datapath self-observation (stderr keeps the table clean).
+    let snap = ml.obs_snapshot();
+    for h in &snap.hooks {
+        eprintln!(
+            "  [{}] obs {}: {} fires, latency p50 {} ns p99 {} ns",
+            trace.name,
+            h.hook,
+            h.fires,
+            h.hist.percentile(50),
+            h.hist.percentile(99),
+        );
+    }
     results
 }
 

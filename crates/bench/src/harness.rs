@@ -238,21 +238,24 @@ impl Harness {
         }
     }
 
-    /// Runs a standalone bench function (no group prefix).
-    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
-        self.run(id, f);
+    /// Runs a standalone bench function (no group prefix), returning
+    /// the median ns/iter (`None` if filtered out or no samples) so
+    /// callers can compute derived figures such as overhead ratios.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> Option<f64> {
+        self.run(id, f)
     }
 
-    fn run(&mut self, full_id: &str, f: impl FnOnce(&mut Bencher)) {
+    fn run(&mut self, full_id: &str, f: impl FnOnce(&mut Bencher)) -> Option<f64> {
         if let Some(filter) = &self.filter {
             if !full_id.contains(filter.as_str()) {
                 self.skipped += 1;
-                return;
+                return None;
             }
         }
         let mut bencher = Bencher::new(self.cfg);
         f(&mut bencher);
-        match bencher.report() {
+        let report = bencher.report();
+        match report {
             Some(s) => println!(
                 "{full_id:<40} {} /iter  (mean {}, min {}, max {}, {} samples)",
                 fmt_ns(s.median),
@@ -264,6 +267,7 @@ impl Harness {
             None => println!("{full_id:<40} (no samples collected)"),
         }
         self.ran += 1;
+        report.map(|s| s.median)
     }
 
     /// Prints the closing summary line.
@@ -284,10 +288,11 @@ pub struct Group<'a> {
 }
 
 impl Group<'_> {
-    /// Measures `f` and reports it as `group/id`.
-    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+    /// Measures `f` and reports it as `group/id`, returning the median
+    /// ns/iter like [`Harness::bench_function`].
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> Option<f64> {
         let full = format!("{}/{}", self.name, id);
-        self.harness.run(&full, f);
+        self.harness.run(&full, f)
     }
 
     /// Ends the group. Provided for criterion-shaped call sites; the

@@ -16,6 +16,7 @@ use crate::bytecode::ModelSlot;
 use crate::error::VmError;
 use crate::machine::{ExecMode, ProgId, ProgStats, RmtMachine};
 use crate::maps::MapId;
+use crate::obs;
 use crate::prog::ModelSpec;
 use crate::table::{Entry, MatchKey, TableId, TableStats};
 use crate::verifier::{verify_with, VerifierConfig};
@@ -103,6 +104,19 @@ pub enum CtrlRequest {
         /// Target program.
         prog: ProgId,
     },
+    /// Read a hook's firing count and latency histogram.
+    HookStats {
+        /// Hook name.
+        hook: String,
+    },
+    /// Drain up to `max` datapath trace events (oldest first).
+    TraceRead {
+        /// Maximum events to drain.
+        max: u64,
+    },
+    /// Reset the observability layer (counters, histograms, trace
+    /// ring). Program and table statistics are untouched.
+    ObsReset,
 }
 
 /// A control-plane response.
@@ -122,6 +136,10 @@ pub enum CtrlResponse {
     TableStats(TableStats),
     /// Remaining privacy budget in milli-epsilon.
     PrivacyBudget(u64),
+    /// Hook statistics (boxed: the histogram makes this variant large).
+    HookStats(Box<obs::HookStats>),
+    /// Drained trace events plus the cumulative dropped count.
+    Trace(obs::TraceSnapshot),
 }
 
 /// Dispatches one control-plane request against a machine, using the
@@ -178,6 +196,16 @@ pub fn syscall_rmt_with(
         CtrlRequest::QueryPrivacyBudget { prog } => Ok(CtrlResponse::PrivacyBudget(
             machine.privacy_remaining(prog)?,
         )),
+        CtrlRequest::HookStats { hook } => Ok(CtrlResponse::HookStats(Box::new(
+            machine.hook_stats(&hook)?,
+        ))),
+        CtrlRequest::TraceRead { max } => Ok(CtrlResponse::Trace(
+            machine.trace_read(max.min(usize::MAX as u64) as usize),
+        )),
+        CtrlRequest::ObsReset => {
+            machine.obs_reset();
+            Ok(CtrlResponse::Ok)
+        }
     }
 }
 
@@ -326,6 +354,80 @@ mod tests {
     }
 
     #[test]
+    fn observability_requests() {
+        let mut m = RmtMachine::new();
+        m.set_obs_config(crate::obs::ObsConfig {
+            trace_fires: true,
+            trace_capacity: 2,
+            sample_shift: 0, // Time every firing.
+            ..crate::obs::ObsConfig::default()
+        });
+        syscall_rmt(
+            &mut m,
+            CtrlRequest::Install {
+                prog: Box::new(prog()),
+                mode: ExecMode::Interp,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        for _ in 0..4 {
+            let mut ctxt = crate::ctxt::Ctxt::from_values(vec![5]);
+            m.fire("h", &mut ctxt);
+        }
+        // HookStats: fires counted, latency histogram populated.
+        match syscall_rmt(
+            &mut m,
+            CtrlRequest::HookStats {
+                hook: "h".to_string(),
+            },
+        )
+        .unwrap()
+        {
+            CtrlResponse::HookStats(hs) => {
+                assert_eq!(hs.fires, 4);
+                assert_eq!(hs.hist.count(), 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(syscall_rmt(
+            &mut m,
+            CtrlRequest::HookStats {
+                hook: "nope".to_string(),
+            },
+        )
+        .is_err());
+        // TraceRead: 1 Install + 4 Fire events through a 2-slot ring.
+        match syscall_rmt(&mut m, CtrlRequest::TraceRead { max: 10 }).unwrap() {
+            CtrlResponse::Trace(t) => {
+                assert_eq!(t.events.len(), 2);
+                assert_eq!(t.dropped, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // ObsReset: counters and hook stats zeroed.
+        assert_eq!(
+            syscall_rmt(&mut m, CtrlRequest::ObsReset).unwrap(),
+            CtrlResponse::Ok
+        );
+        match syscall_rmt(
+            &mut m,
+            CtrlRequest::HookStats {
+                hook: "h".to_string(),
+            },
+        )
+        .unwrap()
+        {
+            CtrlResponse::HookStats(hs) => {
+                assert_eq!(hs.fires, 0);
+                assert_eq!(hs.hist.count(), 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(m.machine_counters().fires, 0);
+    }
+
+    #[test]
     fn requests_are_debuggable_and_cloneable() {
         let req = CtrlRequest::QueryStats { prog: ProgId(3) };
         let req2 = req.clone();
@@ -351,6 +453,9 @@ rkd_testkit::impl_json_enum!(CtrlRequest {
     QueryStats { prog },
     QueryTableStats { prog, table },
     QueryPrivacyBudget { prog },
+    HookStats { hook },
+    TraceRead { max },
+    ObsReset,
 });
 
 rkd_testkit::impl_json_enum!(CtrlResponse {
@@ -361,4 +466,6 @@ rkd_testkit::impl_json_enum!(CtrlResponse {
     Stats(stats),
     TableStats(stats),
     PrivacyBudget(remaining),
+    HookStats(stats),
+    Trace(snapshot),
 });

@@ -59,6 +59,7 @@ pub mod interp;
 pub mod jit;
 pub mod machine;
 pub mod maps;
+pub mod obs;
 pub mod prog;
 pub mod snapshot;
 pub mod table;

@@ -18,6 +18,10 @@ use crate::error::VmError;
 use crate::interp::{run_action, ActionOutcome, Effect, ExecEnv};
 use crate::jit::CompiledAction;
 use crate::maps::{MapId, MapInstance};
+use crate::obs::{
+    HookStats, Log2Hist, Obs, ObsConfig, ObsSnapshot, ProgHist, TraceEvent, TraceKind,
+    TraceSnapshot,
+};
 use crate::prog::{ModelSpec, RmtProgram};
 use crate::table::{Entry, Table, TableId, TableStats};
 use crate::verifier::VerifiedProgram;
@@ -25,6 +29,7 @@ use rkd_ml::cost::CostBudget;
 use rkd_testkit::rng::SeedableRng;
 use rkd_testkit::rng::StdRng;
 use std::collections::{BTreeMap, HashMap};
+use std::time::Instant;
 
 /// Identifies an installed program.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -60,6 +65,10 @@ pub struct ProgStats {
     pub actions_aborted: u64,
     /// Tail-call cascades followed.
     pub tail_calls: u64,
+    /// Pipelines terminated because the dynamic tail-call chain
+    /// exceeded [`MAX_TAIL_CHAIN`] (§3.1: a tail call redirects and
+    /// ends the pipeline; an over-long chain must not keep executing).
+    pub tail_chain_overflows: u64,
     /// Model-guard rails tripped (§3.3 model safety).
     pub guard_trips: u64,
 }
@@ -133,6 +142,22 @@ struct Installed {
     ledger: PrivacyLedger,
     bucket: Option<TokenBucket>,
     stats: ProgStats,
+    /// Per-pipeline-run latency histogram (ns), fed by `fire` when
+    /// observability timing is on.
+    hist: Log2Hist,
+}
+
+/// Everything the machine keeps per hook name: the listener list plus
+/// this hook's observability state (stored here so the hot path pays a
+/// single hash lookup for both).
+struct HookSlot {
+    /// (program, first table of the program at this hook), in
+    /// installation order.
+    listeners: Vec<(u32, TableId)>,
+    /// Armed firings of this hook since the last obs reset.
+    fires: u64,
+    /// Whole-fire latency histogram (ns).
+    hist: Log2Hist,
 }
 
 /// The RMT virtual machine.
@@ -140,9 +165,13 @@ pub struct RmtMachine {
     tick: u64,
     next_id: u32,
     programs: BTreeMap<u32, Installed>,
-    /// hook name -> (program, first table of the program at this hook),
-    /// in installation order.
-    hook_index: HashMap<String, Vec<(u32, TableId)>>,
+    /// hook name -> listeners + per-hook observability.
+    hook_index: HashMap<String, HookSlot>,
+    /// Observability layer (always on; see [`ObsConfig`] for knobs).
+    obs: Obs,
+    /// Reusable pipeline queue — `fire` is allocation-free once this
+    /// has grown to the deepest pipeline seen.
+    scratch_queue: Vec<usize>,
 }
 
 impl Default for RmtMachine {
@@ -152,13 +181,21 @@ impl Default for RmtMachine {
 }
 
 impl RmtMachine {
-    /// Creates an empty machine at tick 0.
+    /// Creates an empty machine at tick 0 with default observability.
     pub fn new() -> RmtMachine {
+        RmtMachine::with_obs_config(ObsConfig::default())
+    }
+
+    /// Creates an empty machine with an explicit observability
+    /// configuration.
+    pub fn with_obs_config(cfg: ObsConfig) -> RmtMachine {
         RmtMachine {
             tick: 0,
             next_id: 1,
             programs: BTreeMap::new(),
             hook_index: HashMap::new(),
+            obs: Obs::new(cfg),
+            scratch_queue: Vec::new(),
         }
     }
 
@@ -229,7 +266,12 @@ impl RmtMachine {
                 .expect("hook came from tables");
             self.hook_index
                 .entry(hook.to_string())
-                .or_default()
+                .or_insert_with(|| HookSlot {
+                    listeners: Vec::new(),
+                    fires: 0,
+                    hist: Log2Hist::new(),
+                })
+                .listeners
                 .push((id, TableId(first as u16)));
         }
         self.programs.insert(
@@ -246,8 +288,15 @@ impl RmtMachine {
                 ledger,
                 bucket,
                 stats: ProgStats::default(),
+                hist: Log2Hist::new(),
             },
         );
+        self.obs.ring.push(TraceEvent {
+            tick: self.tick,
+            prog: id,
+            kind: TraceKind::Install,
+            info: id as i64,
+        });
         Ok(ProgId(id))
     }
 
@@ -256,55 +305,89 @@ impl RmtMachine {
         if self.programs.remove(&id.0).is_none() {
             return Err(VmError::NoSuchProgram(id.0));
         }
-        for list in self.hook_index.values_mut() {
-            list.retain(|(p, _)| *p != id.0);
+        for slot in self.hook_index.values_mut() {
+            slot.listeners.retain(|(p, _)| *p != id.0);
         }
+        self.obs.ring.push(TraceEvent {
+            tick: self.tick,
+            prog: id.0,
+            kind: TraceKind::Remove,
+            info: id.0 as i64,
+        });
         Ok(())
     }
 
     /// Whether any program listens on a hook (lets the embedding kernel
     /// skip context assembly on cold hooks — "lean monitoring").
     pub fn hook_armed(&self, hook: &str) -> bool {
-        self.hook_index.get(hook).is_some_and(|v| !v.is_empty())
+        self.hook_index
+            .get(hook)
+            .is_some_and(|s| !s.listeners.is_empty())
     }
 
     /// Fires a kernel hook: every program with tables at `hook` runs its
     /// pipeline over `ctxt`. Faulting actions are absorbed (counted in
     /// [`ProgStats::actions_aborted`]).
+    ///
+    /// The observability layer sees every firing: machine counters
+    /// always, latency histograms when [`ObsConfig::timing`] is on
+    /// (subject to sampling), trace events for notable outcomes. The
+    /// path itself is allocation-free in steady state — the pipeline
+    /// queue is a reusable per-machine scratch buffer and the listener
+    /// list is iterated in place.
     pub fn fire(&mut self, hook: &str, ctxt: &mut Ctxt) -> HookResult {
         let mut result = HookResult::default();
-        let Some(listeners) = self.hook_index.get(hook).cloned() else {
+        let Some(slot) = self.hook_index.get_mut(hook) else {
+            self.obs.counters.fires_unarmed += 1;
             return result;
         };
+        slot.fires += 1;
+        self.obs.counters.fires += 1;
+        let sample_mask = if self.obs.cfg.sample_shift >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.obs.cfg.sample_shift) - 1
+        };
+        let timed = self.obs.cfg.timing && (slot.fires - 1) & sample_mask == 0;
+        let t0 = timed.then(Instant::now);
+        let mut prev = t0;
         let tick = self.tick;
-        for (pid, _first_table) in listeners {
+        for li in 0..slot.listeners.len() {
+            let (pid, _first_table) = slot.listeners[li];
             let Some(inst) = self.programs.get_mut(&pid) else {
                 continue;
             };
             inst.stats.invocations += 1;
+            let verdicts_before = result.verdicts.len();
             // Pipeline: all of this program's tables registered at this
             // hook, in declaration order; a tail call redirects and then
             // ends the pipeline.
             let Some(hook_tables) = inst.hook_tables.get(hook) else {
                 continue;
             };
-            let mut queue: Vec<usize> = hook_tables.clone();
+            self.scratch_queue.clear();
+            self.scratch_queue.extend_from_slice(hook_tables);
             let mut chain = 0usize;
             let mut qi = 0usize;
-            while qi < queue.len() {
-                let ti = queue[qi];
+            while qi < self.scratch_queue.len() {
+                let ti = self.scratch_queue[qi];
                 qi += 1;
                 // Match phase.
                 let key = {
                     let def = inst.tables[ti].def();
                     ctxt.key(&def.key_fields)
                 };
-                let (action_id, arg) = {
+                let (matched, action_id, arg) = {
                     match inst.tables[ti].lookup(&key) {
-                        Some(e) => (Some(e.action), e.arg),
-                        None => (inst.tables[ti].def().default_action, 0),
+                        Some(e) => (true, Some(e.action), e.arg),
+                        None => (false, inst.tables[ti].def().default_action, 0),
                     }
                 };
+                if matched {
+                    self.obs.counters.table_hits += 1;
+                } else {
+                    self.obs.counters.table_misses += 1;
+                }
                 let Some(action_id) = action_id else {
                     continue; // Miss with no default: next table.
                 };
@@ -347,6 +430,15 @@ impl RmtMachine {
                         inst.stats.actions_run += 1;
                         inst.stats.insns_executed += insns_executed;
                         inst.stats.guard_trips += guard_trips;
+                        if guard_trips > 0 {
+                            self.obs.counters.guard_trips += guard_trips;
+                            self.obs.ring.push(TraceEvent {
+                                tick,
+                                prog: pid,
+                                kind: TraceKind::GuardTrip,
+                                info: guard_trips as i64,
+                            });
+                        }
                         result.verdicts.push((TableId(ti as u16), verdict));
                         for e in effects {
                             if e.is_resource() {
@@ -357,6 +449,13 @@ impl RmtMachine {
                                     };
                                     if !bucket.try_take(cost, tick) {
                                         inst.stats.effects_rate_limited += 1;
+                                        self.obs.counters.rate_limit_drops += 1;
+                                        self.obs.ring.push(TraceEvent {
+                                            tick,
+                                            prog: pid,
+                                            kind: TraceKind::RateLimitDrop,
+                                            info: ti as i64,
+                                        });
                                         continue;
                                     }
                                 }
@@ -366,22 +465,72 @@ impl RmtMachine {
                         }
                         if let Some(target) = tail_call {
                             chain += 1;
-                            if chain > MAX_TAIL_CHAIN || target.0 as usize >= inst.tables.len() {
+                            if chain > MAX_TAIL_CHAIN {
+                                // §3.1: a tail call redirects and ends
+                                // the pipeline — an over-long chain
+                                // terminates it instead of letting the
+                                // remaining queue run.
+                                inst.stats.tail_chain_overflows += 1;
+                                self.obs.counters.tail_chain_overflows += 1;
+                                self.obs.ring.push(TraceEvent {
+                                    tick,
+                                    prog: pid,
+                                    kind: TraceKind::TailChainOverflow,
+                                    info: ti as i64,
+                                });
+                                break;
+                            } else if target.0 as usize >= inst.tables.len() {
                                 inst.stats.actions_aborted += 1;
+                                self.obs.counters.aborts += 1;
+                                self.obs.ring.push(TraceEvent {
+                                    tick,
+                                    prog: pid,
+                                    kind: TraceKind::Abort,
+                                    info: ti as i64,
+                                });
                             } else {
                                 inst.stats.tail_calls += 1;
+                                self.obs.counters.tail_calls += 1;
                                 // Redirect: the chain replaces the rest
                                 // of the pipeline.
-                                queue.truncate(qi);
-                                queue.push(target.0 as usize);
+                                self.scratch_queue.truncate(qi);
+                                self.scratch_queue.push(target.0 as usize);
                             }
                         }
                     }
                     Err(_) => {
                         inst.stats.actions_aborted += 1;
+                        self.obs.counters.aborts += 1;
+                        self.obs.ring.push(TraceEvent {
+                            tick,
+                            prog: pid,
+                            kind: TraceKind::Abort,
+                            info: ti as i64,
+                        });
                     }
                 }
             }
+            if let Some(start) = prev {
+                let now = Instant::now();
+                inst.hist
+                    .record(now.duration_since(start).as_nanos() as u64);
+                prev = Some(now);
+            }
+            if self.obs.cfg.trace_fires {
+                let verdict = result.verdicts[verdicts_before..]
+                    .last()
+                    .map_or(i64::MIN, |&(_, v)| v);
+                self.obs.ring.push(TraceEvent {
+                    tick,
+                    prog: pid,
+                    kind: TraceKind::Fire,
+                    info: verdict,
+                });
+            }
+        }
+        if let (Some(start), Some(end)) = (t0, prev) {
+            slot.hist
+                .record(end.duration_since(start).as_nanos() as u64);
         }
         result
     }
@@ -462,6 +611,12 @@ impl RmtMachine {
                 })
             })?;
         def.spec = spec;
+        self.obs.ring.push(TraceEvent {
+            tick: self.tick,
+            prog: prog.0,
+            kind: TraceKind::ModelSwap,
+            info: slot.0 as i64,
+        });
         Ok(())
     }
 
@@ -565,6 +720,96 @@ impl RmtMachine {
             .get(&prog.0)
             .map(|i| i.mode)
             .ok_or(VmError::NoSuchProgram(prog.0))
+    }
+
+    /// Current observability configuration.
+    pub fn obs_config(&self) -> ObsConfig {
+        self.obs.cfg
+    }
+
+    /// Reconfigures the observability layer at runtime. Counters and
+    /// histograms are kept; the trace ring is resized (evicting — and
+    /// counting — oldest events if it shrinks).
+    pub fn set_obs_config(&mut self, cfg: ObsConfig) {
+        self.obs.cfg = cfg;
+        self.obs.ring.set_capacity(cfg.trace_capacity);
+    }
+
+    /// Machine-wide datapath counters.
+    pub fn machine_counters(&self) -> crate::obs::MachineCounters {
+        self.obs.counters
+    }
+
+    /// Per-hook statistics (fires + latency histogram). Errors on a
+    /// hook the machine has never had a table installed at.
+    pub fn hook_stats(&self, hook: &str) -> Result<HookStats, VmError> {
+        self.hook_index
+            .get(hook)
+            .map(|s| HookStats {
+                hook: hook.to_string(),
+                fires: s.fires,
+                hist: s.hist.clone(),
+            })
+            .ok_or_else(|| VmError::BadRequest(format!("unknown hook {hook:?}")))
+    }
+
+    /// Drains up to `max` trace events (oldest first) along with the
+    /// cumulative dropped count — the control-plane consumer side of
+    /// the trace ring.
+    pub fn trace_read(&mut self, max: usize) -> TraceSnapshot {
+        TraceSnapshot {
+            events: self.obs.ring.drain(max),
+            dropped: self.obs.ring.dropped(),
+        }
+    }
+
+    /// Resets the observability layer: counters, per-hook and
+    /// per-program histograms, and the trace ring (including its
+    /// dropped count). [`ProgStats`] and [`TableStats`] are not
+    /// touched — they belong to the programs, not the obs layer.
+    pub fn obs_reset(&mut self) {
+        self.obs.counters = crate::obs::MachineCounters::default();
+        self.obs.ring.reset();
+        for slot in self.hook_index.values_mut() {
+            slot.fires = 0;
+            slot.hist.reset();
+        }
+        for inst in self.programs.values_mut() {
+            inst.hist.reset();
+        }
+    }
+
+    /// Full observability snapshot (counters, per-hook and per-program
+    /// histograms, trace-ring occupancy), serializable via
+    /// [`crate::snapshot::to_json_string`] for offline analysis. Does
+    /// not drain the trace ring.
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        let mut hooks: Vec<HookStats> = self
+            .hook_index
+            .iter()
+            .map(|(name, s)| HookStats {
+                hook: name.clone(),
+                fires: s.fires,
+                hist: s.hist.clone(),
+            })
+            .collect();
+        hooks.sort_by(|a, b| a.hook.cmp(&b.hook));
+        let programs = self
+            .programs
+            .iter()
+            .map(|(&id, inst)| ProgHist {
+                prog: id,
+                hist: inst.hist.clone(),
+            })
+            .collect();
+        ObsSnapshot {
+            tick: self.tick,
+            counters: self.obs.counters,
+            hooks,
+            programs,
+            trace_dropped: self.obs.ring.dropped(),
+            trace_pending: self.obs.ring.len() as u64,
+        }
     }
 }
 
@@ -903,6 +1148,196 @@ mod tests {
         assert!(r.verdicts.iter().all(|(_, v)| *v == 42));
         assert_eq!(m.program_ids().len(), 2);
     }
+
+    #[test]
+    fn obs_counters_track_fires_hits_and_misses() {
+        let mut m = RmtMachine::new();
+        m.install(doubling_program(), ExecMode::Interp).unwrap();
+        m.fire("test_hook", &mut ctxt_with_pid(7)); // Hit.
+        m.fire("test_hook", &mut ctxt_with_pid(8)); // Miss -> default.
+        m.fire("nobody_home", &mut ctxt_with_pid(7)); // Unarmed.
+        let c = m.machine_counters();
+        assert_eq!(c.fires, 2);
+        assert_eq!(c.fires_unarmed, 1);
+        assert_eq!(c.table_hits, 1);
+        assert_eq!(c.table_misses, 1);
+        assert_eq!(c.aborts, 0);
+    }
+
+    #[test]
+    fn hook_stats_report_fires_and_latency() {
+        let mut m = RmtMachine::with_obs_config(crate::obs::ObsConfig {
+            sample_shift: 0, // Time every firing.
+            ..crate::obs::ObsConfig::default()
+        });
+        m.install(doubling_program(), ExecMode::Interp).unwrap();
+        for _ in 0..5 {
+            m.fire("test_hook", &mut ctxt_with_pid(7));
+        }
+        let hs = m.hook_stats("test_hook").unwrap();
+        assert_eq!(hs.fires, 5);
+        // With sample_shift 0, every fire is recorded.
+        assert_eq!(hs.hist.count(), 5);
+        assert!(hs.hist.sum() > 0, "monotonic clock should advance");
+        assert!(matches!(
+            m.hook_stats("unknown"),
+            Err(VmError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn timing_sampling_and_disable() {
+        let mut m = RmtMachine::new();
+        m.set_obs_config(crate::obs::ObsConfig {
+            sample_shift: 2, // 1 in 4 firings timed.
+            ..crate::obs::ObsConfig::default()
+        });
+        m.install(doubling_program(), ExecMode::Interp).unwrap();
+        for _ in 0..8 {
+            m.fire("test_hook", &mut ctxt_with_pid(7));
+        }
+        assert_eq!(m.hook_stats("test_hook").unwrap().hist.count(), 2);
+        m.set_obs_config(crate::obs::ObsConfig {
+            timing: false,
+            ..crate::obs::ObsConfig::default()
+        });
+        m.fire("test_hook", &mut ctxt_with_pid(7));
+        let hs = m.hook_stats("test_hook").unwrap();
+        assert_eq!(hs.fires, 9, "fires counted even with timing off");
+        assert_eq!(hs.hist.count(), 2, "no new samples with timing off");
+    }
+
+    /// Acceptance criterion: overflowing the trace ring must be counted
+    /// in `dropped`, never silently lost.
+    #[test]
+    fn trace_ring_overflow_counts_dropped() {
+        let mut m = RmtMachine::new();
+        m.set_obs_config(crate::obs::ObsConfig {
+            trace_fires: true,
+            trace_capacity: 4,
+            ..crate::obs::ObsConfig::default()
+        });
+        m.install(doubling_program(), ExecMode::Interp).unwrap();
+        // 1 Install event + 10 Fire events into a 4-slot ring.
+        for _ in 0..10 {
+            m.fire("test_hook", &mut ctxt_with_pid(7));
+        }
+        let snap = m.trace_read(usize::MAX);
+        assert_eq!(snap.events.len(), 4);
+        assert_eq!(snap.dropped, 7, "11 events - 4 kept = 7 dropped");
+        assert!(snap
+            .events
+            .iter()
+            .all(|e| e.kind == crate::obs::TraceKind::Fire));
+        assert_eq!(snap.events[3].info, 42, "Fire event carries verdict");
+        // Drained: a second read is empty but keeps the dropped count.
+        let again = m.trace_read(usize::MAX);
+        assert!(again.events.is_empty());
+        assert_eq!(again.dropped, 7);
+        m.obs_reset();
+        assert_eq!(m.trace_read(usize::MAX).dropped, 0);
+    }
+
+    /// Satellite 3: an over-long dynamic tail-call chain terminates the
+    /// pipeline instead of falling through to the rest of the queue,
+    /// and is counted as `tail_chain_overflows`, not a plain abort.
+    #[test]
+    fn tail_chain_overflow_terminates_pipeline() {
+        use crate::verifier::{verify_with, VerifierConfig};
+        // Tables t0..=t11; t_i's default action tail-calls t_{i+1},
+        // t11's exits. Static depth 12 needs a relaxed verifier bound;
+        // the dynamic MAX_TAIL_CHAIN (8) is what trips.
+        let mut b = ProgramBuilder::new("chain");
+        let pid = b.field_readonly("pid");
+        let mut actions = Vec::new();
+        for i in 0..12u16 {
+            let code = if i < 11 {
+                vec![
+                    Insn::LdImm {
+                        dst: Reg(0),
+                        imm: i as i64,
+                    },
+                    Insn::TailCall {
+                        table: TableId(i + 1),
+                    },
+                ]
+            } else {
+                vec![
+                    Insn::LdImm {
+                        dst: Reg(0),
+                        imm: 11,
+                    },
+                    Insn::Exit,
+                ]
+            };
+            actions.push(b.action(Action::new(&format!("a{i}"), code)));
+        }
+        for (i, &act) in actions.iter().enumerate() {
+            b.table(
+                &format!("t{i}"),
+                "chain_hook",
+                &[pid],
+                MatchKind::Exact,
+                Some(act),
+                4,
+            );
+        }
+        let vp = verify_with(
+            b.build(),
+            &VerifierConfig {
+                max_tail_depth: 16,
+                ..VerifierConfig::default()
+            },
+        )
+        .unwrap();
+        let mut m = RmtMachine::new();
+        let id = m.install(vp, ExecMode::Interp).unwrap();
+        let r = m.fire("chain_hook", &mut ctxt_with_pid(1));
+        // t0 runs, then 8 successful redirects (t1..=t8); t8's call to
+        // t9 is chain hop 9 > MAX_TAIL_CHAIN, terminating the pipeline.
+        assert_eq!(r.verdicts.len(), 9, "t0..=t8 only: {:?}", r.verdicts);
+        assert_eq!(r.verdicts.last().unwrap().1, 8);
+        let stats = m.stats(id).unwrap();
+        assert_eq!(stats.tail_calls, 8);
+        assert_eq!(stats.tail_chain_overflows, 1);
+        assert_eq!(stats.actions_aborted, 0, "overflow is not an abort");
+        let c = m.machine_counters();
+        assert_eq!(c.tail_calls, 8);
+        assert_eq!(c.tail_chain_overflows, 1);
+        let snap = m.trace_read(usize::MAX);
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| e.kind == crate::obs::TraceKind::TailChainOverflow));
+    }
+
+    #[test]
+    fn obs_reset_preserves_program_stats() {
+        let mut m = RmtMachine::new();
+        let id = m.install(doubling_program(), ExecMode::Interp).unwrap();
+        m.fire("test_hook", &mut ctxt_with_pid(7));
+        m.obs_reset();
+        assert_eq!(m.machine_counters().fires, 0);
+        assert_eq!(m.hook_stats("test_hook").unwrap().fires, 0);
+        let stats = m.stats(id).unwrap();
+        assert_eq!(stats.invocations, 1, "ProgStats survive an obs reset");
+    }
+
+    #[test]
+    fn obs_snapshot_aggregates_hooks_and_programs() {
+        let mut m = RmtMachine::new();
+        let id = m.install(doubling_program(), ExecMode::Interp).unwrap();
+        m.fire("test_hook", &mut ctxt_with_pid(7));
+        let snap = m.obs_snapshot();
+        assert_eq!(snap.counters.fires, 1);
+        assert_eq!(snap.hooks.len(), 1);
+        assert_eq!(snap.hooks[0].hook, "test_hook");
+        assert_eq!(snap.hooks[0].fires, 1);
+        assert_eq!(snap.programs.len(), 1);
+        assert_eq!(snap.programs[0].prog, id.0);
+        assert_eq!(snap.programs[0].hist.count(), 1);
+        assert_eq!(snap.trace_dropped, 0);
+    }
 }
 
 rkd_testkit::impl_json_newtype!(ProgId(u32));
@@ -917,5 +1352,6 @@ rkd_testkit::impl_json_struct!(ProgStats {
     effects_rate_limited,
     actions_aborted,
     tail_calls,
+    tail_chain_overflows,
     guard_trips
 });

@@ -65,13 +65,23 @@ pub enum MapInstance {
         data: Vec<i64>,
     },
     /// See [`MapKind::LruHash`].
+    ///
+    /// Recency is tracked with a monotonic touch counter and a lazy
+    /// eviction log: every touch stamps the entry with `clock` and
+    /// appends `(key, stamp)` to `order`; eviction pops the log front,
+    /// skipping entries whose stamp is stale (the key was re-touched or
+    /// deleted since). Touches are O(1); eviction is amortized O(1);
+    /// the log is compacted in place when it outgrows `2 * capacity`.
     LruHash {
         /// Declared capacity.
         capacity: usize,
-        /// Key/value storage.
-        data: HashMap<u64, i64>,
-        /// Recency order: front = least recently used.
-        order: VecDeque<u64>,
+        /// Key -> (value, last-touch stamp).
+        data: HashMap<u64, (i64, u64)>,
+        /// Touch log: front = stalest candidate. May contain stale
+        /// entries; `data`'s stamp is authoritative.
+        order: VecDeque<(u64, u64)>,
+        /// Monotonic touch counter.
+        clock: u64,
     },
     /// See [`MapKind::RingBuf`].
     RingBuf {
@@ -107,6 +117,7 @@ impl MapInstance {
                 capacity: def.capacity,
                 data: HashMap::new(),
                 order: VecDeque::new(),
+                clock: 0,
             },
             MapKind::RingBuf => MapInstance::RingBuf {
                 capacity: def.capacity,
@@ -120,22 +131,24 @@ impl MapInstance {
 
     /// Looks up `key`. For ring buffers, `key` indexes from the oldest
     /// element; for histograms it reads a bucket. Missing keys return
-    /// `None` (the bytecode helper maps this to 0 with a flag).
+    /// `None` (the bytecode helper maps this to 0 with a flag). LRU
+    /// lookups refresh the key's recency in O(1).
     pub fn lookup(&mut self, key: u64) -> Option<i64> {
         match self {
             MapInstance::Hash { data, .. } => data.get(&key).copied(),
             MapInstance::Array { data } => data.get(key as usize).copied(),
-            MapInstance::LruHash { data, order, .. } => {
-                let v = data.get(&key).copied();
-                if v.is_some() {
-                    // Refresh recency.
-                    if let Some(pos) = order.iter().position(|&k| k == key) {
-                        order.remove(pos);
-                    }
-                    order.push_back(key);
+            MapInstance::LruHash {
+                capacity,
+                data,
+                order,
+                clock,
+            } => match data.get_mut(&key) {
+                Some(&mut (v, _)) => {
+                    lru_touch(data, order, clock, *capacity, key);
+                    Some(v)
                 }
-                v
-            }
+                None => None,
+            },
             MapInstance::RingBuf { data, .. } => data.get(key as usize).copied(),
             MapInstance::Histogram { buckets } => buckets.get(key as usize).copied(),
         }
@@ -165,22 +178,27 @@ impl MapInstance {
                 capacity,
                 data,
                 order,
+                clock,
             } => {
-                if let std::collections::hash_map::Entry::Occupied(mut e) = data.entry(key) {
-                    e.insert(value);
-                    if let Some(pos) = order.iter().position(|&k| k == key) {
-                        order.remove(pos);
-                    }
-                    order.push_back(key);
+                if let Some(entry) = data.get_mut(&key) {
+                    entry.0 = value;
+                    lru_touch(data, order, clock, *capacity, key);
                     return Ok(());
                 }
                 if data.len() >= *capacity {
-                    if let Some(cold) = order.pop_front() {
-                        data.remove(&cold);
+                    // Pop log entries until one matches a live stamp;
+                    // every live key has its latest stamp in the log, so
+                    // this always terminates with an eviction.
+                    while let Some(&(cold, stamp)) = order.front() {
+                        order.pop_front();
+                        if data.get(&cold).is_some_and(|&(_, st)| st == stamp) {
+                            data.remove(&cold);
+                            break;
+                        }
                     }
                 }
-                data.insert(key, value);
-                order.push_back(key);
+                data.insert(key, (value, 0));
+                lru_touch(data, order, clock, *capacity, key);
                 Ok(())
             }
             MapInstance::RingBuf { capacity, data } => {
@@ -198,8 +216,14 @@ impl MapInstance {
         }
     }
 
-    /// Deletes `key`; returns whether something was removed. Array,
-    /// ring-buffer, and histogram deletion zero/pop instead.
+    /// Deletes by kind-specific semantics:
+    ///
+    /// - hash / LRU hash: removes `key`, returning whether it existed
+    ///   (stale LRU touch-log entries are skipped lazily on eviction);
+    /// - array / histogram: zeroes the slot/bucket at `key` (returns
+    ///   `false` if `key` is out of range);
+    /// - ring buffer: **pops the oldest element, ignoring `key`** — it
+    ///   is a FIFO consumer operation, not keyed removal.
     pub fn delete(&mut self, key: u64) -> bool {
         match self {
             MapInstance::Hash { data, .. } => data.remove(&key).is_some(),
@@ -210,15 +234,7 @@ impl MapInstance {
                 }
                 None => false,
             },
-            MapInstance::LruHash { data, order, .. } => {
-                let removed = data.remove(&key).is_some();
-                if removed {
-                    if let Some(pos) = order.iter().position(|&k| k == key) {
-                        order.remove(pos);
-                    }
-                }
-                removed
-            }
+            MapInstance::LruHash { data, .. } => data.remove(&key).is_some(),
             MapInstance::RingBuf { data, .. } => data.pop_front().is_some(),
             MapInstance::Histogram { buckets } => match buckets.get_mut(key as usize) {
                 Some(b) => {
@@ -230,13 +246,29 @@ impl MapInstance {
         }
     }
 
-    /// Number of live elements.
+    /// Number of elements, by kind: hash / LRU hash / ring buffer
+    /// report *live* entries; array / histogram report the *slot count*
+    /// (always equal to [`MapInstance::capacity`] — every slot exists
+    /// from creation, zero-valued). Use `capacity()` for the declared
+    /// bound regardless of kind.
     pub fn len(&self) -> usize {
         match self {
             MapInstance::Hash { data, .. } => data.len(),
             MapInstance::Array { data } => data.len(),
             MapInstance::LruHash { data, .. } => data.len(),
             MapInstance::RingBuf { data, .. } => data.len(),
+            MapInstance::Histogram { buckets } => buckets.len(),
+        }
+    }
+
+    /// Declared capacity: maximum live entries (hash / LRU / ring
+    /// buffer) or allocated slot count (array / histogram).
+    pub fn capacity(&self) -> usize {
+        match self {
+            MapInstance::Hash { capacity, .. } => *capacity,
+            MapInstance::Array { data } => data.len(),
+            MapInstance::LruHash { capacity, .. } => *capacity,
+            MapInstance::RingBuf { capacity, .. } => *capacity,
             MapInstance::Histogram { buckets } => buckets.len(),
         }
     }
@@ -259,7 +291,7 @@ impl MapInstance {
             MapInstance::Hash { data, .. } => data.values().fold(0i64, |a, &v| a.saturating_add(v)),
             MapInstance::Array { data } => data.iter().fold(0i64, |a, &v| a.saturating_add(v)),
             MapInstance::LruHash { data, .. } => {
-                data.values().fold(0i64, |a, &v| a.saturating_add(v))
+                data.values().fold(0i64, |a, &(v, _)| a.saturating_add(v))
             }
             MapInstance::RingBuf { data, .. } => {
                 data.iter().fold(0i64, |a, &v| a.saturating_add(v))
@@ -277,6 +309,25 @@ impl MapInstance {
             MapInstance::RingBuf { data, .. } => data.iter().copied().collect(),
             _ => Vec::new(),
         }
+    }
+}
+
+/// Stamps `key` with a fresh clock tick and appends it to the touch
+/// log, compacting the log in place when it outgrows `2 * capacity`.
+fn lru_touch(
+    data: &mut HashMap<u64, (i64, u64)>,
+    order: &mut VecDeque<(u64, u64)>,
+    clock: &mut u64,
+    capacity: usize,
+    key: u64,
+) {
+    *clock += 1;
+    if let Some(entry) = data.get_mut(&key) {
+        entry.1 = *clock;
+    }
+    order.push_back((key, *clock));
+    if order.len() > 2 * capacity {
+        order.retain(|&(k, s)| data.get(&k).is_some_and(|&(_, st)| st == s));
     }
 }
 
@@ -351,6 +402,92 @@ mod tests {
         assert_eq!(m.len(), 2);
         assert!(m.delete(3));
         assert_eq!(m.len(), 1);
+    }
+
+    /// Regression for the O(n) recency scan: at 10k capacity the old
+    /// `order.iter().position` implementation made every touch a linear
+    /// walk, turning this workload quadratic. With the lazy touch log
+    /// it completes instantly, and eviction order stays correct.
+    #[test]
+    fn lru_large_capacity_recency_regression() {
+        const CAP: u64 = 10_000;
+        let mut m = mk(MapKind::LruHash, CAP as usize);
+        for k in 0..CAP {
+            m.update(k, k as i64).unwrap();
+        }
+        // Touch the upper half (hot set), repeatedly, so the touch log
+        // churns well past capacity and exercises compaction.
+        for _ in 0..5 {
+            for k in CAP / 2..CAP {
+                assert_eq!(m.lookup(k), Some(k as i64));
+            }
+        }
+        // Insert a fresh 10k keys: the cold lower half must be evicted
+        // first, then the hot half in its (re-touched) order.
+        for k in CAP..2 * CAP {
+            m.update(k, k as i64).unwrap();
+        }
+        assert_eq!(m.len(), CAP as usize);
+        for k in 0..CAP {
+            assert_eq!(m.lookup(k), None, "cold key {k} should be evicted");
+        }
+        for k in CAP..2 * CAP {
+            assert_eq!(m.lookup(k), Some(k as i64), "fresh key {k} retained");
+        }
+    }
+
+    #[test]
+    fn lru_delete_leaves_stale_log_entries_harmless() {
+        let mut m = mk(MapKind::LruHash, 2);
+        m.update(1, 10).unwrap();
+        m.update(2, 20).unwrap();
+        assert!(m.delete(1));
+        assert!(!m.delete(1));
+        // Key 1's log entries are now stale; inserting two more keys
+        // must evict key 2 (the only remaining cold key), not panic or
+        // over-evict.
+        m.update(3, 30).unwrap();
+        m.update(4, 40).unwrap();
+        assert_eq!(m.lookup(2), None);
+        assert_eq!(m.lookup(3), Some(30));
+        assert_eq!(m.lookup(4), Some(40));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn capacity_reported_for_all_kinds() {
+        assert_eq!(mk(MapKind::Hash, 7).capacity(), 7);
+        assert_eq!(mk(MapKind::Array, 7).capacity(), 7);
+        assert_eq!(mk(MapKind::LruHash, 7).capacity(), 7);
+        assert_eq!(mk(MapKind::RingBuf, 7).capacity(), 7);
+        assert_eq!(mk(MapKind::Histogram, 7).capacity(), 7);
+    }
+
+    /// Pins the documented kind-specific `len` semantics: array and
+    /// histogram report slot count (== capacity) even when untouched,
+    /// the others report live entries.
+    #[test]
+    fn len_semantics_by_kind() {
+        assert_eq!(mk(MapKind::Array, 5).len(), 5);
+        assert_eq!(mk(MapKind::Histogram, 5).len(), 5);
+        assert_eq!(mk(MapKind::Hash, 5).len(), 0);
+        assert_eq!(mk(MapKind::LruHash, 5).len(), 0);
+        assert_eq!(mk(MapKind::RingBuf, 5).len(), 0);
+    }
+
+    /// Pins the documented FIFO-consumer semantics of ring-buffer
+    /// delete: the key is ignored and the oldest element pops.
+    #[test]
+    fn ringbuf_delete_pops_oldest_ignoring_key() {
+        let mut m = mk(MapKind::RingBuf, 3);
+        m.update(0, 10).unwrap();
+        m.update(0, 20).unwrap();
+        m.update(0, 30).unwrap();
+        assert!(m.delete(999)); // Arbitrary key: still pops 10.
+        assert_eq!(m.ring_snapshot(), vec![20, 30]);
+        assert!(m.delete(0));
+        assert!(m.delete(0));
+        assert!(!m.delete(0)); // Empty ring: nothing to pop.
     }
 
     #[test]

@@ -1,0 +1,632 @@
+//! Datapath observability: latency histograms, machine counters, and a
+//! bounded trace ring.
+//!
+//! §3.1 puts monitoring maps and a control-plane API at the center of
+//! the learned-datapath loop — the control plane "relies on past
+//! prediction accuracy to detect workload changes". That loop needs a
+//! measurement substrate before it can optimize anything, and the
+//! substrate itself must be cheap enough to leave on: everything here
+//! is integer-only, fixed-size, and allocation-free on the hot path.
+//!
+//! Three primitives, all always-compiled (runtime-configurable, never
+//! feature-gated):
+//!
+//! - [`Log2Hist`] — power-of-two bucketed latency histograms (the
+//!   kernel's classic `bcc`/`bpftrace` `hist()` shape), fed with
+//!   per-hook and per-program `fire()` latencies by
+//!   [`crate::machine::RmtMachine`].
+//! - [`MachineCounters`] — machine-wide event counters (fires, table
+//!   hits/misses, aborts, guard trips, rate-limit drops, tail calls
+//!   and tail-chain overflows) complementing the per-program
+//!   [`crate::machine::ProgStats`].
+//! - [`TraceRing`] — a bounded ring of [`TraceEvent`]s with an
+//!   explicit `dropped` counter: when the ring is full the oldest
+//!   event is overwritten *and counted* — events are never lost
+//!   silently.
+//!
+//! Snapshots ([`ObsSnapshot`]) serialize through the hermetic
+//! `rkd-testkit` JSON codec for offline analysis; the control plane
+//! exposes them via `CtrlRequest::{HookStats, TraceRead, ObsReset}`.
+
+use std::collections::VecDeque;
+
+/// Number of log2 buckets in a [`Log2Hist`] (covers the full `u64`
+/// range: bucket 0 holds the value 0, bucket `i` holds
+/// `[2^(i-1), 2^i)`, and the last bucket absorbs everything above).
+pub const LOG2_BUCKETS: usize = 64;
+
+/// A log2-bucketed histogram of `u64` samples (latencies in
+/// nanoseconds, sizes, counts — any non-negative integer measure).
+///
+/// Recording is branch-light integer arithmetic: one `leading_zeros`,
+/// one array increment, and four counter updates. No allocation ever.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Log2Hist {
+    /// Bucket counters; see [`LOG2_BUCKETS`] for the bucket layout.
+    counts: [u64; LOG2_BUCKETS],
+    /// Total number of recorded samples.
+    count: u64,
+    /// Saturating sum of all recorded samples.
+    sum: u64,
+    /// Smallest recorded sample (`u64::MAX` when empty).
+    min: u64,
+    /// Largest recorded sample (0 when empty).
+    max: u64,
+}
+
+impl Default for Log2Hist {
+    fn default() -> Log2Hist {
+        Log2Hist::new()
+    }
+}
+
+impl Log2Hist {
+    /// Creates an empty histogram.
+    pub const fn new() -> Log2Hist {
+        Log2Hist {
+            counts: [0; LOG2_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index a value lands in.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        ((64 - value.leading_zeros()) as usize).min(LOG2_BUCKETS - 1)
+    }
+
+    /// Inclusive lower bound of a bucket.
+    pub fn bucket_floor(index: usize) -> u64 {
+        match index {
+            0 => 0,
+            i => 1u64 << (i - 1),
+        }
+    }
+
+    /// Inclusive upper bound of a bucket.
+    pub fn bucket_ceil(index: usize) -> u64 {
+        if index + 1 >= LOG2_BUCKETS {
+            u64::MAX
+        } else {
+            (1u64 << index) - 1
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Integer mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The raw bucket counters.
+    pub fn buckets(&self) -> &[u64; LOG2_BUCKETS] {
+        &self.counts
+    }
+
+    /// Approximate percentile (`p` in 0..=100): the inclusive upper
+    /// bound of the bucket where the cumulative count first reaches
+    /// `p%` of the samples, clamped into `[min, max]`. Returns 0 for an
+    /// empty histogram.
+    pub fn percentile(&self, p: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // ceil(count * p / 100), computed in u128 to dodge overflow.
+        let rank = ((self.count as u128 * p.min(100) as u128).div_ceil(100)).max(1) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_ceil(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Hist) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Clears all samples.
+    pub fn reset(&mut self) {
+        *self = Log2Hist::new();
+    }
+}
+
+/// Machine-wide datapath counters, updated on every
+/// [`crate::machine::RmtMachine::fire`]. All are cumulative since the
+/// last [`crate::machine::RmtMachine::obs_reset`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MachineCounters {
+    /// Hook firings that reached at least one installed program.
+    pub fires: u64,
+    /// Hook firings on hooks with no listeners (context assembly the
+    /// embedding kernel could have skipped — see
+    /// [`crate::machine::RmtMachine::hook_armed`]).
+    pub fires_unarmed: u64,
+    /// Table lookups that matched an entry.
+    pub table_hits: u64,
+    /// Table lookups that missed (default action or skip).
+    pub table_misses: u64,
+    /// Actions absorbed after a fault or privacy exhaustion.
+    pub aborts: u64,
+    /// Model-guard rails tripped.
+    pub guard_trips: u64,
+    /// Resource effects dropped by program rate limiters.
+    pub rate_limit_drops: u64,
+    /// Tail calls followed.
+    pub tail_calls: u64,
+    /// Pipelines terminated because the dynamic tail-call chain
+    /// exceeded [`crate::machine::MAX_TAIL_CHAIN`].
+    pub tail_chain_overflows: u64,
+}
+
+/// What happened, for one [`TraceEvent`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A program finished its pipeline for one hook firing
+    /// (`info` = last verdict, `i64::MIN` if no action ran). Only
+    /// recorded when [`ObsConfig::trace_fires`] is on — per-fire
+    /// tracing floods the ring on hot paths.
+    Fire,
+    /// An action faulted and was absorbed (`info` = table index).
+    Abort,
+    /// A tail call redirected the pipeline (`info` = target table).
+    TailCall,
+    /// The tail-call chain overflowed and the pipeline was terminated
+    /// (`info` = table index that overflowed).
+    TailChainOverflow,
+    /// A resource effect was dropped by the rate limiter
+    /// (`info` = table index).
+    RateLimitDrop,
+    /// One or more model guards tripped during an action
+    /// (`info` = trip count).
+    GuardTrip,
+    /// A model was hot-swapped (`info` = model slot).
+    ModelSwap,
+    /// A program was installed (`info` = program id).
+    Install,
+    /// A program was removed (`info` = program id).
+    Remove,
+}
+
+/// One datapath event in the [`TraceRing`]. Fixed-size and
+/// integer-only so pushes never allocate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Machine tick when the event occurred.
+    pub tick: u64,
+    /// Program the event belongs to (0 for machine-level events).
+    pub prog: u32,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// Kind-specific payload (see [`TraceKind`]).
+    pub info: i64,
+}
+
+/// A bounded FIFO of [`TraceEvent`]s. When full, pushing overwrites
+/// the oldest event and increments [`TraceRing::dropped`] — loss is
+/// explicit, never silent.
+#[derive(Clone, Debug)]
+pub struct TraceRing {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// Creates a ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> TraceRing {
+        let capacity = capacity.max(1);
+        TraceRing {
+            capacity,
+            events: VecDeque::with_capacity(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting (and counting) the oldest if full.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Removes and returns up to `max` events, oldest first.
+    pub fn drain(&mut self, max: usize) -> Vec<TraceEvent> {
+        let n = max.min(self.events.len());
+        self.events.drain(..n).collect()
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Cumulative events overwritten before being read.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Clears buffered events and the dropped counter.
+    pub fn reset(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+
+    /// Changes the capacity, evicting (and counting) oldest events if
+    /// the new capacity is smaller than the current backlog.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        while self.events.len() > self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+    }
+}
+
+/// Runtime configuration of the observability layer. The layer is
+/// always compiled in; these knobs trade detail for overhead at run
+/// time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Measure `fire()` latency into the per-hook/per-program
+    /// histograms. Off leaves only the integer counters.
+    pub timing: bool,
+    /// Sample 1 in `2^sample_shift` firings for latency timing
+    /// (0 = every firing). Sampling bounds clock-read overhead on very
+    /// hot hooks; histograms remain statistically faithful. The default
+    /// of 3 (1 in 8) keeps measured `fire()` overhead around 1% on
+    /// microsecond-scale actions, where per-firing timing costs ~10%
+    /// (two clock reads); drop to 0 for exact per-fire latency.
+    pub sample_shift: u32,
+    /// Trace every program pipeline completion ([`TraceKind::Fire`]).
+    /// Off (default) traces only notable events — aborts, overflows,
+    /// drops, guard trips, control-plane changes.
+    pub trace_fires: bool,
+    /// Trace ring capacity (events).
+    pub trace_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> ObsConfig {
+        ObsConfig {
+            timing: true,
+            sample_shift: 3,
+            trace_fires: false,
+            trace_capacity: 1024,
+        }
+    }
+}
+
+/// Machine-level observability state (owned by
+/// [`crate::machine::RmtMachine`]; per-hook and per-program histograms
+/// live next to their subjects to keep the hot path lookup-free).
+#[derive(Clone, Debug)]
+pub struct Obs {
+    /// Active configuration.
+    pub(crate) cfg: ObsConfig,
+    /// Machine-wide counters.
+    pub(crate) counters: MachineCounters,
+    /// Datapath event ring.
+    pub(crate) ring: TraceRing,
+}
+
+impl Obs {
+    /// Creates the layer with the given configuration.
+    pub fn new(cfg: ObsConfig) -> Obs {
+        Obs {
+            cfg,
+            counters: MachineCounters::default(),
+            ring: TraceRing::new(cfg.trace_capacity),
+        }
+    }
+}
+
+/// Per-hook statistics snapshot (control-plane `HookStats` payload).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HookStats {
+    /// Hook name.
+    pub hook: String,
+    /// Firings of this hook since the last reset (armed only).
+    pub fires: u64,
+    /// Whole-fire latency histogram (nanoseconds).
+    pub hist: Log2Hist,
+}
+
+/// Per-program latency snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgHist {
+    /// Program id.
+    pub prog: u32,
+    /// Per-pipeline-run latency histogram (nanoseconds).
+    pub hist: Log2Hist,
+}
+
+/// Drained slice of the trace ring (control-plane `TraceRead` payload).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceSnapshot {
+    /// Drained events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Cumulative dropped count at read time (not reset by reads).
+    pub dropped: u64,
+}
+
+/// Full observability snapshot, serializable for offline analysis via
+/// [`crate::snapshot::to_json_string`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObsSnapshot {
+    /// Machine tick at snapshot time.
+    pub tick: u64,
+    /// Machine-wide counters.
+    pub counters: MachineCounters,
+    /// Per-hook stats, sorted by hook name.
+    pub hooks: Vec<HookStats>,
+    /// Per-program latency histograms, sorted by program id.
+    pub programs: Vec<ProgHist>,
+    /// Trace events dropped so far.
+    pub trace_dropped: u64,
+    /// Trace events currently buffered (unread).
+    pub trace_pending: u64,
+}
+
+rkd_testkit::impl_json_struct!(Log2Hist {
+    counts,
+    count,
+    sum,
+    min,
+    max
+});
+
+rkd_testkit::impl_json_struct!(MachineCounters {
+    fires,
+    fires_unarmed,
+    table_hits,
+    table_misses,
+    aborts,
+    guard_trips,
+    rate_limit_drops,
+    tail_calls,
+    tail_chain_overflows
+});
+
+rkd_testkit::impl_json_unit_enum!(TraceKind {
+    Fire,
+    Abort,
+    TailCall,
+    TailChainOverflow,
+    RateLimitDrop,
+    GuardTrip,
+    ModelSwap,
+    Install,
+    Remove,
+});
+
+rkd_testkit::impl_json_struct!(TraceEvent {
+    tick,
+    prog,
+    kind,
+    info
+});
+
+rkd_testkit::impl_json_struct!(HookStats { hook, fires, hist });
+
+rkd_testkit::impl_json_struct!(ProgHist { prog, hist });
+
+rkd_testkit::impl_json_struct!(TraceSnapshot { events, dropped });
+
+rkd_testkit::impl_json_struct!(ObsSnapshot {
+    tick,
+    counters,
+    hooks,
+    programs,
+    trace_dropped,
+    trace_pending
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_covers_u64() {
+        assert_eq!(Log2Hist::bucket_of(0), 0);
+        assert_eq!(Log2Hist::bucket_of(1), 1);
+        assert_eq!(Log2Hist::bucket_of(2), 2);
+        assert_eq!(Log2Hist::bucket_of(3), 2);
+        assert_eq!(Log2Hist::bucket_of(4), 3);
+        assert_eq!(Log2Hist::bucket_of(u64::MAX), LOG2_BUCKETS - 1);
+        for i in 0..LOG2_BUCKETS {
+            assert!(Log2Hist::bucket_floor(i) <= Log2Hist::bucket_ceil(i));
+            // Every bucket's bounds map back to a bucket no later than i
+            // (the last bucket absorbs the truncated top).
+            assert!(Log2Hist::bucket_of(Log2Hist::bucket_floor(i)) <= i);
+        }
+    }
+
+    #[test]
+    fn record_tracks_count_sum_min_max() {
+        let mut h = Log2Hist::new();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0);
+        for v in [3u64, 100, 7, 0, 250] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 360);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(250));
+        assert_eq!(h.mean(), 72);
+        assert_eq!(h.buckets().iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn percentile_is_monotone_and_bounded() {
+        let mut h = Log2Hist::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(50);
+        let p99 = h.percentile(99);
+        assert!(p50 <= p99);
+        assert!(p99 <= h.max().unwrap());
+        assert!(p50 >= h.min().unwrap());
+        // p50 of uniform 1..=1000 lands in the bucket holding 500.
+        assert!((256..=1023).contains(&p50), "p50 = {p50}");
+        assert_eq!(Log2Hist::new().percentile(50), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Log2Hist::new();
+        let mut b = Log2Hist::new();
+        a.record(5);
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(5));
+        assert_eq!(a.max(), Some(500));
+        a.reset();
+        assert_eq!(a.count(), 0);
+    }
+
+    fn ev(info: i64) -> TraceEvent {
+        TraceEvent {
+            tick: 1,
+            prog: 1,
+            kind: TraceKind::Abort,
+            info,
+        }
+    }
+
+    #[test]
+    fn trace_ring_counts_every_drop() {
+        let mut r = TraceRing::new(3);
+        assert!(r.is_empty());
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2, "the two evicted events are counted");
+        let drained = r.drain(2);
+        assert_eq!(drained.iter().map(|e| e.info).collect::<Vec<_>>(), [2, 3]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 2, "draining is not dropping");
+        r.reset();
+        assert_eq!((r.len(), r.dropped()), (0, 0));
+    }
+
+    #[test]
+    fn trace_ring_shrink_counts_evictions() {
+        let mut r = TraceRing::new(4);
+        for i in 0..4 {
+            r.push(ev(i));
+        }
+        r.set_capacity(2);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.capacity(), 2);
+        // Zero capacity clamps to 1.
+        let z = TraceRing::new(0);
+        assert_eq!(z.capacity(), 1);
+    }
+
+    #[test]
+    fn snapshots_round_trip_json() {
+        let mut hist = Log2Hist::new();
+        hist.record(42);
+        hist.record(7_000);
+        let snap = ObsSnapshot {
+            tick: 9,
+            counters: MachineCounters {
+                fires: 2,
+                table_hits: 1,
+                table_misses: 1,
+                ..MachineCounters::default()
+            },
+            hooks: vec![HookStats {
+                hook: "h".into(),
+                fires: 2,
+                hist: hist.clone(),
+            }],
+            programs: vec![ProgHist { prog: 1, hist }],
+            trace_dropped: 3,
+            trace_pending: 0,
+        };
+        let json = rkd_testkit::json::to_string(&snap);
+        let back: ObsSnapshot = rkd_testkit::json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+
+        let trace = TraceSnapshot {
+            events: vec![
+                ev(3),
+                TraceEvent {
+                    tick: 2,
+                    prog: 7,
+                    kind: TraceKind::TailChainOverflow,
+                    info: -1,
+                },
+            ],
+            dropped: 1,
+        };
+        let json = rkd_testkit::json::to_string(&trace);
+        let back: TraceSnapshot = rkd_testkit::json::from_str(&json).unwrap();
+        assert_eq!(back, trace);
+    }
+}

@@ -94,4 +94,38 @@ mod tests {
             assert_eq!(back, resp, "via {json}");
         }
     }
+
+    #[test]
+    fn obs_snapshot_round_trips() {
+        use crate::ctxt::Ctxt;
+        use crate::machine::{ExecMode, RmtMachine};
+        let mut b = ProgramBuilder::new("obs");
+        let pid = b.field_readonly("pid");
+        let act = b.action(Action::new(
+            "ret1",
+            vec![
+                Insn::LdImm {
+                    dst: Reg(0),
+                    imm: 1,
+                },
+                Insn::Exit,
+            ],
+        ));
+        b.table("t", "obs_hook", &[pid], MatchKind::Exact, Some(act), 16);
+        let vp = crate::verifier::verify(b.build()).unwrap();
+        let mut m = RmtMachine::with_obs_config(crate::obs::ObsConfig {
+            sample_shift: 0, // Time every firing.
+            ..crate::obs::ObsConfig::default()
+        });
+        m.install(vp, ExecMode::Interp).unwrap();
+        for _ in 0..3 {
+            m.fire("obs_hook", &mut Ctxt::from_values(vec![1]));
+        }
+        let snap = m.obs_snapshot();
+        let json = to_json_string(&snap);
+        let back: crate::obs::ObsSnapshot = from_json_str(&json).unwrap();
+        assert_eq!(back, snap, "via {json}");
+        assert_eq!(back.counters.fires, 3);
+        assert_eq!(back.hooks[0].hist.count(), 3);
+    }
 }

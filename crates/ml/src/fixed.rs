@@ -98,14 +98,20 @@ impl Fix {
         self.0 >> FRAC_BITS
     }
 
-    /// Rounds to the nearest integer (ties away from zero).
+    /// Rounds to the nearest integer (ties away from zero). Symmetric:
+    /// `round_int(-x) == -round_int(x)` for every representable pair.
+    /// Both signs are computed in `i64` so the half-bias can never
+    /// saturate — a previous `i32` positive path silently clamped near
+    /// `Fix::MAX`, rounding `≈32767.99998` to `32767` while its mirror
+    /// rounded to `-32768`.
     #[inline]
     pub fn round_int(self) -> i32 {
-        let half = 1 << (FRAC_BITS - 1);
-        if self.0 >= 0 {
-            (self.0.saturating_add(half)) >> FRAC_BITS
+        let half = 1i64 << (FRAC_BITS - 1);
+        let v = self.0 as i64;
+        if v >= 0 {
+            ((v + half) >> FRAC_BITS) as i32
         } else {
-            -((-(self.0 as i64) + half as i64) >> FRAC_BITS) as i32
+            (-((-v + half) >> FRAC_BITS)) as i32
         }
     }
 
@@ -470,6 +476,20 @@ mod tests {
         assert_eq!(Fix::from_f64(2.49).round_int(), 2);
         assert_eq!(Fix::from_f64(2.99).floor_int(), 2);
         assert_eq!(Fix::from_f64(-0.01).floor_int(), -1);
+    }
+
+    /// Regression: the old `i32` positive path saturated when adding
+    /// the half-bias near `Fix::MAX`, so `round_int(≈32767.99998)` gave
+    /// `32767` while the negative mirror gave `-32768`.
+    #[test]
+    fn round_int_symmetric_at_saturation_edge() {
+        let max = Fix::from_raw(i32::MAX); // ≈ 32767.99998.
+        let neg = Fix::from_raw(-i32::MAX);
+        assert_eq!(max.round_int(), 32768);
+        assert_eq!(neg.round_int(), -32768);
+        assert_eq!(max.round_int(), -neg.round_int());
+        // MIN is exactly -32768.0 (no mirror in i32).
+        assert_eq!(Fix::MIN.round_int(), -32768);
     }
 
     #[test]

@@ -348,6 +348,12 @@ impl MlPrefetcher {
         self.machine.stats(self.prog).expect("program installed")
     }
 
+    /// Observability snapshot of the embedded datapath (hook latency
+    /// histograms, machine counters).
+    pub fn obs_snapshot(&self) -> rkd_core::obs::ObsSnapshot {
+        self.machine.obs_snapshot()
+    }
+
     /// Control-plane mirror: record the delta stream and retrain when a
     /// window completes.
     fn observe(&mut self, page: u64) {

@@ -144,6 +144,23 @@ pub fn run_case_study(
     let lean_policy = MlPolicy::new(lean_model, keep.clone(), cfg.mode);
     let mut lean_shadow = ShadowPolicy::new(lean_policy, CfsPolicy::default());
     let lean = run(workload, &mut lean_shadow, &cfg.sim);
+    // Datapath self-observation: what the embedded machines measured
+    // about their own hook latency during the runs. Stderr keeps the
+    // Table 2 stdout machine-readable.
+    for (tag, policy) in [("full", &full_shadow.acting), ("lean", &lean_shadow.acting)] {
+        let snap = policy.obs_snapshot();
+        if let Some(h) = snap.hooks.first() {
+            eprintln!(
+                "# obs {}/{}: {} fires, hook latency p50 {} ns p99 {} ns, aborts {}",
+                workload.name,
+                tag,
+                h.fires,
+                h.hist.percentile(50),
+                h.hist.percentile(99),
+                snap.counters.aborts,
+            );
+        }
+    }
     Ok(Table2Row {
         benchmark: workload.name.clone(),
         full_acc_pct: full_shadow.agreement_pct(),

@@ -226,6 +226,12 @@ impl MlPolicy {
     pub fn aborted_fallbacks(&self) -> u64 {
         self.aborted_fallbacks
     }
+
+    /// Observability snapshot of the embedded datapath (hook latency
+    /// histograms, machine counters).
+    pub fn obs_snapshot(&self) -> rkd_core::obs::ObsSnapshot {
+        self.machine.obs_snapshot()
+    }
 }
 
 impl MigrationPolicy for MlPolicy {

@@ -579,6 +579,22 @@ impl<T: ToJson> ToJson for Vec<T> {
     }
 }
 
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson, const N: usize> FromJson for [T; N] {
+    fn from_json(json: &Json) -> Result<[T; N], JsonError> {
+        let items: Vec<T> = Vec::from_json(json)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| JsonError::new(format!("expected array of length {N}, got {got}")))
+    }
+}
+
 impl<T: FromJson> FromJson for Vec<T> {
     fn from_json(json: &Json) -> Result<Vec<T>, JsonError> {
         match json {
@@ -911,6 +927,14 @@ mod tests {
         roundtrip(Some(7i64));
         roundtrip((3u32, String::from("x")));
         roundtrip(vec![(1u16, -1i64), (2, -2)]);
+        roundtrip([0u64; 64]);
+        roundtrip([1i64, -2, 3]);
+    }
+
+    #[test]
+    fn fixed_array_length_mismatch_rejected() {
+        let err = from_str::<[u64; 4]>("[1,2,3]").unwrap_err();
+        assert!(format!("{err}").contains("length 4"));
     }
 
     #[test]

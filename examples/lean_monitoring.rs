@@ -6,10 +6,24 @@
 //! using only those features keeps its accuracy — the kernel could
 //! switch the other monitors off.
 //!
+//! Both trees are then installed as RMT datapath programs and the
+//! decision log is replayed through `fire()`, so the machine's own
+//! observability layer (per-hook latency histograms, counters,
+//! serializable snapshot) quantifies the lean datapath's cost
+//! advantage end to end.
+//!
 //! ```sh
 //! cargo run --release --example lean_monitoring
 //! ```
 
+use rkd::core::bytecode::{Action, Insn, VReg};
+use rkd::core::ctxt::Ctxt;
+use rkd::core::machine::{ExecMode, RmtMachine};
+use rkd::core::obs::ObsConfig;
+use rkd::core::prog::{ModelSpec, ProgramBuilder};
+use rkd::core::table::MatchKind;
+use rkd::core::verifier::verify;
+use rkd::ml::cost::LatencyClass;
 use rkd::ml::dataset::{Dataset, Sample};
 use rkd::ml::distill::{distill_to_tree, DistillConfig};
 use rkd::ml::fixed::Fix;
@@ -21,6 +35,40 @@ use rkd::sim::sched::sim::{run, SchedSimConfig};
 use rkd::workloads::sched::streamcluster;
 use rkd_testkit::rng::SeedableRng;
 use rkd_testkit::rng::StdRng;
+
+/// Builds a one-table RMT program that runs `tree` over the first
+/// `arity` context fields at `hook`.
+fn tree_program(name: &str, hook: &str, tree: DecisionTree, arity: usize) -> ProgramBuilder {
+    let mut b = ProgramBuilder::new(name);
+    let fields: Vec<_> = (0..arity)
+        .map(|i| b.field_readonly(&format!("f{i}")))
+        .collect();
+    let slot = b.model("tree", ModelSpec::Tree(tree), LatencyClass::Scheduler);
+    let act = b.action(Action::new(
+        "classify",
+        vec![
+            Insn::VectorLdCtxt {
+                dst: VReg(0),
+                base: fields[0],
+                len: arity as u16,
+            },
+            Insn::CallMl {
+                model: slot,
+                src: VReg(0),
+            },
+            Insn::Exit,
+        ],
+    ));
+    b.table(
+        "classify_tab",
+        hook,
+        &[fields[0]],
+        MatchKind::Exact,
+        Some(act),
+        8,
+    );
+    b
+}
 
 fn main() {
     // Collect a CFS decision log.
@@ -99,4 +147,69 @@ fn main() {
         15 - keep.len()
     );
     assert!(lean_acc > 85.0);
+
+    // Install both trees as RMT datapath programs and replay the log
+    // through fire(), letting the observability layer measure what the
+    // lean datapath actually saves.
+    let mut vm = RmtMachine::with_obs_config(ObsConfig {
+        sample_shift: 0, // Time every firing for exact histograms.
+        ..ObsConfig::default()
+    });
+    let full_prog = tree_program("monitor_full.rmt", "sched_monitor_full", d.student, 15);
+    let lean_prog = tree_program(
+        "monitor_lean.rmt",
+        "sched_monitor_lean",
+        lean_tree,
+        keep.len(),
+    );
+    vm.install(verify(full_prog.build()).unwrap(), ExecMode::Interp)
+        .unwrap();
+    vm.install(verify(lean_prog.build()).unwrap(), ExecMode::Interp)
+        .unwrap();
+    let replay: Vec<Vec<i64>> = rec
+        .log
+        .iter()
+        .take(2_000)
+        .map(|(f, _)| f.to_vec())
+        .collect();
+    let mut agree = 0u64;
+    for row in &replay {
+        let mut full_ctxt = Ctxt::from_values(row.clone());
+        let fv = vm.fire("sched_monitor_full", &mut full_ctxt).verdict();
+        let mut lean_ctxt = Ctxt::from_values(keep.iter().map(|&i| row[i]).collect());
+        let lv = vm.fire("sched_monitor_lean", &mut lean_ctxt).verdict();
+        if fv == lv {
+            agree += 1;
+        }
+    }
+    let counters = vm.machine_counters();
+    assert_eq!(counters.aborts, 0, "datapath replay must not abort");
+    println!("\ndatapath replay ({} decisions per hook):", replay.len());
+    for hook in ["sched_monitor_full", "sched_monitor_lean"] {
+        let hs = vm.hook_stats(hook).unwrap();
+        println!(
+            "  {:<20} {} fires, latency p50 {} ns  p99 {} ns",
+            hook,
+            hs.fires,
+            hs.hist.percentile(50),
+            hs.hist.percentile(99),
+        );
+    }
+    println!(
+        "  full/lean verdict agreement: {:.1}%",
+        agree as f64 / replay.len() as f64 * 100.0
+    );
+    // Mean is exact (sum/count), unlike the log2-bucketed percentiles.
+    let full_mean = vm.hook_stats("sched_monitor_full").unwrap().hist.mean();
+    let lean_mean = vm.hook_stats("sched_monitor_lean").unwrap().hist.mean();
+    println!(
+        "  lean datapath mean cost: {:.0}% of full (15-feature) path ({lean_mean} vs {full_mean} ns)",
+        lean_mean as f64 / (full_mean.max(1)) as f64 * 100.0,
+    );
+    let snapshot_json = rkd::core::snapshot::to_json_string(&vm.obs_snapshot());
+    println!(
+        "  obs snapshot serializes to {} bytes of JSON (counters + {} hook histograms)",
+        snapshot_json.len(),
+        vm.obs_snapshot().hooks.len()
+    );
 }

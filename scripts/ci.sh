@@ -23,6 +23,17 @@ cargo fmt --check
 echo "==> cargo clippy --offline --workspace --all-targets -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> bench_obs smoke (observability overhead gate)"
+RKD_BENCH_WARMUP_MS=5 RKD_BENCH_MEASURE_MS=20 RKD_BENCH_SAMPLES=5 \
+    cargo bench --offline -q -p rkd-bench --bench bench_obs | tee /tmp/rkd_bench_obs.out
+if ! grep -q 'paired_default_vs_off.*PASS' /tmp/rkd_bench_obs.out; then
+    echo "ERROR: observability overhead gate failed (default config > 5% on fire())" >&2
+    exit 1
+fi
+
+echo "==> example: lean_monitoring (end-to-end datapath observability)"
+cargo run -q --release --offline --example lean_monitoring >/dev/null
+
 echo "==> dependency closure must be workspace-only"
 external=$(cargo tree --offline --workspace --edges normal,build,dev \
     | grep -oE '[a-z0-9_-]+ v[0-9][0-9.]*' | sort -u | grep -v '^rkd' || true)

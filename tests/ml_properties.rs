@@ -63,6 +63,25 @@ prop_check!(fix_monotone_ops, cases = 512, |g| {
     assert!(s >= Fix::ZERO && s <= Fix::ONE);
 });
 
+prop_check!(
+    fix_round_int_matches_f64_and_is_symmetric,
+    cases = 2048,
+    |g| {
+        // Full raw range: every Q16.16 value is exact in f64, and
+        // `f64::round` ties away from zero — the documented contract.
+        let raw = g.gen::<i32>();
+        let x = Fix::from_raw(raw);
+        assert_eq!(x.round_int(), x.to_f64().round() as i32, "raw {raw}");
+        if raw != i32::MIN {
+            // Symmetry over every representable mirror pair. The old
+            // implementation broke this near Fix::MAX, where the i32
+            // half-bias addition saturated.
+            let neg = Fix::from_raw(-raw);
+            assert_eq!(neg.round_int(), -x.round_int(), "mirror of raw {raw}");
+        }
+    }
+);
+
 prop_check!(matvec_is_linear, cases = 512, |g| {
     let rows = g.gen_range(1usize..5);
     let cols = g.gen_range(1usize..5);
@@ -185,6 +204,61 @@ prop_check!(hash_map_matches_model, cases = 512, |g| {
     }
     assert_eq!(real.len(), model.len());
     assert_eq!(real.aggregate_sum(), model.values().sum::<i64>());
+});
+
+prop_check!(lru_map_matches_model, cases = 512, |g| {
+    // Reference: a naive recency list. The real map uses a lazy
+    // eviction log; observable behavior must be identical.
+    let cap = g.gen_range(1usize..6);
+    let ops = g.vec_of(0, 79, |g| {
+        (
+            g.gen_range(0u8..3),
+            g.gen_range(0u64..8),
+            g.gen_range(-100i64..100),
+        )
+    });
+    let mut real = MapInstance::new(&MapDef {
+        name: "l".into(),
+        kind: MapKind::LruHash,
+        capacity: cap,
+        shared: false,
+    })
+    .unwrap();
+    let mut model: Vec<(u64, i64)> = Vec::new(); // Back = hottest.
+    for (op, key, value) in ops {
+        match op {
+            0 => {
+                real.update(key, value).unwrap();
+                if let Some(pos) = model.iter().position(|&(k, _)| k == key) {
+                    model.remove(pos);
+                } else if model.len() >= cap {
+                    model.remove(0);
+                }
+                model.push((key, value));
+            }
+            1 => {
+                let expect = model.iter().position(|&(k, _)| k == key).map(|pos| {
+                    let e = model.remove(pos);
+                    model.push(e);
+                    e.1
+                });
+                assert_eq!(real.lookup(key), expect);
+            }
+            _ => {
+                let removed = real.delete(key);
+                let pos = model.iter().position(|&(k, _)| k == key);
+                if let Some(pos) = pos {
+                    model.remove(pos);
+                }
+                assert_eq!(removed, pos.is_some());
+            }
+        }
+        assert_eq!(real.len(), model.len());
+    }
+    assert_eq!(
+        real.aggregate_sum(),
+        model.iter().map(|&(_, v)| v).sum::<i64>()
+    );
 });
 
 prop_check!(ring_buffer_matches_model, cases = 512, |g| {
