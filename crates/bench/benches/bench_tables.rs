@@ -1,0 +1,284 @@
+//! Microbenchmark: match-table lookup scaling and the decision cache.
+//!
+//! The indexed lookup engine exists to break the O(n) scaling of the
+//! original linear scan, so this bench measures both paths — `lookup`
+//! (indexed) against `lookup_linear_ref` (the retained oracle) — at
+//! 16 / 256 / 4096 entries for every `MatchKind`, and self-judges the
+//! ≥5× speedup gate at 4096 entries for LPM and Ternary (the two kinds
+//! whose linear scans are most expensive per entry).
+//!
+//! A second group prices the megaflow-style decision cache at the
+//! `fire()` level: the same stable flow with the cache enabled
+//! (default) and disabled (`set_decision_cache_capacity(0)`).
+//!
+//! Set `RKD_BENCH_TABLES_JSON=<path>` to also emit the medians as a
+//! JSON document (consumed by `scripts/ci.sh`).
+
+use rkd_bench::harness::{BatchSize, Harness};
+use rkd_core::bytecode::{Action, Insn, Reg};
+use rkd_core::ctxt::{Ctxt, FieldId};
+use rkd_core::machine::{ExecMode, RmtMachine};
+use rkd_core::table::{ActionId, Entry, MatchKey, MatchKind, Table, TableDef};
+use rkd_core::verifier::verify;
+use rkd_testkit::json::Json;
+
+const SIZES: [usize; 3] = [16, 256, 4096];
+const GATE_SPEEDUP: f64 = 5.0;
+
+fn def(kind: MatchKind) -> TableDef {
+    TableDef {
+        name: "bench".into(),
+        hook: "h".into(),
+        key_fields: vec![FieldId(0)],
+        kind,
+        default_action: None,
+        max_entries: 4096,
+    }
+}
+
+/// Cheap deterministic spread so entries and probes don't correlate
+/// with insertion order.
+fn mix(i: u64) -> u64 {
+    i.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+fn build(kind: MatchKind, n: usize) -> Table {
+    let mut t = Table::new(def(kind));
+    for i in 0..n {
+        let key = match kind {
+            MatchKind::Exact => MatchKey::Exact(vec![i as u64]),
+            MatchKind::Lpm => {
+                let lens = [8u8, 12, 16, 20, 24, 28, 32, 40];
+                let len = lens[i % lens.len()];
+                MatchKey::Lpm {
+                    value: mix(i as u64) & (u64::MAX << (64 - len)),
+                    prefix_len: len,
+                }
+            }
+            // Disjoint spans so the whole set lands in the sorted
+            // span index (the fast path a planner would aim for).
+            MatchKind::Range => MatchKey::Range(vec![(i as u64 * 16, i as u64 * 16 + 9)]),
+            MatchKind::Ternary => {
+                let masks = [
+                    0xFFu64, 0xFF00, 0xFFFF, 0xF0F0, 0xFF_FFFF, 0x0F0F, 0xFFF, 0xFF0,
+                ];
+                MatchKey::Ternary(vec![(mix(i as u64), masks[i % masks.len()])])
+            }
+        };
+        t.insert(Entry {
+            key,
+            priority: (i % 32) as u32,
+            action: ActionId(0),
+            arg: i as i64,
+        })
+        .unwrap();
+    }
+    t
+}
+
+/// A rotating probe set mixing hits and misses, matched to each kind's
+/// key distribution.
+fn probes(kind: MatchKind, n: usize) -> Vec<Vec<u64>> {
+    (0..256u64)
+        .map(|p| {
+            let i = mix(p) % n as u64;
+            match kind {
+                MatchKind::Exact => vec![mix(p) % (n as u64 * 2)],
+                MatchKind::Lpm => vec![mix(i) | (mix(p) & 0xFFFF)],
+                MatchKind::Range => vec![mix(p) % (n as u64 * 16)],
+                MatchKind::Ternary => vec![mix(i) ^ (p & 0x3)],
+            }
+        })
+        .collect()
+}
+
+fn kind_tag(kind: MatchKind) -> &'static str {
+    match kind {
+        MatchKind::Exact => "exact",
+        MatchKind::Lpm => "lpm",
+        MatchKind::Range => "range",
+        MatchKind::Ternary => "ternary",
+    }
+}
+
+fn bench_lookup_scaling(c: &mut Harness) -> Vec<(String, Json)> {
+    let mut results: Vec<(String, Json)> = Vec::new();
+    let mut gates: Vec<(String, Json)> = Vec::new();
+    for kind in [
+        MatchKind::Exact,
+        MatchKind::Lpm,
+        MatchKind::Range,
+        MatchKind::Ternary,
+    ] {
+        let mut group = c.benchmark_group("table_lookup");
+        let mut at_4096 = (None, None);
+        for n in SIZES {
+            let t = build(kind, n);
+            let ps = probes(kind, n);
+            let tag = kind_tag(kind);
+            let indexed = group.bench_function(&format!("{tag}_{n}_indexed"), |b| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 1) % ps.len();
+                    t.lookup(&ps[i]).map(|e| e.arg)
+                });
+            });
+            let linear = group.bench_function(&format!("{tag}_{n}_linear"), |b| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 1) % ps.len();
+                    t.lookup_linear_ref(&ps[i]).map(|e| e.arg)
+                });
+            });
+            if n == 4096 {
+                at_4096 = (indexed, linear);
+            }
+            let mut obj = Vec::new();
+            if let Some(v) = indexed {
+                obj.push(("indexed_ns".to_string(), Json::Float(v)));
+            }
+            if let Some(v) = linear {
+                obj.push(("linear_ns".to_string(), Json::Float(v)));
+            }
+            results.push((format!("{tag}_{n}"), Json::Obj(obj)));
+        }
+        group.finish();
+        // The acceptance gate: ≥5× at 4096 entries for the kinds whose
+        // linear scan is most expensive. The others are informational.
+        if let (Some(indexed), Some(linear)) = at_4096 {
+            let speedup = linear / indexed.max(1e-9);
+            let gated = matches!(kind, MatchKind::Lpm | MatchKind::Ternary);
+            let verdict = if !gated {
+                "info".to_string()
+            } else if speedup >= GATE_SPEEDUP {
+                "PASS".to_string()
+            } else {
+                "FAIL".to_string()
+            };
+            println!(
+                "speedup_gate {}_4096 {speedup:6.1}x (budget {GATE_SPEEDUP}x) {verdict}",
+                kind_tag(kind)
+            );
+            gates.push((
+                format!("{}_4096", kind_tag(kind)),
+                Json::Obj(vec![
+                    ("speedup".to_string(), Json::Float(speedup)),
+                    ("verdict".to_string(), Json::Str(verdict)),
+                ]),
+            ));
+        }
+    }
+    results.push(("gates".to_string(), Json::Obj(gates)));
+    results
+}
+
+/// `fire()` on a cache-eligible hook — a range table with `entries`
+/// installed rules — with the decision cache at `capacity`.
+fn cache_machine(capacity: usize, entries: u64) -> RmtMachine {
+    let mut b = rkd_core::prog::ProgramBuilder::new("bench_cache");
+    let pid = b.field_readonly("pid");
+    let act = b.action(Action::new(
+        "ret",
+        vec![
+            Insn::LdImm {
+                dst: Reg(0),
+                imm: 1,
+            },
+            Insn::Exit,
+        ],
+    ));
+    let t = b.table("t", "hook", &[pid], MatchKind::Range, Some(act), 64);
+    for i in 0..entries {
+        b.entry(
+            t,
+            Entry {
+                key: MatchKey::Range(vec![(i * 100, i * 100 + 99)]),
+                priority: 0,
+                action: act,
+                arg: i as i64,
+            },
+        );
+    }
+    let verified = verify(b.build()).unwrap();
+    let mut vm = RmtMachine::new();
+    vm.set_decision_cache_capacity(capacity);
+    vm.install(verified, ExecMode::Interp).unwrap();
+    vm
+}
+
+fn bench_decision_cache(c: &mut Harness) -> Vec<(String, Json)> {
+    let mut group = c.benchmark_group("decision_cache");
+    let run = |group: &mut rkd_bench::harness::Group<'_>, id: &str, capacity: usize, n: u64| {
+        group.bench_function(id, |b| {
+            let mut vm = cache_machine(capacity, n);
+            let mut i = 0u64;
+            b.iter_batched(
+                || {
+                    i = i.wrapping_add(1);
+                    // Eight stable flows: a realistic replay mix that
+                    // still fits any cache capacity.
+                    Ctxt::from_values(vec![(i % 8) as i64 * 100 + 5])
+                },
+                |mut ctxt| vm.fire("hook", &mut ctxt),
+                BatchSize::SmallInput,
+            );
+        })
+    };
+    // The table1/table2 replay shape: a stable policy where the match
+    // phase resolves to the default action — replay skips per-table key
+    // extraction entirely. This is where the cache earns its keep.
+    let stable_on = run(&mut group, "fire_stable_policy_cache_on", 1024, 0);
+    let stable_off = run(&mut group, "fire_stable_policy_cache_off", 0, 0);
+    // A populated single range table: validation must re-extract the
+    // key (actions may rewrite ctxt fields mid-chain), so replay is
+    // expected to be roughly neutral here, not a win.
+    let range_on = run(&mut group, "fire_range32_cache_on", 1024, 32);
+    let range_off = run(&mut group, "fire_range32_cache_off", 0, 32);
+    group.finish();
+    let mut out = Vec::new();
+    let mut emit = |label: &str, on: Option<f64>, off: Option<f64>, note: &str| {
+        if let (Some(on), Some(off)) = (on, off) {
+            println!(
+                "decision_cache/{label:<30} {:6.2}x  ({note})",
+                off / on.max(1e-9)
+            );
+            out.push((
+                label.to_string(),
+                Json::Obj(vec![
+                    ("on_ns".to_string(), Json::Float(on)),
+                    ("off_ns".to_string(), Json::Float(off)),
+                ]),
+            ));
+        }
+    };
+    emit(
+        "stable_policy_speedup",
+        stable_on,
+        stable_off,
+        "cache on vs off, unpaired",
+    );
+    emit(
+        "range32_speedup",
+        range_on,
+        range_off,
+        "expected ~1x: replay revalidates keys",
+    );
+    out
+}
+
+fn main() {
+    let mut harness = Harness::from_env();
+    let mut doc = bench_lookup_scaling(&mut harness);
+    doc.extend(bench_decision_cache(&mut harness));
+    harness.finish();
+    if let Ok(path) = std::env::var("RKD_BENCH_TABLES_JSON") {
+        if !path.trim().is_empty() {
+            let json = Json::Obj(doc).to_string_compact();
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("bench_tables: failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {path}");
+        }
+    }
+}

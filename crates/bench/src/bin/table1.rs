@@ -49,6 +49,18 @@ fn run_all(trace: &PageTrace) -> Vec<MemSimResult> {
             h.hist.percentile(99),
         );
     }
+    let c = &snap.counters;
+    let probes = c.decision_cache_hits + c.decision_cache_misses;
+    if probes > 0 {
+        eprintln!(
+            "  [{}] decision cache: {:.1}% hit rate ({}/{} replayed, {} invalidated)",
+            trace.name,
+            100.0 * c.decision_cache_hits as f64 / probes as f64,
+            c.decision_cache_hits,
+            probes,
+            c.decision_cache_invalidations,
+        );
+    }
     results
 }
 

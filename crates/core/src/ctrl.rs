@@ -117,6 +117,14 @@ pub enum CtrlRequest {
     /// Reset the observability layer (counters, histograms, trace
     /// ring). Program and table statistics are untouched.
     ObsReset,
+    /// Resize the per-hook decision caches (0 disables caching).
+    SetDecisionCacheCapacity {
+        /// New capacity in cached flow keys per hook.
+        capacity: u64,
+    },
+    /// Read the machine-wide datapath counters (fires, table
+    /// hits/misses, decision-cache hits/misses/invalidations, …).
+    QueryMachineCounters,
 }
 
 /// A control-plane response.
@@ -140,6 +148,8 @@ pub enum CtrlResponse {
     HookStats(Box<obs::HookStats>),
     /// Drained trace events plus the cumulative dropped count.
     Trace(obs::TraceSnapshot),
+    /// Machine-wide datapath counters.
+    Counters(obs::MachineCounters),
 }
 
 /// Dispatches one control-plane request against a machine, using the
@@ -206,6 +216,11 @@ pub fn syscall_rmt_with(
             machine.obs_reset();
             Ok(CtrlResponse::Ok)
         }
+        CtrlRequest::SetDecisionCacheCapacity { capacity } => {
+            machine.set_decision_cache_capacity(capacity.min(usize::MAX as u64) as usize);
+            Ok(CtrlResponse::Ok)
+        }
+        CtrlRequest::QueryMachineCounters => Ok(CtrlResponse::Counters(machine.machine_counters())),
     }
 }
 
@@ -428,6 +443,27 @@ mod tests {
     }
 
     #[test]
+    fn decision_cache_requests() {
+        let mut m = RmtMachine::new();
+        assert_eq!(
+            syscall_rmt(
+                &mut m,
+                CtrlRequest::SetDecisionCacheCapacity { capacity: 16 }
+            )
+            .unwrap(),
+            CtrlResponse::Ok
+        );
+        assert_eq!(m.decision_cache_capacity(), 16);
+        match syscall_rmt(&mut m, CtrlRequest::QueryMachineCounters).unwrap() {
+            CtrlResponse::Counters(c) => {
+                assert_eq!(c.fires, 0);
+                assert_eq!(c.decision_cache_hits, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
     fn requests_are_debuggable_and_cloneable() {
         let req = CtrlRequest::QueryStats { prog: ProgId(3) };
         let req2 = req.clone();
@@ -456,6 +492,8 @@ rkd_testkit::impl_json_enum!(CtrlRequest {
     HookStats { hook },
     TraceRead { max },
     ObsReset,
+    SetDecisionCacheCapacity { capacity },
+    QueryMachineCounters,
 });
 
 rkd_testkit::impl_json_enum!(CtrlResponse {
@@ -468,4 +506,5 @@ rkd_testkit::impl_json_enum!(CtrlResponse {
     PrivacyBudget(remaining),
     HookStats(stats),
     Trace(snapshot),
+    Counters(counters),
 });

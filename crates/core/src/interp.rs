@@ -10,6 +10,12 @@
 //! The interpreter is fueled with the worst-case instruction count the
 //! verifier computed, so even a VM bug cannot produce unbounded kernel
 //! execution (defense in depth — verified programs never exhaust fuel).
+//!
+//! Match resolution happens *before* mode dispatch, in
+//! [`crate::machine::RmtMachine::fire`]: both the interpreter and the
+//! JIT receive the entry chosen by the shared indexed lookup engine
+//! ([`crate::table`]) — possibly replayed from the decision cache — so
+//! the two modes can never diverge on which action runs.
 
 use crate::bytecode::{Action, Helper, Insn, MAX_VECTOR_LEN, NUM_REGS, NUM_VREGS};
 use crate::ctxt::Ctxt;

@@ -13,6 +13,11 @@
 //!
 //! Semantics are identical to [`crate::interp`]; equivalence is
 //! property-tested in the workspace integration tests.
+//!
+//! Table matching is not part of the compiled form: the machine's
+//! shared indexed lookup engine ([`crate::table`]) and decision cache
+//! resolve the entry first, then dispatch to the pre-decoded action —
+//! JIT and interpreter therefore always agree on match semantics.
 
 use crate::bytecode::{
     Action, AluOp, CmpOp, Helper, Insn, VecUnary, MAX_VECTOR_LEN, NUM_REGS, NUM_VREGS,

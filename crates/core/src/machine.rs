@@ -12,7 +12,7 @@
 //! learned optimization may fail closed, but it must never take the
 //! (simulated) kernel down with it.
 
-use crate::ctxt::Ctxt;
+use crate::ctxt::{Ctxt, FieldId};
 use crate::dp::PrivacyLedger;
 use crate::error::VmError;
 use crate::interp::{run_action, ActionOutcome, Effect, ExecEnv};
@@ -23,12 +23,12 @@ use crate::obs::{
     TraceSnapshot,
 };
 use crate::prog::{ModelSpec, RmtProgram};
-use crate::table::{Entry, Table, TableId, TableStats};
+use crate::table::{Entry, MatchKind, Table, TableId, TableStats};
 use crate::verifier::VerifiedProgram;
 use rkd_ml::cost::CostBudget;
 use rkd_testkit::rng::SeedableRng;
 use rkd_testkit::rng::StdRng;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::time::Instant;
 
 /// Identifies an installed program.
@@ -47,6 +47,111 @@ pub enum ExecMode {
 /// Maximum dynamic tail-call chain length per hook firing (matches the
 /// verifier's static bound as defense in depth).
 pub const MAX_TAIL_CHAIN: usize = 8;
+
+/// Default per-hook decision-cache capacity (cached flow keys).
+pub const DEFAULT_DECISION_CACHE_CAP: usize = 1024;
+
+/// One memoized table step of a hook firing: which table the pipeline
+/// visited and how its match resolved. Replay re-validates each step
+/// (and always re-executes the action) — only the match resolution is
+/// memoized.
+#[derive(Clone, Debug)]
+struct CachedStep {
+    prog: u32,
+    table: u16,
+    /// The key values the table extracted, re-checked on replay — or
+    /// `None` for a key-independent decision (the table was empty, so
+    /// the default action fired without extracting a key). `None`
+    /// revalidates via `is_empty()`, letting replay skip the per-table
+    /// key allocation entirely on default-action-only pipelines.
+    key: Option<Vec<u64>>,
+    /// Matched entry slot (`None` = miss / default action).
+    entry: Option<u32>,
+}
+
+/// Cheap deterministic hasher for decision-cache flow keys. Flow keys
+/// are short `u64` words extracted from ctxt fields; SipHash's
+/// flood-resistance buys nothing here (the cache is bounded and
+/// kernel-internal) and costs a large fraction of the replay budget.
+#[derive(Default)]
+struct FlowKeyHasher(u64);
+
+impl std::hash::Hasher for FlowKeyHasher {
+    fn finish(&self) -> u64 {
+        // splitmix64 finalizer: full avalanche over the mixed words.
+        let mut x = self.0;
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+type FlowKeyMap = HashMap<Vec<u64>, CachedDecision, std::hash::BuildHasherDefault<FlowKeyHasher>>;
+
+/// A memoized pipeline decision for one flow key.
+#[derive(Clone, Debug)]
+struct CachedDecision {
+    /// [`RmtMachine`] table generation this decision was recorded
+    /// under; any control-plane table/model mutation bumps the
+    /// machine's counter, making the decision stale.
+    generation: u64,
+    steps: Vec<CachedStep>,
+}
+
+/// Bounded FIFO map of flow key -> memoized decision for one hook
+/// (the megaflow-style cache in front of the full pipeline walk).
+#[derive(Default)]
+struct DecisionCache {
+    map: FlowKeyMap,
+    fifo: VecDeque<Vec<u64>>,
+    /// Degenerate megaflow: when the hook consumes no ctxt fields
+    /// (every non-empty table is gone — default-action pipelines),
+    /// every flow shares one decision. Kept out of `map` so the hot
+    /// path is an `Option` move instead of a hash probe.
+    flowless: Option<CachedDecision>,
+}
+
+impl DecisionCache {
+    /// Inserts (or overwrites) a decision, evicting oldest-inserted
+    /// keys past `cap`; returns how many were evicted.
+    fn insert(&mut self, key: Vec<u64>, dec: CachedDecision, cap: usize) -> u64 {
+        let mut evicted = 0;
+        if self.map.insert(key.clone(), dec).is_none() {
+            self.fifo.push_back(key);
+            while self.map.len() > cap {
+                let Some(old) = self.fifo.pop_front() else {
+                    break;
+                };
+                if self.map.remove(&old).is_some() {
+                    evicted += 1;
+                }
+            }
+        }
+        evicted
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.fifo.clear();
+        self.flowless = None;
+    }
+}
 
 /// Per-program runtime statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -158,6 +263,17 @@ struct HookSlot {
     fires: u64,
     /// Whole-fire latency histogram (ns).
     hist: Log2Hist,
+    /// Union of the key fields of every *non-empty* table at this
+    /// hook — the decision-cache probe key. Empty tables contribute
+    /// nothing: their (key-independent) default decision is memoized
+    /// as a `key: None` step instead.
+    consumed: Vec<FieldId>,
+    /// Whether firings of this hook probe the cache at all. `false`
+    /// when every non-empty table is exact-match: the pipeline already
+    /// pays one hash probe per table, so the cache cannot win.
+    eligible: bool,
+    /// Memoized decisions for this hook, keyed on `consumed` values.
+    cache: DecisionCache,
 }
 
 /// The RMT virtual machine.
@@ -172,6 +288,12 @@ pub struct RmtMachine {
     /// Reusable pipeline queue — `fire` is allocation-free once this
     /// has grown to the deepest pipeline seen.
     scratch_queue: Vec<usize>,
+    /// Table generation: bumped on every control-plane table/model
+    /// mutation; cached decisions recorded under an older generation
+    /// are stale and never replayed.
+    table_gen: u64,
+    /// Per-hook decision-cache capacity (0 disables caching).
+    decision_cache_cap: usize,
 }
 
 impl Default for RmtMachine {
@@ -196,7 +318,29 @@ impl RmtMachine {
             hook_index: HashMap::new(),
             obs: Obs::new(cfg),
             scratch_queue: Vec::new(),
+            table_gen: 0,
+            decision_cache_cap: DEFAULT_DECISION_CACHE_CAP,
         }
+    }
+
+    /// Resizes the per-hook decision caches (0 disables caching).
+    /// Existing cached decisions are dropped.
+    pub fn set_decision_cache_capacity(&mut self, cap: usize) {
+        self.decision_cache_cap = cap;
+        for slot in self.hook_index.values_mut() {
+            slot.cache.clear();
+        }
+    }
+
+    /// Current per-hook decision-cache capacity.
+    pub fn decision_cache_capacity(&self) -> usize {
+        self.decision_cache_cap
+    }
+
+    /// Current table generation (bumped on every control-plane
+    /// table/model mutation; exposed for invalidation tests).
+    pub fn table_generation(&self) -> u64 {
+        self.table_gen
     }
 
     /// Current monotonic tick.
@@ -258,6 +402,7 @@ impl RmtMachine {
         for (i, t) in prog.tables.iter().enumerate() {
             hook_tables.entry(t.hook.clone()).or_default().push(i);
         }
+        let hook_names: Vec<String> = seen_hooks.iter().map(|h| h.to_string()).collect();
         for hook in seen_hooks {
             let first = prog
                 .tables
@@ -270,6 +415,9 @@ impl RmtMachine {
                     listeners: Vec::new(),
                     fires: 0,
                     hist: Log2Hist::new(),
+                    consumed: Vec::new(),
+                    eligible: true,
+                    cache: DecisionCache::default(),
                 })
                 .listeners
                 .push((id, TableId(first as u16)));
@@ -297,6 +445,10 @@ impl RmtMachine {
             kind: TraceKind::Install,
             info: id as i64,
         });
+        self.table_gen += 1;
+        for hook in &hook_names {
+            self.refresh_hook_cache_meta(hook);
+        }
         Ok(ProgId(id))
     }
 
@@ -314,7 +466,54 @@ impl RmtMachine {
             kind: TraceKind::Remove,
             info: id.0 as i64,
         });
+        self.table_gen += 1;
+        let hooks: Vec<String> = self.hook_index.keys().cloned().collect();
+        for hook in &hooks {
+            self.refresh_hook_cache_meta(hook);
+        }
         Ok(())
+    }
+
+    /// Recomputes a hook's decision-cache metadata (probe-key field
+    /// union and eligibility) after a structural change. Cached
+    /// decisions are not dropped here — the generation bump already
+    /// made them stale, and counting them as invalidations at probe
+    /// time keeps the obs story faithful; they are overwritten or
+    /// FIFO-evicted lazily.
+    fn refresh_hook_cache_meta(&mut self, hook: &str) {
+        let Some(slot) = self.hook_index.get_mut(hook) else {
+            return;
+        };
+        let mut consumed: Vec<FieldId> = Vec::new();
+        let mut nonempty = 0usize;
+        let mut non_exact = false;
+        for &(pid, _) in &slot.listeners {
+            let Some(inst) = self.programs.get(&pid) else {
+                continue;
+            };
+            let Some(tis) = inst.hook_tables.get(hook) else {
+                continue;
+            };
+            for &ti in tis {
+                let t = &inst.tables[ti];
+                if t.is_empty() {
+                    continue;
+                }
+                nonempty += 1;
+                if t.def().kind != MatchKind::Exact {
+                    non_exact = true;
+                }
+                for f in &t.def().key_fields {
+                    if !consumed.contains(f) {
+                        consumed.push(*f);
+                    }
+                }
+            }
+        }
+        slot.consumed = consumed;
+        // A hook whose live tables are all exact-match already costs
+        // one hash probe per table; the cache would only add overhead.
+        slot.eligible = nonempty == 0 || non_exact;
     }
 
     /// Whether any program listens on a hook (lets the embedding kernel
@@ -335,6 +534,13 @@ impl RmtMachine {
     /// path itself is allocation-free in steady state — the pipeline
     /// queue is a reusable per-machine scratch buffer and the listener
     /// list is iterated in place.
+    ///
+    /// A megaflow-style decision cache fronts the pipeline walk: the
+    /// consumed ctxt fields key a memo of the resolved (table, entry)
+    /// chain, so repeat flows skip match resolution (actions still
+    /// re-execute, and every replayed step is revalidated against the
+    /// live tables). Control-plane mutations bump a generation counter
+    /// that invalidates all cached decisions.
     pub fn fire(&mut self, hook: &str, ctxt: &mut Ctxt) -> HookResult {
         let mut result = HookResult::default();
         let Some(slot) = self.hook_index.get_mut(hook) else {
@@ -352,6 +558,44 @@ impl RmtMachine {
         let t0 = timed.then(Instant::now);
         let mut prev = t0;
         let tick = self.tick;
+        // Decision-cache probe: hash the consumed ctxt fields and, if
+        // a current-generation decision is cached, replay its steps
+        // (validated per table below; actions always re-execute).
+        let use_cache = self.decision_cache_cap > 0 && slot.eligible;
+        if self.decision_cache_cap > 0 && !slot.eligible {
+            self.obs.counters.decision_cache_bypasses += 1;
+        }
+        let mut probe_key: Option<Vec<u64>> = None;
+        // The cached step chain is *moved* out of the map for the
+        // duration of the firing (and restored on a clean hit) rather
+        // than borrowed: a live borrow into the hook slot would pin
+        // the whole listener loop, and the moves are pointer swaps.
+        let mut replay: Option<Vec<CachedStep>> = None;
+        let mut invalidated = false;
+        // Flow-independent hooks (no consumed fields) share a single
+        // decision slot: no key extraction, no hash probe.
+        let flowless = slot.consumed.is_empty();
+        if use_cache && flowless {
+            match slot.cache.flowless.take() {
+                Some(c) if c.generation == self.table_gen => replay = Some(c.steps),
+                Some(_) => invalidated = true,
+                None => {}
+            }
+        } else if use_cache {
+            let pk = ctxt.key(&slot.consumed);
+            match slot.cache.map.get_mut(pk.as_slice()) {
+                Some(c) if c.generation == self.table_gen => {
+                    replay = Some(std::mem::take(&mut c.steps));
+                }
+                Some(_) => invalidated = true,
+                None => {}
+            }
+            probe_key = Some(pk);
+        }
+        let mut recording = use_cache && replay.is_none();
+        let mut recorded: Vec<CachedStep> = Vec::new();
+        let mut diverged = false;
+        let mut cursor = 0usize;
         for li in 0..slot.listeners.len() {
             let (pid, _first_table) = slot.listeners[li];
             let Some(inst) = self.programs.get_mut(&pid) else {
@@ -372,15 +616,112 @@ impl RmtMachine {
             while qi < self.scratch_queue.len() {
                 let ti = self.scratch_queue[qi];
                 qi += 1;
-                // Match phase.
-                let key = {
-                    let def = inst.tables[ti].def();
-                    ctxt.key(&def.key_fields)
-                };
-                let (matched, action_id, arg) = {
-                    match inst.tables[ti].lookup(&key) {
-                        Some(e) => (true, Some(e.action), e.arg),
-                        None => (false, inst.tables[ti].def().default_action, 0),
+                // Match phase: replay a validated cached step, or
+                // resolve live (recording if the cache missed).
+                let mut replayed: Option<Option<usize>> = None;
+                let mut fresh_key: Option<Vec<u64>> = None;
+                if use_cache && !recording {
+                    match replay.as_deref().unwrap_or(&[]).get(cursor) {
+                        Some(st) => {
+                            let t = &inst.tables[ti];
+                            let ok = st.prog == pid
+                                && st.table as usize == ti
+                                && match &st.key {
+                                    // Key-independent decision: still
+                                    // valid iff the table is still
+                                    // empty (no key extraction).
+                                    None => t.is_empty(),
+                                    Some(mk) => {
+                                        let k = ctxt.key(&t.def().key_fields);
+                                        let same = *mk == k;
+                                        fresh_key = Some(k);
+                                        same
+                                    }
+                                }
+                                && match st.entry {
+                                    Some(ei) => (ei as usize) < t.entries().len(),
+                                    None => true,
+                                };
+                            if ok {
+                                replayed = Some(st.entry.map(|ei| ei as usize));
+                                cursor += 1;
+                            } else {
+                                let mut r = replay.take().unwrap_or_default();
+                                r.truncate(cursor);
+                                recorded = r;
+                                recording = true;
+                                diverged = true;
+                            }
+                        }
+                        None => {
+                            // Live pipeline outran the memo (e.g. a
+                            // tail call fires now that didn't before):
+                            // divergence. The validated prefix seeds
+                            // the re-recording.
+                            recorded = replay.take().unwrap_or_default();
+                            recording = true;
+                            diverged = true;
+                        }
+                    }
+                }
+                let (matched, action_id, arg) = match replayed {
+                    Some(Some(ei)) => {
+                        let t = &inst.tables[ti];
+                        t.note_hit();
+                        let e = &t.entries()[ei];
+                        (true, Some(e.action), e.arg)
+                    }
+                    Some(None) => {
+                        let t = &inst.tables[ti];
+                        t.note_miss();
+                        (false, t.def().default_action, 0)
+                    }
+                    None => {
+                        let t = &inst.tables[ti];
+                        if use_cache && t.is_empty() {
+                            // Empty table: the default action fires
+                            // regardless of the key — skip extraction
+                            // and memoize a key-independent step.
+                            t.note_miss();
+                            if recording {
+                                recorded.push(CachedStep {
+                                    prog: pid,
+                                    table: ti as u16,
+                                    key: None,
+                                    entry: None,
+                                });
+                            }
+                            (false, t.def().default_action, 0)
+                        } else {
+                            let key = fresh_key
+                                .take()
+                                .unwrap_or_else(|| ctxt.key(&t.def().key_fields));
+                            match t.lookup_indexed(&key) {
+                                Some((ei, e)) => {
+                                    let (action, arg) = (e.action, e.arg);
+                                    if recording {
+                                        recorded.push(CachedStep {
+                                            prog: pid,
+                                            table: ti as u16,
+                                            key: Some(key),
+                                            entry: Some(ei as u32),
+                                        });
+                                    }
+                                    (true, Some(action), arg)
+                                }
+                                None => {
+                                    if recording {
+                                        recorded.push(CachedStep {
+                                            prog: pid,
+                                            table: ti as u16,
+                                            key: Some(key),
+                                            entry: None,
+                                        });
+                                    }
+                                    (false, t.def().default_action, 0)
+                                }
+                            }
+                        }
                     }
                 };
                 if matched {
@@ -528,6 +869,54 @@ impl RmtMachine {
                 });
             }
         }
+        if use_cache {
+            let hit = !diverged && replay.as_deref().is_some_and(|s| s.len() == cursor);
+            if hit {
+                self.obs.counters.decision_cache_hits += 1;
+                // Restore the step chain taken at probe time; nothing
+                // evicts mid-firing.
+                let steps = replay.take().unwrap_or_default();
+                if flowless {
+                    slot.cache.flowless = Some(CachedDecision {
+                        generation: self.table_gen,
+                        steps,
+                    });
+                } else if let Some(c) = slot
+                    .cache
+                    .map
+                    .get_mut(probe_key.take().unwrap_or_default().as_slice())
+                {
+                    c.steps = steps;
+                }
+            } else {
+                self.obs.counters.decision_cache_misses += 1;
+                if invalidated {
+                    self.obs.counters.decision_cache_invalidations += 1;
+                }
+                if !recording {
+                    // Every replayed step validated but the live
+                    // pipeline ended early: memoize what actually ran.
+                    recorded = replay.take().map_or_else(Vec::new, |mut s| {
+                        s.truncate(cursor);
+                        s
+                    });
+                }
+                let dec = CachedDecision {
+                    generation: self.table_gen,
+                    steps: recorded,
+                };
+                if flowless {
+                    slot.cache.flowless = Some(dec);
+                } else {
+                    let evicted = slot.cache.insert(
+                        probe_key.take().unwrap_or_default(),
+                        dec,
+                        self.decision_cache_cap,
+                    );
+                    self.obs.counters.decision_cache_evictions += evicted;
+                }
+            }
+        }
         if let (Some(start), Some(end)) = (t0, prev) {
             slot.hist
                 .record(end.duration_since(start).as_nanos() as u64);
@@ -556,7 +945,11 @@ impl RmtMachine {
             .tables
             .get_mut(table.0 as usize)
             .ok_or(VmError::NoSuchTable(table.0))?;
-        t.insert(entry)
+        let hook = t.def().hook.clone();
+        t.insert(entry)?;
+        self.table_gen += 1;
+        self.refresh_hook_cache_meta(&hook);
+        Ok(())
     }
 
     /// Removes a runtime entry by key.
@@ -574,7 +967,13 @@ impl RmtMachine {
             .tables
             .get_mut(table.0 as usize)
             .ok_or(VmError::NoSuchTable(table.0))?;
-        Ok(t.remove(key))
+        let hook = t.def().hook.clone();
+        let removed = t.remove(key);
+        if removed {
+            self.table_gen += 1;
+            self.refresh_hook_cache_meta(&hook);
+        }
+        Ok(removed)
     }
 
     /// Replaces an ML model at runtime (the periodic "quantize and push
@@ -617,6 +1016,9 @@ impl RmtMachine {
             kind: TraceKind::ModelSwap,
             info: slot.0 as i64,
         });
+        // Model behavior feeds tail-call decisions; cached chains
+        // recorded against the old model must not replay.
+        self.table_gen += 1;
         Ok(())
     }
 
@@ -1321,6 +1723,185 @@ mod tests {
         assert_eq!(m.hook_stats("test_hook").unwrap().fires, 0);
         let stats = m.stats(id).unwrap();
         assert_eq!(stats.invocations, 1, "ProgStats survive an obs reset");
+    }
+
+    /// Program: one range table on "pid" matching 0..=100 (priority 1,
+    /// doubles arg 21 -> 42); default action returns -1.
+    fn range_program() -> VerifiedProgram {
+        let mut b = ProgramBuilder::new("range");
+        let pid = b.field_readonly("pid");
+        let double = b.action(Action::new(
+            "double",
+            vec![
+                Insn::Mov {
+                    dst: Reg(0),
+                    src: crate::bytecode::ARG_REG,
+                },
+                Insn::AluImm {
+                    op: AluOp::Mul,
+                    dst: Reg(0),
+                    imm: 2,
+                },
+                Insn::Exit,
+            ],
+        ));
+        let fallback = b.action(Action::new(
+            "fallback",
+            vec![
+                Insn::LdImm {
+                    dst: Reg(0),
+                    imm: -1,
+                },
+                Insn::Exit,
+            ],
+        ));
+        let t = b.table(
+            "t",
+            "range_hook",
+            &[pid],
+            MatchKind::Range,
+            Some(fallback),
+            16,
+        );
+        b.entry(
+            t,
+            Entry {
+                key: MatchKey::Range(vec![(0, 100)]),
+                priority: 1,
+                action: double,
+                arg: 21,
+            },
+        );
+        verify(b.build()).unwrap()
+    }
+
+    #[test]
+    fn decision_cache_replays_stable_flows() {
+        let mut m = RmtMachine::new();
+        m.install(range_program(), ExecMode::Interp).unwrap();
+        for _ in 0..10 {
+            let r = m.fire("range_hook", &mut ctxt_with_pid(50));
+            assert_eq!(r.verdict(), Some(42));
+        }
+        let c = m.machine_counters();
+        assert_eq!(c.decision_cache_misses, 1, "first firing records");
+        assert_eq!(c.decision_cache_hits, 9, "repeat flows replay");
+        assert_eq!(c.decision_cache_bypasses, 0);
+        // A different flow key is its own cache line.
+        assert_eq!(
+            m.fire("range_hook", &mut ctxt_with_pid(200)).verdict(),
+            Some(-1)
+        );
+        assert_eq!(
+            m.fire("range_hook", &mut ctxt_with_pid(200)).verdict(),
+            Some(-1)
+        );
+        let c = m.machine_counters();
+        assert_eq!(c.decision_cache_misses, 2);
+        assert_eq!(c.decision_cache_hits, 10);
+        // Replayed firings keep TableStats faithful: 10 in-range hits,
+        // 2 out-of-range misses.
+        let ts = m.table_stats(ProgId(1), TableId(0)).unwrap();
+        assert_eq!(
+            ts,
+            TableStats {
+                hits: 10,
+                misses: 2
+            }
+        );
+    }
+
+    #[test]
+    fn decision_cache_invalidated_by_control_plane_mutations() {
+        let mut m = RmtMachine::new();
+        let id = m.install(range_program(), ExecMode::Interp).unwrap();
+        assert_eq!(
+            m.fire("range_hook", &mut ctxt_with_pid(50)).verdict(),
+            Some(42)
+        );
+        assert_eq!(
+            m.fire("range_hook", &mut ctxt_with_pid(50)).verdict(),
+            Some(42)
+        );
+        // A higher-priority entry shadows the cached decision; the
+        // generation bump must force a live re-resolve.
+        m.insert_entry(
+            id,
+            TableId(0),
+            Entry {
+                key: MatchKey::Range(vec![(40, 60)]),
+                priority: 9,
+                action: ActionId(0),
+                arg: 100,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            m.fire("range_hook", &mut ctxt_with_pid(50)).verdict(),
+            Some(200),
+            "no stale decision after insert_entry"
+        );
+        assert!(m.machine_counters().decision_cache_invalidations >= 1);
+        // Removing it must invalidate again.
+        assert!(m
+            .remove_entry(id, TableId(0), &MatchKey::Range(vec![(40, 60)]))
+            .unwrap());
+        assert_eq!(
+            m.fire("range_hook", &mut ctxt_with_pid(50)).verdict(),
+            Some(42),
+            "no stale decision after remove_entry"
+        );
+        assert!(m.machine_counters().decision_cache_invalidations >= 2);
+    }
+
+    /// A hook whose only live tables are exact-match bypasses the
+    /// cache (a lookup is already one hash probe), while an entry-less
+    /// exact table stays eligible — its key-independent default
+    /// decision replays without any key extraction.
+    #[test]
+    fn decision_cache_bypasses_exact_only_hooks() {
+        let mut m = RmtMachine::new();
+        let id = m.install(doubling_program(), ExecMode::Interp).unwrap();
+        m.fire("test_hook", &mut ctxt_with_pid(7));
+        m.fire("test_hook", &mut ctxt_with_pid(7));
+        let c = m.machine_counters();
+        assert_eq!(c.decision_cache_bypasses, 2);
+        assert_eq!(c.decision_cache_hits + c.decision_cache_misses, 0);
+        // Empty the exact table: the hook becomes cache-eligible and
+        // repeat firings replay the default-action decision.
+        assert!(m
+            .remove_entry(id, TableId(0), &MatchKey::Exact(vec![7]))
+            .unwrap());
+        m.fire("test_hook", &mut ctxt_with_pid(7));
+        m.fire("test_hook", &mut ctxt_with_pid(7));
+        let c = m.machine_counters();
+        assert_eq!(c.decision_cache_misses, 1);
+        assert_eq!(c.decision_cache_hits, 1);
+    }
+
+    #[test]
+    fn decision_cache_capacity_bounds_and_disable() {
+        let mut m = RmtMachine::new();
+        m.install(range_program(), ExecMode::Interp).unwrap();
+        m.set_decision_cache_capacity(4);
+        for pid in 0..8 {
+            m.fire("range_hook", &mut ctxt_with_pid(pid));
+        }
+        let c = m.machine_counters();
+        assert_eq!(c.decision_cache_misses, 8);
+        assert_eq!(c.decision_cache_evictions, 4, "FIFO bound enforced");
+        // Capacity 0 disables probing entirely.
+        m.set_decision_cache_capacity(0);
+        let before = m.machine_counters();
+        m.fire("range_hook", &mut ctxt_with_pid(1));
+        m.fire("range_hook", &mut ctxt_with_pid(1));
+        let after = m.machine_counters();
+        assert_eq!(after.decision_cache_hits, before.decision_cache_hits);
+        assert_eq!(after.decision_cache_misses, before.decision_cache_misses);
+        assert_eq!(
+            after.decision_cache_bypasses,
+            before.decision_cache_bypasses
+        );
     }
 
     #[test]

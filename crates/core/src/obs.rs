@@ -16,8 +16,9 @@
 //!   per-hook and per-program `fire()` latencies by
 //!   [`crate::machine::RmtMachine`].
 //! - [`MachineCounters`] — machine-wide event counters (fires, table
-//!   hits/misses, aborts, guard trips, rate-limit drops, tail calls
-//!   and tail-chain overflows) complementing the per-program
+//!   hits/misses, aborts, guard trips, rate-limit drops, tail calls,
+//!   tail-chain overflows, and decision-cache
+//!   hits/misses/invalidations) complementing the per-program
 //!   [`crate::machine::ProgStats`].
 //! - [`TraceRing`] — a bounded ring of [`TraceEvent`]s with an
 //!   explicit `dropped` counter: when the ring is full the oldest
@@ -202,6 +203,20 @@ pub struct MachineCounters {
     /// Pipelines terminated because the dynamic tail-call chain
     /// exceeded [`crate::machine::MAX_TAIL_CHAIN`].
     pub tail_chain_overflows: u64,
+    /// Hook firings fully served from the megaflow-style decision
+    /// cache (every table's match resolution replayed and validated).
+    pub decision_cache_hits: u64,
+    /// Cache-eligible firings that had to resolve at least one table
+    /// lookup live (cold key, divergence, or stale generation).
+    pub decision_cache_misses: u64,
+    /// Subset of `decision_cache_misses` caused by a control-plane
+    /// table/model mutation bumping the generation counter.
+    pub decision_cache_invalidations: u64,
+    /// Cached decisions evicted by the per-hook capacity bound.
+    pub decision_cache_evictions: u64,
+    /// Firings that skipped the cache because the hook's live tables
+    /// are all exact-match (one hash probe — the cache cannot win).
+    pub decision_cache_bypasses: u64,
 }
 
 /// What happened, for one [`TraceEvent`].
@@ -442,7 +457,12 @@ rkd_testkit::impl_json_struct!(MachineCounters {
     guard_trips,
     rate_limit_drops,
     tail_calls,
-    tail_chain_overflows
+    tail_chain_overflows,
+    decision_cache_hits,
+    decision_cache_misses,
+    decision_cache_invalidations,
+    decision_cache_evictions,
+    decision_cache_bypasses
 });
 
 rkd_testkit::impl_json_unit_enum!(TraceKind {

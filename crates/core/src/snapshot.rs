@@ -88,10 +88,29 @@ mod tests {
             CtrlResponse::Value(None),
             CtrlResponse::Value(Some(-9)),
             CtrlResponse::PrivacyBudget(10_000),
+            CtrlResponse::Counters(crate::obs::MachineCounters {
+                fires: 4,
+                decision_cache_hits: 3,
+                decision_cache_misses: 1,
+                ..crate::obs::MachineCounters::default()
+            }),
         ] {
             let json = to_json_string(&resp);
             let back: CtrlResponse = from_json_str(&json).unwrap();
             assert_eq!(back, resp, "via {json}");
+        }
+    }
+
+    #[test]
+    fn decision_cache_requests_round_trip() {
+        use crate::ctrl::CtrlRequest;
+        for req in [
+            CtrlRequest::SetDecisionCacheCapacity { capacity: 64 },
+            CtrlRequest::QueryMachineCounters,
+        ] {
+            let json = to_json_string(&req);
+            let back: CtrlRequest = from_json_str(&json).unwrap();
+            assert_eq!(to_json_string(&back), json, "via {json}");
         }
     }
 
@@ -127,5 +146,9 @@ mod tests {
         assert_eq!(back, snap, "via {json}");
         assert_eq!(back.counters.fires, 3);
         assert_eq!(back.hooks[0].hist.count(), 3);
+        // The entry-less exact table is cache-eligible: 1 recording
+        // miss, then replays — and the counters survive the round trip.
+        assert_eq!(back.counters.decision_cache_misses, 1);
+        assert_eq!(back.counters.decision_cache_hits, 2);
     }
 }

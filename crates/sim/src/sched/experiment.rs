@@ -150,14 +150,24 @@ pub fn run_case_study(
     for (tag, policy) in [("full", &full_shadow.acting), ("lean", &lean_shadow.acting)] {
         let snap = policy.obs_snapshot();
         if let Some(h) = snap.hooks.first() {
+            let c = &snap.counters;
+            let probes = c.decision_cache_hits + c.decision_cache_misses;
+            let hit_pct = if probes > 0 {
+                100.0 * c.decision_cache_hits as f64 / probes as f64
+            } else {
+                0.0
+            };
             eprintln!(
-                "# obs {}/{}: {} fires, hook latency p50 {} ns p99 {} ns, aborts {}",
+                "# obs {}/{}: {} fires, hook latency p50 {} ns p99 {} ns, aborts {}, \
+                 decision cache {hit_pct:.1}% hit rate ({}/{probes} replayed, {} invalidated)",
                 workload.name,
                 tag,
                 h.fires,
                 h.hist.percentile(50),
                 h.hist.percentile(99),
-                snap.counters.aborts,
+                c.aborts,
+                c.decision_cache_hits,
+                c.decision_cache_invalidations,
             );
         }
     }

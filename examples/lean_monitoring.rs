@@ -199,6 +199,16 @@ fn main() {
         "  full/lean verdict agreement: {:.1}%",
         agree as f64 / replay.len() as f64 * 100.0
     );
+    let probes = counters.decision_cache_hits + counters.decision_cache_misses;
+    if probes > 0 {
+        println!(
+            "  decision cache: {:.1}% hit rate ({}/{} match phases replayed, {} bypassed)",
+            100.0 * counters.decision_cache_hits as f64 / probes as f64,
+            counters.decision_cache_hits,
+            probes,
+            counters.decision_cache_bypasses,
+        );
+    }
     // Mean is exact (sum/count), unlike the log2-bucketed percentiles.
     let full_mean = vm.hook_stats("sched_monitor_full").unwrap().hist.mean();
     let lean_mean = vm.hook_stats("sched_monitor_lean").unwrap().hist.mean();

@@ -31,6 +31,20 @@ if ! grep -q 'paired_default_vs_off.*PASS' /tmp/rkd_bench_obs.out; then
     exit 1
 fi
 
+echo "==> bench_tables smoke (indexed lookup scaling gates + BENCH_tables.json)"
+RKD_BENCH_WARMUP_MS=5 RKD_BENCH_MEASURE_MS=20 RKD_BENCH_SAMPLES=5 \
+    RKD_BENCH_TABLES_JSON="$PWD/BENCH_tables.json" \
+    cargo bench --offline -q -p rkd-bench --bench bench_tables | tee /tmp/rkd_bench_tables.out
+if ! grep -q 'speedup_gate lpm_4096.*PASS' /tmp/rkd_bench_tables.out; then
+    echo "ERROR: LPM indexed lookup gate failed (< 5x over linear scan at 4096 entries)" >&2
+    exit 1
+fi
+if ! grep -q 'speedup_gate ternary_4096.*PASS' /tmp/rkd_bench_tables.out; then
+    echo "ERROR: Ternary indexed lookup gate failed (< 5x over linear scan at 4096 entries)" >&2
+    exit 1
+fi
+test -s BENCH_tables.json || { echo "ERROR: BENCH_tables.json was not written" >&2; exit 1; }
+
 echo "==> example: lean_monitoring (end-to-end datapath observability)"
 cargo run -q --release --offline --example lean_monitoring >/dev/null
 

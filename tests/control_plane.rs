@@ -130,6 +130,92 @@ fn model_hot_swap_flips_live_decisions() {
 }
 
 #[test]
+fn ctrl_mutations_mid_replay_never_serve_stale_decisions() {
+    // A range table is decision-cache eligible, so repeated firings of
+    // the same flow replay memoized match resolutions. Control-plane
+    // entry churn through `CtrlRequest` must invalidate those replays
+    // immediately — a stale verdict here would be a correctness bug,
+    // not a performance one.
+    let src = r#"
+        program "ranged" {
+            ctxt pid: ro;
+            action allow { return 1; }
+            action deny { return -1; }
+            table t { hook gate; match pid; kind range; default deny; size 16; }
+        }
+    "#;
+    let compiled = compile(src).unwrap();
+    let verified = verify(compiled.program.clone()).unwrap();
+    let mut vm = RmtMachine::new();
+    let id = vm.install(verified, ExecMode::Jit).unwrap();
+    let table = compiled.tables["t"];
+    let allow = compiled.actions["allow"];
+    let deny = compiled.actions["deny"];
+    syscall_rmt(
+        &mut vm,
+        CtrlRequest::InsertEntry {
+            prog: id,
+            table,
+            entry: Entry {
+                key: MatchKey::Range(vec![(0, 100)]),
+                priority: 1,
+                action: allow,
+                arg: 0,
+            },
+        },
+    )
+    .unwrap();
+    // Warm the decision cache on a stable flow.
+    for _ in 0..8 {
+        let mut ctxt = Ctxt::from_values(vec![50]);
+        assert_eq!(vm.fire("gate", &mut ctxt).verdict(), Some(1));
+    }
+    // Mid-replay, the control plane shadows the flow with a
+    // higher-priority deny. The very next firing must see it.
+    syscall_rmt(
+        &mut vm,
+        CtrlRequest::InsertEntry {
+            prog: id,
+            table,
+            entry: Entry {
+                key: MatchKey::Range(vec![(40, 60)]),
+                priority: 9,
+                action: deny,
+                arg: 0,
+            },
+        },
+    )
+    .unwrap();
+    let mut ctxt = Ctxt::from_values(vec![50]);
+    assert_eq!(vm.fire("gate", &mut ctxt).verdict(), Some(-1));
+    // Removing it restores the broad allow — again with no staleness.
+    match syscall_rmt(
+        &mut vm,
+        CtrlRequest::RemoveEntry {
+            prog: id,
+            table,
+            key: MatchKey::Range(vec![(40, 60)]),
+        },
+    )
+    .unwrap()
+    {
+        CtrlResponse::Removed(true) => {}
+        other => panic!("{other:?}"),
+    }
+    let mut ctxt = Ctxt::from_values(vec![50]);
+    assert_eq!(vm.fire("gate", &mut ctxt).verdict(), Some(1));
+    // The cache did real work (hits on the warm flow) and both
+    // mutations registered as invalidations.
+    match syscall_rmt(&mut vm, CtrlRequest::QueryMachineCounters).unwrap() {
+        CtrlResponse::Counters(c) => {
+            assert!(c.decision_cache_hits >= 7, "hits {c:?}");
+            assert!(c.decision_cache_invalidations >= 2, "invalidations {c:?}");
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
 fn two_programs_coexist_and_remove_cleanly() {
     let mut vm = RmtMachine::new();
     let mk = |vm: &mut RmtMachine, verdict: i64| {

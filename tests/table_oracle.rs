@@ -1,0 +1,141 @@
+//! Differential property tests: the indexed match-table lookup engine
+//! must be observationally identical to the retained linear-scan
+//! oracle (`Table::lookup_linear_ref`) for every `MatchKind`, through
+//! arbitrary insert/remove churn — longest prefix wins, highest
+//! priority wins, and ties break toward the earliest-inserted entry.
+//!
+//! Every entry carries a unique `arg`, so two entries that tie on
+//! (key, priority) are still distinguishable: any tie-break divergence
+//! between the engine and the oracle fails the comparison.
+
+use rkd::core::ctxt::FieldId;
+use rkd::core::table::{ActionId, Entry, MatchKey, MatchKind, Table, TableDef};
+use rkd::testkit::prop::Gen;
+use rkd::testkit::prop_check;
+use rkd::testkit::rng::Rng;
+
+fn def(kind: MatchKind, arity: usize) -> TableDef {
+    TableDef {
+        name: "prop".into(),
+        hook: "h".into(),
+        key_fields: (0..arity as u16).map(FieldId).collect(),
+        kind,
+        default_action: None,
+        max_entries: 4096,
+    }
+}
+
+/// Small, collision-rich key space so probes actually hit entries and
+/// priorities/prefix lengths genuinely compete.
+fn gen_key(g: &mut Gen, kind: MatchKind, arity: usize) -> MatchKey {
+    match kind {
+        MatchKind::Exact => MatchKey::Exact((0..arity).map(|_| g.gen_range(0..8u64)).collect()),
+        MatchKind::Lpm => {
+            let lens = [0u8, 2, 4, 6, 8, 16];
+            MatchKey::Lpm {
+                value: g.gen_range(0..256u64) << 56,
+                prefix_len: lens[g.gen_range(0..lens.len())],
+            }
+        }
+        MatchKind::Range => MatchKey::Range(
+            (0..arity)
+                .map(|_| {
+                    let lo = g.gen_range(0..64u64);
+                    let hi = lo + g.gen_range(0..16u64);
+                    if g.gen_bool(0.1) {
+                        // Deliberately empty (lo > hi) range: matches
+                        // nothing, must not corrupt either engine.
+                        (hi + 1, lo)
+                    } else {
+                        (lo, hi)
+                    }
+                })
+                .collect(),
+        ),
+        MatchKind::Ternary => {
+            let masks = [0u64, 0xF, 0xF0, 0xFF, 0x3C];
+            MatchKey::Ternary(
+                (0..arity)
+                    .map(|_| (g.gen_range(0..256u64), masks[g.gen_range(0..masks.len())]))
+                    .collect(),
+            )
+        }
+    }
+}
+
+fn gen_probe(g: &mut Gen, kind: MatchKind, arity: usize) -> Vec<u64> {
+    match kind {
+        MatchKind::Exact => (0..arity).map(|_| g.gen_range(0..8u64)).collect(),
+        MatchKind::Lpm => vec![(g.gen_range(0..256u64) << 56) | g.gen_range(0..1024u64)],
+        MatchKind::Range => (0..arity).map(|_| g.gen_range(0..96u64)).collect(),
+        MatchKind::Ternary => (0..arity).map(|_| g.gen_range(0..256u64)).collect(),
+    }
+}
+
+/// Random insert/remove churn; after every op, a handful of probes
+/// must agree between the indexed engine and the linear oracle.
+fn run_differential(g: &mut Gen, kind: MatchKind, arity: usize) {
+    let mut t = Table::new(def(kind, arity));
+    let mut keys: Vec<MatchKey> = Vec::new();
+    let mut arg = 0i64;
+    let ops = g.scaled_len(8, 96);
+    for _ in 0..ops {
+        if keys.is_empty() || g.gen_bool(0.7) {
+            let key = gen_key(g, kind, arity);
+            keys.push(key.clone());
+            arg += 1;
+            t.insert(Entry {
+                key,
+                priority: g.gen_range(0..4u32),
+                action: ActionId(0),
+                arg,
+            })
+            .expect("capacity is ample and keys are well-formed");
+        } else {
+            let i = g.gen_range(0..keys.len());
+            let key = keys.swap_remove(i);
+            // May be a second removal of an exact-replaced key: a
+            // no-op `false` is fine, both engines see the same table.
+            t.remove(&key);
+        }
+        for _ in 0..3 {
+            let probe = gen_probe(g, kind, arity);
+            let indexed = t.lookup(&probe).map(|e| e.arg);
+            let oracle = t.lookup_linear_ref(&probe).map(|e| e.arg);
+            assert_eq!(
+                indexed,
+                oracle,
+                "kind {kind:?} diverged on probe {probe:?} with {} entries",
+                t.len()
+            );
+        }
+    }
+}
+
+prop_check!(exact_indexed_matches_linear_oracle, cases = 96, |g| {
+    run_differential(g, MatchKind::Exact, 1);
+});
+
+prop_check!(exact_multi_component_matches_oracle, cases = 64, |g| {
+    run_differential(g, MatchKind::Exact, 2);
+});
+
+prop_check!(lpm_indexed_matches_linear_oracle, cases = 96, |g| {
+    run_differential(g, MatchKind::Lpm, 1);
+});
+
+prop_check!(range_indexed_matches_linear_oracle, cases = 96, |g| {
+    run_differential(g, MatchKind::Range, 1);
+});
+
+prop_check!(range_multi_component_matches_oracle, cases = 64, |g| {
+    run_differential(g, MatchKind::Range, 2);
+});
+
+prop_check!(ternary_indexed_matches_linear_oracle, cases = 96, |g| {
+    run_differential(g, MatchKind::Ternary, 1);
+});
+
+prop_check!(ternary_multi_component_matches_oracle, cases = 64, |g| {
+    run_differential(g, MatchKind::Ternary, 2);
+});
