@@ -6,6 +6,10 @@
 //! full-timing overhead against the 5% budget the layer was designed
 //! to. It also prices the raw primitives (histogram record, trace-ring
 //! push) so regressions are attributable.
+//!
+//! Set `RKD_BENCH_OBS_JSON=<path>` to also emit the medians and the
+//! paired-overhead verdict as a JSON document (consumed by
+//! `scripts/ci.sh`).
 
 use rkd_bench::harness::{BatchSize, Harness};
 use rkd_core::bytecode::{Action, AluOp, CmpOp, Insn, Reg};
@@ -13,6 +17,7 @@ use rkd_core::ctxt::Ctxt;
 use rkd_core::machine::{ExecMode, RmtMachine};
 use rkd_core::obs::{Log2Hist, ObsConfig, TraceEvent, TraceKind, TraceRing};
 use rkd_core::verifier::verify;
+use rkd_testkit::json::Json;
 
 /// Same compute-heavy action as `bench_vm`: a bounded 64-iteration ALU
 /// loop, representative of a non-trivial learned-policy action.
@@ -87,7 +92,7 @@ fn bench_fire(c: &mut Harness, id: &str, cfg: ObsConfig) -> Option<f64> {
     median
 }
 
-fn bench_overhead(c: &mut Harness) {
+fn bench_overhead(c: &mut Harness) -> Vec<(String, Json)> {
     let off = bench_fire(
         c,
         "fire_timing_off",
@@ -128,6 +133,25 @@ fn bench_overhead(c: &mut Harness) {
     );
     let verdict = if overhead <= 5.0 { "PASS" } else { "FAIL" };
     println!("obs_overhead/paired_default_vs_off     {overhead:+6.2}%  (budget 5%) {verdict}");
+    let mut doc = Vec::new();
+    for (label, median) in [
+        ("fire_timing_off_ns", off),
+        ("fire_default_sampled_1in8_ns", default),
+        ("fire_full_timing_ns", full),
+    ] {
+        if let Some(v) = median {
+            doc.push((label.to_string(), Json::Float(v)));
+        }
+    }
+    doc.push((
+        "paired_default_overhead_pct".to_string(),
+        Json::Float(overhead),
+    ));
+    doc.push((
+        "paired_default_verdict".to_string(),
+        Json::Str(verdict.to_string()),
+    ));
+    doc
 }
 
 /// Median per-batch overhead of `cfg_b` over `cfg_a` on the `fire()`
@@ -159,9 +183,9 @@ fn paired_overhead_pct(cfg_a: ObsConfig, cfg_b: ObsConfig) -> f64 {
     (ratios[ROUNDS / 2] - 1.0) * 100.0
 }
 
-fn bench_primitives(c: &mut Harness) {
+fn bench_primitives(c: &mut Harness) -> Vec<(String, Json)> {
     let mut group = c.benchmark_group("obs_primitives");
-    group.bench_function("hist_record", |b| {
+    let hist = group.bench_function("hist_record", |b| {
         let mut h = Log2Hist::new();
         let mut v = 1u64;
         b.iter(|| {
@@ -170,7 +194,7 @@ fn bench_primitives(c: &mut Harness) {
             h.count()
         });
     });
-    group.bench_function("trace_push_saturated", |b| {
+    let trace = group.bench_function("trace_push_saturated", |b| {
         let mut ring = TraceRing::new(1024);
         let mut i = 0i64;
         b.iter(|| {
@@ -185,6 +209,28 @@ fn bench_primitives(c: &mut Harness) {
         });
     });
     group.finish();
+    let mut doc = Vec::new();
+    for (label, median) in [("hist_record_ns", hist), ("trace_push_saturated_ns", trace)] {
+        if let Some(v) = median {
+            doc.push((label.to_string(), Json::Float(v)));
+        }
+    }
+    doc
 }
 
-rkd_bench::bench_main!(bench_overhead, bench_primitives);
+fn main() {
+    let mut harness = Harness::from_env();
+    let mut doc = bench_overhead(&mut harness);
+    doc.extend(bench_primitives(&mut harness));
+    harness.finish();
+    if let Ok(path) = std::env::var("RKD_BENCH_OBS_JSON") {
+        if !path.trim().is_empty() {
+            let json = Json::Obj(doc).to_string_compact();
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("bench_obs: failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {path}");
+        }
+    }
+}

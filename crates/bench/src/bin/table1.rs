@@ -18,13 +18,14 @@
 use rkd_bench::{
     f1, f2, render_table, table1_matrix_params, table1_mem_config, table1_video_params,
 };
+use rkd_core::obs::{export, ObsSnapshot};
 use rkd_sim::mem::ml::{MlPrefetchConfig, MlPrefetcher};
 use rkd_sim::mem::prefetcher::{Leap, Readahead};
 use rkd_sim::mem::sim::{run, MemSimResult};
 use rkd_workloads::mem::{matrix_conv, video_resize};
 use rkd_workloads::PageTrace;
 
-fn run_all(trace: &PageTrace) -> Vec<MemSimResult> {
+fn run_all(trace: &PageTrace) -> (Vec<MemSimResult>, ObsSnapshot) {
     let cfg = table1_mem_config();
     let mut results = Vec::new();
     results.push(run(trace, &mut Readahead::default(), &cfg));
@@ -61,10 +62,11 @@ fn run_all(trace: &PageTrace) -> Vec<MemSimResult> {
             c.decision_cache_invalidations,
         );
     }
-    results
+    (results, snap)
 }
 
 fn main() {
+    let metrics = std::env::args().any(|a| a == "--metrics");
     println!("== Table 1: Case study: Page prefetching ==\n");
     let video = video_resize(&table1_video_params());
     let matrix = matrix_conv(&table1_matrix_params());
@@ -73,8 +75,8 @@ fn main() {
         video.len(),
         matrix.len()
     );
-    let v = run_all(&video);
-    let m = run_all(&matrix);
+    let (v, v_snap) = run_all(&video);
+    let (m, m_snap) = run_all(&matrix);
     let paper_acc = [["40.69", "45.40", "78.89"], ["12.50", "48.86", "92.91"]];
     let paper_cov = [["65.09", "66.81", "84.13"], ["19.28", "65.62", "88.51"]];
     let paper_jct = [["24.60", "23.02", "17.79"], ["31.74", "17.48", "13.90"]];
@@ -132,4 +134,12 @@ fn main() {
         if ok(&v) { "PASS" } else { "FAIL" },
         if ok(&m) { "PASS" } else { "FAIL" }
     );
+    // `--metrics`: dump the embedded datapath's self-observation as
+    // Prometheus text exposition, one block per workload.
+    if metrics {
+        for (name, snap) in [("video_resize", &v_snap), ("matrix_conv", &m_snap)] {
+            println!("\n# == metrics: {name} ==");
+            print!("{}", export::to_prometheus(snap));
+        }
+    }
 }

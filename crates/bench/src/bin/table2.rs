@@ -17,12 +17,14 @@
 //! Table 2 is parity, not speedup). Run with `--release`.
 
 use rkd_bench::{f1, f2, render_table};
+use rkd_core::obs::export;
 use rkd_sim::sched::experiment::{run_case_study, CaseStudyConfig};
 use rkd_testkit::rng::SeedableRng;
 use rkd_testkit::rng::StdRng;
 use rkd_workloads::sched::table2_suite;
 
 fn main() {
+    let metrics = std::env::args().any(|a| a == "--metrics");
     println!("== Table 2: Case study: Linux Scheduler ==\n");
     let mut rng = StdRng::seed_from_u64(2021);
     let suite = table2_suite(4, &mut rng);
@@ -77,6 +79,14 @@ fn main() {
         if !ok {
             all_ok = false;
             eprintln!("  shape deviation on {}", row.benchmark);
+        }
+        // `--metrics`: dump each embedded datapath's self-observation
+        // (model telemetry included) as Prometheus text exposition.
+        if metrics {
+            for (tag, snap) in &row.obs {
+                println!("\n# == metrics: {}/{} ==", row.benchmark, tag);
+                print!("{}", export::to_prometheus(snap));
+            }
         }
     }
     println!(

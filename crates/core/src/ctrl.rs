@@ -125,6 +125,31 @@ pub enum CtrlRequest {
     /// Read the machine-wide datapath counters (fires, table
     /// hits/misses, decision-cache hits/misses/invalidations, …).
     QueryMachineCounters,
+    /// Report the ground-truth outcome of one earlier model
+    /// prediction — the feedback half of §3.1's "past prediction
+    /// accuracy" loop. Updates the slot's confusion matrix and
+    /// prequential-accuracy window.
+    ReportOutcome {
+        /// Target program.
+        prog: ProgId,
+        /// Model slot the prediction came from.
+        slot: ModelSlot,
+        /// The class the datapath served.
+        predicted: i64,
+        /// The class that turned out to be correct.
+        actual: i64,
+    },
+    /// Read one model slot's prediction telemetry (serving counters,
+    /// confusion matrix, windowed accuracy, drift flag).
+    QueryModelStats {
+        /// Target program.
+        prog: ProgId,
+        /// Model slot to read.
+        slot: ModelSlot,
+    },
+    /// Read the flight recorder's buffered time-series frames
+    /// (non-draining).
+    FlightRead,
 }
 
 /// A control-plane response.
@@ -150,6 +175,11 @@ pub enum CtrlResponse {
     Trace(obs::TraceSnapshot),
     /// Machine-wide datapath counters.
     Counters(obs::MachineCounters),
+    /// Model prediction telemetry (boxed: histograms and the confusion
+    /// matrix make this variant large).
+    ModelStats(Box<obs::ModelStatsSnapshot>),
+    /// Flight-recorder frames (boxed: frames carry full counter sets).
+    Flight(Box<obs::FlightSnapshot>),
 }
 
 /// Dispatches one control-plane request against a machine, using the
@@ -221,6 +251,19 @@ pub fn syscall_rmt_with(
             Ok(CtrlResponse::Ok)
         }
         CtrlRequest::QueryMachineCounters => Ok(CtrlResponse::Counters(machine.machine_counters())),
+        CtrlRequest::ReportOutcome {
+            prog,
+            slot,
+            predicted,
+            actual,
+        } => {
+            machine.report_outcome(prog, slot, predicted, actual)?;
+            Ok(CtrlResponse::Ok)
+        }
+        CtrlRequest::QueryModelStats { prog, slot } => Ok(CtrlResponse::ModelStats(Box::new(
+            machine.model_stats(prog, slot)?,
+        ))),
+        CtrlRequest::FlightRead => Ok(CtrlResponse::Flight(Box::new(machine.flight_snapshot()))),
     }
 }
 
@@ -464,6 +507,102 @@ mod tests {
     }
 
     #[test]
+    fn model_telemetry_requests() {
+        use rkd_ml::cost::LatencyClass;
+        use rkd_ml::fixed::Fix;
+        use rkd_ml::svm::IntSvm;
+        // One-model program; the SVM predicts 1 for positive x.
+        let mut b = ProgramBuilder::new("mt");
+        let f = b.field_readonly("x");
+        let slot = b.model(
+            "svm",
+            ModelSpec::Svm(IntSvm {
+                weights: vec![Fix::ONE],
+                bias: Fix::ZERO,
+            }),
+            LatencyClass::Scheduler,
+        );
+        let a = b.action(Action::new(
+            "ml",
+            vec![
+                Insn::VectorLdCtxt {
+                    dst: crate::bytecode::VReg(0),
+                    base: f,
+                    len: 1,
+                },
+                Insn::CallMl {
+                    model: slot,
+                    src: crate::bytecode::VReg(0),
+                },
+                Insn::Exit,
+            ],
+        ));
+        b.table("t", "h", &[f], MatchKind::Exact, Some(a), 4);
+        let mut m = RmtMachine::new();
+        let id = match syscall_rmt(
+            &mut m,
+            CtrlRequest::Install {
+                prog: Box::new(b.build()),
+                mode: ExecMode::Interp,
+                seed: 1,
+            },
+        )
+        .unwrap()
+        {
+            CtrlResponse::Installed(id) => id,
+            other => panic!("unexpected {other:?}"),
+        };
+        let mut ctxt = crate::ctxt::Ctxt::from_values(vec![3]);
+        m.fire("h", &mut ctxt);
+        // Feed ground truth: one hit, one miss.
+        for actual in [1, 0] {
+            assert_eq!(
+                syscall_rmt(
+                    &mut m,
+                    CtrlRequest::ReportOutcome {
+                        prog: id,
+                        slot,
+                        predicted: 1,
+                        actual,
+                    },
+                )
+                .unwrap(),
+                CtrlResponse::Ok
+            );
+        }
+        match syscall_rmt(&mut m, CtrlRequest::QueryModelStats { prog: id, slot }).unwrap() {
+            CtrlResponse::ModelStats(ms) => {
+                assert_eq!(ms.served, 1);
+                assert_eq!(ms.outcomes, 2);
+                assert_eq!(ms.hits, 1);
+                assert_eq!(ms.acc_permille, 500);
+                assert_eq!(ms.name, "svm");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Unknown slot errors.
+        assert!(syscall_rmt(
+            &mut m,
+            CtrlRequest::QueryModelStats {
+                prog: id,
+                slot: ModelSlot(7),
+            },
+        )
+        .is_err());
+        // FlightRead returns the (empty-so-far) recorder contents.
+        match syscall_rmt(&mut m, CtrlRequest::FlightRead).unwrap() {
+            CtrlResponse::Flight(fs) => {
+                assert_eq!(
+                    fs.interval,
+                    crate::obs::ObsConfig::default().flight_interval
+                );
+                assert!(fs.frames.is_empty(), "only 1 fire, interval not reached");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
     fn requests_are_debuggable_and_cloneable() {
         let req = CtrlRequest::QueryStats { prog: ProgId(3) };
         let req2 = req.clone();
@@ -494,6 +633,14 @@ rkd_testkit::impl_json_enum!(CtrlRequest {
     ObsReset,
     SetDecisionCacheCapacity { capacity },
     QueryMachineCounters,
+    ReportOutcome {
+        prog,
+        slot,
+        predicted,
+        actual
+    },
+    QueryModelStats { prog, slot },
+    FlightRead,
 });
 
 rkd_testkit::impl_json_enum!(CtrlResponse {
@@ -507,4 +654,6 @@ rkd_testkit::impl_json_enum!(CtrlResponse {
     HookStats(stats),
     Trace(snapshot),
     Counters(counters),
+    ModelStats(stats),
+    Flight(snapshot),
 });

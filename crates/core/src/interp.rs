@@ -96,6 +96,12 @@ pub struct ExecEnv<'a> {
     pub ledger: &'a mut PrivacyLedger,
     /// Privacy policy (per-query charge and sensitivity).
     pub privacy: PrivacyPolicy,
+    /// Per-model-slot prediction telemetry, indexed like `models`. An
+    /// empty slice disables recording (standalone action runs).
+    pub ml_stats: &'a mut [crate::obs::ModelStats],
+    /// Whether this firing was picked for latency sampling — bounds
+    /// inference clock reads exactly like whole-fire timing.
+    pub time_ml: bool,
 }
 
 /// Executes an action in interpreted mode.
@@ -257,6 +263,7 @@ pub fn run_action(
                     .get(model.0 as usize)
                     .ok_or(VmError::Fault("bad model"))?;
                 let features = &vregs[vreg_idx(*src)?];
+                let t0 = env.time_ml.then(std::time::Instant::now);
                 let (mut class, conf) = m
                     .spec
                     .predict(features)
@@ -267,6 +274,12 @@ pub fn run_action(
                     if tripped {
                         out.guard_trips += 1;
                     }
+                }
+                // Telemetry records the post-guard class — what the
+                // datapath actually served, the value ground-truth
+                // outcomes are judged against.
+                if let Some(st) = env.ml_stats.get_mut(model.0 as usize) {
+                    st.record_prediction(class as i64, t0.map(|t| t.elapsed().as_nanos() as u64));
                 }
                 regs[0] = class as i64;
                 regs[1] = conf.raw() as i64;
@@ -412,6 +425,8 @@ mod tests {
                 rng: &mut self.rng,
                 ledger: &mut self.ledger,
                 privacy: self.privacy,
+                ml_stats: &mut [],
+                time_ml: false,
             }
         }
     }

@@ -252,6 +252,7 @@ impl CompiledAction {
                 }
                 Op::CallMl(m, s) => {
                     let model = env.models.get(*m).ok_or(VmError::Fault("bad model"))?;
+                    let t0 = env.time_ml.then(std::time::Instant::now);
                     let (mut class, conf) = model
                         .spec
                         .predict(&vregs[*s])
@@ -262,6 +263,14 @@ impl CompiledAction {
                         if tripped {
                             out.guard_trips += 1;
                         }
+                    }
+                    // Mirrors the interpreter: record the post-guard
+                    // class so both engines produce identical stats.
+                    if let Some(st) = env.ml_stats.get_mut(*m) {
+                        st.record_prediction(
+                            class as i64,
+                            t0.map(|t| t.elapsed().as_nanos() as u64),
+                        );
                     }
                     regs[0] = class as i64;
                     regs[1] = conf.raw() as i64;
@@ -388,6 +397,8 @@ mod tests {
                 rng: &mut self.rng,
                 ledger: &mut self.ledger,
                 privacy: PrivacyPolicy::default(),
+                ml_stats: &mut [],
+                time_ml: false,
             }
         }
     }

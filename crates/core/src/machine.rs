@@ -19,7 +19,8 @@ use crate::interp::{run_action, ActionOutcome, Effect, ExecEnv};
 use crate::jit::CompiledAction;
 use crate::maps::{MapId, MapInstance};
 use crate::obs::{
-    HookStats, Log2Hist, Obs, ObsConfig, ObsSnapshot, ProgHist, TraceEvent, TraceKind,
+    FlightFrame, FlightHookPoint, FlightModelPoint, FlightSnapshot, HookStats, Log2Hist,
+    ModelStats, ModelStatsSnapshot, Obs, ObsConfig, ObsSnapshot, ProgHist, TraceEvent, TraceKind,
     TraceSnapshot,
 };
 use crate::prog::{ModelSpec, RmtProgram};
@@ -250,6 +251,10 @@ struct Installed {
     /// Per-pipeline-run latency histogram (ns), fed by `fire` when
     /// observability timing is on.
     hist: Log2Hist,
+    /// Per-model-slot prediction telemetry (`model_stats[i]` tracks
+    /// `prog.models[i]`): serving counters fed by the datapath,
+    /// confusion/accuracy fed by control-plane `ReportOutcome`.
+    model_stats: Vec<ModelStats>,
 }
 
 /// Everything the machine keeps per hook name: the listener list plus
@@ -403,6 +408,7 @@ impl RmtMachine {
             hook_tables.entry(t.hook.clone()).or_default().push(i);
         }
         let hook_names: Vec<String> = seen_hooks.iter().map(|h| h.to_string()).collect();
+        let n_models = prog.models.len();
         for hook in seen_hooks {
             let first = prog
                 .tables
@@ -437,6 +443,9 @@ impl RmtMachine {
                 bucket,
                 stats: ProgStats::default(),
                 hist: Log2Hist::new(),
+                model_stats: std::iter::repeat_with(ModelStats::new)
+                    .take(n_models)
+                    .collect(),
             },
         );
         self.obs.ring.push(TraceEvent {
@@ -747,6 +756,8 @@ impl RmtMachine {
                         rng: &mut inst.rng,
                         ledger: &mut inst.ledger,
                         privacy: inst.prog.privacy,
+                        ml_stats: &mut inst.model_stats,
+                        time_ml: timed,
                     };
                     match inst.mode {
                         ExecMode::Interp => run_action(
@@ -921,7 +932,47 @@ impl RmtMachine {
             slot.hist
                 .record(end.duration_since(start).as_nanos() as u64);
         }
+        if self.obs.flight.due(self.obs.counters.fires) {
+            self.capture_flight_frame();
+        }
         result
+    }
+
+    /// Captures one flight-recorder frame from current obs state.
+    fn capture_flight_frame(&mut self) {
+        let mut hooks: Vec<FlightHookPoint> = self
+            .hook_index
+            .iter()
+            .map(|(name, s)| FlightHookPoint {
+                hook: name.clone(),
+                fires: s.fires,
+                p50: s.hist.percentile(50),
+                p99: s.hist.percentile(99),
+            })
+            .collect();
+        hooks.sort_by(|a, b| a.hook.cmp(&b.hook));
+        let mut models = Vec::new();
+        for (&id, inst) in &self.programs {
+            for (slot, ms) in inst.model_stats.iter().enumerate() {
+                models.push(FlightModelPoint {
+                    prog: id,
+                    slot: slot as u16,
+                    served: ms.served(),
+                    outcomes: ms.outcomes(),
+                    acc_permille: ms.rolling_accuracy_permille().map_or(-1, |v| v as i64),
+                    drift_suspected: ms.drift_suspected(),
+                });
+            }
+        }
+        let frame = FlightFrame {
+            seq: 0, // stamped by the recorder
+            tick: self.tick,
+            fires: self.obs.counters.fires,
+            counters: self.obs.counters,
+            hooks,
+            models,
+        };
+        self.obs.flight.push(frame);
     }
 
     /// Inserts or replaces a runtime entry (control-plane API).
@@ -1010,6 +1061,14 @@ impl RmtMachine {
                 })
             })?;
         def.spec = spec;
+        // The swapped-in model starts with a clean prequential window
+        // and drift latch — the old model's recent accuracy says
+        // nothing about its replacement. Cumulative counters (served,
+        // confusion, latency) survive: they describe the slot's
+        // lifetime, and obs_reset is the explicit way to clear them.
+        if let Some(ms) = inst.model_stats.get_mut(slot.0 as usize) {
+            ms.reset_windows();
+        }
         self.obs.ring.push(TraceEvent {
             tick: self.tick,
             prog: prog.0,
@@ -1020,6 +1079,55 @@ impl RmtMachine {
         // recorded against the old model must not replay.
         self.table_gen += 1;
         Ok(())
+    }
+
+    /// Reports the ground-truth outcome of one earlier model
+    /// prediction (control-plane `ReportOutcome`): updates the slot's
+    /// confusion matrix and prequential-accuracy window, latching
+    /// `drift_suspected` on a threshold crossing — §3.1's "past
+    /// prediction accuracy" feedback loop.
+    pub fn report_outcome(
+        &mut self,
+        prog: ProgId,
+        slot: crate::bytecode::ModelSlot,
+        predicted: i64,
+        actual: i64,
+    ) -> Result<(), VmError> {
+        let cfg = self.obs.cfg;
+        let inst = self
+            .programs
+            .get_mut(&prog.0)
+            .ok_or(VmError::NoSuchProgram(prog.0))?;
+        let ms = inst
+            .model_stats
+            .get_mut(slot.0 as usize)
+            .ok_or(VmError::NoSuchModel(slot.0))?;
+        ms.record_outcome(predicted, actual, &cfg);
+        Ok(())
+    }
+
+    /// Reads one model slot's prediction telemetry (control-plane
+    /// `QueryModelStats`).
+    pub fn model_stats(
+        &self,
+        prog: ProgId,
+        slot: crate::bytecode::ModelSlot,
+    ) -> Result<ModelStatsSnapshot, VmError> {
+        let inst = self
+            .programs
+            .get(&prog.0)
+            .ok_or(VmError::NoSuchProgram(prog.0))?;
+        let ms = inst
+            .model_stats
+            .get(slot.0 as usize)
+            .ok_or(VmError::NoSuchModel(slot.0))?;
+        let name = inst
+            .prog
+            .models
+            .get(slot.0 as usize)
+            .map(|d| d.name.clone())
+            .unwrap_or_default();
+        Ok(ms.snapshot(prog.0, slot.0, name))
     }
 
     /// Reads a program's statistics.
@@ -1130,11 +1238,15 @@ impl RmtMachine {
     }
 
     /// Reconfigures the observability layer at runtime. Counters and
-    /// histograms are kept; the trace ring is resized (evicting — and
-    /// counting — oldest events if it shrinks).
+    /// histograms are kept; the trace ring and flight recorder are
+    /// resized (evicting — and counting — oldest entries if they
+    /// shrink).
     pub fn set_obs_config(&mut self, cfg: ObsConfig) {
         self.obs.cfg = cfg;
         self.obs.ring.set_capacity(cfg.trace_capacity);
+        self.obs
+            .flight
+            .configure(cfg.flight_interval, cfg.flight_capacity);
     }
 
     /// Machine-wide datapath counters.
@@ -1165,19 +1277,31 @@ impl RmtMachine {
         }
     }
 
-    /// Resets the observability layer: counters, per-hook and
-    /// per-program histograms, and the trace ring (including its
-    /// dropped count). [`ProgStats`] and [`TableStats`] are not
+    /// Resets the observability layer: counters (including the
+    /// decision-cache hit/miss/invalidation/eviction/bypass counters —
+    /// they are observations *about* the cache, owned by the obs
+    /// layer), per-hook and per-program histograms, per-model
+    /// prediction telemetry (confusion matrices, prequential windows,
+    /// the drift latch), the trace ring, and the flight recorder.
+    ///
+    /// The reset is observational only: cached decisions themselves
+    /// survive, so a warm flow still hits the cache on its next firing
+    /// — resetting telemetry must not change datapath behavior or
+    /// performance. [`ProgStats`] and [`TableStats`] are likewise not
     /// touched — they belong to the programs, not the obs layer.
     pub fn obs_reset(&mut self) {
         self.obs.counters = crate::obs::MachineCounters::default();
         self.obs.ring.reset();
+        self.obs.flight.reset();
         for slot in self.hook_index.values_mut() {
             slot.fires = 0;
             slot.hist.reset();
         }
         for inst in self.programs.values_mut() {
             inst.hist.reset();
+            for ms in &mut inst.model_stats {
+                ms.reset();
+            }
         }
     }
 
@@ -1204,14 +1328,44 @@ impl RmtMachine {
                 hist: inst.hist.clone(),
             })
             .collect();
+        let mut models = Vec::new();
+        for (&id, inst) in &self.programs {
+            for (slot, ms) in inst.model_stats.iter().enumerate() {
+                let name = inst
+                    .prog
+                    .models
+                    .get(slot)
+                    .map(|d| d.name.clone())
+                    .unwrap_or_default();
+                models.push(ms.snapshot(id, slot as u16, name));
+            }
+        }
         ObsSnapshot {
             tick: self.tick,
             counters: self.obs.counters,
             hooks,
             programs,
+            models,
             trace_dropped: self.obs.ring.dropped(),
             trace_pending: self.obs.ring.len() as u64,
         }
+    }
+
+    /// Serializable copy of the flight recorder (control-plane
+    /// `FlightRead`). Non-draining: frames stay buffered until evicted
+    /// by newer frames, a reconfigure, or an obs reset.
+    pub fn flight_snapshot(&self) -> FlightSnapshot {
+        self.obs.flight.snapshot()
+    }
+
+    /// Serves exactly one metrics scrape from `listener` and returns
+    /// the request path served: `GET /metrics` answers Prometheus text
+    /// exposition, `GET /metrics.json` the JSON rendering of the same
+    /// [`ObsSnapshot`] (see [`crate::obs::export`]). Blocking by
+    /// design — the embedding decides when to donate a thread; the
+    /// machine itself never spawns one.
+    pub fn serve_metrics_once(&self, listener: &std::net::TcpListener) -> std::io::Result<String> {
+        crate::obs::export::serve_once(listener, &self.obs_snapshot())
     }
 }
 
@@ -1507,6 +1661,159 @@ mod tests {
             m.update_model(id, slot, ModelSpec::Svm(too_big)),
             Err(VmError::BadEntry(_)) | Err(VmError::Verify(_))
         ));
+    }
+
+    /// Builds a one-model program (tree: x<4 -> class 0, else 1)
+    /// whose single table default-action runs `CallMl` on ctxt field
+    /// "x", and installs it.
+    fn ml_machine(mode: ExecMode) -> (RmtMachine, ProgId, crate::bytecode::ModelSlot) {
+        use rkd_ml::cost::LatencyClass;
+        use rkd_ml::dataset::{Dataset, Sample};
+        use rkd_ml::tree::{DecisionTree, TreeConfig};
+        let ds = Dataset::from_samples(vec![
+            Sample::from_f64(&[0.0], 0),
+            Sample::from_f64(&[1.0], 0),
+            Sample::from_f64(&[8.0], 1),
+            Sample::from_f64(&[9.0], 1),
+        ])
+        .unwrap();
+        let tree = DecisionTree::train(&ds, &TreeConfig::default()).unwrap();
+        let mut b = ProgramBuilder::new("mlprog");
+        let f = b.field_readonly("x");
+        let slot = b.model("clf", ModelSpec::Tree(tree), LatencyClass::Scheduler);
+        let act = b.action(Action::new(
+            "ml",
+            vec![
+                Insn::VectorLdCtxt {
+                    dst: crate::bytecode::VReg(0),
+                    base: f,
+                    len: 1,
+                },
+                Insn::CallMl {
+                    model: slot,
+                    src: crate::bytecode::VReg(0),
+                },
+                Insn::Exit,
+            ],
+        ));
+        b.table("t", "h", &[f], MatchKind::Exact, Some(act), 4);
+        let vp = verify(b.build()).unwrap();
+        let mut m = RmtMachine::new();
+        let id = m.install(vp, mode).unwrap();
+        (m, id, slot)
+    }
+
+    #[test]
+    fn model_telemetry_counts_served_predictions() {
+        for mode in [ExecMode::Interp, ExecMode::Jit] {
+            let (mut m, id, slot) = ml_machine(mode);
+            for x in [0i64, 1, 9, 9, 9] {
+                let mut ctxt = Ctxt::from_values(vec![x]);
+                m.fire("h", &mut ctxt);
+            }
+            let ms = m.model_stats(id, slot).unwrap();
+            assert_eq!(ms.served, 5, "{mode:?}");
+            assert_eq!(ms.class_counts[0], 2, "{mode:?}");
+            assert_eq!(ms.class_counts[1], 3, "{mode:?}");
+            assert_eq!(ms.name, "clf");
+            assert_eq!(ms.outcomes, 0, "no ground truth reported yet");
+            assert_eq!(ms.acc_permille, -1);
+            // Default config times 1-in-8 fires: exactly the first fire
+            // of this cold hook is sampled.
+            assert_eq!(ms.latency.count(), 1, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn model_outcomes_drive_drift_latch_and_swap_clears_it() {
+        let (mut m, id, slot) = ml_machine(ExecMode::Interp);
+        m.set_obs_config(ObsConfig {
+            accuracy_window: 4,
+            accuracy_windows: 2,
+            drift_threshold_permille: 500,
+            ..ObsConfig::default()
+        });
+        for _ in 0..4 {
+            m.report_outcome(id, slot, 1, 1).unwrap();
+        }
+        let ms = m.model_stats(id, slot).unwrap();
+        assert_eq!(ms.acc_permille, 1000);
+        assert!(!ms.drift_suspected);
+        for _ in 0..8 {
+            m.report_outcome(id, slot, 1, 0).unwrap();
+        }
+        let ms = m.model_stats(id, slot).unwrap();
+        assert!(ms.drift_suspected);
+        assert_eq!(ms.confusion[0][1], 8);
+        // Hot-swap clears the prequential windows and the latch but
+        // keeps cumulative counters.
+        let svm = rkd_ml::svm::IntSvm {
+            weights: vec![rkd_ml::fixed::Fix::ONE],
+            bias: rkd_ml::fixed::Fix::ZERO,
+        };
+        m.update_model(id, slot, ModelSpec::Svm(svm)).unwrap();
+        let ms = m.model_stats(id, slot).unwrap();
+        assert!(!ms.drift_suspected);
+        assert_eq!(ms.acc_permille, -1, "windows cleared");
+        assert_eq!(ms.outcomes, 12, "cumulative counters survive swap");
+        // Bad slot / program errors.
+        assert!(m
+            .report_outcome(id, crate::bytecode::ModelSlot(9), 0, 0)
+            .is_err());
+        assert!(m.model_stats(ProgId(999), slot).is_err());
+        // obs_reset clears everything.
+        m.obs_reset();
+        let ms = m.model_stats(id, slot).unwrap();
+        assert_eq!((ms.served, ms.outcomes, ms.hits), (0, 0, 0));
+    }
+
+    #[test]
+    fn flight_recorder_captures_periodic_frames() {
+        let (mut m, id, slot) = ml_machine(ExecMode::Interp);
+        m.set_obs_config(ObsConfig {
+            flight_interval: 4,
+            flight_capacity: 2,
+            ..ObsConfig::default()
+        });
+        for i in 0..10 {
+            if i == 5 {
+                m.report_outcome(id, slot, 1, 1).unwrap();
+            }
+            let mut ctxt = Ctxt::from_values(vec![9]);
+            m.fire("h", &mut ctxt);
+        }
+        let fs = m.flight_snapshot();
+        assert_eq!(fs.interval, 4);
+        // Frames due at fires 4 and 8; capacity 2 keeps both.
+        assert_eq!(fs.frames.len(), 2);
+        assert_eq!(fs.dropped, 0);
+        assert_eq!(fs.frames[0].fires, 4);
+        assert_eq!(fs.frames[1].fires, 8);
+        assert_eq!(fs.frames[1].counters.fires, 8);
+        assert_eq!(fs.frames[1].hooks.len(), 1);
+        assert_eq!(fs.frames[1].hooks[0].hook, "h");
+        assert_eq!(fs.frames[1].models.len(), 1);
+        assert_eq!(fs.frames[1].models[0].served, 8);
+        assert_eq!(fs.frames[0].models[0].outcomes, 0);
+        assert_eq!(fs.frames[1].models[0].outcomes, 1);
+        // Reset clears the ring.
+        m.obs_reset();
+        assert!(m.flight_snapshot().frames.is_empty());
+    }
+
+    #[test]
+    fn obs_snapshot_includes_model_stats() {
+        let (mut m, id, _slot) = ml_machine(ExecMode::Jit);
+        let mut ctxt = Ctxt::from_values(vec![9]);
+        m.fire("h", &mut ctxt);
+        let snap = m.obs_snapshot();
+        assert_eq!(snap.models.len(), 1);
+        assert_eq!(snap.models[0].prog, id.0);
+        assert_eq!(snap.models[0].served, 1);
+        // And it still round-trips through JSON with models attached.
+        let json = crate::snapshot::to_json_string(&snap);
+        let back: ObsSnapshot = crate::snapshot::from_json_str(&json).unwrap();
+        assert_eq!(back, snap);
     }
 
     #[test]

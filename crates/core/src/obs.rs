@@ -8,7 +8,7 @@
 //! substrate itself must be cheap enough to leave on: everything here
 //! is integer-only, fixed-size, and allocation-free on the hot path.
 //!
-//! Three primitives, all always-compiled (runtime-configurable, never
+//! Five primitives, all always-compiled (runtime-configurable, never
 //! feature-gated):
 //!
 //! - [`Log2Hist`] — power-of-two bucketed latency histograms (the
@@ -24,10 +24,25 @@
 //!   explicit `dropped` counter: when the ring is full the oldest
 //!   event is overwritten *and counted* — events are never lost
 //!   silently.
+//! - [`ModelStats`] — per-(program, model-slot) prediction telemetry:
+//!   predictions served, a per-class histogram, a sampled
+//!   inference-latency [`Log2Hist`], and — once the control plane
+//!   feeds ground truth back via `CtrlRequest::ReportOutcome` — an
+//!   integer confusion matrix plus windowed prequential accuracy with
+//!   a latched `drift_suspected` flag.
+//! - [`FlightRecorder`] — a bounded ring of periodic downsampled
+//!   [`FlightFrame`]s (counters + per-hook p50/p99 + per-model rolling
+//!   accuracy) captured every N fires, so post-hoc "when did it
+//!   regress" questions are answerable without external tooling.
 //!
 //! Snapshots ([`ObsSnapshot`]) serialize through the hermetic
 //! `rkd-testkit` JSON codec for offline analysis; the control plane
-//! exposes them via `CtrlRequest::{HookStats, TraceRead, ObsReset}`.
+//! exposes them via `CtrlRequest::{HookStats, TraceRead, ObsReset,
+//! ReportOutcome, QueryModelStats, FlightRead}`. The [`export`]
+//! submodule renders snapshots as Prometheus text exposition format
+//! and JSON, optionally over a one-shot loopback HTTP responder.
+
+pub mod export;
 
 use std::collections::VecDeque;
 
@@ -141,9 +156,22 @@ impl Log2Hist {
     }
 
     /// Approximate percentile (`p` in 0..=100): the inclusive upper
-    /// bound of the bucket where the cumulative count first reaches
-    /// `p%` of the samples, clamped into `[min, max]`. Returns 0 for an
-    /// empty histogram.
+    /// bound (the bucket **ceiling**, never the floor) of the bucket
+    /// where the cumulative count first reaches `p%` of the samples,
+    /// clamped into `[min, max]`.
+    ///
+    /// Pinned edge cases:
+    ///
+    /// - empty histogram → 0, for every `p`;
+    /// - `p == 0` → the rank is clamped up to 1, so this returns the
+    ///   ceiling of the first occupied bucket (clamped to `min` from
+    ///   below) — an approximation of the minimum, not 0;
+    /// - `p >= 100` → `p` saturates at 100 and the result is exactly
+    ///   [`Log2Hist::max`] (the last occupied bucket's ceiling clamps
+    ///   down to `max`);
+    /// - all samples in one bucket → every `p` returns the same value
+    ///   (the bucket ceiling clamped into `[min, max]`); if all
+    ///   samples are equal, that value is exact.
     pub fn percentile(&self, p: u64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -217,6 +245,249 @@ pub struct MachineCounters {
     /// Firings that skipped the cache because the hook's live tables
     /// are all exact-match (one hash probe — the cache cannot win).
     pub decision_cache_bypasses: u64,
+}
+
+/// Number of class bins in [`ModelStats`] histograms and confusion
+/// matrices. Classes `0..MODEL_CLASS_BINS-1` map to their own bin; the
+/// last bin absorbs everything else (negative or out-of-range classes),
+/// keeping the structures fixed-size and allocation-free.
+pub const MODEL_CLASS_BINS: usize = 8;
+
+/// One prequential-accuracy window: ground-truth outcomes observed and
+/// how many of them the datapath predicted correctly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccWindow {
+    /// Outcomes where `predicted == actual`.
+    pub hits: u64,
+    /// Total outcomes reported in this window.
+    pub total: u64,
+}
+
+/// Per-(program, model-slot) prediction telemetry.
+///
+/// The datapath side ([`Insn::CallMl`](crate::bytecode::Insn) in both
+/// engines) feeds the serving counters: predictions served, the
+/// per-class histogram of *served* (post-guard) classes, and a sampled
+/// inference-latency histogram. The control-plane side
+/// (`CtrlRequest::ReportOutcome`) feeds ground truth, maintaining an
+/// integer-only confusion matrix and windowed prequential accuracy —
+/// §3.1's "the control plane relies on past prediction accuracy to
+/// detect workload changes" made measurable.
+///
+/// Window semantics: outcomes accumulate into a current window of
+/// [`ObsConfig::accuracy_window`] outcomes; completed windows rotate
+/// through a bounded ring of [`ObsConfig::accuracy_windows`] entries.
+/// Rolling accuracy is computed over the ring **plus** the current
+/// partial window. Once at least one window's worth of outcomes is in
+/// view and the rolling accuracy drops below
+/// [`ObsConfig::drift_threshold_permille`], `drift_suspected` latches
+/// `true` — it stays set (so a polling control plane cannot miss a
+/// transient dip) until a model swap or an obs reset clears it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelStats {
+    served: u64,
+    class_counts: [u64; MODEL_CLASS_BINS],
+    latency: Log2Hist,
+    /// `confusion[actual_bin][predicted_bin]`, cumulative since reset.
+    confusion: [[u64; MODEL_CLASS_BINS]; MODEL_CLASS_BINS],
+    outcomes: u64,
+    hits: u64,
+    window: AccWindow,
+    windows: VecDeque<AccWindow>,
+    drift_suspected: bool,
+}
+
+impl Default for ModelStats {
+    fn default() -> ModelStats {
+        ModelStats::new()
+    }
+}
+
+impl ModelStats {
+    /// Creates empty telemetry for one model slot.
+    pub fn new() -> ModelStats {
+        ModelStats {
+            served: 0,
+            class_counts: [0; MODEL_CLASS_BINS],
+            latency: Log2Hist::new(),
+            confusion: [[0; MODEL_CLASS_BINS]; MODEL_CLASS_BINS],
+            outcomes: 0,
+            hits: 0,
+            window: AccWindow::default(),
+            windows: VecDeque::new(),
+            drift_suspected: false,
+        }
+    }
+
+    /// Bin a class id: in-range classes get their own bin, everything
+    /// else (negative, oversized) lands in the last bin.
+    #[inline]
+    pub fn class_bin(class: i64) -> usize {
+        if (0..MODEL_CLASS_BINS as i64 - 1).contains(&class) {
+            class as usize
+        } else {
+            MODEL_CLASS_BINS - 1
+        }
+    }
+
+    /// Datapath side: one model dispatch served `class` (post-guard),
+    /// optionally with a sampled inference latency in nanoseconds.
+    #[inline]
+    pub fn record_prediction(&mut self, class: i64, latency_ns: Option<u64>) {
+        self.served += 1;
+        self.class_counts[Self::class_bin(class)] += 1;
+        if let Some(ns) = latency_ns {
+            self.latency.record(ns);
+        }
+    }
+
+    /// Control-plane side: ground truth for one earlier prediction.
+    /// Updates the confusion matrix and the prequential window, and
+    /// latches `drift_suspected` on a threshold crossing.
+    pub fn record_outcome(&mut self, predicted: i64, actual: i64, cfg: &ObsConfig) {
+        self.confusion[Self::class_bin(actual)][Self::class_bin(predicted)] += 1;
+        self.outcomes += 1;
+        let hit = predicted == actual;
+        if hit {
+            self.hits += 1;
+            self.window.hits += 1;
+        }
+        self.window.total += 1;
+        let per_window = cfg.accuracy_window.max(1);
+        if self.window.total >= per_window {
+            while self.windows.len() >= cfg.accuracy_windows.max(1) {
+                self.windows.pop_front();
+            }
+            self.windows.push_back(self.window);
+            self.window = AccWindow::default();
+        }
+        let (h, t) = self.windowed_sums();
+        if t >= per_window
+            && h.saturating_mul(1000) < cfg.drift_threshold_permille.saturating_mul(t)
+        {
+            self.drift_suspected = true;
+        }
+    }
+
+    fn windowed_sums(&self) -> (u64, u64) {
+        let mut h = self.window.hits;
+        let mut t = self.window.total;
+        for w in &self.windows {
+            h += w.hits;
+            t += w.total;
+        }
+        (h, t)
+    }
+
+    /// Rolling prequential accuracy in permille over the window ring
+    /// plus the current partial window; `None` before any outcome.
+    pub fn rolling_accuracy_permille(&self) -> Option<u64> {
+        let (h, t) = self.windowed_sums();
+        (t > 0).then(|| h * 1000 / t)
+    }
+
+    /// Predictions served by the datapath.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Ground-truth outcomes reported so far.
+    pub fn outcomes(&self) -> u64 {
+        self.outcomes
+    }
+
+    /// Outcomes where the prediction was correct (cumulative).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Whether the windowed accuracy has crossed below the drift
+    /// threshold since the last model swap / reset (latched).
+    pub fn drift_suspected(&self) -> bool {
+        self.drift_suspected
+    }
+
+    /// Sampled inference-latency histogram (nanoseconds).
+    pub fn latency(&self) -> &Log2Hist {
+        &self.latency
+    }
+
+    /// Per-served-class histogram (see [`ModelStats::class_bin`]).
+    pub fn class_counts(&self) -> &[u64; MODEL_CLASS_BINS] {
+        &self.class_counts
+    }
+
+    /// Confusion matrix, `[actual_bin][predicted_bin]`, cumulative.
+    pub fn confusion(&self) -> &[[u64; MODEL_CLASS_BINS]; MODEL_CLASS_BINS] {
+        &self.confusion
+    }
+
+    /// Clears the prequential window ring and the drift latch, keeping
+    /// the cumulative counters. Called on a model hot-swap: the old
+    /// model's recent accuracy says nothing about its replacement.
+    pub fn reset_windows(&mut self) {
+        self.window = AccWindow::default();
+        self.windows.clear();
+        self.drift_suspected = false;
+    }
+
+    /// Clears everything (obs reset).
+    pub fn reset(&mut self) {
+        *self = ModelStats::new();
+    }
+
+    /// Serializable snapshot tagged with its identity.
+    pub fn snapshot(&self, prog: u32, slot: u16, name: String) -> ModelStatsSnapshot {
+        let mut windows: Vec<AccWindow> = self.windows.iter().copied().collect();
+        if self.window.total > 0 {
+            windows.push(self.window);
+        }
+        ModelStatsSnapshot {
+            prog,
+            slot,
+            name,
+            served: self.served,
+            class_counts: self.class_counts,
+            latency: self.latency.clone(),
+            confusion: self.confusion,
+            outcomes: self.outcomes,
+            hits: self.hits,
+            windows,
+            acc_permille: self.rolling_accuracy_permille().map_or(-1, |v| v as i64),
+            drift_suspected: self.drift_suspected,
+        }
+    }
+}
+
+/// Serializable [`ModelStats`] snapshot (control-plane
+/// `QueryModelStats` payload; embedded in [`ObsSnapshot`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelStatsSnapshot {
+    /// Owning program id.
+    pub prog: u32,
+    /// Model slot within the program.
+    pub slot: u16,
+    /// Model name from the program's [`crate::prog::ModelDef`].
+    pub name: String,
+    /// Predictions served by the datapath.
+    pub served: u64,
+    /// Per-served-class histogram (last bin = overflow).
+    pub class_counts: [u64; MODEL_CLASS_BINS],
+    /// Sampled inference-latency histogram (nanoseconds).
+    pub latency: Log2Hist,
+    /// Confusion matrix, `[actual_bin][predicted_bin]`.
+    pub confusion: [[u64; MODEL_CLASS_BINS]; MODEL_CLASS_BINS],
+    /// Ground-truth outcomes reported.
+    pub outcomes: u64,
+    /// Outcomes predicted correctly (cumulative).
+    pub hits: u64,
+    /// Prequential windows, oldest first; the last entry is the
+    /// current partial window when it holds any outcomes.
+    pub windows: Vec<AccWindow>,
+    /// Rolling windowed accuracy in permille; -1 before any outcome.
+    pub acc_permille: i64,
+    /// Latched drift flag (see [`ModelStats`]).
+    pub drift_suspected: bool,
 }
 
 /// What happened, for one [`TraceEvent`].
@@ -335,6 +606,155 @@ impl TraceRing {
     }
 }
 
+/// One per-hook data point in a [`FlightFrame`]: fire count plus the
+/// p50/p99 of the hook's whole-fire latency histogram at capture time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlightHookPoint {
+    /// Hook name.
+    pub hook: String,
+    /// Cumulative fires at capture time.
+    pub fires: u64,
+    /// 50th-percentile fire latency (ns) at capture time.
+    pub p50: u64,
+    /// 99th-percentile fire latency (ns) at capture time.
+    pub p99: u64,
+}
+
+/// One per-model data point in a [`FlightFrame`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlightModelPoint {
+    /// Owning program id.
+    pub prog: u32,
+    /// Model slot within the program.
+    pub slot: u16,
+    /// Cumulative predictions served at capture time.
+    pub served: u64,
+    /// Cumulative ground-truth outcomes reported at capture time.
+    pub outcomes: u64,
+    /// Rolling windowed accuracy in permille; -1 before any outcome.
+    pub acc_permille: i64,
+    /// Latched drift flag at capture time.
+    pub drift_suspected: bool,
+}
+
+/// One periodic downsampled snapshot in the [`FlightRecorder`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlightFrame {
+    /// Monotone frame sequence number (never reused within a recorder
+    /// generation; survives ring eviction so gaps are visible).
+    pub seq: u64,
+    /// Machine tick at capture time.
+    pub tick: u64,
+    /// Cumulative armed fires at capture time.
+    pub fires: u64,
+    /// Machine-wide counters at capture time.
+    pub counters: MachineCounters,
+    /// Per-hook fire counts and latency percentiles, sorted by name.
+    pub hooks: Vec<FlightHookPoint>,
+    /// Per-model serving counters and rolling accuracy.
+    pub models: Vec<FlightModelPoint>,
+}
+
+/// Serializable dump of the flight recorder (control-plane
+/// `FlightRead` payload).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlightSnapshot {
+    /// Capture interval in fires (0 = recorder disabled).
+    pub interval: u64,
+    /// Buffered frames, oldest first.
+    pub frames: Vec<FlightFrame>,
+    /// Frames evicted from the ring before being read.
+    pub dropped: u64,
+}
+
+/// A bounded ring of periodic [`FlightFrame`]s — a time-series "flight
+/// recorder" answering post-hoc "when did it regress" questions
+/// without external tooling. The machine captures a frame every
+/// [`ObsConfig::flight_interval`] armed fires; the ring holds the last
+/// [`ObsConfig::flight_capacity`] frames and counts evictions.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    interval: u64,
+    capacity: usize,
+    frames: VecDeque<FlightFrame>,
+    dropped: u64,
+    next_seq: u64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder capturing every `interval` fires (0 =
+    /// disabled), keeping at most `capacity` frames.
+    pub fn new(interval: u64, capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            interval,
+            capacity: capacity.max(1),
+            frames: VecDeque::new(),
+            dropped: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Whether a frame is due after the `fires`-th armed fire.
+    #[inline]
+    pub fn due(&self, fires: u64) -> bool {
+        self.interval > 0 && fires.is_multiple_of(self.interval)
+    }
+
+    /// Appends a frame (stamping its sequence number), evicting and
+    /// counting the oldest when full.
+    pub fn push(&mut self, mut frame: FlightFrame) {
+        frame.seq = self.next_seq;
+        self.next_seq += 1;
+        if self.frames.len() >= self.capacity {
+            self.frames.pop_front();
+            self.dropped += 1;
+        }
+        self.frames.push_back(frame);
+    }
+
+    /// Frames currently buffered.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the ring holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Capture interval in fires (0 = disabled).
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Reconfigures interval/capacity, evicting (and counting) oldest
+    /// frames if the new capacity is below the current backlog.
+    pub fn configure(&mut self, interval: u64, capacity: usize) {
+        self.interval = interval;
+        self.capacity = capacity.max(1);
+        while self.frames.len() > self.capacity {
+            self.frames.pop_front();
+            self.dropped += 1;
+        }
+    }
+
+    /// Clears frames, the dropped counter, and the sequence counter.
+    pub fn reset(&mut self) {
+        self.frames.clear();
+        self.dropped = 0;
+        self.next_seq = 0;
+    }
+
+    /// Serializable copy of the ring, oldest frame first.
+    pub fn snapshot(&self) -> FlightSnapshot {
+        FlightSnapshot {
+            interval: self.interval,
+            frames: self.frames.iter().cloned().collect(),
+            dropped: self.dropped,
+        }
+    }
+}
+
 /// Runtime configuration of the observability layer. The layer is
 /// always compiled in; these knobs trade detail for overhead at run
 /// time.
@@ -356,6 +776,21 @@ pub struct ObsConfig {
     pub trace_fires: bool,
     /// Trace ring capacity (events).
     pub trace_capacity: usize,
+    /// Prequential-accuracy window size in outcomes (per model slot).
+    /// Each window records hit/total over `accuracy_window` reported
+    /// outcomes before rotating into the window ring.
+    pub accuracy_window: u64,
+    /// Completed prequential windows retained per model slot. Rolling
+    /// accuracy spans this ring plus the current partial window.
+    pub accuracy_windows: usize,
+    /// Rolling accuracy (permille) below which `drift_suspected`
+    /// latches, once at least one full window of outcomes is in view.
+    pub drift_threshold_permille: u64,
+    /// Capture a flight-recorder frame every this many armed fires
+    /// (0 disables the recorder).
+    pub flight_interval: u64,
+    /// Flight-recorder ring capacity (frames).
+    pub flight_capacity: usize,
 }
 
 impl Default for ObsConfig {
@@ -365,6 +800,11 @@ impl Default for ObsConfig {
             sample_shift: 3,
             trace_fires: false,
             trace_capacity: 1024,
+            accuracy_window: 64,
+            accuracy_windows: 8,
+            drift_threshold_permille: 500,
+            flight_interval: 1024,
+            flight_capacity: 64,
         }
     }
 }
@@ -380,6 +820,8 @@ pub struct Obs {
     pub(crate) counters: MachineCounters,
     /// Datapath event ring.
     pub(crate) ring: TraceRing,
+    /// Periodic time-series frames.
+    pub(crate) flight: FlightRecorder,
 }
 
 impl Obs {
@@ -389,6 +831,7 @@ impl Obs {
             cfg,
             counters: MachineCounters::default(),
             ring: TraceRing::new(cfg.trace_capacity),
+            flight: FlightRecorder::new(cfg.flight_interval, cfg.flight_capacity),
         }
     }
 }
@@ -434,6 +877,8 @@ pub struct ObsSnapshot {
     pub hooks: Vec<HookStats>,
     /// Per-program latency histograms, sorted by program id.
     pub programs: Vec<ProgHist>,
+    /// Per-model prediction telemetry, sorted by (prog, slot).
+    pub models: Vec<ModelStatsSnapshot>,
     /// Trace events dropped so far.
     pub trace_dropped: u64,
     /// Trace events currently buffered (unread).
@@ -490,11 +935,60 @@ rkd_testkit::impl_json_struct!(ProgHist { prog, hist });
 
 rkd_testkit::impl_json_struct!(TraceSnapshot { events, dropped });
 
+rkd_testkit::impl_json_struct!(AccWindow { hits, total });
+
+rkd_testkit::impl_json_struct!(ModelStatsSnapshot {
+    prog,
+    slot,
+    name,
+    served,
+    class_counts,
+    latency,
+    confusion,
+    outcomes,
+    hits,
+    windows,
+    acc_permille,
+    drift_suspected
+});
+
+rkd_testkit::impl_json_struct!(FlightHookPoint {
+    hook,
+    fires,
+    p50,
+    p99
+});
+
+rkd_testkit::impl_json_struct!(FlightModelPoint {
+    prog,
+    slot,
+    served,
+    outcomes,
+    acc_permille,
+    drift_suspected
+});
+
+rkd_testkit::impl_json_struct!(FlightFrame {
+    seq,
+    tick,
+    fires,
+    counters,
+    hooks,
+    models
+});
+
+rkd_testkit::impl_json_struct!(FlightSnapshot {
+    interval,
+    frames,
+    dropped
+});
+
 rkd_testkit::impl_json_struct!(ObsSnapshot {
     tick,
     counters,
     hooks,
     programs,
+    models,
     trace_dropped,
     trace_pending
 });
@@ -626,6 +1120,7 @@ mod tests {
                 hist: hist.clone(),
             }],
             programs: vec![ProgHist { prog: 1, hist }],
+            models: vec![],
             trace_dropped: 3,
             trace_pending: 0,
         };
@@ -648,5 +1143,184 @@ mod tests {
         let json = rkd_testkit::json::to_string(&trace);
         let back: TraceSnapshot = rkd_testkit::json::from_str(&json).unwrap();
         assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        // Empty histogram: 0 for every p, including the extremes.
+        let empty = Log2Hist::new();
+        for p in [0, 1, 50, 100, 200] {
+            assert_eq!(empty.percentile(p), 0);
+        }
+
+        // Single value: every percentile returns exactly that value
+        // (ceiling is clamped to max, floor-of-range to min).
+        let mut one = Log2Hist::new();
+        one.record(37);
+        for p in [0, 1, 50, 99, 100] {
+            assert_eq!(one.percentile(p), 37, "p={p}");
+        }
+
+        // p=0 clamps the rank to the first sample: the ceiling of the
+        // first occupied bucket, clamped to the observed max.
+        let mut h = Log2Hist::new();
+        h.record(5); // bucket [4,7]
+        h.record(6);
+        h.record(900); // bucket [512,1023]
+        assert_eq!(h.percentile(0), 7, "ceil of first occupied bucket");
+        // p>=100 saturates the rank: exactly the observed max, even
+        // though the last bucket's ceiling (1023) is larger.
+        assert_eq!(h.percentile(100), 900);
+        assert_eq!(h.percentile(250), 900);
+
+        // Single-bucket hist with distinct values: every percentile
+        // reports the bucket ceiling clamped to max.
+        let mut sb = Log2Hist::new();
+        sb.record(4);
+        sb.record(5);
+        sb.record(7); // all in bucket [4,7]
+        for p in [0, 50, 100] {
+            assert_eq!(sb.percentile(p), 7, "p={p}");
+        }
+    }
+
+    #[test]
+    fn class_bin_maps_overflow_to_last() {
+        assert_eq!(ModelStats::class_bin(0), 0);
+        assert_eq!(ModelStats::class_bin(6), 6);
+        assert_eq!(ModelStats::class_bin(7), MODEL_CLASS_BINS - 1);
+        assert_eq!(ModelStats::class_bin(100), MODEL_CLASS_BINS - 1);
+        assert_eq!(ModelStats::class_bin(-1), MODEL_CLASS_BINS - 1);
+        assert_eq!(ModelStats::class_bin(i64::MIN), MODEL_CLASS_BINS - 1);
+    }
+
+    #[test]
+    fn model_stats_serving_counters() {
+        let mut m = ModelStats::new();
+        m.record_prediction(2, None);
+        m.record_prediction(2, Some(150));
+        m.record_prediction(-3, Some(90));
+        assert_eq!(m.served(), 3);
+        assert_eq!(m.class_counts()[2], 2);
+        assert_eq!(m.class_counts()[MODEL_CLASS_BINS - 1], 1);
+        assert_eq!(m.latency().count(), 2, "only sampled calls are timed");
+        assert_eq!(m.latency().sum(), 240);
+    }
+
+    #[test]
+    fn model_stats_windows_and_drift_latch() {
+        let cfg = ObsConfig {
+            accuracy_window: 4,
+            accuracy_windows: 2,
+            drift_threshold_permille: 500,
+            ..ObsConfig::default()
+        };
+        let mut m = ModelStats::new();
+        assert_eq!(m.rolling_accuracy_permille(), None);
+        // First window: all hits.
+        for _ in 0..4 {
+            m.record_outcome(1, 1, &cfg);
+        }
+        assert_eq!(m.rolling_accuracy_permille(), Some(1000));
+        assert!(!m.drift_suspected());
+        assert_eq!(m.confusion()[1][1], 4);
+        // Concept flip: misses drive windowed accuracy below 50%.
+        for _ in 0..8 {
+            m.record_outcome(1, 0, &cfg);
+        }
+        assert!(m.rolling_accuracy_permille().unwrap() < 500);
+        assert!(m.drift_suspected(), "threshold crossing latches");
+        assert_eq!(m.confusion()[0][1], 8);
+        // Window ring is bounded: 3 windows completed, 2 retained, so
+        // the rolling view covers at most 2*4 outcomes.
+        assert_eq!(m.rolling_accuracy_permille(), Some(0));
+        // Cumulative counters are unaffected by window rotation.
+        assert_eq!(m.outcomes(), 12);
+        assert_eq!(m.hits(), 4);
+        // Model swap clears the window ring and the latch but keeps
+        // cumulative counters.
+        m.reset_windows();
+        assert!(!m.drift_suspected());
+        assert_eq!(m.rolling_accuracy_permille(), None);
+        assert_eq!(m.outcomes(), 12);
+        // The latch stays set once tripped, even if accuracy recovers
+        // without a swap.
+        for _ in 0..8 {
+            m.record_outcome(1, 0, &cfg);
+        }
+        assert!(m.drift_suspected());
+        for _ in 0..8 {
+            m.record_outcome(1, 1, &cfg);
+        }
+        assert_eq!(m.rolling_accuracy_permille(), Some(1000));
+        assert!(m.drift_suspected(), "latched until swap/reset");
+        m.reset();
+        assert_eq!((m.served(), m.outcomes(), m.hits()), (0, 0, 0));
+    }
+
+    #[test]
+    fn model_stats_snapshot_includes_partial_window() {
+        let cfg = ObsConfig {
+            accuracy_window: 4,
+            ..ObsConfig::default()
+        };
+        let mut m = ModelStats::new();
+        for _ in 0..6 {
+            m.record_outcome(0, 0, &cfg);
+        }
+        let snap = m.snapshot(3, 1, "clf".into());
+        assert_eq!(snap.prog, 3);
+        assert_eq!(snap.slot, 1);
+        assert_eq!(snap.windows.len(), 2, "one full + one partial");
+        assert_eq!(snap.windows[0], AccWindow { hits: 4, total: 4 });
+        assert_eq!(snap.windows[1], AccWindow { hits: 2, total: 2 });
+        assert_eq!(snap.acc_permille, 1000);
+        let json = rkd_testkit::json::to_string(&snap);
+        let back: ModelStatsSnapshot = rkd_testkit::json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn flight_recorder_bounded_ring() {
+        let mut fr = FlightRecorder::new(8, 2);
+        assert!(!fr.due(7));
+        assert!(fr.due(8));
+        assert!(fr.due(16));
+        let frame = |tick| FlightFrame {
+            seq: 0,
+            tick,
+            fires: tick,
+            counters: MachineCounters::default(),
+            hooks: vec![],
+            models: vec![],
+        };
+        fr.push(frame(1));
+        fr.push(frame(2));
+        fr.push(frame(3));
+        let snap = fr.snapshot();
+        assert_eq!(snap.dropped, 1);
+        assert_eq!(snap.interval, 8);
+        assert_eq!(
+            snap.frames.iter().map(|f| f.seq).collect::<Vec<_>>(),
+            [1, 2],
+            "sequence numbers survive eviction"
+        );
+        // Disabled recorder never fires.
+        let off = FlightRecorder::new(0, 4);
+        assert!(!off.due(0) && !off.due(1024));
+        // Shrinking capacity evicts and counts.
+        fr.configure(8, 1);
+        assert_eq!(fr.len(), 1);
+        assert_eq!(fr.snapshot().dropped, 2);
+        fr.reset();
+        assert!(fr.is_empty());
+        assert_eq!(fr.snapshot().dropped, 0);
+        // Round-trip the snapshot through JSON.
+        let mut fr2 = FlightRecorder::new(4, 4);
+        fr2.push(frame(9));
+        let snap = fr2.snapshot();
+        let json = rkd_testkit::json::to_string(&snap);
+        let back: FlightSnapshot = rkd_testkit::json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
     }
 }

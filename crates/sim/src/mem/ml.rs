@@ -38,7 +38,7 @@ use rkd_ml::cost::LatencyClass;
 use rkd_ml::dataset::{Dataset, Sample};
 use rkd_ml::fixed::Fix;
 use rkd_ml::tree::{DecisionTree, TreeConfig};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Class id meaning "unknown / no prefetch" (offset 0).
 const CLASS_NONE: u16 = 0;
@@ -82,6 +82,15 @@ impl Default for MlPrefetchConfig {
     }
 }
 
+/// One datapath decision awaiting ground truth: the access page it was
+/// made at, the class each cascade depth predicted (the fire's
+/// verdicts), and how many accesses have passed since.
+struct PendingPrediction {
+    page: u64,
+    classes: Vec<i64>,
+    age: usize,
+}
+
 /// The RMT-backed learned prefetcher.
 pub struct MlPrefetcher {
     machine: RmtMachine,
@@ -99,6 +108,9 @@ pub struct MlPrefetcher {
     offset_vocabs: Vec<HashMap<i64, u16>>,
     samples_since_train: usize,
     retrains: u64,
+    /// Predictions whose ground truth is still in the future; entry at
+    /// age `k` resolves depth `k-1` against the next access.
+    pending: VecDeque<PendingPrediction>,
 }
 
 impl MlPrefetcher {
@@ -225,6 +237,13 @@ impl MlPrefetcher {
                     model: slots[i],
                     src: VReg(0),
                 },
+                // r4 = saved class: the EmitPrefetch helper clobbers
+                // r0, and the verdict must carry the prediction so the
+                // control plane can report ground truth against it.
+                Insn::Mov {
+                    dst: Reg(4),
+                    src: Reg(0),
+                },
                 // r2 = offset index = i * max_classes + class.
                 Insn::Mov {
                     dst: Reg(2),
@@ -247,7 +266,7 @@ impl MlPrefetcher {
                     cmp: CmpOp::Eq,
                     lhs: Reg(3),
                     imm: 0,
-                    target: 10,
+                    target: 11,
                 },
                 // r2 = base page = ctxt.page + offset; r3 = 1 page.
                 Insn::LdCtxt {
@@ -266,10 +285,11 @@ impl MlPrefetcher {
                 Insn::Call {
                     helper: Helper::EmitPrefetch,
                 },
-                Insn::LdImm {
+                // 11 (branch target): verdict = predicted class.
+                Insn::Mov {
                     dst: Reg(0),
-                    imm: 0,
-                }, // 10 (branch target)
+                    src: Reg(4),
+                },
             ];
             if i + 1 < cfg.depth {
                 code.push(Insn::TailCall {
@@ -335,6 +355,7 @@ impl MlPrefetcher {
             offset_vocabs: vec![HashMap::new(); cfg.depth],
             samples_since_train: 0,
             retrains: 0,
+            pending: VecDeque::new(),
         }
     }
 
@@ -349,9 +370,53 @@ impl MlPrefetcher {
     }
 
     /// Observability snapshot of the embedded datapath (hook latency
-    /// histograms, machine counters).
+    /// histograms, machine counters, per-model telemetry).
     pub fn obs_snapshot(&self) -> rkd_core::obs::ObsSnapshot {
         self.machine.obs_snapshot()
+    }
+
+    /// Flight-recorder frames of the embedded datapath.
+    pub fn flight_snapshot(&self) -> rkd_core::obs::FlightSnapshot {
+        self.machine.flight_snapshot()
+    }
+
+    /// Model telemetry for one cascade depth (confusion matrix, rolling
+    /// prequential accuracy, drift flag), straight from the machine.
+    pub fn model_stats(&self, depth: usize) -> Option<rkd_core::obs::ModelStatsSnapshot> {
+        self.slots
+            .get(depth)
+            .and_then(|&s| self.machine.model_stats(self.prog, s).ok())
+    }
+
+    /// Resolves ground truth for earlier datapath predictions now that
+    /// `page` is known: the entry made `k` accesses ago predicted (at
+    /// depth `k-1`) the cumulative offset class of exactly this access,
+    /// so report predicted-vs-actual to the machine's model telemetry.
+    fn resolve_outcomes(&mut self, page: u64) {
+        for e in &mut self.pending {
+            e.age += 1;
+            let depth = e.age - 1;
+            if depth >= self.cfg.depth {
+                continue;
+            }
+            let cum = page as i64 - e.page as i64;
+            let actual = self.offset_vocabs[depth]
+                .get(&cum)
+                .copied()
+                .unwrap_or(CLASS_NONE) as i64;
+            if let Some(&predicted) = e.classes.get(depth) {
+                let _ =
+                    self.machine
+                        .report_outcome(self.prog, self.slots[depth], predicted, actual);
+            }
+        }
+        while self
+            .pending
+            .front()
+            .is_some_and(|e| e.age >= self.cfg.depth)
+        {
+            self.pending.pop_front();
+        }
     }
 
     /// Control-plane mirror: record the delta stream and retrain when a
@@ -534,11 +599,22 @@ impl Prefetcher for MlPrefetcher {
 
     fn on_access(&mut self, page: u64) -> Vec<u64> {
         self.machine.advance_tick(1);
+        // This access is the ground truth for earlier predictions —
+        // close the loop before making new ones.
+        self.resolve_outcomes(page);
         // Kernel datapath: collection hook, then prediction hook.
         let mut ctxt = Ctxt::from_values(vec![1, page as i64]);
         self.machine.fire("lookup_swap_cache", &mut ctxt);
         let result = self.machine.fire("swap_cluster_readahead", &mut ctxt);
         let mut pages = Vec::new();
+        // The cascade's verdicts are the per-depth predicted classes
+        // (see the prediction action); queue them for outcome
+        // resolution as the next accesses arrive.
+        self.pending.push_back(PendingPrediction {
+            page,
+            classes: result.verdicts.iter().map(|&(_, v)| v).collect(),
+            age: 0,
+        });
         for e in result.effects {
             if let Effect::Prefetch { base, count } = e {
                 for i in 0..count {
@@ -632,6 +708,37 @@ mod tests {
         );
         assert!(ml.completion_ns < ra.completion_ns);
         assert!(ml.completion_ns < leap.completion_ns);
+    }
+
+    #[test]
+    fn closed_loop_feeds_machine_model_telemetry() {
+        let mut p = MlPrefetcher::new(MlPrefetchConfig::default());
+        for i in 0..1500u64 {
+            let _ = p.on_access(i * 7);
+        }
+        assert!(p.retrains() >= 1);
+        // Every cascade depth served predictions and received ground
+        // truth through ReportOutcome.
+        for depth in 0..3 {
+            let ms = p.model_stats(depth).expect("slot exists");
+            assert!(ms.served > 1000, "depth {depth} served {}", ms.served);
+            assert!(ms.outcomes > 1000, "depth {depth} outcomes {}", ms.outcomes);
+            assert!(ms.acc_permille >= 0);
+        }
+        // A learnable constant stride ends with high rolling accuracy
+        // at depth 0 and no drift suspicion.
+        let ms = p.model_stats(0).unwrap();
+        assert!(
+            ms.acc_permille > 800,
+            "stride stream should be predictable, got {}",
+            ms.acc_permille
+        );
+        // Model telemetry also flows into the machine-wide snapshot.
+        let snap = p.obs_snapshot();
+        assert_eq!(snap.models.len(), 3);
+        // And the flight recorder saw the run (default interval 1024
+        // fires; two hooks fire per access).
+        assert!(!p.flight_snapshot().frames.is_empty());
     }
 
     #[test]

@@ -87,6 +87,11 @@ pub struct Table2Row {
     pub linux_jct_s: f64,
     /// Names of the features the lean model kept.
     pub lean_features: Vec<String>,
+    /// Observability snapshots of the embedded datapaths, tagged
+    /// "full"/"lean" — includes each machine's own model telemetry
+    /// (confusion matrix, rolling prequential accuracy), which mirrors
+    /// the shadow agreement score by construction.
+    pub obs: Vec<(String, rkd_core::obs::ObsSnapshot)>,
 }
 
 /// Runs the full case-study pipeline for one workload.
@@ -147,6 +152,7 @@ pub fn run_case_study(
     // Datapath self-observation: what the embedded machines measured
     // about their own hook latency during the runs. Stderr keeps the
     // Table 2 stdout machine-readable.
+    let mut obs = Vec::new();
     for (tag, policy) in [("full", &full_shadow.acting), ("lean", &lean_shadow.acting)] {
         let snap = policy.obs_snapshot();
         if let Some(h) = snap.hooks.first() {
@@ -170,6 +176,7 @@ pub fn run_case_study(
                 c.decision_cache_invalidations,
             );
         }
+        obs.push((tag.to_string(), snap));
     }
     Ok(Table2Row {
         benchmark: workload.name.clone(),
@@ -179,6 +186,7 @@ pub fn run_case_study(
         lean_jct_s: lean.jct_s(),
         linux_jct_s: linux.jct_s(),
         lean_features: keep.iter().map(|&i| FEATURE_NAMES[i].to_string()).collect(),
+        obs,
     })
 }
 

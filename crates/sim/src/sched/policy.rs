@@ -33,6 +33,11 @@ pub trait MigrationPolicy {
     fn overhead_ns(&self) -> u64 {
         0
     }
+
+    /// Feeds ground truth for an earlier decision back to the policy —
+    /// the closing half of §3.1's prediction-accuracy loop. Heuristic
+    /// policies have no accuracy to track; the default is a no-op.
+    fn report_outcome(&mut self, _predicted: bool, _actual: bool) {}
 }
 
 /// The native CFS-like heuristic.
@@ -228,9 +233,17 @@ impl MlPolicy {
     }
 
     /// Observability snapshot of the embedded datapath (hook latency
-    /// histograms, machine counters).
+    /// histograms, machine counters, per-model telemetry).
     pub fn obs_snapshot(&self) -> rkd_core::obs::ObsSnapshot {
         self.machine.obs_snapshot()
+    }
+
+    /// Model telemetry of the installed MLP (confusion matrix, rolling
+    /// prequential accuracy, drift flag), straight from the machine.
+    pub fn model_stats(&self) -> rkd_core::obs::ModelStatsSnapshot {
+        self.machine
+            .model_stats(self.prog, self.slot)
+            .expect("policy model installed")
     }
 }
 
@@ -256,6 +269,12 @@ impl MigrationPolicy for MlPolicy {
 
     fn overhead_ns(&self) -> u64 {
         self.overhead_ns
+    }
+
+    fn report_outcome(&mut self, predicted: bool, actual: bool) {
+        let _ = self
+            .machine
+            .report_outcome(self.prog, self.slot, predicted as i64, actual as i64);
     }
 }
 
@@ -304,6 +323,9 @@ impl<A: MigrationPolicy, R: MigrationPolicy> MigrationPolicy for ShadowPolicy<A,
         if act == reference {
             self.agreements += 1;
         }
+        // The reference heuristic is the label source (§4): close the
+        // loop so the acting policy's own machine can track accuracy.
+        self.acting.report_outcome(act, reference);
         act
     }
 
@@ -412,6 +434,16 @@ mod tests {
         }
         assert!(shadow.agreement_pct() > 80.0, "{}", shadow.agreement_pct());
         assert_eq!(shadow.total, 8);
+        // The shadow fed every reference decision back as ground
+        // truth, so the machine's own telemetry mirrors the agreement
+        // score.
+        let ms = shadow.acting.model_stats();
+        assert_eq!(ms.outcomes, 8);
+        assert_eq!(
+            ms.hits, shadow.agreements,
+            "machine accuracy mirrors shadow agreement"
+        );
+        assert_eq!(ms.served, 8);
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Scraping the datapath over HTTP (std-only exporter demo).
+//!
+//! Spins up a machine with an installed learned policy, serves a little
+//! traffic with ground-truth outcomes reported back, then answers one
+//! Prometheus scrape and one JSON scrape from a loopback
+//! `TcpListener` via `RmtMachine::serve_metrics_once`. The raw
+//! Prometheus exposition is printed so `scripts/ci.sh` can grep the
+//! metric families.
+//!
+//! ```sh
+//! cargo run --example metrics_scrape
+//! ```
+
+use rkd::core::bytecode::{Action, Insn, VReg};
+use rkd::core::ctxt::Ctxt;
+use rkd::core::machine::{ExecMode, RmtMachine};
+use rkd::core::prog::{ModelSpec, ProgramBuilder};
+use rkd::core::table::MatchKind;
+use rkd::core::verifier::verify;
+use rkd::ml::cost::LatencyClass;
+use rkd::ml::dataset::{Dataset, Sample};
+use rkd::ml::tree::{DecisionTree, TreeConfig};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+/// One scrape: GET `path` against `addr`, return the full response.
+fn scrape(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut conn = TcpStream::connect(addr).unwrap();
+    write!(conn, "GET {path} HTTP/1.1\r\nHost: rkd\r\n\r\n").unwrap();
+    let mut response = String::new();
+    conn.read_to_string(&mut response).unwrap();
+    response
+}
+
+fn main() {
+    // A small learned policy: classify x into (x > 8).
+    let ds = Dataset::from_samples(
+        (0..17)
+            .map(|x| Sample::from_f64(&[x as f64], (x > 8) as usize))
+            .collect(),
+    )
+    .unwrap();
+    let tree = DecisionTree::train(&ds, &TreeConfig::default()).unwrap();
+    let mut b = ProgramBuilder::new("scrape_demo");
+    let x = b.field_readonly("x");
+    let slot = b.model("clf", ModelSpec::Tree(tree), LatencyClass::Scheduler);
+    let act = b.action(Action::new(
+        "classify",
+        vec![
+            Insn::VectorLdCtxt {
+                dst: VReg(0),
+                base: x,
+                len: 1,
+            },
+            Insn::CallMl {
+                model: slot,
+                src: VReg(0),
+            },
+            Insn::Exit,
+        ],
+    ));
+    b.table("t", "event", &[x], MatchKind::Exact, Some(act), 4);
+    let mut machine = RmtMachine::new();
+    let prog = machine
+        .install(verify(b.build()).unwrap(), ExecMode::Jit)
+        .unwrap();
+    // Serve some traffic and close the loop with ground truth.
+    for step in 0..200i64 {
+        let v = step % 17;
+        let mut ctxt = Ctxt::from_values(vec![v]);
+        let predicted = machine.fire("event", &mut ctxt).verdict().unwrap();
+        machine
+            .report_outcome(prog, slot, predicted, (v > 8) as i64)
+            .unwrap();
+    }
+    // One listener, two one-shot scrapes. Ephemeral port: the OS picks,
+    // the client connects to whatever it picked.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    for path in ["/metrics", "/metrics.json"] {
+        let client = std::thread::spawn(move || scrape(addr, path));
+        let served = machine.serve_metrics_once(&listener).unwrap();
+        assert_eq!(served, path);
+        let response = client.join().unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        let body = response.split("\r\n\r\n").nth(1).unwrap();
+        println!("== GET {path} ({} bytes) ==", body.len());
+        if path == "/metrics" {
+            // Full exposition: ci.sh greps the metric families here.
+            print!("{body}");
+        } else {
+            println!("{}...", &body[..body.len().min(120)]);
+        }
+        println!();
+    }
+    println!("scrape ok");
+}

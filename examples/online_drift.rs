@@ -1,70 +1,208 @@
-//! Online learning under concept drift (§3.1, §3.2).
+//! Online learning under concept drift — closed loop (§3.1, §3.2).
 //!
 //! "The control plane relies on past prediction accuracy to detect
-//! workload changes and adjust the table entries." This example feeds a
-//! windowed online tree learner a stream whose concept flips midway,
-//! and shows the rolling (prequential) accuracy collapsing, the drift
-//! detector firing, and the next retrain recovering.
+//! workload changes and adjust the table entries." Here the *datapath
+//! machine itself* keeps the score: a decision tree is installed as an
+//! RMT program, every event fires the hook (the model serves the
+//! prediction in the datapath), and the control plane reports the
+//! ground truth back with `CtrlRequest::ReportOutcome`. The machine's
+//! own windowed prequential accuracy collapses when the concept flips,
+//! its `drift_suspected` latch fires, and an `UpdateModel` swap trained
+//! on the most recent window recovers — the whole arc is visible in the
+//! flight recorder afterwards.
 //!
 //! ```sh
 //! cargo run --example online_drift
 //! ```
 
+use rkd::core::bytecode::{Action, Insn, ModelSlot, VReg};
+use rkd::core::ctrl::{syscall_rmt, CtrlRequest, CtrlResponse};
+use rkd::core::ctxt::Ctxt;
+use rkd::core::machine::{ExecMode, ProgId, RmtMachine};
+use rkd::core::obs::ObsConfig;
+use rkd::core::prog::{ModelSpec, ProgramBuilder};
+use rkd::core::table::MatchKind;
+use rkd::core::verifier::verify;
+use rkd::ml::cost::LatencyClass;
+use rkd::ml::dataset::{Dataset, Sample};
 use rkd::ml::fixed::Fix;
-use rkd::ml::online::{OnlineConfig, OnlineTreeLearner};
-use rkd::ml::tree::TreeConfig;
+use rkd::ml::tree::{DecisionTree, TreeConfig};
 
-fn main() {
-    let mut learner = OnlineTreeLearner::new(OnlineConfig {
-        window: 200,
-        accuracy_window: 100,
-        drift_threshold: 0.6,
-        tree: TreeConfig {
+const FLIP_AT: usize = 1_000;
+const STEPS: usize = 2_000;
+const WINDOW: usize = 100;
+
+/// Ground-truth label: concept A is `x > 8`, concept B the negation.
+fn truth(step: usize, x: i64) -> i64 {
+    if step < FLIP_AT {
+        (x > 8) as i64
+    } else {
+        (x <= 8) as i64
+    }
+}
+
+fn train_tree(samples: &[(i64, i64)]) -> DecisionTree {
+    let ds = Dataset::from_samples(
+        samples
+            .iter()
+            .map(|&(x, label)| Sample {
+                features: vec![Fix::from_int(x)],
+                label: label as usize,
+            })
+            .collect(),
+    )
+    .unwrap();
+    DecisionTree::train(
+        &ds,
+        &TreeConfig {
             max_depth: 6,
             min_samples_split: 4,
             max_thresholds: 16,
         },
-    })
-    .unwrap();
+    )
+    .unwrap()
+}
+
+/// Installs the tree as the single model of a one-table RMT program
+/// whose default action serves the prediction as the verdict.
+fn install(machine: &mut RmtMachine, tree: DecisionTree) -> (ProgId, ModelSlot) {
+    let mut b = ProgramBuilder::new("drift_demo");
+    let x = b.field_readonly("x");
+    let slot = b.model("clf", ModelSpec::Tree(tree), LatencyClass::Scheduler);
+    let act = b.action(Action::new(
+        "classify",
+        vec![
+            Insn::VectorLdCtxt {
+                dst: VReg(0),
+                base: x,
+                len: 1,
+            },
+            Insn::CallMl {
+                model: slot,
+                src: VReg(0),
+            },
+            Insn::Exit,
+        ],
+    ));
+    b.table("t", "event", &[x], MatchKind::Exact, Some(act), 4);
+    let prog = machine
+        .install(verify(b.build()).unwrap(), ExecMode::Jit)
+        .unwrap();
+    (prog, slot)
+}
+
+fn main() {
+    // Bootstrap: train on a labelled warmup drawn from concept A.
+    let warmup: Vec<(i64, i64)> = (0..WINDOW)
+        .map(|s| {
+            let x = (s % 17) as i64;
+            (x, truth(0, x))
+        })
+        .collect();
+    let mut machine = RmtMachine::with_obs_config(ObsConfig {
+        accuracy_window: WINDOW as u64,
+        accuracy_windows: 4,
+        drift_threshold_permille: 600,
+        flight_interval: WINDOW as u64,
+        flight_capacity: 32,
+        ..ObsConfig::default()
+    });
+    let (prog, slot) = install(&mut machine, train_tree(&warmup));
     println!(
-        "{:>6} {:>10} {:>10} {:>8} {:>8}",
+        "{:>6} {:>12} {:>10} {:>8} {:>8}",
         "step", "concept", "roll acc", "drift?", "retrains"
     );
+    let mut recent: Vec<(i64, i64)> = Vec::new();
+    let mut retrains = 0usize;
     let mut drift_seen_at = None;
-    for step in 0..2_000usize {
+    for step in 0..STEPS {
         let x = (step % 17) as i64;
-        // Concept A: label = x > 8. Concept B (after step 1000): flipped.
-        let label = if step < 1_000 {
-            (x > 8) as usize
-        } else {
-            (x <= 8) as usize
-        };
-        learner.observe(&[Fix::from_int(x)], label).unwrap();
-        if step % 100 == 99 {
-            let acc = learner.rolling_accuracy().unwrap_or(0.0);
-            let drifted = learner.drifted();
-            if drifted && drift_seen_at.is_none() {
+        let actual = truth(step, x);
+        // Datapath serves the prediction...
+        let mut ctxt = Ctxt::from_values(vec![x]);
+        let predicted = machine.fire("event", &mut ctxt).verdict().unwrap();
+        // ...and the control plane reports the ground truth back.
+        syscall_rmt(
+            &mut machine,
+            CtrlRequest::ReportOutcome {
+                prog,
+                slot,
+                predicted,
+                actual,
+            },
+        )
+        .unwrap();
+        recent.push((x, actual));
+        if recent.len() > WINDOW {
+            recent.remove(0);
+        }
+        if step % WINDOW == WINDOW - 1 {
+            let CtrlResponse::ModelStats(stats) =
+                syscall_rmt(&mut machine, CtrlRequest::QueryModelStats { prog, slot }).unwrap()
+            else {
+                unreachable!()
+            };
+            if stats.drift_suspected && drift_seen_at.is_none() {
                 drift_seen_at = Some(step);
             }
             println!(
-                "{:>6} {:>10} {:>9.1}% {:>8} {:>8}",
+                "{:>6} {:>12} {:>9.1}% {:>8} {:>8}",
                 step,
-                if step < 1_000 { "A" } else { "B (flipped)" },
-                acc * 100.0,
-                if drifted { "DRIFT" } else { "-" },
-                learner.retrain_count()
+                if step < FLIP_AT { "A" } else { "B (flipped)" },
+                stats.acc_permille.max(0) as f64 / 10.0,
+                if stats.drift_suspected { "DRIFT" } else { "-" },
+                retrains,
             );
+            if stats.drift_suspected {
+                // Adapt: retrain on the most recent window and swap the
+                // model in place. UpdateModel resets the accuracy
+                // windows and clears the latch; cumulative counters
+                // survive the swap.
+                machine
+                    .update_model(prog, slot, ModelSpec::Tree(train_tree(&recent)))
+                    .unwrap();
+                retrains += 1;
+            }
         }
     }
     let at = drift_seen_at.expect("drift must be detected after the flip");
-    assert!(at >= 1_000, "no false positives before the flip");
+    assert!(at >= FLIP_AT, "no false positives before the flip");
+    let final_stats = machine.model_stats(prog, slot).unwrap();
     assert!(
-        learner.rolling_accuracy().unwrap() > 0.9,
-        "recovered after retraining on concept B"
+        final_stats.acc_permille > 900,
+        "recovered after retraining on concept B (acc {} permille)",
+        final_stats.acc_permille
     );
     println!(
-        "\ndrift detected at step {at}; final rolling accuracy {:.1}% after {} retrains.",
-        learner.rolling_accuracy().unwrap() * 100.0,
-        learner.retrain_count()
+        "\ndrift detected at step {at}; final rolling accuracy {:.1}% after {retrains} retrain(s); \
+         {} predictions served, {} outcomes reported.",
+        final_stats.acc_permille as f64 / 10.0,
+        final_stats.served,
+        final_stats.outcomes,
     );
+    // The flight recorder replays the whole arc: healthy -> collapse ->
+    // drift latched -> swap -> recovered.
+    println!("\nflight recorder timeline (one frame per {WINDOW} fires):");
+    println!(
+        "{:>5} {:>7} {:>9} {:>7}",
+        "seq", "fires", "roll acc", "drift"
+    );
+    for frame in &machine.flight_snapshot().frames {
+        let m = frame
+            .models
+            .first()
+            .expect("installed model is in every frame");
+        let acc = if m.acc_permille < 0 {
+            "-".to_string()
+        } else {
+            format!("{:.1}%", m.acc_permille as f64 / 10.0)
+        };
+        println!(
+            "{:>5} {:>7} {:>9} {:>7}",
+            frame.seq,
+            frame.fires,
+            acc,
+            if m.drift_suspected { "DRIFT" } else { "-" }
+        );
+    }
 }

@@ -23,13 +23,15 @@ cargo fmt --check
 echo "==> cargo clippy --offline --workspace --all-targets -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "==> bench_obs smoke (observability overhead gate)"
+echo "==> bench_obs smoke (observability overhead gate + BENCH_obs.json)"
 RKD_BENCH_WARMUP_MS=5 RKD_BENCH_MEASURE_MS=20 RKD_BENCH_SAMPLES=5 \
+    RKD_BENCH_OBS_JSON="$PWD/BENCH_obs.json" \
     cargo bench --offline -q -p rkd-bench --bench bench_obs | tee /tmp/rkd_bench_obs.out
 if ! grep -q 'paired_default_vs_off.*PASS' /tmp/rkd_bench_obs.out; then
     echo "ERROR: observability overhead gate failed (default config > 5% on fire())" >&2
     exit 1
 fi
+test -s BENCH_obs.json || { echo "ERROR: BENCH_obs.json was not written" >&2; exit 1; }
 
 echo "==> bench_tables smoke (indexed lookup scaling gates + BENCH_tables.json)"
 RKD_BENCH_WARMUP_MS=5 RKD_BENCH_MEASURE_MS=20 RKD_BENCH_SAMPLES=5 \
@@ -47,6 +49,22 @@ test -s BENCH_tables.json || { echo "ERROR: BENCH_tables.json was not written" >
 
 echo "==> example: lean_monitoring (end-to-end datapath observability)"
 cargo run -q --release --offline --example lean_monitoring >/dev/null
+
+echo "==> exporter smoke: loopback scrape serves the expected metric families"
+cargo run -q --release --offline --example metrics_scrape | tee /tmp/rkd_metrics_scrape.out >/dev/null
+for family in rkd_machine_events_total rkd_hook_fires_total rkd_hook_latency_ns_bucket \
+    rkd_model_predictions_total rkd_model_outcomes_total rkd_model_window_accuracy_permille \
+    rkd_model_drift_suspected; do
+    if ! grep -q "^$family" /tmp/rkd_metrics_scrape.out; then
+        echo "ERROR: metric family $family missing from the /metrics scrape" >&2
+        exit 1
+    fi
+done
+grep -q '^scrape ok$' /tmp/rkd_metrics_scrape.out \
+    || { echo "ERROR: metrics_scrape example did not complete" >&2; exit 1; }
+
+echo "==> example: online_drift (closed-loop drift detection via model telemetry)"
+cargo run -q --release --offline --example online_drift >/dev/null
 
 echo "==> dependency closure must be workspace-only"
 external=$(cargo tree --offline --workspace --edges normal,build,dev \

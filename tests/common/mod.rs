@@ -195,6 +195,8 @@ pub fn run_interp_jit_equivalence(raw: Vec<Insn>, arg: i64) -> bool {
             rng: &mut fx_i.rng,
             ledger: &mut fx_i.ledger,
             privacy: PrivacyPolicy::default(),
+            ml_stats: &mut [],
+            time_ml: false,
         };
         run_action(&action, fuel, arg, &mut env)
     };
@@ -212,6 +214,8 @@ pub fn run_interp_jit_equivalence(raw: Vec<Insn>, arg: i64) -> bool {
             rng: &mut fx_j.rng,
             ledger: &mut fx_j.ledger,
             privacy: PrivacyPolicy::default(),
+            ml_stats: &mut [],
+            time_ml: false,
         };
         compiled.run(fuel, arg, &mut env)
     };

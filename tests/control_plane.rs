@@ -333,3 +333,74 @@ fn syscall_stats_and_privacy_queries() {
     }
     let _ = ActionId(0);
 }
+
+#[test]
+fn obs_reset_clears_cache_counters_but_not_cached_decisions() {
+    // Pinned semantics: `ObsReset` is *observational-only*. The
+    // decision-cache counters are part of `MachineCounters`, so a reset
+    // zeroes them along with every other counter — but the cached
+    // decisions themselves are datapath state, not observation, and
+    // survive. The very next firing of a warm flow must therefore
+    // replay from cache: exactly one hit, zero misses.
+    let src = r#"
+        program "ranged" {
+            ctxt pid: ro;
+            action allow { return 1; }
+            action deny { return -1; }
+            table t { hook gate; match pid; kind range; default deny; size 16; }
+        }
+    "#;
+    let compiled = compile(src).unwrap();
+    let verified = verify(compiled.program.clone()).unwrap();
+    let mut vm = RmtMachine::new();
+    let id = vm.install(verified, ExecMode::Jit).unwrap();
+    syscall_rmt(
+        &mut vm,
+        CtrlRequest::InsertEntry {
+            prog: id,
+            table: compiled.tables["t"],
+            entry: Entry {
+                key: MatchKey::Range(vec![(0, 100)]),
+                priority: 1,
+                action: compiled.actions["allow"],
+                arg: 0,
+            },
+        },
+    )
+    .unwrap();
+    // Warm the cache on a stable flow.
+    for _ in 0..4 {
+        let mut ctxt = Ctxt::from_values(vec![50]);
+        assert_eq!(vm.fire("gate", &mut ctxt).verdict(), Some(1));
+    }
+    match syscall_rmt(&mut vm, CtrlRequest::QueryMachineCounters).unwrap() {
+        CtrlResponse::Counters(c) => {
+            assert!(c.decision_cache_misses >= 1, "{c:?}");
+            assert!(c.decision_cache_hits >= 3, "{c:?}");
+        }
+        other => panic!("{other:?}"),
+    }
+    assert!(matches!(
+        syscall_rmt(&mut vm, CtrlRequest::ObsReset).unwrap(),
+        CtrlResponse::Ok
+    ));
+    // Every counter is zeroed — including the decision-cache family.
+    match syscall_rmt(&mut vm, CtrlRequest::QueryMachineCounters).unwrap() {
+        CtrlResponse::Counters(c) => {
+            assert_eq!(c, rkd::core::obs::MachineCounters::default(), "{c:?}")
+        }
+        other => panic!("{other:?}"),
+    }
+    // But the cache contents survived: the warm flow replays, so the
+    // post-reset ledger shows one hit and no miss.
+    let mut ctxt = Ctxt::from_values(vec![50]);
+    assert_eq!(vm.fire("gate", &mut ctxt).verdict(), Some(1));
+    match syscall_rmt(&mut vm, CtrlRequest::QueryMachineCounters).unwrap() {
+        CtrlResponse::Counters(c) => {
+            assert_eq!(c.fires, 1, "{c:?}");
+            assert_eq!(c.decision_cache_hits, 1, "{c:?}");
+            assert_eq!(c.decision_cache_misses, 0, "{c:?}");
+        }
+        other => panic!("{other:?}"),
+    }
+}

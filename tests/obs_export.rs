@@ -1,0 +1,277 @@
+//! Integration: the model-quality telemetry loop and the std-only
+//! metrics exporter.
+//!
+//! Covers the PR's acceptance arc end to end: a datapath machine serves
+//! predictions, the control plane reports ground truth back, a concept
+//! flip collapses the machine's own windowed prequential accuracy until
+//! `drift_suspected` latches, an `UpdateModel` swap recovers, and the
+//! flight recorder replays the whole story. The exporter side is pinned
+//! by a real loopback scrape: the Prometheus text exposition and the
+//! JSON rendering of the *same* snapshot must agree on every counter.
+
+use rkd::core::bytecode::{Action, Insn, ModelSlot, VReg};
+use rkd::core::ctrl::{syscall_rmt, CtrlRequest, CtrlResponse};
+use rkd::core::ctxt::Ctxt;
+use rkd::core::machine::{ExecMode, ProgId, RmtMachine};
+use rkd::core::obs::{ModelStatsSnapshot, ObsConfig, ObsSnapshot};
+use rkd::core::prog::{ModelSpec, ProgramBuilder};
+use rkd::core::snapshot::{from_json_str, to_json_string};
+use rkd::core::table::MatchKind;
+use rkd::core::verifier::verify;
+use rkd::ml::cost::LatencyClass;
+use rkd::ml::dataset::{Dataset, Sample};
+use rkd::ml::tree::{DecisionTree, TreeConfig};
+use rkd::testkit::prop_check;
+use rkd::testkit::rng::Rng;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+/// Trains a threshold tree (`x > 8`, optionally negated) and installs
+/// it as the single model of a one-table program on hook `"event"`.
+fn ml_machine(cfg: ObsConfig, flipped: bool) -> (RmtMachine, ProgId, ModelSlot) {
+    let mut machine = RmtMachine::with_obs_config(cfg);
+    let mut b = ProgramBuilder::new("telemetry");
+    let x = b.field_readonly("x");
+    let slot = b.model(
+        "clf",
+        ModelSpec::Tree(threshold_tree(flipped)),
+        LatencyClass::Scheduler,
+    );
+    let act = b.action(Action::new(
+        "classify",
+        vec![
+            Insn::VectorLdCtxt {
+                dst: VReg(0),
+                base: x,
+                len: 1,
+            },
+            Insn::CallMl {
+                model: slot,
+                src: VReg(0),
+            },
+            Insn::Exit,
+        ],
+    ));
+    b.table("t", "event", &[x], MatchKind::Exact, Some(act), 4);
+    let prog = machine
+        .install(verify(b.build()).unwrap(), ExecMode::Jit)
+        .unwrap();
+    (machine, prog, slot)
+}
+
+fn threshold_tree(flipped: bool) -> DecisionTree {
+    let ds = Dataset::from_samples(
+        (0..17)
+            .map(|x| Sample::from_f64(&[x as f64], ((x > 8) ^ flipped) as usize))
+            .collect(),
+    )
+    .unwrap();
+    DecisionTree::train(&ds, &TreeConfig::default()).unwrap()
+}
+
+/// Fires once and reports the verdict against ground truth `x > 8`
+/// (or its negation after a concept flip).
+fn serve_and_report(m: &mut RmtMachine, prog: ProgId, slot: ModelSlot, x: i64, flipped: bool) {
+    let mut ctxt = Ctxt::from_values(vec![x]);
+    let predicted = m.fire("event", &mut ctxt).verdict().unwrap();
+    let actual = ((x > 8) ^ flipped) as i64;
+    syscall_rmt(
+        m,
+        CtrlRequest::ReportOutcome {
+            prog,
+            slot,
+            predicted,
+            actual,
+        },
+    )
+    .unwrap();
+}
+
+fn query_stats(m: &mut RmtMachine, prog: ProgId, slot: ModelSlot) -> ModelStatsSnapshot {
+    match syscall_rmt(m, CtrlRequest::QueryModelStats { prog, slot }).unwrap() {
+        CtrlResponse::ModelStats(s) => *s,
+        other => panic!("{other:?}"),
+    }
+}
+
+/// The paper's §3.1 feedback loop as one test: serve, report, detect,
+/// swap, recover — with the machine itself keeping the score.
+#[test]
+fn closed_loop_drift_detection_and_recovery() {
+    let cfg = ObsConfig {
+        accuracy_window: 32,
+        accuracy_windows: 2,
+        drift_threshold_permille: 500,
+        flight_interval: 32,
+        flight_capacity: 16,
+        ..ObsConfig::default()
+    };
+    let (mut m, prog, slot) = ml_machine(cfg, false);
+    // Healthy phase: concept matches the installed model.
+    for step in 0..64i64 {
+        serve_and_report(&mut m, prog, slot, step % 17, false);
+    }
+    let healthy = query_stats(&mut m, prog, slot);
+    assert!(!healthy.drift_suspected, "{healthy:?}");
+    assert_eq!(healthy.acc_permille, 1000, "{healthy:?}");
+    // Concept flips; the installed model is now consistently wrong.
+    // Within two windows the rolling accuracy crosses the threshold
+    // and the latch fires.
+    for step in 0..64i64 {
+        serve_and_report(&mut m, prog, slot, step % 17, true);
+    }
+    let drifted = query_stats(&mut m, prog, slot);
+    assert!(drifted.drift_suspected, "{drifted:?}");
+    assert!(drifted.acc_permille < 500, "{drifted:?}");
+    // The latch stays set until the control plane acts (it is *not*
+    // cleared by accuracy wobble — a recovery claim needs a swap).
+    // Swap in a model trained on the new concept: windows reset,
+    // latch clears, cumulative history survives.
+    m.update_model(prog, slot, ModelSpec::Tree(threshold_tree(true)))
+        .unwrap();
+    let swapped = query_stats(&mut m, prog, slot);
+    assert!(!swapped.drift_suspected, "{swapped:?}");
+    assert_eq!(swapped.acc_permille, -1, "windows reset: {swapped:?}");
+    assert_eq!(swapped.outcomes, 128, "cumulative survives: {swapped:?}");
+    for step in 0..64i64 {
+        serve_and_report(&mut m, prog, slot, step % 17, true);
+    }
+    let recovered = query_stats(&mut m, prog, slot);
+    assert!(!recovered.drift_suspected, "{recovered:?}");
+    assert_eq!(recovered.acc_permille, 1000, "{recovered:?}");
+    // The flight recorder replays the arc: some frame saw the
+    // collapse, and the final frame sees full recovery.
+    let flight = match syscall_rmt(&mut m, CtrlRequest::FlightRead).unwrap() {
+        CtrlResponse::Flight(f) => *f,
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(flight.interval, 32);
+    assert!(flight.frames.len() >= 4, "{}", flight.frames.len());
+    let accs: Vec<i64> = flight
+        .frames
+        .iter()
+        .map(|f| f.models[0].acc_permille)
+        .collect();
+    assert!(
+        accs.iter().any(|&a| (0..500).contains(&a)),
+        "collapse visible in {accs:?}"
+    );
+    assert_eq!(*accs.last().unwrap(), 1000, "recovery visible in {accs:?}");
+}
+
+/// Acceptance: Prometheus and JSON render the *same* snapshot, served
+/// over a real loopback socket, and agree on every counter value.
+#[test]
+fn loopback_scrape_prometheus_and_json_agree() {
+    let (mut m, prog, slot) = ml_machine(ObsConfig::default(), false);
+    for step in 0..100i64 {
+        serve_and_report(&mut m, prog, slot, step % 23, false);
+    }
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let mut bodies = Vec::new();
+    for path in ["/metrics", "/metrics.json"] {
+        let client = std::thread::spawn(move || {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            write!(conn, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+            let mut response = String::new();
+            conn.read_to_string(&mut response).unwrap();
+            response
+        });
+        assert_eq!(m.serve_metrics_once(&listener).unwrap(), path);
+        let response = client.join().unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        let expected_type = if path == "/metrics" {
+            "text/plain; version=0.0.4"
+        } else {
+            "application/json"
+        };
+        assert!(head.contains(expected_type), "{head}");
+        assert!(
+            head.contains(&format!("Content-Length: {}", body.len())),
+            "{head}"
+        );
+        bodies.push(body.to_string());
+    }
+    let prom = &bodies[0];
+    let snap: ObsSnapshot = from_json_str(&bodies[1]).unwrap();
+    // No traffic between the two scrapes, so the JSON body decodes the
+    // exact snapshot the Prometheus body rendered. Every machine-wide
+    // counter must appear with the same value...
+    for (name, value) in rkd::core::obs::export::counter_samples(&snap.counters) {
+        let line = format!("rkd_machine_events_total{{event=\"{name}\"}} {value}");
+        assert!(prom.contains(&line), "missing `{line}` in:\n{prom}");
+    }
+    assert!(snap.counters.fires == 100);
+    // ...as must the per-hook and per-model counters.
+    for h in &snap.hooks {
+        let line = format!("rkd_hook_fires_total{{hook=\"{}\"}} {}", h.hook, h.fires);
+        assert!(prom.contains(&line), "missing `{line}`");
+    }
+    assert_eq!(snap.models.len(), 1);
+    let ms = &snap.models[0];
+    for (family, value) in [
+        ("rkd_model_predictions_total", ms.served),
+        ("rkd_model_outcomes_total", ms.outcomes),
+        ("rkd_model_outcome_hits_total", ms.hits),
+    ] {
+        let line = format!(
+            "{family}{{prog=\"{}\",slot=\"{}\",model=\"{}\"}} {value}",
+            ms.prog, ms.slot, ms.name
+        );
+        assert!(prom.contains(&line), "missing `{line}` in:\n{prom}");
+    }
+    assert_eq!(ms.served, 100);
+    assert_eq!(ms.outcomes, 100);
+    // An unknown path is a 404, not a hang or a panic.
+    let client = std::thread::spawn(move || {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        write!(conn, "GET /nope HTTP/1.1\r\n\r\n").unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        response
+    });
+    assert_eq!(m.serve_metrics_once(&listener).unwrap(), "/nope");
+    assert!(client.join().unwrap().starts_with("HTTP/1.1 404"));
+}
+
+prop_check!(
+    obs_snapshot_json_round_trips_byte_identically,
+    cases = 48,
+    |g| {
+        // Drive a real machine with randomized traffic, outcome reports,
+        // and obs configuration, then require the full observability
+        // snapshot — counters, histograms, model telemetry, windows — to
+        // survive serialize -> parse -> serialize with not a byte changed.
+        let cfg = ObsConfig {
+            accuracy_window: g.gen_range(1u64..24),
+            accuracy_windows: g.gen_range(1usize..5),
+            drift_threshold_permille: g.gen_range(0u64..1001),
+            flight_interval: g.gen_range(1u64..40),
+            flight_capacity: g.gen_range(1usize..6),
+            ..ObsConfig::default()
+        };
+        let (mut m, prog, slot) = ml_machine(cfg, false);
+        let flipped = g.gen_range(0u32..2) == 1;
+        for _ in 0..g.gen_range(1usize..120) {
+            let x = g.gen_range(-4i64..21);
+            let mut ctxt = Ctxt::from_values(vec![x]);
+            let predicted = m.fire("event", &mut ctxt).verdict().unwrap();
+            // Sometimes drop the report: served and outcomes diverge.
+            if g.gen_range(0u32..4) > 0 {
+                let actual = ((x > 8) ^ flipped) as i64;
+                m.report_outcome(prog, slot, predicted, actual).unwrap();
+            }
+        }
+        let snap = m.obs_snapshot();
+        let once = to_json_string(&snap);
+        let parsed: ObsSnapshot = from_json_str(&once).unwrap();
+        assert_eq!(to_json_string(&parsed), once);
+        // The standalone model-stats snapshot round-trips the same way.
+        let ms = m.model_stats(prog, slot).unwrap();
+        let once = to_json_string(&ms);
+        let parsed: ModelStatsSnapshot = from_json_str(&once).unwrap();
+        assert_eq!(to_json_string(&parsed), once);
+    }
+);
