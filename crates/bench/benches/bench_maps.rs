@@ -10,6 +10,7 @@ fn map_of(kind: MapKind, capacity: usize) -> MapInstance {
         kind,
         capacity,
         shared: false,
+        per_cpu: false,
     })
     .unwrap()
 }

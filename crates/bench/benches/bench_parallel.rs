@@ -1,0 +1,172 @@
+//! Microbenchmark: multi-core sharded-datapath scaling and batched
+//! fire amortization.
+//!
+//! Two questions, both from the sharding PR's acceptance criteria:
+//!
+//! 1. **Does sharding scale?** The same flow-partitioned replay runs
+//!    across 1, 2 and 4 shards; aggregate throughput at 4 shards must
+//!    be ≥ 2.5× the single-shard figure. The gate is *adaptive*: it
+//!    is enforced only when the host actually exposes ≥ 4 CPUs
+//!    (`std::thread::available_parallelism`) — on smaller hosts (CI
+//!    containers are routinely pinned to one core, where 4 threads
+//!    cannot beat 1) the line reports `SKIP(cpus=N)` and the run
+//!    still emits every measurement.
+//! 2. **Does batching pay?** `fire_batch` versus scalar `fire` on a
+//!    single machine over the same context stream — the per-event
+//!    saving from hoisting hook lookup, slot borrow, and
+//!    flight-recorder bookkeeping out of the loop.
+//!
+//! Set `RKD_BENCH_PARALLEL_JSON=<path>` to also emit the measurements
+//! and the gate verdict as a JSON document (archived by
+//! `scripts/ci.sh` as `BENCH_parallel.json`).
+
+use rkd_bench::shard_replay::{events_from_keys, replay_sharded, REPLAY_HOOK};
+use rkd_core::ctrl::syscall_rmt;
+use rkd_core::ctrl::CtrlRequest;
+use rkd_core::ctxt::Ctxt;
+use rkd_core::machine::{ExecMode, RmtMachine};
+use rkd_testkit::json::Json;
+use rkd_testkit::rng::{Rng, SeedableRng, StdRng};
+use std::time::Instant;
+
+/// Throughput gate: 4 shards must deliver ≥ 2.5× one shard.
+const GATE_SPEEDUP: f64 = 2.5;
+/// Events per replay. Large enough that per-replay setup (thread
+/// spawn, install) is noise against the measured span.
+const EVENTS: usize = 200_000;
+/// Contexts per submitted batch.
+const BATCH: usize = 256;
+
+fn synthetic_events() -> Vec<(u64, i64)> {
+    let mut g = StdRng::seed_from_u64(2021);
+    events_from_keys((0..EVENTS).map(|_| g.gen_range(0u64..1 << 32)))
+}
+
+/// Best-of-three replays at one shard count (wall-clock benches on a
+/// shared machine are noisy in the slow direction only).
+fn throughput(events: &[(u64, i64)], shards: usize) -> f64 {
+    (0..3)
+        .map(|_| replay_sharded(events, shards, BATCH).events_per_sec)
+        .fold(0.0f64, f64::max)
+}
+
+fn bench_scaling(events: &[(u64, i64)]) -> (Vec<(String, Json)>, bool) {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut doc: Vec<(String, Json)> = vec![("cpus".to_string(), Json::Int(cpus as i64))];
+
+    let mut per_shards = Vec::new();
+    let mut rates = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let rate = throughput(events, shards);
+        println!("parallel/replay_{shards}shard {rate:12.0} events/s");
+        per_shards.push((
+            format!("shards_{shards}"),
+            Json::Obj(vec![("events_per_sec".to_string(), Json::Float(rate))]),
+        ));
+        rates.push(rate);
+    }
+    doc.push(("replay".to_string(), Json::Obj(per_shards)));
+
+    let speedup = rates[2] / rates[0].max(1e-9);
+    let enforced = cpus >= 4;
+    let verdict = if !enforced {
+        format!("SKIP(cpus={cpus})")
+    } else if speedup >= GATE_SPEEDUP {
+        "PASS".to_string()
+    } else {
+        "FAIL".to_string()
+    };
+    println!("speedup_gate parallel_4x {speedup:6.2}x (budget {GATE_SPEEDUP}x) {verdict}");
+    doc.push((
+        "gate".to_string(),
+        Json::Obj(vec![
+            ("speedup_4x".to_string(), Json::Float(speedup)),
+            ("budget".to_string(), Json::Float(GATE_SPEEDUP)),
+            ("enforced".to_string(), Json::Bool(enforced)),
+            ("verdict".to_string(), Json::Str(verdict.clone())),
+        ]),
+    ));
+    (doc, verdict != "FAIL")
+}
+
+/// `fire_batch` vs a scalar `fire` loop on one machine, same stream.
+fn bench_batch_amortization(events: &[(u64, i64)]) -> Vec<(String, Json)> {
+    let events = &events[..events.len().min(50_000)];
+    let mk_machine = || {
+        let mut m = RmtMachine::new();
+        syscall_rmt(
+            &mut m,
+            CtrlRequest::Install {
+                prog: Box::new(rkd_bench::shard_replay::replay_prog()),
+                mode: ExecMode::Jit,
+                seed: 2021,
+            },
+        )
+        .expect("install replay program");
+        m
+    };
+    let mk_ctxts = || -> Vec<Ctxt> {
+        events
+            .iter()
+            .map(|&(flow, x)| Ctxt::from_values(vec![flow as i64, x]))
+            .collect()
+    };
+
+    let mut scalar_best = f64::INFINITY;
+    let mut batch_best = f64::INFINITY;
+    for _ in 0..3 {
+        let mut m = mk_machine();
+        let mut ctxts = mk_ctxts();
+        let start = Instant::now();
+        // Collect results exactly as fire_batch does, so the two arms
+        // differ only in dispatch, not in result retention.
+        let mut results = Vec::with_capacity(ctxts.len());
+        for ctxt in &mut ctxts {
+            results.push(m.fire(REPLAY_HOOK, ctxt));
+        }
+        std::hint::black_box(&results);
+        scalar_best = scalar_best.min(start.elapsed().as_nanos() as f64 / events.len() as f64);
+
+        let mut m = mk_machine();
+        let mut ctxts = mk_ctxts();
+        let start = Instant::now();
+        for chunk in ctxts.chunks_mut(BATCH) {
+            m.fire_batch(REPLAY_HOOK, chunk);
+        }
+        batch_best = batch_best.min(start.elapsed().as_nanos() as f64 / events.len() as f64);
+    }
+    println!("parallel/fire_scalar {scalar_best:10.1} ns/event");
+    println!("parallel/fire_batch  {batch_best:10.1} ns/event");
+    println!(
+        "batch_amortization {: >6.2}x (informational)",
+        scalar_best / batch_best.max(1e-9)
+    );
+    vec![(
+        "batch".to_string(),
+        Json::Obj(vec![
+            ("scalar_ns_per_event".to_string(), Json::Float(scalar_best)),
+            ("batch_ns_per_event".to_string(), Json::Float(batch_best)),
+        ]),
+    )]
+}
+
+fn main() {
+    let events = synthetic_events();
+    let (mut doc, ok) = bench_scaling(&events);
+    doc.extend(bench_batch_amortization(&events));
+    if let Ok(path) = std::env::var("RKD_BENCH_PARALLEL_JSON") {
+        if !path.trim().is_empty() {
+            let json = Json::Obj(doc).to_string_compact();
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("bench_parallel: failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {path}");
+        }
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -67,6 +67,7 @@ fn run_all(trace: &PageTrace) -> (Vec<MemSimResult>, ObsSnapshot) {
 
 fn main() {
     let metrics = std::env::args().any(|a| a == "--metrics");
+    let shards = rkd_bench::shard_replay::parse_shards_flag(std::env::args());
     println!("== Table 1: Case study: Page prefetching ==\n");
     let video = video_resize(&table1_video_params());
     let matrix = matrix_conv(&table1_matrix_params());
@@ -140,6 +141,18 @@ fn main() {
         for (name, snap) in [("video_resize", &v_snap), ("matrix_conv", &m_snap)] {
             println!("\n# == metrics: {name} ==");
             print!("{}", export::to_prometheus(snap));
+        }
+    }
+    // `--shards N`: replay both page traces through the sharded
+    // datapath and report aggregate throughput + per-shard hit rates.
+    if let Some(n) = shards {
+        use rkd_bench::shard_replay::{events_from_keys, render_report, replay_sharded};
+        println!();
+        for trace in [&video, &matrix] {
+            let events = events_from_keys(trace.accesses.iter().copied());
+            let report = replay_sharded(&events, n, 64);
+            println!("[{}]", trace.name);
+            print!("{}", render_report(&report));
         }
     }
 }

@@ -25,6 +25,7 @@ use rkd_workloads::sched::table2_suite;
 
 fn main() {
     let metrics = std::env::args().any(|a| a == "--metrics");
+    let shards = rkd_bench::shard_replay::parse_shards_flag(std::env::args());
     println!("== Table 2: Case study: Linux Scheduler ==\n");
     let mut rng = StdRng::seed_from_u64(2021);
     let suite = table2_suite(4, &mut rng);
@@ -108,4 +109,17 @@ fn main() {
         "(measured (paper)) — shape target: full ~99% acc, lean 90s, JCT parity across columns."
     );
     println!("\nshape check: {}", if all_ok { "PASS" } else { "FAIL" });
+    // `--shards N`: replay every benchmark's task stream (task id as
+    // the flow key) through the sharded datapath and report aggregate
+    // throughput + per-shard hit rates.
+    if let Some(n) = shards {
+        use rkd_bench::shard_replay::{events_from_keys, render_report, replay_sharded};
+        println!();
+        for w in &suite {
+            let events = events_from_keys((0..w.tasks.len() as u64).cycle().take(4096));
+            let report = replay_sharded(&events, n, 64);
+            println!("[{}]", w.name);
+            print!("{}", render_report(&report));
+        }
+    }
 }

@@ -11,12 +11,15 @@
 //!
 //! Microbenchmarks live under `benches/`; they run on the in-repo
 //! [`harness`] module (plain `std::time::Instant` timing) so the
-//! build stays hermetic.
+//! build stays hermetic. The [`shard_replay`] module is the shared
+//! multi-core replay harness behind the binaries' `--shards N` flag
+//! and the `bench_parallel` scaling gate.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod harness;
+pub mod shard_replay;
 
 use rkd_sim::mem::sim::MemSimConfig;
 use rkd_workloads::mem::{MatrixConvParams, VideoResizeParams};

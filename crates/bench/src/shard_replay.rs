@@ -1,0 +1,289 @@
+//! Shared sharded-replay harness for the case-study binaries and
+//! `bench_parallel`.
+//!
+//! One canonical datapath program (a flow-keyed per-CPU accumulator
+//! behind an exact-match table, half the flow space pinned by real
+//! entries so table hit rates are non-trivial), one canonical driver
+//! (flow-partition the event stream, submit every shard's batches
+//! up front, wait for all — a single driver thread keeps every shard
+//! busy because [`ShardedMachine::fire_batch_on`] is asynchronous).
+//!
+//! `table1 --shards N` and `table2 --shards N` feed their own workload
+//! traces through [`replay_sharded`] and print the aggregate
+//! throughput plus per-shard hit rates; `bench_parallel` sweeps shard
+//! counts over a synthetic stream and gates the speedup.
+
+use rkd_core::bytecode::{Action, AluOp, Insn, Reg};
+use rkd_core::ctrl::{CtrlRequest, CtrlResponse};
+use rkd_core::ctxt::Ctxt;
+use rkd_core::machine::ExecMode;
+use rkd_core::maps::MapKind;
+use rkd_core::obs::MachineCounters;
+use rkd_core::prog::{ProgramBuilder, RmtProgram};
+use rkd_core::shard::ShardedMachine;
+use rkd_core::table::{Entry, MatchKey, MatchKind};
+use std::time::Instant;
+
+/// Hook the replay program arms.
+pub const REPLAY_HOOK: &str = "replay";
+
+/// Flow-space size the canonical program pins entries for (half of
+/// it, so both the hit and the miss path stay exercised).
+pub const REPLAY_FLOWS: u64 = 64;
+
+/// The canonical replay program: exact-match table over `flow` with
+/// entries for the lower half of the flow space, every event folded
+/// into a per-CPU hash map, verdict = running per-flow sum.
+pub fn replay_prog() -> RmtProgram {
+    let mut b = ProgramBuilder::new("shard_replay");
+    let flow = b.field_readonly("flow");
+    let x = b.field_readonly("x");
+    let counts = b.per_cpu_map("counts", MapKind::Hash, REPLAY_FLOWS as usize * 2);
+    let act = b.action(Action::new(
+        "acc",
+        vec![
+            Insn::LdCtxt {
+                dst: Reg(1),
+                field: flow,
+            },
+            Insn::LdCtxt {
+                dst: Reg(2),
+                field: x,
+            },
+            Insn::MapLookup {
+                dst: Reg(3),
+                map: counts,
+                key: Reg(1),
+                default: 0,
+            },
+            Insn::Alu {
+                op: AluOp::Add,
+                dst: Reg(3),
+                src: Reg(2),
+            },
+            Insn::MapUpdate {
+                map: counts,
+                key: Reg(1),
+                value: Reg(3),
+            },
+            Insn::Mov {
+                dst: Reg(0),
+                src: Reg(3),
+            },
+            Insn::Exit,
+        ],
+    ));
+    let t = b.table(
+        "t",
+        REPLAY_HOOK,
+        &[flow],
+        MatchKind::Exact,
+        Some(act),
+        REPLAY_FLOWS as usize + 1,
+    );
+    for f in 0..REPLAY_FLOWS / 2 {
+        b.entry(
+            t,
+            Entry {
+                key: MatchKey::Exact(vec![f]),
+                priority: 0,
+                action: act,
+                arg: f as i64,
+            },
+        );
+    }
+    b.build()
+}
+
+/// Derives a replay event stream from a trace of keys: flow = key
+/// folded into the canonical flow space, payload = 1.
+pub fn events_from_keys(keys: impl IntoIterator<Item = u64>) -> Vec<(u64, i64)> {
+    keys.into_iter().map(|k| (k % REPLAY_FLOWS, 1)).collect()
+}
+
+/// One shard's datapath counters reduced to the rates the case-study
+/// binaries print.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardLane {
+    /// Shard index.
+    pub shard: usize,
+    /// Hook fires this shard executed.
+    pub fires: u64,
+    /// Table hit rate in percent (hits / (hits + misses)).
+    pub table_hit_pct: f64,
+    /// Decision-cache hit rate in percent (hits / probes).
+    pub cache_hit_pct: f64,
+}
+
+/// Aggregate result of one sharded replay.
+#[derive(Clone, Debug)]
+pub struct ShardReplayReport {
+    /// Shard count driven.
+    pub shards: usize,
+    /// Total events fired (all shards).
+    pub events: u64,
+    /// Wall-clock nanoseconds for the whole replay.
+    pub elapsed_ns: u64,
+    /// Aggregate throughput (`events` / wall clock).
+    pub events_per_sec: f64,
+    /// Per-shard lanes, indexed by shard.
+    pub per_shard: Vec<ShardLane>,
+}
+
+fn lane(shard: usize, c: &MachineCounters) -> ShardLane {
+    let pct = |hit: u64, total: u64| {
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * hit as f64 / total as f64
+        }
+    };
+    ShardLane {
+        shard,
+        fires: c.fires,
+        table_hit_pct: pct(c.table_hits, c.table_hits + c.table_misses),
+        cache_hit_pct: pct(
+            c.decision_cache_hits,
+            c.decision_cache_hits + c.decision_cache_misses,
+        ),
+    }
+}
+
+/// Replays `events` over `shards` datapath shards, flow-partitioned,
+/// in batches of `batch` contexts, and reports aggregate throughput
+/// plus per-shard hit rates.
+pub fn replay_sharded(events: &[(u64, i64)], shards: usize, batch: usize) -> ShardReplayReport {
+    let sharded = ShardedMachine::new(shards);
+    match sharded
+        .ctrl(CtrlRequest::Install {
+            prog: Box::new(replay_prog()),
+            mode: ExecMode::Jit,
+            seed: 2021,
+        })
+        .expect("install replay program")
+    {
+        CtrlResponse::Installed(_) => {}
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    // Pre-chunk each shard's lane while partitioning (pulling a chunk
+    // off the front of one big Vec per batch would memmove the whole
+    // tail every time — quadratic in lane length).
+    let batch = batch.max(1);
+    let mut lanes: Vec<Vec<Vec<Ctxt>>> = vec![Vec::new(); sharded.shard_count()];
+    for &(flow, x) in events {
+        let lane = &mut lanes[sharded.shard_for_flow(flow)];
+        if lane.last().is_none_or(|chunk| chunk.len() >= batch) {
+            lane.push(Vec::with_capacity(batch));
+        }
+        lane.last_mut()
+            .expect("chunk exists")
+            .push(Ctxt::from_values(vec![flow as i64, x]));
+    }
+
+    let start = Instant::now();
+    let tickets: Vec<_> = lanes
+        .into_iter()
+        .enumerate()
+        .flat_map(|(shard, chunks)| {
+            chunks
+                .into_iter()
+                .map(move |chunk| (shard, chunk))
+                .collect::<Vec<_>>()
+        })
+        .map(|(shard, chunk)| sharded.fire_batch_on(shard, REPLAY_HOOK, chunk))
+        .collect();
+    for t in tickets {
+        t.wait();
+    }
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+
+    let per_shard: Vec<ShardLane> = sharded
+        .shard_counters()
+        .iter()
+        .enumerate()
+        .map(|(i, c)| lane(i, c))
+        .collect();
+    let events_total: u64 = per_shard.iter().map(|l| l.fires).sum();
+    ShardReplayReport {
+        shards: sharded.shard_count(),
+        events: events_total,
+        elapsed_ns,
+        events_per_sec: events_total as f64 / (elapsed_ns.max(1) as f64 / 1e9),
+        per_shard,
+    }
+}
+
+/// Renders the `--shards` report block both case-study binaries print.
+pub fn render_report(report: &ShardReplayReport) -> String {
+    let mut out = format!(
+        "sharded replay: {} shards, {} events, {:.1} ms, {:.0} events/s aggregate\n",
+        report.shards,
+        report.events,
+        report.elapsed_ns as f64 / 1e6,
+        report.events_per_sec,
+    );
+    for l in &report.per_shard {
+        out.push_str(&format!(
+            "  shard {}: {} fires, table hit {:.1}%, decision cache hit {:.1}%\n",
+            l.shard, l.fires, l.table_hit_pct, l.cache_hit_pct
+        ));
+    }
+    out
+}
+
+/// Parses `--shards N` from an argument list (returns `None` when the
+/// flag is absent; panics on a malformed count, which is a usage
+/// error worth failing loudly on).
+pub fn parse_shards_flag(args: impl IntoIterator<Item = String>) -> Option<usize> {
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        if a == "--shards" {
+            let n = args
+                .next()
+                .expect("--shards requires a count")
+                .parse::<usize>()
+                .expect("--shards requires an integer count");
+            return Some(n.max(1));
+        }
+        if let Some(n) = a.strip_prefix("--shards=") {
+            return Some(
+                n.parse::<usize>()
+                    .expect("--shards requires an integer count")
+                    .max(1),
+            );
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_accounts_for_every_event() {
+        let events = events_from_keys(0..300u64);
+        let report = replay_sharded(&events, 3, 32);
+        assert_eq!(report.shards, 3);
+        assert_eq!(report.events, 300);
+        assert_eq!(report.per_shard.iter().map(|l| l.fires).sum::<u64>(), 300);
+        assert!(report.events_per_sec > 0.0);
+        // Half the flow space has entries, so both paths are live.
+        let hit = report
+            .per_shard
+            .iter()
+            .map(|l| l.table_hit_pct)
+            .sum::<f64>();
+        assert!(hit > 0.0, "no table hits anywhere");
+    }
+
+    #[test]
+    fn shards_flag_parses() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_shards_flag(args(&["--shards", "4"])), Some(4));
+        assert_eq!(parse_shards_flag(args(&["--shards=2"])), Some(2));
+        assert_eq!(parse_shards_flag(args(&["--metrics"])), None);
+        assert_eq!(parse_shards_flag(args(&["--shards", "0"])), Some(1));
+    }
+}

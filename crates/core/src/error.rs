@@ -146,6 +146,14 @@ pub enum VerifyError {
         /// The duplicated identifier.
         name: String,
     },
+    /// A map declaration is internally inconsistent (e.g. `per_cpu` on
+    /// a kind without well-defined cross-shard aggregation).
+    BadMapDef {
+        /// The offending map id.
+        map: u16,
+        /// Why the declaration was rejected.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -220,6 +228,7 @@ impl fmt::Display for VerifyError {
                 write!(f, "too many {what}: {got} > {max}")
             }
             VerifyError::Duplicate { what, name } => write!(f, "duplicate {what}: {name}"),
+            VerifyError::BadMapDef { map, reason } => write!(f, "map {map}: {reason}"),
         }
     }
 }

@@ -395,6 +395,7 @@ mod tests {
                 kind: MapKind::RingBuf,
                 capacity: 4,
                 shared: false,
+                per_cpu: false,
             })
             .unwrap();
             let hash = MapInstance::new(&MapDef {
@@ -402,6 +403,7 @@ mod tests {
                 kind: MapKind::Hash,
                 capacity: 4,
                 shared: false,
+                per_cpu: false,
             })
             .unwrap();
             Fixture {

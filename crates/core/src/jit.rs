@@ -375,6 +375,7 @@ mod tests {
                 kind: MapKind::Hash,
                 capacity: 16,
                 shared: false,
+                per_cpu: false,
             })
             .unwrap();
             Fx {

@@ -61,6 +61,7 @@ pub mod machine;
 pub mod maps;
 pub mod obs;
 pub mod prog;
+pub mod shard;
 pub mod snapshot;
 pub mod table;
 pub mod verifier;

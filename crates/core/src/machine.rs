@@ -179,6 +179,27 @@ pub struct ProgStats {
     pub guard_trips: u64,
 }
 
+impl ProgStats {
+    /// Adds another stats set into this one, field by field — the
+    /// cross-shard aggregation for a program replicated across a
+    /// [`crate::shard::ShardedMachine`]'s workers.
+    pub fn merge(&mut self, other: &ProgStats) {
+        self.invocations = self.invocations.saturating_add(other.invocations);
+        self.actions_run = self.actions_run.saturating_add(other.actions_run);
+        self.insns_executed = self.insns_executed.saturating_add(other.insns_executed);
+        self.effects_emitted = self.effects_emitted.saturating_add(other.effects_emitted);
+        self.effects_rate_limited = self
+            .effects_rate_limited
+            .saturating_add(other.effects_rate_limited);
+        self.actions_aborted = self.actions_aborted.saturating_add(other.actions_aborted);
+        self.tail_calls = self.tail_calls.saturating_add(other.tail_calls);
+        self.tail_chain_overflows = self
+            .tail_chain_overflows
+            .saturating_add(other.tail_chain_overflows);
+        self.guard_trips = self.guard_trips.saturating_add(other.guard_trips);
+    }
+}
+
 /// The result of firing one hook.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct HookResult {
@@ -551,28 +572,119 @@ impl RmtMachine {
     /// live tables). Control-plane mutations bump a generation counter
     /// that invalidates all cached decisions.
     pub fn fire(&mut self, hook: &str, ctxt: &mut Ctxt) -> HookResult {
-        let mut result = HookResult::default();
+        let sample_mask = Self::sample_mask(&self.obs.cfg);
         let Some(slot) = self.hook_index.get_mut(hook) else {
             self.obs.counters.fires_unarmed += 1;
-            return result;
+            return HookResult::default();
         };
-        slot.fires += 1;
-        self.obs.counters.fires += 1;
-        let sample_mask = if self.obs.cfg.sample_shift >= 64 {
+        let result = Self::fire_in_slot(
+            &mut self.programs,
+            &mut self.obs,
+            &mut self.scratch_queue,
+            self.tick,
+            self.table_gen,
+            self.decision_cache_cap,
+            sample_mask,
+            slot,
+            hook,
+            ctxt,
+        );
+        if self.obs.flight.due(self.obs.counters.fires) {
+            self.capture_flight_frame();
+        }
+        result
+    }
+
+    /// Fires `hook` once per context, amortizing the per-fire fixed
+    /// costs across the batch: one hook-index lookup, one
+    /// sampling-mask computation, and one flight-recorder due-check
+    /// (at most one frame captured per batch, even when the batch
+    /// crosses several capture intervals) instead of one each per
+    /// firing. Per-firing semantics are otherwise identical to
+    /// [`RmtMachine::fire`] — each context still gets its own
+    /// decision-cache probe (flows differ) and its own [`HookResult`].
+    ///
+    /// This is the inner loop of every
+    /// [`crate::shard::ShardedMachine`] worker, and pays off on a
+    /// single machine too.
+    pub fn fire_batch(&mut self, hook: &str, ctxts: &mut [Ctxt]) -> Vec<HookResult> {
+        let mut results = Vec::with_capacity(ctxts.len());
+        if ctxts.is_empty() {
+            return results;
+        }
+        let sample_mask = Self::sample_mask(&self.obs.cfg);
+        let Some(slot) = self.hook_index.get_mut(hook) else {
+            self.obs.counters.fires_unarmed += ctxts.len() as u64;
+            results.resize_with(ctxts.len(), HookResult::default);
+            return results;
+        };
+        let fires_before = self.obs.counters.fires;
+        for ctxt in ctxts.iter_mut() {
+            results.push(Self::fire_in_slot(
+                &mut self.programs,
+                &mut self.obs,
+                &mut self.scratch_queue,
+                self.tick,
+                self.table_gen,
+                self.decision_cache_cap,
+                sample_mask,
+                slot,
+                hook,
+                ctxt,
+            ));
+        }
+        if self
+            .obs
+            .flight
+            .due_span(fires_before, self.obs.counters.fires)
+        {
+            self.capture_flight_frame();
+        }
+        results
+    }
+
+    /// Latency-sampling mask from the obs config: a firing is timed
+    /// when `(slot.fires - 1) & mask == 0`.
+    fn sample_mask(cfg: &ObsConfig) -> u64 {
+        if cfg.sample_shift >= 64 {
             u64::MAX
         } else {
-            (1u64 << self.obs.cfg.sample_shift) - 1
-        };
-        let timed = self.obs.cfg.timing && (slot.fires - 1) & sample_mask == 0;
+            (1u64 << cfg.sample_shift) - 1
+        }
+    }
+
+    /// The pipeline walk for one firing of an armed hook. Takes the
+    /// machine's fields as disjoint borrows (the hook slot is a live
+    /// `&mut` into `hook_index`, so `&mut self` is unavailable) —
+    /// which is what lets [`RmtMachine::fire_batch`] hold the slot
+    /// across a whole batch. Flight-recorder capture stays with the
+    /// callers: it needs the whole machine.
+    #[allow(clippy::too_many_arguments)]
+    fn fire_in_slot(
+        programs: &mut BTreeMap<u32, Installed>,
+        obs: &mut Obs,
+        scratch_queue: &mut Vec<usize>,
+        tick: u64,
+        table_gen: u64,
+        decision_cache_cap: usize,
+        sample_mask: u64,
+        slot: &mut HookSlot,
+        hook: &str,
+        ctxt: &mut Ctxt,
+    ) -> HookResult {
+        let mut result = HookResult::default();
+
+        slot.fires += 1;
+        obs.counters.fires += 1;
+        let timed = obs.cfg.timing && (slot.fires - 1) & sample_mask == 0;
         let t0 = timed.then(Instant::now);
         let mut prev = t0;
-        let tick = self.tick;
         // Decision-cache probe: hash the consumed ctxt fields and, if
         // a current-generation decision is cached, replay its steps
         // (validated per table below; actions always re-execute).
-        let use_cache = self.decision_cache_cap > 0 && slot.eligible;
-        if self.decision_cache_cap > 0 && !slot.eligible {
-            self.obs.counters.decision_cache_bypasses += 1;
+        let use_cache = decision_cache_cap > 0 && slot.eligible;
+        if decision_cache_cap > 0 && !slot.eligible {
+            obs.counters.decision_cache_bypasses += 1;
         }
         let mut probe_key: Option<Vec<u64>> = None;
         // The cached step chain is *moved* out of the map for the
@@ -586,14 +698,14 @@ impl RmtMachine {
         let flowless = slot.consumed.is_empty();
         if use_cache && flowless {
             match slot.cache.flowless.take() {
-                Some(c) if c.generation == self.table_gen => replay = Some(c.steps),
+                Some(c) if c.generation == table_gen => replay = Some(c.steps),
                 Some(_) => invalidated = true,
                 None => {}
             }
         } else if use_cache {
             let pk = ctxt.key(&slot.consumed);
             match slot.cache.map.get_mut(pk.as_slice()) {
-                Some(c) if c.generation == self.table_gen => {
+                Some(c) if c.generation == table_gen => {
                     replay = Some(std::mem::take(&mut c.steps));
                 }
                 Some(_) => invalidated = true,
@@ -607,7 +719,7 @@ impl RmtMachine {
         let mut cursor = 0usize;
         for li in 0..slot.listeners.len() {
             let (pid, _first_table) = slot.listeners[li];
-            let Some(inst) = self.programs.get_mut(&pid) else {
+            let Some(inst) = programs.get_mut(&pid) else {
                 continue;
             };
             inst.stats.invocations += 1;
@@ -618,12 +730,12 @@ impl RmtMachine {
             let Some(hook_tables) = inst.hook_tables.get(hook) else {
                 continue;
             };
-            self.scratch_queue.clear();
-            self.scratch_queue.extend_from_slice(hook_tables);
+            scratch_queue.clear();
+            scratch_queue.extend_from_slice(hook_tables);
             let mut chain = 0usize;
             let mut qi = 0usize;
-            while qi < self.scratch_queue.len() {
-                let ti = self.scratch_queue[qi];
+            while qi < scratch_queue.len() {
+                let ti = scratch_queue[qi];
                 qi += 1;
                 // Match phase: replay a validated cached step, or
                 // resolve live (recording if the cache missed).
@@ -734,9 +846,9 @@ impl RmtMachine {
                     }
                 };
                 if matched {
-                    self.obs.counters.table_hits += 1;
+                    obs.counters.table_hits += 1;
                 } else {
-                    self.obs.counters.table_misses += 1;
+                    obs.counters.table_misses += 1;
                 }
                 let Some(action_id) = action_id else {
                     continue; // Miss with no default: next table.
@@ -783,8 +895,8 @@ impl RmtMachine {
                         inst.stats.insns_executed += insns_executed;
                         inst.stats.guard_trips += guard_trips;
                         if guard_trips > 0 {
-                            self.obs.counters.guard_trips += guard_trips;
-                            self.obs.ring.push(TraceEvent {
+                            obs.counters.guard_trips += guard_trips;
+                            obs.ring.push(TraceEvent {
                                 tick,
                                 prog: pid,
                                 kind: TraceKind::GuardTrip,
@@ -801,8 +913,8 @@ impl RmtMachine {
                                     };
                                     if !bucket.try_take(cost, tick) {
                                         inst.stats.effects_rate_limited += 1;
-                                        self.obs.counters.rate_limit_drops += 1;
-                                        self.obs.ring.push(TraceEvent {
+                                        obs.counters.rate_limit_drops += 1;
+                                        obs.ring.push(TraceEvent {
                                             tick,
                                             prog: pid,
                                             kind: TraceKind::RateLimitDrop,
@@ -823,8 +935,8 @@ impl RmtMachine {
                                 // terminates it instead of letting the
                                 // remaining queue run.
                                 inst.stats.tail_chain_overflows += 1;
-                                self.obs.counters.tail_chain_overflows += 1;
-                                self.obs.ring.push(TraceEvent {
+                                obs.counters.tail_chain_overflows += 1;
+                                obs.ring.push(TraceEvent {
                                     tick,
                                     prog: pid,
                                     kind: TraceKind::TailChainOverflow,
@@ -833,8 +945,8 @@ impl RmtMachine {
                                 break;
                             } else if target.0 as usize >= inst.tables.len() {
                                 inst.stats.actions_aborted += 1;
-                                self.obs.counters.aborts += 1;
-                                self.obs.ring.push(TraceEvent {
+                                obs.counters.aborts += 1;
+                                obs.ring.push(TraceEvent {
                                     tick,
                                     prog: pid,
                                     kind: TraceKind::Abort,
@@ -842,18 +954,18 @@ impl RmtMachine {
                                 });
                             } else {
                                 inst.stats.tail_calls += 1;
-                                self.obs.counters.tail_calls += 1;
+                                obs.counters.tail_calls += 1;
                                 // Redirect: the chain replaces the rest
                                 // of the pipeline.
-                                self.scratch_queue.truncate(qi);
-                                self.scratch_queue.push(target.0 as usize);
+                                scratch_queue.truncate(qi);
+                                scratch_queue.push(target.0 as usize);
                             }
                         }
                     }
                     Err(_) => {
                         inst.stats.actions_aborted += 1;
-                        self.obs.counters.aborts += 1;
-                        self.obs.ring.push(TraceEvent {
+                        obs.counters.aborts += 1;
+                        obs.ring.push(TraceEvent {
                             tick,
                             prog: pid,
                             kind: TraceKind::Abort,
@@ -868,11 +980,11 @@ impl RmtMachine {
                     .record(now.duration_since(start).as_nanos() as u64);
                 prev = Some(now);
             }
-            if self.obs.cfg.trace_fires {
+            if obs.cfg.trace_fires {
                 let verdict = result.verdicts[verdicts_before..]
                     .last()
                     .map_or(i64::MIN, |&(_, v)| v);
-                self.obs.ring.push(TraceEvent {
+                obs.ring.push(TraceEvent {
                     tick,
                     prog: pid,
                     kind: TraceKind::Fire,
@@ -883,13 +995,13 @@ impl RmtMachine {
         if use_cache {
             let hit = !diverged && replay.as_deref().is_some_and(|s| s.len() == cursor);
             if hit {
-                self.obs.counters.decision_cache_hits += 1;
+                obs.counters.decision_cache_hits += 1;
                 // Restore the step chain taken at probe time; nothing
                 // evicts mid-firing.
                 let steps = replay.take().unwrap_or_default();
                 if flowless {
                     slot.cache.flowless = Some(CachedDecision {
-                        generation: self.table_gen,
+                        generation: table_gen,
                         steps,
                     });
                 } else if let Some(c) = slot
@@ -900,9 +1012,9 @@ impl RmtMachine {
                     c.steps = steps;
                 }
             } else {
-                self.obs.counters.decision_cache_misses += 1;
+                obs.counters.decision_cache_misses += 1;
                 if invalidated {
-                    self.obs.counters.decision_cache_invalidations += 1;
+                    obs.counters.decision_cache_invalidations += 1;
                 }
                 if !recording {
                     // Every replayed step validated but the live
@@ -913,7 +1025,7 @@ impl RmtMachine {
                     });
                 }
                 let dec = CachedDecision {
-                    generation: self.table_gen,
+                    generation: table_gen,
                     steps: recorded,
                 };
                 if flowless {
@@ -922,18 +1034,15 @@ impl RmtMachine {
                     let evicted = slot.cache.insert(
                         probe_key.take().unwrap_or_default(),
                         dec,
-                        self.decision_cache_cap,
+                        decision_cache_cap,
                     );
-                    self.obs.counters.decision_cache_evictions += evicted;
+                    obs.counters.decision_cache_evictions += evicted;
                 }
             }
         }
         if let (Some(start), Some(end)) = (t0, prev) {
             slot.hist
                 .record(end.duration_since(start).as_nanos() as u64);
-        }
-        if self.obs.flight.due(self.obs.counters.fires) {
-            self.capture_flight_frame();
         }
         result
     }
@@ -1212,6 +1321,42 @@ impl RmtMachine {
         } else {
             Ok(m.lookup(key))
         }
+    }
+
+    /// The declaration of one of a program's maps.
+    pub fn map_def(&self, prog: ProgId, map: MapId) -> Result<&crate::maps::MapDef, VmError> {
+        self.programs
+            .get(&prog.0)
+            .ok_or(VmError::NoSuchProgram(prog.0))?
+            .prog
+            .maps
+            .get(map.0 as usize)
+            .ok_or(VmError::MapError("no such map"))
+    }
+
+    /// Shared-borrow control-plane map read: same value as
+    /// [`RmtMachine::map_lookup`] for non-shared maps, but without
+    /// `&mut self` and without refreshing LRU recency — the read the
+    /// sharded control plane uses to aggregate per-CPU replicas
+    /// without perturbing datapath state. Shared maps are refused:
+    /// their only legal read is the DP-noised one, which must charge
+    /// the ledger (and therefore needs `&mut`).
+    pub fn map_peek(&self, prog: ProgId, map: MapId, key: u64) -> Result<Option<i64>, VmError> {
+        let inst = self
+            .programs
+            .get(&prog.0)
+            .ok_or(VmError::NoSuchProgram(prog.0))?;
+        let def = inst
+            .prog
+            .maps
+            .get(map.0 as usize)
+            .ok_or(VmError::MapError("no such map"))?;
+        if def.shared {
+            return Err(VmError::MapError(
+                "shared map reads must go through the DP path (map_lookup)",
+            ));
+        }
+        Ok(inst.maps[map.0 as usize].peek(key))
     }
 
     /// Number of installed programs.

@@ -47,6 +47,16 @@ pub struct MapDef {
     /// `DpAggregate` instruction (§3.3 privacy); the verifier rejects
     /// raw reads.
     pub shared: bool,
+    /// Per-CPU semantics, mirroring eBPF's `BPF_MAP_TYPE_PERCPU_*`
+    /// families: under [`crate::shard::ShardedMachine`] every shard
+    /// writes its own replica contention-free, and control-plane reads
+    /// aggregate (sum per key) across shards. Only meaningful for
+    /// [`MapKind::Hash`] and [`MapKind::Array`] — the verifier rejects
+    /// the flag on other kinds (and on `shared` maps, whose DP-noised
+    /// reads compose per replica, not per aggregate). On a single
+    /// [`crate::machine::RmtMachine`] the flag is a no-op: there is
+    /// exactly one "CPU".
+    pub per_cpu: bool,
 }
 
 /// A runtime map instance.
@@ -149,6 +159,20 @@ impl MapInstance {
                 }
                 None => None,
             },
+            MapInstance::RingBuf { data, .. } => data.get(key as usize).copied(),
+            MapInstance::Histogram { buckets } => buckets.get(key as usize).copied(),
+        }
+    }
+
+    /// Non-mutating lookup: same value as [`MapInstance::lookup`] but
+    /// without refreshing LRU recency. This is the read the sharded
+    /// control plane uses to aggregate per-CPU replicas — an
+    /// observability read must not perturb eviction order.
+    pub fn peek(&self, key: u64) -> Option<i64> {
+        match self {
+            MapInstance::Hash { data, .. } => data.get(&key).copied(),
+            MapInstance::Array { data } => data.get(key as usize).copied(),
+            MapInstance::LruHash { data, .. } => data.get(&key).map(|&(v, _)| v),
             MapInstance::RingBuf { data, .. } => data.get(key as usize).copied(),
             MapInstance::Histogram { buckets } => buckets.get(key as usize).copied(),
         }
@@ -341,6 +365,7 @@ mod tests {
             kind,
             capacity,
             shared: false,
+            per_cpu: false,
         })
         .unwrap()
     }
@@ -352,8 +377,28 @@ mod tests {
             kind: MapKind::Hash,
             capacity: 0,
             shared: false,
+            per_cpu: false,
         })
         .is_err());
+    }
+
+    /// `peek` returns `lookup`'s value without touching LRU recency:
+    /// after peeking the coldest key, an at-capacity insert must still
+    /// evict it.
+    #[test]
+    fn peek_does_not_refresh_lru_recency() {
+        let mut m = mk(MapKind::LruHash, 2);
+        m.update(1, 10).unwrap();
+        m.update(2, 20).unwrap();
+        assert_eq!(m.peek(1), Some(10)); // No touch: key 1 stays coldest.
+        m.update(3, 30).unwrap();
+        assert_eq!(m.peek(1), None, "peeked key still evicted first");
+        assert_eq!(m.peek(2), Some(20));
+        // And peek agrees with lookup on every other kind.
+        let mut h = mk(MapKind::Hash, 4);
+        h.update(7, 70).unwrap();
+        assert_eq!(h.peek(7), h.lookup(7));
+        assert_eq!(h.peek(8), None);
     }
 
     #[test]
@@ -556,5 +601,6 @@ rkd_testkit::impl_json_struct!(MapDef {
     name,
     kind,
     capacity,
-    shared
+    shared,
+    per_cpu
 });

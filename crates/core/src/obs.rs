@@ -247,6 +247,41 @@ pub struct MachineCounters {
     pub decision_cache_bypasses: u64,
 }
 
+impl MachineCounters {
+    /// Adds another counter set into this one, field by field — the
+    /// cross-shard aggregation a [`crate::shard::ShardedMachine`]
+    /// control plane performs. Saturating: merged telemetry must never
+    /// wrap into nonsense.
+    pub fn merge(&mut self, other: &MachineCounters) {
+        self.fires = self.fires.saturating_add(other.fires);
+        self.fires_unarmed = self.fires_unarmed.saturating_add(other.fires_unarmed);
+        self.table_hits = self.table_hits.saturating_add(other.table_hits);
+        self.table_misses = self.table_misses.saturating_add(other.table_misses);
+        self.aborts = self.aborts.saturating_add(other.aborts);
+        self.guard_trips = self.guard_trips.saturating_add(other.guard_trips);
+        self.rate_limit_drops = self.rate_limit_drops.saturating_add(other.rate_limit_drops);
+        self.tail_calls = self.tail_calls.saturating_add(other.tail_calls);
+        self.tail_chain_overflows = self
+            .tail_chain_overflows
+            .saturating_add(other.tail_chain_overflows);
+        self.decision_cache_hits = self
+            .decision_cache_hits
+            .saturating_add(other.decision_cache_hits);
+        self.decision_cache_misses = self
+            .decision_cache_misses
+            .saturating_add(other.decision_cache_misses);
+        self.decision_cache_invalidations = self
+            .decision_cache_invalidations
+            .saturating_add(other.decision_cache_invalidations);
+        self.decision_cache_evictions = self
+            .decision_cache_evictions
+            .saturating_add(other.decision_cache_evictions);
+        self.decision_cache_bypasses = self
+            .decision_cache_bypasses
+            .saturating_add(other.decision_cache_bypasses);
+    }
+}
+
 /// Number of class bins in [`ModelStats`] histograms and confusion
 /// matrices. Classes `0..MODEL_CLASS_BINS-1` map to their own bin; the
 /// last bin absorbs everything else (negative or out-of-range classes),
@@ -490,6 +525,45 @@ pub struct ModelStatsSnapshot {
     pub drift_suspected: bool,
 }
 
+impl ModelStatsSnapshot {
+    /// Merges another snapshot of the *same* (prog, slot) model — the
+    /// cross-shard aggregation for replicated model telemetry.
+    /// Counters, the class histogram, the confusion matrix, and the
+    /// latency histogram sum; prequential windows zip-sum by position
+    /// (window `i` of every shard covers the same slice of each
+    /// shard's outcome stream); `acc_permille` is recomputed from the
+    /// merged windows; the drift latch ORs (one drifting shard is a
+    /// drifting model).
+    pub fn merge(&mut self, other: &ModelStatsSnapshot) {
+        self.served = self.served.saturating_add(other.served);
+        self.outcomes = self.outcomes.saturating_add(other.outcomes);
+        self.hits = self.hits.saturating_add(other.hits);
+        for (a, b) in self.class_counts.iter_mut().zip(other.class_counts.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        for (row_a, row_b) in self.confusion.iter_mut().zip(other.confusion.iter()) {
+            for (a, b) in row_a.iter_mut().zip(row_b.iter()) {
+                *a = a.saturating_add(*b);
+            }
+        }
+        self.latency.merge(&other.latency);
+        if self.windows.len() < other.windows.len() {
+            self.windows
+                .resize(other.windows.len(), AccWindow::default());
+        }
+        for (w, ow) in self.windows.iter_mut().zip(other.windows.iter()) {
+            w.hits = w.hits.saturating_add(ow.hits);
+            w.total = w.total.saturating_add(ow.total);
+        }
+        let (h, t) = self
+            .windows
+            .iter()
+            .fold((0u64, 0u64), |(h, t), w| (h + w.hits, t + w.total));
+        self.acc_permille = (h * 1000).checked_div(t).map_or(-1, |p| p as i64);
+        self.drift_suspected |= other.drift_suspected;
+    }
+}
+
 /// What happened, for one [`TraceEvent`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TraceKind {
@@ -700,6 +774,16 @@ impl FlightRecorder {
         self.interval > 0 && fires.is_multiple_of(self.interval)
     }
 
+    /// Whether any capture point was crossed while the fire counter
+    /// advanced from `before` to `after` — the batched-fire check:
+    /// [`crate::machine::RmtMachine::fire_batch`] amortizes the
+    /// due-check to one per batch, capturing at most one frame per
+    /// batch regardless of how many intervals the batch spanned.
+    #[inline]
+    pub fn due_span(&self, before: u64, after: u64) -> bool {
+        self.interval > 0 && after / self.interval > before / self.interval
+    }
+
     /// Appends a frame (stamping its sequence number), evicting and
     /// counting the oldest when full.
     pub fn push(&mut self, mut frame: FlightFrame) {
@@ -883,6 +967,52 @@ pub struct ObsSnapshot {
     pub trace_dropped: u64,
     /// Trace events currently buffered (unread).
     pub trace_pending: u64,
+}
+
+impl ObsSnapshot {
+    /// Merges another machine's snapshot into this one — the
+    /// cross-shard aggregation behind
+    /// [`crate::shard::ShardedMachine::obs_snapshot`], producing a
+    /// standard [`ObsSnapshot`] so the Prometheus/JSON exporters work
+    /// on sharded machines unchanged. Hooks merge by name (fires sum,
+    /// histograms merge), programs by id, models by (prog, slot);
+    /// counters and trace occupancy sum; `tick` takes the max. Sort
+    /// orders (hooks by name, programs by id, models by (prog, slot))
+    /// are preserved so merged output stays byte-deterministic.
+    pub fn merge(&mut self, other: &ObsSnapshot) {
+        self.tick = self.tick.max(other.tick);
+        self.counters.merge(&other.counters);
+        for oh in &other.hooks {
+            match self.hooks.iter_mut().find(|h| h.hook == oh.hook) {
+                Some(h) => {
+                    h.fires = h.fires.saturating_add(oh.fires);
+                    h.hist.merge(&oh.hist);
+                }
+                None => self.hooks.push(oh.clone()),
+            }
+        }
+        self.hooks.sort_by(|a, b| a.hook.cmp(&b.hook));
+        for op in &other.programs {
+            match self.programs.iter_mut().find(|p| p.prog == op.prog) {
+                Some(p) => p.hist.merge(&op.hist),
+                None => self.programs.push(op.clone()),
+            }
+        }
+        self.programs.sort_by_key(|p| p.prog);
+        for om in &other.models {
+            match self
+                .models
+                .iter_mut()
+                .find(|m| m.prog == om.prog && m.slot == om.slot)
+            {
+                Some(m) => m.merge(om),
+                None => self.models.push(om.clone()),
+            }
+        }
+        self.models.sort_by_key(|m| (m.prog, m.slot));
+        self.trace_dropped = self.trace_dropped.saturating_add(other.trace_dropped);
+        self.trace_pending = self.trace_pending.saturating_add(other.trace_pending);
+    }
 }
 
 rkd_testkit::impl_json_struct!(Log2Hist {

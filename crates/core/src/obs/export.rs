@@ -343,6 +343,33 @@ pub fn to_json(snap: &ObsSnapshot) -> String {
     rkd_testkit::json::to_string(snap)
 }
 
+/// Tunables for [`serve_once_with`]. `Default` gives the historical
+/// [`serve_once`] behaviour: 5-second read timeout, 16 KiB head cap.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOptions {
+    /// How long a blocking read may wait for request bytes before the
+    /// client is answered with `408 Request Timeout` and dropped.
+    pub read_timeout: Duration,
+    /// Maximum bytes of request head accepted before the client is
+    /// answered with `431 Request Header Fields Too Large`.
+    pub max_head_bytes: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            read_timeout: Duration::from_secs(5),
+            max_head_bytes: 16 * 1024,
+        }
+    }
+}
+
+/// Serves exactly one HTTP request from `listener` with the default
+/// [`ServeOptions`], then returns. See [`serve_once_with`].
+pub fn serve_once(listener: &TcpListener, snap: &ObsSnapshot) -> std::io::Result<String> {
+    serve_once_with(listener, snap, ServeOptions::default())
+}
+
 /// Serves exactly one HTTP request from `listener`, then returns.
 ///
 /// Routes:
@@ -351,58 +378,124 @@ pub fn to_json(snap: &ObsSnapshot) -> String {
 ///   [`to_prometheus`] rendering
 /// - `GET /metrics.json` → `200`, `application/json`, the [`to_json`]
 ///   rendering
-/// - anything else → `404`
+/// - `GET` anything else → `404`
+/// - non-`GET` method → `405` (with `Allow: GET`)
+/// - unparseable request line → `400`
+/// - client stalls past `opts.read_timeout` → `408`, connection
+///   dropped
+/// - request head exceeds `opts.max_head_bytes` → `431`
 ///
-/// Blocking by design: `accept` waits for a client, the read side gets
-/// a 5-second timeout so a stalled client cannot wedge the caller
-/// forever, and the connection is closed after the response
-/// (`Connection: close`). Returns the request path served.
-pub fn serve_once(listener: &TcpListener, snap: &ObsSnapshot) -> std::io::Result<String> {
+/// Blocking by design: `accept` waits for a client, every read is
+/// bounded by `opts.read_timeout` so a slow-loris client cannot wedge
+/// the caller, and the connection is closed after the response
+/// (`Connection: close`). Returns the request path served (for error
+/// responses, a `"!"`-prefixed status tag such as `"!408"` so callers
+/// can distinguish scrapes from junk).
+pub fn serve_once_with(
+    listener: &TcpListener,
+    snap: &ObsSnapshot,
+    opts: ServeOptions,
+) -> std::io::Result<String> {
     let (mut stream, _peer) = listener.accept()?;
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_read_timeout(Some(opts.read_timeout))?;
 
     // Read until the end of the request head. One request per
     // connection; the body (if any) is ignored.
     let mut buf = Vec::new();
     let mut chunk = [0u8; 1024];
+    let mut overflow = false;
+    let mut timed_out = false;
     loop {
-        let n = stream.read(&mut chunk)?;
+        let n = match stream.read(&mut chunk) {
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                timed_out = true;
+                break;
+            }
+            Err(e) => return Err(e),
+        };
         if n == 0 {
             break;
         }
         buf.extend_from_slice(&chunk[..n]);
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 16 * 1024 {
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+        if buf.len() > opts.max_head_bytes {
+            overflow = true;
             break;
         }
     }
-    let head = String::from_utf8_lossy(&buf);
-    let path = head
-        .lines()
-        .next()
-        .and_then(|line| line.split_whitespace().nth(1))
-        .unwrap_or("/")
-        .to_string();
 
-    let (status, content_type, body) = match path.as_str() {
-        "/metrics" => (
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            to_prometheus(snap),
-        ),
-        "/metrics.json" => ("200 OK", "application/json", to_json(snap)),
-        _ => (
-            "404 Not Found",
+    // Parse the request line: METHOD SP PATH SP VERSION.
+    let head = String::from_utf8_lossy(&buf);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut words = request_line.split_whitespace();
+    let method = words.next().unwrap_or("");
+    let path = words.next();
+
+    let (tag, status, content_type, extra_header, body) = if timed_out {
+        (
+            String::from("!408"),
+            "408 Request Timeout",
             "text/plain; charset=utf-8",
-            String::from("not found: try /metrics or /metrics.json\n"),
-        ),
+            "",
+            String::from("request head not received in time\n"),
+        )
+    } else if overflow {
+        (
+            String::from("!431"),
+            "431 Request Header Fields Too Large",
+            "text/plain; charset=utf-8",
+            "",
+            String::from("request head too large\n"),
+        )
+    } else if method.is_empty() || path.is_none() {
+        (
+            String::from("!400"),
+            "400 Bad Request",
+            "text/plain; charset=utf-8",
+            "",
+            String::from("malformed request line\n"),
+        )
+    } else if method != "GET" {
+        (
+            String::from("!405"),
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "Allow: GET\r\n",
+            String::from("only GET is supported\n"),
+        )
+    } else {
+        let path = path.unwrap_or("/").to_string();
+        match path.as_str() {
+            "/metrics" => (
+                path,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                "",
+                to_prometheus(snap),
+            ),
+            "/metrics.json" => (path, "200 OK", "application/json", "", to_json(snap)),
+            _ => (
+                path,
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "",
+                String::from("not found: try /metrics or /metrics.json\n"),
+            ),
+        }
     };
     let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{extra_header}Connection: close\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(response.as_bytes())?;
     stream.flush()?;
-    Ok(path)
+    Ok(tag)
 }
 
 #[cfg(test)]

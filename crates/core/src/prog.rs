@@ -246,6 +246,7 @@ impl ProgramBuilder {
             kind,
             capacity,
             shared: false,
+            per_cpu: false,
         });
         MapId((self.prog.maps.len() - 1) as u16)
     }
@@ -258,6 +259,23 @@ impl ProgramBuilder {
             kind,
             capacity,
             shared: true,
+            per_cpu: false,
+        });
+        MapId((self.prog.maps.len() - 1) as u16)
+    }
+
+    /// Declares a per-CPU map (eBPF `PERCPU_HASH`/`PERCPU_ARRAY`
+    /// analogue): each shard of a [`crate::shard::ShardedMachine`]
+    /// writes its own replica; control-plane reads sum across shards.
+    /// The verifier restricts the flag to [`MapKind::Hash`] and
+    /// [`MapKind::Array`].
+    pub fn per_cpu_map(&mut self, name: &str, kind: MapKind, capacity: usize) -> MapId {
+        self.prog.maps.push(MapDef {
+            name: name.to_string(),
+            kind,
+            capacity,
+            shared: false,
+            per_cpu: true,
         });
         MapId((self.prog.maps.len() - 1) as u16)
     }

@@ -1,0 +1,633 @@
+//! Multi-core sharded datapath.
+//!
+//! The paper's datapath lives in the kernel, where hooks fire
+//! concurrently on every CPU and per-CPU data structures are the
+//! standard answer to contention. [`ShardedMachine`] reproduces that
+//! architecture in userspace: N worker threads ("shards"), each owning
+//! a full [`RmtMachine`] replica, fire hooks completely
+//! contention-free — no lock, no atomic, no shared cache line on the
+//! hot path. Everything cross-shard happens on the control plane:
+//!
+//! - **Epoch-published control plane** — every mutating
+//!   [`CtrlRequest`] is appended to a sequenced command log and
+//!   announced through one atomic publish counter. Shards notice the
+//!   counter at *fire boundaries* (before each batch) and drain the
+//!   log in order, so reconfiguration never stops the datapath and
+//!   every shard converges to the same table/model generation. A
+//!   never-firing *shadow replica* applies each mutation first,
+//!   giving the caller a synchronous result (and [`ProgId`]
+//!   assignment) that is deterministic across replicas.
+//! - **Per-CPU maps** — a [`MapDef`](crate::maps::MapDef) with
+//!   `per_cpu` set mirrors eBPF's `PERCPU_HASH`/`PERCPU_ARRAY`:
+//!   datapath writes land in the firing shard's replica only;
+//!   control-plane reads ([`CtrlRequest::MapLookup`]) sum the value
+//!   per key across shards. Non-per-CPU maps are *shard-private*:
+//!   reads route to shard 0 (documented, not linearizable across
+//!   shards). Control-plane writes ([`CtrlRequest::MapUpdate`]) go
+//!   through the log and therefore apply to every replica.
+//! - **Merged telemetry** — [`ShardedMachine::obs_snapshot`] merges
+//!   per-shard snapshots into one standard
+//!   [`ObsSnapshot`](crate::obs::ObsSnapshot), so the Prometheus/JSON
+//!   exporters (and [`ShardedMachine::serve_metrics_once`]) work on a
+//!   sharded machine unchanged.
+//!
+//! ## What is and isn't linearizable
+//!
+//! Mutations are linearizable against each other (single append
+//! point, single total order) but *asynchronous* with respect to the
+//! datapath: a shard keeps firing under the old configuration until
+//! its next fire boundary. [`ShardedMachine::sync`] is the barrier
+//! that forces every shard to the published epoch. Per-shard apply
+//! errors that depend on datapath state (e.g. a `MapUpdate` hitting a
+//! hash map one shard filled) are absorbed and counted per shard
+//! ([`ShardStatus::ctrl_apply_errors`]); errors determinable from
+//! control state alone (verification, unknown ids, arity) are
+//! reported synchronously by [`ShardedMachine::ctrl`] and never enter
+//! the log.
+//!
+//! ## Reproducibility
+//!
+//! Shard `i` installs every program with RNG seed `base ^ i`, so DP
+//! noise streams are deterministic per shard and shard 0 is
+//! bit-identical to a single machine installed with `base`.
+
+use crate::ctrl::{syscall_rmt_with, CtrlRequest, CtrlResponse};
+use crate::ctxt::Ctxt;
+use crate::error::VmError;
+use crate::machine::{HookResult, ProgId, ProgStats, RmtMachine};
+use crate::maps::MapId;
+use crate::obs::{FlightSnapshot, HookStats, MachineCounters, ObsConfig, ObsSnapshot};
+use crate::table::TableStats;
+use crate::verifier::VerifierConfig;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// The sequenced command log shards drain at fire boundaries.
+struct CtrlLog {
+    /// Number of commands published; shards compare against their
+    /// applied count with one relaxed-cost atomic load per batch.
+    published: AtomicU64,
+    /// The commands themselves. Locked only to append (coordinator)
+    /// and to clone a pending suffix (shard catching up) — never on
+    /// the fire path itself.
+    cmds: Mutex<Vec<CtrlRequest>>,
+    /// Verifier configuration every replica re-verifies installs with.
+    vcfg: VerifierConfig,
+}
+
+/// What a worker thread receives.
+enum Msg {
+    /// Fire a batch; reply with the mutated contexts and results.
+    Batch {
+        hook: String,
+        ctxts: Vec<Ctxt>,
+        reply: Sender<BatchOutput>,
+    },
+    /// Run an arbitrary closure against the shard's machine (the
+    /// coordinator's read path).
+    With(Box<dyn FnOnce(&mut RmtMachine) + Send>),
+    /// Drain the log and report convergence state.
+    Sync { reply: Sender<ShardStatus> },
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+struct BatchOutput {
+    ctxts: Vec<Ctxt>,
+    results: Vec<HookResult>,
+}
+
+/// One shard's convergence report from [`ShardedMachine::sync`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardStatus {
+    /// Shard index.
+    pub shard: usize,
+    /// Commands applied from the log (== published after a sync).
+    pub applied: u64,
+    /// Logged commands whose apply failed on this shard (absorbed;
+    /// see the module docs on asynchronous control-plane semantics).
+    pub ctrl_apply_errors: u64,
+    /// The shard machine's table generation — equal across all shards
+    /// (and to [`ShardedMachine::expected_generation`]) once synced.
+    pub table_generation: u64,
+}
+
+struct ShardHandle {
+    tx: Sender<Msg>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// An in-flight batch submitted with [`ShardedMachine::fire_batch_on`].
+/// Dropping the ticket without waiting abandons the results (the shard
+/// still executes the batch).
+pub struct BatchTicket {
+    rx: Receiver<BatchOutput>,
+}
+
+impl BatchTicket {
+    /// Blocks until the shard has executed the batch, returning the
+    /// mutated contexts and one [`HookResult`] per context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard worker died (a propagated shard panic).
+    pub fn wait(self) -> (Vec<Ctxt>, Vec<HookResult>) {
+        let out = self.rx.recv().expect("shard worker died");
+        (out.ctxts, out.results)
+    }
+}
+
+/// N datapath shards plus the epoch-published control plane. See the
+/// module docs for the architecture.
+pub struct ShardedMachine {
+    shards: Vec<ShardHandle>,
+    log: Arc<CtrlLog>,
+    /// Control-plane oracle: applies every mutation first (same code
+    /// path as the shards), never fires, so its table generation and
+    /// id assignment are what every shard converges to. Behind a
+    /// mutex only to make the whole machine `Sync` — uncontended
+    /// unless multiple control-plane threads race, and never touched
+    /// by the fire path.
+    shadow: Mutex<RmtMachine>,
+}
+
+impl ShardedMachine {
+    /// Spawns `shards` workers (at least 1) with default observability
+    /// and the default verifier configuration.
+    pub fn new(shards: usize) -> ShardedMachine {
+        ShardedMachine::with_config(shards, ObsConfig::default(), VerifierConfig::default())
+    }
+
+    /// Spawns `shards` workers with explicit observability and
+    /// verifier configurations (applied to every replica).
+    pub fn with_config(shards: usize, obs: ObsConfig, vcfg: VerifierConfig) -> ShardedMachine {
+        let n = shards.max(1);
+        let log = Arc::new(CtrlLog {
+            published: AtomicU64::new(0),
+            cmds: Mutex::new(Vec::new()),
+            vcfg,
+        });
+        let mut handles = Vec::with_capacity(n);
+        for shard in 0..n {
+            let (tx, rx) = channel::<Msg>();
+            let log = Arc::clone(&log);
+            let machine = RmtMachine::with_obs_config(obs);
+            let join = std::thread::Builder::new()
+                .name(format!("rkd-shard-{shard}"))
+                .spawn(move || worker(shard, machine, &log, &rx))
+                .expect("spawn shard worker");
+            handles.push(ShardHandle {
+                tx,
+                join: Some(join),
+            });
+        }
+        ShardedMachine {
+            shards: handles,
+            log,
+            shadow: Mutex::new(RmtMachine::with_obs_config(obs)),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Deterministic flow -> shard assignment (splitmix64 of the flow
+    /// key, modulo shard count). Any per-flow partition preserves
+    /// per-flow outcomes; this one spreads flows evenly.
+    pub fn shard_for_flow(&self, flow: u64) -> usize {
+        let mut x = flow.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x % self.shards.len() as u64) as usize
+    }
+
+    /// Submits a batch of contexts to one shard's datapath without
+    /// blocking — this is what lets one driver thread keep every
+    /// shard busy. The shard drains any pending control-plane
+    /// commands first (the fire boundary), then runs
+    /// [`RmtMachine::fire_batch`].
+    pub fn fire_batch_on(&self, shard: usize, hook: &str, ctxts: Vec<Ctxt>) -> BatchTicket {
+        let (reply, rx) = channel();
+        self.shards[shard]
+            .tx
+            .send(Msg::Batch {
+                hook: hook.to_string(),
+                ctxts,
+                reply,
+            })
+            .expect("shard channel closed");
+        BatchTicket { rx }
+    }
+
+    /// Fires one context on one shard and waits for the result (the
+    /// scalar convenience over [`ShardedMachine::fire_batch_on`]).
+    pub fn fire_on(&self, shard: usize, hook: &str, ctxt: Ctxt) -> (Ctxt, HookResult) {
+        let (mut ctxts, mut results) = self.fire_batch_on(shard, hook, vec![ctxt]).wait();
+        (
+            ctxts.pop().expect("batch of one"),
+            results.pop().expect("batch of one"),
+        )
+    }
+
+    /// Dispatches one control-plane request.
+    ///
+    /// Mutations apply to the shadow replica synchronously (reporting
+    /// any deterministic error without publishing anything), then
+    /// enter the command log for every shard to drain at its next
+    /// fire boundary. Reads aggregate across shards — see
+    /// [`CtrlRequest`] routing notes in the module docs.
+    /// `ReportOutcome` is shard-targeted telemetry and routes to
+    /// shard 0; use [`ShardedMachine::report_outcome_on`] to credit
+    /// the shard that actually served the prediction.
+    pub fn ctrl(&self, req: CtrlRequest) -> Result<CtrlResponse, VmError> {
+        match req {
+            CtrlRequest::Install { .. }
+            | CtrlRequest::Remove { .. }
+            | CtrlRequest::InsertEntry { .. }
+            | CtrlRequest::RemoveEntry { .. }
+            | CtrlRequest::UpdateModel { .. }
+            | CtrlRequest::MapUpdate { .. }
+            | CtrlRequest::ObsReset
+            | CtrlRequest::SetDecisionCacheCapacity { .. } => self.publish(req),
+            CtrlRequest::MapLookup { prog, map, key } => self.map_lookup(prog, map, key),
+            CtrlRequest::QueryStats { prog } => Ok(CtrlResponse::Stats(self.stats(prog)?)),
+            CtrlRequest::QueryTableStats { prog, table } => {
+                let per_shard = self.collect(move |m| m.table_stats(prog, table));
+                let mut total = TableStats::default();
+                for ts in transpose(per_shard)? {
+                    total.hits = total.hits.saturating_add(ts.hits);
+                    total.misses = total.misses.saturating_add(ts.misses);
+                }
+                Ok(CtrlResponse::TableStats(total))
+            }
+            CtrlRequest::QueryPrivacyBudget { prog } => {
+                let per_shard = self.collect(move |m| m.privacy_remaining(prog));
+                let min = transpose(per_shard)?.into_iter().min().unwrap_or_default();
+                Ok(CtrlResponse::PrivacyBudget(min))
+            }
+            CtrlRequest::HookStats { hook } => {
+                let per_shard = self.collect({
+                    let hook = hook.clone();
+                    move |m| m.hook_stats(&hook)
+                });
+                let mut merged: Option<HookStats> = None;
+                for hs in transpose(per_shard)? {
+                    match &mut merged {
+                        Some(acc) => {
+                            acc.fires = acc.fires.saturating_add(hs.fires);
+                            acc.hist.merge(&hs.hist);
+                        }
+                        None => merged = Some(hs),
+                    }
+                }
+                Ok(CtrlResponse::HookStats(Box::new(
+                    merged.expect("at least one shard"),
+                )))
+            }
+            CtrlRequest::TraceRead { max } => {
+                // Drain each shard in index order: events are FIFO
+                // within a shard, shard-major across shards.
+                let mut events = Vec::new();
+                let mut dropped = 0u64;
+                let per_fetch = max.min(usize::MAX as u64) as usize;
+                for snap in self.collect(move |m| m.trace_read(per_fetch)) {
+                    dropped = dropped.saturating_add(snap.dropped);
+                    events.extend(snap.events);
+                }
+                events.truncate(per_fetch);
+                Ok(CtrlResponse::Trace(crate::obs::TraceSnapshot {
+                    events,
+                    dropped,
+                }))
+            }
+            CtrlRequest::QueryMachineCounters => {
+                Ok(CtrlResponse::Counters(self.machine_counters()))
+            }
+            CtrlRequest::ReportOutcome {
+                prog,
+                slot,
+                predicted,
+                actual,
+            } => {
+                self.report_outcome_on(0, prog, slot, predicted, actual)?;
+                Ok(CtrlResponse::Ok)
+            }
+            CtrlRequest::QueryModelStats { prog, slot } => {
+                let per_shard = self.collect(move |m| m.model_stats(prog, slot));
+                let mut merged: Option<crate::obs::ModelStatsSnapshot> = None;
+                for ms in transpose(per_shard)? {
+                    match &mut merged {
+                        Some(acc) => acc.merge(&ms),
+                        None => merged = Some(ms),
+                    }
+                }
+                Ok(CtrlResponse::ModelStats(Box::new(
+                    merged.expect("at least one shard"),
+                )))
+            }
+            CtrlRequest::FlightRead => {
+                // Frames concatenate shard-major; `seq` stays
+                // per-shard (each shard's recorder numbers its own
+                // frames), `dropped` sums.
+                let mut merged: Option<FlightSnapshot> = None;
+                for fs in self.collect(|m| m.flight_snapshot()) {
+                    match &mut merged {
+                        Some(acc) => {
+                            acc.frames.extend(fs.frames);
+                            acc.dropped = acc.dropped.saturating_add(fs.dropped);
+                        }
+                        None => merged = Some(fs),
+                    }
+                }
+                Ok(CtrlResponse::Flight(Box::new(
+                    merged.expect("at least one shard"),
+                )))
+            }
+        }
+    }
+
+    /// Applies a mutation to the shadow replica, then publishes it.
+    /// The shadow lock is held across the log append so concurrent
+    /// publishers cannot reorder the log against shadow state (lock
+    /// order: shadow, then cmds).
+    fn publish(&self, req: CtrlRequest) -> Result<CtrlResponse, VmError> {
+        let mut shadow = self.shadow.lock().expect("shadow poisoned");
+        let resp = syscall_rmt_with(&mut shadow, req.clone(), &self.log.vcfg)?;
+        let mut cmds = self.log.cmds.lock().expect("ctrl log poisoned");
+        cmds.push(req);
+        self.log
+            .published
+            .store(cmds.len() as u64, Ordering::Release);
+        Ok(resp)
+    }
+
+    /// Reports a ground-truth outcome to the shard that served the
+    /// prediction (model telemetry is per-shard; broadcasting an
+    /// outcome would multiply it in the merged confusion matrix).
+    pub fn report_outcome_on(
+        &self,
+        shard: usize,
+        prog: ProgId,
+        slot: crate::bytecode::ModelSlot,
+        predicted: i64,
+        actual: i64,
+    ) -> Result<(), VmError> {
+        self.with_shard(shard, move |m| {
+            m.report_outcome(prog, slot, predicted, actual)
+        })
+    }
+
+    /// Control-plane map read with per-CPU aggregation: `per_cpu` maps
+    /// sum the key's value across every shard that holds it (via the
+    /// recency-preserving [`RmtMachine::map_peek`]); plain maps read
+    /// shard 0's replica; shared maps take shard 0's DP-noised path,
+    /// charging shard 0's ledger.
+    pub fn map_lookup(&self, prog: ProgId, map: MapId, key: u64) -> Result<CtrlResponse, VmError> {
+        let def = {
+            let shadow = self.shadow.lock().expect("shadow poisoned");
+            shadow.map_def(prog, map).map(|d| (d.per_cpu, d.shared))?
+        };
+        match def {
+            (true, _) => {
+                let per_shard = self.collect(move |m| m.map_peek(prog, map, key));
+                let mut sum: Option<i64> = None;
+                for v in transpose(per_shard)?.into_iter().flatten() {
+                    sum = Some(sum.unwrap_or(0).saturating_add(v));
+                }
+                Ok(CtrlResponse::Value(sum))
+            }
+            (false, true) => self
+                .with_shard(0, move |m| m.map_lookup(prog, map, key))
+                .map(CtrlResponse::Value),
+            (false, false) => self
+                .with_shard(0, move |m| m.map_peek(prog, map, key))
+                .map(CtrlResponse::Value),
+        }
+    }
+
+    /// Program statistics summed across shards.
+    pub fn stats(&self, prog: ProgId) -> Result<ProgStats, VmError> {
+        let per_shard = self.collect(move |m| m.stats(prog));
+        let mut total = ProgStats::default();
+        for s in transpose(per_shard)? {
+            total.merge(&s);
+        }
+        Ok(total)
+    }
+
+    /// Machine counters summed across shards.
+    pub fn machine_counters(&self) -> MachineCounters {
+        let mut total = MachineCounters::default();
+        for c in self.collect(|m| m.machine_counters()) {
+            total.merge(&c);
+        }
+        total
+    }
+
+    /// Each shard's own (unmerged) machine counters, indexed by shard
+    /// — per-shard hit rates for the case-study binaries.
+    pub fn shard_counters(&self) -> Vec<MachineCounters> {
+        self.collect(|m| m.machine_counters())
+    }
+
+    /// Merged observability snapshot: per-shard snapshots folded with
+    /// [`ObsSnapshot::merge`], so the exporters see one machine.
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        let mut merged: Option<ObsSnapshot> = None;
+        for snap in self.collect(|m| m.obs_snapshot()) {
+            match &mut merged {
+                Some(acc) => acc.merge(&snap),
+                None => merged = Some(snap),
+            }
+        }
+        merged.expect("at least one shard")
+    }
+
+    /// Each shard's own (unmerged) snapshot, indexed by shard.
+    pub fn shard_obs_snapshots(&self) -> Vec<ObsSnapshot> {
+        self.collect(|m| m.obs_snapshot())
+    }
+
+    /// Serves one metrics scrape of the *merged* snapshot — the
+    /// sharded analogue of [`RmtMachine::serve_metrics_once`].
+    pub fn serve_metrics_once(&self, listener: &std::net::TcpListener) -> std::io::Result<String> {
+        crate::obs::export::serve_once(listener, &self.obs_snapshot())
+    }
+
+    /// Advances every replica's clock (shards and shadow) by `by`.
+    pub fn advance_tick(&self, by: u64) {
+        self.shadow
+            .lock()
+            .expect("shadow poisoned")
+            .advance_tick(by);
+        for shard in 0..self.shards.len() {
+            self.with_shard(shard, move |m| m.advance_tick(by));
+        }
+    }
+
+    /// Barrier: forces every shard to drain the command log to the
+    /// published epoch and reports per-shard convergence state. After
+    /// `sync` returns, every [`ShardStatus::table_generation`] equals
+    /// [`ShardedMachine::expected_generation`].
+    pub fn sync(&self) -> Vec<ShardStatus> {
+        let mut pending = Vec::with_capacity(self.shards.len());
+        for h in &self.shards {
+            let (reply, rx) = channel();
+            h.tx.send(Msg::Sync { reply })
+                .expect("shard channel closed");
+            pending.push(rx);
+        }
+        pending
+            .into_iter()
+            .map(|rx| rx.recv().expect("shard worker died"))
+            .collect()
+    }
+
+    /// The table/model generation every shard converges to (the
+    /// shadow replica's — mutations apply there first).
+    pub fn expected_generation(&self) -> u64 {
+        self.shadow
+            .lock()
+            .expect("shadow poisoned")
+            .table_generation()
+    }
+
+    /// Commands published to the log so far.
+    pub fn published(&self) -> u64 {
+        self.log.published.load(Ordering::Acquire)
+    }
+
+    /// Runs `f` against one shard's machine and waits for the result.
+    /// The worker drains the log first, so reads see every published
+    /// mutation (read-your-writes for the coordinator).
+    fn with_shard<R, F>(&self, shard: usize, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut RmtMachine) -> R + Send + 'static,
+    {
+        let (tx, rx) = channel();
+        self.shards[shard]
+            .tx
+            .send(Msg::With(Box::new(move |m| {
+                let _ = tx.send(f(m));
+            })))
+            .expect("shard channel closed");
+        rx.recv().expect("shard worker died")
+    }
+
+    /// Runs `f` on every shard (submitting to all before collecting,
+    /// so shards execute concurrently), returning results in shard
+    /// order.
+    fn collect<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(&mut RmtMachine) -> R + Clone + Send + 'static,
+    {
+        let mut pending = Vec::with_capacity(self.shards.len());
+        for h in &self.shards {
+            let (tx, rx) = channel();
+            let f = f.clone();
+            h.tx.send(Msg::With(Box::new(move |m| {
+                let _ = tx.send(f(m));
+            })))
+            .expect("shard channel closed");
+            pending.push(rx);
+        }
+        pending
+            .into_iter()
+            .map(|rx| rx.recv().expect("shard worker died"))
+            .collect()
+    }
+}
+
+impl Drop for ShardedMachine {
+    fn drop(&mut self) {
+        for h in &self.shards {
+            let _ = h.tx.send(Msg::Shutdown);
+        }
+        for h in &mut self.shards {
+            if let Some(join) = h.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+/// First error wins, otherwise all values — cross-shard reads of
+/// per-program state fail identically on every shard (the id spaces
+/// are lockstep), so reporting the first is reporting all.
+fn transpose<T>(results: Vec<Result<T, VmError>>) -> Result<Vec<T>, VmError> {
+    results.into_iter().collect()
+}
+
+/// The shard worker loop: drain the command log at every message
+/// boundary, then serve the message.
+fn worker(shard: usize, mut machine: RmtMachine, log: &CtrlLog, rx: &Receiver<Msg>) {
+    let mut applied = 0u64;
+    let mut ctrl_errors = 0u64;
+    while let Ok(msg) = rx.recv() {
+        drain(shard, &mut machine, log, &mut applied, &mut ctrl_errors);
+        match msg {
+            Msg::Batch {
+                hook,
+                mut ctxts,
+                reply,
+            } => {
+                let results = machine.fire_batch(&hook, &mut ctxts);
+                let _ = reply.send(BatchOutput { ctxts, results });
+            }
+            Msg::With(f) => f(&mut machine),
+            Msg::Sync { reply } => {
+                let _ = reply.send(ShardStatus {
+                    shard,
+                    applied,
+                    ctrl_apply_errors: ctrl_errors,
+                    table_generation: machine.table_generation(),
+                });
+            }
+            Msg::Shutdown => break,
+        }
+    }
+}
+
+/// Applies every published-but-unapplied command, in log order.
+/// Installs re-seed with `seed ^ shard` so each shard's DP noise
+/// stream is deterministic and distinct (and shard 0 matches a single
+/// machine installed with the base seed).
+fn drain(
+    shard: usize,
+    machine: &mut RmtMachine,
+    log: &CtrlLog,
+    applied: &mut u64,
+    ctrl_errors: &mut u64,
+) {
+    let published = log.published.load(Ordering::Acquire);
+    if *applied >= published {
+        return;
+    }
+    let pending: Vec<CtrlRequest> = {
+        let cmds = log.cmds.lock().expect("ctrl log poisoned");
+        cmds[*applied as usize..published as usize].to_vec()
+    };
+    for req in pending {
+        let req = match req {
+            CtrlRequest::Install { prog, mode, seed } => CtrlRequest::Install {
+                prog,
+                mode,
+                seed: seed ^ shard as u64,
+            },
+            other => other,
+        };
+        if syscall_rmt_with(machine, req, &log.vcfg).is_err() {
+            *ctrl_errors += 1;
+        }
+        *applied += 1;
+    }
+}

@@ -194,6 +194,31 @@ fn check_structure(prog: &RmtProgram, cfg: &VerifierConfig) -> Result<(), Verify
             });
         }
     }
+    // Per-CPU maps: cross-shard aggregation is a per-key sum, which is
+    // only well-defined for hash and array maps (LRU eviction order,
+    // ring FIFO order, and histogram bucketing do not merge); DP-noised
+    // shared reads compose per replica, so the combination is rejected
+    // rather than given surprising epsilon semantics.
+    for (mi, m) in prog.maps.iter().enumerate() {
+        if !m.per_cpu {
+            continue;
+        }
+        if !matches!(
+            m.kind,
+            crate::maps::MapKind::Hash | crate::maps::MapKind::Array
+        ) {
+            return Err(VerifyError::BadMapDef {
+                map: mi as u16,
+                reason: "per_cpu is only supported for Hash and Array maps",
+            });
+        }
+        if m.shared {
+            return Err(VerifyError::BadMapDef {
+                map: mi as u16,
+                reason: "per_cpu maps cannot be shared (DP reads are per-replica)",
+            });
+        }
+    }
     // Tables reference valid fields and actions.
     for (ti, t) in prog.tables.iter().enumerate() {
         for f in &t.key_fields {

@@ -15,6 +15,10 @@
 //! - [`json`] — a compact JSON value, parser, and writer plus
 //!   [`json::ToJson`] / [`json::FromJson`] traits and `impl_json_*`
 //!   macros that stand in for the removed `serde` derives.
+//! - [`stress`] — a scoped thread-stress harness
+//!   ([`stress::run_threads`]) that joins every worker and re-raises
+//!   the first panic annotated with the worker index, for multi-shard
+//!   concurrency tests.
 //!
 //! Everything here is deterministic: the same seed always produces the
 //! same stream, which is what makes differential interp-vs-JIT testing
@@ -26,3 +30,4 @@
 pub mod json;
 pub mod prop;
 pub mod rng;
+pub mod stress;

@@ -1,0 +1,109 @@
+//! Thread-stress helper for concurrency tests.
+//!
+//! `std::thread::scope` with the two conveniences every multi-shard
+//! test wants: results collected in worker order, and a worker panic
+//! re-raised on the caller annotated with *which* worker died (a bare
+//! `join().unwrap()` loses the index, which is the one thing you need
+//! when shard 3 of 8 trips an assertion).
+
+/// Runs `f(0) .. f(n - 1)` on `n` concurrent worker threads, joins
+/// them all, and returns their results in worker order.
+///
+/// If any worker panics, every other worker is still joined (no leaked
+/// threads), and then the panic of the *lowest-indexed* failing worker
+/// is re-raised with a `worker <i> panicked: <message>` annotation.
+///
+/// # Examples
+///
+/// ```
+/// let squares = rkd_testkit::stress::run_threads(4, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9]);
+/// ```
+///
+/// # Panics
+///
+/// Re-raises the first (lowest worker index) panic from `f`.
+pub fn run_threads<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let results: Vec<std::thread::Result<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let f = &f;
+                std::thread::Builder::new()
+                    .name(format!("stress-{i}"))
+                    .spawn_scoped(scope, move || f(i))
+                    .expect("spawn stress worker")
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join()).collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for (i, r) in results.into_iter().enumerate() {
+        match r {
+            Ok(v) => out.push(v),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| String::from("<non-string panic payload>"));
+                panic!("worker {i} panicked: {msg}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_in_worker_order() {
+        let started = AtomicUsize::new(0);
+        let out = run_threads(8, |i| {
+            started.fetch_add(1, Ordering::Relaxed);
+            i * 10
+        });
+        assert_eq!(out, (0..8).map(|i| i * 10).collect::<Vec<_>>());
+        assert_eq!(started.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn panic_carries_worker_index() {
+        let caught = std::panic::catch_unwind(|| {
+            run_threads(4, |i| {
+                if i == 2 {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+        })
+        .expect_err("must propagate");
+        let msg = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("string payload");
+        assert_eq!(msg, "worker 2 panicked: boom at 2");
+    }
+
+    #[test]
+    fn all_workers_joined_even_on_panic() {
+        let finished = AtomicUsize::new(0);
+        let _ = std::panic::catch_unwind(|| {
+            run_threads(6, |i| {
+                if i == 0 {
+                    panic!("early");
+                }
+                finished.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        // run_threads joined everyone before re-raising, so every
+        // non-panicking worker ran to completion.
+        assert_eq!(finished.load(Ordering::Relaxed), 5);
+    }
+}

@@ -47,6 +47,18 @@ if ! grep -q 'speedup_gate ternary_4096.*PASS' /tmp/rkd_bench_tables.out; then
 fi
 test -s BENCH_tables.json || { echo "ERROR: BENCH_tables.json was not written" >&2; exit 1; }
 
+echo "==> bench_parallel smoke (sharded scaling gate + BENCH_parallel.json)"
+RKD_BENCH_PARALLEL_JSON="$PWD/BENCH_parallel.json" \
+    cargo bench --offline -q -p rkd-bench --bench bench_parallel | tee /tmp/rkd_bench_parallel.out
+# The 4-shard speedup gate is adaptive: enforced on hosts with >= 4
+# CPUs, reported as SKIP(cpus=N) on smaller ones. Both are fine; a
+# bare FAIL is not.
+if ! grep -qE 'speedup_gate parallel_4x.*(PASS|SKIP)' /tmp/rkd_bench_parallel.out; then
+    echo "ERROR: sharded scaling gate failed (< 2.5x at 4 shards on a >= 4 CPU host)" >&2
+    exit 1
+fi
+test -s BENCH_parallel.json || { echo "ERROR: BENCH_parallel.json was not written" >&2; exit 1; }
+
 echo "==> example: lean_monitoring (end-to-end datapath observability)"
 cargo run -q --release --offline --example lean_monitoring >/dev/null
 

@@ -137,6 +137,7 @@ impl Fx {
             kind: MapKind::Hash,
             capacity: 32,
             shared: false,
+            per_cpu: false,
         })
         .unwrap();
         let ring = MapInstance::new(&MapDef {
@@ -144,6 +145,7 @@ impl Fx {
             kind: MapKind::RingBuf,
             capacity: 8,
             shared: false,
+            per_cpu: false,
         })
         .unwrap();
         Fx {

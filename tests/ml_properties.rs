@@ -184,6 +184,7 @@ prop_check!(hash_map_matches_model, cases = 512, |g| {
         kind: MapKind::Hash,
         capacity: 64, // Large enough that capacity never interferes.
         shared: false,
+        per_cpu: false,
     })
     .unwrap();
     let mut model: HashMap<u64, i64> = HashMap::new();
@@ -222,6 +223,7 @@ prop_check!(lru_map_matches_model, cases = 512, |g| {
         kind: MapKind::LruHash,
         capacity: cap,
         shared: false,
+        per_cpu: false,
     })
     .unwrap();
     let mut model: Vec<(u64, i64)> = Vec::new(); // Back = hottest.
@@ -269,6 +271,7 @@ prop_check!(ring_buffer_matches_model, cases = 512, |g| {
         kind: MapKind::RingBuf,
         capacity: cap,
         shared: false,
+        per_cpu: false,
     })
     .unwrap();
     for &v in &values {

@@ -275,3 +275,84 @@ prop_check!(
         assert_eq!(to_json_string(&parsed), once);
     }
 );
+
+/// Acceptance (PR 5 satellite): the one-shot exporter survives hostile
+/// clients — a slow-loris that never finishes its request head gets a
+/// `408` after the configured timeout instead of wedging the caller, a
+/// non-GET gets `405` with an `Allow` header, a malformed request line
+/// gets `400`, and an oversized head gets `431`.
+#[test]
+fn exporter_rejects_slow_and_malformed_clients() {
+    use rkd::core::obs::export::{serve_once_with, ServeOptions};
+    use std::time::{Duration, Instant};
+
+    let (m, _prog, _slot) = ml_machine(ObsConfig::default(), false);
+    let snap = m.obs_snapshot();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let opts = ServeOptions {
+        read_timeout: Duration::from_millis(100),
+        max_head_bytes: 512,
+    };
+
+    // Slow client: connects, sends half a request line, stalls. The
+    // server must answer 408 within ~the timeout, not block forever.
+    let client = std::thread::spawn(move || {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        write!(conn, "GET /metr").unwrap();
+        conn.flush().unwrap();
+        let mut response = String::new();
+        let _ = conn.read_to_string(&mut response);
+        response
+    });
+    let start = Instant::now();
+    assert_eq!(serve_once_with(&listener, &snap, opts).unwrap(), "!408");
+    assert!(
+        start.elapsed() < Duration::from_secs(3),
+        "408 took {:?}",
+        start.elapsed()
+    );
+    assert!(client.join().unwrap().starts_with("HTTP/1.1 408"));
+
+    // Non-GET: 405 with Allow: GET.
+    let client = std::thread::spawn(move || {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        write!(conn, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        response
+    });
+    assert_eq!(serve_once_with(&listener, &snap, opts).unwrap(), "!405");
+    let response = client.join().unwrap();
+    assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+    assert!(response.contains("Allow: GET"), "{response}");
+
+    // Malformed request line (no path): 400.
+    let client = std::thread::spawn(move || {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        write!(conn, "GARBAGE\r\n\r\n").unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        response
+    });
+    assert_eq!(serve_once_with(&listener, &snap, opts).unwrap(), "!400");
+    assert!(client.join().unwrap().starts_with("HTTP/1.1 400"));
+
+    // Head larger than the configured cap: 431.
+    let client = std::thread::spawn(move || {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        write!(conn, "GET /metrics HTTP/1.1\r\n").unwrap();
+        let filler = "X-Filler: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n";
+        for _ in 0..64 {
+            if write!(conn, "{filler}").is_err() {
+                break;
+            }
+        }
+        let _ = write!(conn, "\r\n");
+        let mut response = String::new();
+        let _ = conn.read_to_string(&mut response);
+        response
+    });
+    assert_eq!(serve_once_with(&listener, &snap, opts).unwrap(), "!431");
+    assert!(client.join().unwrap().starts_with("HTTP/1.1 431"));
+}

@@ -1,0 +1,457 @@
+//! Integration: the multi-core sharded datapath.
+//!
+//! Acceptance arc for the sharding PR:
+//!
+//! - **Differential**: a 4-shard machine fed a flow-partitioned
+//!   workload produces exactly the per-flow verdict sequences of a
+//!   single machine fed the same events in order, and the per-CPU map
+//!   aggregates (summed across shards) equal the single machine's map
+//!   contents key for key.
+//! - **Convergence**: control-plane mutations issued mid-replay reach
+//!   every shard by its next fire boundary; after [`sync`] every
+//!   shard's table generation equals the shadow's
+//!   `expected_generation`, with zero absorbed apply errors.
+//! - **Reproducibility**: shard 0 of an N-shard machine is
+//!   bit-identical to a single machine installed with the same seed
+//!   (DP noise stream included), shard i's stream is `seed ^ i` and
+//!   reproducible run to run, and distinct shards draw distinct noise.
+//! - **Safety**: the verifier rejects `per_cpu` on map kinds without a
+//!   well-defined cross-shard sum, and on shared (DP-read) maps.
+//!
+//! [`sync`]: rkd::core::shard::ShardedMachine::sync
+
+use std::collections::BTreeMap;
+
+use rkd::core::bytecode::{Action, AluOp, Insn, Reg};
+use rkd::core::ctrl::{syscall_rmt_with, CtrlRequest, CtrlResponse};
+use rkd::core::ctxt::Ctxt;
+use rkd::core::error::VerifyError;
+use rkd::core::machine::{ExecMode, RmtMachine};
+use rkd::core::maps::{MapId, MapKind};
+use rkd::core::prog::{ProgramBuilder, RmtProgram};
+use rkd::core::shard::ShardedMachine;
+use rkd::core::table::{Entry, MatchKey, MatchKind};
+use rkd::core::verifier::{verify, VerifierConfig};
+use rkd::testkit::rng::{Rng, SeedableRng, StdRng};
+use rkd::testkit::stress::run_threads;
+
+const BASE_SEED: u64 = 0xD1FF_5EED;
+
+/// A flow-keyed accumulator program: on hook `"pkt"` the default
+/// action folds `ctxt.x` into a per-CPU hash map keyed by `ctxt.flow`
+/// and returns the running per-flow sum as the verdict. Per-flow
+/// verdicts depend only on that flow's history, which is exactly the
+/// property that makes flow-partitioned sharding outcome-preserving.
+fn flow_prog() -> (RmtProgram, MapId) {
+    let mut b = ProgramBuilder::new("flowacc");
+    let flow = b.field_readonly("flow");
+    let x = b.field_readonly("x");
+    let counts = b.per_cpu_map("counts", MapKind::Hash, 64);
+    let act = b.action(Action::new(
+        "acc",
+        vec![
+            Insn::LdCtxt {
+                dst: Reg(1),
+                field: flow,
+            },
+            Insn::LdCtxt {
+                dst: Reg(2),
+                field: x,
+            },
+            Insn::MapLookup {
+                dst: Reg(3),
+                map: counts,
+                key: Reg(1),
+                default: 0,
+            },
+            Insn::Alu {
+                op: AluOp::Add,
+                dst: Reg(3),
+                src: Reg(2),
+            },
+            Insn::MapUpdate {
+                map: counts,
+                key: Reg(1),
+                value: Reg(3),
+            },
+            Insn::Mov {
+                dst: Reg(0),
+                src: Reg(3),
+            },
+            Insn::Exit,
+        ],
+    ));
+    b.table("t", "pkt", &[flow], MatchKind::Exact, Some(act), 16);
+    (b.build(), counts)
+}
+
+fn install(req_prog: RmtProgram, m: &mut RmtMachine) -> rkd::core::machine::ProgId {
+    match syscall_rmt_with(
+        m,
+        CtrlRequest::Install {
+            prog: Box::new(req_prog),
+            mode: ExecMode::Jit,
+            seed: BASE_SEED,
+        },
+        &VerifierConfig::default(),
+    )
+    .unwrap()
+    {
+        CtrlResponse::Installed(id) => id,
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+/// Acceptance: 4-shard flow-partitioned replay is outcome-equivalent
+/// to a single machine — per-flow verdict sequences identical, per-CPU
+/// aggregates identical, total fire count identical.
+#[test]
+fn sharded_matches_single_machine_per_flow() {
+    let (prog, counts) = flow_prog();
+    let mut g = StdRng::seed_from_u64(7);
+    let events: Vec<(u64, i64)> = (0..400)
+        .map(|_| (g.gen_range(0u64..24), g.gen_range(-40i64..40)))
+        .collect();
+
+    // Single machine: all events in order.
+    let mut single = RmtMachine::new();
+    let pid = install(prog.clone(), &mut single);
+    let mut single_flows: BTreeMap<u64, Vec<i64>> = BTreeMap::new();
+    for &(flow, x) in &events {
+        let mut ctxt = Ctxt::from_values(vec![flow as i64, x]);
+        let verdict = single.fire("pkt", &mut ctxt).verdict().unwrap();
+        single_flows.entry(flow).or_default().push(verdict);
+    }
+
+    // Sharded machine: same events, partitioned by flow, one batch
+    // per shard, all four batches in flight concurrently.
+    let sharded = ShardedMachine::new(4);
+    let resp = sharded
+        .ctrl(CtrlRequest::Install {
+            prog: Box::new(prog),
+            mode: ExecMode::Jit,
+            seed: BASE_SEED,
+        })
+        .unwrap();
+    assert_eq!(resp, CtrlResponse::Installed(pid), "lockstep id assignment");
+
+    let mut per_shard: Vec<Vec<(u64, i64)>> = vec![Vec::new(); 4];
+    for &(flow, x) in &events {
+        per_shard[sharded.shard_for_flow(flow)].push((flow, x));
+    }
+    let tickets: Vec<_> = per_shard
+        .iter()
+        .enumerate()
+        .map(|(shard, evs)| {
+            let ctxts = evs
+                .iter()
+                .map(|&(flow, x)| Ctxt::from_values(vec![flow as i64, x]))
+                .collect();
+            sharded.fire_batch_on(shard, "pkt", ctxts)
+        })
+        .collect();
+    let mut sharded_flows: BTreeMap<u64, Vec<i64>> = BTreeMap::new();
+    for (shard, ticket) in tickets.into_iter().enumerate() {
+        let (_ctxts, results) = ticket.wait();
+        assert_eq!(results.len(), per_shard[shard].len());
+        for (&(flow, _), r) in per_shard[shard].iter().zip(&results) {
+            sharded_flows
+                .entry(flow)
+                .or_default()
+                .push(r.verdict().unwrap());
+        }
+    }
+
+    // Exact per-flow outcome equivalence.
+    assert_eq!(sharded_flows, single_flows);
+
+    // Per-CPU aggregates: cross-shard sum equals the single machine's
+    // map, key for key.
+    for &flow in single_flows.keys() {
+        let expected = single.map_peek(pid, counts, flow).unwrap();
+        let got = match sharded.map_lookup(pid, counts, flow).unwrap() {
+            CtrlResponse::Value(v) => v,
+            other => panic!("unexpected response {other:?}"),
+        };
+        assert_eq!(got, expected, "flow {flow}");
+    }
+
+    // Merged telemetry sees every fire exactly once.
+    assert_eq!(single.machine_counters().fires, 400);
+    assert_eq!(sharded.machine_counters().fires, 400);
+    let snap = sharded.obs_snapshot();
+    assert_eq!(snap.counters.fires, 400);
+    assert_eq!(snap.hooks.len(), 1);
+    assert_eq!(snap.hooks[0].hook, "pkt");
+    assert_eq!(snap.hooks[0].fires, 400);
+}
+
+/// Acceptance: reconfiguration mid-replay never stops the datapath and
+/// every shard converges to the shadow's generation at its next fire
+/// boundary — including shards that were never fired after the
+/// mutations (sync itself is a fire boundary).
+#[test]
+fn control_plane_converges_across_shards() {
+    let (prog, counts) = flow_prog();
+    let sharded = ShardedMachine::new(3);
+    let pid = match sharded
+        .ctrl(CtrlRequest::Install {
+            prog: Box::new(prog.clone()),
+            mode: ExecMode::Interp,
+            seed: BASE_SEED,
+        })
+        .unwrap()
+    {
+        CtrlResponse::Installed(id) => id,
+        other => panic!("unexpected response {other:?}"),
+    };
+    let table = rkd::core::table::TableId(0);
+    let act = rkd::core::table::ActionId(0);
+
+    let fire_everywhere = |m: &ShardedMachine| {
+        let tickets: Vec<_> = (0..3)
+            .map(|shard| {
+                let ctxts = (0..8).map(|i| Ctxt::from_values(vec![i, 1])).collect();
+                m.fire_batch_on(shard, "pkt", ctxts)
+            })
+            .collect();
+        for t in tickets {
+            t.wait();
+        }
+    };
+
+    fire_everywhere(&sharded);
+    // Mutations while the datapath keeps running: a table entry, a
+    // cache resize, a broadcast per-CPU map write, and an install +
+    // remove pair.
+    sharded
+        .ctrl(CtrlRequest::InsertEntry {
+            prog: pid,
+            table,
+            entry: Entry {
+                key: MatchKey::Exact(vec![3]),
+                priority: 0,
+                action: act,
+                arg: 0,
+            },
+        })
+        .unwrap();
+    fire_everywhere(&sharded);
+    sharded
+        .ctrl(CtrlRequest::SetDecisionCacheCapacity { capacity: 32 })
+        .unwrap();
+    sharded
+        .ctrl(CtrlRequest::MapUpdate {
+            prog: pid,
+            map: counts,
+            key: 1000,
+            value: 7,
+        })
+        .unwrap();
+    let second = match sharded
+        .ctrl(CtrlRequest::Install {
+            prog: Box::new(prog),
+            mode: ExecMode::Jit,
+            seed: 99,
+        })
+        .unwrap()
+    {
+        CtrlResponse::Installed(id) => id,
+        other => panic!("unexpected response {other:?}"),
+    };
+    assert_ne!(second, pid);
+    assert_eq!(
+        sharded.ctrl(CtrlRequest::Remove { prog: second }).unwrap(),
+        CtrlResponse::Ok
+    );
+    // Only shard 0 fires after the mutations; shards 1 and 2 must
+    // still converge through the sync barrier alone.
+    sharded
+        .fire_batch_on(0, "pkt", vec![Ctxt::from_values(vec![3, 1])])
+        .wait();
+
+    let statuses = sharded.sync();
+    let expected_gen = sharded.expected_generation();
+    let published = sharded.published();
+    assert_eq!(
+        published, 6,
+        "install + entry + resize + map + install + remove"
+    );
+    for s in &statuses {
+        assert_eq!(s.applied, published, "shard {} lagging", s.shard);
+        assert_eq!(s.ctrl_apply_errors, 0, "shard {} absorbed errors", s.shard);
+        assert_eq!(
+            s.table_generation, expected_gen,
+            "shard {} diverged from shadow",
+            s.shard
+        );
+    }
+
+    // The broadcast control-plane write landed in every replica, so
+    // the per-CPU read sums it shard_count times (documented
+    // userspace-write semantics for per-CPU maps).
+    assert_eq!(
+        sharded.map_lookup(pid, counts, 1000).unwrap(),
+        CtrlResponse::Value(Some(3 * 7))
+    );
+}
+
+/// A DP-aggregate program: the default action answers a noised sum
+/// over a shared histogram map, drawing from the program's install-
+/// seeded RNG — the probe for per-shard seed derivation.
+fn dp_prog() -> RmtProgram {
+    let mut b = ProgramBuilder::new("dpq");
+    let f = b.field_readonly("f");
+    let agg = b.shared_map("agg", MapKind::Histogram, 4);
+    let act = b.action(Action::new(
+        "query",
+        vec![
+            Insn::DpAggregate {
+                dst: Reg(0),
+                map: agg,
+            },
+            Insn::Exit,
+        ],
+    ));
+    b.table("t", "q", &[f], MatchKind::Exact, Some(act), 4);
+    b.build()
+}
+
+fn dp_draws(m: &ShardedMachine, shard: usize, n: usize) -> Vec<i64> {
+    (0..n)
+        .map(|_| {
+            let (_, r) = m.fire_on(shard, "q", Ctxt::from_values(vec![0]));
+            r.verdict().unwrap()
+        })
+        .collect()
+}
+
+/// Acceptance (satellite): shard i installs with `seed ^ i`, so shard
+/// 0 reproduces a single machine bit for bit, every shard is
+/// deterministic run to run, and shards draw distinct noise streams.
+#[test]
+fn per_shard_dp_noise_is_seed_xor_shard_deterministic() {
+    let n = 32;
+
+    let mut single = RmtMachine::new();
+    let pid = install(dp_prog(), &mut single);
+    let single_draws: Vec<i64> = (0..n)
+        .map(|_| {
+            let mut ctxt = Ctxt::from_values(vec![0]);
+            single.fire("q", &mut ctxt).verdict().unwrap()
+        })
+        .collect();
+    let _ = pid;
+
+    let run = || {
+        let m = ShardedMachine::new(2);
+        m.ctrl(CtrlRequest::Install {
+            prog: Box::new(dp_prog()),
+            mode: ExecMode::Jit,
+            seed: BASE_SEED,
+        })
+        .unwrap();
+        let s0 = dp_draws(&m, 0, n);
+        let s1 = dp_draws(&m, 1, n);
+        (s0, s1)
+    };
+    let (a0, a1) = run();
+    let (b0, b1) = run();
+
+    assert_eq!(a0, single_draws, "shard 0 must match the single machine");
+    assert_eq!(a0, b0, "shard 0 not reproducible");
+    assert_eq!(a1, b1, "shard 1 not reproducible");
+    assert_ne!(a0, a1, "shards must draw distinct noise streams");
+}
+
+/// Acceptance: per-CPU declarations without a well-defined cross-shard
+/// aggregation are rejected at verification time.
+#[test]
+fn verifier_rejects_bad_per_cpu_maps() {
+    // per_cpu on a kind other than Hash/Array: no cross-shard sum.
+    for kind in [MapKind::LruHash, MapKind::RingBuf, MapKind::Histogram] {
+        let mut b = ProgramBuilder::new("bad");
+        let f = b.field_readonly("f");
+        b.per_cpu_map("m", kind, 8);
+        let act = b.action(Action::new(
+            "a",
+            vec![
+                Insn::LdImm {
+                    dst: Reg(0),
+                    imm: 0,
+                },
+                Insn::Exit,
+            ],
+        ));
+        b.table("t", "h", &[f], MatchKind::Exact, Some(act), 4);
+        match verify(b.build()) {
+            Err(VerifyError::BadMapDef { reason, .. }) => {
+                assert!(reason.contains("Hash and Array"), "{reason}");
+            }
+            other => panic!("expected BadMapDef, got {other:?}"),
+        }
+    }
+
+    // per_cpu + shared: DP noising composes per replica, not across.
+    let mut b = ProgramBuilder::new("bad2");
+    let f = b.field_readonly("f");
+    b.per_cpu_map("m", MapKind::Hash, 8);
+    let act = b.action(Action::new(
+        "a",
+        vec![
+            Insn::LdImm {
+                dst: Reg(0),
+                imm: 0,
+            },
+            Insn::Exit,
+        ],
+    ));
+    b.table("t", "h", &[f], MatchKind::Exact, Some(act), 4);
+    let mut prog = b.build();
+    prog.maps[0].shared = true;
+    match verify(prog) {
+        Err(VerifyError::BadMapDef { reason, .. }) => {
+            assert!(reason.contains("shared"), "{reason}");
+        }
+        other => panic!("expected BadMapDef, got {other:?}"),
+    }
+}
+
+/// Stress: four driver threads hammer their own shards concurrently
+/// through the testkit stress harness; merged telemetry accounts for
+/// every fire exactly once and per-shard counters sum to the total.
+#[test]
+fn concurrent_drivers_account_for_every_fire() {
+    let (prog, _counts) = flow_prog();
+    let sharded = ShardedMachine::new(4);
+    sharded
+        .ctrl(CtrlRequest::Install {
+            prog: Box::new(prog),
+            mode: ExecMode::Jit,
+            seed: BASE_SEED,
+        })
+        .unwrap();
+
+    let per_worker = 50usize;
+    let batch = 10usize;
+    let m = &sharded;
+    let verdicts = run_threads(4, |worker| {
+        let mut total = 0u64;
+        for round in 0..per_worker / batch {
+            let ctxts: Vec<Ctxt> = (0..batch)
+                .map(|i| Ctxt::from_values(vec![(worker * 1000 + round * batch + i) as i64, 1]))
+                .collect();
+            let (_, results) = m.fire_batch_on(worker, "pkt", ctxts).wait();
+            total += results.len() as u64;
+        }
+        total
+    });
+    assert_eq!(verdicts, vec![per_worker as u64; 4]);
+
+    let per_shard = sharded.shard_counters();
+    assert_eq!(per_shard.len(), 4);
+    for (shard, c) in per_shard.iter().enumerate() {
+        assert_eq!(c.fires, per_worker as u64, "shard {shard}");
+    }
+    assert_eq!(sharded.machine_counters().fires, 4 * per_worker as u64);
+}
