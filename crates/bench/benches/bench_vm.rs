@@ -1,11 +1,22 @@
 //! Microbenchmark: interpreter vs JIT dispatch on the Figure 1 datapath,
-//! plus raw action-execution microbenchmarks.
+//! raw action-execution microbenchmarks, and the optimizer's O0-vs-opt
+//! comparison on a constant-heavy pipeline (gated at ≥1.2× median
+//! speedup; see `vm_opt_pipeline` below).
+//!
+//! Set `RKD_BENCH_OPT_JSON=<path>` to emit the optimizer comparison as
+//! a JSON document (consumed by `scripts/ci.sh`).
 
 use rkd_bench::harness::{BatchSize, Harness};
 use rkd_core::bytecode::{Action, AluOp, CmpOp, Insn, Reg};
 use rkd_core::ctxt::Ctxt;
 use rkd_core::machine::{ExecMode, RmtMachine};
+use rkd_core::opt::OptLevel;
 use rkd_core::verifier::verify;
+use rkd_testkit::json::Json;
+
+/// Acceptance gate: the optimized JIT must beat the O0 oracle by at
+/// least this factor (median) on the constant-heavy pipeline.
+const OPT_GATE_SPEEDUP: f64 = 1.2;
 
 /// A compute-heavy action: bounded loop of ALU work.
 fn hot_action() -> Action {
@@ -134,4 +145,144 @@ fn bench_figure1(c: &mut Harness) {
     group.finish();
 }
 
-rkd_bench::bench_main!(bench_dispatch, bench_pipeline, bench_figure1);
+/// A constant-heavy action: a long straight-line computation over
+/// compile-time constants, a decided branch, and a dead tail. The
+/// whole body folds to `LdImm r0, <result>; Exit` — the shape the
+/// optimizer exists for (policy programs that bake thresholds and
+/// per-deployment constants into the bytecode).
+fn constant_heavy_action() -> Action {
+    let mut code = vec![
+        Insn::LdImm {
+            dst: Reg(1),
+            imm: 1,
+        },
+        Insn::LdImm {
+            dst: Reg(2),
+            imm: 3,
+        },
+    ];
+    for i in 0..64i64 {
+        code.push(Insn::AluImm {
+            op: AluOp::Add,
+            dst: Reg(1),
+            imm: i,
+        });
+        code.push(Insn::Alu {
+            op: AluOp::Xor,
+            dst: Reg(1),
+            src: Reg(2),
+        });
+        code.push(Insn::AluImm {
+            op: AluOp::Mul,
+            dst: Reg(2),
+            imm: 3,
+        });
+    }
+    let here = code.len();
+    // Always-taken branch over a dead fixup tail.
+    code.push(Insn::JmpIfImm {
+        cmp: CmpOp::Ge,
+        lhs: Reg(2),
+        imm: i64::MIN,
+        target: here + 3,
+    });
+    code.push(Insn::LdImm {
+        dst: Reg(1),
+        imm: 0,
+    });
+    code.push(Insn::LdImm {
+        dst: Reg(2),
+        imm: 0,
+    });
+    code.push(Insn::Mov {
+        dst: Reg(0),
+        src: Reg(1),
+    });
+    code.push(Insn::Exit);
+    Action::new("const_heavy", code)
+}
+
+/// An 8-table pipeline over the constant-heavy action, JIT-compiled at
+/// `level`.
+fn opt_machine(level: OptLevel) -> RmtMachine {
+    let mut b = rkd_core::prog::ProgramBuilder::new("bench_opt");
+    let pid = b.field_readonly("pid");
+    let act = b.action(constant_heavy_action());
+    for i in 0..8 {
+        b.table(
+            &format!("t{i}"),
+            "hook",
+            &[pid],
+            rkd_core::table::MatchKind::Exact,
+            Some(act),
+            8,
+        );
+    }
+    b.opt_level(level);
+    let verified = verify(b.build()).unwrap();
+    let mut vm = RmtMachine::new();
+    vm.install(verified, ExecMode::Jit).unwrap();
+    vm
+}
+
+/// O0 oracle vs optimized JIT on the constant-heavy pipeline, with the
+/// ≥1.2× median-speedup acceptance gate.
+fn bench_opt(c: &mut Harness) -> Vec<(String, Json)> {
+    let mut group = c.benchmark_group("vm_opt_pipeline");
+    let mut medians = [None, None];
+    for (slot, (name, level)) in [("jit_o0", OptLevel::O0), ("jit_opt", OptLevel::O2)]
+        .into_iter()
+        .enumerate()
+    {
+        medians[slot] = group.bench_function(name, |b| {
+            let mut vm = opt_machine(level);
+            b.iter_batched(
+                || Ctxt::from_values(vec![1]),
+                |mut ctxt| vm.fire("hook", &mut ctxt),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+    let mut doc = Vec::new();
+    if let [Some(o0), Some(opt)] = medians {
+        let speedup = o0 / opt.max(1e-9);
+        let verdict = if speedup >= OPT_GATE_SPEEDUP {
+            "PASS"
+        } else {
+            "FAIL"
+        };
+        println!(
+            "speedup_gate opt_const_pipeline {speedup:6.1}x (budget {OPT_GATE_SPEEDUP}x) {verdict}"
+        );
+        doc.push((
+            "opt_const_pipeline".to_string(),
+            Json::Obj(vec![
+                ("o0_ns".to_string(), Json::Float(o0)),
+                ("opt_ns".to_string(), Json::Float(opt)),
+                ("speedup".to_string(), Json::Float(speedup)),
+                ("verdict".to_string(), Json::Str(verdict.to_string())),
+            ]),
+        ));
+    }
+    doc
+}
+
+fn main() {
+    let mut harness = Harness::from_env();
+    bench_dispatch(&mut harness);
+    bench_pipeline(&mut harness);
+    bench_figure1(&mut harness);
+    let doc = bench_opt(&mut harness);
+    harness.finish();
+    if let Ok(path) = std::env::var("RKD_BENCH_OPT_JSON") {
+        if !path.trim().is_empty() {
+            let json = Json::Obj(doc).to_string_compact();
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("bench_vm: failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {path}");
+        }
+    }
+}

@@ -117,6 +117,16 @@ pub enum CtrlRequest {
     /// Reset the observability layer (counters, histograms, trace
     /// ring). Program and table statistics are untouched.
     ObsReset,
+    /// Change a program's JIT optimization level (recompiles its
+    /// actions through the optimize → re-verify → compile path;
+    /// [`crate::opt::OptLevel::O0`] restores the unoptimized oracle
+    /// bodies).
+    SetOptLevel {
+        /// Target program.
+        prog: ProgId,
+        /// New optimization level.
+        level: crate::opt::OptLevel,
+    },
     /// Resize the per-hook decision caches (0 disables caching).
     SetDecisionCacheCapacity {
         /// New capacity in cached flow keys per hook.
@@ -244,6 +254,10 @@ pub fn syscall_rmt_with(
         )),
         CtrlRequest::ObsReset => {
             machine.obs_reset();
+            Ok(CtrlResponse::Ok)
+        }
+        CtrlRequest::SetOptLevel { prog, level } => {
+            machine.set_opt_level(prog, level)?;
             Ok(CtrlResponse::Ok)
         }
         CtrlRequest::SetDecisionCacheCapacity { capacity } => {
@@ -385,6 +399,46 @@ mod tests {
             CtrlResponse::Ok
         );
         assert!(syscall_rmt(&mut m, CtrlRequest::Remove { prog: id }).is_err());
+    }
+
+    #[test]
+    fn set_opt_level_round_trips_through_the_ctrl_plane() {
+        use crate::opt::OptLevel;
+        let mut m = RmtMachine::new();
+        let id = match syscall_rmt(
+            &mut m,
+            CtrlRequest::Install {
+                prog: Box::new(prog()),
+                mode: ExecMode::Jit,
+                seed: 1,
+            },
+        )
+        .unwrap()
+        {
+            CtrlResponse::Installed(id) => id,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(m.opt_level(id).unwrap(), OptLevel::O2);
+        assert_eq!(
+            syscall_rmt(
+                &mut m,
+                CtrlRequest::SetOptLevel {
+                    prog: id,
+                    level: OptLevel::O0,
+                },
+            )
+            .unwrap(),
+            CtrlResponse::Ok
+        );
+        assert_eq!(m.opt_level(id).unwrap(), OptLevel::O0);
+        assert!(syscall_rmt(
+            &mut m,
+            CtrlRequest::SetOptLevel {
+                prog: crate::machine::ProgId(77),
+                level: OptLevel::O2,
+            },
+        )
+        .is_err());
     }
 
     #[test]
@@ -631,6 +685,7 @@ rkd_testkit::impl_json_enum!(CtrlRequest {
     HookStats { hook },
     TraceRead { max },
     ObsReset,
+    SetOptLevel { prog, level },
     SetDecisionCacheCapacity { capacity },
     QueryMachineCounters,
     ReportOutcome {

@@ -25,6 +25,7 @@ use crate::bytecode::{
 use crate::dp::noised_query;
 use crate::error::VmError;
 use crate::interp::{ActionOutcome, Effect, ExecEnv};
+use crate::opt::{OptLevel, Pass};
 use crate::table::TableId;
 
 use rkd_ml::fixed::Fix;
@@ -124,6 +125,47 @@ impl CompiledAction {
             });
         }
         Ok(CompiledAction { ops })
+    }
+
+    /// Runs the optimizing-pass pipeline at `level`, re-verifies the
+    /// rewritten body against `prog`, and compiles the result. Returns
+    /// the compiled action together with its (possibly tighter)
+    /// worst-case dynamic instruction count.
+    ///
+    /// Re-verification failure is a hard [`VmError::Verify`]: a pass
+    /// that emits an inadmissible body must never reach the machine.
+    /// At [`OptLevel::O0`] this is exactly [`CompiledAction::compile`]
+    /// plus the unchanged `worst_case` — the retained oracle path.
+    pub fn compile_optimized(
+        id: u16,
+        action: &Action,
+        prog: &crate::prog::RmtProgram,
+        level: OptLevel,
+        worst_case: u64,
+    ) -> Result<(CompiledAction, u64), VmError> {
+        if level == OptLevel::O0 {
+            return Ok((CompiledAction::compile(action)?, worst_case));
+        }
+        let passes = crate::opt::passes_for(level);
+        let refs: Vec<&dyn Pass> = passes.iter().map(|p| p.as_ref()).collect();
+        Self::compile_optimized_with(id, action, prog, &refs, worst_case)
+    }
+
+    /// [`CompiledAction::compile_optimized`] with an explicit pass
+    /// list — the seam the broken-pass meta-safety tests drive.
+    pub fn compile_optimized_with(
+        id: u16,
+        action: &Action,
+        prog: &crate::prog::RmtProgram,
+        passes: &[&dyn Pass],
+        worst_case: u64,
+    ) -> Result<(CompiledAction, u64), VmError> {
+        let opt = crate::opt::optimize_with(action, passes, crate::opt::MAX_FIXPOINT_ROUNDS);
+        let wc = crate::verifier::reverify_action(id, &opt.action, prog)?;
+        let compiled = CompiledAction::compile(&opt.action)?;
+        // Optimization never grows the worst case; keep the tighter
+        // bound so fuel accounting benefits too.
+        Ok((compiled, wc.min(worst_case)))
     }
 
     /// Number of compiled operations.

@@ -60,6 +60,7 @@ pub mod jit;
 pub mod machine;
 pub mod maps;
 pub mod obs;
+pub mod opt;
 pub mod prog;
 pub mod shard;
 pub mod snapshot;

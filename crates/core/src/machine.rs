@@ -23,6 +23,7 @@ use crate::obs::{
     ModelStats, ModelStatsSnapshot, Obs, ObsConfig, ObsSnapshot, ProgHist, TraceEvent, TraceKind,
     TraceSnapshot,
 };
+use crate::opt::OptLevel;
 use crate::prog::{ModelSpec, RmtProgram};
 use crate::table::{Entry, MatchKind, Table, TableId, TableStats};
 use crate::verifier::VerifiedProgram;
@@ -265,6 +266,11 @@ struct Installed {
     tables: Vec<Table>,
     maps: Vec<MapInstance>,
     compiled: Vec<CompiledAction>,
+    /// Union of the ctxt fields any of this program's actions can
+    /// store to (computed at install). Hooks use this to decide
+    /// whether cached decisions can replay without re-extracting
+    /// match keys — see [`HookSlot::key_stable`].
+    ctxt_writes: Vec<FieldId>,
     rng: StdRng,
     ledger: PrivacyLedger,
     bucket: Option<TokenBucket>,
@@ -298,6 +304,14 @@ struct HookSlot {
     /// when every non-empty table is exact-match: the pipeline already
     /// pays one hash probe per table, so the cache cannot win.
     eligible: bool,
+    /// Per-hook specialization (the optimizer's install-time half):
+    /// `true` when, for every listener program, (a) no action writes a
+    /// consumed field and (b) every non-empty table's key fields are a
+    /// subset of `consumed`. Then a probe-key match pins every
+    /// reachable match key for the whole firing — tables are immutable
+    /// within a generation — so cached steps replay without
+    /// re-extracting and re-comparing per-table keys.
+    key_stable: bool,
     /// Memoized decisions for this hook, keyed on `consumed` values.
     cache: DecisionCache,
 }
@@ -404,13 +418,35 @@ impl RmtMachine {
             maps.push(MapInstance::new(def)?);
         }
         let compiled = match mode {
-            ExecMode::Jit => prog
-                .actions
-                .iter()
-                .map(CompiledAction::compile)
-                .collect::<Result<Vec<_>, _>>()?,
+            ExecMode::Jit => {
+                // Optimize (per the program's OptLevel knob), re-verify,
+                // then compile. `worst_case` stays the verifier's bound
+                // for the original bodies: it remains a sound fuel cap
+                // for the (never-larger) optimized bodies and keeps O0
+                // and interp fuel accounting identical.
+                let mut out = Vec::with_capacity(prog.actions.len());
+                for (i, action) in prog.actions.iter().enumerate() {
+                    let (c, _wc) = CompiledAction::compile_optimized(
+                        i as u16,
+                        action,
+                        &prog,
+                        prog.opt_level,
+                        worst_case[i],
+                    )?;
+                    out.push(c);
+                }
+                out
+            }
             ExecMode::Interp => Vec::new(),
         };
+        let mut ctxt_writes: Vec<FieldId> = Vec::new();
+        for action in &prog.actions {
+            for f in crate::opt::ctxt_writes(action) {
+                if !ctxt_writes.contains(&f) {
+                    ctxt_writes.push(f);
+                }
+            }
+        }
         let bucket = prog
             .rate_limit
             .map(|rl| TokenBucket::new(rl.capacity, rl.refill_per_tick));
@@ -444,6 +480,7 @@ impl RmtMachine {
                     hist: Log2Hist::new(),
                     consumed: Vec::new(),
                     eligible: true,
+                    key_stable: false,
                     cache: DecisionCache::default(),
                 })
                 .listeners
@@ -459,6 +496,7 @@ impl RmtMachine {
                 tables,
                 maps,
                 compiled,
+                ctxt_writes,
                 rng: StdRng::seed_from_u64(seed),
                 ledger,
                 bucket,
@@ -480,6 +518,43 @@ impl RmtMachine {
             self.refresh_hook_cache_meta(hook);
         }
         Ok(ProgId(id))
+    }
+
+    /// Changes an installed program's optimization level and, in JIT
+    /// mode, recompiles every action through the optimize → re-verify
+    /// → compile path (a re-verification failure aborts the switch and
+    /// leaves the previous compiled bodies installed). In interpreter
+    /// mode only the knob is recorded: the interpreter always executes
+    /// the verified bytecode.
+    pub fn set_opt_level(&mut self, id: ProgId, level: OptLevel) -> Result<(), VmError> {
+        let inst = self
+            .programs
+            .get_mut(&id.0)
+            .ok_or(VmError::NoSuchProgram(id.0))?;
+        inst.prog.opt_level = level;
+        if inst.mode == ExecMode::Jit {
+            let mut out = Vec::with_capacity(inst.prog.actions.len());
+            for (i, action) in inst.prog.actions.iter().enumerate() {
+                let (c, _wc) = CompiledAction::compile_optimized(
+                    i as u16,
+                    action,
+                    &inst.prog,
+                    level,
+                    inst.worst_case[i],
+                )?;
+                out.push(c);
+            }
+            inst.compiled = out;
+        }
+        Ok(())
+    }
+
+    /// An installed program's current optimization level.
+    pub fn opt_level(&self, id: ProgId) -> Result<OptLevel, VmError> {
+        self.programs
+            .get(&id.0)
+            .map(|inst| inst.prog.opt_level)
+            .ok_or(VmError::NoSuchProgram(id.0))
     }
 
     /// Removes a program and unhooks its tables.
@@ -540,7 +615,34 @@ impl RmtMachine {
                 }
             }
         }
+        // Per-hook specialization: decide whether cached decisions can
+        // replay without per-step key re-extraction. Requires, for
+        // every listener program, that (a) no action writes a consumed
+        // field (so the probe key pins those fields for the whole
+        // firing) and (b) every non-empty table of the program — tail
+        // calls can reach tables registered at other hooks — keys only
+        // consumed fields. Empty tables memoize key-independent steps
+        // and keep their cheap is-still-empty validation.
+        let mut key_stable = true;
+        for &(pid, _) in &slot.listeners {
+            let Some(inst) = self.programs.get(&pid) else {
+                continue;
+            };
+            if inst.ctxt_writes.iter().any(|f| consumed.contains(f)) {
+                key_stable = false;
+                break;
+            }
+            let all_keys_consumed = inst
+                .tables
+                .iter()
+                .all(|t| t.is_empty() || t.def().key_fields.iter().all(|f| consumed.contains(f)));
+            if !all_keys_consumed {
+                key_stable = false;
+                break;
+            }
+        }
         slot.consumed = consumed;
+        slot.key_stable = key_stable;
         // A hook whose live tables are all exact-match already costs
         // one hash probe per table; the cache would only add overhead.
         slot.eligible = nonempty == 0 || non_exact;
@@ -752,6 +854,12 @@ impl RmtMachine {
                                     // valid iff the table is still
                                     // empty (no key extraction).
                                     None => t.is_empty(),
+                                    // Key-stable hook (specialized
+                                    // fast path): the probe-key match
+                                    // already pinned every reachable
+                                    // match key for this firing, so
+                                    // skip re-extraction.
+                                    Some(_) if slot.key_stable => true,
                                     Some(mk) => {
                                         let k = ctxt.key(&t.def().key_fields);
                                         let same = *mk == k;
@@ -2370,6 +2478,174 @@ mod tests {
         assert_eq!(snap.programs[0].prog, id.0);
         assert_eq!(snap.programs[0].hist.count(), 1);
         assert_eq!(snap.trace_dropped, 0);
+    }
+
+    /// A hook whose listeners never write consumed fields and whose
+    /// non-empty tables key only consumed fields is key-stable: cached
+    /// decisions replay without per-step key re-extraction, and
+    /// distinct flows still resolve their own cache lines.
+    #[test]
+    fn key_stable_hook_replays_without_key_reextraction() {
+        let mut m = RmtMachine::new();
+        m.install(range_program(), ExecMode::Interp).unwrap();
+        assert!(
+            m.hook_index["range_hook"].key_stable,
+            "no ctxt writes + keys within consumed => key-stable"
+        );
+        for _ in 0..3 {
+            assert_eq!(
+                m.fire("range_hook", &mut ctxt_with_pid(50)).verdict(),
+                Some(42)
+            );
+            assert_eq!(
+                m.fire("range_hook", &mut ctxt_with_pid(200)).verdict(),
+                Some(-1)
+            );
+        }
+        let c = m.machine_counters();
+        assert_eq!(c.decision_cache_misses, 2, "one recording per flow");
+        assert_eq!(c.decision_cache_hits, 4, "fast-path replays");
+    }
+
+    /// Cross-hook tail-call counterexample: the tail-call target keys
+    /// a field the origin hook does not consume, so two flows with the
+    /// same probe key can resolve different entries at the target. The
+    /// hook must not be key-stable, and the per-step validation must
+    /// catch the divergence.
+    #[test]
+    fn tail_call_to_unconsumed_key_defeats_key_stability() {
+        let mut b = ProgramBuilder::new("xhook");
+        let f0 = b.field_readonly("f0");
+        let f1 = b.field_readonly("f1");
+        let hit2 = b.action(Action::new(
+            "hit2",
+            vec![
+                Insn::Mov {
+                    dst: Reg(0),
+                    src: crate::bytecode::ARG_REG,
+                },
+                Insn::Exit,
+            ],
+        ));
+        let fallback = b.action(Action::new(
+            "fallback",
+            vec![
+                Insn::LdImm {
+                    dst: Reg(0),
+                    imm: -1,
+                },
+                Insn::Exit,
+            ],
+        ));
+        // t2 is declared first so the redirect action can name it.
+        let t2 = b.table("t2", "h2", &[f1], MatchKind::Exact, Some(fallback), 16);
+        let redirect = b.action(Action::new(
+            "redirect",
+            vec![
+                Insn::LdImm {
+                    dst: Reg(0),
+                    imm: 0,
+                },
+                Insn::TailCall { table: t2 },
+            ],
+        ));
+        let t1 = b.table("t1", "h1", &[f0], MatchKind::Range, Some(fallback), 16);
+        b.entry(
+            t1,
+            Entry {
+                key: MatchKey::Range(vec![(0, 100)]),
+                priority: 1,
+                action: redirect,
+                arg: 0,
+            },
+        );
+        b.entry(
+            t2,
+            Entry {
+                key: MatchKey::Exact(vec![5]),
+                priority: 0,
+                action: hit2,
+                arg: 111,
+            },
+        );
+        let mut m = RmtMachine::new();
+        m.install(verify(b.build()).unwrap(), ExecMode::Interp)
+            .unwrap();
+        assert!(
+            !m.hook_index["h1"].key_stable,
+            "t2 keys f1, which h1 does not consume"
+        );
+        // Same h1 probe key (f0 = 50), different f1: the second firing
+        // must re-resolve at t2, not replay the cached entry.
+        let mut a = Ctxt::from_values(vec![50, 5]);
+        assert_eq!(m.fire("h1", &mut a).verdict(), Some(111));
+        let mut b2 = Ctxt::from_values(vec![50, 6]);
+        assert_eq!(
+            m.fire("h1", &mut b2).verdict(),
+            Some(-1),
+            "divergent tail-call key must fall back, not replay"
+        );
+    }
+
+    /// A listener that stores to a field some table at the hook keys
+    /// on also defeats key stability: the probe key cannot pin a field
+    /// the pipeline itself rewrites.
+    #[test]
+    fn consumed_field_write_defeats_key_stability() {
+        let mut b = ProgramBuilder::new("selfwrite");
+        let s = b.field_scratch("s");
+        let act = b.action(Action::new(
+            "bump",
+            vec![
+                Insn::LdImm {
+                    dst: Reg(0),
+                    imm: 1,
+                },
+                Insn::StCtxt {
+                    field: s,
+                    src: Reg(0),
+                },
+                Insn::Exit,
+            ],
+        ));
+        let t = b.table("t", "wh", &[s], MatchKind::Range, Some(act), 16);
+        b.entry(
+            t,
+            Entry {
+                key: MatchKey::Range(vec![(0, 100)]),
+                priority: 1,
+                action: act,
+                arg: 0,
+            },
+        );
+        let mut m = RmtMachine::new();
+        m.install(verify(b.build()).unwrap(), ExecMode::Interp)
+            .unwrap();
+        assert!(!m.hook_index["wh"].key_stable);
+    }
+
+    /// Switching OptLevel recompiles through the optimize → re-verify
+    /// → compile path and never changes verdicts: O0 is the oracle.
+    #[test]
+    fn set_opt_level_is_behavior_preserving() {
+        use crate::opt::OptLevel;
+        let mut m = RmtMachine::new();
+        let id = m.install(doubling_program(), ExecMode::Jit).unwrap();
+        assert_eq!(m.opt_level(id).unwrap(), OptLevel::O2, "default on");
+        let v_opt = m.fire("test_hook", &mut ctxt_with_pid(7)).verdict();
+        for level in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
+            m.set_opt_level(id, level).unwrap();
+            assert_eq!(m.opt_level(id).unwrap(), level);
+            assert_eq!(
+                m.fire("test_hook", &mut ctxt_with_pid(7)).verdict(),
+                v_opt,
+                "level {level:?} diverged from the oracle"
+            );
+        }
+        assert!(matches!(
+            m.set_opt_level(ProgId(999), OptLevel::O0),
+            Err(VmError::NoSuchProgram(_))
+        ));
     }
 }
 

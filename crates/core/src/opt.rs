@@ -1,0 +1,1302 @@
+//! Bytecode optimizing-pass pipeline.
+//!
+//! §3.1 compiles table matches and actions into RMT bytecode; this
+//! module is the optimizer that sits between the verifier and
+//! [`crate::jit::CompiledAction::compile`]. It is a classic fixpoint
+//! driver over small [`Pass`] structs: each pass rewrites an action
+//! body in place (or removes instructions), the driver re-runs the
+//! whole pipeline until no pass fires, and a hard iteration bound
+//! ([`MAX_FIXPOINT_ROUNDS`]) caps the loop so a buggy pass can never
+//! spin the control plane.
+//!
+//! The passes:
+//!
+//! - [`ConstFold`] — per-block constant propagation reusing
+//!   [`crate::bytecode::AluOp::eval`] / [`CmpOp::eval`] as the single
+//!   source of truth
+//!   for arithmetic and comparison semantics (wrapping, div/mod-by-zero
+//!   = 0, masked shifts). Folds `Alu` → `AluImm` → `LdImm`, `Mov`-of-
+//!   constant → `LdImm`, and decides constant conditional jumps.
+//! - [`Specialize`] — per-block context-access specialization:
+//!   store-to-load forwarding (`StCtxt f, r` … `LdCtxt d, f` becomes
+//!   `Mov d, r`) and redundant-load CSE (a second `LdCtxt` of a field
+//!   whose value is still held in a register becomes a `Mov`). The
+//!   schema's writability split makes this sound: nothing but `StCtxt`
+//!   mutates the context inside an action. The per-hook half of
+//!   specialization — baking the installed tables' kinds and the
+//!   consumed-field projection (the decision-cache key) into the fire
+//!   path — lives in [`crate::machine`]: each hook precomputes whether
+//!   any installed action can write a consumed field, and cached
+//!   decisions on write-free hooks replay without re-extracting keys.
+//! - [`DeadCode`] — global backward liveness over scalar and vector
+//!   registers; removes pure dead writes (`LdImm`, `Mov`, `Alu`,
+//!   `AluImm`, `LdCtxt`, `ScalarVal`, `VectorClear`, `VectorLdCtxt`)
+//!   and dead context stores overwritten before any read in the same
+//!   block. `StCtxt` is observable at action exit, so a store is dead
+//!   only when another store to the same field lands before the block
+//!   ends. Side-effecting instructions are never removed — including
+//!   `MapLookup`, whose LRU-recency touch is visible in eviction
+//!   order, and `Call`/`DpAggregate`, which consume the program's RNG
+//!   stream.
+//! - [`BranchFold`] — jump threading (a jump whose target is a `Jmp`
+//!   retargets to the end of the chain; a jump landing on a terminator
+//!   becomes that terminator), removal of jumps to the immediately
+//!   following instruction, and unreachable-code elimination with
+//!   jump-target rewriting.
+//!
+//! Two invariants hold for every pass and are property-tested:
+//! semantics of verified bodies are preserved bit-for-bit (verdict,
+//! effects, context, map state), and the instruction count never
+//! grows. The optimizer runs behind an [`OptLevel`] knob on
+//! [`crate::prog::ProgramBuilder`] (default on; `O0` is the retained
+//! oracle path), and every optimized action is re-verified before
+//! install — a failure is a hard [`crate::error::VmError::Verify`]
+//! at compile time, never a silently-installed body.
+
+use crate::bytecode::{Action, CmpOp, Insn, Reg, VReg};
+use crate::ctxt::FieldId;
+
+/// Hard bound on fixpoint rounds: the driver re-runs the pass list at
+/// most this many times. Each round either fires a pass (strictly
+/// descending a finite measure) or terminates the loop, so real
+/// pipelines converge in a handful of rounds; the bound exists so a
+/// buggy pass cannot spin.
+pub const MAX_FIXPOINT_ROUNDS: usize = 16;
+
+/// Optimization level for action compilation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum OptLevel {
+    /// No optimization: the JIT compiles exactly what the verifier
+    /// admitted. Retained as the oracle path for differential testing.
+    O0,
+    /// Generic passes: constant folding, dead-code elimination, branch
+    /// folding + unreachable-code elimination.
+    O1,
+    /// `O1` plus context-access specialization. The default.
+    #[default]
+    O2,
+}
+
+/// One optimization pass over an action body.
+///
+/// Implementations must preserve the semantics of verifier-admitted
+/// bodies and must never grow the instruction count; the driver
+/// asserts the latter after every run.
+pub trait Pass {
+    /// Short stable name (diagnostics, golden tests).
+    fn name(&self) -> &'static str;
+    /// Rewrites `code` in place; returns `true` iff anything changed.
+    fn run(&self, code: &mut Vec<Insn>) -> bool;
+}
+
+/// The result of running the pipeline over one action.
+#[derive(Clone, Debug)]
+pub struct Optimized {
+    /// The optimized action (same name and loop bound, new body).
+    pub action: Action,
+    /// Fixpoint rounds taken (including the final no-change round).
+    pub rounds: usize,
+    /// Names of the passes that fired, in firing order.
+    pub fired: Vec<&'static str>,
+}
+
+/// Returns the pass list for a level (`O0` is empty).
+pub fn passes_for(level: OptLevel) -> Vec<Box<dyn Pass>> {
+    match level {
+        OptLevel::O0 => Vec::new(),
+        OptLevel::O1 => vec![
+            Box::new(ConstFold),
+            Box::new(DeadCode),
+            Box::new(BranchFold),
+        ],
+        OptLevel::O2 => vec![
+            Box::new(ConstFold),
+            Box::new(Specialize),
+            Box::new(DeadCode),
+            Box::new(BranchFold),
+        ],
+    }
+}
+
+/// Runs the standard pipeline for `level` to fixpoint.
+pub fn optimize(action: &Action, level: OptLevel) -> Optimized {
+    let passes = passes_for(level);
+    let refs: Vec<&dyn Pass> = passes.iter().map(|p| p.as_ref()).collect();
+    optimize_with(action, &refs, MAX_FIXPOINT_ROUNDS)
+}
+
+/// Runs an explicit pass list to fixpoint with an explicit round
+/// bound. This is the seam the broken-pass meta-safety tests drive;
+/// production callers use [`optimize`].
+///
+/// # Panics
+///
+/// Panics if a pass grows the instruction count — that is a pass bug,
+/// not an input condition.
+pub fn optimize_with(action: &Action, passes: &[&dyn Pass], max_rounds: usize) -> Optimized {
+    let mut code = action.code.clone();
+    let mut fired = Vec::new();
+    let mut rounds = 0;
+    while rounds < max_rounds {
+        rounds += 1;
+        let mut any = false;
+        for p in passes {
+            let before = code.len();
+            if p.run(&mut code) {
+                any = true;
+                fired.push(p.name());
+            }
+            assert!(
+                code.len() <= before,
+                "pass {} grew the instruction count ({} -> {})",
+                p.name(),
+                before,
+                code.len()
+            );
+        }
+        if !any {
+            break;
+        }
+    }
+    Optimized {
+        action: Action {
+            name: action.name.clone(),
+            code,
+            loop_bound: action.loop_bound,
+        },
+        rounds,
+        fired,
+    }
+}
+
+/// The set of fields an action body can write (its `StCtxt` targets).
+/// The machine unions this across a program's actions to decide, per
+/// hook, whether cached decisions can replay without re-extracting
+/// match keys (see the decision-cache notes in [`crate::machine`]).
+pub fn ctxt_writes(action: &Action) -> Vec<FieldId> {
+    let mut out: Vec<FieldId> = Vec::new();
+    for insn in &action.code {
+        if let Insn::StCtxt { field, .. } = insn {
+            if !out.contains(field) {
+                out.push(*field);
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Shared CFG helpers
+// ---------------------------------------------------------------------
+
+/// Marks basic-block leaders: instruction 0, every jump target, and
+/// every instruction following a jump or terminator.
+fn leaders(code: &[Insn]) -> Vec<bool> {
+    let mut lead = vec![false; code.len()];
+    if !code.is_empty() {
+        lead[0] = true;
+    }
+    for (i, insn) in code.iter().enumerate() {
+        if let Some(t) = insn.jump_target() {
+            if t < code.len() {
+                lead[t] = true;
+            }
+            if i + 1 < code.len() {
+                lead[i + 1] = true;
+            }
+        } else if insn.is_terminator() && i + 1 < code.len() {
+            lead[i + 1] = true;
+        }
+    }
+    lead
+}
+
+/// Removes instructions where `keep[i]` is false, rewriting every jump
+/// target through the position map. A target pointing at a removed
+/// instruction lands on the next kept one — exactly the fall-through
+/// semantics of the (pure, dead, or unreachable) instruction removed.
+/// Returns `true` if anything was removed.
+fn compact(code: &mut Vec<Insn>, keep: &[bool]) -> bool {
+    debug_assert_eq!(code.len(), keep.len());
+    if keep.iter().all(|&k| k) {
+        return false;
+    }
+    let mut newpos = vec![0usize; code.len() + 1];
+    let mut n = 0usize;
+    for i in 0..code.len() {
+        newpos[i] = n;
+        if keep[i] {
+            n += 1;
+        }
+    }
+    newpos[code.len()] = n;
+    let mut out = Vec::with_capacity(n);
+    for (i, insn) in code.iter().enumerate() {
+        if !keep[i] {
+            continue;
+        }
+        let mut insn = insn.clone();
+        match &mut insn {
+            Insn::Jmp { target } | Insn::JmpIf { target, .. } | Insn::JmpIfImm { target, .. } => {
+                *target = newpos[*target]
+            }
+            _ => {}
+        }
+        out.push(insn);
+    }
+    *code = out;
+    true
+}
+
+// ---------------------------------------------------------------------
+// Constant folding
+// ---------------------------------------------------------------------
+
+/// Per-block constant propagation and folding. All rewrites are
+/// in-place (1:1), so this pass never changes the instruction count;
+/// the dead definitions it strands are collected by [`DeadCode`] and
+/// the decided branches by [`BranchFold`].
+pub struct ConstFold;
+
+impl ConstFold {
+    /// Constant-evaluates a conditional against the tracked state:
+    /// `Some(taken)` when decidable.
+    fn decide(cmp: CmpOp, lhs: Option<i64>, rhs: Option<i64>) -> Option<bool> {
+        match (lhs, rhs) {
+            (Some(l), Some(r)) => Some(cmp.eval(l, r)),
+            _ => None,
+        }
+    }
+}
+
+impl Pass for ConstFold {
+    fn name(&self) -> &'static str {
+        "const-fold"
+    }
+
+    fn run(&self, code: &mut Vec<Insn>) -> bool {
+        let lead = leaders(code);
+        let mut changed = false;
+        // regs[r] = Some(v) when r provably holds v at this point of
+        // the current block.
+        let mut regs: [Option<i64>; 16] = [None; 16];
+        for i in 0..code.len() {
+            if lead[i] {
+                regs = [None; 16];
+            }
+            let next = i + 1;
+            match code[i] {
+                Insn::LdImm { dst, imm } => regs[dst.0 as usize] = Some(imm),
+                Insn::Mov { dst, src } => {
+                    if let Some(v) = regs[src.0 as usize] {
+                        code[i] = Insn::LdImm { dst, imm: v };
+                        changed = true;
+                    }
+                    regs[dst.0 as usize] = regs[src.0 as usize];
+                }
+                Insn::Alu { op, dst, src } => {
+                    if let Some(r) = regs[src.0 as usize] {
+                        if let Some(l) = regs[dst.0 as usize] {
+                            let v = op.eval(l, r);
+                            code[i] = Insn::LdImm { dst, imm: v };
+                            regs[dst.0 as usize] = Some(v);
+                        } else {
+                            code[i] = Insn::AluImm { op, dst, imm: r };
+                            regs[dst.0 as usize] = None;
+                        }
+                        changed = true;
+                    } else {
+                        regs[dst.0 as usize] = None;
+                    }
+                }
+                Insn::AluImm { op, dst, imm } => {
+                    if let Some(l) = regs[dst.0 as usize] {
+                        let v = op.eval(l, imm);
+                        code[i] = Insn::LdImm { dst, imm: v };
+                        regs[dst.0 as usize] = Some(v);
+                        changed = true;
+                    } else {
+                        regs[dst.0 as usize] = None;
+                    }
+                }
+                Insn::JmpIf {
+                    cmp,
+                    lhs,
+                    rhs,
+                    target,
+                } => {
+                    let decided = if lhs == rhs {
+                        // Same register on both sides: reflexive.
+                        Some(cmp.eval(0, 0))
+                    } else {
+                        Self::decide(cmp, regs[lhs.0 as usize], regs[rhs.0 as usize])
+                    };
+                    match decided {
+                        Some(true) => {
+                            code[i] = Insn::Jmp { target };
+                            changed = true;
+                        }
+                        Some(false) => {
+                            code[i] = Insn::Jmp { target: next };
+                            changed = true;
+                        }
+                        None => {
+                            if let Some(r) = regs[rhs.0 as usize] {
+                                code[i] = Insn::JmpIfImm {
+                                    cmp,
+                                    lhs,
+                                    imm: r,
+                                    target,
+                                };
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                Insn::JmpIfImm {
+                    cmp,
+                    lhs,
+                    imm,
+                    target,
+                } => match Self::decide(cmp, regs[lhs.0 as usize], Some(imm)) {
+                    Some(true) => {
+                        code[i] = Insn::Jmp { target };
+                        changed = true;
+                    }
+                    Some(false) => {
+                        code[i] = Insn::Jmp { target: next };
+                        changed = true;
+                    }
+                    None => {}
+                },
+                // Everything below may define registers with unknown
+                // values; clobber the tracked state accordingly.
+                Insn::LdCtxt { dst, .. }
+                | Insn::MapLookup { dst, .. }
+                | Insn::ScalarVal { dst, .. }
+                | Insn::DpAggregate { dst, .. } => regs[dst.0 as usize] = None,
+                // Map mutations and helper calls report through r0.
+                Insn::MapUpdate { .. } | Insn::MapDelete { .. } | Insn::Call { .. } => {
+                    regs[0] = None;
+                }
+                // Class to r0, confidence to r1.
+                Insn::CallMl { .. } => {
+                    regs[0] = None;
+                    regs[1] = None;
+                }
+                Insn::StCtxt { .. }
+                | Insn::Jmp { .. }
+                | Insn::VectorLdMap { .. }
+                | Insn::VectorLdCtxt { .. }
+                | Insn::VectorPush { .. }
+                | Insn::VectorClear { .. }
+                | Insn::MatMul { .. }
+                | Insn::VecMap { .. }
+                | Insn::Exit
+                | Insn::TailCall { .. } => {}
+            }
+        }
+        changed
+    }
+}
+
+// ---------------------------------------------------------------------
+// Context-access specialization
+// ---------------------------------------------------------------------
+
+/// Per-block context-access specialization: store-to-load forwarding
+/// and redundant-load CSE. Sound because within an action body only
+/// `StCtxt` mutates the context — helpers, map ops, and ML calls never
+/// touch it — so a register holding a field's value stays valid until
+/// that register is redefined or the field is stored again.
+pub struct Specialize;
+
+impl Pass for Specialize {
+    fn name(&self) -> &'static str {
+        "specialize"
+    }
+
+    fn run(&self, code: &mut Vec<Insn>) -> bool {
+        let lead = leaders(code);
+        let mut changed = false;
+        // avail[k] = (field, reg): `reg` currently holds `ctxt[field]`.
+        let mut avail: Vec<(FieldId, Reg)> = Vec::new();
+        let kill_reg = |avail: &mut Vec<(FieldId, Reg)>, r: Reg| {
+            avail.retain(|&(_, held)| held != r);
+        };
+        let kill_field = |avail: &mut Vec<(FieldId, Reg)>, f: FieldId| {
+            avail.retain(|&(field, _)| field != f);
+        };
+        for i in 0..code.len() {
+            if lead[i] {
+                avail.clear();
+            }
+            match code[i] {
+                Insn::LdCtxt { dst, field } => {
+                    if let Some(&(_, held)) = avail.iter().find(|&&(f, _)| f == field) {
+                        // The value is already in a register: forward
+                        // it. A reload into the holding register
+                        // becomes a self-move, which DeadCode removes.
+                        code[i] = Insn::Mov { dst, src: held };
+                        changed = true;
+                        kill_reg(&mut avail, dst);
+                        if held != dst {
+                            avail.push((field, dst));
+                        } else {
+                            avail.push((field, held));
+                        }
+                    } else {
+                        kill_reg(&mut avail, dst);
+                        avail.push((field, dst));
+                    }
+                }
+                Insn::StCtxt { field, src } => {
+                    kill_field(&mut avail, field);
+                    avail.push((field, src));
+                }
+                // Register definitions invalidate what they held.
+                Insn::LdImm { dst, .. }
+                | Insn::Mov { dst, .. }
+                | Insn::Alu { dst, .. }
+                | Insn::AluImm { dst, .. }
+                | Insn::MapLookup { dst, .. }
+                | Insn::ScalarVal { dst, .. }
+                | Insn::DpAggregate { dst, .. } => kill_reg(&mut avail, dst),
+                Insn::MapUpdate { .. } | Insn::MapDelete { .. } | Insn::Call { .. } => {
+                    kill_reg(&mut avail, Reg(0));
+                }
+                Insn::CallMl { .. } => {
+                    kill_reg(&mut avail, Reg(0));
+                    kill_reg(&mut avail, Reg(1));
+                }
+                Insn::Jmp { .. }
+                | Insn::JmpIf { .. }
+                | Insn::JmpIfImm { .. }
+                | Insn::VectorLdMap { .. }
+                | Insn::VectorLdCtxt { .. }
+                | Insn::VectorPush { .. }
+                | Insn::VectorClear { .. }
+                | Insn::MatMul { .. }
+                | Insn::VecMap { .. }
+                | Insn::Exit
+                | Insn::TailCall { .. } => {}
+            }
+        }
+        changed
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dead-code elimination
+// ---------------------------------------------------------------------
+
+/// Global backward liveness over scalar and vector registers plus
+/// per-block dead-store elimination for `StCtxt`.
+pub struct DeadCode;
+
+/// Liveness state: bit r of `regs` = scalar register r live, bit v of
+/// `vregs` = vector register v live.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+struct Live {
+    regs: u16,
+    vregs: u8,
+}
+
+impl Live {
+    fn union(self, other: Live) -> Live {
+        Live {
+            regs: self.regs | other.regs,
+            vregs: self.vregs | other.vregs,
+        }
+    }
+    fn reg(&self, r: Reg) -> bool {
+        self.regs & (1 << r.0.min(15)) != 0
+    }
+    fn vreg(&self, v: VReg) -> bool {
+        self.vregs & (1 << v.0.min(7)) != 0
+    }
+    fn set_reg(&mut self, r: Reg) {
+        self.regs |= 1 << r.0.min(15);
+    }
+    fn clear_reg(&mut self, r: Reg) {
+        self.regs &= !(1 << r.0.min(15));
+    }
+    fn set_vreg(&mut self, v: VReg) {
+        self.vregs |= 1 << v.0.min(7);
+    }
+    fn clear_vreg(&mut self, v: VReg) {
+        self.vregs &= !(1 << v.0.min(7));
+    }
+}
+
+impl DeadCode {
+    /// Backward transfer: `live` is live-out, returns live-in.
+    fn transfer(insn: &Insn, live: Live) -> Live {
+        let mut l = live;
+        match insn {
+            Insn::LdImm { dst, .. } => l.clear_reg(*dst),
+            Insn::Mov { dst, src } => {
+                l.clear_reg(*dst);
+                l.set_reg(*src);
+            }
+            Insn::LdCtxt { dst, .. } => l.clear_reg(*dst),
+            Insn::StCtxt { src, .. } => l.set_reg(*src),
+            Insn::Alu { dst, src, .. } => {
+                // dst is both operand and destination.
+                l.set_reg(*dst);
+                l.set_reg(*src);
+            }
+            Insn::AluImm { dst, .. } => l.set_reg(*dst),
+            Insn::Jmp { .. } => {}
+            Insn::JmpIf { lhs, rhs, .. } => {
+                l.set_reg(*lhs);
+                l.set_reg(*rhs);
+            }
+            Insn::JmpIfImm { lhs, .. } => l.set_reg(*lhs),
+            Insn::MapLookup { dst, key, .. } => {
+                l.clear_reg(*dst);
+                l.set_reg(*key);
+            }
+            Insn::MapUpdate { key, value, .. } => {
+                l.clear_reg(Reg(0));
+                l.set_reg(*key);
+                l.set_reg(*value);
+            }
+            Insn::MapDelete { key, .. } => {
+                l.clear_reg(Reg(0));
+                l.set_reg(*key);
+            }
+            Insn::VectorLdMap { dst, .. } | Insn::VectorLdCtxt { dst, .. } => l.clear_vreg(*dst),
+            Insn::VectorPush { dst, src } => {
+                l.set_vreg(*dst);
+                l.set_reg(*src);
+            }
+            Insn::VectorClear { dst } => l.clear_vreg(*dst),
+            Insn::MatMul { dst, src, .. } => {
+                l.clear_vreg(*dst);
+                l.set_vreg(*src);
+            }
+            Insn::VecMap { dst, .. } => l.set_vreg(*dst),
+            Insn::ScalarVal { dst, src, .. } => {
+                l.clear_reg(*dst);
+                l.set_vreg(*src);
+            }
+            Insn::CallMl { src, .. } => {
+                l.clear_reg(Reg(0));
+                l.clear_reg(Reg(1));
+                l.set_vreg(*src);
+            }
+            Insn::Call { .. } => {
+                // Helpers return in r0 and may read r2..r4.
+                l.clear_reg(Reg(0));
+                l.set_reg(Reg(2));
+                l.set_reg(Reg(3));
+                l.set_reg(Reg(4));
+            }
+            Insn::DpAggregate { dst, .. } => l.clear_reg(*dst),
+            // The verdict is read from r0 at both exits.
+            Insn::Exit | Insn::TailCall { .. } => {
+                l = Live::default();
+                l.set_reg(Reg(0));
+            }
+        }
+        l
+    }
+
+    /// Whether removing this instruction is observable beyond its
+    /// register definition. Side-effecting or possibly-faulting
+    /// instructions stay: map ops (LRU lookups touch recency), vector
+    /// pushes (capacity fault), `MatMul`/`VecMap`/`CallMl` (shape
+    /// faults, guard counters), helpers and `DpAggregate` (RNG stream,
+    /// effects, privacy ledger).
+    fn pure_def(insn: &Insn) -> Option<PureDef> {
+        match insn {
+            Insn::LdImm { dst, .. }
+            | Insn::Mov { dst, .. }
+            | Insn::LdCtxt { dst, .. }
+            | Insn::Alu { dst, .. }
+            | Insn::AluImm { dst, .. }
+            | Insn::ScalarVal { dst, .. } => Some(PureDef::Scalar(*dst)),
+            Insn::VectorClear { dst } | Insn::VectorLdCtxt { dst, .. } => {
+                Some(PureDef::Vector(*dst))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// What a pure instruction defines (for dead-write removal).
+enum PureDef {
+    Scalar(Reg),
+    Vector(VReg),
+}
+
+impl Pass for DeadCode {
+    fn name(&self) -> &'static str {
+        "dead-code"
+    }
+
+    fn run(&self, code: &mut Vec<Insn>) -> bool {
+        if code.is_empty() {
+            return false;
+        }
+        let n = code.len();
+        // Backward liveness to fixpoint (handles back edges).
+        let mut live_in = vec![Live::default(); n];
+        loop {
+            let mut stable = true;
+            for i in (0..n).rev() {
+                let insn = &code[i];
+                let mut out = Live::default();
+                if !insn.is_terminator() {
+                    match insn {
+                        Insn::Jmp { target } => {
+                            if *target < n {
+                                out = out.union(live_in[*target]);
+                            }
+                        }
+                        Insn::JmpIf { target, .. } | Insn::JmpIfImm { target, .. } => {
+                            if *target < n {
+                                out = out.union(live_in[*target]);
+                            }
+                            if i + 1 < n {
+                                out = out.union(live_in[i + 1]);
+                            }
+                        }
+                        _ => {
+                            if i + 1 < n {
+                                out = out.union(live_in[i + 1]);
+                            }
+                        }
+                    }
+                }
+                let inn = Self::transfer(insn, out);
+                if inn != live_in[i] {
+                    live_in[i] = inn;
+                    stable = false;
+                }
+            }
+            if stable {
+                break;
+            }
+        }
+        // live_out[i] recomputed from successors for the removal scan.
+        let live_out = |i: usize| -> Live {
+            let insn = &code[i];
+            let mut out = Live::default();
+            if !insn.is_terminator() {
+                match insn {
+                    Insn::Jmp { target } => {
+                        if *target < n {
+                            out = out.union(live_in[*target]);
+                        }
+                    }
+                    Insn::JmpIf { target, .. } | Insn::JmpIfImm { target, .. } => {
+                        if *target < n {
+                            out = out.union(live_in[*target]);
+                        }
+                        if i + 1 < n {
+                            out = out.union(live_in[i + 1]);
+                        }
+                    }
+                    _ => {
+                        if i + 1 < n {
+                            out = out.union(live_in[i + 1]);
+                        }
+                    }
+                }
+            }
+            out
+        };
+        let mut keep = vec![true; n];
+        for i in 0..n {
+            // A self-move is a no-op regardless of liveness.
+            if let Insn::Mov { dst, src } = &code[i] {
+                if dst == src {
+                    keep[i] = false;
+                    continue;
+                }
+            }
+            if let Some(def) = DeadCode::pure_def(&code[i]) {
+                let out = live_out(i);
+                let dead = match def {
+                    PureDef::Scalar(r) => !out.reg(r),
+                    PureDef::Vector(v) => !out.vreg(v),
+                };
+                if dead {
+                    keep[i] = false;
+                }
+            }
+        }
+        // Dead context stores: a StCtxt overwritten by another StCtxt
+        // to the same field later in the same block, with no read of
+        // that field (LdCtxt or a VectorLdCtxt window covering it) in
+        // between. Stores that survive to the block end are observable
+        // (at action exit, or by later blocks) and stay.
+        let lead = leaders(code);
+        for i in 0..n {
+            let Insn::StCtxt { field, .. } = code[i] else {
+                continue;
+            };
+            let mut j = i + 1;
+            while j < n && !lead[j] {
+                match code[j] {
+                    Insn::StCtxt { field: f2, .. } if f2 == field => {
+                        keep[i] = false;
+                        break;
+                    }
+                    Insn::LdCtxt { field: f2, .. } if f2 == field => break,
+                    Insn::VectorLdCtxt { base, len, .. }
+                        if field.0 >= base.0 && (field.0 as u32) < base.0 as u32 + len as u32 =>
+                    {
+                        break;
+                    }
+                    ref insn if insn.is_terminator() || insn.jump_target().is_some() => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        compact(code, &keep)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Branch folding and unreachable-code elimination
+// ---------------------------------------------------------------------
+
+/// Jump threading, jump-to-next removal, and unreachable-code
+/// elimination with jump-target rewriting.
+pub struct BranchFold;
+
+impl BranchFold {
+    /// Follows a chain of unconditional jumps from `start`, returning
+    /// the final target. Cycle-guarded (a `Jmp` cycle is a verified
+    /// back edge; threading stops rather than spinning).
+    fn thread(code: &[Insn], start: usize) -> usize {
+        let mut t = start;
+        let mut hops = 0usize;
+        while hops <= code.len() {
+            match code.get(t) {
+                Some(Insn::Jmp { target }) if *target != t => {
+                    t = *target;
+                    hops += 1;
+                }
+                _ => break,
+            }
+        }
+        t
+    }
+}
+
+impl Pass for BranchFold {
+    fn name(&self) -> &'static str {
+        "branch-fold"
+    }
+
+    fn run(&self, code: &mut Vec<Insn>) -> bool {
+        let n = code.len();
+        let mut changed = false;
+        // 1. Jump threading against a snapshot of the original code,
+        //    so rewrite order cannot matter. A jump that lands on a
+        //    terminator becomes that terminator (Exit / TailCall are
+        //    pure control, safe to duplicate).
+        let snapshot = code.clone();
+        for i in 0..n {
+            let Some(t0) = snapshot[i].jump_target() else {
+                continue;
+            };
+            let t = Self::thread(&snapshot, t0);
+            match code[i] {
+                Insn::Jmp { .. } => {
+                    if let Some(term @ (Insn::Exit | Insn::TailCall { .. })) = snapshot.get(t) {
+                        code[i] = term.clone();
+                        changed = true;
+                    } else if t != t0 {
+                        code[i] = Insn::Jmp { target: t };
+                        changed = true;
+                    }
+                }
+                Insn::JmpIf { .. } | Insn::JmpIfImm { .. } if t != t0 => {
+                    match &mut code[i] {
+                        Insn::JmpIf { target, .. } | Insn::JmpIfImm { target, .. } => {
+                            *target = t;
+                        }
+                        _ => unreachable!(),
+                    }
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        // 2. Jumps to the immediately following instruction are no-ops
+        //    (comparisons are side-effect free).
+        let mut keep = vec![true; n];
+        for (i, insn) in code.iter().enumerate() {
+            if let Some(t) = insn.jump_target() {
+                if t == i + 1 {
+                    keep[i] = false;
+                }
+            }
+        }
+        // 3. Unreachable-code elimination: forward reachability from
+        //    instruction 0 over the post-threading CFG, treating
+        //    removed jump-to-next instructions as fall-through.
+        let mut reach = vec![false; n];
+        let mut stack = vec![0usize];
+        while let Some(i) = stack.pop() {
+            if i >= n || reach[i] {
+                continue;
+            }
+            reach[i] = true;
+            let insn = &code[i];
+            if !keep[i] {
+                stack.push(i + 1);
+                continue;
+            }
+            if insn.is_terminator() {
+                continue;
+            }
+            match insn {
+                Insn::Jmp { target } => stack.push(*target),
+                Insn::JmpIf { target, .. } | Insn::JmpIfImm { target, .. } => {
+                    stack.push(*target);
+                    stack.push(i + 1);
+                }
+                _ => stack.push(i + 1),
+            }
+        }
+        for i in 0..n {
+            if !reach[i] {
+                keep[i] = false;
+            }
+        }
+        compact(code, &keep) || changed
+    }
+}
+
+rkd_testkit::impl_json_unit_enum!(OptLevel { O0, O1, O2 });
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::AluOp;
+    use crate::ctxt::Ctxt;
+    use crate::dp::PrivacyLedger;
+    use crate::interp::{run_action, ActionOutcome, ExecEnv};
+    use crate::maps::{MapDef, MapInstance, MapKind};
+    use crate::prog::{PrivacyPolicy, ProgramBuilder};
+    use crate::table::MatchKind;
+    use crate::verifier::{reverify_action, verify};
+    use rkd_testkit::prop::Gen;
+    use rkd_testkit::rng::{Rng, SeedableRng, SliceRandom, StdRng};
+
+    const ALU_OPS: [AluOp; 12] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Mod,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Min,
+        AluOp::Max,
+    ];
+    const CMP_OPS: [CmpOp; 6] = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ];
+
+    /// Random instruction from the safe subset the differential suites
+    /// use, extended with context loads/stores so the specialization
+    /// pass sees real traffic. Field 0 is readonly, field 1 scratch.
+    fn gen_insn(g: &mut impl Rng) -> Insn {
+        match g.gen_range(0u8..11) {
+            0 => Insn::LdImm {
+                dst: Reg(g.gen_range(0u8..8)),
+                imm: g.gen_range(-1000i64..1000),
+            },
+            1 => Insn::Mov {
+                dst: Reg(g.gen_range(0u8..8)),
+                src: Reg(g.gen_range(0u8..8)),
+            },
+            2 => Insn::Alu {
+                op: *ALU_OPS.choose(g).expect("nonempty"),
+                dst: Reg(g.gen_range(0u8..8)),
+                src: Reg(g.gen_range(0u8..8)),
+            },
+            3 => Insn::AluImm {
+                op: *ALU_OPS.choose(g).expect("nonempty"),
+                dst: Reg(g.gen_range(0u8..8)),
+                imm: g.gen_range(-100i64..100),
+            },
+            4 => Insn::JmpIfImm {
+                cmp: *CMP_OPS.choose(g).expect("nonempty"),
+                lhs: Reg(g.gen_range(0u8..8)),
+                imm: g.gen_range(-50i64..50),
+                target: g.gen_range(0usize..64),
+            },
+            5 => Insn::MapUpdate {
+                map: crate::maps::MapId(g.gen_range(0u16..2)),
+                key: Reg(g.gen_range(0u8..8)),
+                value: Reg(g.gen_range(0u8..8)),
+            },
+            6 => Insn::MapLookup {
+                dst: Reg(g.gen_range(0u8..8)),
+                map: crate::maps::MapId(g.gen_range(0u16..2)),
+                key: Reg(g.gen_range(0u8..8)),
+                default: g.gen_range(-5i64..5),
+            },
+            7 => Insn::VectorPush {
+                dst: VReg(0),
+                src: Reg(g.gen_range(0u8..8)),
+            },
+            8 => Insn::LdCtxt {
+                dst: Reg(g.gen_range(0u8..8)),
+                field: FieldId(g.gen_range(0u16..2)),
+            },
+            9 => Insn::StCtxt {
+                field: FieldId(1),
+                src: Reg(g.gen_range(0u8..8)),
+            },
+            _ => Insn::ScalarVal {
+                dst: Reg(g.gen_range(0u8..8)),
+                src: VReg(0),
+                idx: g.gen_range(0u16..4),
+            },
+        }
+    }
+
+    /// Prologue-initialized, forward-jump-patched action (mirrors the
+    /// integration harness in `tests/common`).
+    fn make_action(raw: Vec<Insn>) -> Action {
+        let mut code: Vec<Insn> = (0..8u8)
+            .map(|r| Insn::LdImm {
+                dst: Reg(r),
+                imm: r as i64,
+            })
+            .collect();
+        code.push(Insn::VectorClear { dst: VReg(0) });
+        let body_start = code.len();
+        let body_len = raw.len();
+        for (i, mut insn) in raw.into_iter().enumerate() {
+            if let Insn::JmpIfImm { target, .. } = &mut insn {
+                let lo = i + 1;
+                let span = (body_len - lo).max(1);
+                *target = body_start + lo + (*target % span);
+            }
+            code.push(insn);
+        }
+        code.push(Insn::LdImm {
+            dst: Reg(0),
+            imm: 0,
+        });
+        code.push(Insn::Exit);
+        Action::new("generated", code)
+    }
+
+    /// Routes a generated action through the real verifier; `None`
+    /// when rejected (the properties only cover admitted programs).
+    fn admit(action: &Action) -> Option<u64> {
+        let mut b = ProgramBuilder::new("opt-prop");
+        let ro = b.field_readonly("ro");
+        b.field_scratch("scratch");
+        b.map("h", MapKind::Hash, 32);
+        b.map("r", MapKind::RingBuf, 8);
+        let act = b.action(action.clone());
+        b.table("t", "hook", &[ro], MatchKind::Exact, Some(act), 4);
+        verify(b.build()).ok().map(|v| v.worst_case_insns()[0])
+    }
+
+    struct Fx {
+        ctxt: Ctxt,
+        maps: Vec<MapInstance>,
+        rng: StdRng,
+        ledger: PrivacyLedger,
+    }
+
+    impl Fx {
+        fn new() -> Fx {
+            let hash = MapInstance::new(&MapDef {
+                name: "h".into(),
+                kind: MapKind::Hash,
+                capacity: 32,
+                shared: false,
+                per_cpu: false,
+            })
+            .unwrap();
+            let ring = MapInstance::new(&MapDef {
+                name: "r".into(),
+                kind: MapKind::RingBuf,
+                capacity: 8,
+                shared: false,
+                per_cpu: false,
+            })
+            .unwrap();
+            Fx {
+                ctxt: Ctxt::from_values(vec![7, 3]),
+                maps: vec![hash, ring],
+                rng: StdRng::seed_from_u64(99),
+                ledger: PrivacyLedger::new(10_000),
+            }
+        }
+
+        fn run(&mut self, action: &Action, fuel: u64, arg: i64) -> ActionOutcome {
+            let tensors = Vec::new();
+            let models = Vec::new();
+            let mut env = ExecEnv {
+                ctxt: &mut self.ctxt,
+                maps: &mut self.maps,
+                tensors: &tensors,
+                models: &models,
+                tick: 5,
+                rng: &mut self.rng,
+                ledger: &mut self.ledger,
+                privacy: PrivacyPolicy::default(),
+                ml_stats: &mut [],
+                time_ml: false,
+            };
+            run_action(action, fuel, arg, &mut env).expect("admitted action terminates")
+        }
+    }
+
+    /// Interprets `original` and `rewritten` on identical fixtures and
+    /// asserts identical observable behaviour (the rewritten body may
+    /// execute fewer instructions, never more).
+    fn assert_same_semantics(original: &Action, rewritten: &Action, fuel: u64, arg: i64) {
+        let mut fa = Fx::new();
+        let a = fa.run(original, fuel, arg);
+        let mut fb = Fx::new();
+        let b = fb.run(rewritten, fuel, arg);
+        assert_eq!(a.verdict, b.verdict, "verdict diverged");
+        assert_eq!(a.effects, b.effects, "effects diverged");
+        assert_eq!(a.tail_call, b.tail_call, "tail call diverged");
+        assert_eq!(a.guard_trips, b.guard_trips, "guard trips diverged");
+        assert!(
+            b.insns_executed <= a.insns_executed,
+            "optimization increased executed instructions ({} -> {})",
+            a.insns_executed,
+            b.insns_executed
+        );
+        assert_eq!(fa.ctxt, fb.ctxt, "context diverged");
+        for (x, y) in fa.maps.iter_mut().zip(fb.maps.iter_mut()) {
+            assert_eq!(
+                x.aggregate_sum(),
+                y.aggregate_sum(),
+                "map contents diverged"
+            );
+            assert_eq!(x.len(), y.len(), "map size diverged");
+        }
+    }
+
+    fn gen_admitted(g: &mut Gen) -> Option<(Action, u64, i64)> {
+        let len = g.scaled_len(0, 48);
+        let raw: Vec<_> = (0..len).map(|_| gen_insn(g)).collect();
+        let arg = g.gen_range(-1000i64..1000);
+        let action = make_action(raw);
+        admit(&action).map(|fuel| (action, fuel, arg))
+    }
+
+    fn single_pass_preserves(g: &mut Gen, pass: &dyn Pass) {
+        let Some((action, fuel, arg)) = gen_admitted(g) else {
+            return;
+        };
+        let mut code = action.code.clone();
+        pass.run(&mut code);
+        assert!(code.len() <= action.code.len(), "pass grew the body");
+        let rewritten = Action {
+            name: action.name.clone(),
+            code,
+            loop_bound: action.loop_bound,
+        };
+        assert_same_semantics(&action, &rewritten, fuel, arg);
+    }
+
+    rkd_testkit::prop_check!(const_fold_preserves_semantics, cases = 256, |g| {
+        single_pass_preserves(g, &ConstFold);
+    });
+
+    rkd_testkit::prop_check!(specialize_preserves_semantics, cases = 256, |g| {
+        single_pass_preserves(g, &Specialize);
+    });
+
+    rkd_testkit::prop_check!(dead_code_preserves_semantics, cases = 256, |g| {
+        single_pass_preserves(g, &DeadCode);
+    });
+
+    rkd_testkit::prop_check!(branch_fold_preserves_semantics, cases = 256, |g| {
+        single_pass_preserves(g, &BranchFold);
+    });
+
+    rkd_testkit::prop_check!(pipeline_preserves_and_reverifies, cases = 256, |g| {
+        let Some((action, fuel, arg)) = gen_admitted(g) else {
+            return;
+        };
+        let opt = optimize(&action, OptLevel::O2);
+        assert_same_semantics(&action, &opt.action, fuel, arg);
+        // Meta-safety: pipeline output must re-pass the verifier.
+        assert!(
+            admit(&opt.action).is_some(),
+            "optimized body failed re-verification"
+        );
+    });
+
+    rkd_testkit::prop_check!(pipeline_is_idempotent, cases = 256, |g| {
+        let Some((action, _, _)) = gen_admitted(g) else {
+            return;
+        };
+        let once = optimize(&action, OptLevel::O2);
+        let twice = optimize(&once.action, OptLevel::O2);
+        assert!(
+            twice.fired.is_empty(),
+            "second pipeline run fired {:?}",
+            twice.fired
+        );
+        assert_eq!(once.action.code, twice.action.code);
+    });
+
+    rkd_testkit::prop_check!(pipeline_reaches_fixpoint_within_bound, cases = 256, |g| {
+        let Some((action, _, _)) = gen_admitted(g) else {
+            return;
+        };
+        let opt = optimize(&action, OptLevel::O2);
+        // The last round must be a clean no-change round strictly
+        // inside the bound — hitting the bound means no fixpoint.
+        assert!(
+            opt.rounds < MAX_FIXPOINT_ROUNDS,
+            "pipeline did not reach fixpoint in {} rounds",
+            MAX_FIXPOINT_ROUNDS
+        );
+    });
+
+    rkd_testkit::prop_check!(pipeline_never_grows_instruction_count, cases = 256, |g| {
+        let Some((action, _, _)) = gen_admitted(g) else {
+            return;
+        };
+        let opt = optimize(&action, OptLevel::O2);
+        assert!(opt.action.code.len() <= action.code.len());
+    });
+
+    #[test]
+    fn opt_levels_order_and_default() {
+        assert_eq!(OptLevel::default(), OptLevel::O2);
+        assert!(passes_for(OptLevel::O0).is_empty());
+        assert_eq!(passes_for(OptLevel::O1).len(), 3);
+        assert_eq!(passes_for(OptLevel::O2).len(), 4);
+    }
+
+    #[test]
+    fn ctxt_writes_unions_store_targets() {
+        let a = Action::new(
+            "w",
+            vec![
+                Insn::LdImm {
+                    dst: Reg(0),
+                    imm: 1,
+                },
+                Insn::StCtxt {
+                    field: FieldId(3),
+                    src: Reg(0),
+                },
+                Insn::StCtxt {
+                    field: FieldId(1),
+                    src: Reg(0),
+                },
+                Insn::StCtxt {
+                    field: FieldId(3),
+                    src: Reg(0),
+                },
+                Insn::Exit,
+            ],
+        );
+        assert_eq!(ctxt_writes(&a), vec![FieldId(3), FieldId(1)]);
+    }
+
+    #[test]
+    fn loop_bound_and_back_edges_survive_optimization() {
+        // A verified counting loop: the optimizer must preserve the
+        // loop (r1 is live through the back edge) and its bound.
+        let a = Action::with_loop_bound(
+            "loop",
+            vec![
+                Insn::LdImm {
+                    dst: Reg(0),
+                    imm: 0,
+                },
+                Insn::LdImm {
+                    dst: Reg(1),
+                    imm: 10,
+                },
+                Insn::AluImm {
+                    op: AluOp::Sub,
+                    dst: Reg(1),
+                    imm: 1,
+                },
+                Insn::AluImm {
+                    op: AluOp::Add,
+                    dst: Reg(0),
+                    imm: 2,
+                },
+                Insn::JmpIfImm {
+                    cmp: CmpOp::Gt,
+                    lhs: Reg(1),
+                    imm: 0,
+                    target: 2,
+                },
+                Insn::Exit,
+            ],
+            16,
+        );
+        let fuel = admit(&a).expect("loop admits");
+        let opt = optimize(&a, OptLevel::O2);
+        assert_eq!(opt.action.loop_bound, Some(16));
+        assert_same_semantics(&a, &opt.action, fuel, 0);
+        let mut fx = Fx::new();
+        assert_eq!(fx.run(&opt.action, fuel, 0).verdict, 20);
+    }
+
+    #[test]
+    fn reverify_catches_broken_pass_output() {
+        // A deliberately-broken pass that strips the terminator; the
+        // re-verifier must reject its output (hard compile-time error
+        // in the install path).
+        struct StripExit;
+        impl Pass for StripExit {
+            fn name(&self) -> &'static str {
+                "strip-exit"
+            }
+            fn run(&self, code: &mut Vec<Insn>) -> bool {
+                let before = code.len();
+                code.retain(|i| !matches!(i, Insn::Exit));
+                code.len() != before
+            }
+        }
+        let a = Action::new(
+            "victim",
+            vec![
+                Insn::LdImm {
+                    dst: Reg(0),
+                    imm: 1,
+                },
+                Insn::Exit,
+            ],
+        );
+        let mut b = ProgramBuilder::new("broken");
+        let ro = b.field_readonly("ro");
+        let act = b.action(a.clone());
+        b.table("t", "hook", &[ro], MatchKind::Exact, Some(act), 4);
+        let prog = b.build();
+        let broken = optimize_with(&a, &[&StripExit], MAX_FIXPOINT_ROUNDS);
+        assert!(reverify_action(0, &broken.action, &prog).is_err());
+        // The honest pipeline's output re-verifies.
+        let good = optimize(&a, OptLevel::O2);
+        assert!(reverify_action(0, &good.action, &prog).is_ok());
+    }
+}

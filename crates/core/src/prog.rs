@@ -11,6 +11,7 @@
 use crate::bytecode::Action;
 use crate::ctxt::CtxtSchema;
 use crate::maps::{MapDef, MapId, MapKind};
+use crate::opt::OptLevel;
 use crate::table::{Entry, TableDef, TableId};
 use rkd_ml::cost::{Costed, LatencyClass, ModelCost};
 use rkd_ml::fixed::Fix;
@@ -147,6 +148,11 @@ pub struct RmtProgram {
     pub rate_limit: Option<RateLimitCfg>,
     /// Privacy policy (meaningful when any map is shared).
     pub privacy: PrivacyPolicy,
+    /// Optimization level for JIT compilation of this program's
+    /// actions (ignored in interpreter mode). Defaults to
+    /// [`OptLevel::O2`]; [`OptLevel::O0`] is the oracle path that
+    /// executes exactly the verified bytecode.
+    pub opt_level: OptLevel,
 }
 
 impl RmtProgram {
@@ -163,6 +169,7 @@ impl RmtProgram {
             models: Vec::new(),
             rate_limit: None,
             privacy: PrivacyPolicy::default(),
+            opt_level: OptLevel::default(),
         }
     }
 }
@@ -332,6 +339,13 @@ impl ProgramBuilder {
         self
     }
 
+    /// Sets the JIT optimization level (defaults to [`OptLevel::O2`];
+    /// [`OptLevel::O0`] compiles the verified bytecode unchanged).
+    pub fn opt_level(&mut self, level: OptLevel) -> &mut Self {
+        self.prog.opt_level = level;
+        self
+    }
+
     /// Finishes the build.
     pub fn build(self) -> RmtProgram {
         self.prog
@@ -449,5 +463,6 @@ rkd_testkit::impl_json_struct!(RmtProgram {
     tensors,
     models,
     rate_limit,
-    privacy
+    privacy,
+    opt_level
 });

@@ -255,6 +255,7 @@ impl ShardedMachine {
             | CtrlRequest::UpdateModel { .. }
             | CtrlRequest::MapUpdate { .. }
             | CtrlRequest::ObsReset
+            | CtrlRequest::SetOptLevel { .. }
             | CtrlRequest::SetDecisionCacheCapacity { .. } => self.publish(req),
             CtrlRequest::MapLookup { prog, map, key } => self.map_lookup(prog, map, key),
             CtrlRequest::QueryStats { prog } => Ok(CtrlResponse::Stats(self.stats(prog)?)),

@@ -130,6 +130,33 @@ pub fn verify_with(
     })
 }
 
+/// Re-verifies a single (possibly rewritten) action body against the
+/// program it belongs to, returning its worst-case dynamic instruction
+/// count. This is the verify-after-optimize gate: the optimizer's
+/// output must re-pass the CFG and dataflow passes before the JIT will
+/// accept it, so a buggy pass is a hard compile-time error rather than
+/// an installed miscompilation.
+///
+/// Structural, model, tail-call, interference, and privacy checks are
+/// not repeated — optimization rewrites one body in place and cannot
+/// change table wiring, map topology, or worst-case bounds upward (the
+/// pipeline never grows an action). Resource limits are lifted to
+/// their maxima here because the original program may have been
+/// admitted under a custom [`VerifierConfig`]; soundness (termination,
+/// initialized registers, valid field and map references) is what this
+/// gate re-establishes, and those checks do not relax.
+pub fn reverify_action(id: u16, action: &Action, prog: &RmtProgram) -> Result<u64, VerifyError> {
+    let cfg = VerifierConfig {
+        max_insns_per_action: usize::MAX,
+        exec_budget: u64::MAX,
+        forbidden_helpers: Vec::new(),
+        ..VerifierConfig::default()
+    };
+    let wc = check_cfg(id, action, &cfg)?;
+    check_dataflow(id, action, prog, &cfg)?;
+    Ok(wc)
+}
+
 /// Pass 1: structural well-formedness.
 fn check_structure(prog: &RmtProgram, cfg: &VerifierConfig) -> Result<(), VerifyError> {
     if prog.tables.len() > cfg.max_tables {

@@ -47,6 +47,16 @@ if ! grep -q 'speedup_gate ternary_4096.*PASS' /tmp/rkd_bench_tables.out; then
 fi
 test -s BENCH_tables.json || { echo "ERROR: BENCH_tables.json was not written" >&2; exit 1; }
 
+echo "==> bench_vm smoke (optimizer O0-vs-opt gate + BENCH_opt.json)"
+RKD_BENCH_WARMUP_MS=5 RKD_BENCH_MEASURE_MS=20 RKD_BENCH_SAMPLES=5 \
+    RKD_BENCH_OPT_JSON="$PWD/BENCH_opt.json" \
+    cargo bench --offline -q -p rkd-bench --bench bench_vm | tee /tmp/rkd_bench_vm.out
+if ! grep -q 'speedup_gate opt_const_pipeline.*PASS' /tmp/rkd_bench_vm.out; then
+    echo "ERROR: optimizer gate failed (< 1.2x median over O0 on the constant-heavy pipeline)" >&2
+    exit 1
+fi
+test -s BENCH_opt.json || { echo "ERROR: BENCH_opt.json was not written" >&2; exit 1; }
+
 echo "==> bench_parallel smoke (sharded scaling gate + BENCH_parallel.json)"
 RKD_BENCH_PARALLEL_JSON="$PWD/BENCH_parallel.json" \
     cargo bench --offline -q -p rkd-bench --bench bench_parallel | tee /tmp/rkd_bench_parallel.out

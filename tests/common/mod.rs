@@ -1,6 +1,7 @@
 //! Shared harness for the VM differential tests: a PRNG-driven
-//! generator of safe-subset bytecode and the interp-vs-JIT equivalence
-//! checker both `vm_equivalence` and `differential_smoke` drive.
+//! generator of safe-subset bytecode and the three-way equivalence
+//! checker (interpreter vs unoptimized JIT vs optimized JIT) that
+//! `vm_equivalence` and `differential_smoke` drive.
 
 #![allow(dead_code)] // Each test target uses a different subset.
 
@@ -10,6 +11,7 @@ use rkd::core::dp::PrivacyLedger;
 use rkd::core::interp::{run_action, ExecEnv};
 use rkd::core::jit::CompiledAction;
 use rkd::core::maps::{MapDef, MapId, MapInstance, MapKind};
+use rkd::core::opt::OptLevel;
 use rkd::core::prog::{PrivacyPolicy, ProgramBuilder};
 use rkd::core::table::MatchKind;
 use rkd::core::verifier::verify;
@@ -157,9 +159,45 @@ impl Fx {
     }
 }
 
+/// Runs `action` on one engine against a fresh fixture and returns the
+/// outcome plus the fixture's final state.
+fn run_engine(
+    action: &rkd::core::bytecode::Action,
+    compiled: Option<&CompiledAction>,
+    fuel: u64,
+    arg: i64,
+) -> (rkd::core::interp::ActionOutcome, Fx) {
+    let mut fx = Fx::new();
+    let outcome = {
+        let tensors = Vec::new();
+        let models = Vec::new();
+        let mut env = ExecEnv {
+            ctxt: &mut fx.ctxt,
+            maps: &mut fx.maps,
+            tensors: &tensors,
+            models: &models,
+            tick: 5,
+            rng: &mut fx.rng,
+            ledger: &mut fx.ledger,
+            privacy: PrivacyPolicy::default(),
+            ml_stats: &mut [],
+            time_ml: false,
+        };
+        match compiled {
+            Some(c) => c.run(fuel, arg, &mut env),
+            None => run_action(action, fuel, arg, &mut env),
+        }
+    };
+    (
+        outcome.expect("admitted program terminates within bound"),
+        fx,
+    )
+}
+
 /// Generates an action, routes it through the real verifier, and (for
-/// admitted programs) asserts that interpretation and JIT execution
-/// agree bit-for-bit on outcome, context, and map state.
+/// admitted programs) asserts the three-way oracle: interpretation,
+/// unoptimized (O0) JIT, and optimized JIT execution agree bit-for-bit
+/// on outcome, context, and map state.
 pub fn check_interp_jit_equivalence(raw: Vec<Insn>, arg: i64) {
     run_interp_jit_equivalence(raw, arg);
 }
@@ -184,52 +222,44 @@ pub fn run_interp_jit_equivalence(raw: Vec<Insn>, arg: i64) -> bool {
     };
     let fuel = verified.worst_case_insns()[0];
 
-    let mut fx_i = Fx::new();
-    let interp = {
-        let tensors = Vec::new();
-        let models = Vec::new();
-        let mut env = ExecEnv {
-            ctxt: &mut fx_i.ctxt,
-            maps: &mut fx_i.maps,
-            tensors: &tensors,
-            models: &models,
-            tick: 5,
-            rng: &mut fx_i.rng,
-            ledger: &mut fx_i.ledger,
-            privacy: PrivacyPolicy::default(),
-            ml_stats: &mut [],
-            time_ml: false,
-        };
-        run_action(&action, fuel, arg, &mut env)
-    };
-    let mut fx_j = Fx::new();
-    let jit = {
-        let compiled = CompiledAction::compile(&action).unwrap();
-        let tensors = Vec::new();
-        let models = Vec::new();
-        let mut env = ExecEnv {
-            ctxt: &mut fx_j.ctxt,
-            maps: &mut fx_j.maps,
-            tensors: &tensors,
-            models: &models,
-            tick: 5,
-            rng: &mut fx_j.rng,
-            ledger: &mut fx_j.ledger,
-            privacy: PrivacyPolicy::default(),
-            ml_stats: &mut [],
-            time_ml: false,
-        };
-        compiled.run(fuel, arg, &mut env)
-    };
+    // Engine 1: the interpreter (reference semantics).
+    let (interp, mut fx_i) = run_engine(&action, None, fuel, arg);
     // Soundness: an admitted program must not exhaust its verified
     // fuel.
-    let interp = interp.expect("admitted program terminates within bound");
     assert!(interp.insns_executed <= fuel);
-    // Equivalence: identical outcome and identical side effects.
-    let jit = jit.expect("jit matches interp success");
+
+    // Engine 2: the unoptimized (O0 oracle path) JIT — bit-for-bit
+    // identical, including the dynamic instruction count.
+    let unopt = CompiledAction::compile(&action).unwrap();
+    let (jit, mut fx_j) = run_engine(&action, Some(&unopt), fuel, arg);
     assert_eq!(interp, jit);
     assert_eq!(fx_i.ctxt, fx_j.ctxt);
     for (a, b) in fx_i.maps.iter_mut().zip(fx_j.maps.iter_mut()) {
+        assert_eq!(a.aggregate_sum(), b.aggregate_sum());
+        assert_eq!(a.len(), b.len());
+    }
+
+    // Engine 3: the optimized JIT. compile_optimized re-verifies the
+    // rewritten body (meta-safety: a pass emitting an inadmissible
+    // body is a hard compile error, which this corpus would surface).
+    let (optimized, _wc) =
+        CompiledAction::compile_optimized(0, &action, verified.prog(), OptLevel::O2, fuel)
+            .expect("optimizer output must re-pass the verifier");
+    let (opt, mut fx_o) = run_engine(&action, Some(&optimized), fuel, arg);
+    // Same observable outcome; the optimized body may execute fewer
+    // dynamic instructions, never more.
+    assert_eq!(interp.verdict, opt.verdict);
+    assert_eq!(interp.effects, opt.effects);
+    assert_eq!(interp.tail_call, opt.tail_call);
+    assert_eq!(interp.guard_trips, opt.guard_trips);
+    assert!(
+        opt.insns_executed <= interp.insns_executed,
+        "optimization increased executed instructions ({} -> {})",
+        interp.insns_executed,
+        opt.insns_executed
+    );
+    assert_eq!(fx_i.ctxt, fx_o.ctxt);
+    for (a, b) in fx_i.maps.iter_mut().zip(fx_o.maps.iter_mut()) {
         assert_eq!(a.aggregate_sum(), b.aggregate_sum());
         assert_eq!(a.len(), b.len());
     }

@@ -1,13 +1,16 @@
-//! Differential interp-vs-JIT smoke test over 1,000 PRNG-generated
-//! valid programs.
+//! Three-way differential smoke test over 1,000 PRNG-generated valid
+//! programs: interpreter vs unoptimized (O0) JIT vs optimized JIT.
 //!
 //! Unlike the property test in `vm_equivalence.rs` (which explores
 //! random case seeds per run configuration), this suite pins a single
 //! base seed so the exact same 1,000 programs are checked on every run
-//! — a reproducible regression net for the JIT. Each program is built
-//! from the safe instruction subset, routed through the real verifier,
-//! and (when admitted) executed by both engines, asserting identical
-//! outcomes, context, and map state.
+//! — a reproducible regression net for the JIT and the optimizer. Each
+//! program is built from the safe instruction subset, routed through
+//! the real verifier, and (when admitted) executed by all three
+//! engines, asserting identical outcomes, context, and map state; the
+//! optimized engine additionally re-passes the verifier on every
+//! rewritten body (the corpus-wide meta-safety check) and must never
+//! execute more dynamic instructions than the interpreter.
 
 mod common;
 
@@ -17,7 +20,7 @@ const PROGRAMS: usize = 1_000;
 const BASE_SEED: u64 = 0xD1FF_5EED_2026_0806;
 
 #[test]
-fn interp_and_jit_agree_on_1000_seeded_programs() {
+fn interp_unoptimized_jit_and_optimized_jit_agree_on_1000_seeded_programs() {
     let mut admitted = 0usize;
     for i in 0..PROGRAMS {
         // One independent, reproducible stream per program.

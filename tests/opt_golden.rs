@@ -1,0 +1,432 @@
+//! Pinned golden tests for the optimizing-pass pipeline: hand-written
+//! bytecode with the exact expected post-optimization instruction
+//! stream for each pass. A pass regression shows up here as a readable
+//! stream diff, not as "divergence at seed N" in the differential
+//! suite.
+//!
+//! Also pins the verify-after-optimize invariant with a deliberately
+//! broken mock pass: optimizer output that fails re-verification is a
+//! hard compile-time error, never an installed body.
+
+use rkd::core::bytecode::{Action, AluOp, CmpOp, Insn, Reg};
+use rkd::core::ctxt::FieldId;
+use rkd::core::error::VmError;
+use rkd::core::jit::CompiledAction;
+use rkd::core::opt::{optimize, BranchFold, ConstFold, DeadCode, OptLevel, Pass, Specialize};
+use rkd::core::prog::ProgramBuilder;
+use rkd::core::table::MatchKind;
+
+fn run_once(pass: &dyn Pass, input: Vec<Insn>) -> Vec<Insn> {
+    let mut code = input;
+    pass.run(&mut code);
+    code
+}
+
+#[test]
+fn const_fold_golden() {
+    // Constants propagate through Mov/Alu/AluImm and decide the
+    // comparison; the decided branch becomes an unconditional Jmp
+    // (collected by BranchFold later), everything else stays 1:1.
+    let input = vec![
+        Insn::LdImm {
+            dst: Reg(1),
+            imm: 7,
+        },
+        Insn::Mov {
+            dst: Reg(2),
+            src: Reg(1),
+        },
+        Insn::Alu {
+            op: AluOp::Add,
+            dst: Reg(2),
+            src: Reg(1),
+        },
+        Insn::AluImm {
+            op: AluOp::Mul,
+            dst: Reg(2),
+            imm: 3,
+        },
+        Insn::JmpIfImm {
+            cmp: CmpOp::Eq,
+            lhs: Reg(2),
+            imm: 42,
+            target: 6,
+        },
+        Insn::LdImm {
+            dst: Reg(2),
+            imm: 0,
+        },
+        Insn::Mov {
+            dst: Reg(0),
+            src: Reg(2),
+        },
+        Insn::Exit,
+    ];
+    let expected = vec![
+        Insn::LdImm {
+            dst: Reg(1),
+            imm: 7,
+        },
+        Insn::LdImm {
+            dst: Reg(2),
+            imm: 7,
+        },
+        Insn::LdImm {
+            dst: Reg(2),
+            imm: 14,
+        },
+        Insn::LdImm {
+            dst: Reg(2),
+            imm: 42,
+        },
+        // 42 == 42: the conditional is decided taken.
+        Insn::Jmp { target: 6 },
+        Insn::LdImm {
+            dst: Reg(2),
+            imm: 0,
+        },
+        // Instruction 6 is a jump target (block leader): constant
+        // state resets there, so the Mov survives.
+        Insn::Mov {
+            dst: Reg(0),
+            src: Reg(2),
+        },
+        Insn::Exit,
+    ];
+    assert_eq!(run_once(&ConstFold, input), expected);
+}
+
+#[test]
+fn const_fold_turns_register_compare_into_immediate_compare() {
+    let input = vec![
+        Insn::LdImm {
+            dst: Reg(1),
+            imm: 10,
+        },
+        Insn::JmpIf {
+            cmp: CmpOp::Lt,
+            lhs: Reg(3),
+            rhs: Reg(1),
+            target: 3,
+        },
+        Insn::LdImm {
+            dst: Reg(0),
+            imm: 0,
+        },
+        Insn::Exit,
+    ];
+    let expected = vec![
+        Insn::LdImm {
+            dst: Reg(1),
+            imm: 10,
+        },
+        // r3 is unknown but the rhs is constant: JmpIf -> JmpIfImm.
+        Insn::JmpIfImm {
+            cmp: CmpOp::Lt,
+            lhs: Reg(3),
+            imm: 10,
+            target: 3,
+        },
+        Insn::LdImm {
+            dst: Reg(0),
+            imm: 0,
+        },
+        Insn::Exit,
+    ];
+    assert_eq!(run_once(&ConstFold, input), expected);
+}
+
+#[test]
+fn dead_store_golden() {
+    // The first StCtxt is overwritten before any read; the self-move
+    // and the never-read register definition are dead too. The second
+    // StCtxt is observable at action exit and must survive.
+    let input = vec![
+        Insn::LdImm {
+            dst: Reg(1),
+            imm: 5,
+        },
+        Insn::StCtxt {
+            field: FieldId(1),
+            src: Reg(1),
+        },
+        Insn::LdImm {
+            dst: Reg(2),
+            imm: 6,
+        },
+        Insn::Mov {
+            dst: Reg(3),
+            src: Reg(3),
+        },
+        Insn::StCtxt {
+            field: FieldId(1),
+            src: Reg(2),
+        },
+        Insn::LdImm {
+            dst: Reg(4),
+            imm: 123,
+        },
+        Insn::LdImm {
+            dst: Reg(0),
+            imm: 0,
+        },
+        Insn::Exit,
+    ];
+    let expected = vec![
+        // r1's definition is only dead once its (dead) store is gone —
+        // a later fixpoint round collects it; one DeadCode run keeps it.
+        Insn::LdImm {
+            dst: Reg(1),
+            imm: 5,
+        },
+        Insn::LdImm {
+            dst: Reg(2),
+            imm: 6,
+        },
+        Insn::StCtxt {
+            field: FieldId(1),
+            src: Reg(2),
+        },
+        Insn::LdImm {
+            dst: Reg(0),
+            imm: 0,
+        },
+        Insn::Exit,
+    ];
+    assert_eq!(run_once(&DeadCode, input.clone()), expected);
+    // The full pipeline reaches the fixpoint: the stranded r1
+    // definition goes too.
+    let pipeline_expected = vec![
+        Insn::LdImm {
+            dst: Reg(2),
+            imm: 6,
+        },
+        Insn::StCtxt {
+            field: FieldId(1),
+            src: Reg(2),
+        },
+        Insn::LdImm {
+            dst: Reg(0),
+            imm: 0,
+        },
+        Insn::Exit,
+    ];
+    let opt = optimize(&Action::new("g", input), OptLevel::O2);
+    assert_eq!(opt.action.code, pipeline_expected);
+}
+
+#[test]
+fn branch_fold_golden() {
+    // Threading follows the Jmp chain, a jump landing on Exit becomes
+    // Exit, unreachable instructions vanish, and surviving targets are
+    // rewritten to the compacted positions.
+    let input = vec![
+        Insn::JmpIfImm {
+            cmp: CmpOp::Eq,
+            lhs: Reg(0),
+            imm: 0,
+            target: 4,
+        },
+        Insn::LdImm {
+            dst: Reg(1),
+            imm: 1,
+        },
+        Insn::Jmp { target: 6 },
+        Insn::LdImm {
+            dst: Reg(1),
+            imm: 2,
+        },
+        Insn::Jmp { target: 6 },
+        Insn::LdImm {
+            dst: Reg(1),
+            imm: 3,
+        },
+        Insn::Exit,
+    ];
+    let expected = vec![
+        // Threaded through the Jmp at 4 onto the Exit at 6, then
+        // rewritten to the compacted position of that Exit.
+        Insn::JmpIfImm {
+            cmp: CmpOp::Eq,
+            lhs: Reg(0),
+            imm: 0,
+            target: 3,
+        },
+        Insn::LdImm {
+            dst: Reg(1),
+            imm: 1,
+        },
+        // Jmp-to-Exit duplicates the terminator in place.
+        Insn::Exit,
+        Insn::Exit,
+    ];
+    assert_eq!(run_once(&BranchFold, input), expected);
+}
+
+#[test]
+fn specialize_golden() {
+    // Store-to-load forwarding: both reloads of the stored field
+    // become register moves.
+    let input = vec![
+        Insn::LdImm {
+            dst: Reg(1),
+            imm: 9,
+        },
+        Insn::StCtxt {
+            field: FieldId(2),
+            src: Reg(1),
+        },
+        Insn::LdCtxt {
+            dst: Reg(3),
+            field: FieldId(2),
+        },
+        Insn::LdCtxt {
+            dst: Reg(4),
+            field: FieldId(2),
+        },
+        Insn::Exit,
+    ];
+    let expected = vec![
+        Insn::LdImm {
+            dst: Reg(1),
+            imm: 9,
+        },
+        Insn::StCtxt {
+            field: FieldId(2),
+            src: Reg(1),
+        },
+        Insn::Mov {
+            dst: Reg(3),
+            src: Reg(1),
+        },
+        Insn::Mov {
+            dst: Reg(4),
+            src: Reg(1),
+        },
+        Insn::Exit,
+    ];
+    assert_eq!(run_once(&Specialize, input), expected);
+}
+
+#[test]
+fn specialize_cse_golden() {
+    // Redundant-load CSE: a second load of the same field becomes a
+    // move from the register that already holds it.
+    let input = vec![
+        Insn::LdCtxt {
+            dst: Reg(1),
+            field: FieldId(0),
+        },
+        Insn::LdCtxt {
+            dst: Reg(2),
+            field: FieldId(0),
+        },
+        Insn::Exit,
+    ];
+    let expected = vec![
+        Insn::LdCtxt {
+            dst: Reg(1),
+            field: FieldId(0),
+        },
+        Insn::Mov {
+            dst: Reg(2),
+            src: Reg(1),
+        },
+        Insn::Exit,
+    ];
+    assert_eq!(run_once(&Specialize, input), expected);
+}
+
+#[test]
+fn full_pipeline_golden() {
+    // A constant-heavy body collapses to its final verdict: constant
+    // folding decides everything, dead code strips the scaffolding,
+    // branch folding removes the decided jump and the dead tail.
+    let input = vec![
+        Insn::LdImm {
+            dst: Reg(1),
+            imm: 6,
+        },
+        Insn::LdImm {
+            dst: Reg(2),
+            imm: 7,
+        },
+        Insn::Alu {
+            op: AluOp::Mul,
+            dst: Reg(1),
+            src: Reg(2),
+        },
+        Insn::Mov {
+            dst: Reg(0),
+            src: Reg(1),
+        },
+        Insn::JmpIfImm {
+            cmp: CmpOp::Ge,
+            lhs: Reg(0),
+            imm: 0,
+            target: 6,
+        },
+        Insn::AluImm {
+            op: AluOp::Add,
+            dst: Reg(0),
+            imm: 1,
+        },
+        Insn::Exit,
+    ];
+    let opt = optimize(&Action::new("g", input), OptLevel::O2);
+    assert_eq!(
+        opt.action.code,
+        vec![
+            Insn::LdImm {
+                dst: Reg(0),
+                imm: 42,
+            },
+            Insn::Exit,
+        ]
+    );
+}
+
+/// The verify-after-optimize invariant, pinned end to end through the
+/// JIT compile path: a deliberately broken pass whose output drops the
+/// terminator must surface as a hard `VmError::Verify` from
+/// `compile_optimized_with`, exactly what `install` would propagate.
+#[test]
+fn broken_pass_is_a_hard_compile_error() {
+    struct StripExit;
+    impl Pass for StripExit {
+        fn name(&self) -> &'static str {
+            "strip-exit"
+        }
+        fn run(&self, code: &mut Vec<Insn>) -> bool {
+            let before = code.len();
+            code.retain(|i| !matches!(i, Insn::Exit));
+            code.len() != before
+        }
+    }
+
+    let action = Action::new(
+        "victim",
+        vec![
+            Insn::LdImm {
+                dst: Reg(0),
+                imm: 1,
+            },
+            Insn::Exit,
+        ],
+    );
+    let mut b = ProgramBuilder::new("broken");
+    let pid = b.field_readonly("pid");
+    let act = b.action(action.clone());
+    b.table("t", "hook", &[pid], MatchKind::Exact, Some(act), 4);
+    let prog = b.build();
+
+    let err = CompiledAction::compile_optimized_with(0, &action, &prog, &[&StripExit], 100)
+        .expect_err("terminator-stripping pass must fail re-verification");
+    assert!(
+        matches!(err, VmError::Verify(_)),
+        "expected VmError::Verify, got {err:?}"
+    );
+
+    // The honest pipeline compiles the same action fine.
+    assert!(CompiledAction::compile_optimized(0, &action, &prog, OptLevel::O2, 100).is_ok());
+}
