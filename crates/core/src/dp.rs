@@ -30,6 +30,21 @@ impl PrivacyLedger {
         }
     }
 
+    /// Rebuilds a ledger from snapshotted accounting: total budget plus
+    /// what had already been spent. `spent` is clamped to the budget so
+    /// a hand-edited snapshot can never manufacture negative spend.
+    pub fn restore(budget_milli_eps: u64, spent_milli_eps: u64) -> PrivacyLedger {
+        PrivacyLedger {
+            budget_milli_eps,
+            spent_milli_eps: spent_milli_eps.min(budget_milli_eps),
+        }
+    }
+
+    /// Total budget the ledger was created with.
+    pub fn budget_milli_eps(&self) -> u64 {
+        self.budget_milli_eps
+    }
+
     /// Remaining budget.
     pub fn remaining_milli_eps(&self) -> u64 {
         self.budget_milli_eps.saturating_sub(self.spent_milli_eps)

@@ -57,6 +57,7 @@ pub mod error;
 pub mod guard;
 pub mod interp;
 pub mod jit;
+pub mod journal;
 pub mod machine;
 pub mod maps;
 pub mod obs;

@@ -17,16 +17,16 @@ use crate::dp::PrivacyLedger;
 use crate::error::VmError;
 use crate::interp::{run_action, ActionOutcome, Effect, ExecEnv};
 use crate::jit::CompiledAction;
-use crate::maps::{MapId, MapInstance};
+use crate::maps::{MapId, MapInstance, MapState};
 use crate::obs::{
     FlightFrame, FlightHookPoint, FlightModelPoint, FlightSnapshot, HookStats, Log2Hist,
-    ModelStats, ModelStatsSnapshot, Obs, ObsConfig, ObsSnapshot, ProgHist, TraceEvent, TraceKind,
-    TraceSnapshot,
+    ModelStats, ModelStatsSnapshot, ModelStatsState, Obs, ObsConfig, ObsSnapshot, ObsState,
+    ProgHist, TraceEvent, TraceKind, TraceSnapshot,
 };
 use crate::opt::OptLevel;
 use crate::prog::{ModelSpec, RmtProgram};
 use crate::table::{Entry, MatchKind, Table, TableId, TableStats};
-use crate::verifier::VerifiedProgram;
+use crate::verifier::{verify_with, VerifiedProgram, VerifierConfig};
 use rkd_ml::cost::CostBudget;
 use rkd_testkit::rng::SeedableRng;
 use rkd_testkit::rng::StdRng;
@@ -236,6 +236,18 @@ impl TokenBucket {
             refill_per_tick,
             last_tick: 0,
         }
+    }
+
+    /// Current fill level as `(tokens, last_tick)` for snapshotting.
+    fn level(&self) -> (u64, u64) {
+        (self.tokens, self.last_tick)
+    }
+
+    /// Overlays a snapshotted fill level; `tokens` is clamped to the
+    /// capacity so a hand-edited snapshot cannot mint extra budget.
+    fn restore_level(&mut self, tokens: u64, last_tick: u64) {
+        self.tokens = tokens.min(self.capacity);
+        self.last_tick = last_tick;
     }
 
     fn try_take(&mut self, n: u64, now: u64) -> bool {
@@ -1620,6 +1632,290 @@ impl RmtMachine {
     pub fn serve_metrics_once(&self, listener: &std::net::TcpListener) -> std::io::Result<String> {
         crate::obs::export::serve_once(listener, &self.obs_snapshot())
     }
+
+    /// Serves metrics scrapes and read-only `/ctrl/*` queries from
+    /// `listener` until `stop` flips — the persistent sibling of
+    /// [`RmtMachine::serve_metrics_once`] for operating a long-running
+    /// machine (see [`crate::obs::export::serve_until`]). Returns the
+    /// number of connections answered.
+    pub fn serve_metrics_until(
+        &mut self,
+        listener: &std::net::TcpListener,
+        stop: &std::sync::atomic::AtomicBool,
+    ) -> std::io::Result<u64> {
+        crate::obs::export::serve_until(
+            listener,
+            self,
+            stop,
+            crate::obs::export::ServeOptions::default(),
+        )
+    }
+}
+
+impl crate::obs::export::MetricsSource for RmtMachine {
+    fn obs(&mut self) -> ObsSnapshot {
+        self.obs_snapshot()
+    }
+
+    fn ctrl_query(&mut self, path: &str) -> Option<String> {
+        match path {
+            "/ctrl/counters" => Some(rkd_testkit::json::to_string(&self.machine_counters())),
+            "/ctrl/models" => Some(rkd_testkit::json::to_string(&self.obs_snapshot().models)),
+            _ => None,
+        }
+    }
+}
+
+/// Serialized state of one table: entries in insertion order (the
+/// order that reproduces seq-based tie-breaks on re-insert) plus
+/// hit/miss statistics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableState {
+    /// Live entries, oldest insertion first.
+    pub entries: Vec<Entry>,
+    /// Hit/miss counters.
+    pub stats: TableStats,
+}
+
+/// Serialized runtime state of one installed program: the program
+/// itself (re-verified on restore) plus everything the machine mutates
+/// after install.
+#[derive(Clone, Debug)]
+pub struct ProgramState {
+    /// Installed program id.
+    pub id: u32,
+    /// The full program, including its opt level. Restore re-runs the
+    /// verifier over this — a snapshot is control-plane input, not
+    /// trusted state.
+    pub prog: RmtProgram,
+    /// Execution mode (JIT bodies are recompiled on restore, never
+    /// serialized).
+    pub mode: ExecMode,
+    /// Per-table runtime entries and stats, in table declaration order.
+    pub tables: Vec<TableState>,
+    /// Per-map contents, in map declaration order.
+    pub maps: Vec<MapState>,
+    /// Exact PRNG position, so restored DP noise continues the stream.
+    pub rng_state: [u64; 4],
+    /// Privacy budget already spent, in milli-epsilon.
+    pub ledger_spent_milli_eps: u64,
+    /// Rate-limiter fill as `(tokens, last_tick)`, if the program has
+    /// a rate limit.
+    pub bucket: Option<(u64, u64)>,
+    /// Per-program runtime counters.
+    pub stats: ProgStats,
+    /// Per-pipeline-run latency histogram.
+    pub hist: Log2Hist,
+    /// Per-model-slot telemetry (confusion matrices, windows, drift
+    /// latch), in model-slot order.
+    pub model_stats: Vec<ModelStatsState>,
+}
+
+/// Per-hook observability carried across snapshot/restore.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HookState {
+    /// Hook name.
+    pub hook: String,
+    /// Armed firings since the last obs reset.
+    pub fires: u64,
+    /// Whole-fire latency histogram (ns).
+    pub hist: Log2Hist,
+}
+
+/// Complete serializable state of an [`RmtMachine`]: installed
+/// programs with their runtime state, per-hook observability, and the
+/// observability layer. Produced by [`RmtMachine::snapshot`], consumed
+/// by [`RmtMachine::restore`]; serializes through
+/// [`crate::snapshot::to_json_string`].
+///
+/// Decision caches are deliberately absent: they are memoization, not
+/// state — a restored machine rebuilds them on first firings and
+/// produces bit-identical verdicts either way.
+#[derive(Clone, Debug)]
+pub struct MachineSnapshot {
+    /// Monotonic tick at snapshot time.
+    pub tick: u64,
+    /// Next program id the machine would assign.
+    pub next_id: u32,
+    /// Table generation (cache-invalidation counter).
+    pub table_generation: u64,
+    /// Per-hook decision-cache capacity.
+    pub decision_cache_cap: usize,
+    /// Installed programs, ascending id order.
+    pub programs: Vec<ProgramState>,
+    /// Per-hook fires/latency, sorted by hook name.
+    pub hooks: Vec<HookState>,
+    /// Observability layer (counters, trace backlog, flight recorder).
+    pub obs: ObsState,
+}
+
+impl RmtMachine {
+    /// Captures the machine's complete state as a serializable
+    /// [`MachineSnapshot`]. Lossless for everything that affects
+    /// behavior or telemetry: a [`RmtMachine::restore`] of the result
+    /// fires identically to this machine from here on.
+    pub fn snapshot(&self) -> MachineSnapshot {
+        let programs = self
+            .programs
+            .iter()
+            .map(|(&id, inst)| ProgramState {
+                id,
+                prog: inst.prog.clone(),
+                mode: inst.mode,
+                tables: inst
+                    .tables
+                    .iter()
+                    .map(|t| TableState {
+                        entries: t.entries_in_insertion_order(),
+                        stats: t.stats(),
+                    })
+                    .collect(),
+                maps: inst.maps.iter().map(MapInstance::export_state).collect(),
+                rng_state: inst.rng.state(),
+                ledger_spent_milli_eps: inst.ledger.spent_milli_eps(),
+                bucket: inst.bucket.as_ref().map(TokenBucket::level),
+                stats: inst.stats,
+                hist: inst.hist.clone(),
+                model_stats: inst
+                    .model_stats
+                    .iter()
+                    .map(ModelStats::export_state)
+                    .collect(),
+            })
+            .collect();
+        let mut hooks: Vec<HookState> = self
+            .hook_index
+            .iter()
+            .map(|(name, s)| HookState {
+                hook: name.clone(),
+                fires: s.fires,
+                hist: s.hist.clone(),
+            })
+            .collect();
+        hooks.sort_by(|a, b| a.hook.cmp(&b.hook));
+        MachineSnapshot {
+            tick: self.tick,
+            next_id: self.next_id,
+            table_generation: self.table_gen,
+            decision_cache_cap: self.decision_cache_cap,
+            programs,
+            hooks,
+            obs: self.obs.export_state(),
+        }
+    }
+
+    /// Rebuilds a machine from a snapshot. Every program **re-passes
+    /// the verifier** (against `vcfg`) before installation — a snapshot
+    /// is untrusted control-plane input, so recovery stays outside the
+    /// trusted base; a program that no longer verifies rejects the
+    /// whole snapshot. Runtime state (table entries, map contents, RNG
+    /// position, ledgers, rate-limiter fill, telemetry) is overlaid
+    /// after installation, and in JIT mode actions are recompiled from
+    /// the verified program rather than deserialized.
+    pub fn restore(snap: MachineSnapshot, vcfg: &VerifierConfig) -> Result<RmtMachine, VmError> {
+        let mut m = RmtMachine::new();
+        let mut last_id = 0u32;
+        for ps in snap.programs {
+            if ps.id <= last_id {
+                return Err(VmError::BadRequest(format!(
+                    "snapshot program ids must be ascending and nonzero (saw {} after {})",
+                    ps.id, last_id
+                )));
+            }
+            // The trust boundary: nothing from the snapshot executes
+            // unless the program passes the same verifier gate a fresh
+            // install would.
+            let vp = verify_with(ps.prog.clone(), vcfg).map_err(VmError::Verify)?;
+            m.next_id = ps.id;
+            let got = m.install_seeded(vp, ps.mode, 0)?;
+            debug_assert_eq!(got.0, ps.id);
+            let inst = m.programs.get_mut(&ps.id).expect("just installed");
+            if inst.tables.len() != ps.tables.len() {
+                return Err(VmError::BadRequest(format!(
+                    "snapshot of program {} has {} table states for {} tables",
+                    ps.id,
+                    ps.tables.len(),
+                    inst.tables.len()
+                )));
+            }
+            for (t, ts) in inst.tables.iter_mut().zip(ps.tables) {
+                // Install populated `initial_entries`; the snapshot's
+                // runtime entry set replaces it wholesale, re-inserted
+                // in insertion order so seq tie-breaks reproduce.
+                t.clear();
+                for e in ts.entries {
+                    t.insert(e)?;
+                }
+                t.restore_stats(ts.stats);
+            }
+            if inst.maps.len() != ps.maps.len() {
+                return Err(VmError::BadRequest(format!(
+                    "snapshot of program {} has {} map states for {} maps",
+                    ps.id,
+                    ps.maps.len(),
+                    inst.maps.len()
+                )));
+            }
+            for (slot, state) in inst.maps.iter_mut().zip(ps.maps) {
+                let imported = MapInstance::import_state(state)?;
+                if std::mem::discriminant(&imported) != std::mem::discriminant(&*slot)
+                    || imported.capacity() != slot.capacity()
+                {
+                    return Err(VmError::MapError("snapshot map kind/capacity mismatch"));
+                }
+                *slot = imported;
+            }
+            inst.rng = StdRng::from_state(ps.rng_state);
+            inst.ledger = PrivacyLedger::restore(
+                inst.prog.privacy.budget_milli_eps,
+                ps.ledger_spent_milli_eps,
+            );
+            if let (Some(b), Some((tokens, last_tick))) = (inst.bucket.as_mut(), ps.bucket) {
+                b.restore_level(tokens, last_tick);
+            }
+            inst.stats = ps.stats;
+            inst.hist = ps.hist;
+            if inst.model_stats.len() != ps.model_stats.len() {
+                return Err(VmError::BadRequest(format!(
+                    "snapshot of program {} has {} model-stat states for {} model slots",
+                    ps.id,
+                    ps.model_stats.len(),
+                    inst.model_stats.len()
+                )));
+            }
+            inst.model_stats = ps
+                .model_stats
+                .into_iter()
+                .map(ModelStats::import_state)
+                .collect();
+            last_id = ps.id;
+        }
+        // Entry overlay may have changed which tables are empty —
+        // recompute cache probe keys and eligibility per hook.
+        let hooks: Vec<String> = m.hook_index.keys().cloned().collect();
+        for hook in &hooks {
+            m.refresh_hook_cache_meta(hook);
+        }
+        // Machine-level state goes last: the installs above pushed
+        // Install trace events and bumped the generation counter, all
+        // of which the snapshot overwrites.
+        for hs in snap.hooks {
+            let slot = m.hook_index.get_mut(&hs.hook).ok_or_else(|| {
+                VmError::BadRequest(format!(
+                    "snapshot hook {:?} has no installed table",
+                    hs.hook
+                ))
+            })?;
+            slot.fires = hs.fires;
+            slot.hist = hs.hist;
+        }
+        m.tick = snap.tick;
+        m.next_id = snap.next_id.max(last_id.saturating_add(1)).max(1);
+        m.table_gen = snap.table_generation;
+        m.decision_cache_cap = snap.decision_cache_cap;
+        m.obs = Obs::import_state(snap.obs);
+        Ok(m)
+    }
 }
 
 #[cfg(test)]
@@ -2663,4 +2959,32 @@ rkd_testkit::impl_json_struct!(ProgStats {
     tail_calls,
     tail_chain_overflows,
     guard_trips
+});
+
+rkd_testkit::impl_json_struct!(TableState { entries, stats });
+
+rkd_testkit::impl_json_struct!(ProgramState {
+    id,
+    prog,
+    mode,
+    tables,
+    maps,
+    rng_state,
+    ledger_spent_milli_eps,
+    bucket,
+    stats,
+    hist,
+    model_stats
+});
+
+rkd_testkit::impl_json_struct!(HookState { hook, fires, hist });
+
+rkd_testkit::impl_json_struct!(MachineSnapshot {
+    tick,
+    next_id,
+    table_generation,
+    decision_cache_cap,
+    programs,
+    hooks,
+    obs
 });

@@ -334,6 +334,147 @@ impl MapInstance {
             _ => Vec::new(),
         }
     }
+
+    /// Serializable copy of the map's contents for machine
+    /// snapshot/restore.
+    ///
+    /// Hash kinds list entries in sorted key order so snapshots are
+    /// byte-deterministic. LRU hash entries are listed **coldest
+    /// first**: [`MapInstance::import_state`] replays them through
+    /// [`MapInstance::update`], and since every replayed insert is also
+    /// a recency touch, the rebuilt map evicts in exactly the
+    /// snapshotted order. The internal touch log and clock are rebuilt
+    /// in canonical compacted form — they are not observable state.
+    pub fn export_state(&self) -> MapState {
+        match self {
+            MapInstance::Hash { capacity, data } => {
+                let mut entries: Vec<(u64, i64)> = data.iter().map(|(&k, &v)| (k, v)).collect();
+                entries.sort_unstable_by_key(|&(k, _)| k);
+                MapState::Hash {
+                    capacity: *capacity,
+                    entries,
+                }
+            }
+            MapInstance::Array { data } => MapState::Array { data: data.clone() },
+            MapInstance::LruHash { capacity, data, .. } => {
+                let mut stamped: Vec<(u64, i64, u64)> =
+                    data.iter().map(|(&k, &(v, st))| (k, v, st)).collect();
+                stamped.sort_unstable_by_key(|&(_, _, st)| st);
+                MapState::LruHash {
+                    capacity: *capacity,
+                    entries: stamped.into_iter().map(|(k, v, _)| (k, v)).collect(),
+                }
+            }
+            MapInstance::RingBuf { capacity, data } => MapState::RingBuf {
+                capacity: *capacity,
+                data: data.iter().copied().collect(),
+            },
+            MapInstance::Histogram { buckets } => MapState::Histogram {
+                buckets: buckets.clone(),
+            },
+        }
+    }
+
+    /// Rebuilds a map from [`MapInstance::export_state`] output,
+    /// re-validating capacity bounds (a snapshot is untrusted input:
+    /// an over-capacity entry list fails instead of silently growing
+    /// the map past its declared bound).
+    pub fn import_state(state: MapState) -> Result<MapInstance, VmError> {
+        match state {
+            MapState::Hash { capacity, entries } => {
+                if capacity == 0 {
+                    return Err(VmError::MapError("zero capacity"));
+                }
+                if entries.len() > capacity {
+                    return Err(VmError::MapError("hash snapshot exceeds capacity"));
+                }
+                Ok(MapInstance::Hash {
+                    capacity,
+                    data: entries.into_iter().collect(),
+                })
+            }
+            MapState::Array { data } => {
+                if data.is_empty() {
+                    return Err(VmError::MapError("zero capacity"));
+                }
+                Ok(MapInstance::Array { data })
+            }
+            MapState::LruHash { capacity, entries } => {
+                if capacity == 0 {
+                    return Err(VmError::MapError("zero capacity"));
+                }
+                if entries.len() > capacity {
+                    return Err(VmError::MapError("lru snapshot exceeds capacity"));
+                }
+                let mut m = MapInstance::LruHash {
+                    capacity,
+                    data: HashMap::new(),
+                    order: VecDeque::new(),
+                    clock: 0,
+                };
+                // Coldest-first replay: each update is also a touch.
+                for (k, v) in entries {
+                    m.update(k, v)?;
+                }
+                Ok(m)
+            }
+            MapState::RingBuf { capacity, data } => {
+                if capacity == 0 {
+                    return Err(VmError::MapError("zero capacity"));
+                }
+                if data.len() > capacity {
+                    return Err(VmError::MapError("ring snapshot exceeds capacity"));
+                }
+                Ok(MapInstance::RingBuf {
+                    capacity,
+                    data: data.into(),
+                })
+            }
+            MapState::Histogram { buckets } => {
+                if buckets.is_empty() {
+                    return Err(VmError::MapError("zero capacity"));
+                }
+                Ok(MapInstance::Histogram { buckets })
+            }
+        }
+    }
+}
+
+/// Serializable contents of one runtime map (see
+/// [`MapInstance::export_state`]). One variant per [`MapKind`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MapState {
+    /// Hash entries in sorted key order.
+    Hash {
+        /// Declared capacity.
+        capacity: usize,
+        /// `(key, value)` pairs, sorted by key.
+        entries: Vec<(u64, i64)>,
+    },
+    /// Array slots in index order.
+    Array {
+        /// Slot values; length = capacity.
+        data: Vec<i64>,
+    },
+    /// LRU hash entries in recency order, coldest first.
+    LruHash {
+        /// Declared capacity.
+        capacity: usize,
+        /// `(key, value)` pairs, coldest first.
+        entries: Vec<(u64, i64)>,
+    },
+    /// Ring-buffer contents, oldest first.
+    RingBuf {
+        /// Declared capacity.
+        capacity: usize,
+        /// Buffered values, oldest first.
+        data: Vec<i64>,
+    },
+    /// Histogram bucket values in bucket order.
+    Histogram {
+        /// Bucket values; length = bucket count.
+        buckets: Vec<i64>,
+    },
 }
 
 /// Stamps `key` with a fresh clock tick and appends it to the touch
@@ -603,4 +744,12 @@ rkd_testkit::impl_json_struct!(MapDef {
     capacity,
     shared,
     per_cpu
+});
+
+rkd_testkit::impl_json_enum!(MapState {
+    Hash { capacity, entries },
+    Array { data },
+    LruHash { capacity, entries },
+    RingBuf { capacity, data },
+    Histogram { buckets },
 });

@@ -111,11 +111,15 @@ impl Log2Hist {
         }
     }
 
-    /// Records one sample.
+    /// Records one sample. All counters saturate: a histogram that has
+    /// absorbed `u64::MAX` samples (possible on merged, long-lived
+    /// shard telemetry) pins at the ceiling instead of wrapping — or
+    /// panicking in debug builds — like `sum` always did.
     #[inline]
     pub fn record(&mut self, value: u64) {
-        self.counts[Self::bucket_of(value)] += 1;
-        self.count += 1;
+        let bucket = &mut self.counts[Self::bucket_of(value)];
+        *bucket = bucket.saturating_add(1);
+        self.count = self.count.saturating_add(1);
         self.sum = self.sum.saturating_add(value);
         if value < self.min {
             self.min = value;
@@ -176,11 +180,18 @@ impl Log2Hist {
         if self.count == 0 {
             return 0;
         }
+        if p >= 100 {
+            // Exactly `max` by contract — and the only answer that
+            // stays right once bucket counters have saturated at
+            // u64::MAX, where cumulative ranks stop being meaningful
+            // at the tail.
+            return self.max;
+        }
         // ceil(count * p / 100), computed in u128 to dodge overflow.
         let rank = ((self.count as u128 * p.min(100) as u128).div_ceil(100)).max(1) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
+            seen = seen.saturating_add(c);
             if seen >= rank {
                 return Self::bucket_ceil(i).clamp(self.min, self.max);
             }
@@ -188,12 +199,14 @@ impl Log2Hist {
         self.max
     }
 
-    /// Merges another histogram into this one.
+    /// Merges another histogram into this one. Saturating, like
+    /// [`Log2Hist::record`]: repeated cross-shard merges of long-lived
+    /// histograms must pin at the ceiling, never wrap.
     pub fn merge(&mut self, other: &Log2Hist) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -369,8 +382,9 @@ impl ModelStats {
     /// optionally with a sampled inference latency in nanoseconds.
     #[inline]
     pub fn record_prediction(&mut self, class: i64, latency_ns: Option<u64>) {
-        self.served += 1;
-        self.class_counts[Self::class_bin(class)] += 1;
+        self.served = self.served.saturating_add(1);
+        let bin = &mut self.class_counts[Self::class_bin(class)];
+        *bin = bin.saturating_add(1);
         if let Some(ns) = latency_ns {
             self.latency.record(ns);
         }
@@ -380,14 +394,15 @@ impl ModelStats {
     /// Updates the confusion matrix and the prequential window, and
     /// latches `drift_suspected` on a threshold crossing.
     pub fn record_outcome(&mut self, predicted: i64, actual: i64, cfg: &ObsConfig) {
-        self.confusion[Self::class_bin(actual)][Self::class_bin(predicted)] += 1;
-        self.outcomes += 1;
+        let cell = &mut self.confusion[Self::class_bin(actual)][Self::class_bin(predicted)];
+        *cell = cell.saturating_add(1);
+        self.outcomes = self.outcomes.saturating_add(1);
         let hit = predicted == actual;
         if hit {
-            self.hits += 1;
-            self.window.hits += 1;
+            self.hits = self.hits.saturating_add(1);
+            self.window.hits = self.window.hits.saturating_add(1);
         }
-        self.window.total += 1;
+        self.window.total = self.window.total.saturating_add(1);
         let per_window = cfg.accuracy_window.max(1);
         if self.window.total >= per_window {
             while self.windows.len() >= cfg.accuracy_windows.max(1) {
@@ -408,8 +423,8 @@ impl ModelStats {
         let mut h = self.window.hits;
         let mut t = self.window.total;
         for w in &self.windows {
-            h += w.hits;
-            t += w.total;
+            h = h.saturating_add(w.hits);
+            t = t.saturating_add(w.total);
         }
         (h, t)
     }
@@ -492,6 +507,65 @@ impl ModelStats {
             drift_suspected: self.drift_suspected,
         }
     }
+
+    /// Lossless serializable copy for machine snapshot/restore. Unlike
+    /// [`ModelStats::snapshot`] this keeps the current partial window
+    /// separate from the completed ring and preserves the drift latch
+    /// exactly, so a restored slot continues its prequential stream
+    /// (and keeps a latched drift flag) bit for bit.
+    pub fn export_state(&self) -> ModelStatsState {
+        ModelStatsState {
+            served: self.served,
+            class_counts: self.class_counts,
+            latency: self.latency.clone(),
+            confusion: self.confusion,
+            outcomes: self.outcomes,
+            hits: self.hits,
+            window: self.window,
+            windows: self.windows.iter().copied().collect(),
+            drift_suspected: self.drift_suspected,
+        }
+    }
+
+    /// Rebuilds slot telemetry from [`ModelStats::export_state`]
+    /// output.
+    pub fn import_state(state: ModelStatsState) -> ModelStats {
+        ModelStats {
+            served: state.served,
+            class_counts: state.class_counts,
+            latency: state.latency,
+            confusion: state.confusion,
+            outcomes: state.outcomes,
+            hits: state.hits,
+            window: state.window,
+            windows: state.windows.into(),
+            drift_suspected: state.drift_suspected,
+        }
+    }
+}
+
+/// Lossless serializable state of one model slot's telemetry (embedded
+/// in a machine snapshot; see [`ModelStats::export_state`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelStatsState {
+    /// Predictions served by the datapath.
+    pub served: u64,
+    /// Per-served-class histogram.
+    pub class_counts: [u64; MODEL_CLASS_BINS],
+    /// Sampled inference-latency histogram (nanoseconds).
+    pub latency: Log2Hist,
+    /// Confusion matrix, `[actual_bin][predicted_bin]`.
+    pub confusion: [[u64; MODEL_CLASS_BINS]; MODEL_CLASS_BINS],
+    /// Ground-truth outcomes reported.
+    pub outcomes: u64,
+    /// Outcomes predicted correctly (cumulative).
+    pub hits: u64,
+    /// Current partial prequential window.
+    pub window: AccWindow,
+    /// Completed prequential windows, oldest first.
+    pub windows: Vec<AccWindow>,
+    /// Latched drift flag.
+    pub drift_suspected: bool,
 }
 
 /// Serializable [`ModelStats`] snapshot (control-plane
@@ -632,7 +706,7 @@ impl TraceRing {
     pub fn push(&mut self, event: TraceEvent) {
         if self.events.len() >= self.capacity {
             self.events.pop_front();
-            self.dropped += 1;
+            self.dropped = self.dropped.saturating_add(1);
         }
         self.events.push_back(event);
     }
@@ -675,7 +749,7 @@ impl TraceRing {
         self.capacity = capacity.max(1);
         while self.events.len() > self.capacity {
             self.events.pop_front();
-            self.dropped += 1;
+            self.dropped = self.dropped.saturating_add(1);
         }
     }
 }
@@ -791,7 +865,7 @@ impl FlightRecorder {
         self.next_seq += 1;
         if self.frames.len() >= self.capacity {
             self.frames.pop_front();
-            self.dropped += 1;
+            self.dropped = self.dropped.saturating_add(1);
         }
         self.frames.push_back(frame);
     }
@@ -818,7 +892,7 @@ impl FlightRecorder {
         self.capacity = capacity.max(1);
         while self.frames.len() > self.capacity {
             self.frames.pop_front();
-            self.dropped += 1;
+            self.dropped = self.dropped.saturating_add(1);
         }
     }
 
@@ -918,6 +992,65 @@ impl Obs {
             flight: FlightRecorder::new(cfg.flight_interval, cfg.flight_capacity),
         }
     }
+
+    /// Serializable copy of the whole layer (config, counters, the
+    /// unread trace backlog, and the flight-recorder ring) for machine
+    /// snapshot/restore. Unlike [`ObsSnapshot`] this is lossless: a
+    /// restored machine continues counting exactly where the
+    /// snapshotted one stopped, pending trace events included.
+    pub fn export_state(&self) -> ObsState {
+        ObsState {
+            cfg: self.cfg,
+            counters: self.counters,
+            trace_events: self.ring.events.iter().copied().collect(),
+            trace_dropped: self.ring.dropped,
+            flight_frames: self.flight.frames.iter().cloned().collect(),
+            flight_dropped: self.flight.dropped,
+            flight_next_seq: self.flight.next_seq,
+        }
+    }
+
+    /// Rebuilds the layer from [`Obs::export_state`] output. Ring
+    /// capacities come from the embedded config; backlogs longer than
+    /// the configured capacity (a hand-edited snapshot) are truncated
+    /// oldest-first with the truncation counted as dropped, preserving
+    /// the never-silently-lose-events invariant.
+    pub fn import_state(state: ObsState) -> Obs {
+        let mut obs = Obs::new(state.cfg);
+        obs.counters = state.counters;
+        obs.ring.dropped = state.trace_dropped;
+        for ev in state.trace_events {
+            obs.ring.push(ev);
+        }
+        obs.flight.frames = state.flight_frames.into();
+        while obs.flight.frames.len() > obs.flight.capacity {
+            obs.flight.frames.pop_front();
+            obs.flight.dropped = obs.flight.dropped.saturating_add(1);
+        }
+        obs.flight.dropped = obs.flight.dropped.saturating_add(state.flight_dropped);
+        obs.flight.next_seq = state.flight_next_seq;
+        obs
+    }
+}
+
+/// Lossless serializable state of the observability layer (embedded in
+/// a machine snapshot; see [`Obs::export_state`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObsState {
+    /// Active configuration (ring capacities included).
+    pub cfg: ObsConfig,
+    /// Machine-wide counters.
+    pub counters: MachineCounters,
+    /// Unread trace-ring backlog, oldest first.
+    pub trace_events: Vec<TraceEvent>,
+    /// Cumulative trace events dropped.
+    pub trace_dropped: u64,
+    /// Flight-recorder frames, oldest first.
+    pub flight_frames: Vec<FlightFrame>,
+    /// Cumulative flight frames dropped.
+    pub flight_dropped: u64,
+    /// Next flight-frame sequence number.
+    pub flight_next_seq: u64,
 }
 
 /// Per-hook statistics snapshot (control-plane `HookStats` payload).
@@ -1113,6 +1246,40 @@ rkd_testkit::impl_json_struct!(FlightSnapshot {
     dropped
 });
 
+rkd_testkit::impl_json_struct!(ObsConfig {
+    timing,
+    sample_shift,
+    trace_fires,
+    trace_capacity,
+    accuracy_window,
+    accuracy_windows,
+    drift_threshold_permille,
+    flight_interval,
+    flight_capacity
+});
+
+rkd_testkit::impl_json_struct!(ModelStatsState {
+    served,
+    class_counts,
+    latency,
+    confusion,
+    outcomes,
+    hits,
+    window,
+    windows,
+    drift_suspected
+});
+
+rkd_testkit::impl_json_struct!(ObsState {
+    cfg,
+    counters,
+    trace_events,
+    trace_dropped,
+    flight_frames,
+    flight_dropped,
+    flight_next_seq
+});
+
 rkd_testkit::impl_json_struct!(ObsSnapshot {
     tick,
     counters,
@@ -1189,6 +1356,65 @@ mod tests {
         a.reset();
         assert_eq!(a.count(), 0);
     }
+
+    #[test]
+    fn log2hist_counters_saturate_instead_of_wrapping() {
+        // Satellite pin: record/merge used unchecked `+=` on the
+        // bucket counters and `count` while `sum` saturated, so a
+        // long-lived merged histogram overflow-panicked in debug
+        // builds. Doubling a histogram into itself 64+ times pushes
+        // every counter past u64::MAX; all must pin at the ceiling.
+        let mut h = Log2Hist::new();
+        h.record(3);
+        for _ in 0..70 {
+            let copy = h.clone();
+            h.merge(&copy);
+        }
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.buckets()[Log2Hist::bucket_of(3)], u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        // A saturated histogram keeps absorbing samples without
+        // panicking, and stays pinned.
+        h.record(3);
+        assert_eq!(h.count(), u64::MAX);
+        // percentile() walks the (now saturated) buckets with its own
+        // accumulator; it must not overflow either.
+        let mut multi = Log2Hist::new();
+        multi.record(1);
+        multi.record(1 << 20);
+        for _ in 0..70 {
+            let copy = multi.clone();
+            multi.merge(&copy);
+        }
+        assert!(multi.percentile(100) >= 1 << 20);
+    }
+
+    // Property: for any sample set and any number of self-merges
+    // (enough to saturate every counter), recording and merging never
+    // wrap: count stays consistent with the bucket counters and
+    // min/max stay ordered.
+    rkd_testkit::prop_check!(log2hist_saturation_property, |g| {
+        use rkd_testkit::rng::Rng;
+        let mut h = Log2Hist::new();
+        let n = g.scaled_len(0, 32);
+        for _ in 0..n {
+            h.record(g.gen_range(0u64..=u64::MAX));
+        }
+        let merges = g.gen_range(0usize..80);
+        for _ in 0..merges {
+            let copy = h.clone();
+            h.merge(&copy);
+        }
+        let bucket_sum = h
+            .buckets()
+            .iter()
+            .fold(0u64, |acc, &c| acc.saturating_add(c));
+        assert_eq!(h.count() == 0, n == 0);
+        assert!(h.count() <= bucket_sum);
+        if n > 0 {
+            assert!(h.min().unwrap() <= h.max().unwrap());
+        }
+    });
 
     fn ev(info: i64) -> TraceEvent {
         TraceEvent {

@@ -23,9 +23,18 @@
 //! keep-alive — the caller decides when (and whether) to block, which
 //! keeps the machine itself free of any network dependency. See
 //! [`crate::machine::RmtMachine::serve_metrics_once`].
+//!
+//! [`serve_until`] is the persistent sibling: the same hardened
+//! single-request parser in a loop, answering scrapes and read-only
+//! `GET /ctrl/*` queries from a live [`MetricsSource`] until a stop
+//! flag flips — one machine, one server, its whole life. Still
+//! single-threaded, still std-only: the caller donates exactly one
+//! thread, and a slow or broken client can delay the next accept but
+//! never wedge the loop past the read timeout.
 
 use std::io::{Read as _, Write as _};
-use std::net::TcpListener;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use super::{Log2Hist, MachineCounters, ObsSnapshot};
@@ -397,6 +406,107 @@ pub fn serve_once_with(
     opts: ServeOptions,
 ) -> std::io::Result<String> {
     let (mut stream, _peer) = listener.accept()?;
+    handle_conn(
+        &mut stream,
+        &mut |path| match path {
+            "/metrics" => Some((PROMETHEUS_CONTENT_TYPE, to_prometheus(snap))),
+            "/metrics.json" => Some(("application/json", to_json(snap))),
+            _ => None,
+        },
+        opts,
+    )
+}
+
+/// Content type of the Prometheus text exposition.
+const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// What a persistent server ([`serve_until`]) answers from: a live
+/// source of observability snapshots plus read-only control-plane
+/// queries. Methods take `&mut self` so implementers may refresh
+/// internal state per request; the provided implementations
+/// ([`RmtMachine`](crate::machine::RmtMachine) and
+/// [`ShardedMachine`](crate::shard::ShardedMachine)) only read.
+pub trait MetricsSource {
+    /// Snapshot served at `/metrics` and `/metrics.json`.
+    fn obs(&mut self) -> ObsSnapshot;
+
+    /// JSON body for a read-only `GET /ctrl/*` query, or `None` for
+    /// 404. The provided implementations answer `/ctrl/counters`
+    /// (machine-wide counters), `/ctrl/models` (per-model telemetry),
+    /// and — sharded only — `/ctrl/shards` (per-shard convergence).
+    fn ctrl_query(&mut self, path: &str) -> Option<String>;
+}
+
+/// Serves requests from `listener` until `stop` becomes `true`,
+/// returning how many connections were answered (error responses
+/// included).
+///
+/// Routes: everything [`serve_once_with`] answers, rendered fresh from
+/// `source` per request, plus read-only `GET /ctrl/*` queries
+/// (JSON; see [`MetricsSource::ctrl_query`]). Each request goes
+/// through the same hardened parser as the one-shot server — same
+/// timeouts, head cap, and error statuses — and a client that fails
+/// mid-request is dropped without taking the loop down.
+///
+/// Shutdown is graceful: the listener polls in short non-blocking
+/// waits, so the loop notices `stop` within a few milliseconds even
+/// when idle, finishes any request already accepted, restores the
+/// listener to blocking mode, and returns.
+pub fn serve_until<S: MetricsSource + ?Sized>(
+    listener: &TcpListener,
+    source: &mut S,
+    stop: &AtomicBool,
+    opts: ServeOptions,
+) -> std::io::Result<u64> {
+    listener.set_nonblocking(true)?;
+    let mut served = 0u64;
+    let result = loop {
+        if stop.load(Ordering::Acquire) {
+            break Ok(served);
+        }
+        match listener.accept() {
+            Ok((mut stream, _peer)) => {
+                // The listener is non-blocking; the accepted stream
+                // must not be — reads are bounded by the timeout.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let r = handle_conn(
+                    &mut stream,
+                    &mut |path| match path {
+                        "/metrics" => Some((PROMETHEUS_CONTENT_TYPE, to_prometheus(&source.obs()))),
+                        "/metrics.json" => Some(("application/json", to_json(&source.obs()))),
+                        p if p.starts_with("/ctrl/") => {
+                            source.ctrl_query(p).map(|body| ("application/json", body))
+                        }
+                        _ => None,
+                    },
+                    opts,
+                );
+                // A client that vanished mid-response is its problem,
+                // not the server's.
+                if r.is_ok() {
+                    served += 1;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => break Err(e),
+        }
+    };
+    let _ = listener.set_nonblocking(false);
+    result
+}
+
+/// Reads one request head from `stream`, routes it, writes one
+/// response, and returns the tag ([`serve_once_with`] semantics).
+/// `route` maps a GET path to `(content_type, body)`; `None` is 404.
+fn handle_conn(
+    stream: &mut TcpStream,
+    route: &mut dyn FnMut(&str) -> Option<(&'static str, String)>,
+    opts: ServeOptions,
+) -> std::io::Result<String> {
     stream.set_read_timeout(Some(opts.read_timeout))?;
 
     // Read until the end of the request head. One request per
@@ -421,7 +531,12 @@ pub fn serve_once_with(
             break;
         }
         buf.extend_from_slice(&chunk[..n]);
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+        // The `\r\n\r\n` terminator can only appear where this chunk
+        // landed (or straddling its boundary by up to 3 bytes), so
+        // scan just that tail window — rescanning the whole head per
+        // chunk is O(n²) against a drip-feeding client.
+        let start = buf.len().saturating_sub(n + 3);
+        if buf[start..].windows(4).any(|w| w == b"\r\n\r\n") {
             break;
         }
         if buf.len() > opts.max_head_bytes {
@@ -471,16 +586,9 @@ pub fn serve_once_with(
         )
     } else {
         let path = path.unwrap_or("/").to_string();
-        match path.as_str() {
-            "/metrics" => (
-                path,
-                "200 OK",
-                "text/plain; version=0.0.4; charset=utf-8",
-                "",
-                to_prometheus(snap),
-            ),
-            "/metrics.json" => (path, "200 OK", "application/json", "", to_json(snap)),
-            _ => (
+        match route(&path) {
+            Some((ct, body)) => (path, "200 OK", ct, "", body),
+            None => (
                 path,
                 "404 Not Found",
                 "text/plain; charset=utf-8",

@@ -151,6 +151,12 @@ pub struct ShardedMachine {
     /// unless multiple control-plane threads race, and never touched
     /// by the fire path.
     shadow: Mutex<RmtMachine>,
+    /// Optional durable journal: when attached, every published
+    /// command is fsync'd to disk *before* the shadow applies it (the
+    /// same write-ahead [`JournalRecord`](crate::journal::JournalRecord)
+    /// format [`crate::journal::JournaledMachine`] uses), so
+    /// [`ShardedMachine::recover`] can rebuild the control plane.
+    journal: Option<Mutex<crate::journal::CtrlJournal>>,
 }
 
 impl ShardedMachine {
@@ -187,7 +193,47 @@ impl ShardedMachine {
             shards: handles,
             log,
             shadow: Mutex::new(RmtMachine::with_obs_config(obs)),
+            journal: None,
         }
+    }
+
+    /// Spawns a sharded machine whose control plane journals to
+    /// `path` (the same write-ahead format as
+    /// [`crate::journal::JournaledMachine`]): every published command
+    /// is durable before any replica applies it.
+    pub fn with_journal(
+        shards: usize,
+        obs: ObsConfig,
+        vcfg: VerifierConfig,
+        path: &std::path::Path,
+    ) -> Result<ShardedMachine, crate::journal::JournalError> {
+        let journal = crate::journal::CtrlJournal::open(path)?;
+        let mut m = ShardedMachine::with_config(shards, obs, vcfg);
+        m.journal = Some(Mutex::new(journal));
+        Ok(m)
+    }
+
+    /// Recovers a sharded machine from a control-plane journal:
+    /// republishes every journaled command through the normal epoch
+    /// path, so the shadow and all shards converge to the pre-crash
+    /// configuration (**shard-0 semantics** — per-shard datapath state
+    /// such as per-CPU map contents is not persisted; it reaccumulates
+    /// as traffic flows). The journal stays attached: new commands
+    /// continue appending after the replayed suffix. Replay apply
+    /// errors are absorbed exactly as live ones were.
+    pub fn recover(
+        shards: usize,
+        obs: ObsConfig,
+        vcfg: VerifierConfig,
+        path: &std::path::Path,
+    ) -> Result<ShardedMachine, crate::journal::JournalError> {
+        let contents = crate::journal::read_journal(path)?;
+        let mut m = ShardedMachine::with_config(shards, obs, vcfg);
+        for rec in contents.records {
+            let _ = m.publish(rec.req);
+        }
+        m.journal = Some(Mutex::new(crate::journal::CtrlJournal::open(path)?));
+        Ok(m)
     }
 
     /// Number of shards.
@@ -302,6 +348,12 @@ impl ShardedMachine {
                     dropped = dropped.saturating_add(snap.dropped);
                     events.extend(snap.events);
                 }
+                // The concatenation can exceed `max` (each shard
+                // honored it independently); what the truncate cuts is
+                // lost to the caller and must be counted as dropped,
+                // not silently discarded.
+                let truncated = events.len().saturating_sub(per_fetch) as u64;
+                dropped = dropped.saturating_add(truncated);
                 events.truncate(per_fetch);
                 Ok(CtrlResponse::Trace(crate::obs::TraceSnapshot {
                     events,
@@ -360,6 +412,16 @@ impl ShardedMachine {
     /// order: shadow, then cmds).
     fn publish(&self, req: CtrlRequest) -> Result<CtrlResponse, VmError> {
         let mut shadow = self.shadow.lock().expect("shadow poisoned");
+        // Write-ahead: the journal is a superset of the applied log. A
+        // journaled command whose shadow apply fails below replays to
+        // the same deterministic no-op on recovery.
+        if let Some(journal) = &self.journal {
+            journal
+                .lock()
+                .expect("journal poisoned")
+                .append(&req)
+                .map_err(|e| VmError::BadRequest(format!("ctrl journal: {e}")))?;
+        }
         let resp = syscall_rmt_with(&mut shadow, req.clone(), &self.log.vcfg)?;
         let mut cmds = self.log.cmds.lock().expect("ctrl log poisoned");
         cmds.push(req);
@@ -462,15 +524,33 @@ impl ShardedMachine {
         crate::obs::export::serve_once(listener, &self.obs_snapshot())
     }
 
+    /// Serves merged scrapes and read-only `/ctrl/*` queries until
+    /// `stop` flips (see [`crate::obs::export::serve_until`]). `&self`
+    /// — the control plane stays usable from other threads while one
+    /// thread donates itself to the server.
+    pub fn serve_metrics_until(
+        &self,
+        listener: &std::net::TcpListener,
+        stop: &std::sync::atomic::AtomicBool,
+    ) -> std::io::Result<u64> {
+        let mut source = self;
+        crate::obs::export::serve_until(
+            listener,
+            &mut source,
+            stop,
+            crate::obs::export::ServeOptions::default(),
+        )
+    }
+
     /// Advances every replica's clock (shards and shadow) by `by`.
+    /// Shards tick concurrently (submit to all, then collect) rather
+    /// than one blocking round-trip at a time.
     pub fn advance_tick(&self, by: u64) {
         self.shadow
             .lock()
             .expect("shadow poisoned")
             .advance_tick(by);
-        for shard in 0..self.shards.len() {
-            self.with_shard(shard, move |m| m.advance_tick(by));
-        }
+        let _ = self.collect(move |m| m.advance_tick(by));
     }
 
     /// Barrier: forces every shard to drain the command log to the
@@ -632,3 +712,29 @@ fn drain(
         *applied += 1;
     }
 }
+
+/// `/ctrl/*` queries answer from the merged view; `/ctrl/shards`
+/// additionally reports per-shard convergence ([`ShardStatus`] JSON).
+/// Implemented on `&ShardedMachine` so a server thread can hold the
+/// source while other threads keep driving the control plane.
+impl crate::obs::export::MetricsSource for &ShardedMachine {
+    fn obs(&mut self) -> ObsSnapshot {
+        self.obs_snapshot()
+    }
+
+    fn ctrl_query(&mut self, path: &str) -> Option<String> {
+        match path {
+            "/ctrl/counters" => Some(rkd_testkit::json::to_string(&self.machine_counters())),
+            "/ctrl/models" => Some(rkd_testkit::json::to_string(&self.obs_snapshot().models)),
+            "/ctrl/shards" => Some(rkd_testkit::json::to_string(&self.sync())),
+            _ => None,
+        }
+    }
+}
+
+rkd_testkit::impl_json_struct!(ShardStatus {
+    shard,
+    applied,
+    ctrl_apply_errors,
+    table_generation
+});

@@ -524,6 +524,25 @@ impl Table {
         &self.entries
     }
 
+    /// All entries cloned in **insertion order** (ascending seq) — the
+    /// snapshot serialization order. Re-inserting these into a fresh
+    /// table reproduces the original first-inserted-wins tie-break
+    /// ranking exactly, even though slot indices were shuffled by
+    /// `swap_remove`, because re-insertion assigns fresh ascending
+    /// seqs in the same relative order.
+    pub fn entries_in_insertion_order(&self) -> Vec<Entry> {
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_by_key(|&i| self.seqs[i]);
+        order.into_iter().map(|i| self.entries[i].clone()).collect()
+    }
+
+    /// Overwrites the hit/miss counters (machine restore: a recovered
+    /// table continues counting where the snapshotted one stopped).
+    pub fn restore_stats(&mut self, stats: TableStats) {
+        self.stats.hits.set(stats.hits);
+        self.stats.misses.set(stats.misses);
+    }
+
     /// `(priority, seq)` candidate `b` beats candidate `a`?
     #[inline]
     fn beats(&self, a: usize, b: usize) -> bool {

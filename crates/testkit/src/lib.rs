@@ -31,3 +31,4 @@ pub mod json;
 pub mod prop;
 pub mod rng;
 pub mod stress;
+pub mod tmp;

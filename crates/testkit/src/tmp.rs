@@ -1,0 +1,63 @@
+//! Scratch directories for filesystem-touching tests.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A scratch directory under the system temp dir, removed (with its
+/// contents) on drop. Names combine a caller tag, the process id, and
+/// a per-process counter, so concurrent tests never collide.
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates a fresh, empty scratch directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created — a test environment
+    /// without a writable temp dir cannot run filesystem tests at all.
+    pub fn new(tag: &str) -> TempDir {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("rkd-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_cleans_up() {
+        let kept: PathBuf;
+        {
+            let t = TempDir::new("selftest");
+            kept = t.path().to_path_buf();
+            std::fs::write(t.path().join("f.txt"), b"x").unwrap();
+            assert!(kept.is_dir());
+        }
+        assert!(!kept.exists(), "dropped TempDir must remove its tree");
+    }
+
+    #[test]
+    fn distinct_instances_do_not_collide() {
+        let a = TempDir::new("same-tag");
+        let b = TempDir::new("same-tag");
+        assert_ne!(a.path(), b.path());
+    }
+}

@@ -1,11 +1,13 @@
 //! Scraping the datapath over HTTP (std-only exporter demo).
 //!
 //! Spins up a machine with an installed learned policy, serves a little
-//! traffic with ground-truth outcomes reported back, then answers one
-//! Prometheus scrape and one JSON scrape from a loopback
-//! `TcpListener` via `RmtMachine::serve_metrics_once`. The raw
-//! Prometheus exposition is printed so `scripts/ci.sh` can grep the
-//! metric families.
+//! traffic with ground-truth outcomes reported back, then runs the
+//! *persistent* exporter (`RmtMachine::serve_metrics_until`) on a
+//! background thread and scrapes it like a real monitoring agent
+//! would: 100 Prometheus scrapes, a JSON scrape, and read-only
+//! `/ctrl/*` queries against one long-lived listener, then a graceful
+//! stop via the shared flag. The raw Prometheus exposition is printed
+//! so `scripts/ci.sh` can grep the metric families.
 //!
 //! ```sh
 //! cargo run --example metrics_scrape
@@ -73,25 +75,41 @@ fn main() {
             .report_outcome(prog, slot, predicted, (v > 8) as i64)
             .unwrap();
     }
-    // One listener, two one-shot scrapes. Ephemeral port: the OS picks,
-    // the client connects to whatever it picked.
+    // One long-lived listener, one server loop, many clients — the
+    // shape a real deployment runs in. Ephemeral port: the OS picks,
+    // the clients connect to whatever it picked.
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
-    for path in ["/metrics", "/metrics.json"] {
-        let client = std::thread::spawn(move || scrape(addr, path));
-        let served = machine.serve_metrics_once(&listener).unwrap();
-        assert_eq!(served, path);
-        let response = client.join().unwrap();
-        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
-        let body = response.split("\r\n\r\n").nth(1).unwrap();
-        println!("== GET {path} ({} bytes) ==", body.len());
-        if path == "/metrics" {
-            // Full exposition: ci.sh greps the metric families here.
-            print!("{body}");
-        } else {
-            println!("{}...", &body[..body.len().min(120)]);
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let server = s.spawn(|| machine.serve_metrics_until(&listener, &stop));
+
+        // A monitoring agent's steady state: scrape after scrape
+        // against the same loop, all answered by one process.
+        let mut last = String::new();
+        for _ in 0..100 {
+            let response = scrape(addr, "/metrics");
+            assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+            last = response.split("\r\n\r\n").nth(1).unwrap().to_string();
         }
+        println!("== GET /metrics x100 ({} bytes each) ==", last.len());
+        // Full exposition: ci.sh greps the metric families here.
+        print!("{last}");
         println!();
-    }
+
+        for path in ["/metrics.json", "/ctrl/counters", "/ctrl/models"] {
+            let response = scrape(addr, path);
+            assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+            let body = response.split("\r\n\r\n").nth(1).unwrap();
+            println!("== GET {path} ({} bytes) ==", body.len());
+            println!("{}...", &body[..body.len().min(120)]);
+            println!();
+        }
+
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        let served = server.join().unwrap().unwrap();
+        assert_eq!(served, 103);
+        println!("served {served} connections from one persistent loop");
+    });
     println!("scrape ok");
 }

@@ -72,6 +72,14 @@ test -s BENCH_parallel.json || { echo "ERROR: BENCH_parallel.json was not writte
 echo "==> example: lean_monitoring (end-to-end datapath observability)"
 cargo run -q --release --offline --example lean_monitoring >/dev/null
 
+echo "==> recovery smoke: kill-and-replay differential + journal edge cases"
+cargo test -q --release --offline --test recovery \
+    || { echo "ERROR: crash-recovery suite failed (snapshot/journal drifted from the live machine)" >&2; exit 1; }
+
+echo "==> persistent-server smoke: one loop, 100+ sequential scrapes, clean stop"
+cargo test -q --release --offline --test obs_export persistent_server \
+    || { echo "ERROR: persistent metrics server loopback test failed" >&2; exit 1; }
+
 echo "==> exporter smoke: loopback scrape serves the expected metric families"
 cargo run -q --release --offline --example metrics_scrape | tee /tmp/rkd_metrics_scrape.out >/dev/null
 for family in rkd_machine_events_total rkd_hook_fires_total rkd_hook_latency_ns_bucket \

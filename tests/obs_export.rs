@@ -356,3 +356,133 @@ fn exporter_rejects_slow_and_malformed_clients() {
     assert_eq!(serve_once_with(&listener, &snap, opts).unwrap(), "!431");
     assert!(client.join().unwrap().starts_with("HTTP/1.1 431"));
 }
+
+/// Tentpole acceptance: the persistent server answers many sequential
+/// clients from one listener — Prometheus and JSON scrapes, read-only
+/// `/ctrl/*` queries, 404s, a request head split across writes *inside
+/// the terminator* (pin for the tail-window scan), and a slow-loris
+/// mid-loop — then stops cleanly when the flag flips, reporting how
+/// many connections it served.
+#[test]
+fn persistent_server_survives_many_scrapes_and_stops_cleanly() {
+    use rkd::core::obs::export::{serve_until, ServeOptions};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    let (mut m, prog, slot) = ml_machine(ObsConfig::default(), false);
+    for step in 0..50i64 {
+        serve_and_report(&mut m, prog, slot, step % 17, false);
+    }
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stop = AtomicBool::new(false);
+    let opts = ServeOptions {
+        read_timeout: Duration::from_millis(200),
+        max_head_bytes: 4096,
+    };
+
+    let get = move |path: &str| -> String {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        write!(conn, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        response
+    };
+
+    std::thread::scope(|s| {
+        let server = s.spawn(|| serve_until(&listener, &mut m, &stop, opts));
+
+        // A long scrape loop against the *same* server loop.
+        for i in 0..100 {
+            let response = get("/metrics");
+            assert!(response.starts_with("HTTP/1.1 200 OK"), "scrape {i}");
+            assert!(response.contains("rkd_machine_events_total"), "scrape {i}");
+        }
+
+        // JSON rendering of the same snapshot.
+        let response = get("/metrics.json");
+        let (_, body) = response.split_once("\r\n\r\n").unwrap();
+        let snap: ObsSnapshot = from_json_str(body).unwrap();
+        assert_eq!(snap.counters.fires, 50);
+
+        // Read-only control-plane queries.
+        let response = get("/ctrl/counters");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("application/json"), "{response}");
+        assert!(response.contains("\"fires\":50"), "{response}");
+        let response = get("/ctrl/models");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("\"clf\""), "{response}");
+        assert!(get("/ctrl/nope").starts_with("HTTP/1.1 404"));
+        assert!(get("/nope").starts_with("HTTP/1.1 404"));
+
+        // Head terminator split across two writes ("\r\n\r" + "\n"):
+        // the chunked reader must find it straddling the boundary.
+        let split_client = std::thread::spawn(move || {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            write!(conn, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r").unwrap();
+            conn.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(20));
+            conn.write_all(b"\n").unwrap();
+            let mut response = String::new();
+            conn.read_to_string(&mut response).unwrap();
+            response
+        });
+        let response = split_client.join().unwrap();
+        assert!(
+            response.starts_with("HTTP/1.1 200 OK"),
+            "split terminator mishandled: {response}"
+        );
+
+        // A slow-loris mid-loop gets its 408 without killing the loop.
+        let loris = std::thread::spawn(move || {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            write!(conn, "GET /metr").unwrap();
+            conn.flush().unwrap();
+            let mut response = String::new();
+            let _ = conn.read_to_string(&mut response);
+            response
+        });
+        assert!(loris.join().unwrap().starts_with("HTTP/1.1 408"));
+        assert!(get("/metrics").starts_with("HTTP/1.1 200 OK"));
+
+        stop.store(true, Ordering::Release);
+        let served = server.join().unwrap().unwrap();
+        assert!(served >= 108, "served only {served} connections");
+    });
+}
+
+/// The sharded machine serves the same persistent loop through
+/// `&ShardedMachine` (control plane stays usable from other threads)
+/// and answers `/ctrl/shards` with per-shard convergence state.
+#[test]
+fn sharded_persistent_server_reports_shard_convergence() {
+    use rkd::core::shard::ShardedMachine;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let sharded = ShardedMachine::new(2);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        let server = s.spawn(|| sharded.serve_metrics_until(&listener, &stop));
+        let get = move |path: &str| -> String {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            write!(conn, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+            let mut response = String::new();
+            conn.read_to_string(&mut response).unwrap();
+            response
+        };
+        for _ in 0..10 {
+            assert!(get("/metrics").starts_with("HTTP/1.1 200 OK"));
+        }
+        let response = get("/ctrl/shards");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("\"shard\":0"), "{response}");
+        assert!(response.contains("\"shard\":1"), "{response}");
+        stop.store(true, Ordering::Release);
+        assert_eq!(server.join().unwrap().unwrap(), 11);
+    });
+}

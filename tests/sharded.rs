@@ -455,3 +455,46 @@ fn concurrent_drivers_account_for_every_fire() {
     }
     assert_eq!(sharded.machine_counters().fires, 4 * per_worker as u64);
 }
+
+/// Pin (bugfix): the cross-shard `TraceRead` merge honors `max` by
+/// truncating the concatenation — what the truncate cuts must be
+/// counted into `dropped`, not silently discarded. A 4-shard machine
+/// has four `Install` trace events (one per replica ring); draining
+/// with `max = 1` returns one and must report the other three.
+#[test]
+fn trace_read_counts_cross_shard_truncation_as_dropped() {
+    let (prog, _counts) = flow_prog();
+    let sharded = ShardedMachine::new(4);
+    sharded
+        .ctrl(CtrlRequest::Install {
+            prog: Box::new(prog),
+            mode: ExecMode::Jit,
+            seed: BASE_SEED,
+        })
+        .unwrap();
+    sharded.sync(); // every replica applies the install (and traces it)
+    match sharded.ctrl(CtrlRequest::TraceRead { max: 1 }).unwrap() {
+        CtrlResponse::Trace(snap) => {
+            assert_eq!(snap.events.len(), 1);
+            assert_eq!(
+                snap.dropped, 3,
+                "truncated cross-shard events must count as dropped"
+            );
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+/// Pin (bugfix): `advance_tick` reaches every shard, and does so via
+/// concurrent submit-then-collect rather than one blocking round trip
+/// per shard (the old sequential path left later shards unticked
+/// until their next fire boundary if an earlier shard stalled).
+#[test]
+fn advance_tick_reaches_every_shard() {
+    let sharded = ShardedMachine::new(4);
+    sharded.advance_tick(5);
+    for (i, snap) in sharded.shard_obs_snapshots().iter().enumerate() {
+        assert_eq!(snap.tick, 5, "shard {i} missed the tick");
+    }
+    assert_eq!(sharded.obs_snapshot().tick, 5, "merged view ticks too");
+}
