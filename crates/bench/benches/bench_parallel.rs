@@ -13,20 +13,34 @@
 //!    still emits every measurement.
 //! 2. **Does batching pay?** `fire_batch` versus scalar `fire` on a
 //!    single machine over the same context stream — the per-event
-//!    saving from hoisting hook lookup, slot borrow, and
-//!    flight-recorder bookkeeping out of the loop.
+//!    saving from hoisting hook lookup, slot borrow, program
+//!    resolution and flight-recorder bookkeeping out of the loop.
+//! 3. **Does the SPSC ingress ring beat a channel?** One
+//!    producer/consumer thread pair pushing the same stream through
+//!    the in-repo lock-free ring (scalar and batch-published) versus
+//!    `std::sync::mpsc` — the hand-off the shard workers retired mpsc
+//!    for.
+//! 4. **Does skew-aware rebalancing hold up?** A Zipf(s = 1.1) flow
+//!    stream through 4 shards with the balancer off (fixed partition
+//!    seed) versus on (seed rotations at wave boundaries when the
+//!    queue-depth snapshot is lopsided). Like the scaling gate, the
+//!    verdict is enforced only on hosts with ≥ 4 CPUs.
 //!
 //! Set `RKD_BENCH_PARALLEL_JSON=<path>` to also emit the measurements
-//! and the gate verdict as a JSON document (archived by
+//! and the gate verdicts as a JSON document (archived by
 //! `scripts/ci.sh` as `BENCH_parallel.json`).
 
-use rkd_bench::shard_replay::{events_from_keys, replay_sharded, REPLAY_HOOK};
+use rkd_bench::shard_replay::{
+    events_from_keys, replay_sharded, replay_sharded_with, ReplayOptions, REPLAY_HOOK,
+};
 use rkd_core::ctrl::syscall_rmt;
 use rkd_core::ctrl::CtrlRequest;
 use rkd_core::ctxt::Ctxt;
 use rkd_core::machine::{ExecMode, RmtMachine};
+use rkd_core::spsc;
 use rkd_testkit::json::Json;
 use rkd_testkit::rng::{Rng, SeedableRng, StdRng};
+use rkd_workloads::zipf::ZipfFlows;
 use std::time::Instant;
 
 /// Throughput gate: 4 shards must deliver ≥ 2.5× one shard.
@@ -152,10 +166,190 @@ fn bench_batch_amortization(events: &[(u64, i64)]) -> Vec<(String, Json)> {
     )]
 }
 
+/// One producer thread, one consumer thread, `n` items: the ingress
+/// hand-off in isolation. Returns best-of-3 ns/item.
+fn handoff_ns(n: usize, run: &dyn Fn(usize) -> u64) -> f64 {
+    (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(run(n));
+            start.elapsed().as_nanos() as f64 / n as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// SPSC ring vs `std::sync::mpsc` on the same single-producer stream
+/// — the shard-ingress hand-off measured without the datapath.
+fn bench_ingress() -> Vec<(String, Json)> {
+    const N: usize = 1_000_000;
+    const CAP: usize = 1024;
+    const RUN: usize = 256;
+
+    let ring_scalar = handoff_ns(N, &|n| {
+        let (mut tx, mut rx) = spsc::ring::<u64>(CAP);
+        let consumer = std::thread::spawn(move || {
+            let mut run = Vec::with_capacity(RUN);
+            let mut sum = 0u64;
+            while rx.pop_run_wait(RUN, &mut run) != 0 {
+                for v in run.drain(..) {
+                    sum = sum.wrapping_add(v);
+                }
+            }
+            sum
+        });
+        for i in 0..n as u64 {
+            tx.push_wait(i).expect("consumer alive");
+        }
+        drop(tx);
+        consumer.join().expect("consumer thread")
+    });
+    let ring_batch = handoff_ns(N, &|n| {
+        let (mut tx, mut rx) = spsc::ring::<u64>(CAP);
+        let consumer = std::thread::spawn(move || {
+            let mut run = Vec::with_capacity(RUN);
+            let mut sum = 0u64;
+            while rx.pop_run_wait(RUN, &mut run) != 0 {
+                for v in run.drain(..) {
+                    sum = sum.wrapping_add(v);
+                }
+            }
+            sum
+        });
+        // Defer slot publication within each 64-item batch: one
+        // Release store and at most one wake per batch, the shape
+        // `fire_batch_on` submissions take.
+        for base in (0..n as u64).step_by(64) {
+            for i in base..(base + 64).min(n as u64) {
+                let mut v = i;
+                while let Err(spsc::PushError::Full(back)) = tx.push_deferred(v) {
+                    tx.publish();
+                    std::thread::yield_now();
+                    v = back;
+                }
+            }
+            tx.publish();
+        }
+        drop(tx);
+        consumer.join().expect("consumer thread")
+    });
+    let mpsc = handoff_ns(N, &|n| {
+        let (tx, rx) = std::sync::mpsc::channel::<u64>();
+        let consumer = std::thread::spawn(move || {
+            let mut sum = 0u64;
+            while let Ok(v) = rx.recv() {
+                sum = sum.wrapping_add(v);
+            }
+            sum
+        });
+        for i in 0..n as u64 {
+            tx.send(i).expect("consumer alive");
+        }
+        drop(tx);
+        consumer.join().expect("consumer thread")
+    });
+
+    println!("parallel/ingress_ring        {ring_scalar:8.1} ns/event");
+    println!("parallel/ingress_ring_batch  {ring_batch:8.1} ns/event");
+    println!("parallel/ingress_mpsc        {mpsc:8.1} ns/event");
+    println!(
+        "ingress_speedup {: >6.2}x ring vs mpsc (informational)",
+        mpsc / ring_scalar.max(1e-9)
+    );
+    vec![(
+        "ingress".to_string(),
+        Json::Obj(vec![
+            ("ring_ns_per_event".to_string(), Json::Float(ring_scalar)),
+            (
+                "ring_batch_ns_per_event".to_string(),
+                Json::Float(ring_batch),
+            ),
+            ("mpsc_ns_per_event".to_string(), Json::Float(mpsc)),
+        ]),
+    )]
+}
+
+/// Zipf(s = 1.1) stream through 4 shards, balancer off vs on.
+fn bench_skew() -> (Vec<(String, Json)>, bool) {
+    const SKEW_EVENTS: usize = 100_000;
+    const SKEW_S: f64 = 1.1;
+    const SHARDS: usize = 4;
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let z = ZipfFlows::new(256, SKEW_S);
+    let events = events_from_keys(z.stream(SKEW_EVENTS, &mut StdRng::seed_from_u64(2021)));
+    let opts = |balance: bool| ReplayOptions {
+        batch: BATCH,
+        window: 4,
+        balance,
+    };
+    let run = |balance: bool| {
+        (0..3)
+            .map(|_| replay_sharded_with(&events, SHARDS, opts(balance)))
+            .reduce(|best, r| {
+                if r.events_per_sec > best.events_per_sec {
+                    r
+                } else {
+                    best
+                }
+            })
+            .expect("three runs")
+    };
+    let fixed = run(false);
+    let balanced = run(true);
+    println!(
+        "parallel/skew_zipf_fixed    {:12.0} events/s",
+        fixed.events_per_sec
+    );
+    println!(
+        "parallel/skew_zipf_balanced {:12.0} events/s ({} rotation(s))",
+        balanced.events_per_sec, balanced.rebalances
+    );
+    let ratio = balanced.events_per_sec / fixed.events_per_sec.max(1e-9);
+    // Non-regression gate: rotating the seed at quiesce points must
+    // not tax the skewed replay (the *gain* depends on how many real
+    // cores the shards land on, so only the floor is enforced).
+    let enforced = cpus >= 4;
+    let verdict = if !enforced {
+        format!("SKIP(cpus={cpus})")
+    } else if ratio >= 0.9 {
+        "PASS".to_string()
+    } else {
+        "FAIL".to_string()
+    };
+    println!("skew_gate balanced_vs_fixed {ratio:6.2}x (floor 0.9x) {verdict}");
+    let doc = vec![(
+        "skew".to_string(),
+        Json::Obj(vec![
+            ("zipf_s".to_string(), Json::Float(SKEW_S)),
+            ("shards".to_string(), Json::Int(SHARDS as i64)),
+            (
+                "fixed_events_per_sec".to_string(),
+                Json::Float(fixed.events_per_sec),
+            ),
+            (
+                "balanced_events_per_sec".to_string(),
+                Json::Float(balanced.events_per_sec),
+            ),
+            (
+                "rebalances".to_string(),
+                Json::Int(balanced.rebalances as i64),
+            ),
+            ("enforced".to_string(), Json::Bool(enforced)),
+            ("verdict".to_string(), Json::Str(verdict.clone())),
+        ]),
+    )];
+    (doc, verdict != "FAIL")
+}
+
 fn main() {
     let events = synthetic_events();
     let (mut doc, ok) = bench_scaling(&events);
     doc.extend(bench_batch_amortization(&events));
+    doc.extend(bench_ingress());
+    let (skew_doc, skew_ok) = bench_skew();
+    doc.extend(skew_doc);
+    let ok = ok && skew_ok;
     if let Ok(path) = std::env::var("RKD_BENCH_PARALLEL_JSON") {
         if !path.trim().is_empty() {
             let json = Json::Obj(doc).to_string_compact();

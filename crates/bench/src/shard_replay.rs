@@ -3,10 +3,19 @@
 //!
 //! One canonical datapath program (a flow-keyed per-CPU accumulator
 //! behind an exact-match table, half the flow space pinned by real
-//! entries so table hit rates are non-trivial), one canonical driver
-//! (flow-partition the event stream, submit every shard's batches
-//! up front, wait for all — a single driver thread keeps every shard
-//! busy because [`ShardedMachine::fire_batch_on`] is asynchronous).
+//! entries so table hit rates are non-trivial), one canonical driver:
+//! the event stream is replayed in *waves*. Each wave flow-partitions
+//! a window of events under the current partition seed, submits every
+//! shard's batches round-robin (a single driver thread keeps every
+//! shard busy because [`ShardedMachine::fire_batch_on`] is
+//! asynchronous, and the SPSC ingress rings apply backpressure via
+//! `push_wait`), samples the per-shard queue depths while the wave is
+//! still in flight, then waits the wave out. With
+//! [`ReplayOptions::balance`] on, a skewed depth snapshot
+//! ([`ShardedMachine::should_rebalance`]) triggers a partition-seed
+//! rotation at the wave boundary — the quiesce point the rotation
+//! contract requires, since no ticket is outstanding there — and the
+//! next wave partitions under the new seed.
 //!
 //! `table1 --shards N` and `table2 --shards N` feed their own workload
 //! traces through [`replay_sharded`] and print the aggregate
@@ -128,6 +137,34 @@ pub struct ShardReplayReport {
     pub events_per_sec: f64,
     /// Per-shard lanes, indexed by shard.
     pub per_shard: Vec<ShardLane>,
+    /// Partition-seed rotations the balancer performed mid-replay
+    /// (always 0 unless [`ReplayOptions::balance`] was on).
+    pub rebalances: u64,
+}
+
+/// Tuning knobs for [`replay_sharded_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct ReplayOptions {
+    /// Contexts per submitted batch.
+    pub batch: usize,
+    /// Batches per shard per wave. The wave size (`shards × window ×
+    /// batch` events) bounds how much work is outstanding when the
+    /// driver samples queue depths and, with `balance`, how much of
+    /// the stream is re-partitioned after a seed rotation.
+    pub window: usize,
+    /// Consult the skew balancer between waves and rotate the
+    /// partition seed when the depth snapshot is lopsided.
+    pub balance: bool,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> ReplayOptions {
+        ReplayOptions {
+            batch: 256,
+            window: 8,
+            balance: false,
+        }
+    }
 }
 
 fn lane(shard: usize, c: &MachineCounters) -> ShardLane {
@@ -151,8 +188,27 @@ fn lane(shard: usize, c: &MachineCounters) -> ShardLane {
 
 /// Replays `events` over `shards` datapath shards, flow-partitioned,
 /// in batches of `batch` contexts, and reports aggregate throughput
-/// plus per-shard hit rates.
+/// plus per-shard hit rates. Balancing is off; this is the fixed-seed
+/// baseline the scaling gate measures.
 pub fn replay_sharded(events: &[(u64, i64)], shards: usize, batch: usize) -> ShardReplayReport {
+    replay_sharded_with(
+        events,
+        shards,
+        ReplayOptions {
+            batch,
+            ..ReplayOptions::default()
+        },
+    )
+}
+
+/// The windowed replay driver (see the module docs for the wave
+/// protocol). Returns the aggregate report including how many times
+/// the balancer rotated the partition seed.
+pub fn replay_sharded_with(
+    events: &[(u64, i64)],
+    shards: usize,
+    opts: ReplayOptions,
+) -> ShardReplayReport {
     let sharded = ShardedMachine::new(shards);
     match sharded
         .ctrl(CtrlRequest::Install {
@@ -165,36 +221,79 @@ pub fn replay_sharded(events: &[(u64, i64)], shards: usize, batch: usize) -> Sha
         CtrlResponse::Installed(_) => {}
         other => panic!("unexpected response {other:?}"),
     }
+    drive_replay(&sharded, events, opts)
+}
 
-    // Pre-chunk each shard's lane while partitioning (pulling a chunk
-    // off the front of one big Vec per batch would memmove the whole
-    // tail every time — quadratic in lane length).
-    let batch = batch.max(1);
-    let mut lanes: Vec<Vec<Vec<Ctxt>>> = vec![Vec::new(); sharded.shard_count()];
-    for &(flow, x) in events {
-        let lane = &mut lanes[sharded.shard_for_flow(flow)];
-        if lane.last().is_none_or(|chunk| chunk.len() >= batch) {
-            lane.push(Vec::with_capacity(batch));
-        }
-        lane.last_mut()
-            .expect("chunk exists")
-            .push(Ctxt::from_values(vec![flow as i64, x]));
-    }
+/// Drives an already-configured [`ShardedMachine`] through `events`.
+/// Split out so tests can install their own program (e.g. a stateless
+/// one for cross-shard determinism checks) and still exercise the
+/// canonical wave/rebalance protocol.
+pub fn drive_replay(
+    sharded: &ShardedMachine,
+    events: &[(u64, i64)],
+    opts: ReplayOptions,
+) -> ShardReplayReport {
+    let batch = opts.batch.max(1);
+    let window = opts.window.max(1);
+    let shards = sharded.shard_count();
+    let wave_events = shards * window * batch;
+    let mut rebalances = 0u64;
 
     let start = Instant::now();
-    let tickets: Vec<_> = lanes
-        .into_iter()
-        .enumerate()
-        .flat_map(|(shard, chunks)| {
-            chunks
-                .into_iter()
-                .map(move |chunk| (shard, chunk))
-                .collect::<Vec<_>>()
-        })
-        .map(|(shard, chunk)| sharded.fire_batch_on(shard, REPLAY_HOOK, chunk))
-        .collect();
-    for t in tickets {
-        t.wait();
+    let mut remaining = events;
+    // Reused per wave: per-shard chunk lists. Pre-chunking while
+    // partitioning avoids pulling chunks off the front of one big Vec
+    // (which would memmove the whole tail every time — quadratic).
+    let mut lanes: Vec<Vec<Vec<Ctxt>>> = vec![Vec::new(); shards];
+    while !remaining.is_empty() {
+        let take = remaining.len().min(wave_events);
+        let (wave, rest) = remaining.split_at(take);
+        remaining = rest;
+
+        // Partition this wave under the *current* seed — a rotation
+        // at the previous wave boundary re-routes everything from
+        // here on.
+        for lane in &mut lanes {
+            lane.clear();
+        }
+        for &(flow, x) in wave {
+            let lane = &mut lanes[sharded.shard_for_flow(flow)];
+            if lane.last().is_none_or(|chunk| chunk.len() >= batch) {
+                lane.push(Vec::with_capacity(batch));
+            }
+            lane.last_mut()
+                .expect("chunk exists")
+                .push(Ctxt::from_values(vec![flow as i64, x]));
+        }
+
+        // Submit round-robin across shards so every worker starts
+        // draining immediately; the SPSC rings backpressure the
+        // driver once a hot shard falls behind.
+        let mut tickets = Vec::with_capacity(window * shards);
+        let deepest = lanes.iter().map(Vec::len).max().unwrap_or(0);
+        for ci in 0..deepest {
+            for (shard, lane) in lanes.iter_mut().enumerate() {
+                if ci < lane.len() {
+                    let chunk = std::mem::take(&mut lane[ci]);
+                    tickets.push(sharded.fire_batch_on(shard, REPLAY_HOOK, chunk));
+                }
+            }
+        }
+        // Sample skew while the wave is still in flight: after the
+        // last submit the hot shard's ring is still deep (it gated
+        // the driver) while drained shards sit near empty.
+        let rebalance = opts.balance && !remaining.is_empty() && sharded.should_rebalance();
+        for t in tickets {
+            t.wait();
+        }
+        if rebalance {
+            // Wave boundary: every ticket waited, nothing in flight —
+            // the quiesce the rotation contract requires.
+            sharded
+                .rotate_partition()
+                .expect("rotate partition seed at quiesce point");
+            rebalances += 1;
+        }
     }
     let elapsed_ns = start.elapsed().as_nanos() as u64;
 
@@ -206,11 +305,12 @@ pub fn replay_sharded(events: &[(u64, i64)], shards: usize, batch: usize) -> Sha
         .collect();
     let events_total: u64 = per_shard.iter().map(|l| l.fires).sum();
     ShardReplayReport {
-        shards: sharded.shard_count(),
+        shards,
         events: events_total,
         elapsed_ns,
         events_per_sec: events_total as f64 / (elapsed_ns.max(1) as f64 / 1e9),
         per_shard,
+        rebalances,
     }
 }
 
@@ -229,29 +329,36 @@ pub fn render_report(report: &ShardReplayReport) -> String {
             l.shard, l.fires, l.table_hit_pct, l.cache_hit_pct
         ));
     }
+    if report.rebalances > 0 {
+        out.push_str(&format!(
+            "  balancer: {} partition-seed rotation(s)\n",
+            report.rebalances
+        ));
+    }
     out
 }
 
-/// Parses `--shards N` from an argument list (returns `None` when the
-/// flag is absent; panics on a malformed count, which is a usage
-/// error worth failing loudly on).
+/// Parses `--shards N` (or `--shards auto`, which sizes the shard
+/// pool from [`ShardedMachine::auto_shards`]) from an argument list.
+/// Returns `None` when the flag is absent; panics on a malformed
+/// count, which is a usage error worth failing loudly on.
 pub fn parse_shards_flag(args: impl IntoIterator<Item = String>) -> Option<usize> {
+    let parse = |n: &str| -> usize {
+        if n == "auto" {
+            ShardedMachine::auto_shards()
+        } else {
+            n.parse::<usize>()
+                .expect("--shards requires an integer count or 'auto'")
+                .max(1)
+        }
+    };
     let mut args = args.into_iter();
     while let Some(a) = args.next() {
         if a == "--shards" {
-            let n = args
-                .next()
-                .expect("--shards requires a count")
-                .parse::<usize>()
-                .expect("--shards requires an integer count");
-            return Some(n.max(1));
+            return Some(parse(&args.next().expect("--shards requires a count")));
         }
         if let Some(n) = a.strip_prefix("--shards=") {
-            return Some(
-                n.parse::<usize>()
-                    .expect("--shards requires an integer count")
-                    .max(1),
-            );
+            return Some(parse(n));
         }
     }
     None
@@ -285,5 +392,48 @@ mod tests {
         assert_eq!(parse_shards_flag(args(&["--shards=2"])), Some(2));
         assert_eq!(parse_shards_flag(args(&["--metrics"])), None);
         assert_eq!(parse_shards_flag(args(&["--shards", "0"])), Some(1));
+        let auto = ShardedMachine::auto_shards();
+        assert_eq!(parse_shards_flag(args(&["--shards", "auto"])), Some(auto));
+        assert_eq!(parse_shards_flag(args(&["--shards=auto"])), Some(auto));
+        assert!(auto >= 1);
+    }
+
+    #[test]
+    fn windowed_driver_accounts_for_every_event_across_waves() {
+        // 5 waves' worth of events at this window/batch, with a tail
+        // that doesn't fill the last wave.
+        let events = events_from_keys(0..1234u64);
+        let report = replay_sharded_with(
+            &events,
+            2,
+            ReplayOptions {
+                batch: 16,
+                window: 4,
+                balance: false,
+            },
+        );
+        assert_eq!(report.events, 1234);
+        assert_eq!(report.rebalances, 0);
+        assert_eq!(report.per_shard.iter().map(|l| l.fires).sum::<u64>(), 1234);
+    }
+
+    #[test]
+    fn balanced_replay_still_accounts_for_every_event() {
+        // A maximally skewed stream: every event on one flow, so one
+        // shard takes the whole load and the balancer may rotate at
+        // wave boundaries. Whether or not it fires (depends on drain
+        // timing), no event may be lost or duplicated.
+        let events: Vec<(u64, i64)> = (0..2000).map(|_| (7u64, 1)).collect();
+        let report = replay_sharded_with(
+            &events,
+            2,
+            ReplayOptions {
+                batch: 8,
+                window: 2,
+                balance: true,
+            },
+        );
+        assert_eq!(report.events, 2000);
+        assert_eq!(report.per_shard.iter().map(|l| l.fires).sum::<u64>(), 2000);
     }
 }

@@ -132,6 +132,27 @@ pub enum CtrlRequest {
         /// New capacity in cached flow keys per hook.
         capacity: u64,
     },
+    /// Rotate the sharded datapath's flow→shard partition seed — the
+    /// skew balancer's re-hash. Routed through the same journaled
+    /// command log as every other mutation so a recovered
+    /// [`crate::shard::ShardedMachine`] restores its partition. On a
+    /// single machine (and inside each shard replica) this is a
+    /// deliberate no-op: partitioning is a coordinator concern.
+    SetPartitionSeed {
+        /// New seed folded into [`crate::shard::ShardedMachine::shard_for_flow`].
+        seed: u64,
+    },
+    /// Configure the sharded ingress skew balancer (no-op on a single
+    /// machine, journaled like [`CtrlRequest::SetPartitionSeed`]).
+    SetBalancerPolicy {
+        /// Rebalance triggers when the deepest shard ingress queue
+        /// exceeds `ratio_pct` percent of the mean depth (e.g. 200 =
+        /// 2× the mean).
+        ratio_pct: u64,
+        /// …and is at least this deep — an absolute floor so
+        /// near-idle rings never trigger a pointless re-hash.
+        min_depth: u64,
+    },
     /// Read the machine-wide datapath counters (fires, table
     /// hits/misses, decision-cache hits/misses/invalidations, …).
     QueryMachineCounters,
@@ -262,6 +283,13 @@ pub fn syscall_rmt_with(
         }
         CtrlRequest::SetDecisionCacheCapacity { capacity } => {
             machine.set_decision_cache_capacity(capacity.min(usize::MAX as u64) as usize);
+            Ok(CtrlResponse::Ok)
+        }
+        // Sharding directives: meaningless on one machine (and on a
+        // shard's own replica), but accepted so they replay cleanly
+        // from the control journal and drain cleanly from the
+        // sharded command log.
+        CtrlRequest::SetPartitionSeed { .. } | CtrlRequest::SetBalancerPolicy { .. } => {
             Ok(CtrlResponse::Ok)
         }
         CtrlRequest::QueryMachineCounters => Ok(CtrlResponse::Counters(machine.machine_counters())),
@@ -687,6 +715,8 @@ rkd_testkit::impl_json_enum!(CtrlRequest {
     ObsReset,
     SetOptLevel { prog, level },
     SetDecisionCacheCapacity { capacity },
+    SetPartitionSeed { seed },
+    SetBalancerPolicy { ratio_pct, min_depth },
     QueryMachineCounters,
     ReportOutcome {
         prog,

@@ -150,6 +150,14 @@ impl Ctxt {
             .collect()
     }
 
+    /// [`Ctxt::key`] into a caller-owned buffer — the fire path reuses
+    /// one scratch buffer per machine so the decision-cache probe stays
+    /// allocation-free on repeat flows.
+    pub fn key_into(&self, fields: &[FieldId], out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(fields.iter().map(|f| self.get(*f).unwrap_or(0) as u64));
+    }
+
     /// Raw values (read-only).
     pub fn values(&self) -> &[i64] {
         &self.values

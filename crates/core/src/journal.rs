@@ -476,6 +476,8 @@ pub fn is_mutation(req: &CtrlRequest) -> bool {
         | CtrlRequest::TraceRead { .. }
         | CtrlRequest::SetOptLevel { .. }
         | CtrlRequest::SetDecisionCacheCapacity { .. }
+        | CtrlRequest::SetPartitionSeed { .. }
+        | CtrlRequest::SetBalancerPolicy { .. }
         | CtrlRequest::ReportOutcome { .. } => true,
         CtrlRequest::QueryStats { .. }
         | CtrlRequest::QueryTableStats { .. }

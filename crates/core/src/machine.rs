@@ -340,6 +340,15 @@ pub struct RmtMachine {
     /// Reusable pipeline queue — `fire` is allocation-free once this
     /// has grown to the deepest pipeline seen.
     scratch_queue: Vec<usize>,
+    /// Reusable decision-cache probe-key buffer — repeat flows hash
+    /// their consumed fields without allocating (the key is cloned
+    /// only when a miss inserts a new cache entry).
+    key_scratch: Vec<u64>,
+    /// Reusable copy of a hook's table pipeline, letting
+    /// [`RmtMachine::fire_batch`] resolve the single-listener pipeline
+    /// once and hold it across the whole batch while the program
+    /// instance is mutably borrowed.
+    pipeline_scratch: Vec<usize>,
     /// Table generation: bumped on every control-plane table/model
     /// mutation; cached decisions recorded under an older generation
     /// are stale and never replayed.
@@ -352,6 +361,36 @@ impl Default for RmtMachine {
     fn default() -> RmtMachine {
         RmtMachine::new()
     }
+}
+
+/// Decision-cache state for one firing, threaded between the probe
+/// ([`RmtMachine::cache_probe`]), the per-listener pipeline walk
+/// ([`RmtMachine::run_pipeline`]) and the publish
+/// ([`RmtMachine::cache_finish`]). The cached step chain is *moved*
+/// out of the map for the duration of the firing (and restored on a
+/// clean hit) rather than borrowed: a live borrow into the hook slot
+/// would pin the whole listener loop, and the moves are pointer
+/// swaps.
+struct CacheRun {
+    /// Caching is on for this firing (capacity > 0, hook eligible).
+    enabled: bool,
+    /// The hook consumes no ctxt fields: one shared decision slot,
+    /// no key extraction, no hash probe.
+    flowless: bool,
+    /// The probe found a stale-generation entry (counted on miss).
+    invalidated: bool,
+    /// Recording a fresh step chain (probe missed or replay
+    /// diverged).
+    recording: bool,
+    /// Steps recorded so far while `recording`.
+    recorded: Vec<CachedStep>,
+    /// Step chain moved out of the cache on a current-generation
+    /// probe hit.
+    replay: Option<Vec<CachedStep>>,
+    /// Next replay step to validate.
+    cursor: usize,
+    /// A replayed step failed validation mid-firing.
+    diverged: bool,
 }
 
 impl RmtMachine {
@@ -370,6 +409,8 @@ impl RmtMachine {
             hook_index: HashMap::new(),
             obs: Obs::new(cfg),
             scratch_queue: Vec::new(),
+            key_scratch: Vec::new(),
+            pipeline_scratch: Vec::new(),
             table_gen: 0,
             decision_cache_cap: DEFAULT_DECISION_CACHE_CAP,
         }
@@ -695,6 +736,8 @@ impl RmtMachine {
             &mut self.programs,
             &mut self.obs,
             &mut self.scratch_queue,
+            &mut self.key_scratch,
+            &mut self.pipeline_scratch,
             self.tick,
             self.table_gen,
             self.decision_cache_cap,
@@ -733,19 +776,56 @@ impl RmtMachine {
             return results;
         };
         let fires_before = self.obs.counters.fires;
-        for ctxt in ctxts.iter_mut() {
-            results.push(Self::fire_in_slot(
-                &mut self.programs,
-                &mut self.obs,
-                &mut self.scratch_queue,
-                self.tick,
-                self.table_gen,
-                self.decision_cache_cap,
-                sample_mask,
-                slot,
-                hook,
-                ctxt,
-            ));
+        // Single-listener fast path (the common shape: one program
+        // per hook): resolve the program instance and its table
+        // pipeline once, then run key-extraction → cache probe →
+        // action execution per context without re-walking the program
+        // B-tree or re-hashing the hook name each firing.
+        let single = match slot.listeners.as_slice() {
+            &[(pid, _)] => self
+                .programs
+                .get_mut(&pid)
+                .filter(|inst| inst.hook_tables.contains_key(hook))
+                .map(|inst| (pid, inst)),
+            _ => None,
+        };
+        if let Some((pid, inst)) = single {
+            self.pipeline_scratch.clear();
+            self.pipeline_scratch
+                .extend_from_slice(&inst.hook_tables[hook]);
+            for ctxt in ctxts.iter_mut() {
+                results.push(Self::fire_one_prepared(
+                    inst,
+                    pid,
+                    &self.pipeline_scratch,
+                    &mut self.obs,
+                    &mut self.scratch_queue,
+                    &mut self.key_scratch,
+                    self.tick,
+                    self.table_gen,
+                    self.decision_cache_cap,
+                    sample_mask,
+                    slot,
+                    ctxt,
+                ));
+            }
+        } else {
+            for ctxt in ctxts.iter_mut() {
+                results.push(Self::fire_in_slot(
+                    &mut self.programs,
+                    &mut self.obs,
+                    &mut self.scratch_queue,
+                    &mut self.key_scratch,
+                    &mut self.pipeline_scratch,
+                    self.tick,
+                    self.table_gen,
+                    self.decision_cache_cap,
+                    sample_mask,
+                    slot,
+                    hook,
+                    ctxt,
+                ));
+            }
         }
         if self
             .obs
@@ -778,6 +858,8 @@ impl RmtMachine {
         programs: &mut BTreeMap<u32, Installed>,
         obs: &mut Obs,
         scratch_queue: &mut Vec<usize>,
+        key_scratch: &mut Vec<u64>,
+        pipeline_scratch: &mut Vec<usize>,
         tick: u64,
         table_gen: u64,
         decision_cache_cap: usize,
@@ -793,378 +875,497 @@ impl RmtMachine {
         let timed = obs.cfg.timing && (slot.fires - 1) & sample_mask == 0;
         let t0 = timed.then(Instant::now);
         let mut prev = t0;
-        // Decision-cache probe: hash the consumed ctxt fields and, if
-        // a current-generation decision is cached, replay its steps
-        // (validated per table below; actions always re-execute).
-        let use_cache = decision_cache_cap > 0 && slot.eligible;
-        if decision_cache_cap > 0 && !slot.eligible {
-            obs.counters.decision_cache_bypasses += 1;
-        }
-        let mut probe_key: Option<Vec<u64>> = None;
-        // The cached step chain is *moved* out of the map for the
-        // duration of the firing (and restored on a clean hit) rather
-        // than borrowed: a live borrow into the hook slot would pin
-        // the whole listener loop, and the moves are pointer swaps.
-        let mut replay: Option<Vec<CachedStep>> = None;
-        let mut invalidated = false;
-        // Flow-independent hooks (no consumed fields) share a single
-        // decision slot: no key extraction, no hash probe.
-        let flowless = slot.consumed.is_empty();
-        if use_cache && flowless {
-            match slot.cache.flowless.take() {
-                Some(c) if c.generation == table_gen => replay = Some(c.steps),
-                Some(_) => invalidated = true,
-                None => {}
-            }
-        } else if use_cache {
-            let pk = ctxt.key(&slot.consumed);
-            match slot.cache.map.get_mut(pk.as_slice()) {
-                Some(c) if c.generation == table_gen => {
-                    replay = Some(std::mem::take(&mut c.steps));
-                }
-                Some(_) => invalidated = true,
-                None => {}
-            }
-            probe_key = Some(pk);
-        }
-        let mut recording = use_cache && replay.is_none();
-        let mut recorded: Vec<CachedStep> = Vec::new();
-        let mut diverged = false;
-        let mut cursor = 0usize;
+        let mut cache =
+            Self::cache_probe(slot, obs, key_scratch, table_gen, decision_cache_cap, ctxt);
         for li in 0..slot.listeners.len() {
             let (pid, _first_table) = slot.listeners[li];
             let Some(inst) = programs.get_mut(&pid) else {
                 continue;
             };
             inst.stats.invocations += 1;
-            let verdicts_before = result.verdicts.len();
             // Pipeline: all of this program's tables registered at this
             // hook, in declaration order; a tail call redirects and then
             // ends the pipeline.
             let Some(hook_tables) = inst.hook_tables.get(hook) else {
                 continue;
             };
-            scratch_queue.clear();
-            scratch_queue.extend_from_slice(hook_tables);
-            let mut chain = 0usize;
-            let mut qi = 0usize;
-            while qi < scratch_queue.len() {
-                let ti = scratch_queue[qi];
-                qi += 1;
-                // Match phase: replay a validated cached step, or
-                // resolve live (recording if the cache missed).
-                let mut replayed: Option<Option<usize>> = None;
-                let mut fresh_key: Option<Vec<u64>> = None;
-                if use_cache && !recording {
-                    match replay.as_deref().unwrap_or(&[]).get(cursor) {
-                        Some(st) => {
-                            let t = &inst.tables[ti];
-                            let ok = st.prog == pid
-                                && st.table as usize == ti
-                                && match &st.key {
-                                    // Key-independent decision: still
-                                    // valid iff the table is still
-                                    // empty (no key extraction).
-                                    None => t.is_empty(),
-                                    // Key-stable hook (specialized
-                                    // fast path): the probe-key match
-                                    // already pinned every reachable
-                                    // match key for this firing, so
-                                    // skip re-extraction.
-                                    Some(_) if slot.key_stable => true,
-                                    Some(mk) => {
-                                        let k = ctxt.key(&t.def().key_fields);
-                                        let same = *mk == k;
-                                        fresh_key = Some(k);
-                                        same
-                                    }
-                                }
-                                && match st.entry {
-                                    Some(ei) => (ei as usize) < t.entries().len(),
-                                    None => true,
-                                };
-                            if ok {
-                                replayed = Some(st.entry.map(|ei| ei as usize));
-                                cursor += 1;
-                            } else {
-                                let mut r = replay.take().unwrap_or_default();
-                                r.truncate(cursor);
-                                recorded = r;
-                                recording = true;
-                                diverged = true;
-                            }
-                        }
-                        None => {
-                            // Live pipeline outran the memo (e.g. a
-                            // tail call fires now that didn't before):
-                            // divergence. The validated prefix seeds
-                            // the re-recording.
-                            recorded = replay.take().unwrap_or_default();
-                            recording = true;
-                            diverged = true;
-                        }
-                    }
-                }
-                let (matched, action_id, arg) = match replayed {
-                    Some(Some(ei)) => {
-                        let t = &inst.tables[ti];
-                        t.note_hit();
-                        let e = &t.entries()[ei];
-                        (true, Some(e.action), e.arg)
-                    }
-                    Some(None) => {
-                        let t = &inst.tables[ti];
-                        t.note_miss();
-                        (false, t.def().default_action, 0)
-                    }
-                    None => {
-                        let t = &inst.tables[ti];
-                        if use_cache && t.is_empty() {
-                            // Empty table: the default action fires
-                            // regardless of the key — skip extraction
-                            // and memoize a key-independent step.
-                            t.note_miss();
-                            if recording {
-                                recorded.push(CachedStep {
-                                    prog: pid,
-                                    table: ti as u16,
-                                    key: None,
-                                    entry: None,
-                                });
-                            }
-                            (false, t.def().default_action, 0)
-                        } else {
-                            let key = fresh_key
-                                .take()
-                                .unwrap_or_else(|| ctxt.key(&t.def().key_fields));
-                            match t.lookup_indexed(&key) {
-                                Some((ei, e)) => {
-                                    let (action, arg) = (e.action, e.arg);
-                                    if recording {
-                                        recorded.push(CachedStep {
-                                            prog: pid,
-                                            table: ti as u16,
-                                            key: Some(key),
-                                            entry: Some(ei as u32),
-                                        });
-                                    }
-                                    (true, Some(action), arg)
-                                }
-                                None => {
-                                    if recording {
-                                        recorded.push(CachedStep {
-                                            prog: pid,
-                                            table: ti as u16,
-                                            key: Some(key),
-                                            entry: None,
-                                        });
-                                    }
-                                    (false, t.def().default_action, 0)
-                                }
-                            }
-                        }
-                    }
-                };
-                if matched {
-                    obs.counters.table_hits += 1;
-                } else {
-                    obs.counters.table_misses += 1;
-                }
-                let Some(action_id) = action_id else {
-                    continue; // Miss with no default: next table.
-                };
-                let fuel = inst
-                    .worst_case
-                    .get(action_id.0 as usize)
-                    .copied()
-                    .unwrap_or(1);
-                let outcome = {
-                    let mut env = ExecEnv {
-                        ctxt,
-                        maps: &mut inst.maps,
-                        tensors: &inst.prog.tensors,
-                        models: &inst.prog.models,
-                        tick,
-                        rng: &mut inst.rng,
-                        ledger: &mut inst.ledger,
-                        privacy: inst.prog.privacy,
-                        ml_stats: &mut inst.model_stats,
-                        time_ml: timed,
-                    };
-                    match inst.mode {
-                        ExecMode::Interp => run_action(
-                            &inst.prog.actions[action_id.0 as usize],
-                            fuel,
-                            arg,
-                            &mut env,
-                        ),
-                        ExecMode::Jit => {
-                            inst.compiled[action_id.0 as usize].run(fuel, arg, &mut env)
-                        }
-                    }
-                };
-                match outcome {
-                    Ok(ActionOutcome {
-                        verdict,
-                        effects,
-                        tail_call,
-                        insns_executed,
-                        guard_trips,
-                    }) => {
-                        inst.stats.actions_run += 1;
-                        inst.stats.insns_executed += insns_executed;
-                        inst.stats.guard_trips += guard_trips;
-                        if guard_trips > 0 {
-                            obs.counters.guard_trips += guard_trips;
-                            obs.ring.push(TraceEvent {
-                                tick,
-                                prog: pid,
-                                kind: TraceKind::GuardTrip,
-                                info: guard_trips as i64,
-                            });
-                        }
-                        result.verdicts.push((TableId(ti as u16), verdict));
-                        for e in effects {
-                            if e.is_resource() {
-                                if let Some(bucket) = &mut inst.bucket {
-                                    let cost = match e {
-                                        Effect::Prefetch { count, .. } => count.max(1),
-                                        _ => 1,
-                                    };
-                                    if !bucket.try_take(cost, tick) {
-                                        inst.stats.effects_rate_limited += 1;
-                                        obs.counters.rate_limit_drops += 1;
-                                        obs.ring.push(TraceEvent {
-                                            tick,
-                                            prog: pid,
-                                            kind: TraceKind::RateLimitDrop,
-                                            info: ti as i64,
-                                        });
-                                        continue;
-                                    }
-                                }
-                            }
-                            inst.stats.effects_emitted += 1;
-                            result.effects.push(e);
-                        }
-                        if let Some(target) = tail_call {
-                            chain += 1;
-                            if chain > MAX_TAIL_CHAIN {
-                                // §3.1: a tail call redirects and ends
-                                // the pipeline — an over-long chain
-                                // terminates it instead of letting the
-                                // remaining queue run.
-                                inst.stats.tail_chain_overflows += 1;
-                                obs.counters.tail_chain_overflows += 1;
-                                obs.ring.push(TraceEvent {
-                                    tick,
-                                    prog: pid,
-                                    kind: TraceKind::TailChainOverflow,
-                                    info: ti as i64,
-                                });
-                                break;
-                            } else if target.0 as usize >= inst.tables.len() {
-                                inst.stats.actions_aborted += 1;
-                                obs.counters.aborts += 1;
-                                obs.ring.push(TraceEvent {
-                                    tick,
-                                    prog: pid,
-                                    kind: TraceKind::Abort,
-                                    info: ti as i64,
-                                });
-                            } else {
-                                inst.stats.tail_calls += 1;
-                                obs.counters.tail_calls += 1;
-                                // Redirect: the chain replaces the rest
-                                // of the pipeline.
-                                scratch_queue.truncate(qi);
-                                scratch_queue.push(target.0 as usize);
-                            }
-                        }
-                    }
-                    Err(_) => {
-                        inst.stats.actions_aborted += 1;
-                        obs.counters.aborts += 1;
-                        obs.ring.push(TraceEvent {
-                            tick,
-                            prog: pid,
-                            kind: TraceKind::Abort,
-                            info: ti as i64,
-                        });
-                    }
-                }
-            }
-            if let Some(start) = prev {
-                let now = Instant::now();
-                inst.hist
-                    .record(now.duration_since(start).as_nanos() as u64);
-                prev = Some(now);
-            }
-            if obs.cfg.trace_fires {
-                let verdict = result.verdicts[verdicts_before..]
-                    .last()
-                    .map_or(i64::MIN, |&(_, v)| v);
-                obs.ring.push(TraceEvent {
-                    tick,
-                    prog: pid,
-                    kind: TraceKind::Fire,
-                    info: verdict,
-                });
-            }
+            pipeline_scratch.clear();
+            pipeline_scratch.extend_from_slice(hook_tables);
+            Self::run_pipeline(
+                inst,
+                pid,
+                pipeline_scratch,
+                slot.key_stable,
+                &mut cache,
+                obs,
+                scratch_queue,
+                tick,
+                timed,
+                &mut prev,
+                ctxt,
+                &mut result,
+            );
         }
-        if use_cache {
-            let hit = !diverged && replay.as_deref().is_some_and(|s| s.len() == cursor);
-            if hit {
-                obs.counters.decision_cache_hits += 1;
-                // Restore the step chain taken at probe time; nothing
-                // evicts mid-firing.
-                let steps = replay.take().unwrap_or_default();
-                if flowless {
-                    slot.cache.flowless = Some(CachedDecision {
-                        generation: table_gen,
-                        steps,
-                    });
-                } else if let Some(c) = slot
-                    .cache
-                    .map
-                    .get_mut(probe_key.take().unwrap_or_default().as_slice())
-                {
-                    c.steps = steps;
-                }
-            } else {
-                obs.counters.decision_cache_misses += 1;
-                if invalidated {
-                    obs.counters.decision_cache_invalidations += 1;
-                }
-                if !recording {
-                    // Every replayed step validated but the live
-                    // pipeline ended early: memoize what actually ran.
-                    recorded = replay.take().map_or_else(Vec::new, |mut s| {
-                        s.truncate(cursor);
-                        s
-                    });
-                }
-                let dec = CachedDecision {
-                    generation: table_gen,
-                    steps: recorded,
-                };
-                if flowless {
-                    slot.cache.flowless = Some(dec);
-                } else {
-                    let evicted = slot.cache.insert(
-                        probe_key.take().unwrap_or_default(),
-                        dec,
-                        decision_cache_cap,
-                    );
-                    obs.counters.decision_cache_evictions += evicted;
-                }
-            }
-        }
+        Self::cache_finish(slot, obs, key_scratch, table_gen, decision_cache_cap, cache);
         if let (Some(start), Some(end)) = (t0, prev) {
             slot.hist
                 .record(end.duration_since(start).as_nanos() as u64);
         }
         result
+    }
+
+    /// One firing with the listener's program instance and table
+    /// pipeline already resolved — the single-listener fast path of
+    /// [`RmtMachine::fire_batch`], which hoists the program B-tree
+    /// walk and the hook→tables hash probe out of the per-context
+    /// loop. Per-firing semantics are identical to
+    /// [`RmtMachine::fire_in_slot`] with one listener: both call the
+    /// same [`RmtMachine::cache_probe`] / [`RmtMachine::run_pipeline`]
+    /// / [`RmtMachine::cache_finish`] sequence.
+    #[allow(clippy::too_many_arguments)]
+    fn fire_one_prepared(
+        inst: &mut Installed,
+        pid: u32,
+        pipeline: &[usize],
+        obs: &mut Obs,
+        scratch_queue: &mut Vec<usize>,
+        key_scratch: &mut Vec<u64>,
+        tick: u64,
+        table_gen: u64,
+        decision_cache_cap: usize,
+        sample_mask: u64,
+        slot: &mut HookSlot,
+        ctxt: &mut Ctxt,
+    ) -> HookResult {
+        let mut result = HookResult::default();
+        slot.fires += 1;
+        obs.counters.fires += 1;
+        let timed = obs.cfg.timing && (slot.fires - 1) & sample_mask == 0;
+        let t0 = timed.then(Instant::now);
+        let mut prev = t0;
+        let mut cache =
+            Self::cache_probe(slot, obs, key_scratch, table_gen, decision_cache_cap, ctxt);
+        inst.stats.invocations += 1;
+        Self::run_pipeline(
+            inst,
+            pid,
+            pipeline,
+            slot.key_stable,
+            &mut cache,
+            obs,
+            scratch_queue,
+            tick,
+            timed,
+            &mut prev,
+            ctxt,
+            &mut result,
+        );
+        Self::cache_finish(slot, obs, key_scratch, table_gen, decision_cache_cap, cache);
+        if let (Some(start), Some(end)) = (t0, prev) {
+            slot.hist
+                .record(end.duration_since(start).as_nanos() as u64);
+        }
+        result
+    }
+
+    /// Decision-cache probe for one firing: hash the consumed ctxt
+    /// fields (into the machine's reusable key scratch — no
+    /// allocation on repeat flows) and, if a current-generation
+    /// decision is cached, move its step chain out for replay
+    /// (validated per table in [`RmtMachine::run_pipeline`]; actions
+    /// always re-execute).
+    fn cache_probe(
+        slot: &mut HookSlot,
+        obs: &mut Obs,
+        key_scratch: &mut Vec<u64>,
+        table_gen: u64,
+        decision_cache_cap: usize,
+        ctxt: &Ctxt,
+    ) -> CacheRun {
+        let enabled = decision_cache_cap > 0 && slot.eligible;
+        if decision_cache_cap > 0 && !slot.eligible {
+            obs.counters.decision_cache_bypasses += 1;
+        }
+        let mut cache = CacheRun {
+            enabled,
+            // Flow-independent hooks (no consumed fields) share a
+            // single decision slot: no key extraction, no hash probe.
+            flowless: slot.consumed.is_empty(),
+            invalidated: false,
+            recording: false,
+            recorded: Vec::new(),
+            replay: None,
+            cursor: 0,
+            diverged: false,
+        };
+        if enabled && cache.flowless {
+            match slot.cache.flowless.take() {
+                Some(c) if c.generation == table_gen => cache.replay = Some(c.steps),
+                Some(_) => cache.invalidated = true,
+                None => {}
+            }
+        } else if enabled {
+            ctxt.key_into(&slot.consumed, key_scratch);
+            match slot.cache.map.get_mut(key_scratch.as_slice()) {
+                Some(c) if c.generation == table_gen => {
+                    cache.replay = Some(std::mem::take(&mut c.steps));
+                }
+                Some(_) => cache.invalidated = true,
+                None => {}
+            }
+        }
+        cache.recording = enabled && cache.replay.is_none();
+        cache
+    }
+
+    /// One listener's pipeline walk: the program's tables registered
+    /// at the hook (pre-resolved by the caller into `pipeline`), in
+    /// declaration order; a tail call redirects and then ends the
+    /// pipeline. Shared by the scalar fire path and the
+    /// single-listener batch fast path so their semantics (counters,
+    /// traces, cache steps) cannot drift.
+    #[allow(clippy::too_many_arguments)]
+    fn run_pipeline(
+        inst: &mut Installed,
+        pid: u32,
+        pipeline: &[usize],
+        key_stable: bool,
+        cache: &mut CacheRun,
+        obs: &mut Obs,
+        scratch_queue: &mut Vec<usize>,
+        tick: u64,
+        timed: bool,
+        prev: &mut Option<Instant>,
+        ctxt: &mut Ctxt,
+        result: &mut HookResult,
+    ) {
+        let verdicts_before = result.verdicts.len();
+        scratch_queue.clear();
+        scratch_queue.extend_from_slice(pipeline);
+        let mut chain = 0usize;
+        let mut qi = 0usize;
+        while qi < scratch_queue.len() {
+            let ti = scratch_queue[qi];
+            qi += 1;
+            // Match phase: replay a validated cached step, or
+            // resolve live (recording if the cache missed).
+            let mut replayed: Option<Option<usize>> = None;
+            let mut fresh_key: Option<Vec<u64>> = None;
+            if cache.enabled && !cache.recording {
+                match cache.replay.as_deref().unwrap_or(&[]).get(cache.cursor) {
+                    Some(st) => {
+                        let t = &inst.tables[ti];
+                        let ok = st.prog == pid
+                            && st.table as usize == ti
+                            && match &st.key {
+                                // Key-independent decision: still
+                                // valid iff the table is still
+                                // empty (no key extraction).
+                                None => t.is_empty(),
+                                // Key-stable hook (specialized
+                                // fast path): the probe-key match
+                                // already pinned every reachable
+                                // match key for this firing, so
+                                // skip re-extraction.
+                                Some(_) if key_stable => true,
+                                Some(mk) => {
+                                    let k = ctxt.key(&t.def().key_fields);
+                                    let same = *mk == k;
+                                    fresh_key = Some(k);
+                                    same
+                                }
+                            }
+                            && match st.entry {
+                                Some(ei) => (ei as usize) < t.entries().len(),
+                                None => true,
+                            };
+                        if ok {
+                            replayed = Some(st.entry.map(|ei| ei as usize));
+                            cache.cursor += 1;
+                        } else {
+                            let mut r = cache.replay.take().unwrap_or_default();
+                            r.truncate(cache.cursor);
+                            cache.recorded = r;
+                            cache.recording = true;
+                            cache.diverged = true;
+                        }
+                    }
+                    None => {
+                        // Live pipeline outran the memo (e.g. a
+                        // tail call fires now that didn't before):
+                        // divergence. The validated prefix seeds
+                        // the re-recording.
+                        cache.recorded = cache.replay.take().unwrap_or_default();
+                        cache.recording = true;
+                        cache.diverged = true;
+                    }
+                }
+            }
+            let (matched, action_id, arg) = match replayed {
+                Some(Some(ei)) => {
+                    let t = &inst.tables[ti];
+                    t.note_hit();
+                    let e = &t.entries()[ei];
+                    (true, Some(e.action), e.arg)
+                }
+                Some(None) => {
+                    let t = &inst.tables[ti];
+                    t.note_miss();
+                    (false, t.def().default_action, 0)
+                }
+                None => {
+                    let t = &inst.tables[ti];
+                    if cache.enabled && t.is_empty() {
+                        // Empty table: the default action fires
+                        // regardless of the key — skip extraction
+                        // and memoize a key-independent step.
+                        t.note_miss();
+                        if cache.recording {
+                            cache.recorded.push(CachedStep {
+                                prog: pid,
+                                table: ti as u16,
+                                key: None,
+                                entry: None,
+                            });
+                        }
+                        (false, t.def().default_action, 0)
+                    } else {
+                        let key = fresh_key
+                            .take()
+                            .unwrap_or_else(|| ctxt.key(&t.def().key_fields));
+                        match t.lookup_indexed(&key) {
+                            Some((ei, e)) => {
+                                let (action, arg) = (e.action, e.arg);
+                                if cache.recording {
+                                    cache.recorded.push(CachedStep {
+                                        prog: pid,
+                                        table: ti as u16,
+                                        key: Some(key),
+                                        entry: Some(ei as u32),
+                                    });
+                                }
+                                (true, Some(action), arg)
+                            }
+                            None => {
+                                if cache.recording {
+                                    cache.recorded.push(CachedStep {
+                                        prog: pid,
+                                        table: ti as u16,
+                                        key: Some(key),
+                                        entry: None,
+                                    });
+                                }
+                                (false, t.def().default_action, 0)
+                            }
+                        }
+                    }
+                }
+            };
+            if matched {
+                obs.counters.table_hits += 1;
+            } else {
+                obs.counters.table_misses += 1;
+            }
+            let Some(action_id) = action_id else {
+                continue; // Miss with no default: next table.
+            };
+            let fuel = inst
+                .worst_case
+                .get(action_id.0 as usize)
+                .copied()
+                .unwrap_or(1);
+            let outcome = {
+                let mut env = ExecEnv {
+                    ctxt,
+                    maps: &mut inst.maps,
+                    tensors: &inst.prog.tensors,
+                    models: &inst.prog.models,
+                    tick,
+                    rng: &mut inst.rng,
+                    ledger: &mut inst.ledger,
+                    privacy: inst.prog.privacy,
+                    ml_stats: &mut inst.model_stats,
+                    time_ml: timed,
+                };
+                match inst.mode {
+                    ExecMode::Interp => run_action(
+                        &inst.prog.actions[action_id.0 as usize],
+                        fuel,
+                        arg,
+                        &mut env,
+                    ),
+                    ExecMode::Jit => inst.compiled[action_id.0 as usize].run(fuel, arg, &mut env),
+                }
+            };
+            match outcome {
+                Ok(ActionOutcome {
+                    verdict,
+                    effects,
+                    tail_call,
+                    insns_executed,
+                    guard_trips,
+                }) => {
+                    inst.stats.actions_run += 1;
+                    inst.stats.insns_executed += insns_executed;
+                    inst.stats.guard_trips += guard_trips;
+                    if guard_trips > 0 {
+                        obs.counters.guard_trips += guard_trips;
+                        obs.ring.push(TraceEvent {
+                            tick,
+                            prog: pid,
+                            kind: TraceKind::GuardTrip,
+                            info: guard_trips as i64,
+                        });
+                    }
+                    result.verdicts.push((TableId(ti as u16), verdict));
+                    for e in effects {
+                        if e.is_resource() {
+                            if let Some(bucket) = &mut inst.bucket {
+                                let cost = match e {
+                                    Effect::Prefetch { count, .. } => count.max(1),
+                                    _ => 1,
+                                };
+                                if !bucket.try_take(cost, tick) {
+                                    inst.stats.effects_rate_limited += 1;
+                                    obs.counters.rate_limit_drops += 1;
+                                    obs.ring.push(TraceEvent {
+                                        tick,
+                                        prog: pid,
+                                        kind: TraceKind::RateLimitDrop,
+                                        info: ti as i64,
+                                    });
+                                    continue;
+                                }
+                            }
+                        }
+                        inst.stats.effects_emitted += 1;
+                        result.effects.push(e);
+                    }
+                    if let Some(target) = tail_call {
+                        chain += 1;
+                        if chain > MAX_TAIL_CHAIN {
+                            // §3.1: a tail call redirects and ends
+                            // the pipeline — an over-long chain
+                            // terminates it instead of letting the
+                            // remaining queue run.
+                            inst.stats.tail_chain_overflows += 1;
+                            obs.counters.tail_chain_overflows += 1;
+                            obs.ring.push(TraceEvent {
+                                tick,
+                                prog: pid,
+                                kind: TraceKind::TailChainOverflow,
+                                info: ti as i64,
+                            });
+                            break;
+                        } else if target.0 as usize >= inst.tables.len() {
+                            inst.stats.actions_aborted += 1;
+                            obs.counters.aborts += 1;
+                            obs.ring.push(TraceEvent {
+                                tick,
+                                prog: pid,
+                                kind: TraceKind::Abort,
+                                info: ti as i64,
+                            });
+                        } else {
+                            inst.stats.tail_calls += 1;
+                            obs.counters.tail_calls += 1;
+                            // Redirect: the chain replaces the rest
+                            // of the pipeline.
+                            scratch_queue.truncate(qi);
+                            scratch_queue.push(target.0 as usize);
+                        }
+                    }
+                }
+                Err(_) => {
+                    inst.stats.actions_aborted += 1;
+                    obs.counters.aborts += 1;
+                    obs.ring.push(TraceEvent {
+                        tick,
+                        prog: pid,
+                        kind: TraceKind::Abort,
+                        info: ti as i64,
+                    });
+                }
+            }
+        }
+        if let Some(start) = *prev {
+            let now = Instant::now();
+            inst.hist
+                .record(now.duration_since(start).as_nanos() as u64);
+            *prev = Some(now);
+        }
+        if obs.cfg.trace_fires {
+            let verdict = result.verdicts[verdicts_before..]
+                .last()
+                .map_or(i64::MIN, |&(_, v)| v);
+            obs.ring.push(TraceEvent {
+                tick,
+                prog: pid,
+                kind: TraceKind::Fire,
+                info: verdict,
+            });
+        }
+    }
+
+    /// Publishes the firing's decision-cache outcome: restore the
+    /// step chain on a clean hit, or insert the recorded chain on a
+    /// miss. The probe key is cloned out of the machine scratch only
+    /// on insert — the hot hit path never allocates.
+    fn cache_finish(
+        slot: &mut HookSlot,
+        obs: &mut Obs,
+        key_scratch: &[u64],
+        table_gen: u64,
+        decision_cache_cap: usize,
+        mut cache: CacheRun,
+    ) {
+        if !cache.enabled {
+            return;
+        }
+        let hit = !cache.diverged
+            && cache
+                .replay
+                .as_deref()
+                .is_some_and(|s| s.len() == cache.cursor);
+        if hit {
+            obs.counters.decision_cache_hits += 1;
+            // Restore the step chain taken at probe time; nothing
+            // evicts mid-firing.
+            let steps = cache.replay.take().unwrap_or_default();
+            if cache.flowless {
+                slot.cache.flowless = Some(CachedDecision {
+                    generation: table_gen,
+                    steps,
+                });
+            } else if let Some(c) = slot.cache.map.get_mut(key_scratch) {
+                c.steps = steps;
+            }
+        } else {
+            obs.counters.decision_cache_misses += 1;
+            if cache.invalidated {
+                obs.counters.decision_cache_invalidations += 1;
+            }
+            if !cache.recording {
+                // Every replayed step validated but the live
+                // pipeline ended early: memoize what actually ran.
+                cache.recorded = cache.replay.take().map_or_else(Vec::new, |mut s| {
+                    s.truncate(cache.cursor);
+                    s
+                });
+            }
+            let dec = CachedDecision {
+                generation: table_gen,
+                steps: cache.recorded,
+            };
+            if cache.flowless {
+                slot.cache.flowless = Some(dec);
+            } else {
+                let evicted = slot
+                    .cache
+                    .insert(key_scratch.to_vec(), dec, decision_cache_cap);
+                obs.counters.decision_cache_evictions += evicted;
+            }
+        }
     }
 
     /// Captures one flight-recorder frame from current obs state.
@@ -1613,6 +1814,7 @@ impl RmtMachine {
             models,
             trace_dropped: self.obs.ring.dropped(),
             trace_pending: self.obs.ring.len() as u64,
+            ingress: Vec::new(),
         }
     }
 

@@ -1100,6 +1100,29 @@ pub struct ObsSnapshot {
     pub trace_dropped: u64,
     /// Trace events currently buffered (unread).
     pub trace_pending: u64,
+    /// Per-shard ingress-ring telemetry, sorted by shard. Empty on a
+    /// single machine — populated only by
+    /// [`crate::shard::ShardedMachine::obs_snapshot`].
+    pub ingress: Vec<IngressShardStats>,
+}
+
+/// One shard's ingress-ring telemetry (queue depth and the
+/// stall/park counters), exported through the merged
+/// [`ObsSnapshot`] so skew between shards is visible to the same
+/// exporters as every other metric.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngressShardStats {
+    /// Shard index.
+    pub shard: u64,
+    /// Messages published to the ring but not yet consumed at
+    /// snapshot time (the skew balancer's trigger signal).
+    pub depth: u64,
+    /// Messages ever pushed into the ring.
+    pub enqueued: u64,
+    /// Times the producer found the ring full and had to retry.
+    pub full_stalls: u64,
+    /// Times the shard worker parked waiting for ingress.
+    pub parks: u64,
 }
 
 impl ObsSnapshot {
@@ -1145,6 +1168,10 @@ impl ObsSnapshot {
         self.models.sort_by_key(|m| (m.prog, m.slot));
         self.trace_dropped = self.trace_dropped.saturating_add(other.trace_dropped);
         self.trace_pending = self.trace_pending.saturating_add(other.trace_pending);
+        // Ingress rows are per-shard (already disjoint across the
+        // snapshots being merged): concatenate and keep shard order.
+        self.ingress.extend(other.ingress.iter().copied());
+        self.ingress.sort_by_key(|i| i.shard);
     }
 }
 
@@ -1287,7 +1314,16 @@ rkd_testkit::impl_json_struct!(ObsSnapshot {
     programs,
     models,
     trace_dropped,
-    trace_pending
+    trace_pending,
+    ingress
+});
+
+rkd_testkit::impl_json_struct!(IngressShardStats {
+    shard,
+    depth,
+    enqueued,
+    full_stalls,
+    parks
 });
 
 #[cfg(test)]
@@ -1479,6 +1515,13 @@ mod tests {
             models: vec![],
             trace_dropped: 3,
             trace_pending: 0,
+            ingress: vec![IngressShardStats {
+                shard: 0,
+                depth: 4,
+                enqueued: 100,
+                full_stalls: 1,
+                parks: 2,
+            }],
         };
         let json = rkd_testkit::json::to_string(&snap);
         let back: ObsSnapshot = rkd_testkit::json::from_str(&json).unwrap();

@@ -331,6 +331,56 @@ pub fn to_prometheus(snap: &ObsSnapshot) -> String {
             u64::from(m.drift_suspected)
         ));
     }
+    if !snap.ingress.is_empty() {
+        family(
+            &mut out,
+            "rkd_ingress_depth",
+            "gauge",
+            "Messages queued in the shard's ingress ring at snapshot time.",
+        );
+        for i in &snap.ingress {
+            out.push_str(&format!(
+                "rkd_ingress_depth{{shard=\"{}\"}} {}\n",
+                i.shard, i.depth
+            ));
+        }
+        family(
+            &mut out,
+            "rkd_ingress_enqueued_total",
+            "counter",
+            "Messages ever pushed into the shard's ingress ring.",
+        );
+        for i in &snap.ingress {
+            out.push_str(&format!(
+                "rkd_ingress_enqueued_total{{shard=\"{}\"}} {}\n",
+                i.shard, i.enqueued
+            ));
+        }
+        family(
+            &mut out,
+            "rkd_ingress_full_stalls_total",
+            "counter",
+            "Times the driver found the shard's ingress ring full.",
+        );
+        for i in &snap.ingress {
+            out.push_str(&format!(
+                "rkd_ingress_full_stalls_total{{shard=\"{}\"}} {}\n",
+                i.shard, i.full_stalls
+            ));
+        }
+        family(
+            &mut out,
+            "rkd_ingress_parks_total",
+            "counter",
+            "Times the shard worker parked waiting for ingress.",
+        );
+        for i in &snap.ingress {
+            out.push_str(&format!(
+                "rkd_ingress_parks_total{{shard=\"{}\"}} {}\n",
+                i.shard, i.parks
+            ));
+        }
+    }
 
     out
 }
@@ -639,6 +689,13 @@ mod tests {
             models: vec![ms.snapshot(1, 0, "clf".into())],
             trace_dropped: 0,
             trace_pending: 2,
+            ingress: vec![super::super::IngressShardStats {
+                shard: 1,
+                depth: 5,
+                enqueued: 77,
+                full_stalls: 3,
+                parks: 9,
+            }],
         }
     }
 

@@ -56,13 +56,28 @@ use crate::ctxt::Ctxt;
 use crate::error::VmError;
 use crate::machine::{HookResult, ProgId, ProgStats, RmtMachine};
 use crate::maps::MapId;
-use crate::obs::{FlightSnapshot, HookStats, MachineCounters, ObsConfig, ObsSnapshot};
+use crate::obs::{
+    FlightSnapshot, HookStats, IngressShardStats, MachineCounters, ObsConfig, ObsSnapshot,
+};
+use crate::spsc;
 use crate::table::TableStats;
 use crate::verifier::VerifierConfig;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+
+/// Ingress ring capacity per shard (messages, power of two). Sized so
+/// a replay driver can keep a deep pipeline of batches in flight
+/// before backpressure (a full ring spins the driver, it never
+/// blocks a shard).
+const INGRESS_RING_CAPACITY: usize = 1024;
+
+/// Default skew-balancer policy: rebalance when the deepest ingress
+/// ring holds more than `ratio_pct`% of the mean depth *and* at least
+/// `min_depth` messages (see [`ShardedMachine::should_rebalance`]).
+const DEFAULT_BALANCER_RATIO_PCT: u64 = 200;
+const DEFAULT_BALANCER_MIN_DEPTH: u64 = 32;
 
 /// The sequenced command log shards drain at fire boundaries.
 struct CtrlLog {
@@ -115,7 +130,14 @@ pub struct ShardStatus {
 }
 
 struct ShardHandle {
-    tx: Sender<Msg>,
+    /// The ring's unique producer endpoint. Behind a mutex only so
+    /// multiple coordinator threads can share `&ShardedMachine` —
+    /// uncontended in the single-driver case, and never touched by
+    /// the shard worker (which owns the consumer endpoint).
+    tx: Mutex<spsc::Producer<Msg>>,
+    /// Telemetry view of the ring (depth, stalls, parks) that does
+    /// not need the producer lock.
+    obs: spsc::Observer<Msg>,
     join: Option<JoinHandle<()>>,
 }
 
@@ -144,6 +166,18 @@ impl BatchTicket {
 pub struct ShardedMachine {
     shards: Vec<ShardHandle>,
     log: Arc<CtrlLog>,
+    /// Current flow→shard partition seed, folded into
+    /// [`ShardedMachine::shard_for_flow`]. Updated only through the
+    /// published (and journaled) [`CtrlRequest::SetPartitionSeed`]
+    /// command, so recovery restores the partition.
+    partition: AtomicU64,
+    /// Partition rotations applied (including any replayed during
+    /// recovery).
+    rebalances: AtomicU64,
+    /// Skew-balancer trigger: deepest ring > `ratio_pct`% of mean.
+    balancer_ratio_pct: AtomicU64,
+    /// Absolute depth floor below which the balancer never triggers.
+    balancer_min_depth: AtomicU64,
     /// Control-plane oracle: applies every mutation first (same code
     /// path as the shards), never fires, so its table generation and
     /// id assignment are what every shard converges to. Behind a
@@ -177,24 +211,47 @@ impl ShardedMachine {
         });
         let mut handles = Vec::with_capacity(n);
         for shard in 0..n {
-            let (tx, rx) = channel::<Msg>();
+            let (tx, rx) = spsc::ring::<Msg>(INGRESS_RING_CAPACITY);
             let log = Arc::clone(&log);
             let machine = RmtMachine::with_obs_config(obs);
+            let ring_obs = tx.observer();
             let join = std::thread::Builder::new()
                 .name(format!("rkd-shard-{shard}"))
-                .spawn(move || worker(shard, machine, &log, &rx))
+                .spawn(move || worker(shard, machine, &log, rx))
                 .expect("spawn shard worker");
             handles.push(ShardHandle {
-                tx,
+                tx: Mutex::new(tx),
+                obs: ring_obs,
                 join: Some(join),
             });
         }
         ShardedMachine {
             shards: handles,
             log,
+            partition: AtomicU64::new(0),
+            rebalances: AtomicU64::new(0),
+            balancer_ratio_pct: AtomicU64::new(DEFAULT_BALANCER_RATIO_PCT),
+            balancer_min_depth: AtomicU64::new(DEFAULT_BALANCER_MIN_DEPTH),
             shadow: Mutex::new(RmtMachine::with_obs_config(obs)),
             journal: None,
         }
+    }
+
+    /// Spawns one shard per available CPU (clamped to
+    /// [1, 32]) — the right default for a host whose core count is
+    /// unknown, so a 1-CPU CI box gets one shard instead of a
+    /// 4-thread configuration that loses to a single machine.
+    pub fn auto() -> ShardedMachine {
+        ShardedMachine::new(Self::auto_shards())
+    }
+
+    /// The shard count [`ShardedMachine::auto`] uses:
+    /// `std::thread::available_parallelism()`, clamped to [1, 32].
+    pub fn auto_shards() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, 32)
     }
 
     /// Spawns a sharded machine whose control plane journals to
@@ -242,10 +299,15 @@ impl ShardedMachine {
     }
 
     /// Deterministic flow -> shard assignment (splitmix64 of the flow
-    /// key, modulo shard count). Any per-flow partition preserves
-    /// per-flow outcomes; this one spreads flows evenly.
+    /// key XOR the current partition seed, modulo shard count). Any
+    /// per-flow partition preserves per-flow outcomes; this one
+    /// spreads flows evenly, and rotating the seed
+    /// ([`ShardedMachine::rotate_partition`]) re-hashes every flow to
+    /// break up a skew hotspot. With the initial seed (0) the mapping
+    /// is identical to the pre-balancer one.
     pub fn shard_for_flow(&self, flow: u64) -> usize {
-        let mut x = flow.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let seed = self.partition.load(Ordering::Acquire);
+        let mut x = (flow ^ seed).wrapping_add(0x9E37_79B9_7F4A_7C15);
         x ^= x >> 30;
         x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
         x ^= x >> 27;
@@ -261,15 +323,27 @@ impl ShardedMachine {
     /// [`RmtMachine::fire_batch`].
     pub fn fire_batch_on(&self, shard: usize, hook: &str, ctxts: Vec<Ctxt>) -> BatchTicket {
         let (reply, rx) = channel();
-        self.shards[shard]
-            .tx
-            .send(Msg::Batch {
+        self.send(
+            shard,
+            Msg::Batch {
                 hook: hook.to_string(),
                 ctxts,
                 reply,
-            })
-            .expect("shard channel closed");
+            },
+        );
         BatchTicket { rx }
+    }
+
+    /// Pushes one message into a shard's ingress ring, spinning while
+    /// the ring is full (backpressure never blocks the shard side).
+    fn send(&self, shard: usize, msg: Msg) {
+        let mut tx = self.shards[shard]
+            .tx
+            .lock()
+            .expect("ingress producer poisoned");
+        if tx.push_wait(msg).is_err() {
+            panic!("shard worker died");
+        }
     }
 
     /// Fires one context on one shard and waits for the result (the
@@ -302,7 +376,9 @@ impl ShardedMachine {
             | CtrlRequest::MapUpdate { .. }
             | CtrlRequest::ObsReset
             | CtrlRequest::SetOptLevel { .. }
-            | CtrlRequest::SetDecisionCacheCapacity { .. } => self.publish(req),
+            | CtrlRequest::SetDecisionCacheCapacity { .. }
+            | CtrlRequest::SetPartitionSeed { .. }
+            | CtrlRequest::SetBalancerPolicy { .. } => self.publish(req),
             CtrlRequest::MapLookup { prog, map, key } => self.map_lookup(prog, map, key),
             CtrlRequest::QueryStats { prog } => Ok(CtrlResponse::Stats(self.stats(prog)?)),
             CtrlRequest::QueryTableStats { prog, table } => {
@@ -423,6 +499,25 @@ impl ShardedMachine {
                 .map_err(|e| VmError::BadRequest(format!("ctrl journal: {e}")))?;
         }
         let resp = syscall_rmt_with(&mut shadow, req.clone(), &self.log.vcfg)?;
+        // Coordinator-side directives: the shard replicas apply these
+        // as no-ops, but the coordinator's partition/balancer state
+        // updates here — inside the shadow lock, so the seed and the
+        // log stay ordered — and is therefore restored by recovery's
+        // journal replay like every other mutation.
+        match &req {
+            CtrlRequest::SetPartitionSeed { seed } => {
+                self.partition.store(*seed, Ordering::Release);
+                self.rebalances.fetch_add(1, Ordering::Relaxed);
+            }
+            CtrlRequest::SetBalancerPolicy {
+                ratio_pct,
+                min_depth,
+            } => {
+                self.balancer_ratio_pct.store(*ratio_pct, Ordering::Release);
+                self.balancer_min_depth.store(*min_depth, Ordering::Release);
+            }
+            _ => {}
+        }
         let mut cmds = self.log.cmds.lock().expect("ctrl log poisoned");
         cmds.push(req);
         self.log
@@ -510,7 +605,11 @@ impl ShardedMachine {
                 None => merged = Some(snap),
             }
         }
-        merged.expect("at least one shard")
+        let mut merged = merged.expect("at least one shard");
+        // Per-machine snapshots know nothing about the ingress rings
+        // (they are coordinator state); fill the section here.
+        merged.ingress = self.ingress_stats();
+        merged
     }
 
     /// Each shard's own (unmerged) snapshot, indexed by shard.
@@ -559,10 +658,9 @@ impl ShardedMachine {
     /// [`ShardedMachine::expected_generation`].
     pub fn sync(&self) -> Vec<ShardStatus> {
         let mut pending = Vec::with_capacity(self.shards.len());
-        for h in &self.shards {
+        for shard in 0..self.shards.len() {
             let (reply, rx) = channel();
-            h.tx.send(Msg::Sync { reply })
-                .expect("shard channel closed");
+            self.send(shard, Msg::Sync { reply });
             pending.push(rx);
         }
         pending
@@ -585,6 +683,85 @@ impl ShardedMachine {
         self.log.published.load(Ordering::Acquire)
     }
 
+    /// The current flow→shard partition seed (0 until the first
+    /// [`ShardedMachine::rotate_partition`]).
+    pub fn partition_seed(&self) -> u64 {
+        self.partition.load(Ordering::Acquire)
+    }
+
+    /// Partition rotations applied so far (including any replayed
+    /// from the journal by [`ShardedMachine::recover`]).
+    pub fn rebalances(&self) -> u64 {
+        self.rebalances.load(Ordering::Relaxed)
+    }
+
+    /// Each shard's current ingress-ring depth (messages published
+    /// but not yet consumed), indexed by shard — the skew signal the
+    /// balancer triggers on. Lock-free: reads the ring cursors, never
+    /// the producer lock.
+    pub fn queue_depths(&self) -> Vec<u64> {
+        self.shards.iter().map(|h| h.obs.depth()).collect()
+    }
+
+    /// Per-shard ingress-ring telemetry (depth plus the cumulative
+    /// enqueue/stall/park counters) — what
+    /// [`ShardedMachine::obs_snapshot`] folds into the merged
+    /// snapshot's `ingress` section.
+    pub fn ingress_stats(&self) -> Vec<IngressShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(shard, h)| IngressShardStats {
+                shard: shard as u64,
+                depth: h.obs.depth(),
+                enqueued: h.obs.pushed(),
+                full_stalls: h.obs.full_stalls(),
+                parks: h.obs.parks(),
+            })
+            .collect()
+    }
+
+    /// True when the ingress depths are skewed enough that a
+    /// partition rotation is worth it under the configured policy
+    /// ([`CtrlRequest::SetBalancerPolicy`]): the deepest ring exceeds
+    /// `ratio_pct`% of the mean depth *and* the absolute
+    /// `min_depth` floor. Never triggers with one shard.
+    pub fn should_rebalance(&self) -> bool {
+        if self.shards.len() < 2 {
+            return false;
+        }
+        let depths = self.queue_depths();
+        let max = depths.iter().copied().max().unwrap_or(0);
+        if max < self.balancer_min_depth.load(Ordering::Acquire) {
+            return false;
+        }
+        let mean = depths.iter().sum::<u64>() / depths.len() as u64;
+        let ratio_pct = self.balancer_ratio_pct.load(Ordering::Acquire);
+        // max > mean * ratio_pct / 100, in integer arithmetic.
+        max.saturating_mul(100) > mean.saturating_mul(ratio_pct)
+    }
+
+    /// Rotates the partition seed (golden-ratio increment — each
+    /// generation is a fresh, deterministic re-hash of every flow)
+    /// through the published command log, so the rotation is
+    /// sequenced — and journaled — like every other control-plane
+    /// mutation. Returns the new seed.
+    ///
+    /// **Driver contract:** the caller must quiesce its in-flight
+    /// batches (wait on every outstanding [`BatchTicket`]) *before*
+    /// rotating and re-partitioning, otherwise one flow's events can
+    /// be in two shards' rings at once and per-flow ordering is lost.
+    /// [`ShardedMachine::shard_for_flow`] picks up the new seed
+    /// immediately after this returns.
+    pub fn rotate_partition(&self) -> Result<u64, VmError> {
+        let next = self
+            .partition
+            .load(Ordering::Acquire)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        self.publish(CtrlRequest::SetPartitionSeed { seed: next })?;
+        Ok(next)
+    }
+
     /// Runs `f` against one shard's machine and waits for the result.
     /// The worker drains the log first, so reads see every published
     /// mutation (read-your-writes for the coordinator).
@@ -594,12 +771,12 @@ impl ShardedMachine {
         F: FnOnce(&mut RmtMachine) -> R + Send + 'static,
     {
         let (tx, rx) = channel();
-        self.shards[shard]
-            .tx
-            .send(Msg::With(Box::new(move |m| {
+        self.send(
+            shard,
+            Msg::With(Box::new(move |m| {
                 let _ = tx.send(f(m));
-            })))
-            .expect("shard channel closed");
+            })),
+        );
         rx.recv().expect("shard worker died")
     }
 
@@ -612,13 +789,15 @@ impl ShardedMachine {
         F: Fn(&mut RmtMachine) -> R + Clone + Send + 'static,
     {
         let mut pending = Vec::with_capacity(self.shards.len());
-        for h in &self.shards {
+        for shard in 0..self.shards.len() {
             let (tx, rx) = channel();
             let f = f.clone();
-            h.tx.send(Msg::With(Box::new(move |m| {
-                let _ = tx.send(f(m));
-            })))
-            .expect("shard channel closed");
+            self.send(
+                shard,
+                Msg::With(Box::new(move |m| {
+                    let _ = tx.send(f(m));
+                })),
+            );
             pending.push(rx);
         }
         pending
@@ -631,7 +810,13 @@ impl ShardedMachine {
 impl Drop for ShardedMachine {
     fn drop(&mut self) {
         for h in &self.shards {
-            let _ = h.tx.send(Msg::Shutdown);
+            // A dead worker (propagated panic) already dropped its
+            // consumer endpoint; push_wait errors out instead of
+            // spinning, and the join below re-raises.
+            let _ =
+                h.tx.lock()
+                    .expect("ingress producer poisoned")
+                    .push_wait(Msg::Shutdown);
         }
         for h in &mut self.shards {
             if let Some(join) = h.join.take() {
@@ -648,32 +833,47 @@ fn transpose<T>(results: Vec<Result<T, VmError>>) -> Result<Vec<T>, VmError> {
     results.into_iter().collect()
 }
 
-/// The shard worker loop: drain the command log at every message
-/// boundary, then serve the message.
-fn worker(shard: usize, mut machine: RmtMachine, log: &CtrlLog, rx: &Receiver<Msg>) {
+/// The shard worker loop: pop a *run* of queued messages from the
+/// ingress ring, drain the command log **once per run** (the
+/// per-batch epoch amortization — the old mpsc loop paid the atomic
+/// load and potential log catch-up per message), then serve every
+/// message in the run. Messages pushed after the pop are picked up
+/// by the next run; a publish that happened-before a message's push
+/// is always visible to the drain that precedes serving it, so the
+/// coordinator keeps read-your-writes.
+fn worker(shard: usize, mut machine: RmtMachine, log: &CtrlLog, mut rx: spsc::Consumer<Msg>) {
     let mut applied = 0u64;
     let mut ctrl_errors = 0u64;
-    while let Ok(msg) = rx.recv() {
+    let mut run: Vec<Msg> = Vec::new();
+    'serve: loop {
+        run.clear();
+        if rx.pop_run_wait(usize::MAX, &mut run) == 0 {
+            // Producer endpoint gone without a Shutdown message — the
+            // coordinator died mid-drop; exit like a close.
+            break;
+        }
         drain(shard, &mut machine, log, &mut applied, &mut ctrl_errors);
-        match msg {
-            Msg::Batch {
-                hook,
-                mut ctxts,
-                reply,
-            } => {
-                let results = machine.fire_batch(&hook, &mut ctxts);
-                let _ = reply.send(BatchOutput { ctxts, results });
+        for msg in run.drain(..) {
+            match msg {
+                Msg::Batch {
+                    hook,
+                    mut ctxts,
+                    reply,
+                } => {
+                    let results = machine.fire_batch(&hook, &mut ctxts);
+                    let _ = reply.send(BatchOutput { ctxts, results });
+                }
+                Msg::With(f) => f(&mut machine),
+                Msg::Sync { reply } => {
+                    let _ = reply.send(ShardStatus {
+                        shard,
+                        applied,
+                        ctrl_apply_errors: ctrl_errors,
+                        table_generation: machine.table_generation(),
+                    });
+                }
+                Msg::Shutdown => break 'serve,
             }
-            Msg::With(f) => f(&mut machine),
-            Msg::Sync { reply } => {
-                let _ = reply.send(ShardStatus {
-                    shard,
-                    applied,
-                    ctrl_apply_errors: ctrl_errors,
-                    table_generation: machine.table_generation(),
-                });
-            }
-            Msg::Shutdown => break,
         }
     }
 }

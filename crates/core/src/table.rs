@@ -11,8 +11,9 @@
 //!
 //! # Lookup engine
 //!
-//! Lookups never scan the entry vector. Each [`MatchKind`] maintains an
-//! incremental index (updated on insert/remove, never rebuilt):
+//! Large tables never scan the entry vector. Each [`MatchKind`]
+//! maintains an incremental index (updated on insert/remove, never
+//! rebuilt):
 //!
 //! - **Exact** — one hash map from key values to the entry slot.
 //! - **Lpm** — per-prefix-length strata, probed longest-first; each
@@ -30,9 +31,20 @@
 //!   their best priority so the search exits once the current best
 //!   match beats every remaining group.
 //!
+//! Small LPM and ternary tables skip their index: those probes pay a
+//! hash per stratum / per mask group, and below
+//! [`LINEAR_CUTOFF_LPM`] / [`LINEAR_CUTOFF_TERNARY`] entries a plain
+//! scan over the entry vector is measurably cheaper (the crossover is
+//! pinned by `bench_tables`). Exact and range indexes amortize to one
+//! hash probe / one binary search and win at every size, so they
+//! never fall back. The index is still maintained incrementally at
+//! all sizes — dispatch is a per-lookup length check, so a table
+//! crossing the cutoff in either direction just switches engines.
+//!
 //! The pre-index linear scan is retained as
-//! [`Table::lookup_linear_ref`] — the differential-test oracle and the
-//! benchmark baseline — and must stay semantically identical:
+//! [`Table::lookup_linear_ref`] — the differential-test oracle, the
+//! benchmark baseline, and the small-table engine — and must stay
+//! semantically identical:
 //! LPM prefers the largest (prefix_len, priority) pair, range/ternary
 //! the highest priority, and all ties break toward the earliest
 //! inserted entry (tracked by a per-entry sequence number, since slots
@@ -42,6 +54,18 @@ use crate::ctxt::FieldId;
 use crate::error::VmError;
 use std::cell::Cell;
 use std::collections::HashMap;
+
+/// Largest LPM table (entry count, inclusive) served by the linear
+/// scan instead of the per-prefix-length index. An indexed LPM probe
+/// hashes once per populated stratum (~70 ns at any size); the scan
+/// costs ~4 ns per entry, so the index only wins past ~18 entries —
+/// `bench_tables` pins the crossover.
+pub const LINEAR_CUTOFF_LPM: usize = 16;
+
+/// Largest ternary table (entry count, inclusive) served by the
+/// linear scan instead of the tuple-space index, which pays a hash
+/// per mask group (~115 ns flat vs ~3.5 ns per scanned entry).
+pub const LINEAR_CUTOFF_TERNARY: usize = 32;
 
 /// Identifies a table within a program.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -461,11 +485,20 @@ impl Table {
     }
 
     /// Reference linear scan with semantics identical to the indexed
-    /// engine: the differential-test oracle and the benchmark
-    /// baseline. Does not update stats.
+    /// engine: the differential-test oracle, the benchmark baseline,
+    /// and (below the per-kind [`LINEAR_CUTOFF_LPM`] /
+    /// [`LINEAR_CUTOFF_TERNARY`] thresholds) the live small-table
+    /// engine. Does not update stats.
     pub fn lookup_linear_ref(&self, key: &[u64]) -> Option<&Entry> {
+        self.lookup_linear_index(key).map(|i| &self.entries[i])
+    }
+
+    /// The linear scan, reporting the winning entry's slot (the
+    /// decision cache memoizes slots, so the small-table path must
+    /// agree with the index down to the index value).
+    fn lookup_linear_index(&self, key: &[u64]) -> Option<usize> {
         match self.def.kind {
-            MatchKind::Exact => self.entries.iter().find(|e| e.key.matches(key)),
+            MatchKind::Exact => self.entries.iter().position(|e| e.key.matches(key)),
             MatchKind::Lpm => {
                 let mut best: Option<usize> = None;
                 for (i, e) in self.entries.iter().enumerate() {
@@ -494,7 +527,7 @@ impl Table {
                         None => i,
                     });
                 }
-                best.map(|i| &self.entries[i])
+                best
             }
             MatchKind::Range | MatchKind::Ternary => {
                 let mut best: Option<usize> = None;
@@ -513,7 +546,7 @@ impl Table {
                         _ => i,
                     });
                 }
-                best.map(|i| &self.entries[i])
+                best
             }
         }
     }
@@ -550,7 +583,44 @@ impl Table {
             || (self.entries[b].priority == self.entries[a].priority && self.seqs[b] < self.seqs[a])
     }
 
+    /// Whether this lookup should bypass the index: small LPM and
+    /// ternary tables scan faster than they hash (see the module docs
+    /// and the per-kind cutoffs). The index stays maintained either
+    /// way, so this is a pure per-lookup dispatch.
+    #[inline]
+    fn linear_preferred(&self) -> bool {
+        match self.def.kind {
+            MatchKind::Exact | MatchKind::Range => false,
+            MatchKind::Lpm => self.entries.len() <= LINEAR_CUTOFF_LPM,
+            MatchKind::Ternary => self.entries.len() <= LINEAR_CUTOFF_TERNARY,
+        }
+    }
+
+    /// [`Table::lookup`] forced through the index even below the
+    /// small-table cutoffs. Benchmarks and differential tests use
+    /// this to pin the crossover and to keep exercising the index on
+    /// small tables; it counts stats like [`Table::lookup`].
+    pub fn lookup_via_index(&self, key: &[u64]) -> Option<&Entry> {
+        match self.index_walk(key) {
+            Some(i) => {
+                self.note_hit();
+                Some(&self.entries[i])
+            }
+            None => {
+                self.note_miss();
+                None
+            }
+        }
+    }
+
     fn lookup_index(&self, key: &[u64]) -> Option<usize> {
+        if self.linear_preferred() {
+            return self.lookup_linear_index(key);
+        }
+        self.index_walk(key)
+    }
+
+    fn index_walk(&self, key: &[u64]) -> Option<usize> {
         match &self.index {
             KindIndex::Exact(map) => map.get(key).copied(),
             KindIndex::Lpm(ix) => {

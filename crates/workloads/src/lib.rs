@@ -12,5 +12,6 @@
 pub mod mem;
 pub mod sched;
 pub mod trace;
+pub mod zipf;
 
 pub use trace::PageTrace;

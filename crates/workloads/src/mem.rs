@@ -160,20 +160,13 @@ pub fn uniform_random(space: u64, n: usize, rng: &mut impl Rng) -> PageTrace {
 /// A Zipf-distributed trace (hot pages dominate), approximating cache-
 /// friendly irregular workloads. `s` is the Zipf exponent.
 pub fn zipf(space: u64, n: usize, s: f64, rng: &mut impl Rng) -> PageTrace {
-    let space = space.max(1) as usize;
-    // Precompute the CDF once; fine for simulation-scale spaces.
-    let weights: Vec<f64> = (1..=space).map(|k| 1.0 / (k as f64).powf(s)).collect();
-    let total: f64 = weights.iter().sum();
-    let mut cdf = Vec::with_capacity(space);
-    let mut acc = 0.0;
-    for w in &weights {
-        acc += w / total;
-        cdf.push(acc);
-    }
+    // CDF built once (shared with the flow sampler in [`crate::zipf`]);
+    // page number == popularity rank, the shape prefetch studies want.
+    let cdf = crate::zipf::cdf(space.max(1) as usize, s);
     let accesses = (0..n)
         .map(|_| {
             let u: f64 = rng.gen();
-            cdf.partition_point(|&c| c < u) as u64
+            crate::zipf::sample_rank(&cdf, u) as u64
         })
         .collect();
     PageTrace::new("zipf", accesses)

@@ -1,0 +1,174 @@
+//! Zipf-distributed flow-id streams for skew experiments.
+//!
+//! The multi-core datapath hashes flows onto shards, so a uniform
+//! flow population balances by construction — but real traffic is
+//! skewed: a handful of elephant flows carry most events. This module
+//! generates that shape deterministically so the shard balancer
+//! (`rkd_core::shard`) can be driven and benchmarked: rank `r`
+//! (1-based) is sampled with probability proportional to `1/r^s`, via
+//! a CDF table built once and a binary search per sample.
+//!
+//! Ranks are mapped to *scrambled* 64-bit flow ids. Without the
+//! permutation the hottest flows would be the smallest integers,
+//! which correlates hotness with hash-bucket position and quietly
+//! changes what the partition hash sees; scrambled ids make the
+//! sampler adversarial to any particular seed, which is what the
+//! skew-rebalancing experiments need.
+
+use rkd_testkit::rng::Rng;
+
+/// Builds the CDF table for Zipf(`s`) over `population` ranks:
+/// `cdf[r]` is the probability of drawing a rank `<= r` (0-based).
+/// Shared by [`ZipfFlows`] and the page-trace generator
+/// [`crate::mem::zipf`].
+pub(crate) fn cdf(population: usize, s: f64) -> Vec<f64> {
+    let population = population.max(1);
+    let weights: Vec<f64> = (1..=population).map(|k| 1.0 / (k as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(population);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    cdf
+}
+
+/// Maps a uniform draw `u ∈ [0, 1)` to a 0-based rank by binary
+/// search over the CDF table.
+pub(crate) fn sample_rank(cdf: &[f64], u: f64) -> usize {
+    cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
+}
+
+/// SplitMix64 — the same mix the shard partition hash uses, applied
+/// here with an unrelated constant offset so sampler ids don't
+/// trivially cancel against `shard_for_flow`.
+fn scramble(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A Zipf(`s`) sampler over a fixed population of flow ids.
+///
+/// Construction is O(population); each sample is one RNG draw plus
+/// one binary search. The same `(population, s)` always yields the
+/// same rank→flow-id mapping, and the same seeded RNG always yields
+/// the same stream — replay experiments depend on both.
+pub struct ZipfFlows {
+    cdf: Vec<f64>,
+    ids: Vec<u64>,
+}
+
+impl ZipfFlows {
+    /// Builds a sampler over `population` flows (clamped to ≥ 1) with
+    /// exponent `s`. `s = 0` degenerates to uniform; `s ≈ 1.1` is the
+    /// classic heavy-tail used by the skew benchmarks.
+    pub fn new(population: usize, s: f64) -> ZipfFlows {
+        let cdf = cdf(population, s);
+        let ids = (0..cdf.len() as u64).map(scramble).collect();
+        ZipfFlows { cdf, ids }
+    }
+
+    /// Number of distinct flow ids the sampler can emit.
+    pub fn population(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// The flow id at 0-based popularity rank `rank` (rank 0 is the
+    /// hottest flow).
+    pub fn flow_at_rank(&self, rank: usize) -> u64 {
+        self.ids[rank]
+    }
+
+    /// Draws one flow id.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.gen();
+        self.ids[sample_rank(&self.cdf, u)]
+    }
+
+    /// Draws a stream of `n` flow ids.
+    pub fn stream(&self, n: usize, rng: &mut impl Rng) -> Vec<u64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rkd_testkit::rng::{SeedableRng, StdRng};
+    use std::collections::HashMap;
+
+    #[test]
+    fn ranks_map_to_distinct_ids() {
+        let z = ZipfFlows::new(4096, 1.1);
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..z.population() {
+            assert!(seen.insert(z.flow_at_rank(r)), "duplicate id at rank {r}");
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_given_seed() {
+        let z = ZipfFlows::new(1024, 1.1);
+        let a = z.stream(2000, &mut StdRng::seed_from_u64(9));
+        let b = z.stream(2000, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heavy_tail_concentrates_on_top_ranks() {
+        let z = ZipfFlows::new(1024, 1.1);
+        let mut rng = StdRng::seed_from_u64(17);
+        let stream = z.stream(20_000, &mut rng);
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for f in &stream {
+            *counts.entry(*f).or_default() += 1;
+        }
+        // Top 16 of 1024 ranks (1.6%) must carry a large share of the
+        // stream at s = 1.1 — the imbalance the balancer exists for.
+        let top: usize = (0..16)
+            .map(|r| counts.get(&z.flow_at_rank(r)).copied().unwrap_or(0))
+            .sum();
+        let share = top as f64 / stream.len() as f64;
+        assert!(share > 0.35, "top-16 share {share:.3} unexpectedly flat");
+        // And the hottest rank must dominate any single cold rank.
+        let hot = counts.get(&z.flow_at_rank(0)).copied().unwrap_or(0);
+        let cold = counts.get(&z.flow_at_rank(1000)).copied().unwrap_or(0);
+        assert!(
+            hot > 10 * cold.max(1),
+            "rank 0 ({hot}) vs rank 1000 ({cold})"
+        );
+    }
+
+    #[test]
+    fn zero_exponent_is_roughly_uniform() {
+        let z = ZipfFlows::new(64, 0.0);
+        let mut rng = StdRng::seed_from_u64(23);
+        let stream = z.stream(64_000, &mut rng);
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for f in &stream {
+            *counts.entry(*f).or_default() += 1;
+        }
+        let (min, max) = counts
+            .values()
+            .fold((usize::MAX, 0), |(lo, hi), &c| (lo.min(c), hi.max(c)));
+        assert!(max < 2 * min, "uniform stream skewed: min {min}, max {max}");
+    }
+
+    #[test]
+    fn binary_search_matches_linear_cdf_walk() {
+        let table = cdf(512, 1.3);
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..2000 {
+            let u: f64 = rng.gen();
+            let fast = sample_rank(&table, u);
+            let slow = table
+                .iter()
+                .position(|&c| c >= u)
+                .unwrap_or(table.len() - 1);
+            assert_eq!(fast, slow, "diverged at u = {u}");
+        }
+    }
+}

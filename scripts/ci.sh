@@ -67,7 +67,20 @@ if ! grep -qE 'speedup_gate parallel_4x.*(PASS|SKIP)' /tmp/rkd_bench_parallel.ou
     echo "ERROR: sharded scaling gate failed (< 2.5x at 4 shards on a >= 4 CPU host)" >&2
     exit 1
 fi
+# Skew smoke: the zipf balanced-vs-fixed gate is adaptive the same way
+# (enforced with >= 4 CPUs, SKIP below), and the SPSC ingress handoff
+# comparison must have run (its speedup line is informational).
+if ! grep -qE 'skew_gate balanced_vs_fixed.*(PASS|SKIP)' /tmp/rkd_bench_parallel.out; then
+    echo "ERROR: zipf skew gate failed (balanced replay regressed vs fixed partition)" >&2
+    exit 1
+fi
+grep -q 'ingress_speedup' /tmp/rkd_bench_parallel.out \
+    || { echo "ERROR: SPSC ingress handoff benchmark did not run" >&2; exit 1; }
 test -s BENCH_parallel.json || { echo "ERROR: BENCH_parallel.json was not written" >&2; exit 1; }
+for section in '"ingress"' '"skew"'; do
+    grep -q "$section" BENCH_parallel.json \
+        || { echo "ERROR: BENCH_parallel.json missing the $section section" >&2; exit 1; }
+done
 
 echo "==> example: lean_monitoring (end-to-end datapath observability)"
 cargo run -q --release --offline --example lean_monitoring >/dev/null

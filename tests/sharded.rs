@@ -17,6 +17,10 @@
 //!   reproducible run to run, and distinct shards draw distinct noise.
 //! - **Safety**: the verifier rejects `per_cpu` on map kinds without a
 //!   well-defined cross-shard sum, and on shared (DP-read) maps.
+//! - **Rebalance determinism**: a Zipf-skewed stream replayed in waves
+//!   with forced mid-stream partition-seed rotations produces per-flow
+//!   verdict sequences bit-identical to the single-machine oracle —
+//!   rotation at a quiesce point is outcome-invisible.
 //!
 //! [`sync`]: rkd::core::shard::ShardedMachine::sync
 
@@ -497,4 +501,204 @@ fn advance_tick_reaches_every_shard() {
         assert_eq!(snap.tick, 5, "shard {i} missed the tick");
     }
     assert_eq!(sharded.obs_snapshot().tick, 5, "merged view ticks too");
+}
+
+/// A stateless-verdict program: on hook `"pkt"` the verdict is a pure
+/// function of the event (`flow`, `x`) and the matched entry's `arg`
+/// (delivered in `r9`; 0 on the default-action miss path) — no map
+/// reads or writes. Any shard computes the same verdict for a given
+/// event, so per-flow verdict sequences are invariant to *which* shard
+/// a flow lands on. That is exactly the property a partition-seed
+/// rotation must preserve, making this the right probe for rebalance
+/// determinism (the accumulator [`flow_prog`] is not: its verdicts
+/// fold per-CPU map state, which moves when the flow moves).
+fn stateless_prog() -> RmtProgram {
+    let mut b = ProgramBuilder::new("stateless");
+    let flow = b.field_readonly("flow");
+    let x = b.field_readonly("x");
+    let act = b.action(Action::new(
+        "mix",
+        vec![
+            Insn::LdCtxt {
+                dst: Reg(1),
+                field: flow,
+            },
+            Insn::LdCtxt {
+                dst: Reg(2),
+                field: x,
+            },
+            // verdict = arg ^ flow + x — distinct per (entry, event),
+            // state-free by construction.
+            Insn::Mov {
+                dst: Reg(0),
+                src: rkd::core::bytecode::ARG_REG,
+            },
+            Insn::Alu {
+                op: AluOp::Xor,
+                dst: Reg(0),
+                src: Reg(1),
+            },
+            Insn::Alu {
+                op: AluOp::Add,
+                dst: Reg(0),
+                src: Reg(2),
+            },
+            Insn::Exit,
+        ],
+    ));
+    b.table("t", "pkt", &[flow], MatchKind::Exact, Some(act), 16);
+    b.build()
+}
+
+/// Acceptance (tentpole): a 4-shard replay of a Zipf-skewed stream
+/// with forced mid-stream partition-seed rotations is bit-identical,
+/// per flow, to the single-machine oracle fed the same events in
+/// order.
+///
+/// The stream replays in waves; each wave partitions its events under
+/// the *current* seed, submits one batch per shard, and waits out
+/// every ticket before the next wave — so a rotation between waves
+/// happens at a quiesce point, the protocol
+/// [`ShardedMachine::rotate_partition`] documents. Rotations are
+/// forced explicitly because the balancer heuristic
+/// ([`ShardedMachine::should_rebalance`]) is depth-triggered and this
+/// driver drains each wave fully; the determinism property under test
+/// is rotation-count-independent either way.
+#[test]
+fn rebalanced_sharded_replay_matches_single_machine_per_flow() {
+    use rkd::workloads::zipf::ZipfFlows;
+
+    const SHARDS: usize = 4;
+    const WAVE: usize = 256;
+    const EVENTS: usize = 2048;
+    let table = rkd::core::table::TableId(0);
+    let act = rkd::core::table::ActionId(0);
+
+    // Zipf(1.1) flows: elephants dominate, so rotation visibly moves
+    // hot flows between shards. x varies per event so per-flow verdict
+    // *sequences* (not just sets) are discriminating.
+    let zipf = ZipfFlows::new(64, 1.1);
+    let mut frng = StdRng::seed_from_u64(0x5EED_2026);
+    let mut xrng = StdRng::seed_from_u64(0xA11C_E500);
+    let events: Vec<(u64, i64)> = zipf
+        .stream(EVENTS, &mut frng)
+        .into_iter()
+        .map(|f| (f, xrng.gen_range(-1_000i64..1_000)))
+        .collect();
+
+    // Entries for the six hottest flows with distinct args, so both
+    // the hit path (arg in r9) and the default-action miss path are
+    // exercised under rotation.
+    let entries: Vec<Entry> = (0..6)
+        .map(|rank| Entry {
+            // Key extraction casts the i64 field back to u64, so the
+            // raw flow id round-trips exactly.
+            key: MatchKey::Exact(vec![zipf.flow_at_rank(rank)]),
+            priority: 0,
+            action: act,
+            arg: 1_000 * (rank as i64 + 1),
+        })
+        .collect();
+
+    // Oracle: one machine, every event in stream order.
+    let mut single = RmtMachine::new();
+    let pid = install(stateless_prog(), &mut single);
+    for entry in &entries {
+        syscall_rmt_with(
+            &mut single,
+            CtrlRequest::InsertEntry {
+                prog: pid,
+                table,
+                entry: entry.clone(),
+            },
+            &VerifierConfig::default(),
+        )
+        .unwrap();
+    }
+    let mut single_flows: BTreeMap<u64, Vec<i64>> = BTreeMap::new();
+    for &(flow, x) in &events {
+        let mut ctxt = Ctxt::from_values(vec![flow as i64, x]);
+        let verdict = single.fire("pkt", &mut ctxt).verdict().unwrap();
+        single_flows.entry(flow).or_default().push(verdict);
+    }
+
+    // Sharded replay in waves with two forced mid-stream rotations.
+    let sharded = ShardedMachine::new(SHARDS);
+    sharded
+        .ctrl(CtrlRequest::Install {
+            prog: Box::new(stateless_prog()),
+            mode: ExecMode::Jit,
+            seed: BASE_SEED,
+        })
+        .unwrap();
+    for entry in &entries {
+        sharded
+            .ctrl(CtrlRequest::InsertEntry {
+                prog: pid,
+                table,
+                entry: entry.clone(),
+            })
+            .unwrap();
+    }
+
+    let seed_before = sharded.partition_seed();
+    let assignment = |m: &ShardedMachine| -> Vec<usize> {
+        (0..zipf.population())
+            .map(|r| m.shard_for_flow(zipf.flow_at_rank(r)))
+            .collect()
+    };
+    let before = assignment(&sharded);
+
+    let mut sharded_flows: BTreeMap<u64, Vec<i64>> = BTreeMap::new();
+    for (wave_idx, wave) in events.chunks(WAVE).enumerate() {
+        // Partition this wave under the partition seed *as of now* —
+        // rotations between waves re-hash subsequent waves.
+        let mut lanes: Vec<Vec<(u64, i64)>> = vec![Vec::new(); SHARDS];
+        for &(flow, x) in wave {
+            lanes[sharded.shard_for_flow(flow)].push((flow, x));
+        }
+        let tickets: Vec<_> = lanes
+            .iter()
+            .enumerate()
+            .map(|(shard, lane)| {
+                let ctxts = lane
+                    .iter()
+                    .map(|&(flow, x)| Ctxt::from_values(vec![flow as i64, x]))
+                    .collect();
+                sharded.fire_batch_on(shard, "pkt", ctxts)
+            })
+            .collect();
+        for (shard, ticket) in tickets.into_iter().enumerate() {
+            let (_ctxts, results) = ticket.wait();
+            assert_eq!(results.len(), lanes[shard].len());
+            for (&(flow, _), r) in lanes[shard].iter().zip(&results) {
+                sharded_flows
+                    .entry(flow)
+                    .or_default()
+                    .push(r.verdict().unwrap());
+            }
+        }
+        // Every ticket waited: the rings are drained and no event is
+        // in flight — a quiesce point. Rotate twice mid-stream.
+        if wave_idx == 2 || wave_idx == 5 {
+            sharded.rotate_partition().unwrap();
+        }
+    }
+
+    // The rotations really happened and really moved flows.
+    assert_eq!(sharded.rebalances(), 2);
+    assert_ne!(sharded.partition_seed(), seed_before);
+    assert_ne!(
+        assignment(&sharded),
+        before,
+        "rotation left every flow on its original shard — vacuous test"
+    );
+
+    // Bit-identical per-flow verdict sequences, rotation and all.
+    assert_eq!(sharded_flows, single_flows);
+    assert_eq!(
+        sharded.machine_counters().fires,
+        EVENTS as u64,
+        "every event fired exactly once across waves and rotations"
+    );
 }

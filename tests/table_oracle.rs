@@ -100,12 +100,23 @@ fn run_differential(g: &mut Gen, kind: MatchKind, arity: usize) {
         }
         for _ in 0..3 {
             let probe = gen_probe(g, kind, arity);
-            let indexed = t.lookup(&probe).map(|e| e.arg);
+            // `lookup` dispatches to the linear engine below the
+            // small-table cutoffs, so compare the forced index walk
+            // too — the churn range straddles both cutoffs, keeping
+            // the index under differential test at every size.
+            let dispatched = t.lookup(&probe).map(|e| e.arg);
+            let indexed = t.lookup_via_index(&probe).map(|e| e.arg);
             let oracle = t.lookup_linear_ref(&probe).map(|e| e.arg);
             assert_eq!(
                 indexed,
                 oracle,
-                "kind {kind:?} diverged on probe {probe:?} with {} entries",
+                "kind {kind:?} index diverged on probe {probe:?} with {} entries",
+                t.len()
+            );
+            assert_eq!(
+                dispatched,
+                oracle,
+                "kind {kind:?} dispatch diverged on probe {probe:?} with {} entries",
                 t.len()
             );
         }
