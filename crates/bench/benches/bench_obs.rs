@@ -157,10 +157,16 @@ fn bench_overhead(c: &mut Harness) -> Vec<(String, Json)> {
 /// Median per-batch overhead of `cfg_b` over `cfg_a` on the `fire()`
 /// hot path, with A/B batches interleaved.
 fn paired_overhead_pct(cfg_a: ObsConfig, cfg_b: ObsConfig) -> f64 {
-    const BATCH: usize = 2_000;
-    const ROUNDS: usize = 15;
     let mut vm_a = machine_with(cfg_a);
     let mut vm_b = machine_with(cfg_b);
+    paired_pct(&mut vm_a, &mut vm_b)
+}
+
+/// Interleaved A/B batches over two prepared machines; clock drift,
+/// frequency scaling, and placement effects cancel in the ratio.
+fn paired_pct(vm_a: &mut RmtMachine, vm_b: &mut RmtMachine) -> f64 {
+    const BATCH: usize = 2_000;
+    const ROUNDS: usize = 15;
     let time_batch = |vm: &mut RmtMachine| {
         let start = std::time::Instant::now();
         for _ in 0..BATCH {
@@ -170,17 +176,102 @@ fn paired_overhead_pct(cfg_a: ObsConfig, cfg_b: ObsConfig) -> f64 {
         start.elapsed().as_nanos() as f64
     };
     // Warmup.
-    time_batch(&mut vm_a);
-    time_batch(&mut vm_b);
+    time_batch(vm_a);
+    time_batch(vm_b);
     let mut ratios: Vec<f64> = (0..ROUNDS)
         .map(|_| {
-            let a = time_batch(&mut vm_a);
-            let b = time_batch(&mut vm_b);
+            let a = time_batch(vm_a);
+            let b = time_batch(vm_b);
             b / a
         })
         .collect();
     ratios.sort_by(|x, y| x.total_cmp(y));
     (ratios[ROUNDS / 2] - 1.0) * 100.0
+}
+
+/// An 8-table pipeline on one hook — the span-tracing design budget is
+/// stated against a deep pipeline, where the per-table instrumentation
+/// sites are the densest.
+fn pipeline_machine(tables: usize) -> RmtMachine {
+    let mut b = rkd_core::prog::ProgramBuilder::new("bench_pipeline");
+    let pid = b.field_readonly("pid");
+    let act = b.action(hot_action());
+    for i in 0..tables {
+        b.table(
+            &format!("t{i}"),
+            "hook",
+            &[pid],
+            rkd_core::table::MatchKind::Exact,
+            Some(act),
+            8,
+        );
+    }
+    let verified = verify(b.build()).unwrap();
+    let mut vm = RmtMachine::with_obs_config(ObsConfig::default());
+    vm.install(verified, ExecMode::Interp).unwrap();
+    vm
+}
+
+/// The span-tracing acceptance gate: spans compiled in and *armed but
+/// unsampled* (shift 62 — the self-sampler runs its counter check on
+/// every fire yet effectively never fires) must cost <= 1% over spans
+/// disarmed (shift 64 — the check short-circuits before the counter)
+/// on an 8-table pipeline. This prices exactly the always-on residue
+/// every un-traced event pays.
+fn bench_span_overhead() -> Vec<(String, Json)> {
+    const TABLES: usize = 8;
+    const BUDGET_PCT: f64 = 1.0;
+    const BATCH: usize = 2_000;
+    const ROUNDS: usize = 41;
+    let mut vm_off = pipeline_machine(TABLES);
+    vm_off.set_span_config(64, 4096);
+    let mut vm_armed = pipeline_machine(TABLES);
+    vm_armed.set_span_config(62, 4096);
+    let time_batch = |vm: &mut RmtMachine| {
+        let start = std::time::Instant::now();
+        for _ in 0..BATCH {
+            let mut ctxt = Ctxt::from_values(vec![1]);
+            std::hint::black_box(vm.fire("hook", &mut ctxt));
+        }
+        start.elapsed().as_nanos() as f64
+    };
+    time_batch(&mut vm_off);
+    time_batch(&mut vm_armed);
+    // A 1% budget needs a tighter estimator than the 5% obs gate:
+    // alternate the A/B order each round (cancels which-ran-first
+    // bias) and take the median ratio over more rounds.
+    let mut ratios: Vec<f64> = (0..ROUNDS)
+        .map(|round| {
+            if round % 2 == 0 {
+                let a = time_batch(&mut vm_off);
+                let b = time_batch(&mut vm_armed);
+                b / a
+            } else {
+                let b = time_batch(&mut vm_armed);
+                let a = time_batch(&mut vm_off);
+                b / a
+            }
+        })
+        .collect();
+    ratios.sort_by(|x, y| x.total_cmp(y));
+    let overhead = (ratios[ROUNDS / 2] - 1.0) * 100.0;
+    let verdict = if overhead <= BUDGET_PCT {
+        "PASS"
+    } else {
+        "FAIL"
+    };
+    println!(
+        "span_gate armed_vs_off                 {overhead:+6.2}%  (budget {BUDGET_PCT}%) {verdict}"
+    );
+    vec![(
+        "span_overhead".to_string(),
+        Json::Obj(vec![
+            ("tables".to_string(), Json::UInt(TABLES as u64)),
+            ("overhead_pct".to_string(), Json::Float(overhead)),
+            ("budget_pct".to_string(), Json::Float(BUDGET_PCT)),
+            ("verdict".to_string(), Json::Str(verdict.to_string())),
+        ]),
+    )]
 }
 
 fn bench_primitives(c: &mut Harness) -> Vec<(String, Json)> {
@@ -221,6 +312,7 @@ fn bench_primitives(c: &mut Harness) -> Vec<(String, Json)> {
 fn main() {
     let mut harness = Harness::from_env();
     let mut doc = bench_overhead(&mut harness);
+    doc.extend(bench_span_overhead());
     doc.extend(bench_primitives(&mut harness));
     harness.finish();
     if let Ok(path) = std::env::var("RKD_BENCH_OBS_JSON") {

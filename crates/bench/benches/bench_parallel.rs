@@ -31,12 +31,14 @@
 //! `scripts/ci.sh` as `BENCH_parallel.json`).
 
 use rkd_bench::shard_replay::{
-    events_from_keys, replay_sharded, replay_sharded_with, ReplayOptions, REPLAY_HOOK,
+    drive_replay, events_from_keys, replay_prog, replay_sharded, replay_sharded_with,
+    ReplayOptions, REPLAY_HOOK,
 };
 use rkd_core::ctrl::syscall_rmt;
-use rkd_core::ctrl::CtrlRequest;
+use rkd_core::ctrl::{CtrlRequest, CtrlResponse};
 use rkd_core::ctxt::Ctxt;
 use rkd_core::machine::{ExecMode, RmtMachine};
+use rkd_core::shard::ShardedMachine;
 use rkd_core::spsc;
 use rkd_testkit::json::Json;
 use rkd_testkit::rng::{Rng, SeedableRng, StdRng};
@@ -342,6 +344,87 @@ fn bench_skew() -> (Vec<(String, Json)>, bool) {
     (doc, verdict != "FAIL")
 }
 
+/// Where do a traced event's nanoseconds go? The Zipf skew replay
+/// again, this time under span tracing (1-in-16 ingress sampling, big
+/// rings so nothing drops mid-replay), reduced to the per-stage
+/// profile the span collector aggregates — counts, percentiles, and
+/// the exemplar trace id of the slowest span per stage.
+fn bench_stages() -> Vec<(String, Json)> {
+    const STAGE_EVENTS: usize = 100_000;
+    const SHARDS: usize = 4;
+    let z = ZipfFlows::new(256, 1.1);
+    let events = events_from_keys(z.stream(STAGE_EVENTS, &mut StdRng::seed_from_u64(2021)));
+
+    let sharded = ShardedMachine::new(SHARDS);
+    match sharded
+        .ctrl(CtrlRequest::Install {
+            prog: Box::new(replay_prog()),
+            mode: ExecMode::Jit,
+            seed: 2021,
+        })
+        .expect("install replay program")
+    {
+        CtrlResponse::Installed(_) => {}
+        other => panic!("unexpected install response {other:?}"),
+    }
+    sharded
+        .ctrl(CtrlRequest::SpanConfig {
+            sample_shift: 4,
+            capacity: 65_536,
+        })
+        .expect("configure spans");
+    sharded.sync();
+
+    let report = drive_replay(
+        &sharded,
+        &events,
+        ReplayOptions {
+            batch: BATCH,
+            window: 4,
+            balance: true,
+        },
+    );
+    println!(
+        "parallel/stages_replay      {:12.0} events/s (1-in-16 span sampling)",
+        report.events_per_sec
+    );
+    let profile = sharded.stage_profile();
+    let mut section = Vec::new();
+    for s in &profile.stages {
+        println!(
+            "stage/{: <16} count {: >8}  p50 {: >8} ns  p99 {: >9} ns  max {: >10} ns  exemplar {:#018x}",
+            s.stage.name(),
+            s.count,
+            s.p50_ns,
+            s.p99_ns,
+            s.max_ns,
+            s.exemplar_trace_id,
+        );
+        section.push((
+            s.stage.name().to_string(),
+            Json::Obj(vec![
+                ("count".to_string(), Json::UInt(s.count)),
+                ("total_ns".to_string(), Json::UInt(s.total_ns)),
+                ("p50_ns".to_string(), Json::UInt(s.p50_ns)),
+                ("p99_ns".to_string(), Json::UInt(s.p99_ns)),
+                ("max_ns".to_string(), Json::UInt(s.max_ns)),
+                (
+                    "exemplar_trace_id".to_string(),
+                    Json::UInt(s.exemplar_trace_id),
+                ),
+            ]),
+        ));
+    }
+    vec![(
+        "stages".to_string(),
+        Json::Obj(vec![
+            ("shards".to_string(), Json::Int(SHARDS as i64)),
+            ("sample_shift".to_string(), Json::Int(4)),
+            ("profile".to_string(), Json::Obj(section)),
+        ]),
+    )]
+}
+
 fn main() {
     let events = synthetic_events();
     let (mut doc, ok) = bench_scaling(&events);
@@ -349,6 +432,7 @@ fn main() {
     doc.extend(bench_ingress());
     let (skew_doc, skew_ok) = bench_skew();
     doc.extend(skew_doc);
+    doc.extend(bench_stages());
     let ok = ok && skew_ok;
     if let Ok(path) = std::env::var("RKD_BENCH_PARALLEL_JSON") {
         if !path.trim().is_empty() {

@@ -181,6 +181,22 @@ pub enum CtrlRequest {
     /// Read the flight recorder's buffered time-series frames
     /// (non-draining).
     FlightRead,
+    /// Reconfigure span tracing: sample 1-in-2^`sample_shift` ingress
+    /// events (>= 64 disables) into a ring bounded at `capacity`.
+    SpanConfig {
+        /// Sampling shift; the default is 6 (1-in-64).
+        sample_shift: u32,
+        /// Span-ring capacity per machine.
+        capacity: u64,
+    },
+    /// Drain up to `max` recorded spans (oldest first).
+    SpanRead {
+        /// Maximum spans to return.
+        max: u64,
+    },
+    /// Clear recorded spans and the stage profile (sampling
+    /// configuration survives).
+    SpanReset,
 }
 
 /// A control-plane response.
@@ -211,6 +227,9 @@ pub enum CtrlResponse {
     ModelStats(Box<obs::ModelStatsSnapshot>),
     /// Flight-recorder frames (boxed: frames carry full counter sets).
     Flight(Box<obs::FlightSnapshot>),
+    /// Drained spans plus the evict count (boxed: span batches are
+    /// large).
+    Spans(Box<obs::span::SpanSnapshot>),
 }
 
 /// Dispatches one control-plane request against a machine, using the
@@ -306,6 +325,20 @@ pub fn syscall_rmt_with(
             machine.model_stats(prog, slot)?,
         ))),
         CtrlRequest::FlightRead => Ok(CtrlResponse::Flight(Box::new(machine.flight_snapshot()))),
+        CtrlRequest::SpanConfig {
+            sample_shift,
+            capacity,
+        } => {
+            machine.set_span_config(sample_shift, capacity.min(usize::MAX as u64) as usize);
+            Ok(CtrlResponse::Ok)
+        }
+        CtrlRequest::SpanRead { max } => Ok(CtrlResponse::Spans(Box::new(
+            machine.span_read(max.min(usize::MAX as u64) as usize),
+        ))),
+        CtrlRequest::SpanReset => {
+            machine.span_reset();
+            Ok(CtrlResponse::Ok)
+        }
     }
 }
 
@@ -726,6 +759,12 @@ rkd_testkit::impl_json_enum!(CtrlRequest {
     },
     QueryModelStats { prog, slot },
     FlightRead,
+    SpanConfig {
+        sample_shift,
+        capacity
+    },
+    SpanRead { max },
+    SpanReset,
 });
 
 rkd_testkit::impl_json_enum!(CtrlResponse {
@@ -741,4 +780,5 @@ rkd_testkit::impl_json_enum!(CtrlResponse {
     Counters(counters),
     ModelStats(stats),
     Flight(snapshot),
+    Spans(snapshot),
 });

@@ -30,6 +30,7 @@
 use crate::ctrl::{syscall_rmt_with, CtrlRequest, CtrlResponse};
 use crate::error::VmError;
 use crate::machine::{MachineSnapshot, RmtMachine};
+use crate::obs::span::Stage;
 use crate::snapshot::{from_json_str, to_json_string};
 use crate::verifier::VerifierConfig;
 use std::fs::{self, File, OpenOptions};
@@ -233,17 +234,29 @@ impl CtrlJournal {
     /// Appends one request, fsyncs, and returns its sequence number.
     /// When this returns, the record is durable.
     pub fn append(&mut self, req: &CtrlRequest) -> Result<u64, JournalError> {
+        self.append_timed(req).map(|(seq, _, _)| seq)
+    }
+
+    /// [`CtrlJournal::append`] plus timing: returns `(seq, write_ns,
+    /// sync_ns)` — how long the serialized buffered write and the
+    /// `sync_data` each took, feeding the span layer's
+    /// `JournalAppend`/`JournalFsync` stages.
+    pub fn append_timed(&mut self, req: &CtrlRequest) -> Result<(u64, u64, u64), JournalError> {
         let seq = self.next_seq;
         let rec = JournalRecord {
             seq,
             req: req.clone(),
         };
+        let t0 = std::time::Instant::now();
         let mut line = to_json_string(&rec);
         line.push('\n');
         self.file.write_all(line.as_bytes())?;
+        let write_ns = t0.elapsed().as_nanos() as u64;
+        let t1 = std::time::Instant::now();
         self.file.sync_data()?;
+        let sync_ns = t1.elapsed().as_nanos() as u64;
         self.next_seq = seq + 1;
-        Ok(seq)
+        Ok((seq, write_ns, sync_ns))
     }
 
     /// Sequence number the next append will get.
@@ -397,7 +410,20 @@ impl JournaledMachine {
     /// accumulate.
     pub fn ctrl(&mut self, req: CtrlRequest) -> Result<CtrlResponse, JournalError> {
         if is_mutation(&req) {
-            self.journal.append(&req)?;
+            let t0 = self.machine.span_now_ns();
+            let (_seq, write_ns, sync_ns) = self.journal.append_timed(&req)?;
+            let spans = self.machine.spans_mut();
+            let id = spans.alloc_id();
+            spans.record(0, id, 0, Stage::JournalAppend, t0, t0 + write_ns);
+            let id = spans.alloc_id();
+            spans.record(
+                0,
+                id,
+                0,
+                Stage::JournalFsync,
+                t0 + write_ns,
+                t0 + write_ns + sync_ns,
+            );
             self.since_checkpoint += 1;
         }
         let resp = syscall_rmt_with(&mut self.machine, req, &self.vcfg).map_err(JournalError::Vm);
@@ -412,6 +438,7 @@ impl JournaledMachine {
     /// rename, and replay deduplicates by `seq` if the truncate never
     /// happens.
     pub fn compact(&mut self) -> Result<(), JournalError> {
+        let t0 = self.machine.span_now_ns();
         let seq = self.journal.next_seq() - 1;
         write_checkpoint(
             &self.checkpoint_path,
@@ -423,6 +450,10 @@ impl JournaledMachine {
         self.journal.truncate()?;
         self.checkpoint_seq = seq;
         self.since_checkpoint = 0;
+        let end = self.machine.span_now_ns();
+        let spans = self.machine.spans_mut();
+        let id = spans.alloc_id();
+        spans.record(0, id, 0, Stage::JournalCompact, t0, end);
         Ok(())
     }
 
@@ -478,7 +509,13 @@ pub fn is_mutation(req: &CtrlRequest) -> bool {
         | CtrlRequest::SetDecisionCacheCapacity { .. }
         | CtrlRequest::SetPartitionSeed { .. }
         | CtrlRequest::SetBalancerPolicy { .. }
-        | CtrlRequest::ReportOutcome { .. } => true,
+        | CtrlRequest::ReportOutcome { .. }
+        // Span verbs mutate collector state (config, ring drain);
+        // journaling SpanConfig also re-arms the sampling rate on
+        // replay, since span *contents* are never snapshotted.
+        | CtrlRequest::SpanConfig { .. }
+        | CtrlRequest::SpanRead { .. }
+        | CtrlRequest::SpanReset => true,
         CtrlRequest::QueryStats { .. }
         | CtrlRequest::QueryTableStats { .. }
         | CtrlRequest::QueryPrivacyBudget { .. }

@@ -18,6 +18,7 @@ use crate::error::VmError;
 use crate::interp::{run_action, ActionOutcome, Effect, ExecEnv};
 use crate::jit::CompiledAction;
 use crate::maps::{MapId, MapInstance, MapState};
+use crate::obs::span::{self, SpanCollector, SpanSnapshot, Stage, StageProfile};
 use crate::obs::{
     FlightFrame, FlightHookPoint, FlightModelPoint, FlightSnapshot, HookStats, Log2Hist,
     ModelStats, ModelStatsSnapshot, ModelStatsState, Obs, ObsConfig, ObsSnapshot, ObsState,
@@ -32,6 +33,16 @@ use rkd_testkit::rng::SeedableRng;
 use rkd_testkit::rng::StdRng;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::time::Instant;
+
+/// Bookkeeping for one sampled firing's open `Fire` span: identity
+/// fixed at entry, recorded once the firing completes.
+#[derive(Clone, Copy)]
+struct FireSpan {
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
+    start_ns: u64,
+}
 
 /// Identifies an installed program.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -837,6 +848,33 @@ impl RmtMachine {
         results
     }
 
+    /// Opens the `Fire` span for one firing if the sampling layer
+    /// says so: consumes an ingress-injected decision, or (when
+    /// self-sampled) derives the trace id from the hook's consumed
+    /// flow-key fields. `None` — the overwhelmingly common case — is
+    /// one branch, no allocation, no clock read.
+    fn span_begin_fire(
+        obs: &mut Obs,
+        consumed: &[FieldId],
+        ctxt: &Ctxt,
+        key_scratch: &mut Vec<u64>,
+    ) -> Option<FireSpan> {
+        let active = obs.spans.fire_ctx()?;
+        let trace_id = if active.trace_id != 0 {
+            active.trace_id
+        } else {
+            ctxt.key_into(consumed, key_scratch);
+            span::trace_id_from_key(key_scratch.iter().copied())
+        };
+        let span_id = obs.spans.alloc_id();
+        Some(FireSpan {
+            trace_id,
+            span_id,
+            parent_id: active.parent_id,
+            start_ns: obs.spans.now_ns(),
+        })
+    }
+
     /// Latency-sampling mask from the obs config: a firing is timed
     /// when `(slot.fires - 1) & mask == 0`.
     fn sample_mask(cfg: &ObsConfig) -> u64 {
@@ -875,8 +913,16 @@ impl RmtMachine {
         let timed = obs.cfg.timing && (slot.fires - 1) & sample_mask == 0;
         let t0 = timed.then(Instant::now);
         let mut prev = t0;
+        let fire_span = Self::span_begin_fire(obs, &slot.consumed, ctxt, key_scratch);
+        let probe_t0 = fire_span.map(|_| obs.spans.now_ns());
         let mut cache =
             Self::cache_probe(slot, obs, key_scratch, table_gen, decision_cache_cap, ctxt);
+        if let (Some(fs), Some(p0)) = (fire_span, probe_t0) {
+            let end = obs.spans.now_ns();
+            let id = obs.spans.alloc_id();
+            obs.spans
+                .record(fs.trace_id, id, fs.span_id, Stage::CacheProbe, p0, end);
+        }
         for li in 0..slot.listeners.len() {
             let (pid, _first_table) = slot.listeners[li];
             let Some(inst) = programs.get_mut(&pid) else {
@@ -902,11 +948,29 @@ impl RmtMachine {
                 tick,
                 timed,
                 &mut prev,
+                fire_span.map(|f| (f.trace_id, f.span_id)),
                 ctxt,
                 &mut result,
             );
         }
+        let finish_t0 = fire_span.map(|_| obs.spans.now_ns());
         Self::cache_finish(slot, obs, key_scratch, table_gen, decision_cache_cap, cache);
+        if let Some(fs) = fire_span {
+            let end = obs.spans.now_ns();
+            if let Some(f0) = finish_t0 {
+                let id = obs.spans.alloc_id();
+                obs.spans
+                    .record(fs.trace_id, id, fs.span_id, Stage::CacheFinish, f0, end);
+            }
+            obs.spans.record(
+                fs.trace_id,
+                fs.span_id,
+                fs.parent_id,
+                Stage::Fire,
+                fs.start_ns,
+                end,
+            );
+        }
         if let (Some(start), Some(end)) = (t0, prev) {
             slot.hist
                 .record(end.duration_since(start).as_nanos() as u64);
@@ -943,8 +1007,16 @@ impl RmtMachine {
         let timed = obs.cfg.timing && (slot.fires - 1) & sample_mask == 0;
         let t0 = timed.then(Instant::now);
         let mut prev = t0;
+        let fire_span = Self::span_begin_fire(obs, &slot.consumed, ctxt, key_scratch);
+        let probe_t0 = fire_span.map(|_| obs.spans.now_ns());
         let mut cache =
             Self::cache_probe(slot, obs, key_scratch, table_gen, decision_cache_cap, ctxt);
+        if let (Some(fs), Some(p0)) = (fire_span, probe_t0) {
+            let end = obs.spans.now_ns();
+            let id = obs.spans.alloc_id();
+            obs.spans
+                .record(fs.trace_id, id, fs.span_id, Stage::CacheProbe, p0, end);
+        }
         inst.stats.invocations += 1;
         Self::run_pipeline(
             inst,
@@ -957,10 +1029,28 @@ impl RmtMachine {
             tick,
             timed,
             &mut prev,
+            fire_span.map(|f| (f.trace_id, f.span_id)),
             ctxt,
             &mut result,
         );
+        let finish_t0 = fire_span.map(|_| obs.spans.now_ns());
         Self::cache_finish(slot, obs, key_scratch, table_gen, decision_cache_cap, cache);
+        if let Some(fs) = fire_span {
+            let end = obs.spans.now_ns();
+            if let Some(f0) = finish_t0 {
+                let id = obs.spans.alloc_id();
+                obs.spans
+                    .record(fs.trace_id, id, fs.span_id, Stage::CacheFinish, f0, end);
+            }
+            obs.spans.record(
+                fs.trace_id,
+                fs.span_id,
+                fs.parent_id,
+                Stage::Fire,
+                fs.start_ns,
+                end,
+            );
+        }
         if let (Some(start), Some(end)) = (t0, prev) {
             slot.hist
                 .record(end.duration_since(start).as_nanos() as u64);
@@ -1036,9 +1126,16 @@ impl RmtMachine {
         tick: u64,
         timed: bool,
         prev: &mut Option<Instant>,
+        fire_span: Option<(u64, u64)>,
         ctxt: &mut Ctxt,
         result: &mut HookResult,
     ) {
+        // (trace_id, own span id, parent fire span id, start) for the
+        // RunPipeline span, when this firing is traced.
+        let pipeline_span = fire_span.map(|(trace, fire_id)| {
+            let id = obs.spans.alloc_id();
+            (trace, id, fire_id, obs.spans.now_ns())
+        });
         let verdicts_before = result.verdicts.len();
         scratch_queue.clear();
         scratch_queue.extend_from_slice(pipeline);
@@ -1133,7 +1230,15 @@ impl RmtMachine {
                         let key = fresh_key
                             .take()
                             .unwrap_or_else(|| ctxt.key(&t.def().key_fields));
-                        match t.lookup_indexed(&key) {
+                        let lookup_t0 = pipeline_span.map(|_| obs.spans.now_ns());
+                        let looked_up = t.lookup_indexed(&key);
+                        if let (Some((trace, rp_id, _, _)), Some(l0)) = (pipeline_span, lookup_t0) {
+                            let end = obs.spans.now_ns();
+                            let id = obs.spans.alloc_id();
+                            obs.spans
+                                .record(trace, id, rp_id, Stage::TableLookup, l0, end);
+                        }
+                        match looked_up {
                             Some((ei, e)) => {
                                 let (action, arg) = (e.action, e.arg);
                                 if cache.recording {
@@ -1304,6 +1409,11 @@ impl RmtMachine {
                 kind: TraceKind::Fire,
                 info: verdict,
             });
+        }
+        if let Some((trace, rp_id, fire_id, start)) = pipeline_span {
+            let end = obs.spans.now_ns();
+            obs.spans
+                .record(trace, rp_id, fire_id, Stage::RunPipeline, start, end);
         }
     }
 
@@ -1743,6 +1853,47 @@ impl RmtMachine {
         }
     }
 
+    /// Reconfigures span tracing: sample 1-in-2^`sample_shift` fires
+    /// (>= 64 disables sampling entirely) into a ring bounded at
+    /// `capacity` spans — the `SpanConfig` control verb.
+    pub fn set_span_config(&mut self, sample_shift: u32, capacity: usize) {
+        self.obs.spans.configure(sample_shift, capacity);
+    }
+
+    /// Drains up to `max` recorded spans (oldest first) plus the
+    /// evict count — the `SpanRead` control verb.
+    pub fn span_read(&mut self, max: usize) -> SpanSnapshot {
+        self.obs.spans.drain(max)
+    }
+
+    /// Clears recorded spans and the stage profile — the `SpanReset`
+    /// control verb. Sampling configuration survives.
+    pub fn span_reset(&mut self) {
+        self.obs.spans.reset();
+    }
+
+    /// The aggregated per-stage span profile (non-draining).
+    pub fn stage_profile(&self) -> StageProfile {
+        self.obs.spans.profile()
+    }
+
+    /// Direct access to the span collector for in-crate
+    /// instrumentation sites (shard workers, the journal).
+    pub(crate) fn spans_mut(&mut self) -> &mut SpanCollector {
+        &mut self.obs.spans
+    }
+
+    /// Nanoseconds since this machine's span epoch.
+    pub(crate) fn span_now_ns(&self) -> u64 {
+        self.obs.spans.now_ns()
+    }
+
+    /// Aligns the span collector into a sharded deployment: shared
+    /// epoch, per-replica id namespace, ingress-owned sampling.
+    pub(crate) fn align_span_identity(&mut self, shard: u64, epoch: Instant, self_sample: bool) {
+        self.obs.spans.set_identity(shard, epoch, self_sample);
+    }
+
     /// Resets the observability layer: counters (including the
     /// decision-cache hit/miss/invalidation/eviction/bypass counters —
     /// they are observations *about* the cache, owned by the obs
@@ -1815,6 +1966,8 @@ impl RmtMachine {
             trace_dropped: self.obs.ring.dropped(),
             trace_pending: self.obs.ring.len() as u64,
             ingress: Vec::new(),
+            // A lone machine has no skew balancer to consult.
+            ingress_should_rebalance: -1,
         }
     }
 
@@ -1863,8 +2016,13 @@ impl crate::obs::export::MetricsSource for RmtMachine {
         match path {
             "/ctrl/counters" => Some(rkd_testkit::json::to_string(&self.machine_counters())),
             "/ctrl/models" => Some(rkd_testkit::json::to_string(&self.obs_snapshot().models)),
+            "/ctrl/stages" => Some(rkd_testkit::json::to_string(&self.stage_profile())),
             _ => None,
         }
+    }
+
+    fn trace_json(&mut self) -> Option<String> {
+        Some(span::chrome_trace_json(&self.span_read(usize::MAX)))
     }
 }
 

@@ -43,6 +43,7 @@
 //! and JSON, optionally over a one-shot loopback HTTP responder.
 
 pub mod export;
+pub mod span;
 
 use std::collections::VecDeque;
 
@@ -980,6 +981,10 @@ pub struct Obs {
     pub(crate) ring: TraceRing,
     /// Periodic time-series frames.
     pub(crate) flight: FlightRecorder,
+    /// Sampled span ring + stage profiler. Excluded from
+    /// [`ObsState`]: spans are memoization over a live run, like
+    /// decision caches.
+    pub(crate) spans: span::SpanCollector,
 }
 
 impl Obs {
@@ -990,6 +995,7 @@ impl Obs {
             counters: MachineCounters::default(),
             ring: TraceRing::new(cfg.trace_capacity),
             flight: FlightRecorder::new(cfg.flight_interval, cfg.flight_capacity),
+            spans: span::SpanCollector::new(),
         }
     }
 
@@ -1104,6 +1110,11 @@ pub struct ObsSnapshot {
     /// single machine — populated only by
     /// [`crate::shard::ShardedMachine::obs_snapshot`].
     pub ingress: Vec<IngressShardStats>,
+    /// Skew-balancer verdict at snapshot time: 1 if the balancer
+    /// would rotate the partition seed, 0 if not, -1 on machines
+    /// without a balancer (single machine). Exported as the
+    /// `rkd_shard_should_rebalance` gauge.
+    pub ingress_should_rebalance: i64,
 }
 
 /// One shard's ingress-ring telemetry (queue depth and the
@@ -1172,6 +1183,11 @@ impl ObsSnapshot {
         // snapshots being merged): concatenate and keep shard order.
         self.ingress.extend(other.ingress.iter().copied());
         self.ingress.sort_by_key(|i| i.shard);
+        // The balancer verdict is coordinator-level, not per-shard:
+        // any constituent that says "rebalance" wins.
+        self.ingress_should_rebalance = self
+            .ingress_should_rebalance
+            .max(other.ingress_should_rebalance);
     }
 }
 
@@ -1315,7 +1331,8 @@ rkd_testkit::impl_json_struct!(ObsSnapshot {
     models,
     trace_dropped,
     trace_pending,
-    ingress
+    ingress,
+    ingress_should_rebalance
 });
 
 rkd_testkit::impl_json_struct!(IngressShardStats {
@@ -1522,6 +1539,7 @@ mod tests {
                 full_stalls: 1,
                 parks: 2,
             }],
+            ingress_should_rebalance: 0,
         };
         let json = rkd_testkit::json::to_string(&snap);
         let back: ObsSnapshot = rkd_testkit::json::from_str(&json).unwrap();

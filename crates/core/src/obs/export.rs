@@ -381,6 +381,18 @@ pub fn to_prometheus(snap: &ObsSnapshot) -> String {
             ));
         }
     }
+    if snap.ingress_should_rebalance >= 0 {
+        family(
+            &mut out,
+            "rkd_shard_should_rebalance",
+            "gauge",
+            "1 when the skew balancer would rotate the partition seed.",
+        );
+        out.push_str(&format!(
+            "rkd_shard_should_rebalance {}\n",
+            snap.ingress_should_rebalance
+        ));
+    }
 
     out
 }
@@ -483,8 +495,16 @@ pub trait MetricsSource {
     /// JSON body for a read-only `GET /ctrl/*` query, or `None` for
     /// 404. The provided implementations answer `/ctrl/counters`
     /// (machine-wide counters), `/ctrl/models` (per-model telemetry),
-    /// and — sharded only — `/ctrl/shards` (per-shard convergence).
+    /// `/ctrl/stages` (the aggregated span stage profile), and —
+    /// sharded only — `/ctrl/shards` (per-shard convergence).
     fn ctrl_query(&mut self, path: &str) -> Option<String>;
+
+    /// Chrome `trace_event` JSON for `GET /trace`, draining the span
+    /// rings (see [`crate::obs::span::chrome_trace_json`]). `None` —
+    /// the default — answers 404 for sources without span tracing.
+    fn trace_json(&mut self) -> Option<String> {
+        None
+    }
 }
 
 /// Serves requests from `listener` until `stop` becomes `true`,
@@ -526,6 +546,7 @@ pub fn serve_until<S: MetricsSource + ?Sized>(
                     &mut |path| match path {
                         "/metrics" => Some((PROMETHEUS_CONTENT_TYPE, to_prometheus(&source.obs()))),
                         "/metrics.json" => Some(("application/json", to_json(&source.obs()))),
+                        "/trace" => source.trace_json().map(|body| ("application/json", body)),
                         p if p.starts_with("/ctrl/") => {
                             source.ctrl_query(p).map(|body| ("application/json", body))
                         }
@@ -696,6 +717,7 @@ mod tests {
                 full_stalls: 3,
                 parks: 9,
             }],
+            ingress_should_rebalance: 1,
         }
     }
 

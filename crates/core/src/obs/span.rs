@@ -1,0 +1,701 @@
+//! End-to-end span tracing and stage profiling.
+//!
+//! Every event that crosses the datapath passes through the same
+//! sequence of layers — ingress ring, shard worker, fire pipeline,
+//! table lookups, decision cache — and the cumulative counters in
+//! [`crate::obs`] say *how often* each layer runs but not *where one
+//! event's nanoseconds go*. This module adds the causal view: a
+//! bounded, per-machine [`SpanCollector`] records sampled spans with
+//! parent/child ids so a single traced event yields a connected tree
+//! from ring enqueue down to individual table lookups.
+//!
+//! Design rules, in the spirit of the rest of the obs layer:
+//!
+//! - **Sampling is decided once, at ingress.** The sharded driver
+//!   picks 1-in-2^shift batches (default 1-in-64) and propagates the
+//!   decision with the message; replicas never make their own
+//!   sampling calls, so a sampled event is traced through *all*
+//!   layers or none. A standalone [`crate::machine::RmtMachine`] is
+//!   its own ingress and samples per fire.
+//! - **No allocation when unsampled.** The hot-path check is one
+//!   branch on an `Option` plus, for self-sampling machines, a shift
+//!   and mask; `sample_shift >= 64` disarms even the sequence
+//!   counter.
+//! - **Integer-only timestamps**, nanoseconds since one monotonic
+//!   epoch captured at machine construction. The sharded driver
+//!   aligns every replica (and its shadow) to a single epoch so
+//!   cross-shard span ordering is meaningful.
+//! - **Spans are memoization, not state.** Like decision caches, the
+//!   collector is rebuilt empty on snapshot restore; traces describe
+//!   a live run, not the machine's logical state, so
+//!   [`crate::obs::ObsState`] excludes them.
+
+use crate::obs::Log2Hist;
+use rkd_testkit::json::{Json, ToJson};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Default sampling shift: trace 1 in 2^6 = 64 ingress events.
+pub const DEFAULT_SPAN_SAMPLE_SHIFT: u32 = 6;
+/// Default bounded span-ring capacity per machine.
+pub const DEFAULT_SPAN_CAPACITY: usize = 4096;
+/// Sampling shifts at or above this disable tracing entirely.
+pub const SPAN_SHIFT_OFF: u32 = 64;
+
+/// The datapath stage a span measures. The discriminants index the
+/// per-stage aggregation table, so they are dense and stable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Stage {
+    /// Batch sat in the SPSC ingress ring: enqueue to worker pop.
+    IngressWait = 0,
+    /// Worker slept (spin/yield/park) waiting for ingress messages.
+    IngressPark = 1,
+    /// Worker processed one traced batch end to end.
+    ShardRun = 2,
+    /// Worker drained pending control-plane commands from the epoch
+    /// log.
+    CtrlDrain = 3,
+    /// Coordinator rotated the partition seed (skew rebalance).
+    RotatePartition = 4,
+    /// One hook firing: cache probe through cache finish.
+    Fire = 5,
+    /// Decision-cache probe before running listener pipelines.
+    CacheProbe = 6,
+    /// One listener's table pipeline, entry to verdict.
+    RunPipeline = 7,
+    /// A single table `lookup()` inside a pipeline.
+    TableLookup = 8,
+    /// Decision-cache writeback after the listener loop.
+    CacheFinish = 9,
+    /// Journal record serialization + buffered write.
+    JournalAppend = 10,
+    /// Journal `sync_data` for one appended record.
+    JournalFsync = 11,
+    /// Journal checkpoint-and-truncate compaction.
+    JournalCompact = 12,
+}
+
+/// Number of [`Stage`] variants; sizes the aggregation table.
+pub const STAGE_COUNT: usize = 13;
+
+impl Stage {
+    /// Every stage, in discriminant order.
+    pub const ALL: [Stage; STAGE_COUNT] = [
+        Stage::IngressWait,
+        Stage::IngressPark,
+        Stage::ShardRun,
+        Stage::CtrlDrain,
+        Stage::RotatePartition,
+        Stage::Fire,
+        Stage::CacheProbe,
+        Stage::RunPipeline,
+        Stage::TableLookup,
+        Stage::CacheFinish,
+        Stage::JournalAppend,
+        Stage::JournalFsync,
+        Stage::JournalCompact,
+    ];
+
+    /// Stable display name, also used in Chrome trace output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::IngressWait => "ingress_wait",
+            Stage::IngressPark => "ingress_park",
+            Stage::ShardRun => "shard_run",
+            Stage::CtrlDrain => "ctrl_drain",
+            Stage::RotatePartition => "rotate_partition",
+            Stage::Fire => "fire",
+            Stage::CacheProbe => "cache_probe",
+            Stage::RunPipeline => "run_pipeline",
+            Stage::TableLookup => "table_lookup",
+            Stage::CacheFinish => "cache_finish",
+            Stage::JournalAppend => "journal_append",
+            Stage::JournalFsync => "journal_fsync",
+            Stage::JournalCompact => "journal_compact",
+        }
+    }
+}
+
+/// One recorded span: a `[start_ns, end_ns]` interval attributed to a
+/// [`Stage`], linked into a trace by `trace_id` and `parent_id`.
+///
+/// `parent_id == 0` marks a root span. Span ids are namespaced by the
+/// recording machine (`(shard + 1) << 32 | counter`) so merged
+/// cross-shard drains never collide. `trace_id == 0` marks background
+/// work (parks, control-plane drains, journal writes) that is not
+/// tied to any one flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Flow-derived trace id (0 for background spans).
+    pub trace_id: u64,
+    /// This span's id, unique within a run.
+    pub span_id: u64,
+    /// Parent span id, 0 for roots.
+    pub parent_id: u64,
+    /// The stage measured.
+    pub stage: Stage,
+    /// Recording shard (replica index; shard count = shadow machine).
+    pub shard: u64,
+    /// Start, nanoseconds since the shared monotonic epoch.
+    pub start_ns: u64,
+    /// End, nanoseconds since the shared monotonic epoch.
+    pub end_ns: u64,
+}
+
+/// A drained batch of spans plus the evict count since last reset.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Drained spans, oldest first within each machine.
+    pub spans: Vec<Span>,
+    /// Spans evicted from bounded rings (or truncated by a capped
+    /// read) since the last reset.
+    pub dropped: u64,
+}
+
+/// Aggregated profile for one stage: latency histogram plus the
+/// exemplar — the trace id of the slowest span seen, so a hot p99
+/// bucket links to a concrete trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageStats {
+    /// The stage profiled.
+    pub stage: Stage,
+    /// Spans recorded.
+    pub count: u64,
+    /// Saturating total nanoseconds across spans.
+    pub total_ns: u64,
+    /// Approximate median span duration.
+    pub p50_ns: u64,
+    /// Approximate 99th-percentile span duration.
+    pub p99_ns: u64,
+    /// Exact slowest span duration.
+    pub max_ns: u64,
+    /// Trace id of the slowest span (0 if it was background work).
+    pub exemplar_trace_id: u64,
+    /// Duration of the exemplar span.
+    pub exemplar_ns: u64,
+    /// Full log2 latency histogram.
+    pub hist: Log2Hist,
+}
+
+impl StageStats {
+    fn from_agg(stage: Stage, agg: &StageAgg) -> StageStats {
+        StageStats {
+            stage,
+            count: agg.hist.count(),
+            total_ns: agg.hist.sum(),
+            p50_ns: agg.hist.percentile(50),
+            p99_ns: agg.hist.percentile(99),
+            max_ns: agg.hist.max().unwrap_or(0),
+            exemplar_trace_id: agg.exemplar_trace_id,
+            exemplar_ns: agg.exemplar_ns,
+            hist: agg.hist.clone(),
+        }
+    }
+
+    fn merge(&mut self, other: &StageStats) {
+        self.hist.merge(&other.hist);
+        self.count = self.hist.count();
+        self.total_ns = self.hist.sum();
+        self.p50_ns = self.hist.percentile(50);
+        self.p99_ns = self.hist.percentile(99);
+        self.max_ns = self.hist.max().unwrap_or(0);
+        if other.exemplar_ns > self.exemplar_ns {
+            self.exemplar_ns = other.exemplar_ns;
+            self.exemplar_trace_id = other.exemplar_trace_id;
+        }
+    }
+}
+
+/// Per-stage profile across every stage that recorded at least one
+/// span, in [`Stage`] discriminant order. Merges across shards like
+/// the rest of the telemetry surface.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StageProfile {
+    /// Stages with at least one recorded span.
+    pub stages: Vec<StageStats>,
+}
+
+impl StageProfile {
+    /// Merges another profile into this one, stage by stage.
+    pub fn merge(&mut self, other: &StageProfile) {
+        for theirs in &other.stages {
+            match self.stages.iter_mut().find(|s| s.stage == theirs.stage) {
+                Some(ours) => ours.merge(theirs),
+                None => self.stages.push(theirs.clone()),
+            }
+        }
+        self.stages.sort_by_key(|s| s.stage);
+    }
+}
+
+/// Sampling decision propagated from ingress alongside a batch: the
+/// flow-derived trace id and the enqueue timestamp (shared epoch).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchSpan {
+    /// Trace id derived from the batch's first flow key.
+    pub trace_id: u64,
+    /// Enqueue time, nanoseconds since the shared epoch.
+    pub enqueue_ns: u64,
+}
+
+/// An in-flight sampling decision handed to the next fire: which
+/// trace it belongs to and which span to parent under.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ActiveTrace {
+    /// Trace id (0: derive from the flow key at fire time).
+    pub trace_id: u64,
+    /// Parent span id for the fire span (0 = root).
+    pub parent_id: u64,
+}
+
+#[derive(Clone, Debug, Default)]
+struct StageAgg {
+    hist: Log2Hist,
+    exemplar_trace_id: u64,
+    exemplar_ns: u64,
+}
+
+/// Bounded span ring plus stage aggregation for one machine.
+///
+/// Cloned wholesale with [`crate::obs::Obs`] but never snapshotted:
+/// span state is memoization over a live run.
+#[derive(Clone, Debug)]
+pub struct SpanCollector {
+    /// Monotonic epoch all timestamps are relative to. The sharded
+    /// driver overwrites this with one shared epoch at construction.
+    epoch: Instant,
+    /// Id namespace (replica index; the coordinator shadow uses the
+    /// shard count).
+    shard: u64,
+    /// Sample 1-in-2^shift fires; >= [`SPAN_SHIFT_OFF`] disables.
+    sample_shift: u32,
+    /// Whether this machine makes its own sampling decisions. Shard
+    /// replicas set this false: ingress decides for them.
+    self_sample: bool,
+    /// Fires seen by the self-sampler.
+    seq: u64,
+    /// Span id counter (low 32 bits of issued ids).
+    next_id: u64,
+    /// Bounded ring of recorded spans, oldest first.
+    ring: VecDeque<Span>,
+    /// Ring capacity; eviction increments `dropped`.
+    capacity: usize,
+    /// Spans evicted since last reset.
+    dropped: u64,
+    /// Per-stage aggregation, indexed by discriminant.
+    stages: Vec<StageAgg>,
+    /// Externally injected sampling decision for the next fire.
+    active: Option<ActiveTrace>,
+}
+
+impl Default for SpanCollector {
+    fn default() -> SpanCollector {
+        SpanCollector::new()
+    }
+}
+
+impl SpanCollector {
+    /// An armed collector at the default 1-in-64 sampling rate.
+    pub fn new() -> SpanCollector {
+        SpanCollector {
+            epoch: Instant::now(),
+            shard: 0,
+            sample_shift: DEFAULT_SPAN_SAMPLE_SHIFT,
+            self_sample: true,
+            seq: 0,
+            next_id: 0,
+            ring: VecDeque::new(),
+            capacity: DEFAULT_SPAN_CAPACITY,
+            dropped: 0,
+            stages: vec![StageAgg::default(); STAGE_COUNT],
+            active: None,
+        }
+    }
+
+    /// Aligns this collector into a sharded deployment: one shared
+    /// epoch, a unique id namespace, and (for replicas) ingress-owned
+    /// sampling.
+    pub(crate) fn set_identity(&mut self, shard: u64, epoch: Instant, self_sample: bool) {
+        self.shard = shard;
+        self.epoch = epoch;
+        self.self_sample = self_sample;
+    }
+
+    /// Nanoseconds since the collector's epoch.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Reconfigures sampling rate and ring capacity. Shrinking the
+    /// ring evicts oldest spans (counted as dropped).
+    pub fn configure(&mut self, sample_shift: u32, capacity: usize) {
+        self.sample_shift = sample_shift;
+        self.capacity = capacity;
+        while self.ring.len() > self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+    }
+
+    /// Current sampling shift.
+    pub fn sample_shift(&self) -> u32 {
+        self.sample_shift
+    }
+
+    /// The sampling decision for one fire. Consumes an injected
+    /// ingress decision if present; otherwise, on self-sampling
+    /// machines, samples 1-in-2^shift. The disarmed (`shift >= 64`)
+    /// path skips even the sequence increment.
+    #[inline]
+    pub(crate) fn fire_ctx(&mut self) -> Option<ActiveTrace> {
+        if let Some(active) = self.active.take() {
+            return Some(active);
+        }
+        if !self.self_sample || self.sample_shift >= SPAN_SHIFT_OFF {
+            return None;
+        }
+        let hit = self.seq & ((1u64 << self.sample_shift) - 1) == 0;
+        self.seq = self.seq.wrapping_add(1);
+        hit.then_some(ActiveTrace {
+            trace_id: 0,
+            parent_id: 0,
+        })
+    }
+
+    /// Injects an ingress sampling decision for the next fire.
+    pub(crate) fn set_active(&mut self, trace_id: u64, parent_id: u64) {
+        self.active = Some(ActiveTrace {
+            trace_id,
+            parent_id,
+        });
+    }
+
+    /// Clears any unconsumed injected decision (e.g. the batch's hook
+    /// turned out to be unarmed) so it cannot leak into an unrelated
+    /// later fire.
+    pub(crate) fn take_active(&mut self) {
+        self.active = None;
+    }
+
+    /// Issues a span id unique to this machine's namespace.
+    #[inline]
+    pub(crate) fn alloc_id(&mut self) -> u64 {
+        self.next_id = self.next_id.wrapping_add(1);
+        ((self.shard + 1) << 32) | (self.next_id & 0xFFFF_FFFF)
+    }
+
+    /// Records one completed span into the ring and its stage
+    /// aggregate.
+    pub(crate) fn record(
+        &mut self,
+        trace_id: u64,
+        span_id: u64,
+        parent_id: u64,
+        stage: Stage,
+        start_ns: u64,
+        end_ns: u64,
+    ) {
+        let ns = end_ns.saturating_sub(start_ns);
+        let agg = &mut self.stages[stage as usize];
+        agg.hist.record(ns);
+        if ns >= agg.exemplar_ns {
+            agg.exemplar_ns = ns;
+            agg.exemplar_trace_id = trace_id;
+        }
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        while self.ring.len() >= self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(Span {
+            trace_id,
+            span_id,
+            parent_id,
+            stage,
+            shard: self.shard,
+            start_ns,
+            end_ns,
+        });
+    }
+
+    /// Drains up to `max` oldest spans plus the drop count, clearing
+    /// the drop counter.
+    pub fn drain(&mut self, max: usize) -> SpanSnapshot {
+        let take = self.ring.len().min(max);
+        let spans: Vec<Span> = self.ring.drain(..take).collect();
+        let dropped = self.dropped;
+        self.dropped = 0;
+        SpanSnapshot { spans, dropped }
+    }
+
+    /// Spans currently buffered.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Clears recorded spans, the stage aggregates, and the sampling
+    /// sequence. Configuration and the id counter survive.
+    pub fn reset(&mut self) {
+        self.ring.clear();
+        self.dropped = 0;
+        self.seq = 0;
+        self.active = None;
+        for agg in &mut self.stages {
+            *agg = StageAgg::default();
+        }
+    }
+
+    /// The aggregated per-stage profile.
+    pub fn profile(&self) -> StageProfile {
+        let stages = Stage::ALL
+            .iter()
+            .filter_map(|&stage| {
+                let agg = &self.stages[stage as usize];
+                (agg.hist.count() > 0).then(|| StageStats::from_agg(stage, agg))
+            })
+            .collect();
+        StageProfile { stages }
+    }
+}
+
+/// Derives a trace id from flow-key words: a rotate-multiply fold
+/// with a splitmix64 finalizer (the [`crate::machine`] flow-hash
+/// idiom), pinned nonzero so 0 stays the background sentinel.
+pub fn trace_id_from_key<I: IntoIterator<Item = u64>>(words: I) -> u64 {
+    let mut h: u64 = 0x243F_6A88_85A3_08D3;
+    for w in words {
+        h = (h.rotate_left(29) ^ w).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    h.max(1)
+}
+
+/// Renders a span snapshot as Chrome `trace_event` JSON — the format
+/// `about:tracing` and Perfetto load directly. Each span becomes one
+/// complete (`"ph": "X"`) event; timestamps are microseconds with
+/// fractional nanoseconds, `tid` is the recording shard.
+pub fn chrome_trace_json(snap: &SpanSnapshot) -> String {
+    let events: Vec<Json> = snap
+        .spans
+        .iter()
+        .map(|s| {
+            Json::Obj(vec![
+                ("name".to_string(), Json::Str(s.stage.name().to_string())),
+                ("cat".to_string(), Json::Str("rkd".to_string())),
+                ("ph".to_string(), Json::Str("X".to_string())),
+                ("ts".to_string(), Json::Float(s.start_ns as f64 / 1000.0)),
+                (
+                    "dur".to_string(),
+                    Json::Float(s.end_ns.saturating_sub(s.start_ns) as f64 / 1000.0),
+                ),
+                ("pid".to_string(), Json::Int(1)),
+                ("tid".to_string(), Json::UInt(s.shard)),
+                (
+                    "args".to_string(),
+                    Json::Obj(vec![
+                        ("trace_id".to_string(), Json::UInt(s.trace_id)),
+                        ("span_id".to_string(), Json::UInt(s.span_id)),
+                        ("parent_id".to_string(), Json::UInt(s.parent_id)),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("traceEvents".to_string(), Json::Arr(events)),
+        ("displayTimeUnit".to_string(), Json::Str("ns".to_string())),
+        ("dropped".to_string(), snap.dropped.to_json()),
+    ])
+    .to_string_compact()
+}
+
+rkd_testkit::impl_json_unit_enum!(Stage {
+    IngressWait,
+    IngressPark,
+    ShardRun,
+    CtrlDrain,
+    RotatePartition,
+    Fire,
+    CacheProbe,
+    RunPipeline,
+    TableLookup,
+    CacheFinish,
+    JournalAppend,
+    JournalFsync,
+    JournalCompact
+});
+rkd_testkit::impl_json_struct!(Span {
+    trace_id,
+    span_id,
+    parent_id,
+    stage,
+    shard,
+    start_ns,
+    end_ns
+});
+rkd_testkit::impl_json_struct!(SpanSnapshot { spans, dropped });
+rkd_testkit::impl_json_struct!(StageStats {
+    stage,
+    count,
+    total_ns,
+    p50_ns,
+    p99_ns,
+    max_ns,
+    exemplar_trace_id,
+    exemplar_ns,
+    hist
+});
+rkd_testkit::impl_json_struct!(StageProfile { stages });
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_sampler_respects_shift() {
+        let mut c = SpanCollector::new();
+        c.configure(2, 64); // 1-in-4
+        let hits: Vec<bool> = (0..8).map(|_| c.fire_ctx().is_some()).collect();
+        assert_eq!(
+            hits,
+            vec![true, false, false, false, true, false, false, false]
+        );
+    }
+
+    #[test]
+    fn disarmed_shift_skips_sequence() {
+        let mut c = SpanCollector::new();
+        c.configure(SPAN_SHIFT_OFF, 64);
+        for _ in 0..16 {
+            assert!(c.fire_ctx().is_none());
+        }
+        assert_eq!(c.seq, 0, "disarmed path must not touch seq");
+    }
+
+    #[test]
+    fn injected_decision_wins_and_is_consumed() {
+        let mut c = SpanCollector::new();
+        c.configure(SPAN_SHIFT_OFF, 64);
+        c.set_active(42, 7);
+        let active = c.fire_ctx().expect("injected decision consumed");
+        assert_eq!((active.trace_id, active.parent_id), (42, 7));
+        assert!(c.fire_ctx().is_none());
+    }
+
+    #[test]
+    fn ring_bounds_and_drop_accounting() {
+        let mut c = SpanCollector::new();
+        c.configure(0, 2);
+        for i in 0..5u64 {
+            let id = c.alloc_id();
+            c.record(1, id, 0, Stage::Fire, i, i + 1);
+        }
+        assert_eq!(c.len(), 2);
+        let snap = c.drain(usize::MAX);
+        assert_eq!(snap.spans.len(), 2);
+        assert_eq!(snap.dropped, 3);
+        assert_eq!(snap.spans[0].start_ns, 3, "oldest survivors first");
+    }
+
+    #[test]
+    fn profile_tracks_exemplar_of_slowest_span() {
+        let mut c = SpanCollector::new();
+        c.configure(0, 64);
+        let id = c.alloc_id();
+        c.record(10, id, 0, Stage::TableLookup, 0, 5);
+        let id = c.alloc_id();
+        c.record(20, id, 0, Stage::TableLookup, 0, 50);
+        let id = c.alloc_id();
+        c.record(30, id, 0, Stage::TableLookup, 0, 7);
+        let profile = c.profile();
+        assert_eq!(profile.stages.len(), 1);
+        let s = &profile.stages[0];
+        assert_eq!(s.stage, Stage::TableLookup);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max_ns, 50);
+        assert_eq!(s.exemplar_trace_id, 20);
+        assert_eq!(s.exemplar_ns, 50);
+    }
+
+    #[test]
+    fn profile_merge_keeps_slowest_exemplar() {
+        let mut a = SpanCollector::new();
+        a.configure(0, 64);
+        let id = a.alloc_id();
+        a.record(1, id, 0, Stage::Fire, 0, 10);
+        let mut b = SpanCollector::new();
+        b.configure(0, 64);
+        let id = b.alloc_id();
+        b.record(2, id, 0, Stage::Fire, 0, 90);
+        let mut merged = a.profile();
+        merged.merge(&b.profile());
+        assert_eq!(merged.stages.len(), 1);
+        assert_eq!(merged.stages[0].count, 2);
+        assert_eq!(merged.stages[0].exemplar_trace_id, 2);
+        assert_eq!(merged.stages[0].max_ns, 90);
+    }
+
+    #[test]
+    fn span_ids_are_namespaced_by_shard() {
+        let mut a = SpanCollector::new();
+        let mut b = SpanCollector::new();
+        b.set_identity(1, Instant::now(), false);
+        assert_ne!(a.alloc_id(), b.alloc_id());
+        assert_eq!(a.alloc_id() >> 32, 1);
+        assert_eq!(b.alloc_id() >> 32, 2);
+    }
+
+    #[test]
+    fn trace_id_never_zero_and_key_sensitive() {
+        assert_ne!(trace_id_from_key([0u64]), 0);
+        assert_ne!(trace_id_from_key([]), 0);
+        assert_ne!(trace_id_from_key([1u64, 2]), trace_id_from_key([2u64, 1]));
+    }
+
+    #[test]
+    fn chrome_trace_renders_parseable_json() {
+        let mut c = SpanCollector::new();
+        c.configure(0, 64);
+        let id = c.alloc_id();
+        c.record(9, id, 0, Stage::RunPipeline, 1_000, 4_500);
+        let body = chrome_trace_json(&c.drain(usize::MAX));
+        let parsed = Json::parse(&body).expect("valid JSON");
+        let events = parsed.get("traceEvents").expect("traceEvents");
+        match events {
+            Json::Arr(items) => {
+                assert_eq!(items.len(), 1);
+                let ev = &items[0];
+                assert_eq!(ev.get("ph"), Some(&Json::Str("X".to_string())));
+                assert_eq!(ev.get("ts"), Some(&Json::Float(1.0)));
+                assert_eq!(ev.get("dur"), Some(&Json::Float(3.5)));
+            }
+            other => panic!("traceEvents not an array: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut c = SpanCollector::new();
+        c.configure(0, 8);
+        let id = c.alloc_id();
+        c.record(3, id, 0, Stage::JournalFsync, 10, 30);
+        let snap = c.drain(usize::MAX);
+        let text = rkd_testkit::json::to_string(&snap);
+        let back: SpanSnapshot = rkd_testkit::json::from_str(&text).expect("round trip");
+        assert_eq!(back, snap);
+    }
+}

@@ -56,6 +56,9 @@ use crate::ctxt::Ctxt;
 use crate::error::VmError;
 use crate::machine::{HookResult, ProgId, ProgStats, RmtMachine};
 use crate::maps::MapId;
+use crate::obs::span::{
+    self, BatchSpan, SpanSnapshot, Stage, StageProfile, DEFAULT_SPAN_SAMPLE_SHIFT, SPAN_SHIFT_OFF,
+};
 use crate::obs::{
     FlightSnapshot, HookStats, IngressShardStats, MachineCounters, ObsConfig, ObsSnapshot,
 };
@@ -66,6 +69,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Ingress ring capacity per shard (messages, power of two). Sized so
 /// a replay driver can keep a deep pipeline of batches in flight
@@ -95,9 +99,12 @@ struct CtrlLog {
 /// What a worker thread receives.
 enum Msg {
     /// Fire a batch; reply with the mutated contexts and results.
+    /// `span` carries the ingress sampling decision: when set, the
+    /// worker traces this batch through every layer.
     Batch {
         hook: String,
         ctxts: Vec<Ctxt>,
+        span: Option<BatchSpan>,
         reply: Sender<BatchOutput>,
     },
     /// Run an arbitrary closure against the shard's machine (the
@@ -191,6 +198,17 @@ pub struct ShardedMachine {
     /// format [`crate::journal::JournaledMachine`] uses), so
     /// [`ShardedMachine::recover`] can rebuild the control plane.
     journal: Option<Mutex<crate::journal::CtrlJournal>>,
+    /// The one monotonic epoch every replica's span timestamps are
+    /// relative to (captured at construction, shared with the shadow
+    /// and the ingress side), so cross-shard span ordering is
+    /// meaningful.
+    epoch: Instant,
+    /// Ingress events seen by the span sampler (batches count each
+    /// context, so the rate is per *event*, not per batch).
+    span_seq: AtomicU64,
+    /// Current span sampling shift (mirrors the published
+    /// [`CtrlRequest::SpanConfig`], consulted lock-free at ingress).
+    span_shift: AtomicU64,
 }
 
 impl ShardedMachine {
@@ -209,11 +227,16 @@ impl ShardedMachine {
             cmds: Mutex::new(Vec::new()),
             vcfg,
         });
+        let epoch = Instant::now();
         let mut handles = Vec::with_capacity(n);
         for shard in 0..n {
             let (tx, rx) = spsc::ring::<Msg>(INGRESS_RING_CAPACITY);
             let log = Arc::clone(&log);
-            let machine = RmtMachine::with_obs_config(obs);
+            let mut machine = RmtMachine::with_obs_config(obs);
+            // One shared epoch, a per-replica span-id namespace, and
+            // ingress-owned sampling (replicas never self-sample:
+            // the decision arrives with the batch).
+            machine.align_span_identity(shard as u64, epoch, false);
             let ring_obs = tx.observer();
             let join = std::thread::Builder::new()
                 .name(format!("rkd-shard-{shard}"))
@@ -225,6 +248,10 @@ impl ShardedMachine {
                 join: Some(join),
             });
         }
+        let mut shadow = RmtMachine::with_obs_config(obs);
+        // The shadow records control-plane spans (journal, rotate)
+        // under the shard-count id namespace.
+        shadow.align_span_identity(n as u64, epoch, false);
         ShardedMachine {
             shards: handles,
             log,
@@ -232,8 +259,11 @@ impl ShardedMachine {
             rebalances: AtomicU64::new(0),
             balancer_ratio_pct: AtomicU64::new(DEFAULT_BALANCER_RATIO_PCT),
             balancer_min_depth: AtomicU64::new(DEFAULT_BALANCER_MIN_DEPTH),
-            shadow: Mutex::new(RmtMachine::with_obs_config(obs)),
+            shadow: Mutex::new(shadow),
             journal: None,
+            epoch,
+            span_seq: AtomicU64::new(0),
+            span_shift: AtomicU64::new(DEFAULT_SPAN_SAMPLE_SHIFT as u64),
         }
     }
 
@@ -323,15 +353,43 @@ impl ShardedMachine {
     /// [`RmtMachine::fire_batch`].
     pub fn fire_batch_on(&self, shard: usize, hook: &str, ctxts: Vec<Ctxt>) -> BatchTicket {
         let (reply, rx) = channel();
+        let span = self.sample_ingress(&ctxts);
         self.send(
             shard,
             Msg::Batch {
                 hook: hook.to_string(),
                 ctxts,
+                span,
                 reply,
             },
         );
         BatchTicket { rx }
+    }
+
+    /// The once-at-ingress sampling decision: counts the batch's
+    /// events against the 1-in-2^shift rate and, when the window
+    /// covers a sampling point, stamps the batch with a trace id
+    /// (derived from the first context's flow values) and the enqueue
+    /// time. One relaxed `fetch_add` when armed, one load when not —
+    /// never an allocation.
+    fn sample_ingress(&self, ctxts: &[Ctxt]) -> Option<BatchSpan> {
+        let shift = self.span_shift.load(Ordering::Relaxed);
+        if shift >= SPAN_SHIFT_OFF as u64 || ctxts.is_empty() {
+            return None;
+        }
+        let k = ctxts.len() as u64;
+        let s = self.span_seq.fetch_add(k, Ordering::Relaxed);
+        let mask = (1u64 << shift) - 1;
+        // Sample iff [s, s + k) contains a multiple of 2^shift.
+        let next = (s.wrapping_add(mask)) & !mask;
+        if next.wrapping_sub(s) >= k {
+            return None;
+        }
+        let trace_id = span::trace_id_from_key(ctxts[0].values().iter().map(|&v| v as u64));
+        Some(BatchSpan {
+            trace_id,
+            enqueue_ns: self.epoch.elapsed().as_nanos() as u64,
+        })
     }
 
     /// Pushes one message into a shard's ingress ring, spinning while
@@ -378,7 +436,9 @@ impl ShardedMachine {
             | CtrlRequest::SetOptLevel { .. }
             | CtrlRequest::SetDecisionCacheCapacity { .. }
             | CtrlRequest::SetPartitionSeed { .. }
-            | CtrlRequest::SetBalancerPolicy { .. } => self.publish(req),
+            | CtrlRequest::SetBalancerPolicy { .. }
+            | CtrlRequest::SpanConfig { .. }
+            | CtrlRequest::SpanReset => self.publish(req),
             CtrlRequest::MapLookup { prog, map, key } => self.map_lookup(prog, map, key),
             CtrlRequest::QueryStats { prog } => Ok(CtrlResponse::Stats(self.stats(prog)?)),
             CtrlRequest::QueryTableStats { prog, table } => {
@@ -436,6 +496,33 @@ impl ShardedMachine {
                     dropped,
                 }))
             }
+            CtrlRequest::SpanRead { max } => {
+                // Shard-major drain, like TraceRead: spans are FIFO
+                // within a machine; the shadow (journal and rotate
+                // spans) drains last. Whatever the final truncate
+                // cuts is counted as dropped, never silently lost.
+                let per_fetch = max.min(usize::MAX as u64) as usize;
+                let mut spans = Vec::new();
+                let mut dropped = 0u64;
+                for snap in self.collect(move |m| m.span_read(per_fetch)) {
+                    dropped = dropped.saturating_add(snap.dropped);
+                    spans.extend(snap.spans);
+                }
+                let shadow_snap = self
+                    .shadow
+                    .lock()
+                    .expect("shadow poisoned")
+                    .span_read(per_fetch);
+                dropped = dropped.saturating_add(shadow_snap.dropped);
+                spans.extend(shadow_snap.spans);
+                let truncated = spans.len().saturating_sub(per_fetch) as u64;
+                dropped = dropped.saturating_add(truncated);
+                spans.truncate(per_fetch);
+                Ok(CtrlResponse::Spans(Box::new(SpanSnapshot {
+                    spans,
+                    dropped,
+                })))
+            }
             CtrlRequest::QueryMachineCounters => {
                 Ok(CtrlResponse::Counters(self.machine_counters()))
             }
@@ -492,11 +579,24 @@ impl ShardedMachine {
         // journaled command whose shadow apply fails below replays to
         // the same deterministic no-op on recovery.
         if let Some(journal) = &self.journal {
-            journal
+            let t0 = shadow.span_now_ns();
+            let (_seq, write_ns, sync_ns) = journal
                 .lock()
                 .expect("journal poisoned")
-                .append(&req)
+                .append_timed(&req)
                 .map_err(|e| VmError::BadRequest(format!("ctrl journal: {e}")))?;
+            let spans = shadow.spans_mut();
+            let id = spans.alloc_id();
+            spans.record(0, id, 0, Stage::JournalAppend, t0, t0 + write_ns);
+            let id = spans.alloc_id();
+            spans.record(
+                0,
+                id,
+                0,
+                Stage::JournalFsync,
+                t0 + write_ns,
+                t0 + write_ns + sync_ns,
+            );
         }
         let resp = syscall_rmt_with(&mut shadow, req.clone(), &self.log.vcfg)?;
         // Coordinator-side directives: the shard replicas apply these
@@ -515,6 +615,13 @@ impl ShardedMachine {
             } => {
                 self.balancer_ratio_pct.store(*ratio_pct, Ordering::Release);
                 self.balancer_min_depth.store(*min_depth, Ordering::Release);
+            }
+            CtrlRequest::SpanConfig { sample_shift, .. } => {
+                // Mirror the sampling rate into the lock-free ingress
+                // sampler (restored by recovery replay like the
+                // partition seed).
+                self.span_shift
+                    .store(*sample_shift as u64, Ordering::Release);
             }
             _ => {}
         }
@@ -607,8 +714,22 @@ impl ShardedMachine {
         }
         let mut merged = merged.expect("at least one shard");
         // Per-machine snapshots know nothing about the ingress rings
-        // (they are coordinator state); fill the section here.
+        // or the balancer (they are coordinator state); fill both
+        // here.
         merged.ingress = self.ingress_stats();
+        merged.ingress_should_rebalance = i64::from(self.should_rebalance());
+        merged
+    }
+
+    /// Aggregated per-stage span profile merged across every shard
+    /// plus the shadow (whose rings hold the journal and rotate
+    /// spans) — the `/ctrl/stages` payload.
+    pub fn stage_profile(&self) -> StageProfile {
+        let mut merged = StageProfile::default();
+        for p in self.collect(|m| m.stage_profile()) {
+            merged.merge(&p);
+        }
+        merged.merge(&self.shadow.lock().expect("shadow poisoned").stage_profile());
         merged
     }
 
@@ -754,11 +875,17 @@ impl ShardedMachine {
     /// [`ShardedMachine::shard_for_flow`] picks up the new seed
     /// immediately after this returns.
     pub fn rotate_partition(&self) -> Result<u64, VmError> {
+        let t0 = self.epoch.elapsed().as_nanos() as u64;
         let next = self
             .partition
             .load(Ordering::Acquire)
             .wrapping_add(0x9E37_79B9_7F4A_7C15);
         self.publish(CtrlRequest::SetPartitionSeed { seed: next })?;
+        let end = self.epoch.elapsed().as_nanos() as u64;
+        let mut shadow = self.shadow.lock().expect("shadow poisoned");
+        let spans = shadow.spans_mut();
+        let id = spans.alloc_id();
+        spans.record(0, id, 0, Stage::RotatePartition, t0, end);
         Ok(next)
     }
 
@@ -847,20 +974,81 @@ fn worker(shard: usize, mut machine: RmtMachine, log: &CtrlLog, mut rx: spsc::Co
     let mut run: Vec<Msg> = Vec::new();
     'serve: loop {
         run.clear();
-        if rx.pop_run_wait(usize::MAX, &mut run) == 0 {
+        let (n, waited_ns) = rx.pop_run_wait_timed(usize::MAX, &mut run);
+        if n == 0 {
             // Producer endpoint gone without a Shutdown message — the
             // coordinator died mid-drop; exit like a close.
             break;
         }
-        drain(shard, &mut machine, log, &mut applied, &mut ctrl_errors);
+        if waited_ns > 0 {
+            // Background span: how long this worker sat idle before
+            // the run arrived (trace id 0 — not tied to one flow).
+            let spans = machine.spans_mut();
+            let end = spans.now_ns();
+            let id = spans.alloc_id();
+            spans.record(
+                0,
+                id,
+                0,
+                Stage::IngressPark,
+                end.saturating_sub(waited_ns),
+                end,
+            );
+        }
+        if log.published.load(Ordering::Acquire) > applied {
+            let t0 = machine.span_now_ns();
+            drain(shard, &mut machine, log, &mut applied, &mut ctrl_errors);
+            let end = machine.span_now_ns();
+            let spans = machine.spans_mut();
+            let id = spans.alloc_id();
+            spans.record(0, id, 0, Stage::CtrlDrain, t0, end);
+        }
         for msg in run.drain(..) {
             match msg {
                 Msg::Batch {
                     hook,
                     mut ctxts,
+                    span,
                     reply,
                 } => {
-                    let results = machine.fire_batch(&hook, &mut ctxts);
+                    let results = match span {
+                        Some(bs) => {
+                            // The traced batch: close the IngressWait
+                            // span (enqueue → pop), open ShardRun,
+                            // and arm the machine so its first fire
+                            // parents under ShardRun.
+                            let spans = machine.spans_mut();
+                            let pop_ns = spans.now_ns();
+                            let wait_id = spans.alloc_id();
+                            spans.record(
+                                bs.trace_id,
+                                wait_id,
+                                0,
+                                Stage::IngressWait,
+                                bs.enqueue_ns,
+                                pop_ns,
+                            );
+                            let run_id = spans.alloc_id();
+                            spans.set_active(bs.trace_id, run_id);
+                            let results = machine.fire_batch(&hook, &mut ctxts);
+                            let spans = machine.spans_mut();
+                            // An unarmed hook never consumed the
+                            // decision; drop it rather than leak it
+                            // into an unrelated later fire.
+                            spans.take_active();
+                            let end = spans.now_ns();
+                            spans.record(
+                                bs.trace_id,
+                                run_id,
+                                wait_id,
+                                Stage::ShardRun,
+                                pop_ns,
+                                end,
+                            );
+                            results
+                        }
+                        None => machine.fire_batch(&hook, &mut ctxts),
+                    };
                     let _ = reply.send(BatchOutput { ctxts, results });
                 }
                 Msg::With(f) => f(&mut machine),
@@ -927,6 +1115,14 @@ impl crate::obs::export::MetricsSource for &ShardedMachine {
             "/ctrl/counters" => Some(rkd_testkit::json::to_string(&self.machine_counters())),
             "/ctrl/models" => Some(rkd_testkit::json::to_string(&self.obs_snapshot().models)),
             "/ctrl/shards" => Some(rkd_testkit::json::to_string(&self.sync())),
+            "/ctrl/stages" => Some(rkd_testkit::json::to_string(&self.stage_profile())),
+            _ => None,
+        }
+    }
+
+    fn trace_json(&mut self) -> Option<String> {
+        match self.ctrl(CtrlRequest::SpanRead { max: u64::MAX }) {
+            Ok(CtrlResponse::Spans(snap)) => Some(span::chrome_trace_json(&snap)),
             _ => None,
         }
     }

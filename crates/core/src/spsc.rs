@@ -55,7 +55,7 @@ use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::Thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Pads (and aligns) a value to a 64-byte cache line so the two ring
 /// cursors never share a line.
@@ -360,17 +360,32 @@ impl<T> Consumer<T> {
     /// endpoint is dropped and the ring is fully drained — in which
     /// case it returns 0, the end-of-stream signal.
     pub fn pop_run_wait(&mut self, max: usize, out: &mut Vec<T>) -> usize {
+        self.pop_run_wait_timed(max, out).0
+    }
+
+    /// [`Consumer::pop_run_wait`] plus a wait measurement: how many
+    /// nanoseconds the consumer spent idle (spinning, yielding,
+    /// parking) before messages arrived — 0 when messages were
+    /// already published. The clock is read lazily on the first empty
+    /// poll, so the loaded fast path pays nothing; the span layer
+    /// turns nonzero waits into `IngressPark` spans.
+    pub fn pop_run_wait_timed(&mut self, max: usize, out: &mut Vec<T>) -> (usize, u64) {
         let mut spins = 0u32;
         let mut yields = 0u32;
+        let mut wait_start: Option<Instant> = None;
+        let waited = |start: Option<Instant>| start.map_or(0, |t0| t0.elapsed().as_nanos() as u64);
         loop {
             let n = self.pop_run(max, out);
             if n > 0 {
-                return n;
+                return (n, waited(wait_start));
             }
             if self.shared.closed.load(Ordering::Acquire) {
                 // The close raced a final publish: one more look at
                 // the ring (the producer published before closing).
-                return self.pop_run(max, out);
+                return (self.pop_run(max, out), waited(wait_start));
+            }
+            if wait_start.is_none() {
+                wait_start = Some(Instant::now());
             }
             if spins < SPIN_BUDGET {
                 spins += 1;

@@ -31,7 +31,13 @@ if ! grep -q 'paired_default_vs_off.*PASS' /tmp/rkd_bench_obs.out; then
     echo "ERROR: observability overhead gate failed (default config > 5% on fire())" >&2
     exit 1
 fi
+if ! grep -q 'span_gate armed_vs_off.*PASS' /tmp/rkd_bench_obs.out; then
+    echo "ERROR: span overhead gate failed (armed-but-unsampled spans > 1% on the 8-table pipeline)" >&2
+    exit 1
+fi
 test -s BENCH_obs.json || { echo "ERROR: BENCH_obs.json was not written" >&2; exit 1; }
+grep -q '"span_overhead"' BENCH_obs.json \
+    || { echo "ERROR: BENCH_obs.json missing the span_overhead section" >&2; exit 1; }
 
 echo "==> bench_tables smoke (indexed lookup scaling gates + BENCH_tables.json)"
 RKD_BENCH_WARMUP_MS=5 RKD_BENCH_MEASURE_MS=20 RKD_BENCH_SAMPLES=5 \
@@ -77,7 +83,7 @@ fi
 grep -q 'ingress_speedup' /tmp/rkd_bench_parallel.out \
     || { echo "ERROR: SPSC ingress handoff benchmark did not run" >&2; exit 1; }
 test -s BENCH_parallel.json || { echo "ERROR: BENCH_parallel.json was not written" >&2; exit 1; }
-for section in '"ingress"' '"skew"'; do
+for section in '"ingress"' '"skew"' '"stages"'; do
     grep -q "$section" BENCH_parallel.json \
         || { echo "ERROR: BENCH_parallel.json missing the $section section" >&2; exit 1; }
 done
@@ -108,6 +114,14 @@ grep -q '^scrape ok$' /tmp/rkd_metrics_scrape.out \
 
 echo "==> example: online_drift (closed-loop drift detection via model telemetry)"
 cargo run -q --release --offline --example online_drift >/dev/null
+
+echo "==> trace smoke: span tracing end to end, Chrome trace dumped and non-empty"
+RKD_TRACE_OUT=/tmp/rkd_trace_flight.json \
+    cargo run -q --release --offline --example trace_flight | tee /tmp/rkd_trace_flight.out >/dev/null
+grep -q '^trace ok$' /tmp/rkd_trace_flight.out \
+    || { echo "ERROR: trace_flight example did not complete" >&2; exit 1; }
+test -s /tmp/rkd_trace_flight.json \
+    || { echo "ERROR: trace_flight wrote no Chrome trace JSON" >&2; exit 1; }
 
 echo "==> dependency closure must be workspace-only"
 external=$(cargo tree --offline --workspace --edges normal,build,dev \

@@ -453,6 +453,149 @@ fn persistent_server_survives_many_scrapes_and_stops_cleanly() {
     });
 }
 
+/// Satellite (span export): `GET /trace` serves Chrome `trace_event`
+/// JSON with the right content type, the body parses with the testkit
+/// codec into the expected shape, `/ctrl/stages` serves the aggregated
+/// stage profile, and the new endpoints answer method and path errors
+/// (405 for POST, 404 for near-miss paths) without wedging the loop.
+#[test]
+fn trace_endpoint_serves_parseable_chrome_trace() {
+    use rkd::core::obs::export::{serve_until, ServeOptions};
+    use rkd::testkit::json::Json;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    let (mut m, prog, slot) = ml_machine(ObsConfig::default(), false);
+    m.set_span_config(0, 4096); // 1-in-1: every fire below is traced
+    for step in 0..16i64 {
+        serve_and_report(&mut m, prog, slot, step % 17, false);
+    }
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stop = AtomicBool::new(false);
+    let opts = ServeOptions {
+        read_timeout: Duration::from_millis(200),
+        max_head_bytes: 4096,
+    };
+
+    std::thread::scope(|s| {
+        let server = s.spawn(|| serve_until(&listener, &mut m, &stop, opts));
+        let get = move |path: &str| -> String {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            write!(conn, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+            let mut response = String::new();
+            conn.read_to_string(&mut response).unwrap();
+            response
+        };
+
+        let response = get("/trace");
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("application/json"), "{head}");
+        let doc = Json::parse(body).unwrap();
+        let events = match doc.get("traceEvents") {
+            Some(Json::Arr(events)) => events,
+            other => panic!("traceEvents missing or not an array: {other:?}"),
+        };
+        assert!(!events.is_empty(), "traced fires must produce events");
+        for ev in events {
+            assert_eq!(ev.get("ph"), Some(&Json::Str("X".into())), "{ev:?}");
+            assert_eq!(ev.get("cat"), Some(&Json::Str("rkd".into())), "{ev:?}");
+            assert!(ev.get("name").is_some(), "{ev:?}");
+            assert!(ev.get("ts").is_some() && ev.get("dur").is_some(), "{ev:?}");
+        }
+        assert_eq!(doc.get("displayTimeUnit"), Some(&Json::Str("ns".into())));
+        assert!(doc.get("dropped").is_some());
+
+        // /trace drains the ring: an immediate re-read is empty but
+        // still well-formed (the endpoint never 404s on quiet rings).
+        let response = get("/trace");
+        let (_, body) = response.split_once("\r\n\r\n").unwrap();
+        match Json::parse(body).unwrap().get("traceEvents") {
+            Some(Json::Arr(events)) => assert!(events.is_empty(), "drained"),
+            other => panic!("traceEvents missing after drain: {other:?}"),
+        }
+
+        // The aggregated stage profile survives the drain (it is a
+        // running aggregate, not a ring view).
+        let response = get("/ctrl/stages");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("application/json"), "{response}");
+        assert!(response.contains("\"Fire\""), "{response}");
+
+        // Method and path sweep over the new endpoints.
+        let post = std::thread::spawn(move || {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            write!(conn, "POST /trace HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+            let mut response = String::new();
+            conn.read_to_string(&mut response).unwrap();
+            response
+        });
+        let response = post.join().unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+        assert!(response.contains("Allow: GET"), "{response}");
+        assert!(get("/traces").starts_with("HTTP/1.1 404"));
+        assert!(get("/trace/").starts_with("HTTP/1.1 404"));
+        assert!(get("/ctrl/stagesx").starts_with("HTTP/1.1 404"));
+
+        stop.store(true, Ordering::Release);
+        server.join().unwrap().unwrap();
+    });
+}
+
+/// Satellite (label hygiene): hook and model names containing `"` and
+/// `\` must arrive escaped in the Prometheus exposition — otherwise a
+/// hostile or merely unlucky program name corrupts every scrape.
+#[test]
+fn prometheus_escapes_hostile_hook_and_model_names() {
+    use rkd::core::obs::export::to_prometheus;
+
+    let mut m = RmtMachine::new();
+    let mut b = ProgramBuilder::new("evil");
+    let x = b.field_readonly("x");
+    let slot = b.model(
+        "m\"odel\\",
+        ModelSpec::Tree(threshold_tree(false)),
+        LatencyClass::Scheduler,
+    );
+    let act = b.action(Action::new(
+        "classify",
+        vec![
+            Insn::VectorLdCtxt {
+                dst: VReg(0),
+                base: x,
+                len: 1,
+            },
+            Insn::CallMl {
+                model: slot,
+                src: VReg(0),
+            },
+            Insn::Exit,
+        ],
+    ));
+    b.table("t", "ev\"il\\hook", &[x], MatchKind::Exact, Some(act), 4);
+    m.install(verify(b.build()).unwrap(), ExecMode::Interp)
+        .unwrap();
+
+    let mut ctxt = Ctxt::from_values(vec![3]);
+    m.fire("ev\"il\\hook", &mut ctxt).verdict().unwrap();
+
+    let text = to_prometheus(&m.obs_snapshot());
+    assert!(
+        text.contains("rkd_hook_fires_total{hook=\"ev\\\"il\\\\hook\"} 1"),
+        "hook label not escaped:\n{text}"
+    );
+    assert!(
+        text.contains("model=\"m\\\"odel\\\\\""),
+        "model label not escaped:\n{text}"
+    );
+    // No raw (unescaped) quote survives inside any label value: every
+    // line must keep the `name{labels} value` shape parseable.
+    let leaked: Vec<&str> = text.lines().filter(|l| l.contains("ev\"il")).collect();
+    assert!(leaked.is_empty(), "unescaped hook name leaked: {leaked:?}");
+}
+
 /// The sharded machine serves the same persistent loop through
 /// `&ShardedMachine` (control plane stays usable from other threads)
 /// and answers `/ctrl/shards` with per-shard convergence state.
@@ -482,7 +625,14 @@ fn sharded_persistent_server_reports_shard_convergence() {
         assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
         assert!(response.contains("\"shard\":0"), "{response}");
         assert!(response.contains("\"shard\":1"), "{response}");
+        // The span endpoints answer through the sharded control plane
+        // too (cross-shard drain under the hood).
+        let response = get("/trace");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("traceEvents"), "{response}");
+        let response = get("/ctrl/stages");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
         stop.store(true, Ordering::Release);
-        assert_eq!(server.join().unwrap().unwrap(), 11);
+        assert_eq!(server.join().unwrap().unwrap(), 13);
     });
 }

@@ -1,0 +1,316 @@
+//! Integration: end-to-end span tracing.
+//!
+//! Acceptance arc for the span-tracing PR:
+//!
+//! - **Connected tree**: one sampled event fired through the sharded
+//!   datapath produces spans crossing every layer — ingress ring
+//!   (`IngressWait`), shard worker (`ShardRun`), fire stages (`Fire`,
+//!   `CacheProbe`, `CacheFinish`, `RunPipeline`) and table lookup
+//!   (`TableLookup`) — linked into a single tree by parent/child span
+//!   ids under one flow-derived trace id.
+//! - **Self-sampling**: a standalone machine is its own ingress; its
+//!   sampled fires become root `Fire` spans with a trace id derived
+//!   from the flow key.
+//! - **One epoch**: all replicas stamp spans against one monotonic
+//!   epoch captured at machine construction, and `SpanReset` clears
+//!   spans without resetting the clock — so cross-shard span ordering
+//!   stays meaningful across resets.
+
+use rkd::core::bytecode::{Action, Insn, Reg};
+use rkd::core::ctrl::{syscall_rmt, CtrlRequest, CtrlResponse};
+use rkd::core::ctxt::Ctxt;
+use rkd::core::machine::{ExecMode, ProgId, RmtMachine};
+use rkd::core::obs::span::{Span, SpanSnapshot, Stage};
+use rkd::core::prog::{ProgramBuilder, RmtProgram};
+use rkd::core::shard::ShardedMachine;
+use rkd::core::table::{ActionId, Entry, MatchKey, MatchKind, TableId};
+
+/// A flow-keyed program with one exact-match table that actually
+/// holds entries, so a traced fire takes the live `lookup_indexed`
+/// path (an empty table short-circuits without a lookup).
+fn traced_prog() -> (RmtProgram, TableId, ActionId) {
+    let mut b = ProgramBuilder::new("traced");
+    let flow = b.field_readonly("flow");
+    let hit = b.action(Action::new(
+        "hit",
+        vec![
+            Insn::LdImm {
+                dst: Reg(0),
+                imm: 1,
+            },
+            Insn::Exit,
+        ],
+    ));
+    let t = b.table("t", "pkt", &[flow], MatchKind::Exact, Some(hit), 16);
+    (b.build(), t, hit)
+}
+
+fn install_with_entries(sharded: &ShardedMachine) -> ProgId {
+    let (prog, table, act) = traced_prog();
+    let pid = match sharded
+        .ctrl(CtrlRequest::Install {
+            prog: Box::new(prog),
+            mode: ExecMode::Interp,
+            seed: 7,
+        })
+        .unwrap()
+    {
+        CtrlResponse::Installed(id) => id,
+        other => panic!("unexpected response {other:?}"),
+    };
+    for flow in 0..8u64 {
+        sharded
+            .ctrl(CtrlRequest::InsertEntry {
+                prog: pid,
+                table,
+                entry: Entry {
+                    key: MatchKey::Exact(vec![flow]),
+                    priority: 0,
+                    action: act,
+                    arg: 0,
+                },
+            })
+            .unwrap();
+    }
+    pid
+}
+
+fn span_read_all(sharded: &ShardedMachine) -> SpanSnapshot {
+    match sharded
+        .ctrl(CtrlRequest::SpanRead { max: u64::MAX })
+        .unwrap()
+    {
+        CtrlResponse::Spans(snap) => *snap,
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+fn find(spans: &[Span], trace: u64, stage: Stage) -> &Span {
+    spans
+        .iter()
+        .find(|s| s.trace_id == trace && s.stage == stage)
+        .unwrap_or_else(|| panic!("no {stage:?} span for trace {trace}"))
+}
+
+/// Acceptance: a sampled event produces a connected span tree crossing
+/// the ingress ring, the shard worker, the fire stages, and a table
+/// lookup, with parent/child ids intact.
+#[test]
+fn sampled_event_produces_connected_tree_across_layers() {
+    let sharded = ShardedMachine::new(2);
+    install_with_entries(&sharded);
+    // 1-in-1 sampling so the one batch below is deterministically
+    // traced through every layer.
+    sharded
+        .ctrl(CtrlRequest::SpanConfig {
+            sample_shift: 0,
+            capacity: 4096,
+        })
+        .unwrap();
+    sharded.sync();
+
+    let (_, results) = sharded
+        .fire_batch_on(0, "pkt", vec![Ctxt::from_values(vec![3])])
+        .wait();
+    assert_eq!(results.len(), 1);
+    sharded.sync();
+
+    let snap = span_read_all(&sharded);
+    // Background spans (parks, ctrl drains) carry trace id 0; the
+    // event's spans share one nonzero flow-derived trace id.
+    let trace = snap
+        .spans
+        .iter()
+        .find(|s| s.trace_id != 0)
+        .expect("a traced span")
+        .trace_id;
+
+    let wait = find(&snap.spans, trace, Stage::IngressWait);
+    let shard_run = find(&snap.spans, trace, Stage::ShardRun);
+    let fire = find(&snap.spans, trace, Stage::Fire);
+    let probe = find(&snap.spans, trace, Stage::CacheProbe);
+    let finish = find(&snap.spans, trace, Stage::CacheFinish);
+    let pipeline = find(&snap.spans, trace, Stage::RunPipeline);
+    let lookup = find(&snap.spans, trace, Stage::TableLookup);
+
+    // The tree: IngressWait is the root; ShardRun hangs off it; the
+    // fire stages hang off Fire; the lookup hangs off its pipeline.
+    assert_eq!(wait.parent_id, 0, "IngressWait is the root");
+    assert_eq!(shard_run.parent_id, wait.span_id);
+    assert_eq!(fire.parent_id, shard_run.span_id);
+    assert_eq!(probe.parent_id, fire.span_id);
+    assert_eq!(finish.parent_id, fire.span_id);
+    assert_eq!(pipeline.parent_id, fire.span_id);
+    assert_eq!(lookup.parent_id, pipeline.span_id);
+
+    // Ids are distinct (namespaced per machine) and intervals nest
+    // sanely under the one shared epoch.
+    let ids = [
+        wait.span_id,
+        shard_run.span_id,
+        fire.span_id,
+        probe.span_id,
+        finish.span_id,
+        pipeline.span_id,
+        lookup.span_id,
+    ];
+    let mut dedup = ids.to_vec();
+    dedup.sort_unstable();
+    dedup.dedup();
+    assert_eq!(dedup.len(), ids.len(), "span ids must be unique");
+    assert!(wait.start_ns <= shard_run.start_ns);
+    assert!(shard_run.start_ns <= fire.start_ns);
+    assert!(fire.start_ns <= pipeline.start_ns);
+    for s in [wait, shard_run, fire, probe, finish, pipeline, lookup] {
+        assert!(s.end_ns >= s.start_ns, "{:?} interval inverted", s.stage);
+    }
+}
+
+/// A standalone machine self-samples: with 1-in-1 sampling every fire
+/// becomes a root `Fire` span whose trace id derives from the flow
+/// key (same key, same trace id; different key, different trace id).
+#[test]
+fn standalone_machine_self_samples_root_fires() {
+    let mut m = RmtMachine::new();
+    let (prog, table, act) = traced_prog();
+    let pid = match syscall_rmt(
+        &mut m,
+        CtrlRequest::Install {
+            prog: Box::new(prog),
+            mode: ExecMode::Interp,
+            seed: 7,
+        },
+    )
+    .unwrap()
+    {
+        CtrlResponse::Installed(id) => id,
+        other => panic!("unexpected response {other:?}"),
+    };
+    // A non-empty table makes the hook flow-keyed: its key fields
+    // become the hook's consumed set, which is what trace ids derive
+    // from. (An empty table means a flowless hook — one shared id.)
+    for flow in 0..8u64 {
+        syscall_rmt(
+            &mut m,
+            CtrlRequest::InsertEntry {
+                prog: pid,
+                table,
+                entry: Entry {
+                    key: MatchKey::Exact(vec![flow]),
+                    priority: 0,
+                    action: act,
+                    arg: 0,
+                },
+            },
+        )
+        .unwrap();
+    }
+    m.set_span_config(0, 1024);
+
+    let mut a1 = Ctxt::from_values(vec![3]);
+    m.fire("pkt", &mut a1);
+    let mut a2 = Ctxt::from_values(vec![3]);
+    m.fire("pkt", &mut a2);
+    let mut b1 = Ctxt::from_values(vec![4]);
+    m.fire("pkt", &mut b1);
+
+    let snap = m.span_read(usize::MAX);
+    let fires: Vec<&Span> = snap
+        .spans
+        .iter()
+        .filter(|s| s.stage == Stage::Fire)
+        .collect();
+    assert_eq!(fires.len(), 3, "1-in-1 sampling traces every fire");
+    for f in &fires {
+        assert_eq!(f.parent_id, 0, "self-sampled fires are roots");
+        assert_ne!(f.trace_id, 0);
+    }
+    assert_eq!(
+        fires[0].trace_id, fires[1].trace_id,
+        "same flow key, same trace id"
+    );
+    assert_ne!(
+        fires[0].trace_id, fires[2].trace_id,
+        "different flow key, different trace id"
+    );
+}
+
+/// Disarmed sampling (shift >= 64) records no event spans at all.
+#[test]
+fn disarmed_sampling_records_no_event_spans() {
+    let mut m = RmtMachine::new();
+    syscall_rmt(
+        &mut m,
+        CtrlRequest::Install {
+            prog: Box::new(traced_prog().0),
+            mode: ExecMode::Interp,
+            seed: 7,
+        },
+    )
+    .unwrap();
+    m.set_span_config(64, 1024);
+    for i in 0..100 {
+        let mut c = Ctxt::from_values(vec![i]);
+        m.fire("pkt", &mut c);
+    }
+    let snap = m.span_read(usize::MAX);
+    assert!(
+        snap.spans.is_empty(),
+        "disarmed machine recorded {} spans",
+        snap.spans.len()
+    );
+}
+
+/// One monotonic epoch, captured at construction: spans recorded on
+/// different shards order correctly against each other, and a
+/// `SpanReset` clears spans without resetting the clock.
+#[test]
+fn spans_share_one_epoch_across_shards_and_resets() {
+    let sharded = ShardedMachine::new(2);
+    install_with_entries(&sharded);
+    sharded
+        .ctrl(CtrlRequest::SpanConfig {
+            sample_shift: 0,
+            capacity: 4096,
+        })
+        .unwrap();
+    sharded.sync();
+
+    let _ = sharded
+        .fire_batch_on(0, "pkt", vec![Ctxt::from_values(vec![1])])
+        .wait();
+    sharded.sync();
+    let first = span_read_all(&sharded);
+    let first_max_end = first
+        .spans
+        .iter()
+        .filter(|s| s.trace_id != 0)
+        .map(|s| s.end_ns)
+        .max()
+        .expect("first batch traced");
+
+    // Reset must not re-capture the epoch: spans recorded after it
+    // (on the *other* shard) still land later on the same timeline.
+    sharded.ctrl(CtrlRequest::SpanReset).unwrap();
+    sharded.sync();
+    std::thread::sleep(std::time::Duration::from_millis(2));
+
+    let _ = sharded
+        .fire_batch_on(1, "pkt", vec![Ctxt::from_values(vec![2])])
+        .wait();
+    sharded.sync();
+    let second = span_read_all(&sharded);
+    let second_min_start = second
+        .spans
+        .iter()
+        .filter(|s| s.trace_id != 0)
+        .map(|s| s.start_ns)
+        .min()
+        .expect("second batch traced");
+
+    assert!(
+        second_min_start > first_max_end,
+        "shard 1's spans ({second_min_start} ns) must start after shard 0's \
+         ({first_max_end} ns) on the shared epoch"
+    );
+}
