@@ -38,6 +38,27 @@ fn run_all(trace: &PageTrace) -> (Vec<MemSimResult>, ObsSnapshot) {
         ml.retrains(),
         ml.prog_stats().actions_aborted
     );
+    let os = ml.opt_stats();
+    eprintln!(
+        "  [{}] optimizer: {} -> {} insns, passes fired {} (const-fold {}, guard-hoist {}, \
+         specialize {}, dead-code {}, branch-fold {}), fused chains {} ({} links), cap hits {}",
+        trace.name,
+        os.insns_before,
+        os.insns_after,
+        os.const_fold_fires
+            + os.guard_hoist_fires
+            + os.specialize_fires
+            + os.dead_code_fires
+            + os.branch_fold_fires,
+        os.const_fold_fires,
+        os.guard_hoist_fires,
+        os.specialize_fires,
+        os.dead_code_fires,
+        os.branch_fold_fires,
+        os.fused_chains,
+        os.fused_links,
+        os.fixpoint_cap_hits,
+    );
     // Datapath self-observation (stderr keeps the table clean).
     let snap = ml.obs_snapshot();
     for h in &snap.hooks {

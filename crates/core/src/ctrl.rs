@@ -92,6 +92,13 @@ pub enum CtrlRequest {
         /// Target program.
         prog: ProgId,
     },
+    /// Read a program's optimizer statistics: pass-pipeline fire
+    /// counts and instruction deltas from the last full compile, plus
+    /// the current tail-call chain-fusion footprint.
+    QueryOptStats {
+        /// Target program.
+        prog: ProgId,
+    },
     /// Read table hit/miss statistics.
     QueryTableStats {
         /// Target program.
@@ -212,6 +219,8 @@ pub enum CtrlResponse {
     Value(Option<i64>),
     /// Program statistics.
     Stats(ProgStats),
+    /// Optimizer statistics.
+    OptStats(crate::opt::OptStats),
     /// Table statistics.
     TableStats(TableStats),
     /// Remaining privacy budget in milli-epsilon.
@@ -280,6 +289,7 @@ pub fn syscall_rmt_with(
             Ok(CtrlResponse::Value(v))
         }
         CtrlRequest::QueryStats { prog } => Ok(CtrlResponse::Stats(machine.stats(prog)?)),
+        CtrlRequest::QueryOptStats { prog } => Ok(CtrlResponse::OptStats(machine.opt_stats(prog)?)),
         CtrlRequest::QueryTableStats { prog, table } => {
             Ok(CtrlResponse::TableStats(machine.table_stats(prog, table)?))
         }
@@ -460,6 +470,32 @@ mod tests {
             CtrlResponse::Ok
         );
         assert!(syscall_rmt(&mut m, CtrlRequest::Remove { prog: id }).is_err());
+    }
+
+    #[test]
+    fn query_opt_stats_reports_compile_telemetry() {
+        let mut m = RmtMachine::new();
+        let id = match syscall_rmt(
+            &mut m,
+            CtrlRequest::Install {
+                prog: Box::new(prog()),
+                mode: ExecMode::Jit,
+                seed: 1,
+            },
+        )
+        .unwrap()
+        {
+            CtrlResponse::Installed(id) => id,
+            other => panic!("unexpected {other:?}"),
+        };
+        match syscall_rmt(&mut m, CtrlRequest::QueryOptStats { prog: id }).unwrap() {
+            CtrlResponse::OptStats(os) => {
+                assert!(os.insns_before > 0, "{os:?}");
+                assert!(os.insns_after <= os.insns_before, "{os:?}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(syscall_rmt(&mut m, CtrlRequest::QueryOptStats { prog: ProgId(99) }).is_err());
     }
 
     #[test]
@@ -741,6 +777,7 @@ rkd_testkit::impl_json_enum!(CtrlRequest {
     },
     MapLookup { prog, map, key },
     QueryStats { prog },
+    QueryOptStats { prog },
     QueryTableStats { prog, table },
     QueryPrivacyBudget { prog },
     HookStats { hook },
@@ -773,6 +810,7 @@ rkd_testkit::impl_json_enum!(CtrlResponse {
     Removed(found),
     Value(value),
     Stats(stats),
+    OptStats(stats),
     TableStats(stats),
     PrivacyBudget(remaining),
     HookStats(stats),

@@ -143,12 +143,36 @@ impl CompiledAction {
         level: OptLevel,
         worst_case: u64,
     ) -> Result<(CompiledAction, u64), VmError> {
+        Self::compile_optimized_report(id, action, prog, level, worst_case)
+            .map(|(c, wc, _)| (c, wc))
+    }
+
+    /// [`CompiledAction::compile_optimized`] that also returns the
+    /// pipeline's [`crate::opt::Optimized`] report, so the machine can
+    /// account per-program optimizer statistics and fixpoint-cap hits.
+    /// At `O0` the report is an empty zero-round run.
+    pub fn compile_optimized_report(
+        id: u16,
+        action: &Action,
+        prog: &crate::prog::RmtProgram,
+        level: OptLevel,
+        worst_case: u64,
+    ) -> Result<(CompiledAction, u64, crate::opt::Optimized), VmError> {
         if level == OptLevel::O0 {
-            return Ok((CompiledAction::compile(action)?, worst_case));
+            let report = crate::opt::Optimized {
+                action: action.clone(),
+                rounds: 0,
+                fired: Vec::new(),
+                capped: false,
+            };
+            return Ok((CompiledAction::compile(action)?, worst_case, report));
         }
-        let passes = crate::opt::passes_for(level);
-        let refs: Vec<&dyn Pass> = passes.iter().map(|p| p.as_ref()).collect();
-        Self::compile_optimized_with(id, action, prog, &refs, worst_case)
+        let opt = crate::opt::optimize(action, level);
+        let wc = crate::verifier::reverify_action(id, &opt.action, prog)?;
+        let compiled = CompiledAction::compile(&opt.action)?;
+        // Optimization never grows the worst case; keep the tighter
+        // bound so fuel accounting benefits too.
+        Ok((compiled, wc.min(worst_case), opt))
     }
 
     /// [`CompiledAction::compile_optimized`] with an explicit pass

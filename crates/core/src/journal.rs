@@ -517,6 +517,7 @@ pub fn is_mutation(req: &CtrlRequest) -> bool {
         | CtrlRequest::SpanRead { .. }
         | CtrlRequest::SpanReset => true,
         CtrlRequest::QueryStats { .. }
+        | CtrlRequest::QueryOptStats { .. }
         | CtrlRequest::QueryTableStats { .. }
         | CtrlRequest::QueryPrivacyBudget { .. }
         | CtrlRequest::HookStats { .. }

@@ -24,7 +24,7 @@ use crate::obs::{
     ModelStats, ModelStatsSnapshot, ModelStatsState, Obs, ObsConfig, ObsSnapshot, ObsState,
     ProgHist, TraceEvent, TraceKind, TraceSnapshot,
 };
-use crate::opt::OptLevel;
+use crate::opt::{fuse_chain, FusedStepPlan, OptLevel, OptStats};
 use crate::prog::{ModelSpec, RmtProgram};
 use crate::table::{Entry, MatchKind, Table, TableId, TableStats};
 use crate::verifier::{verify_with, VerifiedProgram, VerifierConfig};
@@ -276,6 +276,47 @@ impl TokenBucket {
     }
 }
 
+/// A fused tail-call chain body installed for one action (JIT mode,
+/// `OptLevel >= O1`): the caller plus its statically resolved callees
+/// collapsed into one re-verified compiled body.
+///
+/// Validity is generation-stamped: resolution baked the table
+/// contents in, so any control-plane mutation that bumps the table
+/// generation makes the stamp stale and dispatch falls back to the
+/// unfused body until [`RmtMachine::refresh_fused`] re-specializes.
+/// This is the same invalidation clock the decision cache uses, so
+/// cached chains and fused bodies can never disagree about table
+/// state within a generation.
+struct FusedAction {
+    compiled: CompiledAction,
+    /// Re-verified worst case of the fused body — the runtime fuel.
+    /// Install-time checked to fit the unfused chain's combined
+    /// budget, so fusion never buys extra fuel.
+    worst_case: u64,
+    /// The collapsed links, for synthesized per-table bookkeeping.
+    steps: Box<[FusedStepPlan]>,
+    /// Table generation the chain was resolved against.
+    generation: u64,
+    /// Bitmask of the table indices this plan's resolution routed
+    /// through: every collapsed link's table plus any trailing
+    /// (unresolved) `TailCall` target — the only tables whose entry
+    /// churn can change this plan. `u64::MAX` (every bit set) when any
+    /// index is ≥ 64: depend on everything, always re-fuse. Entry
+    /// mutations on other tables restamp instead of re-planning, which
+    /// is what keeps control-plane churn from paying a full
+    /// re-specialization per mutation.
+    deps: u64,
+    /// The subset of `deps` reachable only through a trailing
+    /// (unresolved) `TailCall` left in the fused body. Churn there can
+    /// extend or reshape the chain, so it always forces a full
+    /// re-fuse — the cheap revalidation below never applies.
+    trailing: u64,
+    /// Per collapsed link, the constant key its lookup resolved with
+    /// (`None` = resolved by table emptiness). See
+    /// [`RmtMachine::revalidate_fused_plan`].
+    step_keys: Box<[Option<Vec<u64>>]>,
+}
+
 /// One installed program with its runtime state.
 struct Installed {
     prog: RmtProgram,
@@ -289,6 +330,12 @@ struct Installed {
     tables: Vec<Table>,
     maps: Vec<MapInstance>,
     compiled: Vec<CompiledAction>,
+    /// `fused[i]` = fused chain body for action `i`, when its tail
+    /// call resolved statically (JIT mode only; see [`FusedAction`]).
+    fused: Vec<Option<FusedAction>>,
+    /// Per-program optimizer statistics: pass pipeline totals from the
+    /// last full compile plus the current fusion outcome.
+    opt_stats: OptStats,
     /// Union of the ctxt fields any of this program's actions can
     /// store to (computed at install). Hooks use this to decide
     /// whether cached decisions can replay without re-extracting
@@ -481,6 +528,7 @@ impl RmtMachine {
         for def in &prog.maps {
             maps.push(MapInstance::new(def)?);
         }
+        let mut opt_stats = OptStats::default();
         let compiled = match mode {
             ExecMode::Jit => {
                 // Optimize (per the program's OptLevel knob), re-verify,
@@ -490,19 +538,21 @@ impl RmtMachine {
                 // and interp fuel accounting identical.
                 let mut out = Vec::with_capacity(prog.actions.len());
                 for (i, action) in prog.actions.iter().enumerate() {
-                    let (c, _wc) = CompiledAction::compile_optimized(
+                    let (c, _wc, report) = CompiledAction::compile_optimized_report(
                         i as u16,
                         action,
                         &prog,
                         prog.opt_level,
                         worst_case[i],
                     )?;
+                    opt_stats.record(action.code.len(), &report);
                     out.push(c);
                 }
                 out
             }
             ExecMode::Interp => Vec::new(),
         };
+        self.obs.counters.opt_fixpoint_cap_hits += opt_stats.fixpoint_cap_hits;
         let mut ctxt_writes: Vec<FieldId> = Vec::new();
         for action in &prog.actions {
             for f in crate::opt::ctxt_writes(action) {
@@ -560,6 +610,8 @@ impl RmtMachine {
                 tables,
                 maps,
                 compiled,
+                fused: Vec::new(),
+                opt_stats,
                 ctxt_writes,
                 rng: StdRng::seed_from_u64(seed),
                 ledger,
@@ -581,6 +633,10 @@ impl RmtMachine {
         for hook in &hook_names {
             self.refresh_hook_cache_meta(hook);
         }
+        // Fuse this program's tail-call chains against its freshly
+        // installed tables; other programs just restamp (tail calls
+        // never cross programs, so their plans are unaffected).
+        self.refresh_fused(Some(id), None);
         Ok(ProgId(id))
     }
 
@@ -590,6 +646,14 @@ impl RmtMachine {
     /// leaves the previous compiled bodies installed). In interpreter
     /// mode only the knob is recorded: the interpreter always executes
     /// the verified bytecode.
+    ///
+    /// The switch is epoch-published like any other table mutation:
+    /// the table generation is bumped, which simultaneously invalidates
+    /// the decision cache (decisions memoized under the old bodies) and
+    /// every fused chain stamped under the old level, then chains are
+    /// re-specialized for the new level. Without the bump, a replica
+    /// that recompiled could keep serving verdicts memoized or fused
+    /// under the previous level.
     pub fn set_opt_level(&mut self, id: ProgId, level: OptLevel) -> Result<(), VmError> {
         let inst = self
             .programs
@@ -598,19 +662,34 @@ impl RmtMachine {
         inst.prog.opt_level = level;
         if inst.mode == ExecMode::Jit {
             let mut out = Vec::with_capacity(inst.prog.actions.len());
+            let mut opt_stats = OptStats::default();
             for (i, action) in inst.prog.actions.iter().enumerate() {
-                let (c, _wc) = CompiledAction::compile_optimized(
+                let (c, _wc, report) = CompiledAction::compile_optimized_report(
                     i as u16,
                     action,
                     &inst.prog,
                     level,
                     inst.worst_case[i],
                 )?;
+                opt_stats.record(action.code.len(), &report);
                 out.push(c);
             }
             inst.compiled = out;
+            inst.opt_stats = opt_stats;
+            self.obs.counters.opt_fixpoint_cap_hits += opt_stats.fixpoint_cap_hits;
         }
+        self.table_gen += 1;
+        self.refresh_fused(Some(id.0), None);
         Ok(())
+    }
+
+    /// Per-program optimizer statistics: pass-pipeline totals from the
+    /// last full compile plus the current chain-fusion outcome.
+    pub fn opt_stats(&self, id: ProgId) -> Result<OptStats, VmError> {
+        self.programs
+            .get(&id.0)
+            .map(|inst| inst.opt_stats)
+            .ok_or(VmError::NoSuchProgram(id.0))
     }
 
     /// An installed program's current optimization level.
@@ -640,7 +719,231 @@ impl RmtMachine {
         for hook in &hooks {
             self.refresh_hook_cache_meta(hook);
         }
+        // Surviving programs' plans are untouched by the removal (tail
+        // calls never cross programs): restamp to the new generation.
+        self.refresh_fused(None, None);
         Ok(())
+    }
+
+    /// Re-specializes fused tail-call chains after a generation bump.
+    ///
+    /// `recompute = Some(pid)` recomputes `pid`'s plans from its live
+    /// tables (the mutation touched that program) and restamps every
+    /// other program's existing plans to the current generation —
+    /// sound because a `TailCall` can only target a table of its own
+    /// program, so another program's mutation can never change this
+    /// program's resolution. `recompute = None` restamps everything
+    /// (the mutation — e.g. a program removal — touched no surviving
+    /// program's tables).
+    ///
+    /// `touched = Some(table)` narrows an entry mutation to one table:
+    /// within the recomputed program, only plans whose [`FusedAction::
+    /// deps`] include that table — plus actions with no current plan,
+    /// whose resolution the mutation may have newly enabled — are
+    /// re-fused; everything else restamps. A plan that never routed
+    /// through the table cannot be changed by its entries, so the
+    /// restamp is exact, not an approximation. `touched = None` means
+    /// the mutation's reach is structural (install, opt-level change,
+    /// model swap, restore): recompute every plan.
+    ///
+    /// Eager re-specialization keeps the invalidation window at zero:
+    /// the stale-generation check in the dispatch path is defense in
+    /// depth (it is what protects a snapshot-restored machine between
+    /// entry overlay and the final refresh), not the primary protocol.
+    fn refresh_fused(&mut self, recompute: Option<u32>, touched: Option<TableId>) {
+        let generation = self.table_gen;
+        // A touched index ≥ 64 has no bit of its own: plans that route
+        // through such tables carry `deps == u64::MAX` and a full mask
+        // re-fuses exactly those (plus everything else — conservative,
+        // and only reachable on 64+-table programs).
+        let mask = match touched {
+            Some(t) if (t.0 as usize) < 64 => 1u64 << t.0,
+            Some(_) => u64::MAX,
+            None => u64::MAX,
+        };
+        let partial = touched.is_some();
+        for (&pid, inst) in self.programs.iter_mut() {
+            if recompute != Some(pid) {
+                for f in inst.fused.iter_mut().flatten() {
+                    f.generation = generation;
+                }
+                continue;
+            }
+            if !partial || inst.mode != ExecMode::Jit || inst.prog.opt_level == OptLevel::O0 {
+                inst.fused = Self::fuse_actions(
+                    &inst.prog,
+                    &inst.tables,
+                    &inst.worst_case,
+                    inst.mode,
+                    generation,
+                    &mut inst.opt_stats,
+                );
+                continue;
+            }
+            let t = touched.expect("partial refresh implies a touched table");
+            for i in 0..inst.prog.actions.len() {
+                let slot = &mut inst.fused[i];
+                let refuse = match slot {
+                    Some(f) if f.deps & mask == 0 => {
+                        f.generation = generation;
+                        false
+                    }
+                    // The mutation hit a routed-through table: try the
+                    // cheap dispatch-identity revalidation before
+                    // paying a full re-plan + re-verify + re-compile.
+                    Some(f) => !Self::revalidate_fused_plan(f, &inst.tables, t, generation),
+                    None => true,
+                };
+                if refuse {
+                    *slot =
+                        Self::fuse_one(&inst.prog, &inst.tables, &inst.worst_case, i, generation);
+                }
+            }
+            Self::recount_fusion_stats(&inst.fused, &mut inst.opt_stats);
+        }
+    }
+
+    /// Computes the fused chain bodies for one program against its
+    /// live tables. Per action: plan the fusion, re-verify the fused
+    /// body (lifted size budget, same dataflow/CFG rules — see
+    /// [`crate::verifier::reverify_action`]), and enforce the fuel
+    /// argument — the fused body's re-verified worst case must fit the
+    /// sum of the unfused links' budgets, so a fused chain can never
+    /// burn more fuel than the chain it replaced. Any failure skips
+    /// fusion for that action (the unfused body is always installed).
+    fn fuse_actions(
+        prog: &RmtProgram,
+        tables: &[Table],
+        worst_case: &[u64],
+        mode: ExecMode,
+        generation: u64,
+        opt_stats: &mut OptStats,
+    ) -> Vec<Option<FusedAction>> {
+        let fused: Vec<Option<FusedAction>> =
+            if mode != ExecMode::Jit || prog.opt_level == OptLevel::O0 {
+                (0..prog.actions.len()).map(|_| None).collect()
+            } else {
+                (0..prog.actions.len())
+                    .map(|i| Self::fuse_one(prog, tables, worst_case, i, generation))
+                    .collect()
+            };
+        Self::recount_fusion_stats(&fused, opt_stats);
+        fused
+    }
+
+    /// Plans, re-verifies, and compiles the fused chain body for one
+    /// action (see [`RmtMachine::fuse_actions`] for the contract).
+    fn fuse_one(
+        prog: &RmtProgram,
+        tables: &[Table],
+        worst_case: &[u64],
+        i: usize,
+        generation: u64,
+    ) -> Option<FusedAction> {
+        let action = prog.actions.get(i)?;
+        let plan = fuse_chain(action, &prog.actions, tables, prog.opt_level)?;
+        let mut fuel_cap = worst_case.get(i).copied().unwrap_or(0);
+        for st in &plan.steps {
+            if let Some(a) = st.action {
+                fuel_cap =
+                    fuel_cap.saturating_add(worst_case.get(a as usize).copied().unwrap_or(0));
+            }
+        }
+        let wc = crate::verifier::reverify_action(i as u16, &plan.action, prog).ok()?;
+        if wc > fuel_cap {
+            return None;
+        }
+        let compiled = CompiledAction::compile(&plan.action).ok()?;
+        let mut deps = 0u64;
+        for st in &plan.steps {
+            deps |= Self::dep_bit(st.table as usize);
+        }
+        let mut trailing = 0u64;
+        for insn in &plan.action.code {
+            if let crate::bytecode::Insn::TailCall { table } = insn {
+                trailing |= Self::dep_bit(table.0 as usize);
+            }
+        }
+        deps |= trailing;
+        Some(FusedAction {
+            compiled,
+            worst_case: wc,
+            steps: plan.steps.into_boxed_slice(),
+            generation,
+            deps,
+            trailing,
+            step_keys: plan.step_keys.into_boxed_slice(),
+        })
+    }
+
+    /// The dependency-mask bit for a table index (`u64::MAX` for
+    /// indices past the mask width: depend on everything).
+    fn dep_bit(ti: usize) -> u64 {
+        if ti < 64 {
+            1u64 << ti
+        } else {
+            u64::MAX
+        }
+    }
+
+    /// Cheap post-churn revalidation of one fused plan: re-resolve
+    /// every collapsed link that routed through the touched table
+    /// using the constant key the plan stored at fusion time. When
+    /// each such link still dispatches the same `(action, arg)`, the
+    /// compiled body is byte-for-byte still exact — only the recorded
+    /// entry index (the hit/miss bookkeeping the dispatch path
+    /// synthesizes) may have moved — so the plan updates those indices
+    /// and restamps instead of paying a full re-fuse. Returns `false`
+    /// (the caller must re-fuse from scratch) when the dispatch
+    /// identity changed, when an emptiness-resolved link's table is no
+    /// longer empty (there is no stored key to re-resolve with), or
+    /// when the touched table is a trailing `TailCall` target (churn
+    /// there can extend or reshape the chain).
+    fn revalidate_fused_plan(
+        f: &mut FusedAction,
+        tables: &[Table],
+        touched: TableId,
+        generation: u64,
+    ) -> bool {
+        if f.trailing & Self::dep_bit(touched.0 as usize) != 0 {
+            return false;
+        }
+        let Some(t) = tables.get(touched.0 as usize) else {
+            return false;
+        };
+        let mut entries: Vec<(usize, Option<u32>)> = Vec::new();
+        for (i, st) in f.steps.iter().enumerate() {
+            if st.table != touched.0 {
+                continue;
+            }
+            let (entry, dispatch) = if t.is_empty() {
+                (None, t.def().default_action.map(|a| (a.0, 0i64)))
+            } else {
+                let Some(key) = f.step_keys.get(i).and_then(|k| k.as_ref()) else {
+                    return false; // Resolved by emptiness; table grew.
+                };
+                match t.resolve_indexed(key) {
+                    Some((ei, e)) => (Some(ei as u32), Some((e.action.0, e.arg))),
+                    None => (None, t.def().default_action.map(|a| (a.0, 0i64))),
+                }
+            };
+            if dispatch != st.action.map(|a| (a, st.arg)) {
+                return false;
+            }
+            entries.push((i, entry));
+        }
+        for (i, entry) in entries {
+            f.steps[i].entry = entry;
+        }
+        f.generation = generation;
+        true
+    }
+
+    /// Refreshes the fusion half of a program's optimizer statistics
+    /// from its live plan set.
+    fn recount_fusion_stats(fused: &[Option<FusedAction>], opt_stats: &mut OptStats) {
+        opt_stats.fused_chains = fused.iter().flatten().count() as u64;
+        opt_stats.fused_links = fused.iter().flatten().map(|f| f.steps.len() as u64).sum();
     }
 
     /// Recomputes a hook's decision-cache metadata (probe-key field
@@ -946,6 +1249,7 @@ impl RmtMachine {
                 obs,
                 scratch_queue,
                 tick,
+                table_gen,
                 timed,
                 &mut prev,
                 fire_span.map(|f| (f.trace_id, f.span_id)),
@@ -1027,6 +1331,7 @@ impl RmtMachine {
             obs,
             scratch_queue,
             tick,
+            table_gen,
             timed,
             &mut prev,
             fire_span.map(|f| (f.trace_id, f.span_id)),
@@ -1124,6 +1429,7 @@ impl RmtMachine {
         obs: &mut Obs,
         scratch_queue: &mut Vec<usize>,
         tick: u64,
+        table_gen: u64,
         timed: bool,
         prev: &mut Option<Instant>,
         fire_span: Option<(u64, u64)>,
@@ -1274,11 +1580,35 @@ impl RmtMachine {
             let Some(action_id) = action_id else {
                 continue; // Miss with no default: next table.
             };
-            let fuel = inst
-                .worst_case
-                .get(action_id.0 as usize)
-                .copied()
-                .unwrap_or(1);
+            // A fused chain body replaces the unfused action when its
+            // resolution stamp matches the live table generation; a
+            // stale stamp (mutation since the last re-specialization)
+            // falls back to the unfused body — same verdicts, unfused
+            // cost — until `refresh_fused` catches up. The collapsed
+            // links must also fit the remaining dynamic tail-chain
+            // budget: a fused dispatch reached through a prior
+            // (unresolved) redirect would otherwise execute links the
+            // unfused chain's per-redirect `MAX_TAIL_CHAIN` check
+            // refuses.
+            let use_fused = inst.mode == ExecMode::Jit
+                && inst
+                    .fused
+                    .get(action_id.0 as usize)
+                    .and_then(|f| f.as_ref())
+                    .is_some_and(|f| {
+                        f.generation == table_gen && chain + f.steps.len() <= MAX_TAIL_CHAIN
+                    });
+            let fuel = if use_fused {
+                inst.fused[action_id.0 as usize]
+                    .as_ref()
+                    .expect("checked above")
+                    .worst_case
+            } else {
+                inst.worst_case
+                    .get(action_id.0 as usize)
+                    .copied()
+                    .unwrap_or(1)
+            };
             let outcome = {
                 let mut env = ExecEnv {
                     ctxt,
@@ -1299,6 +1629,11 @@ impl RmtMachine {
                         arg,
                         &mut env,
                     ),
+                    ExecMode::Jit if use_fused => inst.fused[action_id.0 as usize]
+                        .as_ref()
+                        .expect("checked above")
+                        .compiled
+                        .run(fuel, arg, &mut env),
                     ExecMode::Jit => inst.compiled[action_id.0 as usize].run(fuel, arg, &mut env),
                 }
             };
@@ -1322,7 +1657,56 @@ impl RmtMachine {
                             info: guard_trips as i64,
                         });
                     }
-                    result.verdicts.push((TableId(ti as u16), verdict));
+                    if use_fused {
+                        // The fused body collapsed a statically
+                        // resolved match chain into one execution;
+                        // synthesize the per-table observability the
+                        // chain no longer performs live. Verdicts are
+                        // the fusion-time constants, bit-identical to
+                        // the unfused chain's; only `insns_executed`
+                        // legitimately differs (that's the win).
+                        let Installed {
+                            fused,
+                            tables,
+                            stats,
+                            ..
+                        } = inst;
+                        let fa = fused[action_id.0 as usize]
+                            .as_ref()
+                            .expect("use_fused checked");
+                        result
+                            .verdicts
+                            .push((TableId(ti as u16), fa.steps[0].caller_verdict));
+                        for (si, step) in fa.steps.iter().enumerate() {
+                            stats.tail_calls += 1;
+                            obs.counters.tail_calls += 1;
+                            chain += 1;
+                            let t = &tables[step.table as usize];
+                            if step.entry.is_some() {
+                                t.note_hit();
+                                obs.counters.table_hits += 1;
+                            } else {
+                                t.note_miss();
+                                obs.counters.table_misses += 1;
+                            }
+                            if step.action.is_some() {
+                                stats.actions_run += 1;
+                                let v = fa
+                                    .steps
+                                    .get(si + 1)
+                                    .map(|n| n.caller_verdict)
+                                    .unwrap_or(verdict);
+                                result.verdicts.push((TableId(step.table), v));
+                            }
+                        }
+                        // The chain redirected away from the rest of
+                        // the queue at its first (collapsed) tail
+                        // call, exactly as the unfused redirect
+                        // truncates below.
+                        scratch_queue.truncate(qi);
+                    } else {
+                        result.verdicts.push((TableId(ti as u16), verdict));
+                    }
                     for e in effects {
                         if e.is_resource() {
                             if let Some(bucket) = &mut inst.bucket {
@@ -1540,6 +1924,11 @@ impl RmtMachine {
         t.insert(entry)?;
         self.table_gen += 1;
         self.refresh_hook_cache_meta(&hook);
+        // The new entry may change (or newly enable) chain resolution
+        // in plans that route through this table; everything else —
+        // including other programs, whose tables a tail call can never
+        // target — just restamps to the new generation.
+        self.refresh_fused(Some(prog.0), Some(table));
         Ok(())
     }
 
@@ -1563,6 +1952,7 @@ impl RmtMachine {
         if removed {
             self.table_gen += 1;
             self.refresh_hook_cache_meta(&hook);
+            self.refresh_fused(Some(prog.0), Some(table));
         }
         Ok(removed)
     }
@@ -1616,8 +2006,11 @@ impl RmtMachine {
             info: slot.0 as i64,
         });
         // Model behavior feeds tail-call decisions; cached chains
-        // recorded against the old model must not replay.
+        // recorded against the old model must not replay, and fused
+        // bodies must be re-planned (fusion already refuses CallMl
+        // callees, but the caller's constant state can change).
         self.table_gen += 1;
+        self.refresh_fused(Some(prog.0), None);
         Ok(())
     }
 
@@ -2069,6 +2462,9 @@ pub struct ProgramState {
     /// Per-model-slot telemetry (confusion matrices, windows, drift
     /// latch), in model-slot order.
     pub model_stats: Vec<ModelStatsState>,
+    /// Optimizer telemetry from the program's last (re)compile: pass
+    /// fire counts, instruction before/after, fused-chain footprint.
+    pub opt_stats: OptStats,
 }
 
 /// Per-hook observability carried across snapshot/restore.
@@ -2141,6 +2537,7 @@ impl RmtMachine {
                     .iter()
                     .map(ModelStats::export_state)
                     .collect(),
+                opt_stats: inst.opt_stats,
             })
             .collect();
         let mut hooks: Vec<HookState> = self
@@ -2248,6 +2645,7 @@ impl RmtMachine {
                 .into_iter()
                 .map(ModelStats::import_state)
                 .collect();
+            inst.opt_stats = ps.opt_stats;
             last_id = ps.id;
         }
         // Entry overlay may have changed which tables are empty —
@@ -2274,6 +2672,17 @@ impl RmtMachine {
         m.table_gen = snap.table_generation;
         m.decision_cache_cap = snap.decision_cache_cap;
         m.obs = Obs::import_state(snap.obs);
+        // Fused chain bodies were specialized during install against
+        // each program's seed entries and stamped before the snapshot
+        // overlaid live entries and the generation counter; until this
+        // re-specialization they are stale (and correctly dormant — the
+        // generation check at dispatch refuses them). Recompute every
+        // program against the restored tables so fusion is live from
+        // the first fire.
+        let ids: Vec<u32> = m.programs.keys().copied().collect();
+        for id in ids {
+            m.refresh_fused(Some(id), None);
+        }
         Ok(m)
     }
 }
@@ -2500,6 +2909,222 @@ mod tests {
         assert_eq!(r.verdicts.len(), 2);
         assert_eq!(r.verdict(), Some(99));
         assert_eq!(m.stats(id).unwrap().tail_calls, 1);
+    }
+
+    /// Three-link chain for fusion tests. `t0` ("h") defaults to `a0`,
+    /// which stores constant 3 into scratch field `k` and tail-calls
+    /// `t1`; `t1` (keyed on `k`) holds an entry for key 3 whose action
+    /// `a1` tail-calls `t2`; `t2` is empty and defaults to `a2`
+    /// (verdict = arg + 40). Every link resolves statically, so at the
+    /// default O2 the whole chain fuses under JIT.
+    fn chain_program() -> VerifiedProgram {
+        let mut b = ProgramBuilder::new("chain");
+        let pid = b.field_readonly("pid");
+        let k = b.field_scratch("k");
+        let a0 = b.action(Action::new(
+            "root",
+            vec![
+                Insn::LdImm {
+                    dst: Reg(1),
+                    imm: 3,
+                },
+                Insn::StCtxt {
+                    field: k,
+                    src: Reg(1),
+                },
+                Insn::LdImm {
+                    dst: Reg(0),
+                    imm: 10,
+                },
+                Insn::TailCall { table: TableId(1) },
+            ],
+        ));
+        let a1 = b.action(Action::new(
+            "mid",
+            vec![
+                Insn::LdImm {
+                    dst: Reg(0),
+                    imm: 20,
+                },
+                Insn::TailCall { table: TableId(2) },
+            ],
+        ));
+        let a2 = b.action(Action::new(
+            "leaf",
+            vec![
+                Insn::Mov {
+                    dst: Reg(0),
+                    src: crate::bytecode::ARG_REG,
+                },
+                Insn::AluImm {
+                    op: AluOp::Add,
+                    dst: Reg(0),
+                    imm: 40,
+                },
+                Insn::Exit,
+            ],
+        ));
+        b.table("t0", "h", &[pid], MatchKind::Exact, Some(a0), 4);
+        b.table("t1", "stage", &[k], MatchKind::Exact, None, 4);
+        b.table("t2", "stage", &[k], MatchKind::Exact, Some(a2), 4);
+        b.entry(
+            TableId(1),
+            Entry {
+                key: MatchKey::Exact(vec![3]),
+                priority: 0,
+                action: a1,
+                arg: 5,
+            },
+        );
+        verify(b.build()).unwrap()
+    }
+
+    fn chain_ctxt(pid: i64) -> Ctxt {
+        Ctxt::from_values(vec![pid, 0])
+    }
+
+    /// The tentpole's correctness contract: a fused chain produces the
+    /// same verdict stream, effects, and per-table bookkeeping as the
+    /// unfused chain, and the fusion actually happened (this is not a
+    /// vacuous comparison).
+    #[test]
+    fn fused_chain_matches_unfused_execution() {
+        let mut jit = RmtMachine::new();
+        let jid = jit.install(chain_program(), ExecMode::Jit).unwrap();
+        let os = jit.opt_stats(jid).unwrap();
+        // `root` fuses both links; `mid` independently fuses its one.
+        assert_eq!(os.fused_chains, 2, "{os:?}");
+        assert_eq!(os.fused_links, 3, "{os:?}");
+        let mut interp = RmtMachine::new();
+        let iid = interp.install(chain_program(), ExecMode::Interp).unwrap();
+        for pid in 0..4 {
+            let rj = jit.fire("h", &mut chain_ctxt(pid));
+            let ri = interp.fire("h", &mut chain_ctxt(pid));
+            assert_eq!(rj.verdicts, ri.verdicts);
+            assert_eq!(rj.effects, ri.effects);
+        }
+        let pinned = jit.fire("h", &mut chain_ctxt(9)).verdicts;
+        assert_eq!(
+            pinned,
+            vec![(TableId(0), 10), (TableId(1), 20), (TableId(2), 40)]
+        );
+        assert_eq!(interp.fire("h", &mut chain_ctxt(9)).verdicts, pinned);
+        let (sj, si) = (jit.stats(jid).unwrap(), interp.stats(iid).unwrap());
+        assert_eq!(sj.actions_run, si.actions_run);
+        assert_eq!(sj.tail_calls, si.tail_calls);
+        assert_eq!(sj.guard_trips, si.guard_trips);
+        for t in 0..3 {
+            assert_eq!(
+                jit.table_stats(jid, TableId(t)).unwrap(),
+                interp.table_stats(iid, TableId(t)).unwrap(),
+                "table {t} hit/miss bookkeeping must survive fusion"
+            );
+        }
+        // The fused body runs fewer instructions — that is the win.
+        assert!(
+            sj.insns_executed < si.insns_executed,
+            "fused {} !< unfused {}",
+            sj.insns_executed,
+            si.insns_executed
+        );
+    }
+
+    /// Control-plane churn on a table a fused chain resolved through
+    /// must re-specialize the plan (eagerly — the generation check is
+    /// only a backstop), and verdicts must track the live entries
+    /// exactly as the unfused interpreter's do.
+    #[test]
+    fn entry_churn_respecializes_fused_chains() {
+        let mut jit = RmtMachine::new();
+        let jid = jit.install(chain_program(), ExecMode::Jit).unwrap();
+        let mut interp = RmtMachine::new();
+        let iid = interp.install(chain_program(), ExecMode::Interp).unwrap();
+        let key = MatchKey::Exact(vec![3]);
+        let fire_both = |jit: &mut RmtMachine, interp: &mut RmtMachine| {
+            let rj = jit.fire("h", &mut chain_ctxt(1));
+            let ri = interp.fire("h", &mut chain_ctxt(1));
+            assert_eq!(rj.verdicts, ri.verdicts);
+            rj.verdicts
+        };
+        assert_eq!(fire_both(&mut jit, &mut interp).len(), 3);
+        // Remove the mid link's entry: t1 goes empty with no default,
+        // so the chain now ends there.
+        assert!(jit.remove_entry(jid, TableId(1), &key).unwrap());
+        assert!(interp.remove_entry(iid, TableId(1), &key).unwrap());
+        assert_eq!(
+            fire_both(&mut jit, &mut interp),
+            vec![(TableId(0), 10)],
+            "chain must end at the miss with no default"
+        );
+        // Re-point key 3 straight at the leaf with a live arg.
+        let e = Entry {
+            key: key.clone(),
+            priority: 0,
+            action: ActionId(2),
+            arg: 100,
+        };
+        jit.insert_entry(jid, TableId(1), e.clone()).unwrap();
+        interp.insert_entry(iid, TableId(1), e).unwrap();
+        assert_eq!(
+            fire_both(&mut jit, &mut interp),
+            vec![(TableId(0), 10), (TableId(1), 140)],
+            "re-specialization must bake the new entry (arg 100)"
+        );
+        // Still fused after all the churn, not silently degraded.
+        assert!(jit.opt_stats(jid).unwrap().fused_chains >= 1);
+    }
+
+    /// The sharded `SetOptLevel` bugfix at machine level: switching
+    /// levels restamps/recomputes fused plans and bumps the table
+    /// generation so stale cached or fused decisions cannot serve.
+    #[test]
+    fn set_opt_level_recomputes_fusion_and_bumps_generation() {
+        use crate::opt::OptLevel;
+        let mut m = RmtMachine::new();
+        let id = m.install(chain_program(), ExecMode::Jit).unwrap();
+        assert_eq!(m.opt_stats(id).unwrap().fused_chains, 2);
+        let baseline = m.fire("h", &mut chain_ctxt(1)).verdicts;
+        m.set_opt_level(id, OptLevel::O0).unwrap();
+        assert_eq!(
+            m.opt_stats(id).unwrap().fused_chains,
+            0,
+            "O0 must drop every fused body"
+        );
+        assert_eq!(m.fire("h", &mut chain_ctxt(1)).verdicts, baseline);
+        m.set_opt_level(id, OptLevel::O2).unwrap();
+        assert_eq!(m.opt_stats(id).unwrap().fused_chains, 2);
+        assert_eq!(m.fire("h", &mut chain_ctxt(1)).verdicts, baseline);
+    }
+
+    /// Restore must re-specialize fused chains against the *restored*
+    /// entries (which may differ from the program's seed entries), and
+    /// optimizer stats must round-trip through the snapshot.
+    #[test]
+    fn restore_respecializes_fused_chains_against_restored_entries() {
+        let mut m = RmtMachine::new();
+        let id = m.install(chain_program(), ExecMode::Jit).unwrap();
+        // Diverge runtime entries from the seed: key 3 now routes to
+        // the leaf with arg 7.
+        let key = MatchKey::Exact(vec![3]);
+        assert!(m.remove_entry(id, TableId(1), &key).unwrap());
+        m.insert_entry(
+            id,
+            TableId(1),
+            Entry {
+                key,
+                priority: 0,
+                action: ActionId(2),
+                arg: 7,
+            },
+        )
+        .unwrap();
+        let want = m.fire("h", &mut chain_ctxt(1)).verdicts;
+        assert_eq!(want, vec![(TableId(0), 10), (TableId(1), 47)]);
+        let snap = m.snapshot();
+        let mut r = RmtMachine::restore(snap, &VerifierConfig::default()).unwrap();
+        assert_eq!(r.opt_stats(id).unwrap(), m.opt_stats(id).unwrap());
+        assert!(r.opt_stats(id).unwrap().fused_chains >= 1);
+        assert_eq!(r.fire("h", &mut chain_ctxt(1)).verdicts, want);
     }
 
     #[test]
@@ -3334,7 +3959,8 @@ rkd_testkit::impl_json_struct!(ProgramState {
     bucket,
     stats,
     hist,
-    model_stats
+    model_stats,
+    opt_stats
 });
 
 rkd_testkit::impl_json_struct!(HookState { hook, fires, hist });

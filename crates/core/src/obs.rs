@@ -259,6 +259,10 @@ pub struct MachineCounters {
     /// Firings that skipped the cache because the hook's live tables
     /// are all exact-match (one hash probe — the cache cannot win).
     pub decision_cache_bypasses: u64,
+    /// Optimizing compiles whose pass pipeline was still firing when
+    /// the fixpoint round budget ran out (the optimizer installed the
+    /// last consistent result instead of iterating further).
+    pub opt_fixpoint_cap_hits: u64,
 }
 
 impl MachineCounters {
@@ -293,6 +297,9 @@ impl MachineCounters {
         self.decision_cache_bypasses = self
             .decision_cache_bypasses
             .saturating_add(other.decision_cache_bypasses);
+        self.opt_fixpoint_cap_hits = self
+            .opt_fixpoint_cap_hits
+            .saturating_add(other.opt_fixpoint_cap_hits);
     }
 }
 
@@ -1213,7 +1220,8 @@ rkd_testkit::impl_json_struct!(MachineCounters {
     decision_cache_misses,
     decision_cache_invalidations,
     decision_cache_evictions,
-    decision_cache_bypasses
+    decision_cache_bypasses,
+    opt_fixpoint_cap_hits
 });
 
 rkd_testkit::impl_json_unit_enum!(TraceKind {

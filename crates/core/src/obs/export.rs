@@ -127,6 +127,7 @@ pub fn counter_samples(c: &MachineCounters) -> Vec<(&'static str, u64)> {
         ),
         ("decision_cache_evictions", c.decision_cache_evictions),
         ("decision_cache_bypasses", c.decision_cache_bypasses),
+        ("opt_fixpoint_cap_hits", c.opt_fixpoint_cap_hits),
     ]
 }
 

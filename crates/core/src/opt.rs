@@ -38,11 +38,37 @@
 //!   `MapLookup`, whose LRU-recency touch is visible in eviction
 //!   order, and `Call`/`DpAggregate`, which consume the program's RNG
 //!   stream.
+//! - [`GuardHoist`] — dominator-based guard redundancy elimination:
+//!   a conditional whose predicate is already decided by a dominating
+//!   guard (same or negated comparison, operands unredefined on every
+//!   path in between) is rewritten into an unconditional jump, so a
+//!   chain or loop of repeated bodies pays each invariant check once,
+//!   at the earliest dominating point.
 //! - [`BranchFold`] — jump threading (a jump whose target is a `Jmp`
 //!   retargets to the end of the chain; a jump landing on a terminator
 //!   becomes that terminator), removal of jumps to the immediately
 //!   following instruction, and unreachable-code elimination with
 //!   jump-target rewriting.
+//!
+//! [`ConstFold`] and [`GuardHoist`] are whole-body forward analyses
+//! over a small CFG ([`Cfg`]): basic blocks from the shared leader
+//! scan, reverse postorder, immediate dominators (Cooper–Harvey–
+//! Kennedy), and natural-loop bodies from dominated back edges. Loop
+//! headers widen instead of resetting: only registers defined (and
+//! fields stored) somewhere inside the loop are dropped at the
+//! header, so loop-invariant constants and guard facts survive the
+//! back edge while loop-carried state is conservatively unknown.
+//!
+//! On top of the per-action pipeline sits [`fuse_chain`] — tail-call
+//! match-chain fusion. It is not a [`Pass`] (it needs the program's
+//! action list and the live tables, not just one body): when an
+//! optimized body's sole reachable `TailCall` targets a table whose
+//! lookup is statically resolvable — constant match key after
+//! folding, or an empty/default-only table — the callee body is
+//! inlined at the call site and the combined body re-optimized, to a
+//! depth/size budget. The machine owns when fusion is valid (tables
+//! mutate at runtime): see the generation-stamped install and
+//! invalidation protocol in [`crate::machine`].
 //!
 //! Two invariants hold for every pass and are property-tested:
 //! semantics of verified bodies are preserved bit-for-bit (verdict,
@@ -53,8 +79,9 @@
 //! install — a failure is a hard [`crate::error::VmError::Verify`]
 //! at compile time, never a silently-installed body.
 
-use crate::bytecode::{Action, CmpOp, Insn, Reg, VReg};
+use crate::bytecode::{Action, CmpOp, Insn, Reg, VReg, ARG_REG, NUM_REGS, NUM_VREGS};
 use crate::ctxt::FieldId;
+use crate::table::Table;
 
 /// Hard bound on fixpoint rounds: the driver re-runs the pass list at
 /// most this many times. Each round either fires a pass (strictly
@@ -98,6 +125,11 @@ pub struct Optimized {
     pub rounds: usize,
     /// Names of the passes that fired, in firing order.
     pub fired: Vec<&'static str>,
+    /// `true` when the driver hit the round bound while passes were
+    /// still firing — the pipeline converged silently-partially
+    /// instead of reaching a fixpoint. Exported as the
+    /// `opt_fixpoint_cap_hits` machine counter.
+    pub capped: bool,
 }
 
 /// Returns the pass list for a level (`O0` is empty).
@@ -106,11 +138,13 @@ pub fn passes_for(level: OptLevel) -> Vec<Box<dyn Pass>> {
         OptLevel::O0 => Vec::new(),
         OptLevel::O1 => vec![
             Box::new(ConstFold),
+            Box::new(GuardHoist),
             Box::new(DeadCode),
             Box::new(BranchFold),
         ],
         OptLevel::O2 => vec![
             Box::new(ConstFold),
+            Box::new(GuardHoist),
             Box::new(Specialize),
             Box::new(DeadCode),
             Box::new(BranchFold),
@@ -137,6 +171,7 @@ pub fn optimize_with(action: &Action, passes: &[&dyn Pass], max_rounds: usize) -
     let mut code = action.code.clone();
     let mut fired = Vec::new();
     let mut rounds = 0;
+    let mut capped = false;
     while rounds < max_rounds {
         rounds += 1;
         let mut any = false;
@@ -157,6 +192,9 @@ pub fn optimize_with(action: &Action, passes: &[&dyn Pass], max_rounds: usize) -
         if !any {
             break;
         }
+        // A pass fired in the final permitted round: no clean
+        // no-change round was observed, so convergence is unproven.
+        capped = rounds == max_rounds;
     }
     Optimized {
         action: Action {
@@ -166,6 +204,7 @@ pub fn optimize_with(action: &Action, passes: &[&dyn Pass], max_rounds: usize) -
         },
         rounds,
         fired,
+        capped,
     }
 }
 
@@ -248,14 +287,413 @@ fn compact(code: &mut Vec<Insn>, keep: &[bool]) -> bool {
     true
 }
 
+/// Scalar registers an instruction may define, as a bitmask —
+/// including the fixed `r0`/`r1` clobbers of map mutations, helper
+/// calls, and ML calls. Shared by the forward analyses' kill rules.
+fn def_mask(insn: &Insn) -> u16 {
+    match insn {
+        Insn::LdImm { dst, .. }
+        | Insn::Mov { dst, .. }
+        | Insn::Alu { dst, .. }
+        | Insn::AluImm { dst, .. }
+        | Insn::LdCtxt { dst, .. }
+        | Insn::MapLookup { dst, .. }
+        | Insn::ScalarVal { dst, .. }
+        | Insn::DpAggregate { dst, .. } => 1u16 << dst.0.min(15),
+        Insn::MapUpdate { .. } | Insn::MapDelete { .. } | Insn::Call { .. } => 1,
+        Insn::CallMl { .. } => 0b11,
+        _ => 0,
+    }
+}
+
+/// Basic-block view of an action body: block boundaries from the
+/// shared leader scan, successor/predecessor edges, reverse postorder
+/// from the entry, and immediate dominators (the iterative
+/// Cooper–Harvey–Kennedy scheme — fine at action-body sizes).
+///
+/// This is the infrastructure the loop-aware forward analyses
+/// ([`ConstFold`], [`GuardHoist`]) and [`fuse_chain`] share. A back
+/// edge is an edge whose target dominates its source; the natural
+/// loop of a header is the header plus everything that reaches one of
+/// its back-edge sources without passing through the header.
+/// Irreducible edges (a forward edge from a block not yet processed
+/// in reverse postorder) are handled by the analyses themselves by
+/// widening to "unknown", which is always sound.
+struct Cfg {
+    /// Start instruction of each block, ascending.
+    starts: Vec<usize>,
+    /// Block index of every instruction.
+    block_of: Vec<usize>,
+    /// Predecessor blocks (deduplicated).
+    preds: Vec<Vec<usize>>,
+    /// Blocks reachable from block 0, in reverse postorder.
+    rpo: Vec<usize>,
+    /// `rpo_pos[b]` = position of `b` in `rpo`; `usize::MAX` when
+    /// unreachable.
+    rpo_pos: Vec<usize>,
+    /// Immediate dominator of each reachable block (`idom[0] == 0`);
+    /// `usize::MAX` for unreachable blocks.
+    idom: Vec<usize>,
+    /// `loop_header[b]` = some back edge targets `b`.
+    loop_header: Vec<bool>,
+}
+
+impl Cfg {
+    fn build(code: &[Insn]) -> Cfg {
+        let lead = leaders(code);
+        let mut starts = Vec::new();
+        let mut block_of = vec![0usize; code.len()];
+        for (i, b) in block_of.iter_mut().enumerate() {
+            if lead[i] {
+                starts.push(i);
+            }
+            *b = starts.len() - 1;
+        }
+        let nb = starts.len();
+        let block_end = |b: usize| {
+            if b + 1 < nb {
+                starts[b + 1]
+            } else {
+                code.len()
+            }
+        };
+        let mut succs = vec![Vec::new(); nb];
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nb];
+        for (b, su) in succs.iter_mut().enumerate() {
+            let last = block_end(b) - 1;
+            let insn = &code[last];
+            let mut targets: Vec<usize> = Vec::new();
+            if let Some(t) = insn.jump_target() {
+                if t < code.len() {
+                    targets.push(block_of[t]);
+                }
+                if !matches!(insn, Insn::Jmp { .. }) && last + 1 < code.len() {
+                    targets.push(block_of[last + 1]);
+                }
+            } else if !insn.is_terminator() && last + 1 < code.len() {
+                targets.push(block_of[last + 1]);
+            }
+            for t in targets {
+                if !su.contains(&t) {
+                    su.push(t);
+                    preds[t].push(b);
+                }
+            }
+        }
+        // Reverse postorder via an iterative DFS from the entry.
+        let mut rpo = Vec::with_capacity(nb);
+        let mut state = vec![0u8; nb]; // 0 unseen, 1 on stack, 2 done
+        if nb > 0 {
+            let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+            state[0] = 1;
+            while let Some(top) = stack.last_mut() {
+                let b = top.0;
+                if top.1 < succs[b].len() {
+                    let s = succs[b][top.1];
+                    top.1 += 1;
+                    if state[s] == 0 {
+                        state[s] = 1;
+                        stack.push((s, 0));
+                    }
+                } else {
+                    state[b] = 2;
+                    rpo.push(b);
+                    stack.pop();
+                }
+            }
+            rpo.reverse();
+        }
+        let mut rpo_pos = vec![usize::MAX; nb];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_pos[b] = i;
+        }
+        // Immediate dominators, iterated to fixpoint over RPO.
+        let mut idom = vec![usize::MAX; nb];
+        if nb > 0 {
+            idom[0] = 0;
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for &b in rpo.iter().skip(1) {
+                    let mut new_idom = usize::MAX;
+                    for &p in &preds[b] {
+                        if idom[p] == usize::MAX {
+                            continue;
+                        }
+                        new_idom = if new_idom == usize::MAX {
+                            p
+                        } else {
+                            Self::intersect(&idom, &rpo_pos, p, new_idom)
+                        };
+                    }
+                    if new_idom != usize::MAX && idom[b] != new_idom {
+                        idom[b] = new_idom;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        let mut loop_header = vec![false; nb];
+        for (b, hdr) in loop_header.iter_mut().enumerate() {
+            *hdr = preds[b]
+                .iter()
+                .any(|&p| Self::dominates_in(&idom, &rpo_pos, b, p));
+        }
+        Cfg {
+            starts,
+            block_of,
+            preds,
+            rpo,
+            rpo_pos,
+            idom,
+            loop_header,
+        }
+    }
+
+    /// Nearest common dominator of `a` and `b` (CHK walk).
+    fn intersect(idom: &[usize], rpo_pos: &[usize], mut a: usize, mut b: usize) -> usize {
+        while a != b {
+            while rpo_pos[a] > rpo_pos[b] {
+                a = idom[a];
+            }
+            while rpo_pos[b] > rpo_pos[a] {
+                b = idom[b];
+            }
+        }
+        a
+    }
+
+    fn dominates_in(idom: &[usize], rpo_pos: &[usize], a: usize, b: usize) -> bool {
+        if rpo_pos[b] == usize::MAX || rpo_pos[a] == usize::MAX {
+            return false;
+        }
+        let mut x = b;
+        loop {
+            if x == a {
+                return true;
+            }
+            if x == 0 || idom[x] == usize::MAX {
+                return false;
+            }
+            x = idom[x];
+        }
+    }
+
+    /// Whether block `a` dominates block `b`.
+    fn dominates(&self, a: usize, b: usize) -> bool {
+        Self::dominates_in(&self.idom, &self.rpo_pos, a, b)
+    }
+
+    /// One-past-the-end instruction index of block `b`.
+    fn block_end(&self, b: usize, code_len: usize) -> usize {
+        if b + 1 < self.starts.len() {
+            self.starts[b + 1]
+        } else {
+            code_len
+        }
+    }
+
+    /// The natural loop of header `h`: `h` plus every block reaching a
+    /// back-edge source of `h` without passing through `h`.
+    fn loop_blocks(&self, h: usize) -> Vec<usize> {
+        let mut inl = vec![false; self.starts.len()];
+        inl[h] = true;
+        let mut out = vec![h];
+        let mut stack: Vec<usize> = self.preds[h]
+            .iter()
+            .copied()
+            .filter(|&p| self.dominates(h, p))
+            .collect();
+        while let Some(b) = stack.pop() {
+            if inl[b] {
+                continue;
+            }
+            inl[b] = true;
+            out.push(b);
+            for &p in &self.preds[b] {
+                if !inl[p] {
+                    stack.push(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// (register def mask, stored fields) across header `h`'s natural
+    /// loop — what a loop-aware forward analysis must widen at `h`.
+    fn loop_defs(&self, code: &[Insn], h: usize) -> (u16, Vec<FieldId>) {
+        let mut mask = 0u16;
+        let mut fields: Vec<FieldId> = Vec::new();
+        for b in self.loop_blocks(h) {
+            for insn in &code[self.starts[b]..self.block_end(b, code.len())] {
+                mask |= def_mask(insn);
+                if let Insn::StCtxt { field, .. } = insn {
+                    if !fields.contains(field) {
+                        fields.push(*field);
+                    }
+                }
+            }
+        }
+        (mask, fields)
+    }
+}
+
 // ---------------------------------------------------------------------
 // Constant folding
 // ---------------------------------------------------------------------
 
-/// Per-block constant propagation and folding. All rewrites are
-/// in-place (1:1), so this pass never changes the instruction count;
-/// the dead definitions it strands are collected by [`DeadCode`] and
-/// the decided branches by [`BranchFold`].
+/// Forward constant state: per-register known constants plus context
+/// fields proven to hold a constant (kept sorted by field id). The
+/// field half is what lets folding see through `StCtxt`/`LdCtxt`
+/// round-trips — and what [`fuse_chain`] uses to resolve a tail-call
+/// target's match key at compile time.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+struct CpState {
+    regs: [Option<i64>; 16],
+    fields: Vec<(FieldId, i64)>,
+}
+
+impl CpState {
+    fn field_const(&self, f: FieldId) -> Option<i64> {
+        self.fields
+            .binary_search_by_key(&f, |&(ff, _)| ff)
+            .ok()
+            .map(|i| self.fields[i].1)
+    }
+
+    fn set_field(&mut self, f: FieldId, v: Option<i64>) {
+        match (v, self.fields.binary_search_by_key(&f, |&(ff, _)| ff)) {
+            (Some(v), Ok(i)) => self.fields[i].1 = v,
+            (Some(v), Err(i)) => self.fields.insert(i, (f, v)),
+            (None, Ok(i)) => {
+                self.fields.remove(i);
+            }
+            (None, Err(_)) => {}
+        }
+    }
+
+    /// Lattice meet: keep only facts both states agree on.
+    fn meet(&mut self, other: &CpState) {
+        for r in 0..16 {
+            if self.regs[r] != other.regs[r] {
+                self.regs[r] = None;
+            }
+        }
+        self.fields
+            .retain(|&(f, v)| other.field_const(f) == Some(v));
+    }
+
+    /// Forward transfer over one instruction. Mirrors the rewrite
+    /// rules in [`ConstFold`]; the two must agree or folding is
+    /// unsound.
+    fn step(&mut self, insn: &Insn) {
+        match *insn {
+            Insn::LdImm { dst, imm } => self.regs[dst.0 as usize] = Some(imm),
+            Insn::Mov { dst, src } => self.regs[dst.0 as usize] = self.regs[src.0 as usize],
+            Insn::Alu { op, dst, src } => {
+                self.regs[dst.0 as usize] =
+                    match (self.regs[dst.0 as usize], self.regs[src.0 as usize]) {
+                        (Some(l), Some(r)) => Some(op.eval(l, r)),
+                        _ => None,
+                    }
+            }
+            Insn::AluImm { op, dst, imm } => {
+                self.regs[dst.0 as usize] = self.regs[dst.0 as usize].map(|l| op.eval(l, imm))
+            }
+            // A load from a field proven constant is itself constant.
+            Insn::LdCtxt { dst, field } => self.regs[dst.0 as usize] = self.field_const(field),
+            Insn::StCtxt { field, src } => {
+                let v = self.regs[src.0 as usize];
+                self.set_field(field, v);
+            }
+            Insn::MapLookup { dst, .. }
+            | Insn::ScalarVal { dst, .. }
+            | Insn::DpAggregate { dst, .. } => self.regs[dst.0 as usize] = None,
+            // Map mutations and helper calls report through r0.
+            Insn::MapUpdate { .. } | Insn::MapDelete { .. } | Insn::Call { .. } => {
+                self.regs[0] = None;
+            }
+            // Class to r0, confidence to r1.
+            Insn::CallMl { .. } => {
+                self.regs[0] = None;
+                self.regs[1] = None;
+            }
+            Insn::Jmp { .. }
+            | Insn::JmpIf { .. }
+            | Insn::JmpIfImm { .. }
+            | Insn::VectorLdMap { .. }
+            | Insn::VectorLdCtxt { .. }
+            | Insn::VectorPush { .. }
+            | Insn::VectorClear { .. }
+            | Insn::MatMul { .. }
+            | Insn::VecMap { .. }
+            | Insn::Exit
+            | Insn::TailCall { .. } => {}
+        }
+    }
+}
+
+/// Per-block constant in-states via a reverse-postorder forward sweep
+/// with loop widening: a loop header's in-state is the meet of its
+/// forward predecessors, with every register defined (and field
+/// stored) anywhere in the header's natural loop widened to unknown.
+/// Loop-invariant constants survive the back edge; loop-carried
+/// values are dropped. Unreachable blocks get `None`; a reachable but
+/// not-yet-processed forward predecessor (irreducible entry) widens
+/// the whole state to unknown, which is sound.
+fn cp_in_states(code: &[Insn], cfg: &Cfg) -> Vec<Option<CpState>> {
+    let nb = cfg.starts.len();
+    let mut ins: Vec<Option<CpState>> = vec![None; nb];
+    let mut outs: Vec<Option<CpState>> = vec![None; nb];
+    for (pos, &b) in cfg.rpo.iter().enumerate() {
+        let mut st = if pos == 0 {
+            CpState::default()
+        } else {
+            let mut acc: Option<CpState> = None;
+            let mut widen_all = false;
+            for &p in &cfg.preds[b] {
+                if cfg.rpo_pos[p] == usize::MAX || cfg.dominates(b, p) {
+                    // Unreachable pred contributes nothing; a back
+                    // edge is accounted for by header widening below.
+                    continue;
+                }
+                match &outs[p] {
+                    Some(o) => match &mut acc {
+                        Some(a) => a.meet(o),
+                        None => acc = Some(o.clone()),
+                    },
+                    None => widen_all = true,
+                }
+            }
+            if widen_all {
+                CpState::default()
+            } else {
+                acc.unwrap_or_default()
+            }
+        };
+        if cfg.loop_header[b] {
+            let (defs, stored) = cfg.loop_defs(code, b);
+            for r in 0..16 {
+                if defs & (1 << r) != 0 {
+                    st.regs[r] = None;
+                }
+            }
+            st.fields.retain(|&(f, _)| !stored.contains(&f));
+        }
+        ins[b] = Some(st.clone());
+        for insn in &code[cfg.starts[b]..cfg.block_end(b, code.len())] {
+            st.step(insn);
+        }
+        outs[b] = Some(st);
+    }
+    ins
+}
+
+/// Loop-aware constant propagation and folding over the block-level
+/// constant analysis above. All rewrites are in-place (1:1), so this
+/// pass never changes the instruction count; the dead definitions it
+/// strands are collected by [`DeadCode`] and the decided branches by
+/// [`BranchFold`].
 pub struct ConstFold;
 
 impl ConstFold {
@@ -275,63 +713,100 @@ impl Pass for ConstFold {
     }
 
     fn run(&self, code: &mut Vec<Insn>) -> bool {
-        let lead = leaders(code);
+        if code.is_empty() {
+            return false;
+        }
+        let cfg = Cfg::build(code);
+        let ins = cp_in_states(code, &cfg);
         let mut changed = false;
-        // regs[r] = Some(v) when r provably holds v at this point of
-        // the current block.
-        let mut regs: [Option<i64>; 16] = [None; 16];
-        for i in 0..code.len() {
-            if lead[i] {
-                regs = [None; 16];
-            }
-            let next = i + 1;
-            match code[i] {
-                Insn::LdImm { dst, imm } => regs[dst.0 as usize] = Some(imm),
-                Insn::Mov { dst, src } => {
-                    if let Some(v) = regs[src.0 as usize] {
-                        code[i] = Insn::LdImm { dst, imm: v };
-                        changed = true;
-                    }
-                    regs[dst.0 as usize] = regs[src.0 as usize];
-                }
-                Insn::Alu { op, dst, src } => {
-                    if let Some(r) = regs[src.0 as usize] {
-                        if let Some(l) = regs[dst.0 as usize] {
-                            let v = op.eval(l, r);
+        // Indices are block offsets into `code`, rewritten in place.
+        #[allow(clippy::needless_range_loop)]
+        for b in 0..cfg.starts.len() {
+            // Unreachable blocks are BranchFold's job.
+            let Some(block_in) = &ins[b] else { continue };
+            let mut st = block_in.clone();
+            let end = cfg.block_end(b, code.len());
+            for i in cfg.starts[b]..end {
+                let next = i + 1;
+                match code[i] {
+                    Insn::Mov { dst, src } => {
+                        if let Some(v) = st.regs[src.0 as usize] {
                             code[i] = Insn::LdImm { dst, imm: v };
-                            regs[dst.0 as usize] = Some(v);
-                        } else {
-                            code[i] = Insn::AluImm { op, dst, imm: r };
-                            regs[dst.0 as usize] = None;
+                            changed = true;
                         }
-                        changed = true;
-                    } else {
-                        regs[dst.0 as usize] = None;
                     }
-                }
-                Insn::AluImm { op, dst, imm } => {
-                    if let Some(l) = regs[dst.0 as usize] {
-                        let v = op.eval(l, imm);
-                        code[i] = Insn::LdImm { dst, imm: v };
-                        regs[dst.0 as usize] = Some(v);
-                        changed = true;
-                    } else {
-                        regs[dst.0 as usize] = None;
+                    // A load from a field the analysis proved constant
+                    // folds to the constant itself — this is what
+                    // makes a caller-written match key visible to the
+                    // inlined callee after chain fusion.
+                    Insn::LdCtxt { dst, field } => {
+                        if let Some(v) = st.field_const(field) {
+                            code[i] = Insn::LdImm { dst, imm: v };
+                            changed = true;
+                        }
                     }
-                }
-                Insn::JmpIf {
-                    cmp,
-                    lhs,
-                    rhs,
-                    target,
-                } => {
-                    let decided = if lhs == rhs {
-                        // Same register on both sides: reflexive.
-                        Some(cmp.eval(0, 0))
-                    } else {
-                        Self::decide(cmp, regs[lhs.0 as usize], regs[rhs.0 as usize])
-                    };
-                    match decided {
+                    Insn::Alu { op, dst, src } => {
+                        if let Some(r) = st.regs[src.0 as usize] {
+                            if let Some(l) = st.regs[dst.0 as usize] {
+                                code[i] = Insn::LdImm {
+                                    dst,
+                                    imm: op.eval(l, r),
+                                };
+                            } else {
+                                code[i] = Insn::AluImm { op, dst, imm: r };
+                            }
+                            changed = true;
+                        }
+                    }
+                    Insn::AluImm { op, dst, imm } => {
+                        if let Some(l) = st.regs[dst.0 as usize] {
+                            code[i] = Insn::LdImm {
+                                dst,
+                                imm: op.eval(l, imm),
+                            };
+                            changed = true;
+                        }
+                    }
+                    Insn::JmpIf {
+                        cmp,
+                        lhs,
+                        rhs,
+                        target,
+                    } => {
+                        let decided = if lhs == rhs {
+                            // Same register on both sides: reflexive.
+                            Some(cmp.eval(0, 0))
+                        } else {
+                            Self::decide(cmp, st.regs[lhs.0 as usize], st.regs[rhs.0 as usize])
+                        };
+                        match decided {
+                            Some(true) => {
+                                code[i] = Insn::Jmp { target };
+                                changed = true;
+                            }
+                            Some(false) => {
+                                code[i] = Insn::Jmp { target: next };
+                                changed = true;
+                            }
+                            None => {
+                                if let Some(r) = st.regs[rhs.0 as usize] {
+                                    code[i] = Insn::JmpIfImm {
+                                        cmp,
+                                        lhs,
+                                        imm: r,
+                                        target,
+                                    };
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                    Insn::JmpIfImm {
+                        cmp,
+                        lhs,
+                        imm,
+                        target,
+                    } => match Self::decide(cmp, st.regs[lhs.0 as usize], Some(imm)) {
                         Some(true) => {
                             code[i] = Insn::Jmp { target };
                             changed = true;
@@ -340,60 +815,287 @@ impl Pass for ConstFold {
                             code[i] = Insn::Jmp { target: next };
                             changed = true;
                         }
-                        None => {
-                            if let Some(r) = regs[rhs.0 as usize] {
-                                code[i] = Insn::JmpIfImm {
-                                    cmp,
-                                    lhs,
-                                    imm: r,
-                                    target,
-                                };
-                                changed = true;
+                        None => {}
+                    },
+                    _ => {}
+                }
+                // Advance over the (possibly rewritten) instruction;
+                // rewrites are value-preserving so the block in-states
+                // computed on the original code stay sound.
+                st.step(&code[i]);
+            }
+        }
+        changed
+    }
+}
+
+// ---------------------------------------------------------------------
+// Guard hoisting (dominated-guard redundancy elimination)
+// ---------------------------------------------------------------------
+
+/// A branch-derived predicate known to hold at a program point:
+/// `cmp.eval(lhs, rhs) == truth`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct GuardFact {
+    lhs: Reg,
+    cmp: CmpOp,
+    rhs: GuardRhs,
+    truth: bool,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum GuardRhs {
+    Imm(i64),
+    Reg(Reg),
+}
+
+impl GuardFact {
+    /// Whether the fact reads any register in `defs` (and is thus
+    /// killed by a definition of one).
+    fn mentions(&self, defs: u16) -> bool {
+        defs & (1 << self.lhs.0.min(15)) != 0
+            || matches!(self.rhs, GuardRhs::Reg(r) if defs & (1 << r.0.min(15)) != 0)
+    }
+}
+
+/// `!cmp`: the comparison computing the logical negation.
+fn negate_cmp(cmp: CmpOp) -> CmpOp {
+    match cmp {
+        CmpOp::Eq => CmpOp::Ne,
+        CmpOp::Ne => CmpOp::Eq,
+        CmpOp::Lt => CmpOp::Ge,
+        CmpOp::Ge => CmpOp::Lt,
+        CmpOp::Le => CmpOp::Gt,
+        CmpOp::Gt => CmpOp::Le,
+    }
+}
+
+/// Cap on tracked facts per program point; oldest facts are dropped
+/// first. Real guard chains are short — the cap only bounds
+/// pathological generated bodies.
+const MAX_GUARD_FACTS: usize = 24;
+
+fn push_fact(facts: &mut Vec<GuardFact>, f: GuardFact) {
+    if facts.contains(&f) {
+        return;
+    }
+    if facts.len() >= MAX_GUARD_FACTS {
+        facts.remove(0);
+    }
+    facts.push(f);
+}
+
+/// Decides a conditional from the fact set: an exact match yields its
+/// recorded truth, a negated-comparison match the opposite.
+fn decide_from_facts(facts: &[GuardFact], lhs: Reg, cmp: CmpOp, rhs: GuardRhs) -> Option<bool> {
+    for f in facts {
+        if f.lhs == lhs && f.rhs == rhs {
+            if f.cmp == cmp {
+                return Some(f.truth);
+            }
+            if f.cmp == negate_cmp(cmp) {
+                return Some(!f.truth);
+            }
+        }
+    }
+    None
+}
+
+/// Per-block guard-fact in-states: an edge-sensitive forward sweep in
+/// reverse postorder. A conditional's taken edge carries its
+/// predicate as a true fact and the fall-through edge as a false
+/// fact; definitions kill facts over their registers; the meet is set
+/// intersection. Loop headers widen like [`cp_in_states`]: facts over
+/// registers defined inside the natural loop are dropped, so
+/// loop-invariant guards survive the back edge.
+fn guard_in_states(code: &[Insn], cfg: &Cfg) -> Vec<Option<Vec<GuardFact>>> {
+    let nb = cfg.starts.len();
+    let mut ins: Vec<Option<Vec<GuardFact>>> = vec![None; nb];
+    // Per-block (taken-edge, fall-through-edge) out states.
+    let mut outs: Vec<Option<(Vec<GuardFact>, Vec<GuardFact>)>> = vec![None; nb];
+    // Block the last instruction jumps to / falls through to.
+    let edge_blocks = |b: usize| -> (Option<usize>, Option<usize>) {
+        let last = cfg.block_end(b, code.len()) - 1;
+        let insn = &code[last];
+        let jt = insn
+            .jump_target()
+            .filter(|&t| t < code.len())
+            .map(|t| cfg.block_of[t]);
+        let ft =
+            if insn.is_terminator() || matches!(insn, Insn::Jmp { .. }) || last + 1 >= code.len() {
+                None
+            } else {
+                Some(cfg.block_of[last + 1])
+            };
+        (jt, ft)
+    };
+    for (pos, &b) in cfg.rpo.iter().enumerate() {
+        let mut facts: Vec<GuardFact> = if pos == 0 {
+            Vec::new()
+        } else {
+            let mut acc: Option<Vec<GuardFact>> = None;
+            let mut widen_all = false;
+            for &p in &cfg.preds[b] {
+                if cfg.rpo_pos[p] == usize::MAX || cfg.dominates(b, p) {
+                    continue;
+                }
+                let contrib: Vec<GuardFact> = match &outs[p] {
+                    Some((taken, fall)) => {
+                        let (jt, ft) = edge_blocks(p);
+                        match (jt == Some(b), ft == Some(b)) {
+                            // Both edges land here (target == next):
+                            // only facts common to both hold.
+                            (true, true) => {
+                                taken.iter().filter(|f| fall.contains(f)).copied().collect()
                             }
+                            (true, false) => taken.clone(),
+                            (false, true) => fall.clone(),
+                            (false, false) => Vec::new(),
                         }
                     }
-                }
-                Insn::JmpIfImm {
-                    cmp,
-                    lhs,
-                    imm,
-                    target,
-                } => match Self::decide(cmp, regs[lhs.0 as usize], Some(imm)) {
-                    Some(true) => {
-                        code[i] = Insn::Jmp { target };
-                        changed = true;
+                    None => {
+                        widen_all = true;
+                        Vec::new()
                     }
-                    Some(false) => {
-                        code[i] = Insn::Jmp { target: next };
-                        changed = true;
-                    }
-                    None => {}
-                },
-                // Everything below may define registers with unknown
-                // values; clobber the tracked state accordingly.
-                Insn::LdCtxt { dst, .. }
-                | Insn::MapLookup { dst, .. }
-                | Insn::ScalarVal { dst, .. }
-                | Insn::DpAggregate { dst, .. } => regs[dst.0 as usize] = None,
-                // Map mutations and helper calls report through r0.
-                Insn::MapUpdate { .. } | Insn::MapDelete { .. } | Insn::Call { .. } => {
-                    regs[0] = None;
+                };
+                if widen_all {
+                    break;
                 }
-                // Class to r0, confidence to r1.
-                Insn::CallMl { .. } => {
-                    regs[0] = None;
-                    regs[1] = None;
+                match &mut acc {
+                    Some(a) => a.retain(|f| contrib.contains(f)),
+                    None => acc = Some(contrib),
                 }
-                Insn::StCtxt { .. }
-                | Insn::Jmp { .. }
-                | Insn::VectorLdMap { .. }
-                | Insn::VectorLdCtxt { .. }
-                | Insn::VectorPush { .. }
-                | Insn::VectorClear { .. }
-                | Insn::MatMul { .. }
-                | Insn::VecMap { .. }
-                | Insn::Exit
-                | Insn::TailCall { .. } => {}
+            }
+            if widen_all {
+                Vec::new()
+            } else {
+                acc.unwrap_or_default()
+            }
+        };
+        if cfg.loop_header[b] {
+            let (defs, _) = cfg.loop_defs(code, b);
+            facts.retain(|f| !f.mentions(defs));
+        }
+        ins[b] = Some(facts.clone());
+        let end = cfg.block_end(b, code.len());
+        for insn in &code[cfg.starts[b]..end] {
+            let defs = def_mask(insn);
+            if defs != 0 {
+                facts.retain(|f| !f.mentions(defs));
+            }
+        }
+        let out = match code[end - 1] {
+            Insn::JmpIf { cmp, lhs, rhs, .. } if lhs != rhs => {
+                let mut taken = facts.clone();
+                let mut fall = facts;
+                push_fact(
+                    &mut taken,
+                    GuardFact {
+                        lhs,
+                        cmp,
+                        rhs: GuardRhs::Reg(rhs),
+                        truth: true,
+                    },
+                );
+                push_fact(
+                    &mut fall,
+                    GuardFact {
+                        lhs,
+                        cmp,
+                        rhs: GuardRhs::Reg(rhs),
+                        truth: false,
+                    },
+                );
+                (taken, fall)
+            }
+            Insn::JmpIfImm { cmp, lhs, imm, .. } => {
+                let mut taken = facts.clone();
+                let mut fall = facts;
+                push_fact(
+                    &mut taken,
+                    GuardFact {
+                        lhs,
+                        cmp,
+                        rhs: GuardRhs::Imm(imm),
+                        truth: true,
+                    },
+                );
+                push_fact(
+                    &mut fall,
+                    GuardFact {
+                        lhs,
+                        cmp,
+                        rhs: GuardRhs::Imm(imm),
+                        truth: false,
+                    },
+                );
+                (taken, fall)
+            }
+            _ => (facts.clone(), facts),
+        };
+        outs[b] = Some(out);
+    }
+    ins
+}
+
+/// Dominator-based guard redundancy elimination. A conditional whose
+/// predicate is implied by guards on every path from the entry — i.e.
+/// decided by a dominating check whose operands are not redefined in
+/// between — is rewritten into an unconditional `Jmp`, leaving the
+/// earliest dominating check as the single guard for the region
+/// ("hoisting" by deciding dominated duplicates). Loop-invariant
+/// guards inside loop bodies are the canonical win: the pre-loop
+/// check survives, the per-iteration copy folds away. All rewrites
+/// are 1:1; [`BranchFold`] cleans up the decided jumps.
+pub struct GuardHoist;
+
+impl Pass for GuardHoist {
+    fn name(&self) -> &'static str {
+        "guard-hoist"
+    }
+
+    fn run(&self, code: &mut Vec<Insn>) -> bool {
+        if code.is_empty() {
+            return false;
+        }
+        let cfg = Cfg::build(code);
+        let ins = guard_in_states(code, &cfg);
+        let mut changed = false;
+        // Indices are block offsets into `code`, rewritten in place.
+        #[allow(clippy::needless_range_loop)]
+        for b in 0..cfg.starts.len() {
+            let Some(block_in) = &ins[b] else { continue };
+            let mut facts = block_in.clone();
+            let end = cfg.block_end(b, code.len());
+            for i in cfg.starts[b]..end {
+                let decided =
+                    match code[i] {
+                        Insn::JmpIf {
+                            cmp,
+                            lhs,
+                            rhs,
+                            target,
+                        } if lhs != rhs => decide_from_facts(&facts, lhs, cmp, GuardRhs::Reg(rhs))
+                            .map(|t| (t, target)),
+                        Insn::JmpIfImm {
+                            cmp,
+                            lhs,
+                            imm,
+                            target,
+                        } => decide_from_facts(&facts, lhs, cmp, GuardRhs::Imm(imm))
+                            .map(|t| (t, target)),
+                        _ => None,
+                    };
+                if let Some((truth, target)) = decided {
+                    code[i] = Insn::Jmp {
+                        target: if truth { target } else { i + 1 },
+                    };
+                    changed = true;
+                }
+                let defs = def_mask(&code[i]);
+                if defs != 0 {
+                    facts.retain(|f| !f.mentions(defs));
+                }
             }
         }
         changed
@@ -875,6 +1577,382 @@ impl Pass for BranchFold {
     }
 }
 
+// ---------------------------------------------------------------------
+// Tail-call match-chain fusion
+// ---------------------------------------------------------------------
+
+/// Hard cap on the number of chain links fused into one body. Mirrors
+/// the verifier's static tail-chain bound (`MAX_TAIL_CHAIN`): a
+/// verified chain can never be longer, so the cap is never the reason
+/// a verified chain only partially fuses.
+pub const MAX_FUSE_DEPTH: usize = 8;
+
+/// Size budget for a fused body, measured before the post-splice
+/// cleanup passes run. Fusion stops (keeping the chain fused so far)
+/// rather than splice past this.
+pub const MAX_FUSED_INSNS: usize = 384;
+
+/// One statically resolved link of a fused chain: everything the
+/// machine needs to synthesize the per-table bookkeeping (hit/miss
+/// counters, tail-call counters, intermediate verdicts) the collapsed
+/// chain no longer performs at run time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FusedStepPlan {
+    /// The calling body's verdict (`r0`) at its tail-call site —
+    /// provably constant, so the machine can emit the intermediate
+    /// verdict the unfused chain would have pushed.
+    pub caller_verdict: i64,
+    /// The table the tail call cascaded into.
+    pub table: u16,
+    /// Resolved entry index at fusion time (`None` = miss/default
+    /// path). Diagnostics only; validity is generation-stamped by the
+    /// machine, not re-checked per fire.
+    pub entry: Option<u32>,
+    /// The action the resolved lookup dispatched (`None` = miss with
+    /// no default: the chain ends after this table's bookkeeping).
+    pub action: Option<u16>,
+    /// The argument the resolved dispatch carried (an entry's `arg`,
+    /// or 0 on the miss/default path). Together with `action` this is
+    /// the dispatch identity baked into the fused body — the machine's
+    /// cheap revalidation path compares it against a re-resolution
+    /// after entry churn.
+    pub arg: i64,
+}
+
+/// The result of fusing a tail-call chain rooted at one action.
+#[derive(Clone, Debug)]
+pub struct FusePlan {
+    /// The fused, re-optimized body (caller + inlined callees).
+    pub action: Action,
+    /// The statically resolved links, in chain order.
+    pub steps: Vec<FusedStepPlan>,
+    /// Per step, the constant key the link's lookup resolved with —
+    /// `None` when the table was empty at fusion time (resolved by
+    /// emptiness, key irrelevant). Kept so the machine can re-resolve
+    /// a mutated link against live entries and keep the compiled body
+    /// when the dispatch it baked in is unchanged.
+    pub step_keys: Vec<Option<Vec<u64>>>,
+}
+
+/// Whether a callee body may be inlined into a fused chain without
+/// changing abort semantics. In the unfused chain a callee fault
+/// aborts only the callee — the caller's verdict and effects already
+/// landed. A fused body aborts as a whole, so callees containing
+/// possibly-faulting instructions (vector capacity, tensor shape,
+/// model arity, privacy-budget exhaustion) are not inlined. Fuel
+/// exhaustion is excluded by construction: the machine only installs
+/// a fused body whose re-verified worst case fits the chain's
+/// combined budget.
+fn fusable_callee(callee: &Action) -> bool {
+    !callee.code.iter().any(|i| {
+        matches!(
+            i,
+            Insn::VectorPush { .. }
+                | Insn::MatMul { .. }
+                | Insn::VecMap { .. }
+                | Insn::CallMl { .. }
+                | Insn::DpAggregate { .. }
+        )
+    })
+}
+
+/// The constant state just before instruction `site`.
+fn cp_state_at(code: &[Insn], site: usize) -> Option<CpState> {
+    let cfg = Cfg::build(code);
+    let ins = cp_in_states(code, &cfg);
+    let b = *cfg.block_of.get(site)?;
+    let mut st = ins[b].clone()?;
+    for insn in &code[cfg.starts[b]..site] {
+        st.step(insn);
+    }
+    Some(st)
+}
+
+/// Splices `callee` into `cur` at the tail-call site: the `TailCall`
+/// becomes a `Jmp` to an appended prologue that re-establishes the
+/// callee's entry state (all scalar registers zeroed, the resolved
+/// entry's `arg` in `r9`, all vector registers cleared — dead ones are
+/// collected by the cleanup passes) followed by the callee body with
+/// jump targets shifted. Loop bounds combine as the max: the verifier
+/// re-derives the true worst case from the fused CFG.
+fn splice(cur: &Action, site: usize, callee: &Action, arg: i64) -> Action {
+    let mut code = cur.code.clone();
+    code[site] = Insn::Jmp { target: code.len() };
+    for r in 0..NUM_REGS {
+        code.push(Insn::LdImm {
+            dst: Reg(r),
+            imm: if Reg(r) == ARG_REG { arg } else { 0 },
+        });
+    }
+    for v in 0..NUM_VREGS {
+        code.push(Insn::VectorClear { dst: VReg(v) });
+    }
+    let body_off = code.len();
+    for insn in &callee.code {
+        let mut insn = insn.clone();
+        if let Insn::Jmp { target } | Insn::JmpIf { target, .. } | Insn::JmpIfImm { target, .. } =
+            &mut insn
+        {
+            *target += body_off;
+        }
+        code.push(insn);
+    }
+    let loop_bound = match (cur.loop_bound, callee.loop_bound) {
+        (None, None) => None,
+        (a, b) => Some(a.unwrap_or(0).max(b.unwrap_or(0))),
+    };
+    Action {
+        name: cur.name.clone(),
+        code,
+        loop_bound,
+    }
+}
+
+/// Tail-call match-chain fusion: collapses a statically resolvable
+/// match chain rooted at `action` into one body.
+///
+/// Per link, three conditions must hold on the optimized body so far:
+/// the body has exactly one `TailCall` (post-optimization all code is
+/// reachable), the caller's verdict `r0` at that site is provably
+/// constant (so the machine can synthesize the intermediate verdict
+/// the unfused chain would push), and the target table's lookup is
+/// statically resolvable — the table is empty (miss/default path
+/// regardless of key), or every key field was stored a provable
+/// constant on the way to the call. A resolved hit inlines the
+/// entry's action with the entry's `arg`; a resolved miss inlines the
+/// default action (or terminates the chain with an `Exit` when there
+/// is none). The fused body is re-optimized after every splice, which
+/// is what folds the next link's key stores into resolvable
+/// constants. Fusion stops at the first unresolvable link (the
+/// trailing `TailCall` stays and the machine redirects at run time),
+/// at a callee [`fusable_callee`] rejects, or at the depth/size
+/// budget.
+///
+/// Resolution bakes the *current* table contents into code: the
+/// caller owns invalidation. The machine stamps every plan with its
+/// table generation and re-specializes on any ctrl mutation
+/// (`InsertEntry` / `RemoveEntry` / `UpdateModel` / `SetOptLevel`);
+/// a stale stamp falls back to the unfused body.
+///
+/// Returns `None` when nothing fused (no resolvable link).
+pub fn fuse_chain(
+    action: &Action,
+    actions: &[Action],
+    tables: &[Table],
+    level: OptLevel,
+) -> Option<FusePlan> {
+    if level == OptLevel::O0 {
+        return None;
+    }
+    // Optimization never introduces a `TailCall`, so a body without
+    // one can never fuse — skip the pipeline run entirely. This keeps
+    // re-specialization after ctrl churn from re-optimizing every
+    // leaf action just to rediscover there is no chain to collapse.
+    if !action
+        .code
+        .iter()
+        .any(|i| matches!(i, Insn::TailCall { .. }))
+    {
+        return None;
+    }
+    let mut cur = optimize(action, level).action;
+    let mut steps: Vec<FusedStepPlan> = Vec::new();
+    let mut step_keys: Vec<Option<Vec<u64>>> = Vec::new();
+    while steps.len() < MAX_FUSE_DEPTH {
+        // Post-optimization all remaining code is reachable, so a
+        // plain scan finds the live tail-call sites.
+        let mut sites = cur
+            .code
+            .iter()
+            .enumerate()
+            .filter_map(|(i, insn)| match insn {
+                Insn::TailCall { table } => Some((i, table.0 as usize)),
+                _ => None,
+            });
+        let Some((site, ti)) = sites.next() else {
+            break;
+        };
+        if sites.next().is_some() {
+            break; // More than one live chain continuation.
+        }
+        let Some(st) = cp_state_at(&cur.code, site) else {
+            break;
+        };
+        let Some(caller_verdict) = st.regs[0] else {
+            break;
+        };
+        let Some(t) = tables.get(ti) else { break };
+        // Resolve the lookup this tail call would perform.
+        let (entry, dispatch, key) = if t.is_empty() {
+            (None, t.def().default_action.map(|a| (a, 0i64)), None)
+        } else {
+            let mut key = Vec::with_capacity(t.def().key_fields.len());
+            for f in &t.def().key_fields {
+                match st.field_const(*f) {
+                    Some(v) => key.push(v as u64),
+                    None => break,
+                }
+            }
+            if key.len() != t.def().key_fields.len() {
+                break; // Key not statically known.
+            }
+            match t.resolve_indexed(&key) {
+                Some((ei, e)) => (Some(ei as u32), Some((e.action, e.arg)), Some(key)),
+                None => (None, t.def().default_action.map(|a| (a, 0i64)), Some(key)),
+            }
+        };
+        match dispatch {
+            None => {
+                // Miss with no default: the chain ends. The tail call
+                // still performed its table bookkeeping, then the
+                // pipeline finished with the caller's verdict.
+                let mut code = cur.code.clone();
+                code[site] = Insn::Exit;
+                steps.push(FusedStepPlan {
+                    caller_verdict,
+                    table: ti as u16,
+                    entry,
+                    action: None,
+                    arg: 0,
+                });
+                step_keys.push(key);
+                cur = optimize(
+                    &Action {
+                        name: cur.name.clone(),
+                        code,
+                        loop_bound: cur.loop_bound,
+                    },
+                    level,
+                )
+                .action;
+                break;
+            }
+            Some((aid, arg)) => {
+                let Some(callee) = actions.get(aid.0 as usize) else {
+                    break;
+                };
+                if !fusable_callee(callee) {
+                    break;
+                }
+                let spliced = splice(&cur, site, callee, arg);
+                if spliced.code.len() > MAX_FUSED_INSNS {
+                    break;
+                }
+                steps.push(FusedStepPlan {
+                    caller_verdict,
+                    table: ti as u16,
+                    entry,
+                    action: Some(aid.0),
+                    arg,
+                });
+                step_keys.push(key);
+                cur = optimize(&spliced, level).action;
+            }
+        }
+    }
+    if steps.is_empty() {
+        None
+    } else {
+        Some(FusePlan {
+            action: cur,
+            steps,
+            step_keys,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Optimizer statistics
+// ---------------------------------------------------------------------
+
+/// Cumulative per-program optimizer statistics, summed over a
+/// program's action compiles and its chain-fusion outcome. Recomputed
+/// from scratch when `SetOptLevel` recompiles; the fusion half is
+/// refreshed on every re-specialization.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Instructions across all action bodies before optimization.
+    pub insns_before: u64,
+    /// Instructions across all compiled bodies after optimization.
+    pub insns_after: u64,
+    /// Fixpoint rounds summed over all action compiles.
+    pub rounds: u64,
+    /// Compiles whose pass pipeline hit `MAX_FIXPOINT_ROUNDS` while
+    /// still firing (converged silently-partially).
+    pub fixpoint_cap_hits: u64,
+    /// [`ConstFold`] firings.
+    pub const_fold_fires: u64,
+    /// [`GuardHoist`] firings.
+    pub guard_hoist_fires: u64,
+    /// [`Specialize`] firings.
+    pub specialize_fires: u64,
+    /// [`DeadCode`] firings.
+    pub dead_code_fires: u64,
+    /// [`BranchFold`] firings.
+    pub branch_fold_fires: u64,
+    /// Actions currently installed with a fused chain body.
+    pub fused_chains: u64,
+    /// Chain links collapsed across those fused bodies.
+    pub fused_links: u64,
+}
+
+impl OptStats {
+    /// Folds one action's pipeline report into the totals.
+    pub fn record(&mut self, insns_before: usize, opt: &Optimized) {
+        self.insns_before += insns_before as u64;
+        self.insns_after += opt.action.code.len() as u64;
+        self.rounds += opt.rounds as u64;
+        if opt.capped {
+            self.fixpoint_cap_hits += 1;
+        }
+        for name in &opt.fired {
+            match *name {
+                "const-fold" => self.const_fold_fires += 1,
+                "guard-hoist" => self.guard_hoist_fires += 1,
+                "specialize" => self.specialize_fires += 1,
+                "dead-code" => self.dead_code_fires += 1,
+                "branch-fold" => self.branch_fold_fires += 1,
+                _ => {}
+            }
+        }
+    }
+
+    /// Saturating element-wise merge (cross-shard aggregation).
+    pub fn merge(&mut self, other: &OptStats) {
+        self.insns_before = self.insns_before.saturating_add(other.insns_before);
+        self.insns_after = self.insns_after.saturating_add(other.insns_after);
+        self.rounds = self.rounds.saturating_add(other.rounds);
+        self.fixpoint_cap_hits = self
+            .fixpoint_cap_hits
+            .saturating_add(other.fixpoint_cap_hits);
+        self.const_fold_fires = self.const_fold_fires.saturating_add(other.const_fold_fires);
+        self.guard_hoist_fires = self
+            .guard_hoist_fires
+            .saturating_add(other.guard_hoist_fires);
+        self.specialize_fires = self.specialize_fires.saturating_add(other.specialize_fires);
+        self.dead_code_fires = self.dead_code_fires.saturating_add(other.dead_code_fires);
+        self.branch_fold_fires = self
+            .branch_fold_fires
+            .saturating_add(other.branch_fold_fires);
+        self.fused_chains = self.fused_chains.saturating_add(other.fused_chains);
+        self.fused_links = self.fused_links.saturating_add(other.fused_links);
+    }
+}
+
+rkd_testkit::impl_json_struct!(OptStats {
+    insns_before,
+    insns_after,
+    rounds,
+    fixpoint_cap_hits,
+    const_fold_fires,
+    guard_hoist_fires,
+    specialize_fires,
+    dead_code_fires,
+    branch_fold_fires,
+    fused_chains,
+    fused_links
+});
+
 rkd_testkit::impl_json_unit_enum!(OptLevel { O0, O1, O2 });
 
 #[cfg(test)]
@@ -1188,8 +2266,8 @@ mod tests {
     fn opt_levels_order_and_default() {
         assert_eq!(OptLevel::default(), OptLevel::O2);
         assert!(passes_for(OptLevel::O0).is_empty());
-        assert_eq!(passes_for(OptLevel::O1).len(), 3);
-        assert_eq!(passes_for(OptLevel::O2).len(), 4);
+        assert_eq!(passes_for(OptLevel::O1).len(), 4);
+        assert_eq!(passes_for(OptLevel::O2).len(), 5);
     }
 
     #[test]
@@ -1298,5 +2376,202 @@ mod tests {
         // The honest pipeline's output re-verifies.
         let good = optimize(&a, OptLevel::O2);
         assert!(reverify_action(0, &good.action, &prog).is_ok());
+    }
+
+    rkd_testkit::prop_check!(guard_hoist_preserves_semantics, cases = 256, |g| {
+        single_pass_preserves(g, &GuardHoist);
+    });
+
+    /// A deliberately non-convergent pass: forces `LdImm r7` to a fixed
+    /// immediate. Two of these with different targets oscillate forever.
+    struct FlipTo(i64);
+    impl Pass for FlipTo {
+        fn name(&self) -> &'static str {
+            "flip"
+        }
+        fn run(&self, code: &mut Vec<Insn>) -> bool {
+            let mut changed = false;
+            for insn in code.iter_mut() {
+                if let Insn::LdImm { dst: Reg(7), imm } = insn {
+                    if *imm != self.0 {
+                        *imm = self.0;
+                        changed = true;
+                    }
+                }
+            }
+            changed
+        }
+    }
+
+    /// Satellite: an oscillating pass pair burns the whole round budget
+    /// without converging; the driver reports `capped` (surfaced as the
+    /// `opt_fixpoint_cap_hits` counter) instead of looping forever. A
+    /// convergent pipeline over the same body reports no cap.
+    #[test]
+    fn oscillating_passes_hit_the_round_cap_and_are_counted() {
+        let a = Action::new(
+            "osc",
+            vec![
+                Insn::LdImm {
+                    dst: Reg(7),
+                    imm: 0,
+                },
+                Insn::LdImm {
+                    dst: Reg(0),
+                    imm: 0,
+                },
+                Insn::Exit,
+            ],
+        );
+        let opt = optimize_with(&a, &[&FlipTo(1), &FlipTo(0)], 6);
+        assert_eq!(opt.rounds, 6, "every round must have fired a pass");
+        assert!(opt.capped);
+        let mut stats = OptStats::default();
+        stats.record(a.code.len(), &opt);
+        assert_eq!(stats.fixpoint_cap_hits, 1);
+        let clean = optimize(&a, OptLevel::O2);
+        assert!(!clean.capped, "convergent pipelines never report a cap");
+        let mut cs = OptStats::default();
+        cs.record(a.code.len(), &clean);
+        assert_eq!(cs.fixpoint_cap_hits, 0);
+    }
+
+    fn fuse_table(name: &str, key: &[FieldId], default: Option<crate::table::ActionId>) -> Table {
+        Table::new(crate::table::TableDef {
+            name: name.into(),
+            hook: "h".into(),
+            key_fields: key.to_vec(),
+            kind: MatchKind::Exact,
+            default_action: default,
+            max_entries: 8,
+        })
+    }
+
+    /// Chain fixture for the planner tests: a0 stores `k := 3` and
+    /// tail-calls t1 (keyed on `k`, one entry at 3 → a1); a1 tail-calls
+    /// t2 (empty, default a2); a2 is the leaf.
+    fn fuse_fixture() -> (Vec<Action>, Vec<Table>) {
+        let k = FieldId(1);
+        let a0 = Action::new(
+            "root",
+            vec![
+                Insn::LdImm {
+                    dst: Reg(1),
+                    imm: 3,
+                },
+                Insn::StCtxt {
+                    field: k,
+                    src: Reg(1),
+                },
+                Insn::LdImm {
+                    dst: Reg(0),
+                    imm: 10,
+                },
+                Insn::TailCall {
+                    table: crate::table::TableId(1),
+                },
+            ],
+        );
+        let a1 = Action::new(
+            "mid",
+            vec![
+                Insn::LdImm {
+                    dst: Reg(0),
+                    imm: 20,
+                },
+                Insn::TailCall {
+                    table: crate::table::TableId(2),
+                },
+            ],
+        );
+        let a2 = Action::new(
+            "leaf",
+            vec![
+                Insn::LdImm {
+                    dst: Reg(0),
+                    imm: 42,
+                },
+                Insn::Exit,
+            ],
+        );
+        let t0 = fuse_table("t0", &[FieldId(0)], Some(crate::table::ActionId(0)));
+        let mut t1 = fuse_table("t1", &[k], None);
+        t1.insert(crate::table::Entry {
+            key: crate::table::MatchKey::Exact(vec![3]),
+            priority: 0,
+            action: crate::table::ActionId(1),
+            arg: 5,
+        })
+        .unwrap();
+        let t2 = fuse_table("t2", &[k], Some(crate::table::ActionId(2)));
+        (vec![a0, a1, a2], vec![t0, t1, t2])
+    }
+
+    /// Tentpole planner contract: a statically resolvable chain fuses
+    /// end to end — constant-folded key stores resolve keyed lookups,
+    /// empty tables resolve to their default — and the fused body
+    /// carries no live `TailCall`.
+    #[test]
+    fn fuse_chain_resolves_static_links() {
+        let (actions, tables) = fuse_fixture();
+        let plan = fuse_chain(&actions[0], &actions, &tables, OptLevel::O2)
+            .expect("statically resolvable chain must fuse");
+        assert_eq!(plan.steps.len(), 2);
+        assert_eq!(plan.steps[0].caller_verdict, 10);
+        assert_eq!(plan.steps[0].table, 1);
+        assert_eq!(plan.steps[0].entry, Some(0), "keyed hit on entry 0");
+        assert_eq!(plan.steps[0].action, Some(1));
+        assert_eq!(plan.steps[1].caller_verdict, 20);
+        assert_eq!(plan.steps[1].table, 2);
+        assert_eq!(plan.steps[1].entry, None, "empty table resolves as miss");
+        assert_eq!(plan.steps[1].action, Some(2));
+        assert!(
+            !plan
+                .action
+                .code
+                .iter()
+                .any(|i| matches!(i, Insn::TailCall { .. })),
+            "fully fused body must not tail-call: {:?}",
+            plan.action.code
+        );
+        assert!(fuse_chain(&actions[2], &actions, &tables, OptLevel::O2).is_none());
+        assert!(
+            fuse_chain(&actions[0], &actions, &tables, OptLevel::O0).is_none(),
+            "O0 never fuses"
+        );
+    }
+
+    /// A key that is not provably constant at the call site defeats
+    /// fusion of that link (the planner must not guess), as does a
+    /// model call in a callee (its guard bookkeeping cannot be
+    /// synthesized).
+    #[test]
+    fn fuse_chain_rejects_runtime_keys() {
+        let (mut actions, tables) = fuse_fixture();
+        // Root now stores a runtime ctxt value into the key field.
+        actions[0] = Action::new(
+            "root",
+            vec![
+                Insn::LdCtxt {
+                    dst: Reg(1),
+                    field: FieldId(0),
+                },
+                Insn::StCtxt {
+                    field: FieldId(1),
+                    src: Reg(1),
+                },
+                Insn::LdImm {
+                    dst: Reg(0),
+                    imm: 10,
+                },
+                Insn::TailCall {
+                    table: crate::table::TableId(1),
+                },
+            ],
+        );
+        assert!(
+            fuse_chain(&actions[0], &actions, &tables, OptLevel::O2).is_none(),
+            "runtime key into a populated table must defeat fusion"
+        );
     }
 }

@@ -441,6 +441,16 @@ impl ShardedMachine {
             | CtrlRequest::SpanReset => self.publish(req),
             CtrlRequest::MapLookup { prog, map, key } => self.map_lookup(prog, map, key),
             CtrlRequest::QueryStats { prog } => Ok(CtrlResponse::Stats(self.stats(prog)?)),
+            // Optimizer stats are compile-time telemetry, identical on
+            // every replica by construction (same program, same opt
+            // level, deterministic optimizer) — read the shadow rather
+            // than merging shards.
+            CtrlRequest::QueryOptStats { prog } => Ok(CtrlResponse::OptStats(
+                self.shadow
+                    .lock()
+                    .expect("shadow poisoned")
+                    .opt_stats(prog)?,
+            )),
             CtrlRequest::QueryTableStats { prog, table } => {
                 let per_shard = self.collect(move |m| m.table_stats(prog, table));
                 let mut total = TableStats::default();

@@ -88,6 +88,13 @@ mod tests {
             CtrlResponse::Value(None),
             CtrlResponse::Value(Some(-9)),
             CtrlResponse::PrivacyBudget(10_000),
+            CtrlResponse::OptStats(crate::opt::OptStats {
+                insns_before: 12,
+                insns_after: 7,
+                fused_chains: 2,
+                fused_links: 3,
+                ..crate::opt::OptStats::default()
+            }),
             CtrlResponse::Counters(crate::obs::MachineCounters {
                 fires: 4,
                 decision_cache_hits: 3,
@@ -107,6 +114,7 @@ mod tests {
         for req in [
             CtrlRequest::SetDecisionCacheCapacity { capacity: 64 },
             CtrlRequest::QueryMachineCounters,
+            CtrlRequest::QueryOptStats { prog: ProgId(2) },
         ] {
             let json = to_json_string(&req);
             let back: CtrlRequest = from_json_str(&json).unwrap();

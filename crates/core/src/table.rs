@@ -473,6 +473,15 @@ impl Table {
         self.lookup(key)
     }
 
+    /// [`Table::lookup_indexed`] without touching the hit/miss
+    /// counters: the compile-time resolution path (tail-call chain
+    /// fusion) uses this, so only real fires show up in
+    /// [`TableStats`] — the machine synthesizes the per-fire counts
+    /// for fused steps via [`Table::note_hit`] / [`Table::note_miss`].
+    pub fn resolve_indexed(&self, key: &[u64]) -> Option<(usize, &Entry)> {
+        self.lookup_index(key).map(|i| (i, &self.entries[i]))
+    }
+
     /// Records a hit resolved outside [`Table::lookup`] (decision-cache
     /// replay), keeping [`TableStats`] faithful to the fired workload.
     pub(crate) fn note_hit(&self) {

@@ -139,12 +139,19 @@ pub fn verify_with(
 ///
 /// Structural, model, tail-call, interference, and privacy checks are
 /// not repeated — optimization rewrites one body in place and cannot
-/// change table wiring, map topology, or worst-case bounds upward (the
-/// pipeline never grows an action). Resource limits are lifted to
-/// their maxima here because the original program may have been
-/// admitted under a custom [`VerifierConfig`]; soundness (termination,
-/// initialized registers, valid field and map references) is what this
-/// gate re-establishes, and those checks do not relax.
+/// change table wiring or map topology. The pass pipeline never grows
+/// an action, so for it the worst-case bound cannot move upward
+/// either. Fused tail-call chain bodies ([`crate::opt::fuse_chain`])
+/// *are* larger than the action they replace — they also pass through
+/// this gate, and the machine separately enforces the fuel argument:
+/// a fused body is rejected unless its re-verified worst case fits
+/// within the summed per-link budgets of the unfused chain, so fusion
+/// can never burn more fuel than the chain it replaced. Resource
+/// limits are lifted to their maxima here because the original
+/// program may have been admitted under a custom [`VerifierConfig`];
+/// soundness (termination, initialized registers, valid field and map
+/// references) is what this gate re-establishes, and those checks do
+/// not relax.
 pub fn reverify_action(id: u16, action: &Action, prog: &RmtProgram) -> Result<u64, VerifyError> {
     let cfg = VerifierConfig {
         max_insns_per_action: usize::MAX,

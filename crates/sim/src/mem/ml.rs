@@ -369,6 +369,14 @@ impl MlPrefetcher {
         self.machine.stats(self.prog).expect("program installed")
     }
 
+    /// Optimizer statistics of the installed program (pass fire
+    /// counts, instruction before/after, chain-fusion footprint).
+    pub fn opt_stats(&self) -> rkd_core::opt::OptStats {
+        self.machine
+            .opt_stats(self.prog)
+            .expect("program installed")
+    }
+
     /// Observability snapshot of the embedded datapath (hook latency
     /// histograms, machine counters, per-model telemetry).
     pub fn obs_snapshot(&self) -> rkd_core::obs::ObsSnapshot {

@@ -101,4 +101,9 @@ fn main() {
     );
     let ts = vm.table_stats(prog, table).unwrap();
     println!("table: {} hits / {} misses", ts.hits, ts.misses);
+    let os = vm.opt_stats(prog).unwrap();
+    println!(
+        "optimizer: {} -> {} insns in {} rounds, fused chains {} ({} links)",
+        os.insns_before, os.insns_after, os.rounds, os.fused_chains, os.fused_links
+    );
 }

@@ -61,7 +61,27 @@ if ! grep -q 'speedup_gate opt_const_pipeline.*PASS' /tmp/rkd_bench_vm.out; then
     echo "ERROR: optimizer gate failed (< 1.2x median over O0 on the constant-heavy pipeline)" >&2
     exit 1
 fi
+if ! grep -q 'speedup_gate chain_fuse_pipeline.*PASS' /tmp/rkd_bench_vm.out; then
+    echo "ERROR: chain-fusion gate failed (< 2x over O0 on the 8-table resolvable chain)" >&2
+    exit 1
+fi
+if ! grep -q 'speedup_gate chain_fuse_churn.*PASS' /tmp/rkd_bench_vm.out; then
+    echo "ERROR: adversarial churn floor failed (fusability-toggling churn cost exceeded the 0.1x bound)" >&2
+    exit 1
+fi
+if ! grep -q 'speedup_gate chain_fuse_reval.*PASS' /tmp/rkd_bench_vm.out; then
+    echo "ERROR: revalidation churn floor failed (same-dispatch entry churn pushed fused below O0)" >&2
+    exit 1
+fi
+if ! grep -q 'speedup_gate loop_fold.*PASS' /tmp/rkd_bench_vm.out; then
+    echo "ERROR: loop-aware folding gate failed (< 1.2x over O0 on the invariant-heavy loop)" >&2
+    exit 1
+fi
 test -s BENCH_opt.json || { echo "ERROR: BENCH_opt.json was not written" >&2; exit 1; }
+for section in '"chain_fuse_pipeline"' '"chain_fuse_churn"' '"chain_fuse_reval"' '"loop_fold"'; do
+    grep -q "$section" BENCH_opt.json \
+        || { echo "ERROR: BENCH_opt.json missing the $section section" >&2; exit 1; }
+done
 
 echo "==> bench_parallel smoke (sharded scaling gate + BENCH_parallel.json)"
 RKD_BENCH_PARALLEL_JSON="$PWD/BENCH_parallel.json" \

@@ -12,9 +12,11 @@ use rkd::core::bytecode::{Action, AluOp, CmpOp, Insn, Reg};
 use rkd::core::ctxt::FieldId;
 use rkd::core::error::VmError;
 use rkd::core::jit::CompiledAction;
-use rkd::core::opt::{optimize, BranchFold, ConstFold, DeadCode, OptLevel, Pass, Specialize};
+use rkd::core::opt::{
+    fuse_chain, optimize, BranchFold, ConstFold, DeadCode, GuardHoist, OptLevel, Pass, Specialize,
+};
 use rkd::core::prog::ProgramBuilder;
-use rkd::core::table::MatchKind;
+use rkd::core::table::{ActionId, Entry, MatchKey, MatchKind, Table, TableDef, TableId};
 
 fn run_once(pass: &dyn Pass, input: Vec<Insn>) -> Vec<Insn> {
     let mut code = input;
@@ -335,6 +337,367 @@ fn specialize_cse_golden() {
         Insn::Exit,
     ];
     assert_eq!(run_once(&Specialize, input), expected);
+}
+
+#[test]
+fn guard_hoist_golden() {
+    // A guard decided by a dominating check is rewritten 1:1 into an
+    // unconditional Jmp: decided-taken jumps to the guard's target,
+    // decided-not-taken jumps to the fall-through. Instruction 2 is
+    // reached only on the taken edge of instruction 0, so `r1 < 10`
+    // is a known-true fact there; instruction 4 tests the negated
+    // predicate (`r1 >= 10`), decided false by the same fact.
+    let input = vec![
+        Insn::JmpIfImm {
+            cmp: CmpOp::Lt,
+            lhs: Reg(1),
+            imm: 10,
+            target: 2,
+        },
+        Insn::Exit,
+        Insn::JmpIfImm {
+            cmp: CmpOp::Lt,
+            lhs: Reg(1),
+            imm: 10,
+            target: 4,
+        },
+        Insn::Exit,
+        Insn::JmpIfImm {
+            cmp: CmpOp::Ge,
+            lhs: Reg(1),
+            imm: 10,
+            target: 6,
+        },
+        Insn::LdImm {
+            dst: Reg(0),
+            imm: 1,
+        },
+        Insn::Exit,
+    ];
+    let expected = vec![
+        // The earliest check survives as the single guard.
+        Insn::JmpIfImm {
+            cmp: CmpOp::Lt,
+            lhs: Reg(1),
+            imm: 10,
+            target: 2,
+        },
+        Insn::Exit,
+        // Dominated duplicate, decided taken.
+        Insn::Jmp { target: 4 },
+        Insn::Exit,
+        // Negated duplicate, decided not-taken: falls through.
+        Insn::Jmp { target: 5 },
+        Insn::LdImm {
+            dst: Reg(0),
+            imm: 1,
+        },
+        Insn::Exit,
+    ];
+    assert_eq!(run_once(&GuardHoist, input), expected);
+}
+
+#[test]
+fn guard_hoist_loop_invariant_golden() {
+    // The canonical win: a loop-invariant guard re-checked every
+    // iteration. Loop-header widening only drops facts over registers
+    // the loop redefines (r2, r3); the fact about r1 from the pre-loop
+    // check survives the back edge and decides the per-iteration copy.
+    let input = vec![
+        Insn::JmpIfImm {
+            cmp: CmpOp::Ge,
+            lhs: Reg(1),
+            imm: 0,
+            target: 2,
+        },
+        Insn::Exit,
+        // Loop header.
+        Insn::AluImm {
+            op: AluOp::Add,
+            dst: Reg(2),
+            imm: 1,
+        },
+        Insn::JmpIfImm {
+            cmp: CmpOp::Ge,
+            lhs: Reg(1),
+            imm: 0,
+            target: 5,
+        },
+        Insn::Exit,
+        Insn::AluImm {
+            op: AluOp::Sub,
+            dst: Reg(3),
+            imm: 1,
+        },
+        // Back edge.
+        Insn::JmpIfImm {
+            cmp: CmpOp::Gt,
+            lhs: Reg(3),
+            imm: 0,
+            target: 2,
+        },
+        Insn::LdImm {
+            dst: Reg(0),
+            imm: 0,
+        },
+        Insn::Exit,
+    ];
+    let mut expected = input.clone();
+    // Only the per-iteration guard copy folds; the pre-loop check and
+    // the loop's own exit condition are untouched.
+    expected[3] = Insn::Jmp { target: 5 };
+    assert_eq!(run_once(&GuardHoist, input), expected);
+}
+
+#[test]
+fn const_fold_loop_carried_constant_golden() {
+    // Loop-aware folding: at the loop header, only registers the loop
+    // redefines (r2, r3) widen to unknown — r1 keeps its pre-loop
+    // constant across the back edge, so the loop-body uses of r1 fold.
+    // The loop counter r2 must NOT fold: treating its pre-loop value
+    // as loop-invariant would mis-decide the exit condition.
+    let input = vec![
+        Insn::LdImm {
+            dst: Reg(1),
+            imm: 5,
+        },
+        Insn::LdImm {
+            dst: Reg(2),
+            imm: 3,
+        },
+        // Loop header: r3 = r1 + 1 (r1 is loop-invariant).
+        Insn::Mov {
+            dst: Reg(3),
+            src: Reg(1),
+        },
+        Insn::AluImm {
+            op: AluOp::Add,
+            dst: Reg(3),
+            imm: 1,
+        },
+        Insn::AluImm {
+            op: AluOp::Sub,
+            dst: Reg(2),
+            imm: 1,
+        },
+        Insn::JmpIfImm {
+            cmp: CmpOp::Gt,
+            lhs: Reg(2),
+            imm: 0,
+            target: 2,
+        },
+        Insn::Mov {
+            dst: Reg(0),
+            src: Reg(3),
+        },
+        Insn::Exit,
+    ];
+    let expected = vec![
+        Insn::LdImm {
+            dst: Reg(1),
+            imm: 5,
+        },
+        Insn::LdImm {
+            dst: Reg(2),
+            imm: 3,
+        },
+        // r1 survived the back edge: both body instructions fold.
+        Insn::LdImm {
+            dst: Reg(3),
+            imm: 5,
+        },
+        Insn::LdImm {
+            dst: Reg(3),
+            imm: 6,
+        },
+        // r2 widened at the header: the decrement and the exit test
+        // stay symbolic.
+        Insn::AluImm {
+            op: AluOp::Sub,
+            dst: Reg(2),
+            imm: 1,
+        },
+        Insn::JmpIfImm {
+            cmp: CmpOp::Gt,
+            lhs: Reg(2),
+            imm: 0,
+            target: 2,
+        },
+        // After the loop r3 is known (it is recomputed from r1 every
+        // iteration), so the verdict move folds too.
+        Insn::LdImm {
+            dst: Reg(0),
+            imm: 6,
+        },
+        Insn::Exit,
+    ];
+    assert_eq!(run_once(&ConstFold, input), expected);
+}
+
+/// Chain fixture for the fusion goldens: a0 stores `k := 3` and
+/// tail-calls t1 (keyed on `k`, one entry at 3 -> a1 with arg 5); a1
+/// tail-calls t2 (empty, default a2); a2 is the leaf with verdict 42.
+fn fuse_fixture() -> (Vec<Action>, Vec<Table>) {
+    let k = FieldId(1);
+    let table = |name: &str, key: &[FieldId], default: Option<ActionId>| {
+        Table::new(TableDef {
+            name: name.into(),
+            hook: "h".into(),
+            key_fields: key.to_vec(),
+            kind: MatchKind::Exact,
+            default_action: default,
+            max_entries: 8,
+        })
+    };
+    let a0 = Action::new(
+        "root",
+        vec![
+            Insn::LdImm {
+                dst: Reg(1),
+                imm: 3,
+            },
+            Insn::StCtxt {
+                field: k,
+                src: Reg(1),
+            },
+            Insn::LdImm {
+                dst: Reg(0),
+                imm: 10,
+            },
+            Insn::TailCall { table: TableId(1) },
+        ],
+    );
+    let a1 = Action::new(
+        "mid",
+        vec![
+            Insn::LdImm {
+                dst: Reg(0),
+                imm: 20,
+            },
+            Insn::TailCall { table: TableId(2) },
+        ],
+    );
+    let a2 = Action::new(
+        "leaf",
+        vec![
+            Insn::LdImm {
+                dst: Reg(0),
+                imm: 42,
+            },
+            Insn::Exit,
+        ],
+    );
+    let t0 = table("t0", &[FieldId(0)], Some(ActionId(0)));
+    let mut t1 = table("t1", &[k], None);
+    t1.insert(Entry {
+        key: MatchKey::Exact(vec![3]),
+        priority: 0,
+        action: ActionId(1),
+        arg: 5,
+    })
+    .unwrap();
+    let t2 = table("t2", &[k], Some(ActionId(2)));
+    (vec![a0, a1, a2], vec![t0, t1, t2])
+}
+
+#[test]
+fn fuse_chain_golden() {
+    // The whole statically resolvable chain collapses to its
+    // observable effects: the context store and the leaf verdict. The
+    // spliced prologues (argument loads, register zeroing) and the
+    // intermediate verdicts are all provably dead and fold away.
+    let (actions, tables) = fuse_fixture();
+    let plan = fuse_chain(&actions[0], &actions, &tables, OptLevel::O2).expect("chain fuses");
+    assert_eq!(
+        plan.steps.len(),
+        2,
+        "two links resolved: t1 hit, t2 default"
+    );
+    let s0 = &plan.steps[0];
+    assert_eq!(
+        (s0.caller_verdict, s0.table, s0.entry, s0.action),
+        (10, 1, Some(0), Some(1)),
+    );
+    let s1 = &plan.steps[1];
+    assert_eq!(
+        (s1.caller_verdict, s1.table, s1.entry, s1.action),
+        (20, 2, None, Some(2)),
+    );
+    assert_eq!(
+        plan.action.code,
+        vec![
+            Insn::LdImm {
+                dst: Reg(1),
+                imm: 3,
+            },
+            Insn::StCtxt {
+                field: FieldId(1),
+                src: Reg(1),
+            },
+            Insn::LdImm {
+                dst: Reg(0),
+                imm: 42,
+            },
+            Insn::Exit,
+        ]
+    );
+}
+
+#[test]
+fn fuse_chain_churn_golden() {
+    // Fusion-defeating churn: the plan bakes table contents into code,
+    // so a control-plane insert that changes what key 3 resolves to
+    // produces a different plan. Here a non-matching entry lands in t1:
+    // the lookup now resolves to a miss with no default, and the chain
+    // collapses to just t1's bookkeeping with the root verdict.
+    let (actions, mut tables) = fuse_fixture();
+    tables[1]
+        .insert(Entry {
+            key: MatchKey::Exact(vec![9]),
+            priority: 0,
+            action: ActionId(2),
+            arg: 0,
+        })
+        .unwrap();
+    assert!(tables[1].remove(&MatchKey::Exact(vec![3])));
+    let plan = fuse_chain(&actions[0], &actions, &tables, OptLevel::O2).expect("still fuses");
+    assert_eq!(
+        plan.steps.len(),
+        1,
+        "the t1 link now resolves to a dead end"
+    );
+    let s0 = &plan.steps[0];
+    assert_eq!(
+        (s0.caller_verdict, s0.table, s0.entry, s0.action),
+        (10, 1, None, None),
+    );
+    // The fused body carries the root's verdict and effects only.
+    assert_eq!(
+        plan.action.code,
+        vec![
+            Insn::LdImm {
+                dst: Reg(1),
+                imm: 3,
+            },
+            Insn::StCtxt {
+                field: FieldId(1),
+                src: Reg(1),
+            },
+            Insn::LdImm {
+                dst: Reg(0),
+                imm: 10,
+            },
+            Insn::Exit,
+        ]
+    );
+    assert!(
+        !plan
+            .action
+            .code
+            .iter()
+            .any(|i| matches!(i, Insn::TailCall { .. })),
+        "no live TailCall in a fully resolved fused body"
+    );
 }
 
 #[test]

@@ -300,6 +300,78 @@ fn control_plane_converges_across_shards() {
     );
 }
 
+/// Satellite (bugfix pin): `SetOptLevel` is an epoch-published,
+/// journaled mutation — the recompile broadcast must reach every shard
+/// replica *and* the shadow, bump the table generation everywhere (so
+/// stale cached or fused decisions can never serve post-recompile),
+/// and leave per-flow verdicts bit-identical to a single machine
+/// flipped the same way at the same points in the stream.
+#[test]
+fn set_opt_level_broadcast_reaches_all_shards_and_shadow() {
+    use rkd::core::opt::OptLevel;
+    let (prog, _counts) = flow_prog();
+    let mut single = RmtMachine::new();
+    let pid = install(prog.clone(), &mut single);
+    let sharded = ShardedMachine::new(3);
+    let resp = sharded
+        .ctrl(CtrlRequest::Install {
+            prog: Box::new(prog),
+            mode: ExecMode::Jit,
+            seed: BASE_SEED,
+        })
+        .unwrap();
+    assert_eq!(resp, CtrlResponse::Installed(pid), "lockstep id assignment");
+
+    let fire_round = |single: &mut RmtMachine, x: i64| {
+        for flow in 0..12u64 {
+            let shard = sharded.shard_for_flow(flow);
+            let want = single
+                .fire("pkt", &mut Ctxt::from_values(vec![flow as i64, x]))
+                .verdict();
+            let (_ctxts, results) = sharded
+                .fire_batch_on(shard, "pkt", vec![Ctxt::from_values(vec![flow as i64, x])])
+                .wait();
+            assert_eq!(results[0].verdict(), want, "flow {flow} at x={x}");
+        }
+    };
+
+    fire_round(&mut single, 5);
+    let gen_before = sharded.expected_generation();
+    let set_level = |single: &mut RmtMachine, level: OptLevel| {
+        syscall_rmt_with(
+            single,
+            CtrlRequest::SetOptLevel { prog: pid, level },
+            &VerifierConfig::default(),
+        )
+        .unwrap();
+        sharded
+            .ctrl(CtrlRequest::SetOptLevel { prog: pid, level })
+            .unwrap();
+    };
+    // Flip O2 -> O0 mid-replay, fire, and flip back.
+    set_level(&mut single, OptLevel::O0);
+    fire_round(&mut single, -3);
+    set_level(&mut single, OptLevel::O2);
+    fire_round(&mut single, 11);
+
+    let statuses = sharded.sync();
+    let expected_gen = sharded.expected_generation();
+    assert!(
+        expected_gen >= gen_before + 2,
+        "each SetOptLevel must bump the generation ({gen_before} -> {expected_gen})"
+    );
+    let published = sharded.published();
+    for s in &statuses {
+        assert_eq!(s.applied, published, "shard {} lagging", s.shard);
+        assert_eq!(s.ctrl_apply_errors, 0, "shard {} absorbed errors", s.shard);
+        assert_eq!(
+            s.table_generation, expected_gen,
+            "shard {} diverged from shadow after SetOptLevel",
+            s.shard
+        );
+    }
+}
+
 /// A DP-aggregate program: the default action answers a noised sum
 /// over a shared histogram map, drawing from the program's install-
 /// seeded RNG — the probe for per-shard seed derivation.
